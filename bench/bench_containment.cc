@@ -1,0 +1,68 @@
+// Section 7: containment. Exact single-atom containment reduces to regular
+// inclusion (the tractable tip of the EXPSPACE iceberg); the bounded
+// canonical-database search scales with the enumeration bound. The
+// undecidable general case has no bench — see DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/containment.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+void BM_Containment_SingleAtomInclusion(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  // Regex pairs of growing size: (ab)^n-ish blocks vs (a|b)*.
+  const int n = static_cast<int>(state.range(0));
+  std::string block;
+  for (int i = 0; i < n; ++i) block += "ab";
+  auto q1 = ParseQuery("Ans(x, y) <- (x, p, y), (" + block + ")*(p)",
+                       *alphabet);
+  auto q2 = ParseQuery("Ans(x, y) <- (x, p, y), (ab)*(p)", *alphabet);
+  if (!q1.ok() || !q2.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = SingleAtomContained(q1.value(), q2.value());
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["block"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Containment_SingleAtomInclusion)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Containment_BoundedCanonicalSearch(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  auto q = ParseQuery(
+      "Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q), a*(p), a*(q)",
+      *alphabet);
+  auto q_prime = ParseQuery("Ans(x, y) <- (x, p, y), (aa)*(p)", *alphabet);
+  if (!q.ok() || !q_prime.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  ContainmentOptions options;
+  options.max_word_length = static_cast<int>(state.range(0));
+  options.max_candidates = 2000;
+  for (auto _ : state) {
+    auto result = CheckContainmentBounded(q.value(), q_prime.value(),
+                                          options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().verdict);
+  }
+  state.counters["word_bound"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Containment_BoundedCanonicalSearch)
+    ->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Figure 1(a), data-complexity row: for FIXED queries, evaluation time as
+// the graph grows. The paper proves NLOGSPACE data complexity for CQs,
+// CRPQs, ECRPQs, their acyclic restrictions, and Q_len; the measured shape
+// to reproduce is polynomial (no blowup) growth in |G| for every engine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/eval_product.h"
+#include "core/eval_qlen.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+// Fixed CRPQ over growing graphs (CRPQ fast path, Thm 6.5 machinery).
+void BM_Fig1aData_CRPQ(benchmark::State& state) {
+  GraphDb g = MakeLayeredGraph(static_cast<int>(state.range(0)));
+  Query query = MustParse(g, "Ans(x, y) <- (x, p, y), (ab)*(p)");
+  EvalOptions options;
+  options.build_path_answers = false;
+  Evaluator evaluator(&g, options);
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    answers = result.value().tuples().size();
+  }
+  state.counters["nodes"] = g.num_nodes();
+  state.counters["edges"] = g.num_edges();
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Fig1aData_CRPQ)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed ECRPQ (equal-length pair) over growing graphs (product engine,
+// Thm 6.1's on-the-fly evaluation).
+void BM_Fig1aData_ECRPQ(benchmark::State& state) {
+  GraphDb g = MakeLayeredGraph(static_cast<int>(state.range(0)));
+  Query query =
+      MustParse(g, "Ans() <- (x, p, y), (x, q, z), el(p, q), a*(p), b*(q)");
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 50000000;
+  options.engine = Engine::kProduct;
+  Evaluator evaluator(&g, options);
+  uint64_t configs = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    configs = result.value().stats().configs_explored;
+  }
+  state.counters["nodes"] = g.num_nodes();
+  state.counters["configs"] = static_cast<double>(configs);
+}
+BENCHMARK(BM_Fig1aData_ECRPQ)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+// Same fixed ECRPQ under the Q_len abstraction (Thm 6.7 row).
+void BM_Fig1aData_Qlen(benchmark::State& state) {
+  GraphDb g = MakeLayeredGraph(static_cast<int>(state.range(0)));
+  Query query =
+      MustParse(g, "Ans() <- (x, p, y), (x, q, z), el(p, q), a*(p), b*(q)");
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 50000000;
+  Evaluator evaluator(&g, options);
+  for (auto _ : state) {
+    auto result = EvaluateQlen(g, query, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().AsBool());
+  }
+  state.counters["nodes"] = g.num_nodes();
+}
+BENCHMARK(BM_Fig1aData_Qlen)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed acyclic CRPQ (star shape) over growing graphs: the Thm 6.5 PTIME
+// algorithm with semi-join reduction.
+void BM_Fig1aData_AcyclicCRPQ(benchmark::State& state) {
+  GraphDb g = MakeLayeredGraph(static_cast<int>(state.range(0)));
+  Query query = MustParse(
+      g, "Ans(x) <- (x, p, y), (x, q, z), (x, r, w), a*(p), b*(q), (ab)*(r)");
+  EvalOptions options;
+  options.build_path_answers = false;
+  Evaluator evaluator(&g, options);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().tuples().size());
+  }
+  state.counters["nodes"] = g.num_nodes();
+}
+BENCHMARK(BM_Fig1aData_AcyclicCRPQ)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// The squared-strings ECRPQ (introduction) on growing word graphs.
+void BM_Fig1aData_SquaredStrings(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(7);
+  Word word;
+  for (int i = 0; i < state.range(0); ++i) {
+    word.push_back(static_cast<Symbol>(rng.Below(2)));
+  }
+  GraphDb g = WordGraph(alphabet, word);
+  Query query =
+      MustParse(g, "Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)");
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 50000000;
+  Evaluator evaluator(&g, options);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().tuples().size());
+  }
+  state.counters["word_len"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig1aData_SquaredStrings)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

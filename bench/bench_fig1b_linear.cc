@@ -1,0 +1,88 @@
+// Figure 1(b), linear-constraint column (Theorem 8.5): CRPQs with linear
+// constraints on occurrence counts have PTIME data complexity and NP
+// combined complexity. Measured shapes: polynomial growth in the graph for
+// a fixed constrained query, and moderate growth in the number of
+// constraint rows (the NP certificate is the ILP witness).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+// Fixed airline-ratio query over growing flight networks (data
+// complexity).
+void BM_Fig1bLinear_DataComplexity(benchmark::State& state) {
+  Rng rng(17);
+  int cities = static_cast<int>(state.range(0));
+  GraphDb g = FlightNetwork(cities, 3 * cities, 3, {"sq", "other"}, &rng);
+  Query query = MustParse(
+      g,
+      R"(Ans() <- ("city0", p, "city1"), occ(p, sq) - 4*occ(p, 'other') >= 0,)"
+      R"( len(p) >= 1)");
+  Evaluator evaluator(&g);
+  uint64_t ilp_vars = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    ilp_vars = result.value().stats().ilp_variables;
+  }
+  state.counters["nodes"] = g.num_nodes();
+  state.counters["ilp_vars"] = static_cast<double>(ilp_vars);
+}
+BENCHMARK(BM_Fig1bLinear_DataComplexity)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed graph, growing number of linear rows (combined complexity).
+void BM_Fig1bLinear_CombinedRows(benchmark::State& state) {
+  Rng rng(17);
+  GraphDb g = FlightNetwork(8, 24, 3, {"sq", "other"}, &rng);
+  int rows = static_cast<int>(state.range(0));
+  std::string text = R"(Ans() <- ("city0", p, "city1"), len(p) >= 1)";
+  for (int r = 0; r < rows; ++r) {
+    // Stack of compatible ratio constraints.
+    text += ", occ(p, sq) - " + std::to_string(r) + "*occ(p, 'other') >= 0";
+  }
+  Query query = MustParse(g, text);
+  Evaluator evaluator(&g);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().AsBool());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig1bLinear_CombinedRows)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+// Path-length constraints (the restriction closing Section 8.2): cycle
+// lengths solved via flows. Growing cycle sizes.
+void BM_Fig1bLinear_LengthOnCycles(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, static_cast<int>(state.range(0)), "a");
+  Query query = MustParse(
+      g, R"(Ans() <- ("c0", p, "c0"), ("c0", q, "c0"), )"
+         R"(len(p) - 2*len(q) = 0, len(q) >= 1)");
+  Evaluator evaluator(&g);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().AsBool());
+  }
+  state.counters["cycle"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig1bLinear_LengthOnCycles)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

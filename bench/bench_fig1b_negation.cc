@@ -1,0 +1,111 @@
+// Figure 1(b), negation columns (Theorems 8.1/8.2): CRPQ¬ has NL data
+// complexity (polynomial growth in |G| for a fixed formula), while ECRPQ¬
+// is non-elementary — automaton sizes in the Claim 8.1.3 construction grow
+// by roughly one exponential per quantifier alternation. We measure both
+// time and the largest intermediate automaton.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "automata/regex.h"
+#include "bench_util.h"
+#include "core/eval_negation.h"
+#include "relations/builtin.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+std::shared_ptr<const RegularRelation> Lang(const GraphDb& g,
+                                            std::string_view regex) {
+  Alphabet copy;
+  for (Symbol s = 0; s < g.alphabet().size(); ++s) {
+    copy.Intern(g.alphabet().Label(s));
+  }
+  auto re = ParseRegexStrict(regex, copy);
+  return std::make_shared<RegularRelation>(RegularRelation::FromLanguage(
+      g.alphabet().size(), re.value()->ToNfa(g.alphabet().size())));
+}
+
+// Fixed CRPQ¬ sentence over growing graphs: ∃x∃y ¬∃π ((x,π,y) ∧ a+(π)).
+void BM_Fig1bNegation_CrpqNotDataComplexity(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(13);
+  GraphDb g = RandomGraph(alphabet, static_cast<int>(state.range(0)),
+                          2 * static_cast<int>(state.range(0)), &rng);
+  auto inner = Formula::ExistsPath(
+      "pi", Formula::And(Formula::PathAtom("x", "pi", "y"),
+                         Formula::Relation(Lang(g, "a+"), {"pi"})));
+  auto f = Formula::ExistsNode("x",
+                               Formula::ExistsNode("y", Formula::Not(inner)));
+  for (auto _ : state) {
+    auto result = EvaluateSentence(g, f);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["nodes"] = g.num_nodes();
+}
+BENCHMARK(BM_Fig1bNegation_CrpqNotDataComplexity)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ECRPQ¬ with growing quantifier alternation depth on a fixed 2-node
+// graph: alternation d wraps the body in d layers of ∀π∃ω(π=ω ∧ ...).
+void BM_Fig1bNegation_EcrpqAlternation(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g(alphabet);
+  NodeId u = g.AddNode("u");
+  NodeId v = g.AddNode("v");
+  NodeId w = g.AddNode("w");
+  g.AddEdge(u, Symbol{0}, v);
+  g.AddEdge(v, Symbol{1}, v);
+  g.AddEdge(v, Symbol{0}, w);
+  g.AddEdge(w, Symbol{1}, u);
+
+  const int depth = static_cast<int>(state.range(0));
+  // inner_0(π)  = ab*(π)
+  // inner_d(π)  = ∀ω ((x,ω,y) ∧ el(π,ω) → inner_{d-1}(ω))
+  // sentence(d) = ∃x∃y∃π ((x,π,y) ∧ inner_d(π))
+  // Every layer adds one quantifier alternation (one complementation).
+  auto el = std::make_shared<RegularRelation>(
+      EqualLengthRelation(g.alphabet().size()));
+  std::function<FormulaPtr(int, const std::string&)> inner =
+      [&](int d, const std::string& pi) -> FormulaPtr {
+    if (d == 0) return Formula::Relation(Lang(g, "ab*"), {pi});
+    std::string omega = "w" + std::to_string(d);
+    return Formula::ForallPath(
+        omega,
+        Formula::Or(
+            Formula::Not(Formula::And(Formula::PathAtom("x", omega, "y"),
+                                      Formula::Relation(el, {pi, omega}))),
+            inner(d - 1, omega)));
+  };
+  FormulaPtr sentence = Formula::ExistsNode(
+      "x",
+      Formula::ExistsNode(
+          "y", Formula::ExistsPath(
+                   "p", Formula::And(Formula::PathAtom("x", "p", "y"),
+                                     inner(depth, "p")))));
+
+  NegationStats stats;
+  for (auto _ : state) {
+    stats = NegationStats();
+    auto result = EvaluateSentence(g, sentence, &stats);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["alternations"] = static_cast<double>(depth);
+  state.counters["max_states"] = static_cast<double>(stats.max_states);
+  state.counters["determinizations"] =
+      static_cast<double>(stats.determinizations);
+}
+BENCHMARK(BM_Fig1bNegation_EcrpqAlternation)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

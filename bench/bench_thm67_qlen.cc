@@ -1,0 +1,75 @@
+// Theorem 6.7: under the length abstraction Q_len, ECRPQ combined
+// complexity drops from PSPACE to NP. Measured shape: the REI family under
+// the exact product engine grows exponentially with the number of
+// expressions, while the same queries under Q_len stay flat (labels are
+// erased, so the intersection constraint degenerates).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/eval_qlen.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+void BM_Thm67_ExactRei(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = UniversalWordGraph(alphabet);
+  Query query = MustParse(g, ReiQuery(static_cast<int>(state.range(0))));
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 100000000;
+  options.engine = Engine::kProduct;
+  Evaluator evaluator(&g, options);
+  for (auto _ : state) {
+    auto result = evaluator.Evaluate(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().AsBool());
+  }
+  state.counters["expressions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Thm67_ExactRei)->DenseRange(1, 4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Thm67_QlenRei(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = UniversalWordGraph(alphabet);
+  Query query = MustParse(g, ReiQuery(static_cast<int>(state.range(0))));
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 100000000;
+  for (auto _ : state) {
+    auto result = EvaluateQlen(g, query, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result.value().AsBool());
+  }
+  state.counters["expressions"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Thm67_QlenRei)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+// Chrobak decomposition cost (the Claim 6.7.1/2 machinery): path-length
+// sets between node pairs as arithmetic progressions, graph size sweep.
+void BM_Thm67_ChrobakDecomposition(benchmark::State& state) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  Rng rng(23);
+  GraphDb g = RandomGraph(alphabet, static_cast<int>(state.range(0)),
+                          2 * static_cast<int>(state.range(0)), &rng);
+  size_t progressions = 0;
+  for (auto _ : state) {
+    SemilinearSet1D set = PathLengthSet(g, 0, g.num_nodes() - 1);
+    progressions = set.progressions().size();
+    benchmark::DoNotOptimize(progressions);
+  }
+  state.counters["nodes"] = g.num_nodes();
+  state.counters["progressions"] = static_cast<double>(progressions);
+}
+BENCHMARK(BM_Thm67_ChrobakDecomposition)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

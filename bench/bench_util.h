@@ -1,0 +1,124 @@
+// Shared workload builders for the benchmark harness. Each bench binary
+// regenerates one row/figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the mapping).
+
+#ifndef ECRPQ_BENCH_BENCH_UTIL_H_
+#define ECRPQ_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+
+namespace ecrpq_bench {
+
+using namespace ecrpq;
+
+/// A deterministic layered graph with ~`nodes` nodes over {a, b}.
+inline GraphDb MakeLayeredGraph(int nodes, uint64_t seed = 42) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(seed);
+  int width = 4;
+  int layers = std::max(2, nodes / width);
+  return LayeredGraph(alphabet, layers, width, 2, &rng);
+}
+
+/// A deterministic random graph with `nodes` nodes and 3x edges.
+inline GraphDb MakeRandomGraph(int nodes, uint64_t seed = 42) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(seed);
+  return RandomGraph(alphabet, nodes, 3 * nodes, &rng);
+}
+
+/// Parses a query against a graph's alphabet or dies.
+inline Query MustParse(const GraphDb& g, const std::string& text) {
+  auto query = ParseQuery(text, g.alphabet());
+  if (!query.ok()) {
+    std::fprintf(stderr, "query parse failed: %s\n",
+                 query.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(query).value();
+}
+
+/// The Theorem 6.3 REI query family: m expressions intersected via shared
+/// equality constraints on the universal word graph. Expression i is
+/// (a^{p_i})* for small periods p_i, so the joint constraint forces word
+/// lengths divisible by lcm(p_1..p_m) — the classic exponential family.
+inline std::string ReiQuery(int m) {
+  static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+  std::string body;
+  for (int i = 0; i < m; ++i) {
+    if (i > 0) body += ", ";
+    body += "(x" + std::to_string(i) + ", p" + std::to_string(i) + ", y" +
+            std::to_string(i) + ")";
+  }
+  for (int i = 0; i < m; ++i) {
+    std::string block = "(";
+    for (int j = 0; j < kPeriods[i]; ++j) block += "a";
+    block += ")*";
+    body += ", " + block + "(p" + std::to_string(i) + ")";
+  }
+  for (int i = 1; i < m; ++i) {
+    body += ", eq(p0, p" + std::to_string(i) + ")";
+  }
+  return "Ans() <- " + body;
+}
+
+/// The same family written with ONE shared path variable (Prop 6.8's
+/// relational repetition).
+inline std::string ReiRepetitionQuery(int m) {
+  static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+  std::string body;
+  for (int i = 0; i < m; ++i) {
+    if (i > 0) body += ", ";
+    body += "(x" + std::to_string(i) + ", p, y" + std::to_string(i) + ")";
+  }
+  for (int i = 0; i < m; ++i) {
+    std::string block = "(";
+    for (int j = 0; j < kPeriods[i]; ++j) block += "a";
+    block += ")*";
+    body += ", " + block + "(p)";
+  }
+  return "Ans() <- " + body;
+}
+
+/// Control family: the same m languages on independent path variables
+/// (a plain acyclic CRPQ; polynomial).
+inline std::string IndependentLanguagesQuery(int m) {
+  static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+  std::string body;
+  for (int i = 0; i < m; ++i) {
+    if (i > 0) body += ", ";
+    body += "(x" + std::to_string(i) + ", p" + std::to_string(i) + ", y" +
+            std::to_string(i) + ")";
+  }
+  for (int i = 0; i < m; ++i) {
+    std::string block = "(";
+    for (int j = 0; j < kPeriods[i]; ++j) block += "a";
+    block += ")*";
+    body += ", " + block + "(p" + std::to_string(i) + ")";
+  }
+  return "Ans() <- " + body;
+}
+
+/// Chain CRPQ with m atoms: (x0,p0,x1),...,(x_{m-1},p_{m-1},x_m).
+inline std::string ChainCrpq(int m) {
+  std::string body;
+  for (int i = 0; i < m; ++i) {
+    if (i > 0) body += ", ";
+    body += "(x" + std::to_string(i) + ", p" + std::to_string(i) + ", x" +
+            std::to_string(i + 1) + ")";
+  }
+  for (int i = 0; i < m; ++i) {
+    body += std::string(", ") + (i % 2 == 0 ? "a*" : "b*") + "(p" +
+            std::to_string(i) + ")";
+  }
+  return "Ans(x0, x" + std::to_string(m) + ") <- " + body;
+}
+
+}  // namespace ecrpq_bench
+
+#endif  // ECRPQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// The introduction's motivating example at scale: an advisor genealogy,
+// CRPQ ancestor queries, and the ECRPQ "same-length path to a common
+// ancestor" query that CRPQs cannot express.
+//
+//   $ ./academic_genealogy [generations] [width] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluator.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+
+using namespace ecrpq;
+
+int main(int argc, char** argv) {
+  int generations = argc > 1 ? std::atoi(argv[1]) : 5;
+  int width = argc > 2 ? std::atoi(argv[2]) : 4;
+  uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  Rng rng(seed);
+  GraphDb g = AdvisorGenealogy(generations, width, 2, &rng);
+  std::cout << "Genealogy: " << g.num_nodes() << " people, " << g.num_edges()
+            << " advisor edges\n\n";
+
+  Evaluator evaluator(&g);
+
+  // CRPQ: common academic ancestors of two people in generation 0.
+  auto common = ParseQuery(
+      R"(Ans(z) <- ("p0_0", p, z), ("p0_1", q, z), )"
+      R"('advisor'+(p), 'advisor'+(q))",
+      g.alphabet());
+  auto ancestors = evaluator.Evaluate(common.value());
+  if (!ancestors.ok()) {
+    std::cerr << ancestors.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Common ancestors of p0_0 and p0_1 (CRPQ, engine "
+            << ancestors.value().stats().engine << "):\n";
+  for (const auto& tuple : ancestors.value().tuples()) {
+    std::cout << "  " << g.NodeName(tuple[0]) << "\n";
+  }
+
+  // ECRPQ: same-length advisor chains to a common ancestor — the paper's
+  // "pairs of scientists who have the same-length path to a given advisor".
+  auto balanced = ParseQuery(
+      R"(Ans(x, y, z) <- (x, p, z), (y, q, z), )"
+      R"('advisor'+(p), 'advisor'+(q), el(p, q))",
+      g.alphabet());
+  EvalOptions options;
+  options.max_configs = 5000000;
+  Evaluator heavy(&g, options);
+  auto peers = heavy.Evaluate(balanced.value());
+  if (!peers.ok()) {
+    std::cerr << peers.status().ToString() << "\n";
+    return 1;
+  }
+  int shown = 0;
+  std::cout << "\nEqual-depth academic siblings (ECRPQ, engine "
+            << peers.value().stats().engine << "): "
+            << peers.value().tuples().size() << " tuples, e.g.\n";
+  for (const auto& tuple : peers.value().tuples()) {
+    if (tuple[0] >= tuple[1]) continue;  // skip symmetric/diagonal
+    std::cout << "  " << g.NodeName(tuple[0]) << " and "
+              << g.NodeName(tuple[1]) << " w.r.t. " << g.NodeName(tuple[2])
+              << "\n";
+    if (++shown >= 5) break;
+  }
+  return 0;
+}

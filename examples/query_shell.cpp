@@ -1,0 +1,153 @@
+// Interactive query shell: load a graph (text format of graph/io.h) and
+// evaluate (E)CRPQs against it.
+//
+//   $ ./query_shell graph.txt
+//   ecrpq> Ans(x, y) <- (x, p, y), 'advisor'+(p)
+//   ecrpq> Ans(p) <- ("ann", p, "leo"), .*(p)
+//   ecrpq> :graph        # show the loaded graph
+//   ecrpq> :engines      # engine of the last query, stats
+//   ecrpq> :quit
+//
+// Without an argument a small demo graph is loaded.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/evaluator.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "query/analysis.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+
+using namespace ecrpq;
+
+namespace {
+
+GraphDb DemoGraph() {
+  GraphDb g;
+  NodeId ann = g.AddNode("ann");
+  NodeId bob = g.AddNode("bob");
+  NodeId eva = g.AddNode("eva");
+  NodeId leo = g.AddNode("leo");
+  g.AddEdge(ann, "advisor", eva);
+  g.AddEdge(bob, "advisor", eva);
+  g.AddEdge(eva, "advisor", leo);
+  g.AddEdge(bob, "coauthor", ann);
+  return g;
+}
+
+void PrintResult(const GraphDb& g, const Query& query,
+                 const QueryResult& result) {
+  if (query.IsBoolean()) {
+    std::cout << (result.AsBool() ? "true" : "false") << "\n";
+    return;
+  }
+  std::cout << result.tuples().size() << " answer(s)";
+  std::cout << "  [engine: " << result.stats().engine << "]\n";
+  size_t shown = 0;
+  for (size_t i = 0; i < result.tuples().size() && shown < 20; ++i, ++shown) {
+    const auto& tuple = result.tuples()[i];
+    std::cout << "  (";
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      if (k > 0) std::cout << ", ";
+      std::cout << g.NodeName(tuple[k]);
+    }
+    std::cout << ")";
+    if (result.has_path_answers()) {
+      const PathAnswerSet& answers = result.path_answers(i);
+      std::cout << (answers.IsInfinite() ? "  [∞ paths]" : "");
+      auto tuples = answers.Enumerate(1, 8);
+      if (!tuples.empty()) {
+        for (const Path& p : tuples[0]) {
+          std::cout << "\n      " << p.ToString(g);
+        }
+      }
+    }
+    std::cout << "\n";
+  }
+  if (result.tuples().size() > shown) {
+    std::cout << "  ... (" << result.tuples().size() - shown << " more)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GraphDb graph = DemoGraph();
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseGraphText(buffer.str());
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    graph = std::move(parsed).value();
+  }
+  std::cout << "Loaded graph: " << graph.num_nodes() << " nodes, "
+            << graph.num_edges() << " edges, alphabet {";
+  for (Symbol s = 0; s < graph.alphabet().size(); ++s) {
+    std::cout << (s ? ", " : "") << graph.alphabet().Label(s);
+  }
+  std::cout << "}\nType a query (Ans(...) <- ...), :graph, :help or :quit\n";
+
+  EvalOptions options;
+  options.max_configs = 10000000;
+  Evaluator evaluator(&graph, options);
+  RelationRegistry registry = RelationRegistry::Default();
+
+  std::string line;
+  while (std::cout << "ecrpq> " && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":graph") {
+      std::cout << GraphToText(graph);
+      continue;
+    }
+    if (line == ":help") {
+      std::cout << "  Ans(x, y) <- (x, p, y), a*(p)          CRPQ\n"
+                   "  Ans() <- (x, p, z), (z, q, y), eq(p, q) ECRPQ\n"
+                   "  Ans() <- (x, p, y), len(p) >= 3         counting\n"
+                   "  built-ins: eq el prefix strict_prefix shorter\n"
+                   "             shorter_eq edit1..3 hamming1..3\n"
+                   "  :graph :help :quit\n";
+      continue;
+    }
+    auto query = ParseQuery(line, graph.alphabet(), registry);
+    if (!query.ok()) {
+      std::cout << "parse error: " << query.status().ToString() << "\n";
+      continue;
+    }
+    auto optimized = OptimizeQuery(query.value());
+    if (!optimized.ok()) {
+      std::cout << "optimizer error: " << optimized.status().ToString()
+                << "\n";
+      continue;
+    }
+    std::cout << "[" << Analyze(optimized.value().query).Describe();
+    if (optimized.value().report.fused_language_atoms +
+            optimized.value().report.dropped_universal >
+        0) {
+      std::cout << "; optimizer: " << optimized.value().report.Describe();
+    }
+    std::cout << "]\n";
+    if (optimized.value().report.proven_empty) {
+      std::cout << "statically empty\n";
+      continue;
+    }
+    auto result = evaluator.Evaluate(optimized.value().query);
+    if (!result.ok()) {
+      std::cout << "evaluation error: " << result.status().ToString() << "\n";
+      continue;
+    }
+    PrintResult(graph, optimized.value().query, result.value());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "automata/alphabet.h"
+
+namespace ecrpq {
+
+std::shared_ptr<Alphabet> Alphabet::FromLabels(
+    std::initializer_list<std::string_view> labels) {
+  auto alphabet = std::make_shared<Alphabet>();
+  for (auto label : labels) alphabet->Intern(label);
+  return alphabet;
+}
+
+std::shared_ptr<Alphabet> Alphabet::FromLabels(
+    const std::vector<std::string>& labels) {
+  auto alphabet = std::make_shared<Alphabet>();
+  for (const auto& label : labels) alphabet->Intern(label);
+  return alphabet;
+}
+
+Symbol Alphabet::Intern(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(labels_.size());
+  labels_.emplace_back(label);
+  index_.emplace(labels_.back(), id);
+  return id;
+}
+
+std::optional<Symbol> Alphabet::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Alphabet::Label(Symbol symbol) const {
+  ECRPQ_DCHECK(symbol >= 0 && symbol < size());
+  return labels_[static_cast<size_t>(symbol)];
+}
+
+std::string Alphabet::Format(const Word& word, std::string_view sep) const {
+  std::string out;
+  bool first = true;
+  for (Symbol s : word) {
+    if (!first && !sep.empty()) out += sep;
+    out += Label(s);
+    first = false;
+  }
+  return out;
+}
+
+Result<Word> Alphabet::WordFromChars(std::string_view text) const {
+  Word word;
+  word.reserve(text.size());
+  for (char c : text) {
+    auto sym = Find(std::string_view(&c, 1));
+    if (!sym.has_value()) {
+      return Status::NotFound(std::string("label not in alphabet: '") + c +
+                              "'");
+    }
+    word.push_back(*sym);
+  }
+  return word;
+}
+
+}  // namespace ecrpq

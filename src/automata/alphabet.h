@@ -1,0 +1,72 @@
+// Finite alphabets of edge labels.
+//
+// Graph databases, regular languages and regular relations all share a base
+// alphabet Σ. Labels are user-facing strings; the library works with dense
+// integer `Symbol` ids assigned by an Alphabet in interning order.
+
+#ifndef ECRPQ_AUTOMATA_ALPHABET_H_
+#define ECRPQ_AUTOMATA_ALPHABET_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// Dense id of a letter within an Alphabet. Valid ids are [0, alphabet size).
+using Symbol = int32_t;
+
+/// A word over Σ, as a sequence of symbol ids.
+using Word = std::vector<Symbol>;
+
+/// An interning table mapping label strings to dense Symbol ids.
+///
+/// Alphabets are append-only: ids remain stable once assigned, so automata
+/// and relations built against an alphabet stay valid when more labels are
+/// interned later (they simply never match the new letters).
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Creates an alphabet containing the given labels, in order.
+  static std::shared_ptr<Alphabet> FromLabels(
+      std::initializer_list<std::string_view> labels);
+  static std::shared_ptr<Alphabet> FromLabels(
+      const std::vector<std::string>& labels);
+
+  /// Returns the id for `label`, interning it if new.
+  Symbol Intern(std::string_view label);
+
+  /// Returns the id for `label` if present.
+  std::optional<Symbol> Find(std::string_view label) const;
+
+  /// Returns the label of `symbol`. Requires 0 <= symbol < size().
+  const std::string& Label(Symbol symbol) const;
+
+  /// Number of interned labels.
+  int size() const { return static_cast<int>(labels_.size()); }
+
+  /// Renders a word as concatenated labels. Multi-character labels are
+  /// separated by `sep` from their neighbours.
+  std::string Format(const Word& word, std::string_view sep = "") const;
+
+  /// Converts a string of single-character labels to a Word.
+  /// Fails if any character is not an interned label.
+  Result<Word> WordFromChars(std::string_view text) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+using AlphabetPtr = std::shared_ptr<Alphabet>;
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_ALPHABET_H_

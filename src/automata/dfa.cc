@@ -1,0 +1,41 @@
+#include "automata/dfa.h"
+
+namespace ecrpq {
+
+Dfa::Dfa(int num_symbols, int num_states)
+    : num_symbols_(num_symbols),
+      table_(static_cast<size_t>(num_states) *
+                 static_cast<size_t>(num_symbols),
+             0),
+      accepting_(num_states, false) {
+  ECRPQ_DCHECK(num_symbols >= 0);
+  ECRPQ_DCHECK(num_states >= 1);
+}
+
+bool Dfa::Accepts(const Word& word) const {
+  StateId s = initial_;
+  for (Symbol symbol : word) {
+    ECRPQ_DCHECK(symbol >= 0 && symbol < num_symbols_);
+    s = Next(s, symbol);
+  }
+  return accepting_[s];
+}
+
+void Dfa::ComplementInPlace() {
+  for (size_t i = 0; i < accepting_.size(); ++i) accepting_[i] = !accepting_[i];
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa nfa(num_symbols_);
+  nfa.AddStates(num_states());
+  nfa.SetInitial(initial_);
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) nfa.SetAccepting(s);
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      nfa.AddTransition(s, a, Next(s, a));
+    }
+  }
+  return nfa;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,61 @@
+// Deterministic finite automata with a complete transition table.
+//
+// Dfa instances are produced by subset construction (see operations.h) and
+// are always complete: every (state, symbol) pair has a successor; a dead
+// sink state absorbs missing transitions. This makes complementation a flag
+// flip and equivalence/minimization straightforward.
+
+#ifndef ECRPQ_AUTOMATA_DFA_H_
+#define ECRPQ_AUTOMATA_DFA_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// A complete deterministic finite automaton.
+class Dfa {
+ public:
+  /// Creates a DFA over symbols [0, num_symbols) with `num_states` states,
+  /// all transitions initially pointing at state 0.
+  Dfa(int num_symbols, int num_states);
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  int num_symbols() const { return num_symbols_; }
+
+  StateId initial() const { return initial_; }
+  void set_initial(StateId s) { initial_ = s; }
+
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  void SetAccepting(StateId s, bool accepting = true) {
+    accepting_[s] = accepting;
+  }
+
+  StateId Next(StateId s, Symbol symbol) const {
+    return table_[static_cast<size_t>(s) * num_symbols_ + symbol];
+  }
+  void SetNext(StateId s, Symbol symbol, StateId to) {
+    table_[static_cast<size_t>(s) * num_symbols_ + symbol] = to;
+  }
+
+  bool Accepts(const Word& word) const;
+
+  /// Flips accepting states in place (valid because the DFA is complete).
+  void ComplementInPlace();
+
+  /// View as an Nfa (used to re-enter the generic operation pipeline).
+  Nfa ToNfa() const;
+
+ private:
+  int num_symbols_;
+  StateId initial_ = 0;
+  std::vector<StateId> table_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_DFA_H_

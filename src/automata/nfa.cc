@@ -1,0 +1,121 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+Nfa::Nfa(int num_symbols) : num_symbols_(num_symbols) {
+  ECRPQ_DCHECK(num_symbols >= 0);
+}
+
+StateId Nfa::AddState() {
+  arcs_.emplace_back();
+  initial_.push_back(false);
+  accepting_.push_back(false);
+  return static_cast<StateId>(arcs_.size() - 1);
+}
+
+StateId Nfa::AddStates(int count) {
+  ECRPQ_DCHECK(count >= 0);
+  StateId first = static_cast<StateId>(arcs_.size());
+  for (int i = 0; i < count; ++i) AddState();
+  return first;
+}
+
+void Nfa::AddTransition(StateId from, Symbol symbol, StateId to) {
+  ECRPQ_DCHECK(from >= 0 && from < num_states());
+  ECRPQ_DCHECK(to >= 0 && to < num_states());
+  ECRPQ_DCHECK(symbol == kEpsilon || (symbol >= 0 && symbol < num_symbols_));
+  arcs_[from].emplace_back(symbol, to);
+  ++num_transitions_;
+  if (symbol == kEpsilon) ++num_epsilon_arcs_;
+}
+
+void Nfa::SetInitial(StateId state, bool initial) {
+  ECRPQ_DCHECK(state >= 0 && state < num_states());
+  initial_[state] = initial;
+}
+
+void Nfa::SetAccepting(StateId state, bool accepting) {
+  ECRPQ_DCHECK(state >= 0 && state < num_states());
+  accepting_[state] = accepting;
+}
+
+std::vector<StateId> Nfa::InitialStates() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (initial_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<StateId> Nfa::AcceptingStates() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<StateId> Nfa::EpsilonClosure(std::vector<StateId> states) const {
+  if (!HasEpsilonArcs()) {
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+    return states;
+  }
+  std::vector<bool> seen(num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  std::vector<StateId> out = stack;
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : arcs_[s]) {
+      if (arc.first == kEpsilon && !seen[arc.second]) {
+        seen[arc.second] = true;
+        stack.push_back(arc.second);
+        out.push_back(arc.second);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Nfa::Accepts(const Word& word) const {
+  std::vector<StateId> current = EpsilonClosure(InitialStates());
+  std::vector<bool> mark(num_states(), false);
+  for (Symbol symbol : word) {
+    ECRPQ_DCHECK(symbol >= 0 && symbol < num_symbols_);
+    std::vector<StateId> next;
+    std::fill(mark.begin(), mark.end(), false);
+    for (StateId s : current) {
+      for (const Arc& arc : arcs_[s]) {
+        if (arc.first == symbol && !mark[arc.second]) {
+          mark[arc.second] = true;
+          next.push_back(arc.second);
+        }
+      }
+    }
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) return false;
+  }
+  for (StateId s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+bool Nfa::AcceptsEmptyWord() const {
+  for (StateId s : EpsilonClosure(InitialStates())) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,590 @@
+#include "automata/operations.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace ecrpq {
+
+namespace {
+
+// Copies `src` into `dst` with all state ids shifted by `offset`.
+// Returns the offset of the first copied state.
+StateId AppendStates(const Nfa& src, Nfa* dst, bool keep_initial,
+                     bool keep_accepting) {
+  StateId offset = dst->AddStates(src.num_states());
+  for (StateId s = 0; s < src.num_states(); ++s) {
+    if (keep_initial && src.IsInitial(s)) dst->SetInitial(offset + s);
+    if (keep_accepting && src.IsAccepting(s)) dst->SetAccepting(offset + s);
+    for (const Nfa::Arc& arc : src.ArcsFrom(s)) {
+      dst->AddTransition(offset + s, arc.first, offset + arc.second);
+    }
+  }
+  return offset;
+}
+
+std::vector<bool> ReachableStates(const Nfa& nfa) {
+  std::vector<bool> seen(nfa.num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId s : nfa.InitialStates()) {
+    seen[s] = true;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      if (!seen[arc.second]) {
+        seen[arc.second] = true;
+        stack.push_back(arc.second);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> CoReachableStates(const Nfa& nfa) {
+  std::vector<std::vector<StateId>> rev(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      rev[arc.second].push_back(s);
+    }
+  }
+  std::vector<bool> seen(nfa.num_states(), false);
+  std::vector<StateId> stack;
+  for (StateId s : nfa.AcceptingStates()) {
+    seen[s] = true;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (StateId p : rev[s]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+Nfa RemoveEpsilons(const Nfa& nfa) {
+  if (!nfa.HasEpsilonArcs()) return nfa;
+  Nfa out(nfa.num_symbols());
+  out.AddStates(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    std::vector<StateId> closure = nfa.EpsilonClosure({s});
+    bool accepting = false;
+    for (StateId c : closure) {
+      if (nfa.IsAccepting(c)) accepting = true;
+      for (const Nfa::Arc& arc : nfa.ArcsFrom(c)) {
+        if (arc.first != kEpsilon) {
+          out.AddTransition(s, arc.first, arc.second);
+        }
+      }
+    }
+    if (accepting) out.SetAccepting(s);
+    if (nfa.IsInitial(s)) out.SetInitial(s);
+  }
+  return out;
+}
+
+Nfa Trim(const Nfa& nfa) {
+  std::vector<bool> fwd = ReachableStates(nfa);
+  std::vector<bool> bwd = CoReachableStates(nfa);
+  std::vector<StateId> remap(nfa.num_states(), -1);
+  Nfa out(nfa.num_symbols());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (fwd[s] && bwd[s]) {
+      remap[s] = out.AddState();
+      out.SetInitial(remap[s], nfa.IsInitial(s));
+      out.SetAccepting(remap[s], nfa.IsAccepting(s));
+    }
+  }
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (remap[s] < 0) continue;
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      if (remap[arc.second] >= 0) {
+        out.AddTransition(remap[s], arc.first, remap[arc.second]);
+      }
+    }
+  }
+  return out;
+}
+
+Nfa Reverse(const Nfa& nfa) {
+  Nfa out(nfa.num_symbols());
+  out.AddStates(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsInitial(s)) out.SetAccepting(s);
+    if (nfa.IsAccepting(s)) out.SetInitial(s);
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      out.AddTransition(arc.second, arc.first, s);
+    }
+  }
+  return out;
+}
+
+Nfa UnionNfa(const Nfa& a, const Nfa& b) {
+  ECRPQ_DCHECK(a.num_symbols() == b.num_symbols());
+  Nfa out(a.num_symbols());
+  AppendStates(a, &out, /*keep_initial=*/true, /*keep_accepting=*/true);
+  AppendStates(b, &out, /*keep_initial=*/true, /*keep_accepting=*/true);
+  return out;
+}
+
+Nfa ConcatNfa(const Nfa& a, const Nfa& b) {
+  ECRPQ_DCHECK(a.num_symbols() == b.num_symbols());
+  Nfa out(a.num_symbols());
+  StateId a_off =
+      AppendStates(a, &out, /*keep_initial=*/true, /*keep_accepting=*/false);
+  StateId b_off =
+      AppendStates(b, &out, /*keep_initial=*/false, /*keep_accepting=*/true);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (!a.IsAccepting(s)) continue;
+    for (StateId t = 0; t < b.num_states(); ++t) {
+      if (b.IsInitial(t)) {
+        out.AddTransition(a_off + s, kEpsilon, b_off + t);
+      }
+    }
+  }
+  return out;
+}
+
+Nfa StarNfa(const Nfa& a) {
+  Nfa out = PlusNfa(a);
+  StateId start = out.AddState();
+  out.SetInitial(start);
+  out.SetAccepting(start);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (a.IsInitial(s)) out.AddTransition(start, kEpsilon, s);
+  }
+  return out;
+}
+
+Nfa PlusNfa(const Nfa& a) {
+  Nfa out(a.num_symbols());
+  AppendStates(a, &out, /*keep_initial=*/true, /*keep_accepting=*/true);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (!a.IsAccepting(s)) continue;
+    for (StateId t = 0; t < a.num_states(); ++t) {
+      if (a.IsInitial(t)) out.AddTransition(s, kEpsilon, t);
+    }
+  }
+  return out;
+}
+
+Nfa OptionalNfa(const Nfa& a) {
+  Nfa out(a.num_symbols());
+  AppendStates(a, &out, /*keep_initial=*/true, /*keep_accepting=*/true);
+  StateId start = out.AddState();
+  out.SetInitial(start);
+  out.SetAccepting(start);
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    if (a.IsInitial(s)) out.AddTransition(start, kEpsilon, s);
+  }
+  return out;
+}
+
+Nfa IntersectNfa(const Nfa& a_in, const Nfa& b_in) {
+  ECRPQ_DCHECK(a_in.num_symbols() == b_in.num_symbols());
+  const Nfa a = RemoveEpsilons(a_in);
+  const Nfa b = RemoveEpsilons(b_in);
+  Nfa out(a.num_symbols());
+
+  // On-the-fly product over reachable pairs only.
+  std::unordered_map<uint64_t, StateId> ids;
+  std::vector<std::pair<StateId, StateId>> pairs;
+  auto key = [&](StateId x, StateId y) {
+    return (static_cast<uint64_t>(x) << 32) | static_cast<uint32_t>(y);
+  };
+  std::queue<std::pair<StateId, StateId>> work;
+  auto get = [&](StateId x, StateId y) {
+    auto [it, inserted] = ids.emplace(key(x, y), 0);
+    if (inserted) {
+      it->second = out.AddState();
+      pairs.emplace_back(x, y);
+      work.emplace(x, y);
+      if (a.IsAccepting(x) && b.IsAccepting(y)) out.SetAccepting(it->second);
+    }
+    return it->second;
+  };
+  for (StateId x : a.InitialStates()) {
+    for (StateId y : b.InitialStates()) {
+      out.SetInitial(get(x, y));
+    }
+  }
+  while (!work.empty()) {
+    auto [x, y] = work.front();
+    work.pop();
+    StateId from = ids[key(x, y)];
+    // Group b's arcs by symbol for pairing.
+    for (const Nfa::Arc& ax : a.ArcsFrom(x)) {
+      for (const Nfa::Arc& by : b.ArcsFrom(y)) {
+        if (ax.first == by.first) {
+          out.AddTransition(from, ax.first, get(ax.second, by.second));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dfa Determinize(const Nfa& nfa_in) {
+  const Nfa nfa = RemoveEpsilons(nfa_in);
+  // Map from sorted state sets to DFA ids.
+  std::map<std::vector<StateId>, StateId> ids;
+  std::vector<std::vector<StateId>> sets;
+  std::vector<bool> accepting;
+
+  auto intern = [&](std::vector<StateId> set) {
+    auto [it, inserted] = ids.emplace(std::move(set), 0);
+    if (inserted) {
+      it->second = static_cast<StateId>(sets.size());
+      sets.push_back(it->first);
+      bool acc = false;
+      for (StateId s : it->first) acc = acc || nfa.IsAccepting(s);
+      accepting.push_back(acc);
+    }
+    return it->second;
+  };
+
+  StateId initial = intern(nfa.InitialStates());
+  std::vector<std::vector<StateId>> table;  // per dfa state: per symbol
+  for (size_t i = 0; i < sets.size(); ++i) {
+    std::vector<StateId> row(nfa.num_symbols());
+    // Successor sets per symbol.
+    std::vector<std::vector<StateId>> next(nfa.num_symbols());
+    for (StateId s : sets[i]) {
+      for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+        next[arc.first].push_back(arc.second);
+      }
+    }
+    for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+      std::sort(next[a].begin(), next[a].end());
+      next[a].erase(std::unique(next[a].begin(), next[a].end()),
+                    next[a].end());
+      row[a] = intern(std::move(next[a]));
+    }
+    table.push_back(std::move(row));
+  }
+
+  Dfa dfa(nfa.num_symbols(), static_cast<int>(sets.size()));
+  dfa.set_initial(initial);
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (accepting[i]) dfa.SetAccepting(static_cast<StateId>(i));
+    for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+      dfa.SetNext(static_cast<StateId>(i), a, table[i][a]);
+    }
+  }
+  return dfa;
+}
+
+Dfa Minimize(const Dfa& dfa) {
+  const int n = dfa.num_states();
+  const int k = dfa.num_symbols();
+
+  // Restrict to reachable states first.
+  std::vector<bool> reach(n, false);
+  std::vector<StateId> stack = {dfa.initial()};
+  reach[dfa.initial()] = true;
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (Symbol a = 0; a < k; ++a) {
+      StateId t = dfa.Next(s, a);
+      if (!reach[t]) {
+        reach[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+
+  // Moore partition refinement on reachable states.
+  std::vector<int> cls(n, -1);
+  for (StateId s = 0; s < n; ++s) {
+    if (reach[s]) cls[s] = dfa.IsAccepting(s) ? 1 : 0;
+  }
+  int num_classes = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> sig_to_class;
+    std::vector<int> new_cls(n, -1);
+    for (StateId s = 0; s < n; ++s) {
+      if (!reach[s]) continue;
+      std::vector<int> sig;
+      sig.reserve(k + 1);
+      sig.push_back(cls[s]);
+      for (Symbol a = 0; a < k; ++a) sig.push_back(cls[dfa.Next(s, a)]);
+      auto [it, inserted] =
+          sig_to_class.emplace(std::move(sig), static_cast<int>(sig_to_class.size()));
+      new_cls[s] = it->second;
+      (void)inserted;
+    }
+    int new_count = static_cast<int>(sig_to_class.size());
+    if (new_count != num_classes) changed = true;
+    cls = std::move(new_cls);
+    num_classes = new_count;
+  }
+
+  Dfa out(k, num_classes);
+  out.set_initial(cls[dfa.initial()]);
+  for (StateId s = 0; s < n; ++s) {
+    if (!reach[s]) continue;
+    if (dfa.IsAccepting(s)) out.SetAccepting(cls[s]);
+    for (Symbol a = 0; a < k; ++a) {
+      out.SetNext(cls[s], a, cls[dfa.Next(s, a)]);
+    }
+  }
+  return out;
+}
+
+Nfa ComplementNfa(const Nfa& nfa) {
+  Dfa dfa = Determinize(nfa);
+  dfa.ComplementInPlace();
+  return dfa.ToNfa();
+}
+
+bool IsEmpty(const Nfa& nfa) {
+  std::vector<bool> reach = ReachableStates(nfa);
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (reach[s] && nfa.IsAccepting(s)) return false;
+  }
+  return true;
+}
+
+bool IsInfinite(const Nfa& nfa_in) {
+  // Infinite iff the trimmed ε-free automaton has a non-ε cycle.
+  Nfa nfa = Trim(RemoveEpsilons(nfa_in));
+  const int n = nfa.num_states();
+  // Iterative DFS cycle detection (colors: 0 white, 1 gray, 2 black).
+  std::vector<int> color(n, 0);
+  for (StateId root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<StateId, size_t>> stack = {{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      const auto& arcs = nfa.ArcsFrom(s);
+      if (idx < arcs.size()) {
+        StateId t = arcs[idx++].second;
+        if (color[t] == 1) return true;  // back edge
+        if (color[t] == 0) {
+          color[t] = 1;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        color[s] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool IsSubsetOf(const Nfa& a, const Nfa& b) {
+  return IsEmpty(IntersectNfa(a, ComplementNfa(b)));
+}
+
+bool AreEquivalent(const Nfa& a, const Nfa& b) {
+  return IsSubsetOf(a, b) && IsSubsetOf(b, a);
+}
+
+std::optional<Word> ShortestWord(const Nfa& nfa_in) {
+  const Nfa nfa = RemoveEpsilons(nfa_in);
+  std::vector<StateId> parent(nfa.num_states(), -1);
+  std::vector<Symbol> via(nfa.num_states(), -1);
+  std::vector<bool> seen(nfa.num_states(), false);
+  std::queue<StateId> work;
+  for (StateId s : nfa.InitialStates()) {
+    seen[s] = true;
+    work.push(s);
+  }
+  StateId goal = -1;
+  // Check immediate acceptance.
+  for (StateId s : nfa.InitialStates()) {
+    if (nfa.IsAccepting(s)) return Word{};
+  }
+  while (!work.empty() && goal < 0) {
+    StateId s = work.front();
+    work.pop();
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      if (!seen[arc.second]) {
+        seen[arc.second] = true;
+        parent[arc.second] = s;
+        via[arc.second] = arc.first;
+        if (nfa.IsAccepting(arc.second)) {
+          goal = arc.second;
+          break;
+        }
+        work.push(arc.second);
+      }
+    }
+  }
+  if (goal < 0) return std::nullopt;
+  Word word;
+  for (StateId s = goal; parent[s] >= 0 || via[s] >= 0; s = parent[s]) {
+    word.push_back(via[s]);
+    if (parent[s] < 0) break;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+std::vector<Word> EnumerateWords(const Nfa& nfa_in, int max_count,
+                                 int max_len) {
+  const Nfa nfa = RemoveEpsilons(nfa_in);
+  std::vector<Word> out;
+  if (max_count <= 0) return out;
+
+  // BFS over subset-construction states, expanding symbols in order; this
+  // yields distinct words in length-then-lex order.
+  struct Item {
+    std::vector<StateId> set;
+    Word word;
+  };
+  std::queue<Item> work;
+  std::vector<StateId> init = nfa.InitialStates();
+  std::sort(init.begin(), init.end());
+  work.push({init, {}});
+  while (!work.empty() && static_cast<int>(out.size()) < max_count) {
+    Item item = std::move(work.front());
+    work.pop();
+    bool accepting = false;
+    for (StateId s : item.set) accepting = accepting || nfa.IsAccepting(s);
+    if (accepting) out.push_back(item.word);
+    if (static_cast<int>(item.word.size()) >= max_len) continue;
+    for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+      std::vector<StateId> next;
+      for (StateId s : item.set) {
+        for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+          if (arc.first == a) next.push_back(arc.second);
+        }
+      }
+      if (next.empty()) continue;
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      Word w = item.word;
+      w.push_back(a);
+      work.push({std::move(next), std::move(w)});
+    }
+  }
+  if (static_cast<int>(out.size()) > max_count) out.resize(max_count);
+  return out;
+}
+
+namespace {
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? UINT64_MAX : s;
+}
+}  // namespace
+
+uint64_t CountWordsOfLength(const Nfa& nfa_in, int len) {
+  // Count distinct words via on-the-fly subset construction with a DP over
+  // lengths. Subset states are interned; counts flow along DFA transitions.
+  const Nfa nfa = RemoveEpsilons(nfa_in);
+  std::map<std::vector<StateId>, StateId> ids;
+  std::vector<std::vector<StateId>> sets;
+  auto intern = [&](std::vector<StateId> set) -> StateId {
+    auto [it, inserted] = ids.emplace(std::move(set), 0);
+    if (inserted) {
+      it->second = static_cast<StateId>(sets.size());
+      sets.push_back(it->first);
+    }
+    return it->second;
+  };
+  std::vector<StateId> init = nfa.InitialStates();
+  std::sort(init.begin(), init.end());
+  if (init.empty()) return 0;
+  intern(init);
+
+  std::unordered_map<StateId, uint64_t> current;
+  current[0] = 1;
+  for (int step = 0; step < len; ++step) {
+    std::unordered_map<StateId, uint64_t> next;
+    for (const auto& [id, count] : current) {
+      std::vector<std::vector<StateId>> succ(nfa.num_symbols());
+      for (StateId s : sets[id]) {
+        for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+          succ[arc.first].push_back(arc.second);
+        }
+      }
+      for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+        if (succ[a].empty()) continue;
+        std::sort(succ[a].begin(), succ[a].end());
+        succ[a].erase(std::unique(succ[a].begin(), succ[a].end()),
+                      succ[a].end());
+        StateId t = intern(std::move(succ[a]));
+        uint64_t& slot = next[t];
+        slot = SaturatingAdd(slot, count);
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) return 0;
+  }
+  uint64_t total = 0;
+  for (const auto& [id, count] : current) {
+    bool accepting = false;
+    for (StateId s : sets[id]) accepting = accepting || nfa.IsAccepting(s);
+    if (accepting) total = SaturatingAdd(total, count);
+  }
+  return total;
+}
+
+uint64_t CountWordsUpTo(const Nfa& nfa, int len) {
+  uint64_t total = 0;
+  for (int l = 0; l <= len; ++l) {
+    total = SaturatingAdd(total, CountWordsOfLength(nfa, l));
+  }
+  return total;
+}
+
+Nfa FromWords(int num_symbols, const std::vector<Word>& words) {
+  Nfa out(num_symbols);
+  StateId root = out.AddState();
+  out.SetInitial(root);
+  // Simple trie.
+  for (const Word& word : words) {
+    StateId at = root;
+    for (Symbol a : word) {
+      StateId next = -1;
+      for (const Nfa::Arc& arc : out.ArcsFrom(at)) {
+        if (arc.first == a) {
+          next = arc.second;
+          break;
+        }
+      }
+      if (next < 0) {
+        next = out.AddState();
+        out.AddTransition(at, a, next);
+      }
+      at = next;
+    }
+    out.SetAccepting(at);
+  }
+  return out;
+}
+
+Nfa UniverseNfa(int num_symbols) {
+  Nfa out(num_symbols);
+  StateId s = out.AddState();
+  out.SetInitial(s);
+  out.SetAccepting(s);
+  for (Symbol a = 0; a < num_symbols; ++a) out.AddTransition(s, a, s);
+  return out;
+}
+
+Nfa EmptyNfa(int num_symbols) {
+  Nfa out(num_symbols);
+  StateId s = out.AddState();
+  out.SetInitial(s);
+  return out;
+}
+
+}  // namespace ecrpq

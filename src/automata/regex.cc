@@ -1,0 +1,372 @@
+#include "automata/regex.h"
+
+#include <cctype>
+
+namespace ecrpq {
+
+RegexPtr Regex::EmptySet() {
+  return RegexPtr(new Regex(Kind::kEmptySet, -1, nullptr, nullptr));
+}
+RegexPtr Regex::Epsilon() {
+  return RegexPtr(new Regex(Kind::kEpsilon, -1, nullptr, nullptr));
+}
+RegexPtr Regex::Letter(Symbol symbol) {
+  ECRPQ_DCHECK(symbol >= 0);
+  return RegexPtr(new Regex(Kind::kSymbol, symbol, nullptr, nullptr));
+}
+RegexPtr Regex::Any() {
+  return RegexPtr(new Regex(Kind::kAnySymbol, -1, nullptr, nullptr));
+}
+RegexPtr Regex::Union(RegexPtr a, RegexPtr b) {
+  return RegexPtr(
+      new Regex(Kind::kUnion, -1, std::move(a), std::move(b)));
+}
+RegexPtr Regex::Concat(RegexPtr a, RegexPtr b) {
+  return RegexPtr(
+      new Regex(Kind::kConcat, -1, std::move(a), std::move(b)));
+}
+RegexPtr Regex::Star(RegexPtr a) {
+  return RegexPtr(new Regex(Kind::kStar, -1, std::move(a), nullptr));
+}
+RegexPtr Regex::Plus(RegexPtr a) {
+  return RegexPtr(new Regex(Kind::kPlus, -1, std::move(a), nullptr));
+}
+RegexPtr Regex::Optional(RegexPtr a) {
+  return RegexPtr(new Regex(Kind::kOptional, -1, std::move(a), nullptr));
+}
+
+RegexPtr Regex::UnionAll(const std::vector<RegexPtr>& parts) {
+  if (parts.empty()) return EmptySet();
+  RegexPtr out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) out = Union(out, parts[i]);
+  return out;
+}
+
+RegexPtr Regex::ConcatAll(const std::vector<RegexPtr>& parts) {
+  if (parts.empty()) return Epsilon();
+  RegexPtr out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) out = Concat(out, parts[i]);
+  return out;
+}
+
+RegexPtr Regex::Literal(const Word& word) {
+  std::vector<RegexPtr> parts;
+  parts.reserve(word.size());
+  for (Symbol s : word) parts.push_back(Letter(s));
+  return ConcatAll(parts);
+}
+
+namespace {
+// Thompson fragment: start and end states within a shared NFA.
+struct Fragment {
+  StateId start;
+  StateId end;
+};
+
+Fragment Build(const Regex& re, int num_symbols, Nfa* nfa) {
+  StateId start = nfa->AddState();
+  StateId end = nfa->AddState();
+  switch (re.kind()) {
+    case Regex::Kind::kEmptySet:
+      break;  // no connection
+    case Regex::Kind::kEpsilon:
+      nfa->AddTransition(start, kEpsilon, end);
+      break;
+    case Regex::Kind::kSymbol:
+      ECRPQ_DCHECK(re.symbol() < num_symbols);
+      nfa->AddTransition(start, re.symbol(), end);
+      break;
+    case Regex::Kind::kAnySymbol:
+      for (Symbol a = 0; a < num_symbols; ++a) {
+        nfa->AddTransition(start, a, end);
+      }
+      break;
+    case Regex::Kind::kUnion: {
+      Fragment l = Build(*re.left(), num_symbols, nfa);
+      Fragment r = Build(*re.right(), num_symbols, nfa);
+      nfa->AddTransition(start, kEpsilon, l.start);
+      nfa->AddTransition(start, kEpsilon, r.start);
+      nfa->AddTransition(l.end, kEpsilon, end);
+      nfa->AddTransition(r.end, kEpsilon, end);
+      break;
+    }
+    case Regex::Kind::kConcat: {
+      Fragment l = Build(*re.left(), num_symbols, nfa);
+      Fragment r = Build(*re.right(), num_symbols, nfa);
+      nfa->AddTransition(start, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, r.start);
+      nfa->AddTransition(r.end, kEpsilon, end);
+      break;
+    }
+    case Regex::Kind::kStar: {
+      Fragment l = Build(*re.left(), num_symbols, nfa);
+      nfa->AddTransition(start, kEpsilon, end);
+      nfa->AddTransition(start, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, end);
+      break;
+    }
+    case Regex::Kind::kPlus: {
+      Fragment l = Build(*re.left(), num_symbols, nfa);
+      nfa->AddTransition(start, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, end);
+      break;
+    }
+    case Regex::Kind::kOptional: {
+      Fragment l = Build(*re.left(), num_symbols, nfa);
+      nfa->AddTransition(start, kEpsilon, end);
+      nfa->AddTransition(start, kEpsilon, l.start);
+      nfa->AddTransition(l.end, kEpsilon, end);
+      break;
+    }
+  }
+  return {start, end};
+}
+}  // namespace
+
+Nfa Regex::ToNfa(int num_symbols) const {
+  Nfa nfa(num_symbols);
+  Fragment f = Build(*this, num_symbols, &nfa);
+  nfa.SetInitial(f.start);
+  nfa.SetAccepting(f.end);
+  return nfa;
+}
+
+namespace {
+int Precedence(Regex::Kind kind) {
+  switch (kind) {
+    case Regex::Kind::kUnion:
+      return 0;
+    case Regex::Kind::kConcat:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+void Render(const Regex& re, const Alphabet& alphabet, std::string* out) {
+  auto child = [&](const Regex& c) {
+    bool parens = Precedence(c.kind()) < Precedence(re.kind()) ||
+                  (re.kind() != Regex::Kind::kUnion &&
+                   re.kind() != Regex::Kind::kConcat &&
+                   Precedence(c.kind()) < 2);
+    if (parens) out->push_back('(');
+    Render(c, alphabet, out);
+    if (parens) out->push_back(')');
+  };
+  switch (re.kind()) {
+    case Regex::Kind::kEmptySet:
+      *out += "\\0";
+      break;
+    case Regex::Kind::kEpsilon:
+      *out += "\\e";
+      break;
+    case Regex::Kind::kSymbol: {
+      const std::string& label = alphabet.Label(re.symbol());
+      if (label.size() == 1 && std::isalnum(static_cast<unsigned char>(
+                                   label[0]))) {
+        *out += label;
+      } else {
+        *out += "'" + label + "'";
+      }
+      break;
+    }
+    case Regex::Kind::kAnySymbol:
+      out->push_back('.');
+      break;
+    case Regex::Kind::kUnion:
+      Render(*re.left(), alphabet, out);
+      out->push_back('|');
+      Render(*re.right(), alphabet, out);
+      break;
+    case Regex::Kind::kConcat:
+      child(*re.left());
+      child(*re.right());
+      break;
+    case Regex::Kind::kStar:
+      child(*re.left());
+      out->push_back('*');
+      break;
+    case Regex::Kind::kPlus:
+      child(*re.left());
+      out->push_back('+');
+      break;
+    case Regex::Kind::kOptional:
+      child(*re.left());
+      out->push_back('?');
+      break;
+  }
+}
+}  // namespace
+
+std::string Regex::ToString(const Alphabet& alphabet) const {
+  std::string out;
+  Render(*this, alphabet, &out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet* alphabet, const Alphabet* strict)
+      : text_(text), alphabet_(alphabet), strict_(strict) {}
+
+  Result<RegexPtr> Parse() {
+    auto expr = ParseUnion();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("unexpected character at offset " +
+                                     std::to_string(pos_) + " in regex: " +
+                                     std::string(text_));
+    }
+    return expr;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '(' ||
+           c == '\'' || c == '.' || c == '\\' || c == '_';
+  }
+
+  Result<RegexPtr> ParseUnion() {
+    auto left = ParseConcat();
+    if (!left.ok()) return left;
+    RegexPtr out = std::move(left).value();
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '|') {
+      ++pos_;
+      auto right = ParseConcat();
+      if (!right.ok()) return right;
+      out = Regex::Union(out, std::move(right).value());
+      SkipSpace();
+    }
+    return out;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    std::vector<RegexPtr> parts;
+    while (AtAtomStart()) {
+      auto factor = ParseFactor();
+      if (!factor.ok()) return factor;
+      parts.push_back(std::move(factor).value());
+    }
+    return Regex::ConcatAll(parts);
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr out = std::move(atom).value();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '*') {
+        out = Regex::Star(out);
+        ++pos_;
+      } else if (c == '+') {
+        out = Regex::Plus(out);
+        ++pos_;
+      } else if (c == '?') {
+        out = Regex::Optional(out);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<RegexPtr> MakeLetter(std::string_view label) {
+    if (strict_ != nullptr) {
+      auto sym = strict_->Find(label);
+      if (!sym.has_value()) {
+        return Status::NotFound("letter '" + std::string(label) +
+                                "' not in alphabet");
+      }
+      return Regex::Letter(*sym);
+    }
+    return Regex::Letter(alphabet_->Intern(label));
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("regex ended unexpectedly");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument("missing ')' in regex");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '.') {
+      ++pos_;
+      return Regex::Any();
+    }
+    if (c == '\\') {
+      if (pos_ + 1 >= text_.size()) {
+        return Status::InvalidArgument("dangling '\\' in regex");
+      }
+      char e = text_[pos_ + 1];
+      pos_ += 2;
+      if (e == 'e') return Regex::Epsilon();
+      if (e == '0') return Regex::EmptySet();
+      return Status::InvalidArgument(std::string("unknown escape '\\") + e +
+                                     "'");
+    }
+    if (c == '\'') {
+      size_t end = text_.find('\'', pos_ + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted label");
+      }
+      std::string_view label = text_.substr(pos_ + 1, end - pos_ - 1);
+      if (label.empty()) {
+        return Status::InvalidArgument("empty quoted label");
+      }
+      pos_ = end + 1;
+      return MakeLetter(label);
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      ++pos_;
+      return MakeLetter(text_.substr(pos_ - 1, 1));
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in regex");
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  const Alphabet* strict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet) {
+  return Parser(text, alphabet, nullptr).Parse();
+}
+
+Result<RegexPtr> ParseRegexStrict(std::string_view text,
+                                  const Alphabet& alphabet) {
+  return Parser(text, nullptr, &alphabet).Parse();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,95 @@
+// Regular expressions over a base alphabet.
+//
+// Grammar (recursive descent, usual precedence: star > concat > union):
+//
+//   expr    := term ('|' term)*
+//   term    := factor*
+//   factor  := atom ('*' | '+' | '?')*
+//   atom    := letter | '.' | '(' expr ')' | '\e' | '\0'
+//   letter  := single alphanumeric char | 'quoted multi-char label'
+//
+// '.' matches any alphabet letter, '\e' is ε, '\0' the empty language.
+// Whitespace between tokens is ignored. Letters are resolved against (and
+// interned into) the supplied Alphabet.
+
+#ifndef ECRPQ_AUTOMATA_REGEX_H_
+#define ECRPQ_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+class Regex;
+using RegexPtr = std::shared_ptr<const Regex>;
+
+/// Immutable regular-expression syntax tree.
+class Regex {
+ public:
+  enum class Kind {
+    kEmptySet,   ///< ∅
+    kEpsilon,    ///< ε
+    kSymbol,     ///< a single letter
+    kAnySymbol,  ///< '.', any letter of the alphabet
+    kUnion,      ///< e1 | e2
+    kConcat,     ///< e1 e2
+    kStar,       ///< e*
+    kPlus,       ///< e+
+    kOptional,   ///< e?
+  };
+
+  static RegexPtr EmptySet();
+  static RegexPtr Epsilon();
+  static RegexPtr Letter(Symbol symbol);
+  static RegexPtr Any();
+  static RegexPtr Union(RegexPtr a, RegexPtr b);
+  static RegexPtr Concat(RegexPtr a, RegexPtr b);
+  static RegexPtr Star(RegexPtr a);
+  static RegexPtr Plus(RegexPtr a);
+  static RegexPtr Optional(RegexPtr a);
+
+  /// Union / concatenation over a list (∅ / ε for empty lists).
+  static RegexPtr UnionAll(const std::vector<RegexPtr>& parts);
+  static RegexPtr ConcatAll(const std::vector<RegexPtr>& parts);
+
+  /// A literal word a1 a2 ... an.
+  static RegexPtr Literal(const Word& word);
+
+  Kind kind() const { return kind_; }
+  Symbol symbol() const { return symbol_; }
+  const RegexPtr& left() const { return left_; }
+  const RegexPtr& right() const { return right_; }
+
+  /// Thompson construction over symbols [0, num_symbols).
+  Nfa ToNfa(int num_symbols) const;
+
+  /// Round-trippable rendering using `alphabet` labels.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  Regex(Kind kind, Symbol symbol, RegexPtr left, RegexPtr right)
+      : kind_(kind), symbol_(symbol), left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Kind kind_;
+  Symbol symbol_ = -1;
+  RegexPtr left_;
+  RegexPtr right_;
+};
+
+/// Parses `text` against `alphabet` (new letters are interned).
+Result<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet);
+
+/// Parses `text`; letters must already be present in `alphabet`.
+Result<RegexPtr> ParseRegexStrict(std::string_view text,
+                                  const Alphabet& alphabet);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_REGEX_H_

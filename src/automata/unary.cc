@@ -1,0 +1,185 @@
+#include "automata/unary.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/operations.h"
+
+namespace ecrpq {
+
+Nfa LengthAutomaton(const Nfa& nfa_in) {
+  const Nfa nfa = RemoveEpsilons(nfa_in);
+  Nfa out(1);
+  out.AddStates(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsInitial(s)) out.SetInitial(s);
+    if (nfa.IsAccepting(s)) out.SetAccepting(s);
+    // Deduplicate parallel arcs (labels no longer matter).
+    std::vector<StateId> targets;
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) targets.push_back(arc.second);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (StateId t : targets) out.AddTransition(s, 0, t);
+  }
+  return out;
+}
+
+namespace {
+
+// Dense bitset over states.
+class StateSet {
+ public:
+  explicit StateSet(int n) : bits_((n + 63) / 64, 0), n_(n) {}
+  void Set(int i) { bits_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Get(int i) const { return (bits_[i >> 6] >> (i & 63)) & 1; }
+  bool Any() const {
+    for (uint64_t b : bits_) {
+      if (b) return true;
+    }
+    return false;
+  }
+  bool Intersects(const StateSet& other) const {
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i] & other.bits_[i]) return true;
+    }
+    return false;
+  }
+  int size() const { return n_; }
+
+ private:
+  std::vector<uint64_t> bits_;
+  int n_;
+};
+
+// One unary step: next[q] set iff some predecessor p with arc p->q is set.
+StateSet Step(const std::vector<std::vector<StateId>>& succ,
+              const StateSet& current) {
+  StateSet next(current.size());
+  for (int s = 0; s < current.size(); ++s) {
+    if (!current.Get(s)) continue;
+    for (StateId t : succ[s]) next.Set(t);
+  }
+  return next;
+}
+
+}  // namespace
+
+SemilinearSet1D AcceptedLengths(const Nfa& nfa_in) {
+  const Nfa nfa = Trim(LengthAutomaton(nfa_in));
+  const int n = nfa.num_states();
+  SemilinearSet1D out;
+  if (n == 0) return out;  // empty language
+
+  std::vector<std::vector<StateId>> succ(n);
+  std::vector<std::vector<StateId>> pred(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) {
+      succ[s].push_back(arc.second);
+      pred[arc.second].push_back(s);
+    }
+  }
+
+  const int64_t threshold = static_cast<int64_t>(n) * n;  // n²
+
+  // Forward layers: fwd[i] = states reachable from an initial state in
+  // exactly i steps, for i in [0, threshold].
+  std::vector<StateSet> fwd;
+  fwd.reserve(threshold + 1);
+  {
+    StateSet init(n);
+    for (StateId s : nfa.InitialStates()) init.Set(s);
+    fwd.push_back(init);
+    for (int64_t i = 1; i <= threshold; ++i) {
+      fwd.push_back(Step(succ, fwd.back()));
+    }
+  }
+  // Backward layers: bwd[j] = states from which an accepting state is
+  // reachable in exactly j steps.
+  std::vector<StateSet> bwd;
+  bwd.reserve(threshold + 1);
+  {
+    StateSet fin(n);
+    for (StateId s : nfa.AcceptingStates()) fin.Set(s);
+    bwd.push_back(fin);
+    for (int64_t j = 1; j <= threshold; ++j) {
+      bwd.push_back(Step(pred, bwd.back()));
+    }
+  }
+
+  // Finite part: exact accepted lengths below n².
+  for (int64_t l = 0; l < threshold; ++l) {
+    StateSet acc(n);
+    for (StateId s : nfa.AcceptingStates()) acc.Set(s);
+    if (fwd[l].Intersects(acc)) out.Add({l, 0});
+  }
+
+  // Cycle lengths through each state: closed walks of length c in [1, n].
+  // walk[q] computed by BFS layers from q (forward), checking return to q.
+  // Layered reachability from every q at once would be O(n³) bits; n is the
+  // trimmed automaton size, typically small, so per-state BFS is fine.
+  std::vector<std::vector<int>> cycles(n);
+  for (StateId q = 0; q < n; ++q) {
+    StateSet cur(n);
+    cur.Set(q);
+    for (int c = 1; c <= n; ++c) {
+      cur = Step(succ, cur);
+      if (cur.Get(q)) cycles[q].push_back(c);
+      if (!cur.Any()) break;
+    }
+  }
+
+  // Pumpable part: for q with closed-walk length c and accepting path of
+  // length x = i + j (< n²) through q, add x + c·ℕ. To keep the output at
+  // O(n²) progressions, keep only the smallest base per (c, residue).
+  //
+  // Soundness: a closed walk of length c at q pumps any accepting path
+  // through q. Completeness for lengths >= n² is Chrobak/To/Sawa.
+  std::vector<std::vector<int64_t>> best;  // best[c][r] = min base or -1
+  best.resize(n + 1);
+  for (int c = 1; c <= n; ++c) best[c].assign(c, -1);
+
+  for (StateId q = 0; q < n; ++q) {
+    if (cycles[q].empty()) continue;
+    // Lengths i with q reachable in i steps, and j with F reachable in j.
+    std::vector<int64_t> ins, outs;
+    for (int64_t i = 0; i <= threshold; ++i) {
+      if (fwd[i].Get(q)) ins.push_back(i);
+    }
+    for (int64_t j = 0; j <= threshold; ++j) {
+      if (bwd[j].Get(q)) outs.push_back(j);
+    }
+    if (ins.empty() || outs.empty()) continue;
+    for (int c : cycles[q]) {
+      // Min i and min j per residue class mod c; the min base with residue
+      // r is min over r1 of minI[r1] + minJ[(r - r1) mod c], because i and
+      // j range independently.
+      std::vector<int64_t> min_in(c, -1), min_out(c, -1);
+      for (int64_t i : ins) {
+        int64_t r = i % c;
+        if (min_in[r] < 0 || i < min_in[r]) min_in[r] = i;
+      }
+      for (int64_t j : outs) {
+        int64_t r = j % c;
+        if (min_out[r] < 0 || j < min_out[r]) min_out[r] = j;
+      }
+      for (int64_t r1 = 0; r1 < c; ++r1) {
+        if (min_in[r1] < 0) continue;
+        for (int64_t r2 = 0; r2 < c; ++r2) {
+          if (min_out[r2] < 0) continue;
+          int64_t x = min_in[r1] + min_out[r2];
+          int64_t r = (r1 + r2) % c;
+          if (best[c][r] < 0 || x < best[c][r]) best[c][r] = x;
+        }
+      }
+    }
+  }
+  for (int c = 1; c <= n; ++c) {
+    for (int64_t r = 0; r < c; ++r) {
+      if (best[c][r] >= 0) out.Add({best[c][r], c});
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,34 @@
+// Unary-automaton analysis: accepted path *lengths* as arithmetic
+// progressions.
+//
+// Section 6.3 of the paper relies on the fact (Chrobak 1986 / To 2009) that
+// the set of lengths accepted by an n-state unary NFA is a union of at most
+// quadratically many arithmetic progressions with offsets O(n²) and periods
+// <= n. We implement the standard decomposition: accepted lengths below n²
+// are listed exactly, and every accepted length >= n² is of the form
+// x + k*c where x < n² is witnessed by an accepting path through a state q
+// and c <= n is the length of a closed walk at q (Sawa's characterization).
+//
+// `LengthAutomaton` views any NFA (or a graph database) as unary by erasing
+// labels.
+
+#ifndef ECRPQ_AUTOMATA_UNARY_H_
+#define ECRPQ_AUTOMATA_UNARY_H_
+
+#include "automata/nfa.h"
+#include "solver/progression.h"
+
+namespace ecrpq {
+
+/// Erases symbols: the result accepts a^n iff `nfa` accepts some word of
+/// length n. (ε-arcs are removed first, so lengths are preserved.)
+Nfa LengthAutomaton(const Nfa& nfa);
+
+/// Decomposes the set of accepted lengths of `nfa` (treated as unary: all
+/// symbols equivalent) into a normalized union of arithmetic progressions.
+/// Exact for every NFA; output size is O(n²) progressions.
+SemilinearSet1D AcceptedLengths(const Nfa& nfa);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_AUTOMATA_UNARY_H_

@@ -1,0 +1,250 @@
+#include "core/containment.h"
+
+#include <cctype>
+#include <map>
+#include <numeric>
+
+#include "automata/operations.h"
+#include "core/eval_product.h"
+#include "query/analysis.h"
+#include "query/builder.h"
+#include "relations/builtin.h"
+
+namespace ecrpq {
+
+namespace {
+
+// Extracts the single-atom shape: Ans(x,y) <- (x,π,y), L1(π)...Lt(π).
+// Returns the intersection language NFA, or an error.
+Result<Nfa> SingleAtomLanguage(const Query& q) {
+  if (q.path_atoms().size() != 1 || !q.linear_atoms().empty()) {
+    return Status::InvalidArgument("query is not single-atom");
+  }
+  const PathAtom& atom = q.path_atoms()[0];
+  if (atom.from.is_constant || atom.to.is_constant) {
+    return Status::InvalidArgument("single-atom check requires variables");
+  }
+  if (q.head_nodes().size() != 2 || !q.head_paths().empty() ||
+      q.head_nodes()[0].name != atom.from.name ||
+      q.head_nodes()[1].name != atom.to.name ||
+      atom.from.name == atom.to.name) {
+    return Status::InvalidArgument(
+        "single-atom check requires head Ans(x, y) with distinct x, y");
+  }
+  int base = -1;
+  for (const RelationAtom& rel : q.relation_atoms()) {
+    if (rel.relation->arity() != 1) {
+      return Status::InvalidArgument("single-atom check requires unary "
+                                     "relations");
+    }
+    base = rel.relation->base_size();
+  }
+  if (base < 0) {
+    return Status::InvalidArgument(
+        "single-atom check requires at least one language atom (to fix the "
+        "alphabet)");
+  }
+  Nfa lang = UniverseNfa(base);
+  for (const RelationAtom& rel : q.relation_atoms()) {
+    auto nfa = rel.relation->ToLanguageNfa();
+    if (!nfa.ok()) return nfa.status();
+    lang = IntersectNfa(lang, nfa.value());
+  }
+  return lang;
+}
+
+}  // namespace
+
+Result<bool> SingleAtomContained(const Query& q1, const Query& q2) {
+  auto l1 = SingleAtomLanguage(q1);
+  if (!l1.ok()) return l1.status();
+  auto l2 = SingleAtomLanguage(q2);
+  if (!l2.ok()) return l2.status();
+  if (l1.value().num_symbols() != l2.value().num_symbols()) {
+    return Status::InvalidArgument("queries use different alphabets");
+  }
+  return IsSubsetOf(l1.value(), l2.value());
+}
+
+Result<ContainmentResult> CheckContainmentBounded(
+    const Query& q, const Query& q_prime, const ContainmentOptions& options) {
+  QueryAnalysis analysis = Analyze(q);
+  if (analysis.has_relational_repetition) {
+    return Status::Unimplemented(
+        "bounded containment search does not support repeated path "
+        "variables in the left query");
+  }
+  if (!q.head_paths().empty() || !q_prime.head_paths().empty()) {
+    return Status::Unimplemented(
+        "bounded containment search supports node heads only");
+  }
+  if (!q.linear_atoms().empty() || !q_prime.linear_atoms().empty()) {
+    return Status::Unimplemented(
+        "bounded containment search does not support linear atoms");
+  }
+  if (q.head_nodes().size() != q_prime.head_nodes().size()) {
+    return Status::InvalidArgument("queries have different head arities");
+  }
+
+  // Base alphabet size: from any relation of either query.
+  int base = -1;
+  for (const RelationAtom& rel : q.relation_atoms()) {
+    base = rel.relation->base_size();
+  }
+  for (const RelationAtom& rel : q_prime.relation_atoms()) {
+    if (base >= 0 && rel.relation->base_size() != base) {
+      return Status::InvalidArgument("queries use different alphabets");
+    }
+    if (base < 0) base = rel.relation->base_size();
+  }
+  if (base < 0) {
+    return Status::InvalidArgument(
+        "cannot infer the alphabet (no relation atoms)");
+  }
+
+  const int m = static_cast<int>(q.path_variables().size());
+  // Joined relation S_Q over the m path variables.
+  RegularRelation joined = UniversalRelation(base, m);
+  for (const RelationAtom& rel : q.relation_atoms()) {
+    std::vector<int> positions;
+    for (const std::string& p : rel.paths) {
+      positions.push_back(q.PathVarIndex(p));
+    }
+    auto lifted = rel.relation->Cylindrify(m, positions);
+    if (!lifted.ok()) {
+      // Repeated variables within one atom tuple: handle by intersecting
+      // with equality first.
+      return Status::Unimplemented(
+          "bounded containment with repeated variables inside a relation "
+          "tuple is not supported");
+    }
+    auto next = RegularRelation::Intersect(joined, lifted.value());
+    if (!next.ok()) return next.status();
+    joined = std::move(next).value();
+  }
+
+  // Candidate canonical label tuples.
+  std::vector<std::vector<Word>> candidates = joined.EnumerateMembers(
+      options.max_candidates, options.max_word_length);
+
+  // Shared alphabet for canonical graphs: labels "l0", "l1", ... — but the
+  // queries' relations are keyed by symbol id, so the canonical graph must
+  // use an alphabet of exactly `base` symbols. Build it once.
+  auto alphabet = std::make_shared<Alphabet>();
+  for (Symbol a = 0; a < base; ++a) {
+    alphabet->Intern("s" + std::to_string(a));
+  }
+
+  ContainmentResult result;
+  for (const auto& words : candidates) {
+    // Build the σ-canonical graph: one fresh simple path per atom,
+    // endpoints identified according to shared node variables (distinct
+    // variables map to distinct nodes).
+    GraphDb graph(alphabet);
+    std::map<std::string, NodeId> var_node;
+    auto endpoint = [&](const NodeTerm& term) -> NodeId {
+      const std::string key =
+          term.is_constant ? ("const:" + term.name) : ("var:" + term.name);
+      auto it = var_node.find(key);
+      if (it != var_node.end()) return it->second;
+      NodeId v = term.is_constant ? graph.AddNode(term.name) : graph.AddNode();
+      var_node.emplace(key, v);
+      return v;
+    };
+    for (size_t i = 0; i < q.path_atoms().size(); ++i) {
+      const PathAtom& atom = q.path_atoms()[i];
+      const Word& label = words[q.PathVarIndex(atom.path)];
+      NodeId at = endpoint(atom.from);
+      NodeId end = endpoint(atom.to);
+      if (label.empty()) {
+        // Empty path: endpoints coincide; skip graphs where the
+        // identification is inconsistent with distinct variables.
+        if (at != end) goto next_candidate;
+        continue;
+      }
+      for (size_t j = 0; j < label.size(); ++j) {
+        NodeId next = (j + 1 == label.size()) ? end : graph.AddNode();
+        graph.AddEdge(at, label[j], next);
+        at = next;
+      }
+    }
+    {
+      // Head tuple under σ.
+      std::vector<NodeId> head;
+      for (const NodeTerm& term : q.head_nodes()) {
+        head.push_back(var_node.at("var:" + term.name));
+      }
+      // Q holds on the canonical graph by construction; check Q'.
+      Evaluator evaluator(&graph, options.eval);
+      auto rhs = evaluator.Evaluate(q_prime);
+      if (!rhs.ok()) return rhs.status();
+      bool found = false;
+      for (const auto& tuple : rhs.value().tuples()) {
+        if (tuple == head) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        result.verdict = Containment::kNotContained;
+        result.counterexample = std::move(graph);
+        return result;
+      }
+    }
+  next_candidate:;
+  }
+  result.verdict = Containment::kUnknownUpToBound;
+  return result;
+}
+
+Result<Query> PatternQuery(std::string_view pattern,
+                           const Alphabet& alphabet) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  QueryBuilder builder;
+  auto equality = std::make_shared<RegularRelation>(
+      EqualityRelation(alphabet.size()));
+  std::map<char, std::vector<std::string>> variable_paths;
+  std::vector<std::string> letter_paths;  // (path, letter) atoms
+  std::vector<std::pair<std::string, Symbol>> letter_atoms;
+
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    std::string from = "x" + std::to_string(i);
+    std::string to = "x" + std::to_string(i + 1);
+    std::string path = "pi" + std::to_string(i);
+    builder.Atom(from, path, to);
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      variable_paths[c].push_back(path);
+    } else {
+      auto sym = alphabet.Find(std::string_view(&c, 1));
+      if (!sym.has_value()) {
+        return Status::NotFound(std::string("pattern letter '") + c +
+                                "' not in alphabet");
+      }
+      letter_atoms.emplace_back(path, *sym);
+    }
+  }
+  // Terminal letters: single-word languages.
+  for (const auto& [path, sym] : letter_atoms) {
+    Nfa nfa(alphabet.size());
+    StateId s0 = nfa.AddState();
+    StateId s1 = nfa.AddState();
+    nfa.SetInitial(s0);
+    nfa.SetAccepting(s1);
+    nfa.AddTransition(s0, sym, s1);
+    builder.Language(nfa, alphabet.size(), path);
+  }
+  // Repeated variables: equality chains.
+  for (const auto& [var, paths] : variable_paths) {
+    (void)var;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      builder.Relation(equality, {paths[0], paths[i]}, "eq");
+    }
+  }
+  builder.Head({"x0", "x" + std::to_string(pattern.size())});
+  return builder.Build();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,66 @@
+// Query containment (Section 7).
+//
+// The paper's landscape:
+//   * CRPQ ⊆ CRPQ          decidable, EXPSPACE-complete (Calvanese et al.)
+//   * ECRPQ ⊆ CRPQ         decidable, EXPSPACE-complete (Theorem 7.2)
+//   * ECRPQ ⊆ ECRPQ        undecidable (Theorem 7.1, via pattern languages)
+//   * CRPQ ⊆ ECRPQ         undecidable (Freydenberger & Schweikardt)
+//
+// We implement: (a) exact single-atom cases, which reduce to regular
+// language inclusion; (b) a bounded canonical-database counterexample
+// search, sound for refuting containment and exhaustive up to the bound
+// (the canonical-graph characterization of Claim 7.2.1); (c) the pattern
+// encoder of Theorem 7.1 / Section 4, so the undecidability frontier is a
+// runnable construction.
+
+#ifndef ECRPQ_CORE_CONTAINMENT_H_
+#define ECRPQ_CORE_CONTAINMENT_H_
+
+#include <string_view>
+
+#include "core/evaluator.h"
+#include "query/ast.h"
+
+namespace ecrpq {
+
+enum class Containment {
+  kContained,         ///< proven contained (exact procedures only)
+  kNotContained,      ///< counterexample graph found
+  kUnknownUpToBound,  ///< no counterexample within the search bound
+};
+
+struct ContainmentResult {
+  Containment verdict = Containment::kUnknownUpToBound;
+  /// A witness graph with Q(G) ⊄ Q'(G), when kNotContained.
+  std::optional<GraphDb> counterexample;
+};
+
+/// Exact containment for single-atom queries whose head is (x, y) — both
+/// queries of the shape Ans(x,y) <- (x,π,y), L1(π), ..., Lt(π). Decides
+/// L(Q) ⊆ L(Q') by regular language inclusion.
+Result<bool> SingleAtomContained(const Query& q1, const Query& q2);
+
+struct ContainmentOptions {
+  /// Maximum convolution length of canonical path labels to enumerate.
+  int max_word_length = 6;
+  /// Maximum number of canonical databases to test.
+  int max_candidates = 5000;
+  EvalOptions eval;
+};
+
+/// Bounded canonical-database search for Q ⊆ Q' (node-head or Boolean
+/// queries). kNotContained is definitive; kUnknownUpToBound means no
+/// canonical counterexample exists within the bound.
+Result<ContainmentResult> CheckContainmentBounded(
+    const Query& q, const Query& q_prime,
+    const ContainmentOptions& options = {});
+
+/// The pattern query Q_α of Section 4 / Theorem 7.1: Ans(x,y) holds iff x,y
+/// are connected by a path whose label is in the pattern language L_Σ(α).
+/// `pattern` mixes terminal letters (lower case, must be in `alphabet`) and
+/// variables (upper case). Example: "aXbX".
+Result<Query> PatternQuery(std::string_view pattern, const Alphabet& alphabet);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_CONTAINMENT_H_

@@ -1,0 +1,148 @@
+#include "core/eval_counting.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/eval_product.h"
+#include "solver/parikh.h"
+
+namespace ecrpq {
+
+Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
+                                     const EvalOptions& options) {
+  if (!query.head_paths().empty()) {
+    return Status::FailedPrecondition(
+        "the counting engine does not produce path outputs");
+  }
+  auto resolved_or = ResolveQuery(graph, query);
+  if (!resolved_or.ok()) return resolved_or.status();
+
+  QueryResult result;
+  result.mutable_stats()->engine = "counting";
+
+  const int num_vars = static_cast<int>(query.node_variables().size());
+  const int base = graph.alphabet().size();
+
+  // Letter counters per (path variable, symbol) are indices into each ILP;
+  // they are created per σ-attempt below.
+  std::set<std::vector<NodeId>> head_tuples;
+
+  std::vector<NodeId> assignment(num_vars, -1);
+  Status failure = Status::OK();
+
+  std::function<void(int)> enumerate = [&](int var) {
+    if (!failure.ok()) return;
+    if (var < num_vars) {
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        assignment[var] = v;
+        enumerate(var + 1);
+      }
+      assignment[var] = -1;
+      return;
+    }
+    ++result.mutable_stats()->start_assignments;
+
+    // Build per-component product automata under σ.
+    auto products_or =
+        BuildComponentProducts(graph, query, options, assignment);
+    if (!products_or.ok()) {
+      failure = products_or.status();
+      return;
+    }
+
+    // One shared ILP: counters c_{p,a} plus one flow encoding per
+    // component.
+    ParikhConstraintBuilder builder(options.parikh);
+    const int64_t count_bound =
+        options.parikh.max_flow_per_transition *
+        std::max<int64_t>(1, graph.num_edges());
+    std::vector<std::vector<int>> counter(query.path_variables().size());
+    for (size_t p = 0; p < counter.size(); ++p) {
+      counter[p].resize(base);
+      for (Symbol a = 0; a < base; ++a) {
+        counter[p][a] = builder.AddVariable(0, count_bound);
+      }
+    }
+    // Counters that receive no arc contribution anywhere must be pinned to
+    // zero, or the ILP could use them as free slack.
+    std::vector<std::vector<bool>> counter_used(
+        counter.size(), std::vector<bool>(base, false));
+    for (const ComponentProductGraph& cpg : products_or.value()) {
+      bool any_accepting = false;
+      for (bool acc : cpg.accepting) any_accepting = any_accepting || acc;
+      if (!any_accepting || cpg.num_states == 0) return;  // σ infeasible
+      std::vector<int> initial, accepting;
+      for (int s = 0; s < cpg.num_states; ++s) {
+        if (cpg.initial[s]) initial.push_back(s);
+        if (cpg.accepting[s]) accepting.push_back(s);
+      }
+      std::vector<
+          std::tuple<int, int, std::vector<std::pair<int, int64_t>>>>
+          arcs;
+      arcs.reserve(cpg.arcs.size());
+      for (const auto& [from, to, letters] : cpg.arcs) {
+        std::vector<std::pair<int, int64_t>> contribs;
+        for (size_t t = 0; t < letters.size(); ++t) {
+          if (letters[t] == kPad) continue;
+          contribs.emplace_back(counter[cpg.tracks[t]][letters[t]], 1);
+          counter_used[cpg.tracks[t]][letters[t]] = true;
+        }
+        arcs.emplace_back(from, to, std::move(contribs));
+      }
+      Status st =
+          builder.AddCountedGraph(cpg.num_states, initial, accepting, arcs);
+      if (!st.ok()) {
+        failure = st;
+        return;
+      }
+    }
+    for (size_t p = 0; p < counter.size(); ++p) {
+      for (Symbol a = 0; a < base; ++a) {
+        if (!counter_used[p][a]) {
+          builder.AddConstraint({{{counter[p][a], 1}}, Cmp::kEq, 0});
+        }
+      }
+    }
+    // The query's linear rows: occ(p, a) -> c_{p,a}; len(p) -> Σ_a c_{p,a}.
+    for (const LinearAtom& atom : query.linear_atoms()) {
+      LinearConstraint c;
+      for (const LinearTerm& term : atom.terms) {
+        int p = query.PathVarIndex(term.path);
+        if (term.symbol >= 0) {
+          c.terms.emplace_back(counter[p][term.symbol], term.coef);
+        } else {
+          for (Symbol a = 0; a < base; ++a) {
+            c.terms.emplace_back(counter[p][a], term.coef);
+          }
+        }
+      }
+      c.cmp = atom.cmp;
+      c.rhs = atom.rhs;
+      builder.AddConstraint(std::move(c));
+    }
+    result.mutable_stats()->ilp_variables = builder.problem().num_variables();
+    result.mutable_stats()->ilp_constraints =
+        builder.problem().constraints().size();
+
+    auto solution = builder.Solve();
+    if (!solution.ok()) {
+      failure = solution.status();
+      return;
+    }
+    if (!solution.value().feasible) return;
+
+    std::vector<NodeId> head;
+    for (const NodeTerm& term : query.head_nodes()) {
+      head.push_back(assignment[query.NodeVarIndex(term.name)]);
+    }
+    head_tuples.insert(std::move(head));
+  };
+  enumerate(0);
+  if (!failure.ok()) return failure;
+
+  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
+  return result;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,27 @@
+// Evaluation with linear constraints on occurrence counts / path lengths
+// (Theorem 8.5).
+//
+// Following the paper's proof: guess the node assignment σ, build the
+// per-component product automaton (with σ fixing endpoints), translate its
+// Parikh image into an existential Presburger formula (here: the flow ILP
+// of solver/parikh.h), conjoin the query's A·ℓ̄ >= b rows over the
+// per-path-variable letter counters, and decide satisfiability. One ILP per
+// σ; occurrence counters are shared across components so cross-variable
+// constraints are sound.
+
+#ifndef ECRPQ_CORE_EVAL_COUNTING_H_
+#define ECRPQ_CORE_EVAL_COUNTING_H_
+
+#include "core/evaluator.h"
+
+namespace ecrpq {
+
+/// Evaluates an (E)CRPQ with linear atoms. Queries without linear atoms
+/// are accepted too (the constraints set is just empty). Head path
+/// variables are unsupported (FailedPrecondition).
+Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
+                                     const EvalOptions& options);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_EVAL_COUNTING_H_

@@ -1,0 +1,363 @@
+#include "core/eval_crpq.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "automata/operations.h"
+#include "core/eval_product.h"
+#include "query/analysis.h"
+
+namespace ecrpq {
+
+bool CrpqFastPathApplies(const Query& query) {
+  if (!query.linear_atoms().empty()) return false;
+  QueryAnalysis analysis = Analyze(query);
+  return analysis.is_crpq && !analysis.has_relational_repetition;
+}
+
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph,
+    const std::vector<const RegularRelation*>& languages) {
+  // Intersect the language NFAs (over the base alphabet).
+  Nfa lang = UniverseNfa(graph.alphabet().size());
+  for (const RegularRelation* rel : languages) {
+    ECRPQ_DCHECK(rel->arity() == 1);
+    auto nfa = rel->ToLanguageNfa();
+    ECRPQ_DCHECK(nfa.ok());
+    lang = IntersectNfa(lang, nfa.value());
+  }
+  lang = Trim(RemoveEpsilons(lang));
+
+  std::vector<std::pair<NodeId, NodeId>> out;
+  if (lang.num_states() == 0) return out;
+
+  // BFS over (language state, node) from every start node at once, tagging
+  // each product state with its start node would square memory; instead run
+  // per start node (O(|V| · |lang| · |E|)). Accepting product states yield
+  // (start, node) pairs.
+  std::vector<StateId> lang_initial = lang.InitialStates();
+  const int ls = lang.num_states();
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    std::vector<bool> seen(static_cast<size_t>(ls) * graph.num_nodes(),
+                           false);
+    std::queue<std::pair<StateId, NodeId>> work;
+    std::set<NodeId> ends;
+    auto push = [&](StateId q, NodeId v) {
+      size_t key = static_cast<size_t>(q) * graph.num_nodes() + v;
+      if (!seen[key]) {
+        seen[key] = true;
+        work.emplace(q, v);
+        if (lang.IsAccepting(q)) ends.insert(v);
+      }
+    };
+    for (StateId q : lang_initial) push(q, start);
+    while (!work.empty()) {
+      auto [q, v] = work.front();
+      work.pop();
+      for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
+        for (const auto& [label, to] : graph.Out(v)) {
+          if (label == arc.first) push(arc.second, to);
+        }
+      }
+    }
+    for (NodeId end : ends) out.emplace_back(start, end);
+  }
+  return out;
+}
+
+namespace {
+
+// One binary CQ atom r_i(u, v) with materialized pairs and hash indexes.
+struct JoinAtom {
+  ResolvedTerm from;
+  ResolvedTerm to;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::multimap<NodeId, NodeId> by_from;
+  std::multimap<NodeId, NodeId> by_to;
+  std::set<std::pair<NodeId, NodeId>> pair_set;
+
+  void Reindex() {
+    by_from.clear();
+    by_to.clear();
+    pair_set.clear();
+    for (const auto& [u, v] : pairs) {
+      by_from.emplace(u, v);
+      by_to.emplace(v, u);
+      pair_set.emplace(u, v);
+    }
+  }
+};
+
+// Semi-join: keep pairs of `a` whose shared-variable value appears in `b`'s
+// corresponding column. Returns true if `a` shrank.
+bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
+  // Determine shared variables between the two atoms' terms.
+  auto var_of = [](const ResolvedTerm& t) { return t.is_const ? -1 : t.var; };
+  int a_from = var_of(a->from), a_to = var_of(a->to);
+  int b_from = var_of(b.from), b_to = var_of(b.to);
+
+  auto b_from_values = [&]() {
+    std::unordered_set<NodeId> values;
+    for (const auto& [u, v] : b.pairs) {
+      (void)v;
+      values.insert(u);
+    }
+    return values;
+  };
+  auto b_to_values = [&]() {
+    std::unordered_set<NodeId> values;
+    for (const auto& [u, v] : b.pairs) {
+      (void)u;
+      values.insert(v);
+    }
+    return values;
+  };
+
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  kept.reserve(a->pairs.size());
+  // For each shared var position combination, filter.
+  std::unordered_set<NodeId> bf, bt;
+  bool need_bf = (b_from >= 0 && (b_from == a_from || b_from == a_to));
+  bool need_bt = (b_to >= 0 && (b_to == a_from || b_to == a_to));
+  if (need_bf) bf = b_from_values();
+  if (need_bt) bt = b_to_values();
+  if (!need_bf && !need_bt) return false;
+
+  for (const auto& [u, v] : a->pairs) {
+    bool ok = true;
+    if (b_from >= 0) {
+      if (b_from == a_from && bf.find(u) == bf.end()) ok = false;
+      if (b_from == a_to && bf.find(v) == bf.end()) ok = false;
+    }
+    if (ok && b_to >= 0) {
+      if (b_to == a_from && bt.find(u) == bt.end()) ok = false;
+      if (b_to == a_to && bt.find(v) == bt.end()) ok = false;
+    }
+    if (ok) kept.emplace_back(u, v);
+  }
+  bool shrank = kept.size() < a->pairs.size();
+  a->pairs = std::move(kept);
+  return shrank;
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
+                                 const EvalOptions& options) {
+  if (!CrpqFastPathApplies(query)) {
+    return Status::FailedPrecondition(
+        "query is outside the CRPQ fast-path fragment (multi-ary relations, "
+        "repeated path variables or linear atoms present)");
+  }
+  auto resolved_or = ResolveQuery(graph, query);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const ResolvedQuery& rq = resolved_or.value();
+
+  QueryResult result;
+  result.mutable_stats()->engine = "crpq";
+
+  // Build one JoinAtom per path atom with its language intersection.
+  std::vector<JoinAtom> atoms(rq.atoms.size());
+  for (size_t i = 0; i < rq.atoms.size(); ++i) {
+    atoms[i].from = rq.atoms[i].from;
+    atoms[i].to = rq.atoms[i].to;
+    std::vector<const RegularRelation*> languages;
+    for (const ResolvedRelation& rel : rq.relations) {
+      if (rel.paths[0] == rq.atoms[i].path) {
+        languages.push_back(rel.relation);
+      }
+    }
+    atoms[i].pairs = ReachabilityPairs(graph, languages);
+    // Constants restrict immediately.
+    std::vector<std::pair<NodeId, NodeId>> filtered;
+    for (const auto& [u, v] : atoms[i].pairs) {
+      if (atoms[i].from.is_const && u != atoms[i].from.node) continue;
+      if (atoms[i].to.is_const && v != atoms[i].to.node) continue;
+      // Same variable on both sides forces a loop pair.
+      if (!atoms[i].from.is_const && !atoms[i].to.is_const &&
+          atoms[i].from.var == atoms[i].to.var && u != v) {
+        continue;
+      }
+      filtered.emplace_back(u, v);
+    }
+    atoms[i].pairs = std::move(filtered);
+    if (atoms[i].pairs.empty()) return result;  // empty answer
+  }
+
+  // Semi-join reduction to a fixpoint (Yannakakis on acyclic queries; a
+  // sound filter otherwise).
+  if (options.use_semijoin_reduction) {
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds < static_cast<int>(atoms.size()) + 2) {
+      changed = false;
+      ++rounds;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        for (size_t j = 0; j < atoms.size(); ++j) {
+          if (i == j) continue;
+          if (SemiJoin(&atoms[i], atoms[j])) changed = true;
+          if (atoms[i].pairs.empty()) return result;
+        }
+      }
+    }
+  }
+
+  // Early projection (the Yannakakis step that makes acyclic combined
+  // complexity polynomial): a non-head variable occurring in exactly two
+  // atom endpoints is eliminated by composing the two atoms; the composed
+  // relation is projected (deduplicated) immediately, so intermediate
+  // results stay <= |V|² instead of enumerating every embedding.
+  if (options.use_semijoin_reduction) {
+    std::set<int> head_vars;
+    for (const NodeTerm& term : query.head_nodes()) {
+      head_vars.insert(query.NodeVarIndex(term.name));
+    }
+    bool eliminated = true;
+    while (eliminated && atoms.size() >= 2) {
+      eliminated = false;
+      // Occurrence positions of each variable: (atom index, is_from slot).
+      std::map<int, std::vector<std::pair<int, bool>>> where;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (!atoms[i].from.is_const) {
+          where[atoms[i].from.var].push_back({static_cast<int>(i), true});
+        }
+        if (!atoms[i].to.is_const) {
+          where[atoms[i].to.var].push_back({static_cast<int>(i), false});
+        }
+      }
+      for (const auto& [var, slots] : where) {
+        if (head_vars.count(var) || slots.size() != 2) continue;
+        auto [ia, a_is_from] = slots[0];
+        auto [ib, b_is_from] = slots[1];
+        if (ia == ib) continue;  // both endpoints of one atom: keep
+        JoinAtom& a = atoms[ia];
+        JoinAtom& b = atoms[ib];
+        // Match a's var-slot value with b's; output the other endpoints.
+        std::multimap<NodeId, NodeId> b_by_shared;  // shared -> other
+        for (const auto& [u, v] : b.pairs) {
+          b_by_shared.emplace(b_is_from ? u : v, b_is_from ? v : u);
+        }
+        std::set<std::pair<NodeId, NodeId>> composed;
+        for (const auto& [u, v] : a.pairs) {
+          NodeId shared = a_is_from ? u : v;
+          NodeId other_a = a_is_from ? v : u;
+          auto [lo, hi] = b_by_shared.equal_range(shared);
+          for (auto it = lo; it != hi; ++it) {
+            composed.insert({other_a, it->second});
+          }
+        }
+        if (composed.empty()) return result;  // no embeddings at all
+        JoinAtom merged;
+        merged.from = a_is_from ? a.to : a.from;
+        merged.to = b_is_from ? b.to : b.from;
+        merged.pairs.assign(composed.begin(), composed.end());
+        // Replace atom ia by the composition, drop atom ib.
+        atoms[ia] = std::move(merged);
+        atoms.erase(atoms.begin() + ib);
+        eliminated = true;
+        break;  // occurrence map is stale; recompute
+      }
+    }
+  }
+  for (JoinAtom& atom : atoms) atom.Reindex();
+
+  // Backtracking join over atoms; prefer atoms with bound variables.
+  const int num_vars = static_cast<int>(query.node_variables().size());
+  std::vector<NodeId> binding(num_vars, -1);
+  std::vector<bool> used(atoms.size(), false);
+  std::set<std::vector<NodeId>> head_tuples;
+
+  auto head_projection = [&]() {
+    std::vector<NodeId> head;
+    for (const NodeTerm& term : query.head_nodes()) {
+      head.push_back(binding[query.NodeVarIndex(term.name)]);
+    }
+    head_tuples.insert(std::move(head));
+    ++result.mutable_stats()->join_tuples;
+  };
+
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == static_cast<int>(atoms.size())) {
+      head_projection();
+      return;
+    }
+    // Choose the most-bound unused atom.
+    int best = -1, best_score = -1;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      if (atoms[i].from.is_const || binding[atoms[i].from.var] >= 0) ++score;
+      if (atoms[i].to.is_const || binding[atoms[i].to.var] >= 0) ++score;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    JoinAtom& atom = atoms[best];
+    used[best] = true;
+    auto from_val = [&]() -> NodeId {
+      return atom.from.is_const ? atom.from.node : binding[atom.from.var];
+    };
+    auto to_val = [&]() -> NodeId {
+      return atom.to.is_const ? atom.to.node : binding[atom.to.var];
+    };
+    NodeId u = from_val(), v = to_val();
+
+    auto try_pair = [&](NodeId pu, NodeId pv) {
+      std::vector<std::pair<int, NodeId>> bound;
+      bool ok = true;
+      if (!atom.from.is_const) {
+        if (binding[atom.from.var] < 0) {
+          binding[atom.from.var] = pu;
+          bound.emplace_back(atom.from.var, pu);
+        } else if (binding[atom.from.var] != pu) {
+          ok = false;
+        }
+      }
+      if (ok && !atom.to.is_const) {
+        if (binding[atom.to.var] < 0) {
+          binding[atom.to.var] = pv;
+          bound.emplace_back(atom.to.var, pv);
+        } else if (binding[atom.to.var] != pv) {
+          ok = false;
+        }
+      }
+      if (ok) recurse(depth + 1);
+      for (const auto& [var, node] : bound) {
+        (void)node;
+        binding[var] = -1;
+      }
+    };
+
+    if (u >= 0 && v >= 0) {
+      if (atom.pair_set.count({u, v})) try_pair(u, v);
+    } else if (u >= 0) {
+      auto [lo, hi] = atom.by_from.equal_range(u);
+      for (auto it = lo; it != hi; ++it) try_pair(u, it->second);
+    } else if (v >= 0) {
+      auto [lo, hi] = atom.by_to.equal_range(v);
+      for (auto it = lo; it != hi; ++it) try_pair(it->second, v);
+    } else {
+      for (const auto& [pu, pv] : atom.pairs) try_pair(pu, pv);
+    }
+    used[best] = false;
+  };
+  recurse(0);
+
+  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
+
+  if (!query.head_paths().empty() && options.build_path_answers) {
+    for (const std::vector<NodeId>& tuple : result.tuples()) {
+      auto answers = BuildPathAnswerSet(graph, query, options, tuple);
+      if (!answers.ok()) return answers.status();
+      result.mutable_path_answers()->push_back(std::move(answers).value());
+    }
+  }
+  return result;
+}
+
+}  // namespace ecrpq

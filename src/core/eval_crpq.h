@@ -1,0 +1,34 @@
+// CRPQ fast path (Theorem 6.5 and the folklore CRPQ algorithm).
+//
+// When every relation atom is unary and no path variable repeats, each path
+// atom (x, L(π), y) reduces independently to the binary reachability
+// relation r = { (u, v) : some path u→v has label in L }, computed by a
+// product of the graph with L's NFA. The query then becomes a relational
+// conjunctive query over the r_i, evaluated by backtracking join; for
+// acyclic queries a semi-join (Yannakakis) reduction runs first, giving the
+// PTIME combined complexity of Theorem 6.5.
+
+#ifndef ECRPQ_CORE_EVAL_CRPQ_H_
+#define ECRPQ_CORE_EVAL_CRPQ_H_
+
+#include "core/evaluator.h"
+
+namespace ecrpq {
+
+/// True if this query is in the fast-path fragment: unary relations only,
+/// no repeated path variables, no linear atoms.
+bool CrpqFastPathApplies(const Query& query);
+
+/// Evaluates a fast-path CRPQ. FailedPrecondition outside the fragment.
+Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
+                                 const EvalOptions& options);
+
+/// The per-atom reachability relation: all (u, v) pairs connected by a path
+/// whose label lies in every language of `languages` (an intersection; the
+/// empty list means Σ*). Exposed for tests and benches.
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_EVAL_CRPQ_H_

@@ -1,0 +1,107 @@
+// ECRPQ¬ / CRPQ¬: queries with negation and quantification (Section 8.1).
+//
+// The formula grammar of the paper:
+//
+//   atom := π1 = π2 | x = y | (x, π, y) | R(π1..πn)
+//   φ    := atom | ¬φ | φ ∧ ψ | φ ∨ ψ | ∃x φ | ∃π φ
+//
+// Evaluation follows Claim 8.1.3: for a graph G and an assignment of the
+// free node variables, construct an automaton over representation words
+// (alternating node tuples and (Σ⊥)^k letters) accepting exactly the free-
+// path-variable answers; complement is taken relative to the universe of
+// valid representations, ∃π is projection, ∃x is a union over V. The
+// construction is effective but non-elementary in the alternation depth
+// (Theorem 8.2) — callers use small graphs. CRPQ¬ formulas (no ≥2-ary
+// relations, no π-equality) go through the same construction.
+
+#ifndef ECRPQ_CORE_EVAL_NEGATION_H_
+#define ECRPQ_CORE_EVAL_NEGATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "relations/relation.h"
+
+namespace ecrpq {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An ECRPQ¬ formula.
+class Formula {
+ public:
+  enum class Kind {
+    kPathAtom,   // (x, π, y)
+    kNodeEq,     // x = y
+    kPathEq,     // π1 = π2
+    kRelation,   // R(π̄)
+    kNot,
+    kAnd,
+    kOr,
+    kExistsNode,
+    kExistsPath,
+  };
+
+  static FormulaPtr PathAtom(std::string x, std::string pi, std::string y);
+  static FormulaPtr NodeEq(std::string x, std::string y);
+  static FormulaPtr PathEq(std::string pi1, std::string pi2);
+  static FormulaPtr Relation(std::shared_ptr<const RegularRelation> rel,
+                             std::vector<std::string> paths);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr ExistsNode(std::string x, FormulaPtr f);
+  static FormulaPtr ExistsPath(std::string pi, FormulaPtr f);
+  /// ∀ = ¬∃¬, for readability.
+  static FormulaPtr ForallNode(std::string x, FormulaPtr f);
+  static FormulaPtr ForallPath(std::string pi, FormulaPtr f);
+
+  Kind kind() const { return kind_; }
+  const std::string& name1() const { return name1_; }
+  const std::string& name2() const { return name2_; }
+  const std::string& name3() const { return name3_; }
+  const std::shared_ptr<const RegularRelation>& relation() const {
+    return relation_;
+  }
+  const std::vector<std::string>& paths() const { return paths_; }
+  const FormulaPtr& left() const { return left_; }
+  const FormulaPtr& right() const { return right_; }
+
+  /// Free node / path variables, sorted.
+  std::vector<std::string> FreeNodeVars() const;
+  std::vector<std::string> FreePathVars() const;
+
+  std::string ToString() const;
+
+ private:
+  Formula() = default;
+  Kind kind_ = Kind::kPathAtom;
+  std::string name1_, name2_, name3_;
+  std::shared_ptr<const RegularRelation> relation_;
+  std::vector<std::string> paths_;
+  FormulaPtr left_, right_;
+};
+
+struct NegationStats {
+  uint64_t automata_built = 0;
+  uint64_t max_states = 0;       ///< largest intermediate automaton
+  uint64_t determinizations = 0; ///< complements performed
+};
+
+/// Evaluates a sentence (no free variables) on `graph`.
+Result<bool> EvaluateSentence(const GraphDb& graph, const FormulaPtr& formula,
+                              NegationStats* stats = nullptr);
+
+/// Evaluates a formula whose free node variables are bound by `sigma`
+/// (name -> node) and free path variables by `mu` (name -> path).
+Result<bool> EvaluateFormula(const GraphDb& graph, const FormulaPtr& formula,
+                             const std::map<std::string, NodeId>& sigma,
+                             const std::map<std::string, Path>& mu,
+                             NegationStats* stats = nullptr);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_EVAL_NEGATION_H_

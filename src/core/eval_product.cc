@@ -1,0 +1,768 @@
+#include "core/eval_product.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "automata/operations.h"
+
+namespace ecrpq {
+
+Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query) {
+  ResolvedQuery out;
+  out.graph = &graph;
+  out.query = &query;
+
+  auto resolve_term = [&](const NodeTerm& term) -> Result<ResolvedTerm> {
+    ResolvedTerm r;
+    if (term.is_constant) {
+      auto node = graph.FindNode(term.name);
+      if (!node.has_value()) {
+        return Status::NotFound("constant node '" + term.name +
+                                "' not in graph");
+      }
+      r.is_const = true;
+      r.node = *node;
+    } else {
+      r.var = query.NodeVarIndex(term.name);
+      ECRPQ_DCHECK(r.var >= 0);
+    }
+    return r;
+  };
+
+  for (const PathAtom& atom : query.path_atoms()) {
+    ResolvedAtom r;
+    auto from = resolve_term(atom.from);
+    if (!from.ok()) return from.status();
+    auto to = resolve_term(atom.to);
+    if (!to.ok()) return to.status();
+    r.from = from.value();
+    r.to = to.value();
+    r.path = query.PathVarIndex(atom.path);
+    out.atoms.push_back(r);
+  }
+
+  for (const RelationAtom& atom : query.relation_atoms()) {
+    if (atom.relation->base_size() != graph.alphabet().size()) {
+      return Status::InvalidArgument(
+          "relation '" + atom.name + "' is over a base alphabet of size " +
+          std::to_string(atom.relation->base_size()) +
+          " but the graph alphabet has size " +
+          std::to_string(graph.alphabet().size()));
+    }
+    ResolvedRelation rr;
+    rr.relation = atom.relation.get();
+    rr.nfa = RemoveEpsilons(atom.relation->nfa());
+    rr.transitions.resize(rr.nfa.num_states());
+    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
+      for (const Nfa::Arc& arc : rr.nfa.ArcsFrom(s)) {
+        rr.transitions[s][arc.first].push_back(arc.second);
+      }
+    }
+    rr.initial = rr.nfa.InitialStates();
+    rr.accepting.resize(rr.nfa.num_states());
+    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
+      rr.accepting[s] = rr.nfa.IsAccepting(s);
+    }
+    for (const std::string& p : atom.paths) {
+      rr.paths.push_back(query.PathVarIndex(p));
+    }
+    out.relations.push_back(std::move(rr));
+  }
+  out.analysis = Analyze(query);
+  return out;
+}
+
+namespace {
+
+// A synchronization component prepared for product search.
+struct Component {
+  std::vector<int> atom_indices;   // into ResolvedQuery::atoms
+  std::vector<int> tracks;         // global path-var ids, local order
+  std::vector<int> track_of_path;  // global path id -> local track or -1
+  std::vector<int> relation_indices;
+  std::vector<int> vars;        // global node-var ids appearing here
+  std::vector<int> start_vars;  // vars in from-positions
+};
+
+Component BuildComponent(const ResolvedQuery& rq,
+                         const std::vector<int>& atom_indices) {
+  Component comp;
+  comp.atom_indices = atom_indices;
+  comp.track_of_path.assign(rq.query->path_variables().size(), -1);
+  auto add_var = [&](const ResolvedTerm& term, bool is_start) {
+    if (term.is_const) return;
+    if (std::find(comp.vars.begin(), comp.vars.end(), term.var) ==
+        comp.vars.end()) {
+      comp.vars.push_back(term.var);
+    }
+    if (is_start &&
+        std::find(comp.start_vars.begin(), comp.start_vars.end(),
+                  term.var) == comp.start_vars.end()) {
+      comp.start_vars.push_back(term.var);
+    }
+  };
+  for (int idx : atom_indices) {
+    const ResolvedAtom& atom = rq.atoms[idx];
+    if (comp.track_of_path[atom.path] < 0) {
+      comp.track_of_path[atom.path] = static_cast<int>(comp.tracks.size());
+      comp.tracks.push_back(atom.path);
+    }
+    add_var(atom.from, /*is_start=*/true);
+    add_var(atom.to, /*is_start=*/false);
+  }
+  for (size_t r = 0; r < rq.relations.size(); ++r) {
+    // A relation belongs to the component holding its first path's track
+    // (components contain either all or none of a relation's paths).
+    if (comp.track_of_path[rq.relations[r].paths[0]] >= 0) {
+      comp.relation_indices.push_back(static_cast<int>(r));
+    }
+  }
+  return comp;
+}
+
+// Interns relation state subsets.
+class SubsetPool {
+ public:
+  int Intern(std::vector<StateId> subset) {
+    auto [it, inserted] = ids_.emplace(std::move(subset), 0);
+    if (inserted) {
+      it->second = static_cast<int>(store_.size());
+      store_.push_back(it->first);
+    }
+    return it->second;
+  }
+  const std::vector<StateId>& Get(int id) const { return store_[id]; }
+
+ private:
+  std::map<std::vector<StateId>, int> ids_;
+  std::vector<std::vector<StateId>> store_;
+};
+
+// One product configuration.
+struct Config {
+  uint32_t padmask = 0;
+  std::vector<NodeId> nodes;    // per local track
+  std::vector<int> subset_ids;  // per component relation
+};
+
+std::vector<int32_t> EncodeConfig(const Config& c) {
+  std::vector<int32_t> code;
+  code.reserve(1 + c.nodes.size() + c.subset_ids.size());
+  code.push_back(static_cast<int32_t>(c.padmask));
+  for (NodeId v : c.nodes) code.push_back(v);
+  for (int s : c.subset_ids) code.push_back(s);
+  return code;
+}
+
+struct CodeHash {
+  size_t operator()(const std::vector<int32_t>& code) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (int32_t v : code) {
+      h ^= static_cast<uint32_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Callbacks for recording the product graph (path-answer construction).
+struct ProductGraphSink {
+  // state ids parallel to discovery order of configs
+  std::vector<Config> configs;
+  std::vector<std::vector<std::pair<std::vector<Symbol>, int>>> arcs;
+  std::vector<bool> initial;
+  std::vector<bool> accepting;
+};
+
+// Product search over one component for one start assignment.
+class ComponentSearch {
+ public:
+  ComponentSearch(const ResolvedQuery& rq, const Component& comp,
+                  const EvalOptions& options, EvalStats* stats)
+      : rq_(rq), comp_(comp), options_(options), stats_(stats) {
+    // Per-relation tuple alphabets and local track lists.
+    for (int r : comp_.relation_indices) {
+      const ResolvedRelation& rel = rq_.relations[r];
+      std::vector<int> local;
+      for (int p : rel.paths) local.push_back(comp_.track_of_path[p]);
+      rel_local_tracks_.push_back(std::move(local));
+      rel_alphabets_.emplace_back(rel.relation->tuple_alphabet());
+    }
+  }
+
+  // Runs BFS from one start-node-per-track assignment; reports satisfying
+  // (full component assignment) tuples into `results`. `fixed` holds
+  // pre-bound global vars (or -1). If `sink` is non-null the product graph
+  // is recorded there.
+  Status Run(const std::vector<NodeId>& start_nodes,
+             const std::vector<NodeId>& fixed,
+             std::set<std::vector<NodeId>>* results,
+             ProductGraphSink* sink) {
+    const int T = static_cast<int>(comp_.tracks.size());
+    const GraphDb& graph = *rq_.graph;
+
+    // Start binding of start vars (from the caller's enumeration).
+    // Initial relation subsets.
+    Config init;
+    init.nodes = start_nodes;
+    init.padmask = 0;
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const ResolvedRelation& rel =
+          rq_.relations[comp_.relation_indices[i]];
+      std::vector<StateId> subset = rel.initial;
+      std::sort(subset.begin(), subset.end());
+      if (subset.empty()) return Status::OK();  // relation unsatisfiable
+      init.subset_ids.push_back(pool_.Intern(std::move(subset)));
+    }
+
+    // The sink may already hold configs from previous start assignments;
+    // all sink indices are offset by its current size.
+    const int sink_base =
+        (sink != nullptr) ? static_cast<int>(sink->configs.size()) : 0;
+    std::unordered_map<std::vector<int32_t>, int, CodeHash> visited;
+    std::vector<Config> order;
+    std::queue<int> work;
+    auto intern_config = [&](Config c) -> std::pair<int, bool> {
+      auto code = EncodeConfig(c);
+      auto [it, inserted] = visited.emplace(std::move(code), 0);
+      if (inserted) {
+        it->second = static_cast<int>(order.size());
+        order.push_back(std::move(c));
+        work.push(it->second);
+        if (sink != nullptr) {
+          sink->configs.push_back(order.back());
+          sink->arcs.emplace_back();
+          sink->initial.push_back(false);
+          sink->accepting.push_back(false);
+        }
+      }
+      return {it->second, inserted};
+    };
+
+    auto [init_id, fresh] = intern_config(std::move(init));
+    (void)fresh;
+    if (sink != nullptr) sink->initial[sink_base + init_id] = true;
+
+    while (!work.empty()) {
+      int config_id = work.front();
+      work.pop();
+      if (++stats_->configs_explored > options_.max_configs) {
+        return Status::ResourceExhausted(
+            "product search exceeded max_configs=" +
+            std::to_string(options_.max_configs));
+      }
+      Config current = order[config_id];  // copy: order grows during expand
+
+      // Acceptance: every relation subset intersects its accepting set,
+      // and end constraints are consistent.
+      if (Accepting(current)) {
+        std::vector<NodeId> assignment;
+        if (EndConsistent(current, start_nodes, fixed, &assignment)) {
+          if (results != nullptr) results->insert(assignment);
+          if (sink != nullptr) sink->accepting[sink_base + config_id] = true;
+        }
+      }
+
+      // Expand successors: per track choose pad or an edge.
+      std::vector<Symbol> letter(T);
+      std::vector<NodeId> next_nodes(T);
+      ExpandRec(0, T, current, &letter, &next_nodes, graph,
+                [&](Config next, const std::vector<Symbol>& letters) {
+                  ++stats_->arcs_explored;
+                  auto [next_id, unused] = intern_config(std::move(next));
+                  (void)unused;
+                  if (sink != nullptr) {
+                    sink->arcs[sink_base + config_id].push_back(
+                        {letters, sink_base + next_id});
+                  }
+                });
+    }
+    return Status::OK();
+  }
+
+  const Component& component() const { return comp_; }
+
+ private:
+  bool Accepting(const Config& c) const {
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const ResolvedRelation& rel =
+          rq_.relations[comp_.relation_indices[i]];
+      bool ok = false;
+      for (StateId s : pool_.Get(c.subset_ids[i])) {
+        if (rel.accepting[s]) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // Checks end-node constraints; produces the component assignment
+  // (parallel to comp_.vars) on success.
+  bool EndConsistent(const Config& c, const std::vector<NodeId>& start_nodes,
+                     const std::vector<NodeId>& fixed,
+                     std::vector<NodeId>* assignment) const {
+    std::vector<NodeId> binding(rq_.query->node_variables().size(), -1);
+    // Seed with fixed bindings and start assignments.
+    for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
+    for (int idx : comp_.atom_indices) {
+      const ResolvedAtom& atom = rq_.atoms[idx];
+      int track = comp_.track_of_path[atom.path];
+      NodeId start = start_nodes[track];
+      NodeId end = c.nodes[track];
+      // From-term: already consistent by construction of start_nodes, but
+      // fixed vars must agree too.
+      if (atom.from.is_const) {
+        if (atom.from.node != start) return false;
+      } else {
+        if (binding[atom.from.var] >= 0 && binding[atom.from.var] != start) {
+          return false;
+        }
+        binding[atom.from.var] = start;
+      }
+      if (atom.to.is_const) {
+        if (atom.to.node != end) return false;
+      } else {
+        if (binding[atom.to.var] >= 0 && binding[atom.to.var] != end) {
+          return false;
+        }
+        binding[atom.to.var] = end;
+      }
+    }
+    assignment->clear();
+    for (int v : comp_.vars) assignment->push_back(binding[v]);
+    return true;
+  }
+
+  template <typename Callback>
+  void ExpandRec(int t, int total, const Config& current,
+                 std::vector<Symbol>* letter, std::vector<NodeId>* next_nodes,
+                 const GraphDb& graph, const Callback& emit) {
+    if (t == total) {
+      uint32_t new_padmask = 0;
+      bool all_pad = true;
+      for (int i = 0; i < total; ++i) {
+        if ((*letter)[i] == kPad) {
+          new_padmask |= (1u << i);
+        } else {
+          all_pad = false;
+        }
+      }
+      if (all_pad) return;
+      // Advance relations on their projected letters.
+      Config next;
+      next.padmask = new_padmask;
+      next.nodes = *next_nodes;
+      next.subset_ids.resize(comp_.relation_indices.size());
+      for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+        const ResolvedRelation& rel =
+            rq_.relations[comp_.relation_indices[i]];
+        const std::vector<int>& local = rel_local_tracks_[i];
+        TupleLetter proj(local.size());
+        bool rel_all_pad = true;
+        for (size_t tape = 0; tape < local.size(); ++tape) {
+          proj[tape] = (*letter)[local[tape]];
+          if (proj[tape] != kPad) rel_all_pad = false;
+        }
+        if (rel_all_pad) {
+          // The relation's word has ended; its subset is frozen.
+          next.subset_ids[i] = current.subset_ids[i];
+          continue;
+        }
+        Symbol id = rel_alphabets_[i].Encode(proj);
+        std::vector<StateId> advanced;
+        for (StateId s : pool_.Get(current.subset_ids[i])) {
+          auto it = rel.transitions[s].find(id);
+          if (it != rel.transitions[s].end()) {
+            advanced.insert(advanced.end(), it->second.begin(),
+                            it->second.end());
+          }
+        }
+        if (advanced.empty()) return;  // prune
+        std::sort(advanced.begin(), advanced.end());
+        advanced.erase(std::unique(advanced.begin(), advanced.end()),
+                       advanced.end());
+        next.subset_ids[i] = pool_.Intern(std::move(advanced));
+      }
+      emit(std::move(next), *letter);
+      return;
+    }
+    // Option 1: pad (always allowed; forced when already padded).
+    (*letter)[t] = kPad;
+    (*next_nodes)[t] = current.nodes[t];
+    ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+    // Option 2: follow an edge (only when not padded).
+    if (!(current.padmask & (1u << t))) {
+      for (const auto& [label, to] : graph.Out(current.nodes[t])) {
+        (*letter)[t] = label;
+        (*next_nodes)[t] = to;
+        ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+      }
+    }
+  }
+
+  const ResolvedQuery& rq_;
+  const Component& comp_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+  SubsetPool pool_;
+  std::vector<std::vector<int>> rel_local_tracks_;
+  std::vector<TupleAlphabet> rel_alphabets_;
+};
+
+// Enumerates start assignments for a component and accumulates results.
+Status SolveComponent(const ResolvedQuery& rq, const Component& comp,
+                      const EvalOptions& options,
+                      const std::vector<NodeId>& fixed, EvalStats* stats,
+                      std::set<std::vector<NodeId>>* results,
+                      ProductGraphSink* sink) {
+  const GraphDb& graph = *rq.graph;
+  ComponentSearch search(rq, comp, options, stats);
+
+  // Enumerate assignments to start vars (respecting `fixed`), derive the
+  // start node per track, and run one BFS per assignment.
+  std::vector<NodeId> binding(rq.query->node_variables().size(), -1);
+  for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
+
+  std::vector<int> start_vars = comp.start_vars;
+  Status status = Status::OK();
+
+  std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
+    if (i == start_vars.size()) {
+      // Derive start node per track; all from-terms of a track must agree.
+      std::vector<NodeId> start_nodes(comp.tracks.size(), -1);
+      for (int idx : comp.atom_indices) {
+        const ResolvedAtom& atom = rq.atoms[idx];
+        int track = comp.track_of_path[atom.path];
+        NodeId v = atom.from.is_const ? atom.from.node
+                                      : binding[atom.from.var];
+        if (start_nodes[track] < 0) {
+          start_nodes[track] = v;
+        } else if (start_nodes[track] != v) {
+          return Status::OK();  // inconsistent repetition start
+        }
+      }
+      ++stats->start_assignments;
+      return search.Run(start_nodes, binding, results, sink);
+    }
+    int var = start_vars[i];
+    if (binding[var] >= 0) return enumerate(i + 1);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      binding[var] = v;
+      Status st = enumerate(i + 1);
+      if (!st.ok()) return st;
+    }
+    binding[var] = -1;
+    return Status::OK();
+  };
+  status = enumerate(0);
+  return status;
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
+                                    const EvalOptions& options) {
+  if (!query.linear_atoms().empty()) {
+    return Status::FailedPrecondition(
+        "the product engine does not handle linear atoms; use the counting "
+        "engine (Engine::kCounting)");
+  }
+  auto resolved_or = ResolveQuery(graph, query);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const ResolvedQuery& rq = resolved_or.value();
+
+  QueryResult result;
+  result.mutable_stats()->engine = "product";
+
+  // Component decomposition (or a single joint component).
+  std::vector<std::vector<int>> groups;
+  if (options.use_components) {
+    groups = rq.analysis.components;
+  } else {
+    std::vector<int> all(rq.atoms.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    groups.push_back(std::move(all));
+  }
+
+  std::vector<Component> components;
+  std::vector<std::set<std::vector<NodeId>>> comp_results;
+  std::vector<NodeId> fixed(query.node_variables().size(), -1);
+  for (const auto& group : groups) {
+    components.push_back(BuildComponent(rq, group));
+    comp_results.emplace_back();
+    Status st =
+        SolveComponent(rq, components.back(), options, fixed,
+                       result.mutable_stats(), &comp_results.back(), nullptr);
+    if (!st.ok()) return st;
+    if (comp_results.back().empty()) {
+      return result;  // empty answer
+    }
+  }
+
+  // Join component results on shared node variables.
+  std::set<std::vector<NodeId>> head_tuples;
+  std::vector<NodeId> global(query.node_variables().size(), -1);
+  std::function<void(size_t)> join = [&](size_t i) {
+    if (i == components.size()) {
+      std::vector<NodeId> head;
+      for (const NodeTerm& term : query.head_nodes()) {
+        ECRPQ_DCHECK(!term.is_constant);
+        int v = query.NodeVarIndex(term.name);
+        head.push_back(global[v]);
+      }
+      head_tuples.insert(std::move(head));
+      ++result.mutable_stats()->join_tuples;
+      return;
+    }
+    const Component& comp = components[i];
+    for (const std::vector<NodeId>& tuple : comp_results[i]) {
+      bool ok = true;
+      std::vector<std::pair<int, NodeId>> bound;
+      for (size_t k = 0; k < comp.vars.size() && ok; ++k) {
+        int v = comp.vars[k];
+        if (global[v] >= 0) {
+          ok = (global[v] == tuple[k]);
+        } else {
+          global[v] = tuple[k];
+          bound.emplace_back(v, tuple[k]);
+        }
+      }
+      if (ok) join(i + 1);
+      for (const auto& [v, node] : bound) {
+        (void)node;
+        global[v] = -1;
+      }
+    }
+  };
+  join(0);
+
+  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
+
+  // Path answers per head tuple.
+  if (!query.head_paths().empty() && options.build_path_answers) {
+    for (const std::vector<NodeId>& tuple : result.tuples()) {
+      auto answers = BuildPathAnswerSet(graph, query, options, tuple);
+      if (!answers.ok()) return answers.status();
+      result.mutable_path_answers()->push_back(std::move(answers).value());
+    }
+  }
+  return result;
+}
+
+Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
+    const GraphDb& graph, const Query& query, const EvalOptions& options,
+    const std::vector<NodeId>& assignment) {
+  auto resolved_or = ResolveQuery(graph, query);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const ResolvedQuery& rq = resolved_or.value();
+  if (assignment.size() != query.node_variables().size()) {
+    return Status::InvalidArgument(
+        "assignment arity does not match node variable count");
+  }
+  for (NodeId v : assignment) {
+    if (v < 0 || v >= graph.num_nodes()) {
+      return Status::InvalidArgument("assignment binds a non-node");
+    }
+  }
+
+  std::vector<ComponentProductGraph> out;
+  EvalStats stats;
+  for (const auto& group : rq.analysis.components) {
+    Component comp = BuildComponent(rq, group);
+    ProductGraphSink sink;
+    Status st = SolveComponent(rq, comp, options, assignment, &stats,
+                               /*results=*/nullptr, &sink);
+    if (!st.ok()) return st;
+    ComponentProductGraph cpg;
+    cpg.tracks = comp.tracks;
+    cpg.num_states = static_cast<int>(sink.configs.size());
+    cpg.initial = sink.initial;
+    cpg.accepting = sink.accepting;
+    for (int s = 0; s < cpg.num_states; ++s) {
+      for (const auto& [letters, target] : sink.arcs[s]) {
+        cpg.arcs.emplace_back(s, target, letters);
+      }
+    }
+    out.push_back(std::move(cpg));
+  }
+  return out;
+}
+
+Result<PathAnswerSet> BuildPathAnswerSet(
+    const GraphDb& graph, const Query& query, const EvalOptions& options,
+    const std::vector<NodeId>& head_nodes) {
+  auto resolved_or = ResolveQuery(graph, query);
+  if (!resolved_or.ok()) return resolved_or.status();
+  const ResolvedQuery& rq = resolved_or.value();
+
+  if (head_nodes.size() != query.head_nodes().size()) {
+    return Status::InvalidArgument(
+        "head binding arity does not match query head");
+  }
+
+  // Fix head node variables.
+  std::vector<NodeId> fixed(query.node_variables().size(), -1);
+  for (size_t i = 0; i < query.head_nodes().size(); ++i) {
+    const NodeTerm& term = query.head_nodes()[i];
+    int v = query.NodeVarIndex(term.name);
+    if (fixed[v] >= 0 && fixed[v] != head_nodes[i]) {
+      return Status::InvalidArgument("inconsistent head binding");
+    }
+    fixed[v] = head_nodes[i];
+  }
+
+  // Split the query: the atoms of components containing a head path
+  // variable are searched jointly with arc recording; the remaining
+  // components only constrain node variables, so they are solved node-only
+  // and their satisfying assignments anchor the head search.
+  std::vector<int> head_path_ids;
+  for (const std::string& p : query.head_paths()) {
+    head_path_ids.push_back(query.PathVarIndex(p));
+  }
+  std::vector<int> head_atoms;
+  std::vector<Component> other_components;
+  for (const auto& group : rq.analysis.components) {
+    bool has_head = false;
+    for (int idx : group) {
+      for (int hp : head_path_ids) {
+        if (rq.atoms[idx].path == hp) has_head = true;
+      }
+    }
+    if (has_head) {
+      head_atoms.insert(head_atoms.end(), group.begin(), group.end());
+    } else {
+      other_components.push_back(BuildComponent(rq, group));
+    }
+  }
+  std::sort(head_atoms.begin(), head_atoms.end());
+  if (head_atoms.empty()) {
+    return Status::InvalidArgument("query head has no path variables");
+  }
+  Component comp = BuildComponent(rq, head_atoms);
+
+  EvalStats stats;
+
+  // Anchor assignments: satisfying bindings of the other components,
+  // projected to the variables they share with the head component (and
+  // joined among themselves on their own shared variables).
+  std::vector<std::vector<NodeId>> anchors;  // full-var partial bindings
+  {
+    std::vector<std::set<std::vector<NodeId>>> other_results;
+    for (const Component& other : other_components) {
+      other_results.emplace_back();
+      Status st = SolveComponent(rq, other, options, fixed, &stats,
+                                 &other_results.back(), nullptr);
+      if (!st.ok()) return st;
+      if (other_results.back().empty()) {
+        // Unsatisfiable side condition: the answer set is empty.
+        return PathAnswerSet(
+            std::max<int>(static_cast<int>(head_path_ids.size()), 1),
+            graph.alphabet().size());
+      }
+    }
+    std::set<std::vector<NodeId>> anchor_set;
+    std::vector<NodeId> global = fixed;
+    std::function<void(size_t)> join = [&](size_t i) {
+      if (i == other_components.size()) {
+        // Keep only variables the head component shares.
+        std::vector<NodeId> anchor = fixed;
+        for (int v : comp.vars) anchor[v] = global[v];
+        anchor_set.insert(anchor);
+        return;
+      }
+      const Component& other = other_components[i];
+      for (const std::vector<NodeId>& tuple : other_results[i]) {
+        bool ok = true;
+        std::vector<int> bound;
+        for (size_t k = 0; k < other.vars.size() && ok; ++k) {
+          int v = other.vars[k];
+          if (global[v] >= 0) {
+            ok = (global[v] == tuple[k]);
+          } else {
+            global[v] = tuple[k];
+            bound.push_back(v);
+          }
+        }
+        if (ok) join(i + 1);
+        for (int v : bound) global[v] = -1;
+      }
+    };
+    join(0);
+    anchors.assign(anchor_set.begin(), anchor_set.end());
+  }
+  if (anchors.empty()) anchors.push_back(fixed);
+
+  ProductGraphSink sink;
+  for (const std::vector<NodeId>& anchor : anchors) {
+    Status st = SolveComponent(rq, comp, options, anchor, &stats,
+                               /*results=*/nullptr, &sink);
+    if (!st.ok()) return st;
+  }
+
+  // Head track selection (indices into comp.tracks).
+  std::vector<int> head_tracks;
+  for (const std::string& p : query.head_paths()) {
+    head_tracks.push_back(comp.track_of_path[query.PathVarIndex(p)]);
+  }
+  const int k = static_cast<int>(head_tracks.size());
+
+  // ε-closure over arcs whose head projection is all-pad, so that the
+  // answer automaton counts head-projections exactly.
+  const int n = static_cast<int>(sink.configs.size());
+  auto head_all_pad = [&](const std::vector<Symbol>& letters) {
+    for (int t : head_tracks) {
+      if (letters[t] != kPad) return false;
+    }
+    return true;
+  };
+  // closure[s] = states reachable from s via head-all-pad arcs.
+  std::vector<std::vector<int>> closure(n);
+  for (int s = 0; s < n; ++s) {
+    std::vector<bool> seen(n, false);
+    std::vector<int> stack = {s};
+    seen[s] = true;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      closure[s].push_back(u);
+      for (const auto& [letters, target] : sink.arcs[u]) {
+        if (head_all_pad(letters) && !seen[target]) {
+          seen[target] = true;
+          stack.push_back(target);
+        }
+      }
+    }
+  }
+
+  PathAnswerSet answers(std::max(k, 1), graph.alphabet().size());
+  std::vector<int> remap(n);
+  for (int s = 0; s < n; ++s) {
+    std::vector<NodeId> head_node_tuple;
+    for (int t : head_tracks) {
+      head_node_tuple.push_back(sink.configs[s].nodes[t]);
+    }
+    bool accepting = false;
+    for (int c : closure[s]) accepting = accepting || sink.accepting[c];
+    remap[s] = answers.AddState(std::move(head_node_tuple), sink.initial[s],
+                                accepting);
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int c : closure[s]) {
+      for (const auto& [letters, target] : sink.arcs[c]) {
+        if (head_all_pad(letters)) continue;
+        TupleLetter head_letter;
+        for (int t : head_tracks) head_letter.push_back(letters[t]);
+        answers.AddArc(remap[s], head_letter, remap[target]);
+      }
+    }
+  }
+  return answers;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,94 @@
+// The general ECRPQ engine: on-the-fly evaluation of the convolution
+// product (Theorem 5.1, with the on-the-fly state handling of
+// Theorems 6.1/6.3).
+//
+// The engine never materializes G^m or the joined relation automaton A_Q.
+// A configuration is (one NFA state-subset per relation atom, one graph
+// node per path variable, a pad mask); successors choose, per track, either
+// a graph edge or ⊥ (monotone pads), and advance each relation on the
+// projection of the chosen tuple letter. Node-variable equalities anchor
+// start tuples (enumerated) and filter accepting configurations.
+
+#ifndef ECRPQ_CORE_EVAL_PRODUCT_H_
+#define ECRPQ_CORE_EVAL_PRODUCT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "query/analysis.h"
+
+namespace ecrpq {
+
+/// A node term resolved against a graph: constant node or variable index.
+struct ResolvedTerm {
+  bool is_const = false;
+  int var = -1;      // index into Query::node_variables() when !is_const
+  NodeId node = -1;  // bound node when is_const
+};
+
+/// A path atom with resolved terms; `path` indexes Query::path_variables().
+struct ResolvedAtom {
+  ResolvedTerm from;
+  ResolvedTerm to;
+  int path = -1;
+};
+
+/// A relation atom prepared for simulation: ε-free NFA with per-state
+/// transition maps, and the path-variable indices it reads.
+struct ResolvedRelation {
+  const RegularRelation* relation = nullptr;
+  Nfa nfa;  // ε-free
+  std::vector<std::unordered_map<Symbol, std::vector<StateId>>> transitions;
+  std::vector<StateId> initial;
+  std::vector<bool> accepting;
+  std::vector<int> paths;  // indices into Query::path_variables()
+
+  ResolvedRelation() : nfa(0) {}
+};
+
+/// Query resolved against a graph (constants bound, relations prepared).
+struct ResolvedQuery {
+  const GraphDb* graph = nullptr;
+  const Query* query = nullptr;
+  std::vector<ResolvedAtom> atoms;
+  std::vector<ResolvedRelation> relations;
+  QueryAnalysis analysis;
+};
+
+/// Resolves and checks (constants exist, relation alphabets match).
+Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query);
+
+/// Evaluates with the product engine. Rejects linear atoms
+/// (FailedPrecondition) — those belong to the counting engine.
+Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
+                                    const EvalOptions& options);
+
+/// Builds the Prop 5.2 answer automaton for one head-node binding.
+/// `head_nodes` is parallel to query.head_nodes(). All tracks of the query
+/// participate; the automaton is projected onto the head path variables
+/// (all-pad projections are ε-eliminated so counting stays exact).
+Result<PathAnswerSet> BuildPathAnswerSet(
+    const GraphDb& graph, const Query& query, const EvalOptions& options,
+    const std::vector<NodeId>& head_nodes);
+
+/// The materialized product automaton of one synchronization component
+/// under a full node assignment (used by the counting engine of Thm 8.5).
+struct ComponentProductGraph {
+  std::vector<int> tracks;  ///< global path-variable id per local track
+  int num_states = 0;
+  std::vector<bool> initial;
+  std::vector<bool> accepting;
+  /// (from, to, per-track letters with kPad for ⊥).
+  std::vector<std::tuple<int, int, std::vector<Symbol>>> arcs;
+};
+
+/// Builds one product graph per synchronization component with every node
+/// variable fixed by `assignment` (parallel to query.node_variables()).
+Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
+    const GraphDb& graph, const Query& query, const EvalOptions& options,
+    const std::vector<NodeId>& assignment);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_EVAL_PRODUCT_H_

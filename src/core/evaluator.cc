@@ -1,0 +1,39 @@
+#include "core/evaluator.h"
+
+#include "core/eval_bruteforce.h"
+#include "core/eval_counting.h"
+#include "core/eval_crpq.h"
+#include "core/eval_product.h"
+#include "core/eval_qlen.h"
+
+namespace ecrpq {
+
+Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
+  Engine engine = options_.engine;
+  if (engine == Engine::kAuto) {
+    if (!query.linear_atoms().empty()) {
+      engine = Engine::kCounting;
+    } else if (CrpqFastPathApplies(query)) {
+      engine = Engine::kCrpq;
+    } else {
+      engine = Engine::kProduct;
+    }
+  }
+  switch (engine) {
+    case Engine::kProduct:
+      return EvaluateProduct(*graph_, query, options_);
+    case Engine::kCrpq:
+      return EvaluateCrpq(*graph_, query, options_);
+    case Engine::kCounting:
+      return EvaluateCounting(*graph_, query, options_);
+    case Engine::kQlen:
+      return EvaluateQlen(*graph_, query, options_);
+    case Engine::kBruteForce:
+      return EvaluateBruteForce(*graph_, query, options_);
+    case Engine::kAuto:
+      break;
+  }
+  return Status::Internal("unreachable engine dispatch");
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,118 @@
+// Public query-evaluation API.
+//
+// Evaluator dispatches a validated Query over a GraphDb to one of the
+// engines the paper's complexity analysis distinguishes:
+//
+//   kProduct     the general on-the-fly convolution engine (Thm 5.1/6.1/6.3);
+//                handles every ECRPQ, PSPACE-complete combined complexity
+//   kCrpq        per-atom product reachability + join (the folklore CRPQ
+//                algorithm and the acyclic PTIME algorithm of Thm 6.5);
+//                requires all relations unary and no repeated path variables
+//   kCounting    Parikh/ILP engine for linear constraints on occurrence
+//                counts or path lengths (Thm 8.5)
+//   kQlen        length-abstraction engine (Lemma 6.6 / Thm 6.7): relations
+//                are replaced by R_len and solved via arithmetic
+//                progressions
+//   kBruteForce  bounded path enumeration; reference semantics for tests
+//
+// kAuto picks kCrpq when applicable, kCounting for queries with linear
+// atoms, and kProduct otherwise.
+
+#ifndef ECRPQ_CORE_EVALUATOR_H_
+#define ECRPQ_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "core/path_answers.h"
+#include "core/stats.h"
+#include "graph/graph.h"
+#include "query/ast.h"
+#include "solver/parikh.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+enum class Engine {
+  kAuto,
+  kProduct,
+  kCrpq,
+  kCounting,
+  kQlen,
+  kBruteForce,
+};
+
+struct EvalOptions {
+  Engine engine = Engine::kAuto;
+
+  /// Evaluate synchronization components independently and join (kProduct).
+  bool use_components = true;
+
+  /// Semi-join reduction before enumeration on acyclic queries (kCrpq).
+  bool use_semijoin_reduction = true;
+
+  /// Build Prop 5.2 answer automata for head path variables.
+  bool build_path_answers = true;
+
+  /// Product-configuration budget (kProduct); exceeding returns
+  /// ResourceExhausted.
+  uint64_t max_configs = 2000000;
+
+  /// Path-length bound for the brute-force engine.
+  int bruteforce_max_len = 8;
+
+  /// Parikh/ILP options (kCounting).
+  ParikhOptions parikh;
+};
+
+/// Evaluation output: Q(G) with node tuples materialized and path answers
+/// represented by Prop 5.2 automata.
+class QueryResult {
+ public:
+  /// For Boolean queries: was the body satisfiable? (Non-Boolean: any
+  /// answer tuple exists.)
+  bool AsBool() const { return !tuples_.empty(); }
+
+  /// Distinct head-node bindings, sorted. For Boolean queries this is
+  /// {()} when true and {} when false.
+  const std::vector<std::vector<NodeId>>& tuples() const { return tuples_; }
+
+  /// Answer automata, parallel to tuples(); present when the query head
+  /// has path variables and path answers were requested.
+  bool has_path_answers() const { return !path_answers_.empty(); }
+  const PathAnswerSet& path_answers(size_t tuple_index) const {
+    return path_answers_[tuple_index];
+  }
+
+  const EvalStats& stats() const { return stats_; }
+
+  // Engine-internal mutators.
+  std::vector<std::vector<NodeId>>* mutable_tuples() { return &tuples_; }
+  std::vector<PathAnswerSet>* mutable_path_answers() {
+    return &path_answers_;
+  }
+  EvalStats* mutable_stats() { return &stats_; }
+
+ private:
+  std::vector<std::vector<NodeId>> tuples_;
+  std::vector<PathAnswerSet> path_answers_;
+  EvalStats stats_;
+};
+
+/// Facade: binds a graph and options, dispatches queries to engines.
+class Evaluator {
+ public:
+  explicit Evaluator(const GraphDb* graph, EvalOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  Result<QueryResult> Evaluate(const Query& query) const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  const GraphDb* graph_;
+  EvalOptions options_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_EVALUATOR_H_

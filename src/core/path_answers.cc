@@ -1,0 +1,310 @@
+#include "core/path_answers.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "automata/nfa.h"
+#include "automata/operations.h"
+
+namespace ecrpq {
+
+PathAnswerSet::PathAnswerSet(int num_tracks, int base_size)
+    : num_tracks_(num_tracks), letters_(base_size, std::max(num_tracks, 1)) {
+  ECRPQ_DCHECK(num_tracks >= 1);
+}
+
+int PathAnswerSet::AddState(std::vector<NodeId> nodes, bool initial,
+                            bool accepting) {
+  ECRPQ_DCHECK(static_cast<int>(nodes.size()) == num_tracks_);
+  nodes_.push_back(std::move(nodes));
+  arcs_.emplace_back();
+  initial_.push_back(initial);
+  accepting_.push_back(accepting);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void PathAnswerSet::AddArc(int from, const TupleLetter& letter, int to) {
+  ECRPQ_DCHECK(from >= 0 && from < num_states());
+  ECRPQ_DCHECK(to >= 0 && to < num_states());
+#ifndef NDEBUG
+  for (int t = 0; t < num_tracks_; ++t) {
+    if (letter[t] == kPad) {
+      ECRPQ_DCHECK(nodes_[from][t] == nodes_[to][t]);
+    }
+  }
+#endif
+  arcs_[from].push_back({letters_.Encode(letter), to});
+}
+
+void PathAnswerSet::SetAccepting(int state, bool accepting) {
+  accepting_[state] = accepting;
+}
+
+namespace {
+// Trims to states reachable from an initial and co-reachable from an
+// accepting state; returns per-state liveness.
+std::vector<bool> LiveStates(const std::vector<bool>& initial,
+                             const std::vector<bool>& accepting,
+                             const std::vector<std::vector<std::pair<int, int>>>&
+                                 fwd_arcs) {
+  const int n = static_cast<int>(initial.size());
+  std::vector<bool> reach(n, false), coreach(n, false);
+  std::vector<int> stack;
+  for (int s = 0; s < n; ++s) {
+    if (initial[s]) {
+      reach[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const auto& [letter, t] : fwd_arcs[s]) {
+      (void)letter;
+      if (!reach[t]) {
+        reach[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::vector<std::vector<int>> rev(n);
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [letter, t] : fwd_arcs[s]) {
+      (void)letter;
+      rev[t].push_back(s);
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    if (accepting[s]) {
+      coreach[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int p : rev[s]) {
+      if (!coreach[p]) {
+        coreach[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<bool> live(n);
+  for (int s = 0; s < n; ++s) live[s] = reach[s] && coreach[s];
+  return live;
+}
+}  // namespace
+
+bool PathAnswerSet::IsEmpty() const {
+  std::vector<std::vector<std::pair<int, int>>> fwd(num_states());
+  for (int s = 0; s < num_states(); ++s) {
+    for (const Arc& arc : arcs_[s]) fwd[s].push_back({arc.letter, arc.target});
+  }
+  std::vector<bool> live = LiveStates(initial_, accepting_, fwd);
+  for (int s = 0; s < num_states(); ++s) {
+    if (live[s] && initial_[s]) return false;
+  }
+  return true;
+}
+
+bool PathAnswerSet::IsInfinite() const {
+  // Distinct tuples are in bijection with accepted representation words,
+  // and each word corresponds to at least one state-path; infinitely many
+  // words require a cycle among live states. Conversely a live cycle
+  // pumps arbitrarily long representation words, and distinct words encode
+  // distinct tuples. So: infinite iff the live sub-graph has a cycle.
+  std::vector<std::vector<std::pair<int, int>>> fwd(num_states());
+  for (int s = 0; s < num_states(); ++s) {
+    for (const Arc& arc : arcs_[s]) fwd[s].push_back({arc.letter, arc.target});
+  }
+  std::vector<bool> live = LiveStates(initial_, accepting_, fwd);
+  std::vector<int> color(num_states(), 0);
+  for (int root = 0; root < num_states(); ++root) {
+    if (!live[root] || color[root] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack = {{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      if (idx < arcs_[s].size()) {
+        int t = arcs_[s][idx++].target;
+        if (!live[t]) continue;
+        if (color[t] == 1) return true;
+        if (color[t] == 0) {
+          color[t] = 1;
+          stack.emplace_back(t, 0);
+        }
+      } else {
+        color[s] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+// Interned alphabet of (letter-or-init, node-tuple) pairs for distinct
+// counting/enumeration.
+class PairInterner {
+ public:
+  int Intern(int letter, const std::vector<NodeId>& nodes) {
+    auto [it, inserted] =
+        ids_.emplace(std::make_pair(letter, nodes), next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  int size() const { return next_; }
+
+ private:
+  std::map<std::pair<int, std::vector<NodeId>>, int> ids_;
+  int next_ = 0;
+};
+}  // namespace
+
+uint64_t PathAnswerSet::CountTuples(int max_len) const {
+  // Build the word NFA: super-initial --(init, v̄0)--> states; arcs become
+  // (letter, v̄_target). Distinct words are counted by the subset-based
+  // counter in automata/operations.
+  PairInterner interner;
+  constexpr int kInit = -7;
+  std::vector<std::tuple<int, int, int>> arcs;  // (from+1, symbol, to+1)
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s]) {
+      arcs.emplace_back(0, interner.Intern(kInit, nodes_[s]), s + 1);
+    }
+    for (const Arc& arc : arcs_[s]) {
+      arcs.emplace_back(s + 1, interner.Intern(arc.letter, nodes_[arc.target]),
+                        arc.target + 1);
+    }
+  }
+  Nfa nfa(interner.size());
+  nfa.AddStates(num_states() + 1);
+  nfa.SetInitial(0);
+  for (int s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) nfa.SetAccepting(s + 1);
+  }
+  for (const auto& [from, symbol, to] : arcs) {
+    nfa.AddTransition(from, symbol, to);
+  }
+  // Representation word length = 1 (init) + convolution length.
+  uint64_t total = 0;
+  for (int l = 1; l <= max_len + 1; ++l) {
+    uint64_t c = CountWordsOfLength(nfa, l);
+    total = (total + c < total) ? UINT64_MAX : total + c;
+  }
+  return total;
+}
+
+std::vector<PathTuple> PathAnswerSet::Enumerate(int max_count,
+                                                int max_len) const {
+  std::vector<PathTuple> out;
+  if (max_count <= 0) return out;
+  // BFS over (start state, current state, representation word so far),
+  // deduplicating emitted tuples by their canonical representation word
+  // (distinct state-paths can spell the same word).
+  std::set<std::vector<int>> emitted;
+  auto canonical = [&](int start, const std::vector<std::pair<TupleLetter, int>>&
+                                      word) {
+    std::vector<int> code;
+    for (NodeId v : nodes_[start]) code.push_back(v);
+    for (const auto& [letter, target] : word) {
+      code.push_back(-1);
+      code.push_back(letters_.Encode(letter));
+      for (NodeId v : nodes_[target]) code.push_back(v);
+    }
+    return code;
+  };
+  struct Frame {
+    int start;
+    int state;
+    std::vector<std::pair<TupleLetter, int>> word;
+  };
+  std::queue<Frame> frames;
+  for (int s = 0; s < num_states(); ++s) {
+    if (initial_[s]) frames.push({s, s, {}});
+  }
+  while (!frames.empty() && static_cast<int>(out.size()) < max_count) {
+    Frame frame = std::move(frames.front());
+    frames.pop();
+    if (accepting_[frame.state]) {
+      std::vector<int> code = canonical(frame.start, frame.word);
+      if (emitted.insert(code).second) {
+        // Decode into a PathTuple.
+        PathTuple tuple;
+        tuple.reserve(num_tracks_);
+        for (int t = 0; t < num_tracks_; ++t) {
+          Path path(nodes_[frame.start][t]);
+          for (const auto& [letter, target] : frame.word) {
+            if (letter[t] != kPad) {
+              path.Append(letter[t], nodes_[target][t]);
+            }
+          }
+          tuple.push_back(std::move(path));
+        }
+        out.push_back(std::move(tuple));
+      }
+    }
+    if (static_cast<int>(frame.word.size()) >= max_len) continue;
+    for (const Arc& arc : arcs_[frame.state]) {
+      Frame next = frame;
+      next.word.emplace_back(letters_.Decode(arc.letter), arc.target);
+      next.state = arc.target;
+      frames.push(std::move(next));
+    }
+  }
+  return out;
+}
+
+bool PathAnswerSet::Contains(const PathTuple& tuple) const {
+  ECRPQ_DCHECK(static_cast<int>(tuple.size()) == num_tracks_);
+  // The representation word of the tuple is unique; simulate it.
+  size_t max_len = 0;
+  for (const Path& p : tuple) {
+    max_len = std::max(max_len, static_cast<size_t>(p.length()));
+  }
+  // Current states consistent so far.
+  std::vector<int> current;
+  for (int s = 0; s < num_states(); ++s) {
+    if (!initial_[s]) continue;
+    bool ok = true;
+    for (int t = 0; t < num_tracks_ && ok; ++t) {
+      ok = (nodes_[s][t] == tuple[t].start());
+    }
+    if (ok) current.push_back(s);
+  }
+  for (size_t i = 0; i < max_len; ++i) {
+    TupleLetter letter(num_tracks_);
+    std::vector<NodeId> expect(num_tracks_);
+    for (int t = 0; t < num_tracks_; ++t) {
+      if (i < static_cast<size_t>(tuple[t].length())) {
+        letter[t] = tuple[t].steps()[i].first;
+        expect[t] = tuple[t].steps()[i].second;
+      } else {
+        letter[t] = kPad;
+        expect[t] = tuple[t].end();
+      }
+    }
+    Symbol letter_id = letters_.Encode(letter);
+    std::vector<int> next;
+    for (int s : current) {
+      for (const Arc& arc : arcs_[s]) {
+        if (arc.letter == letter_id && nodes_[arc.target] == expect) {
+          next.push_back(arc.target);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) return false;
+  }
+  for (int s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+}  // namespace ecrpq

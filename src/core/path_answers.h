@@ -1,0 +1,87 @@
+// Compact representation of path-tuple answers (Proposition 5.2).
+//
+// For a fixed tuple of head nodes v̄, the set { χ̄ : (v̄, χ̄) ∈ Q(G) } of
+// output path tuples is a regular relation; the paper represents it by an
+// automaton over V^k ∪ (Σ⊥)^k whose accepted words alternate node tuples and
+// letter tuples. PathAnswerSet is that automaton: states carry the node
+// tuple, arcs carry the letter tuple, so an accepting state-path spells the
+// representation word exactly as in the paper. It answers the question the
+// paper raises in the introduction — "what should an output be if there are
+// infinitely many paths between nodes?" — with emptiness/infinity tests,
+// counting, bounded enumeration, and membership.
+
+#ifndef ECRPQ_CORE_PATH_ANSWERS_H_
+#define ECRPQ_CORE_PATH_ANSWERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/path.h"
+#include "relations/convolution.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// A tuple of paths, one per head path variable.
+using PathTuple = std::vector<Path>;
+
+/// The Prop 5.2 answer automaton for one head-node binding.
+class PathAnswerSet {
+ public:
+  /// `num_tracks` = number of head path variables; `base_size` = |Σ|.
+  PathAnswerSet(int num_tracks, int base_size);
+
+  // ---- construction (used by evaluation engines) ----
+
+  /// Adds a state annotated with the current node per track.
+  int AddState(std::vector<NodeId> nodes, bool initial, bool accepting);
+
+  /// Adds an arc labeled with a letter per track (kPad allowed; the node
+  /// annotation of `to` must repeat `from`'s node on padded tracks).
+  void AddArc(int from, const TupleLetter& letter, int to);
+
+  void SetAccepting(int state, bool accepting = true);
+
+  // ---- queries ----
+
+  int num_states() const { return static_cast<int>(nodes_.size()); }
+  int num_tracks() const { return num_tracks_; }
+
+  /// No answer tuples at all.
+  bool IsEmpty() const;
+
+  /// Infinitely many distinct answer tuples.
+  bool IsInfinite() const;
+
+  /// Number of distinct answer tuples with convolution length <= max_len
+  /// (saturating at UINT64_MAX).
+  uint64_t CountTuples(int max_len) const;
+
+  /// Up to `max_count` distinct answer tuples with convolution length
+  /// <= max_len, in length order.
+  std::vector<PathTuple> Enumerate(int max_count, int max_len) const;
+
+  /// Membership of a concrete path tuple.
+  bool Contains(const PathTuple& tuple) const;
+
+ private:
+  /// Internal NFA over interned (letter, target-nodes) pairs, built lazily
+  /// for distinct counting/enumeration. The word encoding is
+  /// (init, v̄0) (a̅1, v̄1) (a̅2, v̄2) ... which is in bijection with the
+  /// paper's representation words v̄0 a̅1 v̄1 a̅2 v̄2 ...
+  struct Arc {
+    Symbol letter;  // tuple-letter id over TupleAlphabet(base, tracks)
+    int target;
+  };
+
+  int num_tracks_;
+  TupleAlphabet letters_;
+  std::vector<std::vector<NodeId>> nodes_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<bool> initial_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_PATH_ANSWERS_H_

@@ -1,0 +1,32 @@
+// Evaluation statistics, exposed for benchmarks and ablations.
+
+#ifndef ECRPQ_CORE_STATS_H_
+#define ECRPQ_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ecrpq {
+
+struct EvalStats {
+  std::string engine;               ///< which engine produced the result
+  uint64_t configs_explored = 0;    ///< product configurations visited
+  uint64_t arcs_explored = 0;       ///< product transitions generated
+  uint64_t start_assignments = 0;   ///< anchored start tuples enumerated
+  uint64_t join_tuples = 0;         ///< intermediate join results
+  uint64_t ilp_variables = 0;       ///< ILP size (counting engines)
+  uint64_t ilp_constraints = 0;
+
+  void Accumulate(const EvalStats& other) {
+    configs_explored += other.configs_explored;
+    arcs_explored += other.arcs_explored;
+    start_assignments += other.start_assignments;
+    join_tuples += other.join_tuples;
+    ilp_variables += other.ilp_variables;
+    ilp_constraints += other.ilp_constraints;
+  }
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_STATS_H_

@@ -1,0 +1,218 @@
+#include "graph/generators.h"
+
+#include <string>
+
+namespace ecrpq {
+
+GraphDb WordGraph(const AlphabetPtr& alphabet, const Word& word) {
+  GraphDb g(alphabet);
+  NodeId prev = g.AddNode("w0");
+  for (size_t i = 0; i < word.size(); ++i) {
+    NodeId next = g.AddNode("w" + std::to_string(i + 1));
+    g.AddEdge(prev, word[i], next);
+    prev = next;
+  }
+  return g;
+}
+
+GraphDb TwoWordGraph(const AlphabetPtr& alphabet, const Word& x,
+                     const Word& y) {
+  GraphDb g(alphabet);
+  NodeId prev = g.AddNode("x0");
+  for (size_t i = 0; i < x.size(); ++i) {
+    NodeId next = g.AddNode("x" + std::to_string(i + 1));
+    g.AddEdge(prev, x[i], next);
+    prev = next;
+  }
+  prev = g.AddNode("y0");
+  for (size_t i = 0; i < y.size(); ++i) {
+    NodeId next = g.AddNode("y" + std::to_string(i + 1));
+    g.AddEdge(prev, y[i], next);
+    prev = next;
+  }
+  return g;
+}
+
+GraphDb RandomGraph(const AlphabetPtr& alphabet, int num_nodes, int num_edges,
+                    Rng* rng) {
+  ECRPQ_DCHECK(num_nodes > 0);
+  ECRPQ_DCHECK(alphabet->size() > 0);
+  GraphDb g(alphabet);
+  for (int i = 0; i < num_nodes; ++i) g.AddNode();
+  for (int i = 0; i < num_edges; ++i) {
+    NodeId from = static_cast<NodeId>(rng->Below(num_nodes));
+    NodeId to = static_cast<NodeId>(rng->Below(num_nodes));
+    Symbol label = static_cast<Symbol>(rng->Below(alphabet->size()));
+    g.AddEdge(from, label, to);
+  }
+  return g;
+}
+
+GraphDb LayeredGraph(const AlphabetPtr& alphabet, int layers, int width,
+                     int fanout, Rng* rng) {
+  ECRPQ_DCHECK(layers >= 1 && width >= 1 && fanout >= 1);
+  ECRPQ_DCHECK(alphabet->size() > 0);
+  GraphDb g(alphabet);
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) g.AddNode();
+  }
+  auto node = [&](int l, int w) { return static_cast<NodeId>(l * width + w); };
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      for (int f = 0; f < fanout; ++f) {
+        NodeId to = node(l + 1, static_cast<int>(rng->Below(width)));
+        Symbol label = static_cast<Symbol>(rng->Below(alphabet->size()));
+        g.AddEdge(node(l, w), label, to);
+      }
+    }
+  }
+  return g;
+}
+
+GraphDb CycleGraph(const AlphabetPtr& alphabet, int n,
+                   std::string_view label) {
+  ECRPQ_DCHECK(n >= 1);
+  GraphDb g(alphabet);
+  for (int i = 0; i < n; ++i) g.AddNode("c" + std::to_string(i));
+  Symbol sym = g.alphabet_ptr()->Intern(label);
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, sym, (i + 1) % n);
+  }
+  return g;
+}
+
+GraphDb UniversalWordGraph(const AlphabetPtr& alphabet) {
+  // The graph G_R of Theorem 6.3: nodes v1..v{n+1} (n = |Σ|); edge
+  // (vi, a, vj) for i != j, where a = a_{j-1} if i < j and a = a_j
+  // otherwise (1-based letters a_1..a_n). From every node, every word over
+  // Σ labels some path.
+  const int n = alphabet->size();
+  ECRPQ_DCHECK(n >= 1);
+  GraphDb g(alphabet);
+  for (int i = 1; i <= n + 1; ++i) g.AddNode("v" + std::to_string(i));
+  for (int i = 1; i <= n + 1; ++i) {
+    for (int j = 1; j <= n + 1; ++j) {
+      if (i == j) continue;
+      int letter_index = (i < j) ? (j - 1) : j;  // 1-based
+      g.AddEdge(i - 1, static_cast<Symbol>(letter_index - 1), j - 1);
+    }
+  }
+  return g;
+}
+
+GraphDb AdvisorGenealogy(int generations, int width, int max_advisors,
+                         Rng* rng, AlphabetPtr alphabet) {
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  GraphDb g(alphabet);
+  Symbol advisor = g.alphabet_ptr()->Intern("advisor");
+  std::vector<std::vector<NodeId>> layers(generations);
+  for (int gen = 0; gen < generations; ++gen) {
+    for (int i = 0; i < width; ++i) {
+      layers[gen].push_back(
+          g.AddNode("p" + std::to_string(gen) + "_" + std::to_string(i)));
+    }
+  }
+  for (int gen = 0; gen + 1 < generations; ++gen) {
+    for (NodeId person : layers[gen]) {
+      int count = 1 + static_cast<int>(rng->Below(max_advisors));
+      for (int k = 0; k < count; ++k) {
+        g.AddEdge(person, advisor, rng->Pick(layers[gen + 1]));
+      }
+    }
+  }
+  return g;
+}
+
+GraphDb RdfPropertyGraph(int num_nodes, int num_properties, int fanout,
+                         Rng* rng,
+                         std::vector<std::pair<std::string, std::string>>*
+                             subproperty_pairs,
+                         AlphabetPtr alphabet) {
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  GraphDb g(alphabet);
+  std::vector<Symbol> properties;
+  for (int p = 0; p < num_properties; ++p) {
+    properties.push_back(g.alphabet_ptr()->Intern("p" + std::to_string(p)));
+  }
+  // A random forest-shaped subproperty hierarchy: p_i ≺ p_{parent(i)}.
+  if (subproperty_pairs != nullptr) {
+    subproperty_pairs->clear();
+    for (int p = 1; p < num_properties; ++p) {
+      int parent = static_cast<int>(rng->Below(p));
+      subproperty_pairs->emplace_back("p" + std::to_string(p),
+                                      "p" + std::to_string(parent));
+    }
+  }
+  for (int i = 0; i < num_nodes; ++i) g.AddNode("r" + std::to_string(i));
+  for (int i = 0; i < num_nodes; ++i) {
+    for (int f = 0; f < fanout; ++f) {
+      NodeId to = static_cast<NodeId>(rng->Below(num_nodes));
+      g.AddEdge(i, rng->Pick(properties), to);
+    }
+  }
+  return g;
+}
+
+GraphDb FlightNetwork(int num_cities, int num_routes, int max_legs,
+                      const std::vector<std::string>& airlines, Rng* rng,
+                      AlphabetPtr alphabet) {
+  ECRPQ_DCHECK(!airlines.empty());
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  GraphDb g(alphabet);
+  std::vector<Symbol> airline_syms;
+  for (const std::string& a : airlines) {
+    airline_syms.push_back(g.alphabet_ptr()->Intern(a));
+  }
+  for (int c = 0; c < num_cities; ++c) g.AddNode("city" + std::to_string(c));
+  for (int r = 0; r < num_routes; ++r) {
+    NodeId from = static_cast<NodeId>(rng->Below(num_cities));
+    NodeId to = static_cast<NodeId>(rng->Below(num_cities));
+    if (from == to) to = (to + 1) % num_cities;
+    Symbol airline = rng->Pick(airline_syms);
+    // Each route is a chain of `legs` time-slice edges through fresh
+    // intermediate nodes (the paper's "introduce intermediate nodes to
+    // indicate time information").
+    int legs = 1 + static_cast<int>(rng->Below(max_legs));
+    NodeId at = from;
+    for (int l = 0; l + 1 < legs; ++l) {
+      NodeId mid = g.AddNode();
+      g.AddEdge(at, airline, mid);
+      at = mid;
+    }
+    g.AddEdge(at, airline, to);
+  }
+  return g;
+}
+
+Word RandomDna(const AlphabetPtr& alphabet, int n, Rng* rng) {
+  static const char* kBases[] = {"a", "c", "g", "t"};
+  Word out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(alphabet->Intern(kBases[rng->Below(4)]));
+  }
+  return out;
+}
+
+Word MutateWord(const AlphabetPtr& alphabet, const Word& word, int edits,
+                Rng* rng) {
+  Word out = word;
+  for (int e = 0; e < edits; ++e) {
+    int op = static_cast<int>(rng->Below(3));
+    if (out.empty()) op = 2;
+    if (op == 0) {  // substitution
+      size_t pos = rng->Below(out.size());
+      out[pos] = static_cast<Symbol>(rng->Below(alphabet->size()));
+    } else if (op == 1) {  // deletion
+      size_t pos = rng->Below(out.size());
+      out.erase(out.begin() + pos);
+    } else {  // insertion
+      size_t pos = rng->Below(out.size() + 1);
+      out.insert(out.begin() + pos,
+                 static_cast<Symbol>(rng->Below(alphabet->size())));
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrpq

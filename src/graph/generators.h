@@ -1,0 +1,80 @@
+// Synthetic graph workload generators.
+//
+// The paper has no datasets; its motivating workloads (RDF subproperty
+// graphs, biological sequences, advisor genealogies, route networks, word
+// graphs) are synthesized here. Each generator documents which paper example
+// it backs. All generators are deterministic given a seed.
+
+#ifndef ECRPQ_GRAPH_GENERATORS_H_
+#define ECRPQ_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace ecrpq {
+
+/// The word graph G_s of Proposition 3.2: a simple path v0 -s1-> v1 ... vn
+/// spelling the word `s`. Nodes are named w0..wn.
+GraphDb WordGraph(const AlphabetPtr& alphabet, const Word& word);
+
+/// Two disjoint word graphs (used by sequence-alignment examples; node
+/// names are prefixed "x" and "y").
+GraphDb TwoWordGraph(const AlphabetPtr& alphabet, const Word& x,
+                     const Word& y);
+
+/// Uniform random graph: `num_nodes` nodes, `num_edges` edges with labels
+/// drawn uniformly from `alphabet`.
+GraphDb RandomGraph(const AlphabetPtr& alphabet, int num_nodes, int num_edges,
+                    Rng* rng);
+
+/// Layered DAG with `layers` layers of `width` nodes; edges go from layer i
+/// to layer i+1 with random labels, `fanout` edges per node. Data-complexity
+/// benches scale this shape (path lengths stay bounded by `layers`).
+GraphDb LayeredGraph(const AlphabetPtr& alphabet, int layers, int width,
+                     int fanout, Rng* rng);
+
+/// Directed cycle of length n with all edges labeled `label` plus optional
+/// chords. Exercises infinite path sets.
+GraphDb CycleGraph(const AlphabetPtr& alphabet, int n, std::string_view label);
+
+/// The complete graph the PSPACE-hardness reduction of Theorem 6.3 uses:
+/// for every node v and every word w over Σ there is a path from v labeled
+/// w (n+1 nodes for an n-letter alphabet).
+GraphDb UniversalWordGraph(const AlphabetPtr& alphabet);
+
+/// Advisor genealogy (Introduction): a DAG of `generations` layers; every
+/// person in layer i has an `advisor`-labeled edge to 1..max_advisors
+/// people in layer i+1.
+GraphDb AdvisorGenealogy(int generations, int width, int max_advisors,
+                         Rng* rng, AlphabetPtr alphabet = nullptr);
+
+/// RDF/S-style property-sequence graph (Section 4, ρ-queries): labels are
+/// p0..p{k-1}; `subproperty_pairs` receives the declared a ≺ b pairs. Each
+/// node gets `fanout` outgoing property edges.
+GraphDb RdfPropertyGraph(int num_nodes, int num_properties, int fanout,
+                         Rng* rng,
+                         std::vector<std::pair<std::string, std::string>>*
+                             subproperty_pairs,
+                         AlphabetPtr alphabet = nullptr);
+
+/// Flight network for the linear-constraint example of Section 8.2: cities
+/// connected by airline-labeled edge chains where each edge is a fixed time
+/// slice. Labels: `airlines` entries.
+GraphDb FlightNetwork(int num_cities, int num_routes, int max_legs,
+                      const std::vector<std::string>& airlines, Rng* rng,
+                      AlphabetPtr alphabet = nullptr);
+
+/// Random DNA-like sequence of length n over {a,c,g,t}.
+Word RandomDna(const AlphabetPtr& alphabet, int n, Rng* rng);
+
+/// Mutates `word` with at most `edits` random insertions/deletions/
+/// substitutions (useful for edit-distance workloads).
+Word MutateWord(const AlphabetPtr& alphabet, const Word& word, int edits,
+                Rng* rng);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPH_GENERATORS_H_

@@ -1,0 +1,79 @@
+#include "graph/graph.h"
+
+namespace ecrpq {
+
+GraphDb::GraphDb(AlphabetPtr alphabet) : alphabet_(std::move(alphabet)) {
+  ECRPQ_DCHECK(alphabet_ != nullptr);
+}
+
+GraphDb::GraphDb() : alphabet_(std::make_shared<Alphabet>()) {}
+
+NodeId GraphDb::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  names_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+NodeId GraphDb::AddNode(std::string_view name) {
+  auto it = name_index_.find(std::string(name));
+  if (it != name_index_.end()) return it->second;
+  NodeId id = AddNode();
+  names_[id] = std::string(name);
+  name_index_.emplace(names_[id], id);
+  return id;
+}
+
+std::optional<NodeId> GraphDb::FindNode(std::string_view name) const {
+  auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string GraphDb::NodeName(NodeId node) const {
+  ECRPQ_DCHECK(node >= 0 && node < num_nodes());
+  if (!names_[node].empty()) return names_[node];
+  return "n" + std::to_string(node);
+}
+
+void GraphDb::AddEdge(NodeId from, Symbol label, NodeId to) {
+  ECRPQ_DCHECK(from >= 0 && from < num_nodes());
+  ECRPQ_DCHECK(to >= 0 && to < num_nodes());
+  ECRPQ_DCHECK(label >= 0 && label < alphabet_->size());
+  out_[from].emplace_back(label, to);
+  in_[to].emplace_back(label, from);
+  ++num_edges_;
+}
+
+void GraphDb::AddEdge(NodeId from, std::string_view label, NodeId to) {
+  AddEdge(from, alphabet_->Intern(label), to);
+}
+
+bool GraphDb::HasEdge(NodeId from, Symbol label, NodeId to) const {
+  for (const auto& [l, t] : out_[from]) {
+    if (l == label && t == to) return true;
+  }
+  return false;
+}
+
+Nfa GraphDb::ToNfa(const std::vector<NodeId>& initial,
+                   const std::vector<NodeId>& accepting) const {
+  Nfa nfa(alphabet_->size());
+  nfa.AddStates(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const auto& [label, to] : out_[v]) {
+      nfa.AddTransition(v, label, to);
+    }
+  }
+  for (NodeId v : initial) nfa.SetInitial(v);
+  for (NodeId v : accepting) nfa.SetAccepting(v);
+  return nfa;
+}
+
+Nfa GraphDb::ToNfaAllStates() const {
+  std::vector<NodeId> all(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) all[v] = v;
+  return ToNfa(all, all);
+}
+
+}  // namespace ecrpq

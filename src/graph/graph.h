@@ -1,0 +1,104 @@
+// Σ-labeled graph databases (Section 2 of the paper).
+//
+// A graph database G = (V, E) with E ⊆ V × Σ × V. Nodes carry optional
+// user-facing names; edges are labeled with alphabet symbols. A graph can be
+// viewed as an NFA over Σ without initial/final states (the paper uses this
+// equivalence throughout); `ToNfa` realizes that view with a chosen set of
+// initial/final nodes.
+
+#ifndef ECRPQ_GRAPH_GRAPH_H_
+#define ECRPQ_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/nfa.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// Dense node id within a GraphDb.
+using NodeId = int32_t;
+
+/// A directed labeled edge (from, label, to).
+struct Edge {
+  NodeId from;
+  Symbol label;
+  NodeId to;
+
+  bool operator==(const Edge& other) const = default;
+};
+
+/// A finite Σ-labeled directed graph database.
+class GraphDb {
+ public:
+  /// Creates an empty graph over `alphabet` (shared; may be grown by
+  /// AddEdge with unseen labels).
+  explicit GraphDb(AlphabetPtr alphabet);
+
+  /// Creates an empty graph with a fresh alphabet.
+  GraphDb();
+
+  /// Adds an anonymous node.
+  NodeId AddNode();
+
+  /// Adds a named node (names must be unique; returns existing id if the
+  /// name is already present).
+  NodeId AddNode(std::string_view name);
+
+  /// Looks up a node by name.
+  std::optional<NodeId> FindNode(std::string_view name) const;
+
+  /// Node name, or "n<id>" for anonymous nodes.
+  std::string NodeName(NodeId node) const;
+
+  /// Adds an edge with an already-interned label symbol.
+  void AddEdge(NodeId from, Symbol label, NodeId to);
+
+  /// Adds an edge, interning `label` into the alphabet if needed.
+  void AddEdge(NodeId from, std::string_view label, NodeId to);
+
+  int num_nodes() const { return static_cast<int>(out_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+  const AlphabetPtr& alphabet_ptr() const { return alphabet_; }
+
+  /// Outgoing (label, target) pairs of `node`.
+  const std::vector<std::pair<Symbol, NodeId>>& Out(NodeId node) const {
+    return out_[node];
+  }
+  /// Incoming (label, source) pairs of `node`.
+  const std::vector<std::pair<Symbol, NodeId>>& In(NodeId node) const {
+    return in_[node];
+  }
+
+  /// True if the edge (from, label, to) exists.
+  bool HasEdge(NodeId from, Symbol label, NodeId to) const;
+
+  /// The graph as an NFA over its alphabet with the given initial and
+  /// accepting node sets (paper: "a graph database can be naturally viewed
+  /// as an NFA"). States coincide with node ids.
+  Nfa ToNfa(const std::vector<NodeId>& initial,
+            const std::vector<NodeId>& accepting) const;
+
+  /// NFA view where every node is both initial and accepting.
+  Nfa ToNfaAllStates() const;
+
+ private:
+  AlphabetPtr alphabet_;
+  std::vector<std::vector<std::pair<Symbol, NodeId>>> out_;
+  std::vector<std::vector<std::pair<Symbol, NodeId>>> in_;
+  std::vector<std::string> names_;  // empty string = anonymous
+  std::unordered_map<std::string, NodeId> name_index_;
+  int num_edges_ = 0;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPH_GRAPH_H_

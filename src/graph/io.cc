@@ -1,0 +1,83 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <vector>
+
+namespace ecrpq {
+
+namespace {
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+}  // namespace
+
+Result<GraphDb> ParseGraphText(std::string_view text, AlphabetPtr alphabet) {
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  GraphDb graph(alphabet);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "node") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'node <name>'");
+      }
+      graph.AddNode(tokens[1]);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 4) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'edge <from> <label> <to>'");
+      }
+      NodeId from = graph.AddNode(tokens[1]);
+      NodeId to = graph.AddNode(tokens[3]);
+      graph.AddEdge(from, tokens[2], to);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown directive '" + tokens[0] +
+                                     "'");
+    }
+  }
+  return graph;
+}
+
+std::string GraphToText(const GraphDb& graph) {
+  std::string out;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out += "node " + graph.NodeName(v) + "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [label, to] : graph.Out(v)) {
+      out += "edge " + graph.NodeName(v) + " " +
+             graph.alphabet().Label(label) + " " + graph.NodeName(to) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string GraphToDot(const GraphDb& graph) {
+  std::string out = "digraph G {\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out += "  \"" + graph.NodeName(v) + "\";\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [label, to] : graph.Out(v)) {
+      out += "  \"" + graph.NodeName(v) + "\" -> \"" + graph.NodeName(to) +
+             "\" [label=\"" + graph.alphabet().Label(label) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,33 @@
+// Textual import/export for graph databases.
+//
+// Text format (one directive per line, '#' comments):
+//   node <name>
+//   edge <from> <label> <to>     (nodes are auto-created)
+// DOT export is provided for visual inspection of small graphs.
+
+#ifndef ECRPQ_GRAPH_IO_H_
+#define ECRPQ_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// Parses the line-oriented text format into a graph over `alphabet`
+/// (created fresh when null).
+Result<GraphDb> ParseGraphText(std::string_view text,
+                               AlphabetPtr alphabet = nullptr);
+
+/// Serializes to the line-oriented text format (round-trips with
+/// ParseGraphText up to node order).
+std::string GraphToText(const GraphDb& graph);
+
+/// Graphviz DOT rendering.
+std::string GraphToDot(const GraphDb& graph);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPH_IO_H_

@@ -1,0 +1,139 @@
+#include "query/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace ecrpq {
+
+namespace {
+
+// Union-find over path-atom indices.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Merge(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+QueryAnalysis Analyze(const Query& query) {
+  QueryAnalysis out;
+
+  out.is_crpq = true;
+  for (const RelationAtom& atom : query.relation_atoms()) {
+    if (atom.relation->arity() >= 2) out.is_crpq = false;
+  }
+
+  for (const auto& atoms : query.atoms_of_path()) {
+    if (atoms.size() >= 2) out.has_relational_repetition = true;
+  }
+
+  std::set<std::vector<std::string>> seen_tuples;
+  for (const RelationAtom& atom : query.relation_atoms()) {
+    std::set<std::string> distinct(atom.paths.begin(), atom.paths.end());
+    if (distinct.size() != atom.paths.size()) {
+      out.has_regular_repetition = true;
+    }
+    if (!seen_tuples.insert(atom.paths).second) {
+      out.has_regular_repetition = true;
+    }
+  }
+
+  out.has_linear_atoms = !query.linear_atoms().empty();
+  for (const LinearAtom& atom : query.linear_atoms()) {
+    for (const LinearTerm& term : atom.terms) {
+      if (term.symbol >= 0) out.linear_atoms_lengths_only = false;
+    }
+  }
+
+  // Acyclicity of H_Q: union-find over node variables; adding an edge
+  // within one component closes a cycle. Constants are fresh vertices; a
+  // self-loop (x, π, x) is a cycle.
+  {
+    int num_vars = static_cast<int>(query.node_variables().size());
+    int num_vertices = num_vars;
+    // Pre-count constant occurrences as fresh vertices.
+    for (const PathAtom& atom : query.path_atoms()) {
+      if (atom.from.is_constant) ++num_vertices;
+      if (atom.to.is_constant) ++num_vertices;
+    }
+    UnionFind uf(num_vertices);
+    int next_const = num_vars;
+    out.is_acyclic = true;
+    for (const PathAtom& atom : query.path_atoms()) {
+      int u = atom.from.is_constant ? next_const++
+                                    : query.NodeVarIndex(atom.from.name);
+      int v = atom.to.is_constant ? next_const++
+                                  : query.NodeVarIndex(atom.to.name);
+      if (u == v || uf.Find(u) == uf.Find(v)) {
+        out.is_acyclic = false;
+      } else {
+        uf.Merge(u, v);
+      }
+    }
+  }
+
+  // Synchronization components over path atoms.
+  {
+    const int m = static_cast<int>(query.path_atoms().size());
+    UnionFind uf(m);
+    auto merge_paths = [&](const std::vector<std::string>& paths) {
+      std::vector<int> atom_indices;
+      for (const std::string& p : paths) {
+        int pv = query.PathVarIndex(p);
+        for (int atom : query.atoms_of_path()[pv]) {
+          atom_indices.push_back(atom);
+        }
+      }
+      for (size_t i = 1; i < atom_indices.size(); ++i) {
+        uf.Merge(atom_indices[0], atom_indices[i]);
+      }
+    };
+    for (const RelationAtom& atom : query.relation_atoms()) {
+      if (atom.relation->arity() >= 2) merge_paths(atom.paths);
+    }
+    for (const LinearAtom& atom : query.linear_atoms()) {
+      std::vector<std::string> paths;
+      for (const LinearTerm& term : atom.terms) paths.push_back(term.path);
+      if (paths.size() >= 2) merge_paths(paths);
+    }
+    // Repeated path variables also tie their atoms together.
+    for (const auto& atoms : query.atoms_of_path()) {
+      for (size_t i = 1; i < atoms.size(); ++i) uf.Merge(atoms[0], atoms[i]);
+    }
+    std::vector<std::vector<int>> groups(m);
+    for (int i = 0; i < m; ++i) groups[uf.Find(i)].push_back(i);
+    for (auto& g : groups) {
+      if (!g.empty()) out.components.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+std::string QueryAnalysis::Describe() const {
+  std::string out = is_crpq ? "CRPQ" : "ECRPQ";
+  if (is_acyclic) out += ", acyclic";
+  if (has_relational_repetition) out += ", relational-repetition";
+  if (has_regular_repetition) out += ", regular-repetition";
+  if (has_linear_atoms) {
+    out += linear_atoms_lengths_only ? ", length-constraints"
+                                     : ", occurrence-constraints";
+  }
+  out += ", components=" + std::to_string(components.size());
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,51 @@
+// Structural analysis of queries: the classifications Figure 1 is indexed
+// by (CRPQ vs ECRPQ, acyclic or not, repetitions, linear constraints) plus
+// the synchronization-component decomposition the evaluator exploits.
+
+#ifndef ECRPQ_QUERY_ANALYSIS_H_
+#define ECRPQ_QUERY_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace ecrpq {
+
+struct QueryAnalysis {
+  /// All relation atoms are unary (languages) — the paper's CRPQ fragment.
+  bool is_crpq = false;
+
+  /// Some path variable occurs in two path atoms (relational repetition,
+  /// Proposition 6.8).
+  bool has_relational_repetition = false;
+
+  /// Some path variable occurs twice in one relation atom's tuple, or two
+  /// relation atoms constrain identical tuples (regular repetition,
+  /// Proposition 6.8).
+  bool has_regular_repetition = false;
+
+  bool has_linear_atoms = false;
+
+  /// Only length terms (no occ terms) in linear atoms.
+  bool linear_atoms_lengths_only = true;
+
+  /// The graph H_Q over node variables with an edge per path atom is a
+  /// forest (paper's acyclicity; Section 6.3). Constants count as fresh
+  /// vertices.
+  bool is_acyclic = false;
+
+  /// Synchronization components: path atoms grouped by "share a >=2-ary
+  /// relation atom or a multi-path linear atom"; each inner vector lists
+  /// path-atom indices. Components can be evaluated independently and
+  /// joined on node variables.
+  std::vector<std::vector<int>> components;
+
+  std::string Describe() const;
+};
+
+QueryAnalysis Analyze(const Query& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_ANALYSIS_H_

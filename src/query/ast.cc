@@ -1,0 +1,88 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+int Query::PathVarIndex(const std::string& name) const {
+  auto it = std::find(path_variables_.begin(), path_variables_.end(), name);
+  if (it == path_variables_.end()) return -1;
+  return static_cast<int>(it - path_variables_.begin());
+}
+
+int Query::NodeVarIndex(const std::string& name) const {
+  auto it = std::find(node_variables_.begin(), node_variables_.end(), name);
+  if (it == node_variables_.end()) return -1;
+  return static_cast<int>(it - node_variables_.begin());
+}
+
+namespace {
+std::string TermToString(const NodeTerm& term) {
+  if (term.is_constant) return "\"" + term.name + "\"";
+  return term.name;
+}
+
+const char* CmpToString(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kLe:
+      return "<=";
+    case Cmp::kGe:
+      return ">=";
+    case Cmp::kEq:
+      return "=";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Query::ToString() const {
+  std::string out = "Ans(";
+  bool first = true;
+  for (const NodeTerm& t : head_nodes_) {
+    if (!first) out += ", ";
+    out += TermToString(t);
+    first = false;
+  }
+  for (const std::string& p : head_paths_) {
+    if (!first) out += ", ";
+    out += p;
+    first = false;
+  }
+  out += ") <- ";
+  first = true;
+  for (const PathAtom& atom : path_atoms_) {
+    if (!first) out += ", ";
+    out += "(" + TermToString(atom.from) + ", " + atom.path + ", " +
+           TermToString(atom.to) + ")";
+    first = false;
+  }
+  for (const RelationAtom& atom : relation_atoms_) {
+    if (!first) out += ", ";
+    out += atom.name + "(";
+    for (size_t i = 0; i < atom.paths.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += atom.paths[i];
+    }
+    out += ")";
+    first = false;
+  }
+  for (const LinearAtom& atom : linear_atoms_) {
+    if (!first) out += ", ";
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const LinearTerm& term = atom.terms[i];
+      if (i > 0) out += " + ";
+      if (term.coef != 1) out += std::to_string(term.coef) + "*";
+      if (term.symbol < 0) {
+        out += "len(" + term.path + ")";
+      } else {
+        out += "occ(" + term.path + ", #" + std::to_string(term.symbol) + ")";
+      }
+    }
+    out += std::string(" ") + CmpToString(atom.cmp) + " " +
+           std::to_string(atom.rhs);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,125 @@
+// Abstract syntax for CRPQs and ECRPQs (Sections 2, 3 and 8.2).
+//
+// A query is
+//
+//   Ans(z̄, χ̄) <- ⋀ (x_i, π_i, y_i), ⋀ R_j(ω̄_j), A·ℓ̄ >= b
+//
+// where the relational part lists path atoms, each R_j is a regular relation
+// applied to a tuple of path variables, and the optional linear atoms
+// constrain path lengths or label-occurrence counts (Section 8.2). CRPQs are
+// the fragment whose relations are all unary; repetitions of path variables
+// (Proposition 6.8) are representable and flagged by analysis rather than
+// rejected.
+
+#ifndef ECRPQ_QUERY_AST_H_
+#define ECRPQ_QUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relations/relation.h"
+#include "solver/ilp.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// A node position in a path atom: a variable or a constant node name.
+struct NodeTerm {
+  bool is_constant = false;
+  std::string name;
+
+  static NodeTerm Var(std::string name) { return {false, std::move(name)}; }
+  static NodeTerm Const(std::string name) { return {true, std::move(name)}; }
+
+  bool operator==(const NodeTerm& other) const = default;
+};
+
+/// (x, π, y): path variable π connects x to y.
+struct PathAtom {
+  NodeTerm from;
+  std::string path;
+  NodeTerm to;
+};
+
+/// R(ω̄): a regular relation applied to path variables (arity = |paths|).
+/// Unary atoms are language constraints L(π).
+struct RelationAtom {
+  std::string name;  // display name ("el", "eq", a regex, ...)
+  std::shared_ptr<const RegularRelation> relation;
+  std::vector<std::string> paths;
+};
+
+/// One summand of a linear atom: coef * len(π) (symbol < 0) or
+/// coef * occ(π, symbol).
+struct LinearTerm {
+  int64_t coef = 1;
+  std::string path;
+  Symbol symbol = -1;  // -1 encodes len(π)
+};
+
+/// Σ terms  (cmp)  rhs — one row of the paper's A·ℓ̄ >= b.
+struct LinearAtom {
+  std::vector<LinearTerm> terms;
+  Cmp cmp = Cmp::kGe;
+  int64_t rhs = 0;
+};
+
+/// A validated ECRPQ. Construct through QueryBuilder or ParseQuery.
+class Query {
+ public:
+  const std::vector<NodeTerm>& head_nodes() const { return head_nodes_; }
+  const std::vector<std::string>& head_paths() const { return head_paths_; }
+  const std::vector<PathAtom>& path_atoms() const { return path_atoms_; }
+  const std::vector<RelationAtom>& relation_atoms() const {
+    return relation_atoms_;
+  }
+  const std::vector<LinearAtom>& linear_atoms() const {
+    return linear_atoms_;
+  }
+
+  bool IsBoolean() const {
+    return head_nodes_.empty() && head_paths_.empty();
+  }
+
+  /// Distinct node variable names in order of first occurrence.
+  const std::vector<std::string>& node_variables() const {
+    return node_variables_;
+  }
+  /// Distinct path variable names in order of first occurrence in the
+  /// relational part.
+  const std::vector<std::string>& path_variables() const {
+    return path_variables_;
+  }
+
+  /// Index of a path variable in path_variables(), -1 if absent.
+  int PathVarIndex(const std::string& name) const;
+  /// Index of a node variable in node_variables(), -1 if absent.
+  int NodeVarIndex(const std::string& name) const;
+
+  /// Path atoms binding each path variable (indices into path_atoms()).
+  /// Usually one atom per variable; repetitions (Prop 6.8) give several.
+  const std::vector<std::vector<int>>& atoms_of_path() const {
+    return atoms_of_path_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  friend class QueryBuilder;
+  Query() = default;
+
+  std::vector<NodeTerm> head_nodes_;
+  std::vector<std::string> head_paths_;
+  std::vector<PathAtom> path_atoms_;
+  std::vector<RelationAtom> relation_atoms_;
+  std::vector<LinearAtom> linear_atoms_;
+  std::vector<std::string> node_variables_;
+  std::vector<std::string> path_variables_;
+  std::vector<std::vector<int>> atoms_of_path_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_AST_H_

@@ -1,0 +1,177 @@
+#include "query/builder.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+QueryBuilder& QueryBuilder::Atom(std::string from, std::string path,
+                                 std::string to) {
+  return Atom(NodeTerm::Var(std::move(from)), std::move(path),
+              NodeTerm::Var(std::move(to)));
+}
+
+QueryBuilder& QueryBuilder::Atom(NodeTerm from, std::string path,
+                                 NodeTerm to) {
+  path_atoms_.push_back({std::move(from), std::move(path), std::move(to)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Relation(
+    std::shared_ptr<const RegularRelation> relation,
+    std::vector<std::string> paths, std::string name) {
+  if (relation == nullptr) {
+    if (error_.ok()) error_ = Status::InvalidArgument("null relation");
+    return *this;
+  }
+  if (name.empty()) name = "R" + std::to_string(relation_atoms_.size());
+  relation_atoms_.push_back(
+      {std::move(name), std::move(relation), std::move(paths)});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Language(std::string_view regex,
+                                     const Alphabet& alphabet,
+                                     std::string path) {
+  auto parsed = ParseRegexStrict(regex, alphabet);
+  if (!parsed.ok()) {
+    if (error_.ok()) error_ = parsed.status();
+    return *this;
+  }
+  Nfa nfa = parsed.value()->ToNfa(alphabet.size());
+  auto relation = std::make_shared<RegularRelation>(
+      RegularRelation::FromLanguage(alphabet.size(), nfa));
+  relation_atoms_.push_back(
+      {std::string(regex), std::move(relation), {std::move(path)}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Language(const Nfa& nfa, int base_size,
+                                     std::string path) {
+  auto relation = std::make_shared<RegularRelation>(
+      RegularRelation::FromLanguage(base_size, nfa));
+  relation_atoms_.push_back(
+      {"L" + std::to_string(relation_atoms_.size()), std::move(relation),
+       {std::move(path)}});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Linear(LinearAtom atom) {
+  linear_atoms_.push_back(std::move(atom));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::LengthConstraint(std::string path, Cmp cmp,
+                                             int64_t rhs) {
+  LinearAtom atom;
+  atom.terms.push_back({1, std::move(path), -1});
+  atom.cmp = cmp;
+  atom.rhs = rhs;
+  return Linear(std::move(atom));
+}
+
+QueryBuilder& QueryBuilder::Head(std::vector<std::string> node_vars,
+                                 std::vector<std::string> path_vars) {
+  head_nodes_.clear();
+  for (std::string& v : node_vars) {
+    head_nodes_.push_back(NodeTerm::Var(std::move(v)));
+  }
+  head_paths_ = std::move(path_vars);
+  head_set_ = true;
+  return *this;
+}
+
+Result<Query> QueryBuilder::Build() {
+  if (!error_.ok()) return error_;
+  if (path_atoms_.empty()) {
+    return Status::InvalidArgument(
+        "a query needs at least one path atom (m > 0 in Definition 3.1)");
+  }
+
+  Query query;
+  query.path_atoms_ = path_atoms_;
+  query.relation_atoms_ = relation_atoms_;
+  query.linear_atoms_ = linear_atoms_;
+  query.head_nodes_ = head_nodes_;
+  query.head_paths_ = head_paths_;
+
+  // Collect variables in order of first occurrence.
+  auto add_node_var = [&](const NodeTerm& term) {
+    if (term.is_constant) return;
+    if (std::find(query.node_variables_.begin(), query.node_variables_.end(),
+                  term.name) == query.node_variables_.end()) {
+      query.node_variables_.push_back(term.name);
+    }
+  };
+  for (const PathAtom& atom : path_atoms_) {
+    add_node_var(atom.from);
+    add_node_var(atom.to);
+    if (std::find(query.path_variables_.begin(), query.path_variables_.end(),
+                  atom.path) == query.path_variables_.end()) {
+      query.path_variables_.push_back(atom.path);
+    }
+  }
+  query.atoms_of_path_.resize(query.path_variables_.size());
+  for (size_t i = 0; i < path_atoms_.size(); ++i) {
+    int idx = query.PathVarIndex(path_atoms_[i].path);
+    query.atoms_of_path_[idx].push_back(static_cast<int>(i));
+  }
+
+  // Head terms must occur in the relational part.
+  for (const NodeTerm& term : head_nodes_) {
+    if (!term.is_constant && query.NodeVarIndex(term.name) < 0) {
+      return Status::InvalidArgument("head node variable '" + term.name +
+                                     "' does not occur in any path atom");
+    }
+  }
+  for (const std::string& p : head_paths_) {
+    if (query.PathVarIndex(p) < 0) {
+      return Status::InvalidArgument("head path variable '" + p +
+                                     "' does not occur in any path atom");
+    }
+  }
+
+  // Relation atoms: arity matches, paths bound, consistent base size.
+  int base_size = -1;
+  for (const RelationAtom& atom : relation_atoms_) {
+    if (static_cast<int>(atom.paths.size()) != atom.relation->arity()) {
+      return Status::InvalidArgument(
+          "relation '" + atom.name + "' has arity " +
+          std::to_string(atom.relation->arity()) + " but is applied to " +
+          std::to_string(atom.paths.size()) + " path variables");
+    }
+    for (const std::string& p : atom.paths) {
+      if (query.PathVarIndex(p) < 0) {
+        return Status::InvalidArgument("relation '" + atom.name +
+                                       "' uses unbound path variable '" + p +
+                                       "'");
+      }
+    }
+    if (base_size < 0) {
+      base_size = atom.relation->base_size();
+    } else if (base_size != atom.relation->base_size()) {
+      return Status::InvalidArgument(
+          "relations use different base alphabet sizes (" +
+          std::to_string(base_size) + " vs " +
+          std::to_string(atom.relation->base_size()) + ")");
+    }
+  }
+
+  // Linear atoms: paths bound, symbols in range when base size known.
+  for (const LinearAtom& atom : linear_atoms_) {
+    for (const LinearTerm& term : atom.terms) {
+      if (query.PathVarIndex(term.path) < 0) {
+        return Status::InvalidArgument(
+            "linear constraint uses unbound path variable '" + term.path +
+            "'");
+      }
+      if (term.symbol >= 0 && base_size >= 0 && term.symbol >= base_size) {
+        return Status::InvalidArgument(
+            "linear constraint references symbol id " +
+            std::to_string(term.symbol) + " outside the base alphabet");
+      }
+    }
+  }
+  return query;
+}
+
+}  // namespace ecrpq

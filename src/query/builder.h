@@ -1,0 +1,70 @@
+// Fluent construction and validation of Query objects.
+//
+// QueryBuilder enforces the well-formedness conditions of Definition 3.1 at
+// Build() time: relation arities match their variable tuples, every path
+// variable used in a relation/linear atom or the head is bound by a path
+// atom, head node terms occur in the relational part, and all relations
+// share one base alphabet size. Path-variable repetitions in the relational
+// part are permitted (Proposition 6.8 territory) — analysis flags them.
+
+#ifndef ECRPQ_QUERY_BUILDER_H_
+#define ECRPQ_QUERY_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/regex.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// Step-by-step Query construction.
+class QueryBuilder {
+ public:
+  /// Adds (from, path, to) with node variables.
+  QueryBuilder& Atom(std::string from, std::string path, std::string to);
+
+  /// Adds a path atom with explicit terms (constants allowed).
+  QueryBuilder& Atom(NodeTerm from, std::string path, NodeTerm to);
+
+  /// Applies a relation to path variables (arity checked at Build).
+  QueryBuilder& Relation(std::shared_ptr<const RegularRelation> relation,
+                         std::vector<std::string> paths,
+                         std::string name = "");
+
+  /// Applies a unary language constraint given as a regex over `alphabet`.
+  QueryBuilder& Language(std::string_view regex, const Alphabet& alphabet,
+                         std::string path);
+
+  /// Applies a unary language constraint from an NFA over the base alphabet.
+  QueryBuilder& Language(const Nfa& nfa, int base_size, std::string path);
+
+  /// Adds a linear atom (lengths / occurrence counts).
+  QueryBuilder& Linear(LinearAtom atom);
+
+  /// Convenience: len(path) cmp rhs.
+  QueryBuilder& LengthConstraint(std::string path, Cmp cmp, int64_t rhs);
+
+  /// Head Ans(nodes..., paths...). Variables only; for constants use
+  /// HeadTerms.
+  QueryBuilder& Head(std::vector<std::string> node_vars,
+                     std::vector<std::string> path_vars = {});
+
+  /// Validates and produces the Query.
+  Result<Query> Build();
+
+ private:
+  Status error_;  // first deferred construction error
+  std::vector<PathAtom> path_atoms_;
+  std::vector<RelationAtom> relation_atoms_;
+  std::vector<LinearAtom> linear_atoms_;
+  std::vector<NodeTerm> head_nodes_;
+  std::vector<std::string> head_paths_;
+  bool head_set_ = false;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_BUILDER_H_

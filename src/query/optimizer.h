@@ -1,0 +1,49 @@
+// Query rewriting: the static optimizations the paper's containment
+// section motivates ("checking query containment is crucial for problems
+// such as query optimization", Section 7), specialized to rewrites that are
+// sound for every graph:
+//
+//   * fuse multiple unary language atoms on one path variable into a single
+//     intersection automaton (fewer relation atoms, smaller products);
+//   * drop relation atoms that are universal (impose no constraint);
+//   * detect empty relations / empty language intersections and mark the
+//     query unsatisfiable (evaluates to ∅ on every graph);
+//   * canonicalize binary equality chains eq(p,q), eq(q,r) into a star
+//     around one representative (smaller synchronization components when
+//     combined with unary fusion).
+//
+// Rewrites preserve Q(G) for every G; `OptimizeQuery` returns the rewritten
+// query plus a report of what fired.
+
+#ifndef ECRPQ_QUERY_OPTIMIZER_H_
+#define ECRPQ_QUERY_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+struct OptimizerReport {
+  int fused_language_atoms = 0;   ///< unary atoms merged away
+  int dropped_universal = 0;      ///< no-op relation atoms removed
+  bool proven_empty = false;      ///< query is unsatisfiable on every graph
+  std::vector<std::string> notes;
+
+  std::string Describe() const;
+};
+
+struct OptimizedQuery {
+  Query query;
+  OptimizerReport report;
+};
+
+/// Applies all rewrites. When `report.proven_empty` is set the returned
+/// query still parses/evaluates (to ∅) but callers can skip evaluation.
+Result<OptimizedQuery> OptimizeQuery(const Query& query);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_OPTIMIZER_H_

@@ -1,0 +1,532 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "automata/regex.h"
+#include "query/builder.h"
+#include "relations/builtin.h"
+#include "relations/tuple_regex.h"
+
+namespace ecrpq {
+
+RelationRegistry RelationRegistry::Default() {
+  RelationRegistry registry;
+  registry.Register("eq", [](int n) {
+    return std::make_shared<RegularRelation>(EqualityRelation(n));
+  });
+  registry.Register("el", [](int n) {
+    return std::make_shared<RegularRelation>(EqualLengthRelation(n));
+  });
+  registry.Register("equal_length", [](int n) {
+    return std::make_shared<RegularRelation>(EqualLengthRelation(n));
+  });
+  registry.Register("prefix", [](int n) {
+    return std::make_shared<RegularRelation>(PrefixRelation(n));
+  });
+  registry.Register("strict_prefix", [](int n) {
+    return std::make_shared<RegularRelation>(StrictPrefixRelation(n));
+  });
+  registry.Register("shorter", [](int n) {
+    return std::make_shared<RegularRelation>(ShorterRelation(n));
+  });
+  registry.Register("shorter_eq", [](int n) {
+    return std::make_shared<RegularRelation>(ShorterOrEqualRelation(n));
+  });
+  for (int k = 1; k <= 3; ++k) {
+    registry.Register("edit" + std::to_string(k), [k](int n) {
+      return std::make_shared<RegularRelation>(
+          EditDistanceAtMostRelation(n, k));
+    });
+    registry.Register("hamming" + std::to_string(k), [k](int n) {
+      return std::make_shared<RegularRelation>(
+          HammingDistanceAtMostRelation(n, k));
+    });
+  }
+  return registry;
+}
+
+void RelationRegistry::Register(std::string name, Factory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+void RelationRegistry::Register(
+    std::string name, std::shared_ptr<const RegularRelation> relation) {
+  factories_[std::move(name)] =
+      [relation](int base_size) -> std::shared_ptr<const RegularRelation> {
+    if (relation->base_size() != base_size) return nullptr;
+    return relation;
+  };
+}
+
+std::shared_ptr<const RegularRelation> RelationRegistry::Resolve(
+    const std::string& name, int base_size) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  auto key = std::make_pair(name, base_size);
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) return cached->second;
+  auto relation = it->second(base_size);
+  cache_[key] = relation;
+  return relation;
+}
+
+namespace {
+
+class QueryParser {
+ public:
+  QueryParser(std::string_view text, const Alphabet& alphabet,
+              const RelationRegistry& registry)
+      : text_(text), alphabet_(alphabet), registry_(registry) {}
+
+  Result<Query> Parse() {
+    SkipSpace();
+    if (!ConsumeWord("Ans")) {
+      return Status::InvalidArgument("query must start with 'Ans'");
+    }
+    {
+      Status st = ParseHead();
+      if (!st.ok()) return st;
+    }
+    SkipSpace();
+    if (!Consume("<-") && !Consume(":-")) {
+      return Status::InvalidArgument("expected '<-' after query head");
+    }
+    while (true) {
+      Status st = ParseAtom();
+      if (!st.ok()) return st;
+      SkipSpace();
+      if (!Consume(",")) break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    SplitHead();
+    return BuildQuery();
+  }
+
+ private:
+  Result<Query> BuildQuery() {
+    QueryBuilder builder;
+    for (const PathAtom& atom : pending_path_atoms_) {
+      builder.Atom(atom.from, atom.path, atom.to);
+    }
+    for (const RelationAtom& atom : pending_relation_atoms_) {
+      builder.Relation(atom.relation, atom.paths, atom.name);
+    }
+    for (const LinearAtom& atom : pending_linear_atoms_) {
+      builder.Linear(atom);
+    }
+    std::vector<std::string> node_vars;
+    for (const NodeTerm& term : head_node_terms_) {
+      node_vars.push_back(term.name);
+    }
+    builder.Head(std::move(node_vars), head_paths_);
+    return builder.Build();
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  std::string ParseIdent() {
+    SkipSpace();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      out.push_back(text_[pos_++]);
+    }
+    return out;
+  }
+
+  Result<NodeTerm> ParseNodeTerm() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      size_t end = text_.find('"', pos_ + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated node constant");
+      }
+      std::string name(text_.substr(pos_ + 1, end - pos_ - 1));
+      pos_ = end + 1;
+      return NodeTerm::Const(std::move(name));
+    }
+    std::string ident = ParseIdent();
+    if (ident.empty()) {
+      return Status::InvalidArgument("expected node term at offset " +
+                                     std::to_string(pos_));
+    }
+    return NodeTerm::Var(std::move(ident));
+  }
+
+  Status ParseHead() {
+    SkipSpace();
+    if (!Consume("(")) {
+      return Status::InvalidArgument("expected '(' after 'Ans'");
+    }
+    SkipSpace();
+    if (Consume(")")) return Status::OK();
+    while (true) {
+      std::string ident = ParseIdent();
+      if (ident.empty()) {
+        return Status::InvalidArgument("expected head variable");
+      }
+      head_terms_raw_.push_back(ident);
+      SkipSpace();
+      if (Consume(",")) continue;
+      if (Consume(")")) break;
+      return Status::InvalidArgument("expected ',' or ')' in head");
+    }
+    return Status::OK();
+  }
+
+  // Classify raw head identifiers once path variables are known.
+  void SplitHead() {
+    for (const std::string& ident : head_terms_raw_) {
+      bool is_path = false;
+      for (const PathAtom& atom : pending_path_atoms_) {
+        if (atom.path == ident) {
+          is_path = true;
+          break;
+        }
+      }
+      if (is_path) {
+        head_paths_.push_back(ident);
+      } else {
+        head_node_terms_.push_back(NodeTerm::Var(ident));
+      }
+    }
+  }
+
+  Status ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("expected an atom");
+    }
+    if (text_[pos_] == '(') {
+      // Could be a path atom or a parenthesized regex relation atom
+      // (e.g. "(ab)*(p)"); try the path atom first and fall back.
+      size_t save = pos_;
+      size_t atoms_before = pending_path_atoms_.size();
+      Status st = ParsePathAtom();
+      if (st.ok()) return st;
+      pos_ = save;
+      pending_path_atoms_.resize(atoms_before);
+      return ParseRelationAtom();
+    }
+    // Linear atoms start with 'len', 'occ', an integer or '-'.
+    size_t save = pos_;
+    if (StartsLinearAtom()) {
+      Status st = ParseLinearAtom();
+      if (st.ok()) return st;
+      pos_ = save;  // fall through to relation parse
+    }
+    return ParseRelationAtom();
+  }
+
+  bool StartsLinearAtom() {
+    size_t save = pos_;
+    SkipSpace();
+    bool yes = false;
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '-' ||
+         std::isdigit(static_cast<unsigned char>(text_[pos_])))) {
+      yes = true;
+    } else {
+      size_t p = pos_;
+      std::string word = ParseIdent();
+      pos_ = p;
+      yes = (word == "len" || word == "occ");
+    }
+    pos_ = save;
+    return yes;
+  }
+
+  Status ParsePathAtom() {
+    if (!Consume("(")) {
+      return Status::InvalidArgument("expected '('");
+    }
+    auto from = ParseNodeTerm();
+    if (!from.ok()) return from.status();
+    if (!Consume(",")) {
+      return Status::InvalidArgument("expected ',' in path atom");
+    }
+    std::string path = ParseIdent();
+    if (path.empty()) {
+      return Status::InvalidArgument("expected path variable in path atom");
+    }
+    if (!Consume(",")) {
+      return Status::InvalidArgument("expected ',' in path atom");
+    }
+    auto to = ParseNodeTerm();
+    if (!to.ok()) return to.status();
+    if (!Consume(")")) {
+      return Status::InvalidArgument("expected ')' closing path atom");
+    }
+    pending_path_atoms_.push_back(
+        {std::move(from).value(), std::move(path), std::move(to).value()});
+    return Status::OK();
+  }
+
+  Status ParseRelationAtom() {
+    // The relation spec runs until the '(' that starts the argument list.
+    // Regexes may contain parentheses, so scan for the *last* '(' whose
+    // matching ')' is followed by ',' or end — simpler: find the argument
+    // list by scanning from the end of the atom. An atom ends at a top-level
+    // ',' or end of input. First, find the atom's extent.
+    SkipSpace();
+    size_t start = pos_;
+    int depth = 0;
+    size_t end = text_.size();
+    for (size_t i = pos_; i < text_.size(); ++i) {
+      char c = text_[i];
+      if (c == '(' || c == '[') ++depth;
+      if (c == ')' || c == ']') --depth;
+      if (c == ',' && depth == 0) {
+        end = i;
+        break;
+      }
+    }
+    std::string_view atom = text_.substr(start, end - start);
+    // Trim trailing spaces.
+    size_t atom_len = atom.size();
+    while (atom_len > 0 &&
+           std::isspace(static_cast<unsigned char>(atom[atom_len - 1]))) {
+      --atom_len;
+    }
+    atom = atom.substr(0, atom_len);
+    if (atom.empty() || atom.back() != ')') {
+      return Status::InvalidArgument("malformed relation atom: '" +
+                                     std::string(atom) + "'");
+    }
+    // Find the matching '(' of the final ')'.
+    int d = 0;
+    size_t open = std::string_view::npos;
+    for (size_t i = atom.size(); i-- > 0;) {
+      if (atom[i] == ')') ++d;
+      if (atom[i] == '(') {
+        --d;
+        if (d == 0) {
+          open = i;
+          break;
+        }
+      }
+    }
+    if (open == std::string_view::npos) {
+      return Status::InvalidArgument("unbalanced relation atom: '" +
+                                     std::string(atom) + "'");
+    }
+    std::string_view spec = atom.substr(0, open);
+    std::string_view args = atom.substr(open + 1, atom.size() - open - 2);
+    // Trim spec.
+    while (!spec.empty() &&
+           std::isspace(static_cast<unsigned char>(spec.back()))) {
+      spec.remove_suffix(1);
+    }
+    if (spec.empty()) {
+      return Status::InvalidArgument("relation atom without a relation: '" +
+                                     std::string(atom) + "'");
+    }
+    // Parse argument list (path variables).
+    std::vector<std::string> paths;
+    {
+      std::string current;
+      for (char c : args) {
+        if (c == ',') {
+          if (!current.empty()) paths.push_back(current);
+          current.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          current.push_back(c);
+        }
+      }
+      if (!current.empty()) paths.push_back(current);
+    }
+    if (paths.empty()) {
+      return Status::InvalidArgument("relation atom needs path arguments: '" +
+                                     std::string(atom) + "'");
+    }
+    // Resolve the spec: registry name, tuple regex, or base regex.
+    std::shared_ptr<const RegularRelation> relation;
+    std::string spec_str(spec);
+    if (registry_.Contains(spec_str)) {
+      relation = registry_.Resolve(spec_str, alphabet_.size());
+      if (relation == nullptr) {
+        return Status::InvalidArgument("relation '" + spec_str +
+                                       "' unavailable for this alphabet");
+      }
+    } else if (spec.find('[') != std::string_view::npos) {
+      auto parsed = ParseTupleRegex(spec, alphabet_,
+                                    static_cast<int>(paths.size()));
+      if (!parsed.ok()) return parsed.status();
+      relation = std::make_shared<RegularRelation>(std::move(parsed).value());
+    } else {
+      auto parsed = ParseRegexStrict(spec, alphabet_);
+      if (!parsed.ok()) return parsed.status();
+      Nfa nfa = parsed.value()->ToNfa(alphabet_.size());
+      relation = std::make_shared<RegularRelation>(
+          RegularRelation::FromLanguage(alphabet_.size(), nfa));
+    }
+    if (relation->arity() != static_cast<int>(paths.size())) {
+      return Status::InvalidArgument(
+          "relation '" + spec_str + "' has arity " +
+          std::to_string(relation->arity()) + " but got " +
+          std::to_string(paths.size()) + " arguments");
+    }
+    pending_relation_atoms_.push_back(
+        {spec_str, std::move(relation), std::move(paths)});
+    pos_ = end;
+    return Status::OK();
+  }
+
+  Result<int64_t> ParseInteger() {
+    SkipSpace();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::InvalidArgument("expected integer at offset " +
+                                     std::to_string(pos_));
+    }
+    int64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_++] - '0');
+    }
+    return negative ? -value : value;
+  }
+
+  Status ParseLinearAtom() {
+    LinearAtom atom;
+    bool first = true;
+    while (true) {
+      SkipSpace();
+      int64_t sign = 1;
+      if (Consume("-")) {
+        sign = -1;
+      } else if (!first) {
+        if (!Consume("+")) break;
+      }
+      first = false;
+      SkipSpace();
+      int64_t coef = 1;
+      if (pos_ < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        auto value = ParseInteger();
+        if (!value.ok()) return value.status();
+        coef = value.value();
+        Consume("*");
+      }
+      SkipSpace();
+      if (ConsumeWord("len")) {
+        if (!Consume("(")) {
+          return Status::InvalidArgument("expected '(' after len");
+        }
+        std::string path = ParseIdent();
+        if (!Consume(")")) {
+          return Status::InvalidArgument("expected ')' after len(...)");
+        }
+        atom.terms.push_back({sign * coef, std::move(path), -1});
+      } else if (ConsumeWord("occ")) {
+        if (!Consume("(")) {
+          return Status::InvalidArgument("expected '(' after occ");
+        }
+        std::string path = ParseIdent();
+        if (!Consume(",")) {
+          return Status::InvalidArgument("expected ',' in occ(...)");
+        }
+        SkipSpace();
+        std::string label;
+        if (pos_ < text_.size() && text_[pos_] == '\'') {
+          size_t close = text_.find('\'', pos_ + 1);
+          if (close == std::string_view::npos) {
+            return Status::InvalidArgument("unterminated label in occ()");
+          }
+          label = std::string(text_.substr(pos_ + 1, close - pos_ - 1));
+          pos_ = close + 1;
+        } else {
+          label = ParseIdent();
+        }
+        auto symbol = alphabet_.Find(label);
+        if (!symbol.has_value()) {
+          return Status::NotFound("occ() label '" + label +
+                                  "' not in alphabet");
+        }
+        if (!Consume(")")) {
+          return Status::InvalidArgument("expected ')' after occ(...)");
+        }
+        atom.terms.push_back({sign * coef, std::move(path), *symbol});
+      } else {
+        return Status::InvalidArgument(
+            "expected len(...) or occ(...) in linear atom");
+      }
+    }
+    SkipSpace();
+    if (Consume(">=")) {
+      atom.cmp = Cmp::kGe;
+    } else if (Consume("<=")) {
+      atom.cmp = Cmp::kLe;
+    } else if (Consume("=")) {
+      atom.cmp = Cmp::kEq;
+    } else {
+      return Status::InvalidArgument("expected comparator in linear atom");
+    }
+    auto rhs = ParseInteger();
+    if (!rhs.ok()) return rhs.status();
+    atom.rhs = rhs.value();
+    pending_linear_atoms_.push_back(std::move(atom));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  const Alphabet& alphabet_;
+  const RelationRegistry& registry_;
+  size_t pos_ = 0;
+
+  std::vector<std::string> head_terms_raw_;
+  std::vector<NodeTerm> head_node_terms_;
+  std::vector<std::string> head_paths_;
+  std::vector<PathAtom> pending_path_atoms_;
+  std::vector<RelationAtom> pending_relation_atoms_;
+  std::vector<LinearAtom> pending_linear_atoms_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, const Alphabet& alphabet,
+                         const RelationRegistry& registry) {
+  QueryParser parser(text, alphabet, registry);
+  auto result = parser.Parse();
+  return result;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,75 @@
+// Text syntax for (E)CRPQs.
+//
+//   query     := 'Ans' '(' head-terms? ')' '<-' atom (',' atom)*
+//   atom      := path-atom | relation-atom | linear-atom
+//   path-atom := '(' node-term ',' ident ',' node-term ')'
+//   node-term := ident | '"' node-name '"'
+//   relation-atom := rel-spec '(' ident (',' ident)* ')'
+//   rel-spec  := registered relation name | base regex | tuple regex
+//   linear-atom := lin-expr ('>=' | '<=' | '=') integer
+//   lin-expr  := lin-term (('+' | '-') lin-term)*
+//   lin-term  := (integer '*')? ('len' '(' ident ')'
+//                               | 'occ' '(' ident ',' label ')')
+//
+// Examples:
+//   Ans(x, y) <- (x, pi1, z), (z, pi2, y), eq(pi1, pi2)
+//   Ans(x, y) <- (x, p, y), a*b+(p)
+//   Ans()     <- (x, p, y), ([a,a]|[b,b])*(p, q)      -- tuple regex
+//   Ans(x)    <- (x, p, y), occ(p, a) - 4*occ(p, b) >= 0
+//
+// Relation names are resolved against a RelationRegistry; unresolved
+// relation specs are parsed as (tuple) regexes over the supplied alphabet.
+
+#ifndef ECRPQ_QUERY_PARSER_H_
+#define ECRPQ_QUERY_PARSER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// Named relations available to the query parser. Built-ins preregistered
+/// by Default(): eq, el (equal_length), prefix, strict_prefix, shorter,
+/// shorter_eq, edit1, edit2, edit3.
+class RelationRegistry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<const RegularRelation>(int base_size)>;
+
+  /// A registry with the paper's built-in relations.
+  static RelationRegistry Default();
+
+  void Register(std::string name, Factory factory);
+  void Register(std::string name,
+                std::shared_ptr<const RegularRelation> relation);
+
+  /// Resolves `name` for the given base alphabet size; null if unknown.
+  std::shared_ptr<const RegularRelation> Resolve(const std::string& name,
+                                                 int base_size) const;
+
+  bool Contains(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+
+ private:
+  std::map<std::string, Factory> factories_;
+  // Memoized instantiations keyed by (name, base size).
+  mutable std::map<std::pair<std::string, int>,
+                   std::shared_ptr<const RegularRelation>>
+      cache_;
+};
+
+/// Parses a query; letters in regexes must be interned in `alphabet`.
+Result<Query> ParseQuery(std::string_view text, const Alphabet& alphabet,
+                         const RelationRegistry& registry =
+                             RelationRegistry::Default());
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_QUERY_PARSER_H_

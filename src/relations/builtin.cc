@@ -1,0 +1,273 @@
+#include "relations/builtin.h"
+
+#include <algorithm>
+
+#include "automata/operations.h"
+
+namespace ecrpq {
+
+namespace {
+// Convenience: encode a binary tuple letter.
+Symbol Pair(const TupleAlphabet& ta, Symbol x, Symbol y) {
+  return ta.Encode({x, y});
+}
+}  // namespace
+
+RegularRelation EqualityRelation(int base_size) {
+  return AllEqualRelation(base_size, 2);
+}
+
+RegularRelation EqualLengthRelation(int base_size) {
+  return AllEqualLengthRelation(base_size, 2);
+}
+
+RegularRelation ShorterRelation(int base_size) {
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId both = nfa.AddState();   // equal lengths so far
+  StateId tail = nfa.AddState();   // tape 1 exhausted, tape 2 continues
+  nfa.SetInitial(both);
+  nfa.SetAccepting(tail);
+  for (Symbol a = 0; a < base_size; ++a) {
+    for (Symbol b = 0; b < base_size; ++b) {
+      nfa.AddTransition(both, Pair(ta, a, b), both);
+    }
+    nfa.AddTransition(both, Pair(ta, kPad, a), tail);
+    nfa.AddTransition(tail, Pair(ta, kPad, a), tail);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation ShorterOrEqualRelation(int base_size) {
+  auto shorter = ShorterRelation(base_size);
+  auto equal_length = EqualLengthRelation(base_size);
+  return RegularRelation::Union(shorter, equal_length).ValueOrDie();
+}
+
+RegularRelation PrefixRelation(int base_size) {
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId match = nfa.AddState();  // reading (a,a)
+  StateId tail = nfa.AddState();   // reading (⊥,b)
+  nfa.SetInitial(match);
+  nfa.SetAccepting(match);
+  nfa.SetAccepting(tail);
+  for (Symbol a = 0; a < base_size; ++a) {
+    nfa.AddTransition(match, Pair(ta, a, a), match);
+    nfa.AddTransition(match, Pair(ta, kPad, a), tail);
+    nfa.AddTransition(tail, Pair(ta, kPad, a), tail);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation StrictPrefixRelation(int base_size) {
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId match = nfa.AddState();
+  StateId tail = nfa.AddState();
+  nfa.SetInitial(match);
+  nfa.SetAccepting(tail);
+  for (Symbol a = 0; a < base_size; ++a) {
+    nfa.AddTransition(match, Pair(ta, a, a), match);
+    nfa.AddTransition(match, Pair(ta, kPad, a), tail);
+    nfa.AddTransition(tail, Pair(ta, kPad, a), tail);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation MorphismRelation(int base_size,
+                                 const std::vector<Symbol>& mapping) {
+  ECRPQ_DCHECK(static_cast<int>(mapping.size()) == base_size);
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId s = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.SetAccepting(s);
+  for (Symbol a = 0; a < base_size; ++a) {
+    ECRPQ_DCHECK(mapping[a] >= 0 && mapping[a] < base_size);
+    nfa.AddTransition(s, Pair(ta, a, mapping[a]), s);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation SynchronousPairsRelation(
+    int base_size, const std::vector<std::pair<Symbol, Symbol>>& pairs) {
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId s = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.SetAccepting(s);
+  std::vector<Symbol> seen;
+  for (const auto& [a, b] : pairs) {
+    ECRPQ_DCHECK(a >= 0 && a < base_size && b >= 0 && b < base_size);
+    Symbol letter = Pair(ta, a, b);
+    if (std::find(seen.begin(), seen.end(), letter) != seen.end()) continue;
+    seen.push_back(letter);
+    nfa.AddTransition(s, letter, s);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation RhoIsomorphismRelation(
+    int base_size, const std::vector<std::pair<Symbol, Symbol>>& subproperty) {
+  // The paper's relation ( ⋃_{a≺b or b≺a} (a,b) )*. Note a ≺ b contributes
+  // both (a,b) and (b,a) since the definition symmetrizes.
+  std::vector<std::pair<Symbol, Symbol>> pairs;
+  for (const auto& [a, b] : subproperty) {
+    pairs.emplace_back(a, b);
+    pairs.emplace_back(b, a);
+  }
+  return SynchronousPairsRelation(base_size, pairs);
+}
+
+RegularRelation OneEditOrEqualRelation(int base_size) {
+  // States:
+  //   eq            both tapes aligned, no edit yet (accepting)
+  //   subst         one substitution consumed       (accepting)
+  //   ins(a)        tape 2 one ahead; x's pending symbol is a
+  //   del(b)        tape 1 one ahead; y's pending symbol is b
+  //   done          pad consumed after ins/del      (accepting, no arcs)
+  //
+  // Insertion (y = u·b·v, x = u·v): after the inserted letter, tape 2
+  // replays tape 1 shifted by one; the shift is tracked by remembering the
+  // last tape-1 symbol.
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId eq = nfa.AddState();
+  StateId subst = nfa.AddState();
+  StateId done = nfa.AddState();
+  StateId ins0 = nfa.AddStates(base_size);
+  StateId del0 = nfa.AddStates(base_size);
+  nfa.SetInitial(eq);
+  nfa.SetAccepting(eq);
+  nfa.SetAccepting(subst);
+  nfa.SetAccepting(done);
+
+  for (Symbol a = 0; a < base_size; ++a) {
+    nfa.AddTransition(eq, Pair(ta, a, a), eq);
+    nfa.AddTransition(subst, Pair(ta, a, a), subst);
+    // Insertion at the very end of x / deletion of x's last symbol.
+    nfa.AddTransition(eq, Pair(ta, kPad, a), done);
+    nfa.AddTransition(eq, Pair(ta, a, kPad), done);
+    for (Symbol b = 0; b < base_size; ++b) {
+      if (a != b) nfa.AddTransition(eq, Pair(ta, a, b), subst);
+      // Mid-string insertion: consume (a, b); x's a is now pending.
+      nfa.AddTransition(eq, Pair(ta, a, b), ins0 + a);
+      // Mid-string deletion: consume (a, b); y's b is now pending.
+      nfa.AddTransition(eq, Pair(ta, a, b), del0 + b);
+    }
+  }
+  for (Symbol pending = 0; pending < base_size; ++pending) {
+    for (Symbol c = 0; c < base_size; ++c) {
+      nfa.AddTransition(ins0 + pending, Pair(ta, c, pending), ins0 + c);
+      nfa.AddTransition(del0 + pending, Pair(ta, pending, c), del0 + c);
+    }
+    nfa.AddTransition(ins0 + pending, Pair(ta, kPad, pending), done);
+    nfa.AddTransition(del0 + pending, Pair(ta, pending, kPad), done);
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation EditDistanceAtMostRelation(int base_size, int k) {
+  ECRPQ_DCHECK(k >= 0);
+  if (k == 0) return EqualityRelation(base_size);
+  RegularRelation result = OneEditOrEqualRelation(base_size);
+  RegularRelation step = result;
+  for (int i = 1; i < k; ++i) {
+    result = RegularRelation::Compose(result, step).ValueOrDie();
+  }
+  return result;
+}
+
+RegularRelation HammingDistanceAtMostRelation(int base_size, int k) {
+  ECRPQ_DCHECK(k >= 0);
+  TupleAlphabet ta(base_size, 2);
+  Nfa nfa(ta.num_symbols());
+  // State i = "i mismatches so far", all accepting.
+  StateId first = nfa.AddStates(k + 1);
+  nfa.SetInitial(first);
+  for (int i = 0; i <= k; ++i) {
+    nfa.SetAccepting(first + i);
+    for (Symbol a = 0; a < base_size; ++a) {
+      nfa.AddTransition(first + i, Pair(ta, a, a), first + i);
+      for (Symbol b = 0; b < base_size; ++b) {
+        if (a != b && i < k) {
+          nfa.AddTransition(first + i, Pair(ta, a, b), first + i + 1);
+        }
+      }
+    }
+  }
+  return RegularRelation(base_size, 2, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation FiniteRelation(int base_size, int arity,
+                               const std::vector<std::vector<Word>>& tuples) {
+  TupleAlphabet ta(base_size, arity);
+  std::vector<Word> convolutions;
+  convolutions.reserve(tuples.size());
+  for (const auto& tuple : tuples) {
+    ECRPQ_DCHECK(static_cast<int>(tuple.size()) == arity);
+    convolutions.push_back(Convolve(ta, tuple));
+  }
+  return RegularRelation(base_size, arity,
+                         FromWords(ta.num_symbols(), convolutions),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation UniversalRelation(int base_size, int arity) {
+  TupleAlphabet ta(base_size, arity);
+  return RegularRelation(base_size, arity, ValidConvolutionNfa(ta),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation AllEqualRelation(int base_size, int arity) {
+  TupleAlphabet ta(base_size, arity);
+  Nfa nfa(ta.num_symbols());
+  StateId s = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.SetAccepting(s);
+  TupleLetter letter(arity);
+  for (Symbol a = 0; a < base_size; ++a) {
+    for (int t = 0; t < arity; ++t) letter[t] = a;
+    nfa.AddTransition(s, ta.Encode(letter), s);
+  }
+  return RegularRelation(base_size, arity, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+RegularRelation AllEqualLengthRelation(int base_size, int arity) {
+  TupleAlphabet ta(base_size, arity);
+  Nfa nfa(ta.num_symbols());
+  StateId s = nfa.AddState();
+  nfa.SetInitial(s);
+  nfa.SetAccepting(s);
+  for (Symbol letter = 0; letter < ta.num_symbols(); ++letter) {
+    if (ta.PadMask(letter) == 0) nfa.AddTransition(s, letter, s);
+  }
+  return RegularRelation(base_size, arity, std::move(nfa),
+                         /*trusted_valid=*/true);
+}
+
+int EditDistance(const Word& a, const Word& b) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace ecrpq

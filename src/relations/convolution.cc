@@ -1,0 +1,123 @@
+#include "relations/convolution.h"
+
+namespace ecrpq {
+
+TupleAlphabet::TupleAlphabet(int base_size, int arity)
+    : base_size_(base_size), arity_(arity) {
+  ECRPQ_DCHECK(base_size >= 1);
+  ECRPQ_DCHECK(arity >= 1);
+  int64_t count = 1;
+  for (int i = 0; i < arity; ++i) {
+    count *= (base_size + 1);
+    ECRPQ_DCHECK(count <= (int64_t{1} << 31));
+  }
+  num_symbols_ = static_cast<int>(count);
+}
+
+Symbol TupleAlphabet::Encode(const TupleLetter& letter) const {
+  ECRPQ_DCHECK(static_cast<int>(letter.size()) == arity_);
+  int64_t id = 0;
+  for (int t = 0; t < arity_; ++t) {
+    Symbol c = letter[t];
+    int digit;
+    if (c == kPad) {
+      digit = base_size_;
+    } else {
+      ECRPQ_DCHECK(c >= 0 && c < base_size_);
+      digit = c;
+    }
+    id = id * (base_size_ + 1) + digit;
+  }
+  return static_cast<Symbol>(id);
+}
+
+TupleLetter TupleAlphabet::Decode(Symbol id) const {
+  ECRPQ_DCHECK(id >= 0 && id < num_symbols_);
+  TupleLetter out(arity_);
+  int64_t rest = id;
+  for (int t = arity_ - 1; t >= 0; --t) {
+    int digit = static_cast<int>(rest % (base_size_ + 1));
+    rest /= (base_size_ + 1);
+    out[t] = (digit == base_size_) ? kPad : static_cast<Symbol>(digit);
+  }
+  return out;
+}
+
+Symbol TupleAlphabet::Component(Symbol id, int tape) const {
+  ECRPQ_DCHECK(tape >= 0 && tape < arity_);
+  int64_t rest = id;
+  for (int t = arity_ - 1; t > tape; --t) rest /= (base_size_ + 1);
+  int digit = static_cast<int>(rest % (base_size_ + 1));
+  return (digit == base_size_) ? kPad : static_cast<Symbol>(digit);
+}
+
+uint32_t TupleAlphabet::PadMask(Symbol id) const {
+  uint32_t mask = 0;
+  int64_t rest = id;
+  for (int t = arity_ - 1; t >= 0; --t) {
+    int digit = static_cast<int>(rest % (base_size_ + 1));
+    rest /= (base_size_ + 1);
+    if (digit == base_size_) mask |= (1u << t);
+  }
+  return mask;
+}
+
+std::string TupleAlphabet::Format(Symbol id, const Alphabet& base) const {
+  TupleLetter letter = Decode(id);
+  std::string out = "(";
+  for (int t = 0; t < arity_; ++t) {
+    if (t > 0) out += ",";
+    out += (letter[t] == kPad) ? "⊥" : base.Label(letter[t]);
+  }
+  out += ")";
+  return out;
+}
+
+Word Convolve(const TupleAlphabet& ta, const std::vector<Word>& strings) {
+  ECRPQ_DCHECK(static_cast<int>(strings.size()) == ta.arity());
+  size_t max_len = 0;
+  for (const Word& s : strings) max_len = std::max(max_len, s.size());
+  Word out;
+  out.reserve(max_len);
+  TupleLetter letter(ta.arity());
+  for (size_t i = 0; i < max_len; ++i) {
+    for (int t = 0; t < ta.arity(); ++t) {
+      letter[t] = (i < strings[t].size()) ? strings[t][i] : kPad;
+    }
+    out.push_back(ta.Encode(letter));
+  }
+  return out;
+}
+
+Result<std::vector<Word>> Deconvolve(const TupleAlphabet& ta,
+                                     const Word& word) {
+  std::vector<Word> out(ta.arity());
+  std::vector<bool> finished(ta.arity(), false);
+  for (size_t i = 0; i < word.size(); ++i) {
+    TupleLetter letter = ta.Decode(word[i]);
+    bool any_letter = false;
+    for (int t = 0; t < ta.arity(); ++t) {
+      if (letter[t] == kPad) {
+        finished[t] = true;
+      } else {
+        if (finished[t]) {
+          return Status::InvalidArgument(
+              "invalid convolution: letter after ⊥ on tape " +
+              std::to_string(t));
+        }
+        out[t].push_back(letter[t]);
+        any_letter = true;
+      }
+    }
+    if (!any_letter) {
+      return Status::InvalidArgument("invalid convolution: all-⊥ letter");
+    }
+  }
+  return out;
+}
+
+bool IsValidConvolution(const TupleAlphabet& ta, const Word& word) {
+  return Deconvolve(ta, word).ok();
+}
+
+}  // namespace ecrpq

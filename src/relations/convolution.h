@@ -1,0 +1,79 @@
+// Convolution encoding of string tuples (Section 2 of the paper).
+//
+// An n-tuple of strings s̄ = (s1,...,sn) over Σ is encoded as the string [s̄]
+// over (Σ⊥)ⁿ whose length is max |si|; shorter strings are padded with ⊥ at
+// the end. TupleAlphabet assigns dense ids to the letters of (Σ⊥)ⁿ via
+// mixed-radix encoding with ⊥ as digit |Σ|. The all-⊥ letter has an id but
+// never occurs in a valid convolution.
+
+#ifndef ECRPQ_RELATIONS_CONVOLUTION_H_
+#define ECRPQ_RELATIONS_CONVOLUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// The padding symbol ⊥ within a tuple component.
+constexpr Symbol kPad = -2;
+
+/// A single letter of (Σ⊥)ⁿ: one component per tape (kPad for ⊥).
+using TupleLetter = std::vector<Symbol>;
+
+/// Dense ids for the letters of (Σ⊥)ⁿ over a base alphabet of fixed size.
+///
+/// The base alphabet size is captured at construction; ids are mixed-radix
+/// numbers in base (|Σ|+1). Total symbol count is (|Σ|+1)ⁿ, so arity and
+/// alphabet size must satisfy (|Σ|+1)ⁿ <= 2³¹ (checked).
+class TupleAlphabet {
+ public:
+  TupleAlphabet(int base_size, int arity);
+
+  int base_size() const { return base_size_; }
+  int arity() const { return arity_; }
+
+  /// Total number of tuple-letter ids, including the all-⊥ letter.
+  int num_symbols() const { return num_symbols_; }
+
+  /// Encodes a tuple letter (components in [0,|Σ|) or kPad) to its id.
+  Symbol Encode(const TupleLetter& letter) const;
+
+  /// Decodes an id back to components.
+  TupleLetter Decode(Symbol id) const;
+
+  /// Component `tape` of letter `id` (kPad or a base symbol).
+  Symbol Component(Symbol id, int tape) const;
+
+  /// Bitmask of padded tapes of letter `id` (bit t set iff tape t is ⊥).
+  uint32_t PadMask(Symbol id) const;
+
+  /// Id of the all-⊥ letter (never part of a valid convolution).
+  Symbol AllPadId() const { return num_symbols_ - 1; }
+
+  /// Human-readable rendering, e.g. "(a,⊥)".
+  std::string Format(Symbol id, const Alphabet& base) const;
+
+ private:
+  int base_size_;
+  int arity_;
+  int num_symbols_;
+};
+
+/// Computes [s̄]: the convolution of `strings` as a word of tuple-letter ids.
+Word Convolve(const TupleAlphabet& ta, const std::vector<Word>& strings);
+
+/// Inverse of Convolve. Fails if `word` is not a valid convolution (pad in
+/// the middle of a tape, or the all-⊥ letter occurs).
+Result<std::vector<Word>> Deconvolve(const TupleAlphabet& ta,
+                                     const Word& word);
+
+/// True iff `word` is a valid convolution image.
+bool IsValidConvolution(const TupleAlphabet& ta, const Word& word);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_RELATIONS_CONVOLUTION_H_

@@ -1,0 +1,127 @@
+// Regular relations: n-ary relations on Σ* recognized by synchronous
+// letter-to-letter automata (Section 2 of the paper).
+//
+// A RegularRelation wraps an NFA over the tuple alphabet (Σ⊥)ⁿ together with
+// the base alphabet size and arity. Class invariant: the NFA accepts only
+// *valid* convolutions — pads appear only as a per-tape suffix and the all-⊥
+// letter never occurs. Constructors and algebra operations re-establish the
+// invariant (MakeValid intersects with the 2ⁿ-state monotone-pad DFA).
+//
+// The algebra implements exactly the closure properties the paper relies on
+// (Section 2 & Theorem 5.1): intersection, union, complement (relative to
+// valid convolutions), product, projection/permutation of tapes,
+// cylindrification, join, and composition.
+
+#ifndef ECRPQ_RELATIONS_RELATION_H_
+#define ECRPQ_RELATIONS_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "relations/convolution.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// An n-ary regular relation over a base alphabet of fixed size.
+class RegularRelation {
+ public:
+  /// Wraps `nfa` (over the tuple alphabet ids of (Σ⊥)^arity). The NFA is
+  /// intersected with the valid-convolution language unless the caller
+  /// guarantees validity via `trusted_valid`.
+  RegularRelation(int base_size, int arity, Nfa nfa,
+                  bool trusted_valid = false);
+
+  int base_size() const { return tuple_alphabet_.base_size(); }
+  int arity() const { return tuple_alphabet_.arity(); }
+  const TupleAlphabet& tuple_alphabet() const { return tuple_alphabet_; }
+  const Nfa& nfa() const { return nfa_; }
+
+  /// Membership: is the string tuple in the relation?
+  bool Contains(const std::vector<Word>& strings) const;
+
+  /// Emptiness / infiniteness of the relation (as a set of tuples).
+  bool IsEmpty() const;
+  bool IsInfinite() const;
+
+  /// Some member tuple (shortest convolution), or empty optional.
+  std::optional<std::vector<Word>> AnyMember() const;
+
+  /// Up to `max_count` member tuples with convolution length <= max_len.
+  std::vector<std::vector<Word>> EnumerateMembers(int max_count,
+                                                  int max_len) const;
+
+  // ---- Algebra (closure properties) ----
+
+  /// R1 ∩ R2 (same base size and arity required).
+  static Result<RegularRelation> Intersect(const RegularRelation& r1,
+                                           const RegularRelation& r2);
+
+  /// R1 ∪ R2.
+  static Result<RegularRelation> Union(const RegularRelation& r1,
+                                       const RegularRelation& r2);
+
+  /// Complement relative to (Σ*)ⁿ.
+  RegularRelation Complement() const;
+
+  /// Reorders/duplicates tapes: tape t of the result reads tape
+  /// `tape_map[t]` of *this*. Arities: result arity = tape_map.size();
+  /// entries index into [0, arity()). Duplicating an entry constrains both
+  /// result tapes to carry the same positions of the source tape — use
+  /// Cylindrify + equality for that effect instead; here entries must be
+  /// distinct (checked).
+  Result<RegularRelation> PermuteTapes(const std::vector<int>& tape_map) const;
+
+  /// Embeds this k-ary relation into arity `new_arity`: result accepts an
+  /// n-tuple iff the sub-tuple at positions `positions` (distinct, size k)
+  /// is in this relation. Unconstrained tapes may be arbitrarily longer or
+  /// shorter; the embedded relation only looks at its own tapes and accepts
+  /// once they are exhausted (done-state construction).
+  Result<RegularRelation> Cylindrify(int new_arity,
+                                     const std::vector<int>& positions) const;
+
+  /// Projects onto `tapes` (distinct positions): existentially quantifies
+  /// away all other tapes. Handles length mismatches by collapsing
+  /// kept-tape-all-pad suffixes (ε-transitions + trim).
+  Result<RegularRelation> Project(const std::vector<int>& tapes) const;
+
+  /// Natural join on the last tape of r1 and first tape of r2 is a special
+  /// case of Compose; the general join glues tape `tape1` of r1 to tape
+  /// `tape2` of r2 and keeps all tapes of both (shared tape once), r1's
+  /// tapes first.
+  static Result<RegularRelation> Join(const RegularRelation& r1, int tape1,
+                                      const RegularRelation& r2, int tape2);
+
+  /// Composition of binary relations: (x,z) ∈ R1∘R2 iff ∃y (x,y) ∈ R1 and
+  /// (y,z) ∈ R2. Requires both binary.
+  static Result<RegularRelation> Compose(const RegularRelation& r1,
+                                         const RegularRelation& r2);
+
+  /// The unary relation (language) of a base-alphabet NFA.
+  static RegularRelation FromLanguage(int base_size, const Nfa& language_nfa);
+
+  /// Unary: this relation's language as a base-alphabet NFA (arity 1 only).
+  Result<Nfa> ToLanguageNfa() const;
+
+  /// The length abstraction R_len of Section 6.3: tuples whose component
+  /// lengths match some member of R. Implemented by mapping every non-pad
+  /// component to a canonical letter (regularity proof of Lemma 6.6).
+  RegularRelation LengthAbstraction() const;
+
+  /// Human-readable summary (states/arity), for logs and tests.
+  std::string Describe() const;
+
+ private:
+  TupleAlphabet tuple_alphabet_;
+  Nfa nfa_;
+};
+
+/// DFA-shaped NFA accepting exactly the valid convolutions of (Σ⊥)ⁿ
+/// (2ⁿ states tracking the monotone pad mask).
+Nfa ValidConvolutionNfa(const TupleAlphabet& ta);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_RELATIONS_RELATION_H_

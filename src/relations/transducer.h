@@ -1,0 +1,91 @@
+// Rational relations via asynchronous finite transducers (Section 8.2).
+//
+// The paper shows (Proposition 8.4) that replacing regular relations by
+// rational relations makes ECRPQ evaluation undecidable, via a PCP
+// reduction. We implement transducers as an executable substrate so the
+// boundary is concrete: rational relations can be *applied* to regular
+// languages (image/preimage stay regular and are computed here), and the
+// PCP gadget of the proof is constructible, but rational relations are
+// deliberately rejected by the query evaluator (kUnimplemented).
+
+#ifndef ECRPQ_RELATIONS_TRANSDUCER_H_
+#define ECRPQ_RELATIONS_TRANSDUCER_H_
+
+#include <vector>
+
+#include "automata/nfa.h"
+#include "relations/relation.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// A nondeterministic finite transducer: transitions read a (possibly
+/// empty) input word and write a (possibly empty) output word.
+class Transducer {
+ public:
+  struct Rule {
+    StateId from;
+    Word input;   // may be empty (ε)
+    Word output;  // may be empty (ε)
+    StateId to;
+  };
+
+  explicit Transducer(int base_size) : base_size_(base_size) {}
+
+  StateId AddState();
+  void AddRule(StateId from, Word input, Word output, StateId to);
+  void SetInitial(StateId s) { initial_.push_back(s); }
+  void SetAccepting(StateId s) { accepting_.push_back(s); }
+
+  int base_size() const { return base_size_; }
+  int num_states() const { return num_states_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  const std::vector<StateId>& initial() const { return initial_; }
+  const std::vector<StateId>& accepting() const { return accepting_; }
+
+  /// Image of a regular language: { y : ∃x ∈ L(input), (x,y) ∈ T }.
+  /// Regular for every rational relation; computed by a product
+  /// construction over (transducer state, input-NFA state).
+  Nfa Apply(const Nfa& input) const;
+
+  /// Membership (x, y) ∈ T, decided by dynamic programming over
+  /// (state, positions) triples.
+  bool Contains(const Word& x, const Word& y) const;
+
+  /// True when every rule reads and writes exactly one letter, i.e. the
+  /// relation is synchronous and hence regular; such transducers convert
+  /// exactly to RegularRelation.
+  bool IsLetterToLetter() const;
+
+  /// Conversion for letter-to-letter transducers.
+  Result<RegularRelation> ToRegularRelation() const;
+
+ private:
+  int base_size_;
+  int num_states_ = 0;
+  std::vector<Rule> rules_;
+  std::vector<StateId> initial_;
+  std::vector<StateId> accepting_;
+};
+
+/// A PCP instance: equally long lists (a_i), (b_i) of words.
+struct PcpInstance {
+  std::vector<Word> a;
+  std::vector<Word> b;
+};
+
+/// Builds the transducer pair of Proposition 8.4's reduction for a PCP
+/// instance over `base_size` letters plus one index letter per pair (the
+/// caller's alphabet must already contain base letters followed by index
+/// letters 1..n). Returned transducer T restricts a word to the given
+/// subset of letters (the R_{Σ'} relation of the proof).
+Transducer RestrictionTransducer(int alphabet_size,
+                                 const std::vector<bool>& keep);
+
+/// Bounded PCP search (reference semantics for tests): does the instance
+/// have a solution using at most `max_tiles` tiles?
+bool SolvePcpBounded(const PcpInstance& instance, int max_tiles);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_RELATIONS_TRANSDUCER_H_

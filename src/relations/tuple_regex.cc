@@ -1,0 +1,220 @@
+#include "relations/tuple_regex.h"
+
+#include <cctype>
+
+#include "automata/regex.h"
+
+namespace ecrpq {
+
+namespace {
+
+class TupleRegexParser {
+ public:
+  TupleRegexParser(std::string_view text, const Alphabet& alphabet,
+                   int expected_arity)
+      : text_(text), alphabet_(alphabet), arity_(expected_arity) {}
+
+  Result<RegularRelation> Parse() {
+    auto expr = ParseUnion();
+    if (!expr.ok()) return expr.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          "unexpected character at offset " + std::to_string(pos_) +
+          " in tuple regex: " + std::string(text_));
+    }
+    if (arity_ < 0) {
+      return Status::InvalidArgument(
+          "tuple regex contains no tuple letter; arity cannot be inferred");
+    }
+    TupleAlphabet ta(alphabet_.size(), arity_);
+    Nfa nfa = std::move(expr).value()->ToNfa(ta.num_symbols());
+    return RegularRelation(alphabet_.size(), arity_, std::move(nfa),
+                           /*trusted_valid=*/false);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return c == '[' || c == '(' || c == '\\';
+  }
+
+  Result<RegexPtr> ParseUnion() {
+    auto left = ParseConcat();
+    if (!left.ok()) return left;
+    RegexPtr out = std::move(left).value();
+    SkipSpace();
+    while (pos_ < text_.size() && text_[pos_] == '|') {
+      ++pos_;
+      auto right = ParseConcat();
+      if (!right.ok()) return right;
+      out = Regex::Union(out, std::move(right).value());
+      SkipSpace();
+    }
+    return out;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    std::vector<RegexPtr> parts;
+    while (AtAtomStart()) {
+      auto factor = ParseFactor();
+      if (!factor.ok()) return factor;
+      parts.push_back(std::move(factor).value());
+    }
+    return Regex::ConcatAll(parts);
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    auto atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr out = std::move(atom).value();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '*') {
+        out = Regex::Star(out);
+        ++pos_;
+      } else if (c == '+') {
+        out = Regex::Plus(out);
+        ++pos_;
+      } else if (c == '?') {
+        out = Regex::Optional(out);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  // One tuple component: a letter or '_'.
+  Result<Symbol> ParseComponent() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("tuple letter ended unexpectedly");
+    }
+    char c = text_[pos_];
+    if (c == '_') {
+      ++pos_;
+      return kPad;
+    }
+    if (c == '\'') {
+      size_t end = text_.find('\'', pos_ + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted label");
+      }
+      std::string_view label = text_.substr(pos_ + 1, end - pos_ - 1);
+      pos_ = end + 1;
+      auto sym = alphabet_.Find(label);
+      if (!sym.has_value()) {
+        return Status::NotFound("letter '" + std::string(label) +
+                                "' not in alphabet");
+      }
+      return *sym;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      ++pos_;
+      auto sym = alphabet_.Find(text_.substr(pos_ - 1, 1));
+      if (!sym.has_value()) {
+        return Status::NotFound(std::string("letter '") + c +
+                                "' not in alphabet");
+      }
+      return *sym;
+    }
+    return Status::InvalidArgument(
+        std::string("unexpected character '") + c + "' in tuple letter");
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("tuple regex ended unexpectedly");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument("missing ')' in tuple regex");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '\\') {
+      if (pos_ + 1 >= text_.size()) {
+        return Status::InvalidArgument("dangling '\\' in tuple regex");
+      }
+      char e = text_[pos_ + 1];
+      pos_ += 2;
+      if (e == 'e') return Regex::Epsilon();
+      if (e == '0') return Regex::EmptySet();
+      return Status::InvalidArgument(std::string("unknown escape '\\") + e +
+                                     "'");
+    }
+    if (c == '[') {
+      ++pos_;
+      TupleLetter letter;
+      while (true) {
+        auto comp = ParseComponent();
+        if (!comp.ok()) return comp.status();
+        letter.push_back(comp.value());
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return Status::InvalidArgument("missing ']' in tuple letter");
+      }
+      ++pos_;
+      if (arity_ < 0) {
+        arity_ = static_cast<int>(letter.size());
+        tuple_alphabet_.emplace(alphabet_.size(), arity_);
+      } else if (static_cast<int>(letter.size()) != arity_) {
+        return Status::InvalidArgument(
+            "tuple letter arity mismatch: expected " + std::to_string(arity_) +
+            ", got " + std::to_string(letter.size()));
+      }
+      if (!tuple_alphabet_.has_value()) {
+        tuple_alphabet_.emplace(alphabet_.size(), arity_);
+      }
+      bool all_pad = true;
+      for (Symbol s : letter) all_pad = all_pad && (s == kPad);
+      if (all_pad) {
+        return Status::InvalidArgument(
+            "the all-⊥ tuple letter cannot occur in a convolution");
+      }
+      return Regex::Letter(tuple_alphabet_->Encode(letter));
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in tuple regex");
+  }
+
+  std::string_view text_;
+  const Alphabet& alphabet_;
+  int arity_;
+  std::optional<TupleAlphabet> tuple_alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegularRelation> ParseTupleRegex(std::string_view text,
+                                        const Alphabet& alphabet,
+                                        int expected_arity) {
+  return TupleRegexParser(text, alphabet, expected_arity).Parse();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,31 @@
+// Regular expressions over tuple alphabets (Σ⊥)ⁿ — the paper's concrete
+// syntax for regular relations (Definition 3.1 uses "a regular expression
+// that defines a regular relation over Σ").
+//
+// Grammar extends the base regex grammar; atoms are tuple letters:
+//
+//   atom  := '[' comp (',' comp)* ']' | '(' expr ')' | '\e' | '\0'
+//   comp  := letter | '_'            ('_' is the pad symbol ⊥)
+//
+// Example (binary prefix relation over {a,b}):  ([a,a]|[b,b])*([_,a]|[_,b])*
+// The arity is inferred from the first tuple atom and enforced thereafter.
+
+#ifndef ECRPQ_RELATIONS_TUPLE_REGEX_H_
+#define ECRPQ_RELATIONS_TUPLE_REGEX_H_
+
+#include <string_view>
+
+#include "relations/relation.h"
+
+namespace ecrpq {
+
+/// Parses a tuple regex into a RegularRelation over `alphabet` (strict:
+/// letters must already be interned). `expected_arity` < 0 infers the arity
+/// from the expression.
+Result<RegularRelation> ParseTupleRegex(std::string_view text,
+                                        const Alphabet& alphabet,
+                                        int expected_arity = -1);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_RELATIONS_TUPLE_REGEX_H_

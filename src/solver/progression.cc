@@ -1,0 +1,94 @@
+#include "solver/progression.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+bool SemilinearSet1D::Contains(int64_t value) const {
+  for (const Progression& p : progressions_) {
+    if (p.Contains(value)) return true;
+  }
+  return false;
+}
+
+std::optional<int64_t> SemilinearSet1D::Min() const {
+  std::optional<int64_t> best;
+  for (const Progression& p : progressions_) {
+    if (!best.has_value() || p.base < *best) best = p.base;
+  }
+  return best;
+}
+
+std::optional<int64_t> SemilinearSet1D::MinAtLeast(int64_t bound) const {
+  std::optional<int64_t> best;
+  for (const Progression& p : progressions_) {
+    int64_t candidate;
+    if (p.base >= bound) {
+      candidate = p.base;
+    } else if (p.period > 0) {
+      int64_t k = (bound - p.base + p.period - 1) / p.period;
+      candidate = p.base + k * p.period;
+    } else {
+      continue;
+    }
+    if (!best.has_value() || candidate < *best) best = candidate;
+  }
+  return best;
+}
+
+bool SemilinearSet1D::IsInfinite() const {
+  for (const Progression& p : progressions_) {
+    if (p.period > 0) return true;
+  }
+  return false;
+}
+
+void SemilinearSet1D::Normalize() {
+  // Deduplicate exactly equal progressions first.
+  std::sort(progressions_.begin(), progressions_.end(),
+            [](const Progression& a, const Progression& b) {
+              if (a.period != b.period) return a.period < b.period;
+              return a.base < b.base;
+            });
+  progressions_.erase(
+      std::unique(progressions_.begin(), progressions_.end()),
+      progressions_.end());
+  // Drop p when some distinct q subsumes it: q.period > 0, q.period
+  // divides p.period (singletons have period 0, divisible by anything),
+  // p.base >= q.base and p.base ≡ q.base (mod q.period). After
+  // deduplication, subsumption between distinct progressions is a strict
+  // partial order, so checking against all others is safe.
+  std::vector<Progression> kept;
+  for (size_t i = 0; i < progressions_.size(); ++i) {
+    const Progression& p = progressions_[i];
+    bool subsumed = false;
+    for (size_t j = 0; j < progressions_.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      const Progression& q = progressions_[j];
+      if (q.period > 0 && p.base >= q.base &&
+          (p.base - q.base) % q.period == 0 &&
+          (p.period % q.period == 0)) {
+        subsumed = true;
+      }
+    }
+    if (!subsumed) kept.push_back(p);
+  }
+  progressions_ = std::move(kept);
+}
+
+std::string SemilinearSet1D::ToString() const {
+  if (progressions_.empty()) return "{}";
+  std::string out;
+  for (size_t i = 0; i < progressions_.size(); ++i) {
+    if (i > 0) out += " ∪ ";
+    const Progression& p = progressions_[i];
+    if (p.period == 0) {
+      out += "{" + std::to_string(p.base) + "}";
+    } else {
+      out += std::to_string(p.base) + "+" + std::to_string(p.period) + "ℕ";
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,76 @@
+// Arithmetic progressions and one-dimensional semilinear sets.
+//
+// Used by the Qlen evaluation engine (Section 6.3 of the paper): sets of path
+// lengths between graph nodes are unions of at most quadratically many
+// arithmetic progressions (Chrobak 1986, fixed by To 2009), and the NP
+// algorithm of Theorem 6.7 manipulates these progressions symbolically.
+
+#ifndef ECRPQ_SOLVER_PROGRESSION_H_
+#define ECRPQ_SOLVER_PROGRESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecrpq {
+
+/// The set { base + period * k : k >= 0 }. period == 0 denotes {base}.
+struct Progression {
+  int64_t base = 0;
+  int64_t period = 0;
+
+  bool Contains(int64_t value) const {
+    if (value < base) return false;
+    if (period == 0) return value == base;
+    return (value - base) % period == 0;
+  }
+
+  bool operator==(const Progression& other) const = default;
+};
+
+/// A finite union of arithmetic progressions over the naturals.
+class SemilinearSet1D {
+ public:
+  SemilinearSet1D() = default;
+  explicit SemilinearSet1D(std::vector<Progression> progressions)
+      : progressions_(std::move(progressions)) {}
+
+  static SemilinearSet1D Empty() { return SemilinearSet1D(); }
+  static SemilinearSet1D Singleton(int64_t v) {
+    return SemilinearSet1D({{v, 0}});
+  }
+  static SemilinearSet1D All() { return SemilinearSet1D({{0, 1}}); }
+
+  void Add(Progression p) { progressions_.push_back(p); }
+
+  bool Contains(int64_t value) const;
+  bool IsEmpty() const { return progressions_.empty(); }
+
+  /// Smallest element, or nullopt if empty.
+  std::optional<int64_t> Min() const;
+
+  /// Smallest element >= bound, or nullopt if none.
+  std::optional<int64_t> MinAtLeast(int64_t bound) const;
+
+  /// True if the set is infinite (some progression has period > 0).
+  bool IsInfinite() const;
+
+  /// Removes duplicate/subsumed progressions (p subsumed by q when
+  /// q.period > 0, q.period divides p.period (or p is a singleton) and
+  /// p.base >= q.base with p.base ≡ q.base mod q.period).
+  void Normalize();
+
+  const std::vector<Progression>& progressions() const {
+    return progressions_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Progression> progressions_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SOLVER_PROGRESSION_H_

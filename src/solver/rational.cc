@@ -1,0 +1,95 @@
+#include "solver/rational.h"
+
+#include <numeric>
+
+#include "util/status.h"
+
+namespace ecrpq {
+
+namespace {
+int64_t Checked(__int128 value) {
+  ECRPQ_DCHECK(value <= INT64_MAX && value >= INT64_MIN);
+  return static_cast<int64_t>(value);
+}
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  ECRPQ_DCHECK(den != 0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+int64_t Rational::Floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -((-num_ + den_ - 1) / den_);
+}
+
+int64_t Rational::Ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  __int128 num = static_cast<__int128>(num_) * o.den_ +
+                 static_cast<__int128>(o.num_) * den_;
+  __int128 den = static_cast<__int128>(den_) * o.den_;
+  // Reduce before narrowing to limit overflow risk.
+  __int128 a = num < 0 ? -num : num;
+  __int128 b = den;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    num /= a;
+    den /= a;
+  }
+  return Rational(Checked(num), Checked(den));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce to keep intermediates small.
+  int64_t a = num_, b = den_, c = o.num_, d = o.den_;
+  int64_t g1 = std::gcd(a < 0 ? -a : a, d);
+  if (g1 > 1) {
+    a /= g1;
+    d /= g1;
+  }
+  int64_t g2 = std::gcd(c < 0 ? -c : c, b);
+  if (g2 > 1) {
+    c /= g2;
+    b /= g2;
+  }
+  __int128 num = static_cast<__int128>(a) * c;
+  __int128 den = static_cast<__int128>(b) * d;
+  return Rational(Checked(num), Checked(den));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  ECRPQ_DCHECK(!o.IsZero());
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<__int128>(num_) * o.den_ <
+         static_cast<__int128>(o.num_) * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace ecrpq

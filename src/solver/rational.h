@@ -1,0 +1,62 @@
+// Exact rational arithmetic on int64 with __int128 intermediates.
+//
+// The LP/ILP layer never uses floating point: pivots and bound checks are
+// exact, so the Presburger-style procedures of Sections 6.3 and 8.2 are
+// decision procedures, not approximations. Overflow is checked in debug
+// builds; library workloads stay far below the 63-bit range.
+
+#ifndef ECRPQ_SOLVER_RATIONAL_H_
+#define ECRPQ_SOLVER_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ecrpq {
+
+/// An exact rational number num/den with den > 0, always normalized.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT(implicit)
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsInteger() const { return den_ == 1; }
+
+  /// Largest integer <= this / smallest integer >= this.
+  int64_t Floor() const;
+  int64_t Ceil() const;
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  std::string ToString() const;
+
+ private:
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SOLVER_RATIONAL_H_

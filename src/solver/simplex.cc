@@ -1,0 +1,194 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace ecrpq {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau simplex with Bland's rule.
+//
+// Layout: rows = constraints (basic variables), columns = all variables
+// (structural + slack + artificial), plus rhs column. `basis[r]` is the
+// variable basic in row r. The objective row is kept separately with the
+// convention obj[rhs] == -(current objective value).
+class Tableau {
+ public:
+  Tableau(const std::vector<std::vector<double>>& a,
+          const std::vector<double>& b)
+      : rows_(static_cast<int>(a.size())),
+        structural_(a.empty() ? 0 : static_cast<int>(a[0].size())) {
+    cols_ = structural_ + rows_ + rows_;
+    tab_.assign(rows_, std::vector<double>(cols_ + 1, 0.0));
+    basis_.assign(rows_, -1);
+    scale_ = 1.0;
+    for (int r = 0; r < rows_; ++r) {
+      for (int j = 0; j < structural_; ++j) tab_[r][j] = a[r][j];
+      tab_[r][structural_ + r] = 1.0;  // slack
+      tab_[r][cols_] = b[r];
+      scale_ = std::max(scale_, std::fabs(b[r]));
+      if (tab_[r][cols_] < 0) {
+        for (int j = 0; j <= cols_; ++j) tab_[r][j] = -tab_[r][j];
+      }
+      tab_[r][structural_ + rows_ + r] = 1.0;  // artificial
+      basis_[r] = structural_ + rows_ + r;
+    }
+  }
+
+  // Phase 1: minimize the sum of artificials. True iff feasible.
+  bool Phase1() {
+    obj_.assign(cols_ + 1, 0.0);
+    for (int r = 0; r < rows_; ++r) obj_[structural_ + rows_ + r] = -1.0;
+    for (int r = 0; r < rows_; ++r) AddRowToObjective(r, 1.0);
+    RunSimplex(/*artificial_allowed=*/true);
+    // obj_[cols_] == -(objective) == sum of artificials at optimum.
+    // Scale-aware tolerance: residues grow with the data magnitude.
+    if (obj_[cols_] > 1e-7 * scale_ + 1e-9) return false;
+    // Drive remaining artificials out of the basis.
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[r] >= structural_ + rows_) {
+        int pivot_col = -1;
+        for (int j = 0; j < structural_ + rows_; ++j) {
+          if (std::fabs(tab_[r][j]) > kEps) {
+            pivot_col = j;
+            break;
+          }
+        }
+        if (pivot_col >= 0) Pivot(r, pivot_col);
+      }
+    }
+    return true;
+  }
+
+  // Phase 2: maximize c·x. False iff unbounded.
+  bool Phase2(const std::vector<double>& c) {
+    obj_.assign(cols_ + 1, 0.0);
+    for (int j = 0; j < structural_; ++j) obj_[j] = c[j];
+    for (int r = 0; r < rows_; ++r) {
+      if (std::fabs(obj_[basis_[r]]) > kEps) {
+        AddRowToObjective(r, -obj_[basis_[r]]);
+      }
+    }
+    return RunSimplex(/*artificial_allowed=*/false);
+  }
+
+  double ObjectiveValue() const { return -obj_[cols_]; }
+
+  std::vector<double> StructuralValues() const {
+    std::vector<double> values(structural_, 0.0);
+    for (int r = 0; r < rows_; ++r) {
+      if (basis_[r] < structural_) values[basis_[r]] = tab_[r][cols_];
+    }
+    return values;
+  }
+
+ private:
+  void AddRowToObjective(int row, double factor) {
+    for (int j = 0; j <= cols_; ++j) obj_[j] += factor * tab_[row][j];
+  }
+
+  void Pivot(int row, int col) {
+    double inv = 1.0 / tab_[row][col];
+    for (int j = 0; j <= cols_; ++j) tab_[row][j] *= inv;
+    tab_[row][col] = 1.0;  // kill rounding residue
+    for (int r = 0; r < rows_; ++r) {
+      if (r == row) continue;
+      double factor = tab_[r][col];
+      if (std::fabs(factor) <= kEps) continue;
+      for (int j = 0; j <= cols_; ++j) tab_[r][j] -= factor * tab_[row][j];
+      tab_[r][col] = 0.0;
+    }
+    double factor = obj_[col];
+    if (std::fabs(factor) > kEps) {
+      for (int j = 0; j <= cols_; ++j) obj_[j] -= factor * tab_[row][j];
+      obj_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  // Bland's rule; bounded iteration count as a numerical backstop.
+  bool RunSimplex(bool artificial_allowed) {
+    const int usable_cols = artificial_allowed ? cols_ : structural_ + rows_;
+    const long max_iters = 2000L + 50L * static_cast<long>(cols_);
+    for (long iter = 0; iter < max_iters; ++iter) {
+      int enter = -1;
+      for (int j = 0; j < usable_cols; ++j) {
+        if (obj_[j] > 1e-8) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < rows_; ++r) {
+        if (tab_[r][enter] > kEps) {
+          double ratio = tab_[r][cols_] / tab_[r][enter];
+          if (leave < 0 || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && basis_[r] < basis_[leave])) {
+            leave = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+    return true;  // iteration cap: treat as optimal (conservative)
+  }
+
+  int rows_;
+  int structural_;
+  int cols_;
+  double scale_ = 1.0;
+  std::vector<std::vector<double>> tab_;
+  std::vector<double> obj_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpResult SolveLpMax(const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b,
+                    const std::vector<double>& c) {
+  ECRPQ_DCHECK(a.size() == b.size());
+  LpResult result;
+  if (a.empty()) {
+    for (double coef : c) {
+      if (coef > 0) {
+        result.status = LpStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = LpStatus::kOptimal;
+    result.objective = 0.0;
+    result.values.assign(c.size(), 0.0);
+    return result;
+  }
+  Tableau tableau(a, b);
+  if (!tableau.Phase1()) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+  if (!tableau.Phase2(c)) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+  result.status = LpStatus::kOptimal;
+  result.objective = tableau.ObjectiveValue();
+  result.values = tableau.StructuralValues();
+  return result;
+}
+
+bool LpFeasible(const std::vector<std::vector<double>>& a,
+                const std::vector<double>& b) {
+  if (a.empty()) return true;
+  Tableau tableau(a, b);
+  return tableau.Phase1();
+}
+
+}  // namespace ecrpq

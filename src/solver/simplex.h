@@ -1,0 +1,40 @@
+// Two-phase simplex over doubles with Bland's anti-cycling rule.
+//
+// Used as the *relaxation oracle* inside branch & bound: LP results guide
+// branching and pruning, while every integer candidate is re-verified with
+// exact 128-bit integer arithmetic in solver/ilp.cc (the standard MIP
+// architecture). Tolerances are conservative: a node is pruned as
+// infeasible only when the phase-1 residual is clearly positive.
+
+#ifndef ECRPQ_SOLVER_SIMPLEX_H_
+#define ECRPQ_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+namespace ecrpq {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // one per variable, when kOptimal
+};
+
+/// Maximizes c·x subject to A x <= b, x >= 0 (A: rows of coefficients,
+/// one row per constraint; b may be negative — phase 1 handles it).
+LpResult SolveLpMax(const std::vector<std::vector<double>>& a,
+                    const std::vector<double>& b,
+                    const std::vector<double>& c);
+
+/// Feasibility of A x <= b, x >= 0 (phase 1 only).
+bool LpFeasible(const std::vector<std::vector<double>>& a,
+                const std::vector<double>& b);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SOLVER_SIMPLEX_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random generator used by graph/query generators and
+// property tests. A thin splitmix64/xoshiro wrapper so test seeds reproduce
+// across platforms (std::mt19937 distributions are not portable).
+
+#ifndef ECRPQ_UTIL_RANDOM_H_
+#define ECRPQ_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ecrpq {
+
+/// Deterministic 64-bit PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// True with probability p (0 <= p <= 1).
+  bool Chance(double p);
+
+  /// Uniformly chosen index into a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_UTIL_RANDOM_H_

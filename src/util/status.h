@@ -1,0 +1,145 @@
+// Status / Result error model for the ecrpq library.
+//
+// Public APIs that can fail return Status or Result<T> instead of throwing
+// exceptions (Google C++ style; RocksDB idiom). Internal invariant violations
+// use ECRPQ_DCHECK and abort in debug builds.
+
+#ifndef ECRPQ_UTIL_STATUS_H_
+#define ECRPQ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ecrpq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (parse errors, arity mismatches)
+  kNotFound,          ///< unknown label / node / variable
+  kFailedPrecondition,///< API misuse (e.g. evaluating an unvalidated query)
+  kResourceExhausted, ///< configured search/size limit exceeded
+  kUnimplemented,     ///< feature outside the decidable/implemented fragment
+  kInternal,          ///< invariant violation escaped a release build
+};
+
+/// A cheap, value-semantic success-or-error carrier.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-line rendering, e.g. "InvalidArgument: bad regex".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(implicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// value() if ok, else aborts with the status message. For tests/examples.
+  const T& ValueOrDie() const& {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-ok Status out of the current function.
+#define ECRPQ_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::ecrpq::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assign from a Result<T>, propagating errors.
+#define ECRPQ_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto _res_##__LINE__ = (rexpr);              \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value();
+
+#ifndef NDEBUG
+#define ECRPQ_DCHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "ECRPQ_DCHECK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " #cond << std::endl;                                  \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+#else
+#define ECRPQ_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_UTIL_STATUS_H_

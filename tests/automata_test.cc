@@ -1,0 +1,218 @@
+// NFA/DFA construction and language operations.
+
+#include <gtest/gtest.h>
+
+#include "automata/operations.h"
+#include "automata/regex.h"
+#include "util/random.h"
+
+namespace ecrpq {
+namespace {
+
+Nfa MakeNfa(std::string_view regex, int num_symbols) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  alphabet.Intern("b");
+  alphabet.Intern("c");
+  auto parsed = ParseRegexStrict(regex, alphabet);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.value()->ToNfa(num_symbols);
+}
+
+Word W(std::initializer_list<int> symbols) {
+  Word w;
+  for (int s : symbols) w.push_back(s);
+  return w;
+}
+
+TEST(Nfa, AcceptsBasics) {
+  Nfa nfa = MakeNfa("ab*", 2);
+  EXPECT_TRUE(nfa.Accepts(W({0})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1, 1, 1})));
+  EXPECT_FALSE(nfa.Accepts(W({})));
+  EXPECT_FALSE(nfa.Accepts(W({1})));
+  EXPECT_FALSE(nfa.Accepts(W({0, 0})));
+}
+
+TEST(Nfa, EmptyWordHandling) {
+  Nfa star = MakeNfa("a*", 2);
+  EXPECT_TRUE(star.AcceptsEmptyWord());
+  Nfa plus = MakeNfa("a+", 2);
+  EXPECT_FALSE(plus.AcceptsEmptyWord());
+}
+
+TEST(Operations, UnionIntersection) {
+  Nfa a = MakeNfa("a*b", 2);
+  Nfa b = MakeNfa("ab*", 2);
+  Nfa u = UnionNfa(a, b);
+  EXPECT_TRUE(u.Accepts(W({0, 0, 1})));
+  EXPECT_TRUE(u.Accepts(W({0, 1, 1})));
+  Nfa i = IntersectNfa(a, b);
+  EXPECT_TRUE(i.Accepts(W({0, 1})));
+  EXPECT_FALSE(i.Accepts(W({0, 0, 1})));
+  EXPECT_FALSE(i.Accepts(W({0, 1, 1})));
+}
+
+TEST(Operations, ComplementRoundTrip) {
+  Nfa a = MakeNfa("(ab)*", 2);
+  Nfa c = ComplementNfa(a);
+  EXPECT_FALSE(c.Accepts(W({})));
+  EXPECT_FALSE(c.Accepts(W({0, 1})));
+  EXPECT_TRUE(c.Accepts(W({0})));
+  EXPECT_TRUE(c.Accepts(W({1, 0})));
+  EXPECT_TRUE(AreEquivalent(a, ComplementNfa(c)));
+}
+
+TEST(Operations, InclusionAndEquivalence) {
+  Nfa ab_star = MakeNfa("(a|b)*", 2);
+  Nfa a_star = MakeNfa("a*", 2);
+  EXPECT_TRUE(IsSubsetOf(a_star, ab_star));
+  EXPECT_FALSE(IsSubsetOf(ab_star, a_star));
+  Nfa aa = MakeNfa("a(aa)*", 2);
+  Nfa odd_a = MakeNfa("(aa)*a", 2);
+  EXPECT_TRUE(AreEquivalent(aa, odd_a));
+}
+
+TEST(Operations, EmptinessAndInfinity) {
+  EXPECT_TRUE(IsEmpty(EmptyNfa(2)));
+  EXPECT_FALSE(IsEmpty(UniverseNfa(2)));
+  EXPECT_TRUE(IsInfinite(MakeNfa("a*", 2)));
+  EXPECT_FALSE(IsInfinite(MakeNfa("a|bb", 2)));
+  // A cycle that is not co-reachable does not make the language infinite.
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 0, s1);
+  EXPECT_FALSE(IsInfinite(nfa));
+}
+
+TEST(Operations, ShortestWord) {
+  EXPECT_EQ(ShortestWord(MakeNfa("a*", 2)), W({}));
+  EXPECT_EQ(ShortestWord(MakeNfa("aab|b", 2)), W({1}));
+  EXPECT_EQ(ShortestWord(EmptyNfa(2)), std::nullopt);
+  EXPECT_EQ(ShortestWord(MakeNfa("abc", 3)), W({0, 1, 2}));
+}
+
+TEST(Operations, EnumerateWordsOrdered) {
+  std::vector<Word> words = EnumerateWords(MakeNfa("a*b", 2), 4, 10);
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], W({1}));
+  EXPECT_EQ(words[1], W({0, 1}));
+  EXPECT_EQ(words[2], W({0, 0, 1}));
+  EXPECT_EQ(words[3], W({0, 0, 0, 1}));
+}
+
+TEST(Operations, CountWordsDistinct) {
+  // Ambiguous NFA: two runs for "a"; the distinct count must still be 1.
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s1);
+  nfa.SetAccepting(s2);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s0, 0, s2);
+  EXPECT_EQ(CountWordsOfLength(nfa, 1), 1u);
+  EXPECT_EQ(CountWordsOfLength(MakeNfa("(a|b)(a|b)", 2), 2), 4u);
+  EXPECT_EQ(CountWordsUpTo(MakeNfa("(a|b)*", 2), 3), 1u + 2 + 4 + 8);
+}
+
+TEST(Operations, DeterminizeMinimize) {
+  Nfa nfa = MakeNfa("(a|b)*abb", 2);
+  Dfa dfa = Determinize(nfa);
+  EXPECT_TRUE(dfa.Accepts(W({0, 1, 1})));
+  EXPECT_FALSE(dfa.Accepts(W({0, 1})));
+  Dfa min = Minimize(dfa);
+  // The canonical DFA for (a|b)*abb has 4 states.
+  EXPECT_EQ(min.num_states(), 4);
+  EXPECT_TRUE(AreEquivalent(min.ToNfa(), nfa));
+}
+
+TEST(Operations, TrimRemovesDeadStates) {
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId dead = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s1);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s0, 1, dead);
+  Nfa trimmed = Trim(nfa);
+  EXPECT_EQ(trimmed.num_states(), 2);
+  EXPECT_TRUE(trimmed.Accepts(W({0})));
+}
+
+TEST(Operations, ReverseLanguage) {
+  Nfa nfa = MakeNfa("ab", 2);
+  Nfa rev = Reverse(nfa);
+  EXPECT_TRUE(rev.Accepts(W({1, 0})));
+  EXPECT_FALSE(rev.Accepts(W({0, 1})));
+}
+
+TEST(Operations, FromWordsTrie) {
+  Nfa nfa = FromWords(2, {W({}), W({0, 1}), W({0, 0})});
+  EXPECT_TRUE(nfa.Accepts(W({})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 0})));
+  EXPECT_FALSE(nfa.Accepts(W({0})));
+  EXPECT_FALSE(nfa.Accepts(W({1})));
+}
+
+// Property sweep: random regexes obey De Morgan's law and determinization
+// preserves the language.
+class RandomRegexTest : public ::testing::TestWithParam<int> {};
+
+RegexPtr RandomRegex(Rng* rng, int depth) {
+  if (depth == 0 || rng->Chance(0.3)) {
+    switch (rng->Below(3)) {
+      case 0:
+        return Regex::Letter(static_cast<Symbol>(rng->Below(2)));
+      case 1:
+        return Regex::Epsilon();
+      default:
+        return Regex::Any();
+    }
+  }
+  switch (rng->Below(4)) {
+    case 0:
+      return Regex::Union(RandomRegex(rng, depth - 1),
+                          RandomRegex(rng, depth - 1));
+    case 1:
+      return Regex::Concat(RandomRegex(rng, depth - 1),
+                           RandomRegex(rng, depth - 1));
+    case 2:
+      return Regex::Star(RandomRegex(rng, depth - 1));
+    default:
+      return Regex::Optional(RandomRegex(rng, depth - 1));
+  }
+}
+
+TEST_P(RandomRegexTest, DeMorgan) {
+  Rng rng(GetParam());
+  Nfa a = RandomRegex(&rng, 3)->ToNfa(2);
+  Nfa b = RandomRegex(&rng, 3)->ToNfa(2);
+  Nfa lhs = ComplementNfa(UnionNfa(a, b));
+  Nfa rhs = IntersectNfa(ComplementNfa(a), ComplementNfa(b));
+  EXPECT_TRUE(AreEquivalent(lhs, rhs));
+}
+
+TEST_P(RandomRegexTest, DeterminizePreservesLanguage) {
+  Rng rng(GetParam() + 1000);
+  Nfa nfa = RandomRegex(&rng, 3)->ToNfa(2);
+  Dfa dfa = Determinize(nfa);
+  Dfa min = Minimize(dfa);
+  for (const Word& w : EnumerateWords(UniverseNfa(2), 64, 5)) {
+    EXPECT_EQ(nfa.Accepts(w), dfa.Accepts(w));
+    EXPECT_EQ(nfa.Accepts(w), min.Accepts(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegexTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ecrpq

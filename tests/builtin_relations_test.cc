@@ -1,0 +1,218 @@
+// Built-in regular relations vs their mathematical definitions (Sections 1,
+// 3 and 4 of the paper), including the edit-distance property sweep.
+
+#include <gtest/gtest.h>
+
+#include "automata/operations.h"
+#include "relations/builtin.h"
+#include "util/random.h"
+
+namespace ecrpq {
+namespace {
+
+Word W(std::initializer_list<int> symbols) {
+  Word w;
+  for (int s : symbols) w.push_back(s);
+  return w;
+}
+
+// All words over `base` letters with length <= max_len.
+std::vector<Word> AllWords(int base, int max_len) {
+  std::vector<Word> out = {{}};
+  std::vector<Word> frontier = {{}};
+  for (int l = 0; l < max_len; ++l) {
+    std::vector<Word> next;
+    for (const Word& w : frontier) {
+      for (Symbol a = 0; a < base; ++a) {
+        Word extended = w;
+        extended.push_back(a);
+        out.push_back(extended);
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+TEST(Builtin, EqualityMatchesDefinition) {
+  RegularRelation eq = EqualityRelation(2);
+  for (const Word& x : AllWords(2, 3)) {
+    for (const Word& y : AllWords(2, 3)) {
+      EXPECT_EQ(eq.Contains({x, y}), x == y);
+    }
+  }
+}
+
+TEST(Builtin, EqualLengthMatchesDefinition) {
+  RegularRelation el = EqualLengthRelation(2);
+  for (const Word& x : AllWords(2, 3)) {
+    for (const Word& y : AllWords(2, 3)) {
+      EXPECT_EQ(el.Contains({x, y}), x.size() == y.size());
+    }
+  }
+}
+
+TEST(Builtin, ShorterMatchesDefinition) {
+  RegularRelation lt = ShorterRelation(2);
+  RegularRelation le = ShorterOrEqualRelation(2);
+  for (const Word& x : AllWords(2, 3)) {
+    for (const Word& y : AllWords(2, 3)) {
+      EXPECT_EQ(lt.Contains({x, y}), x.size() < y.size());
+      EXPECT_EQ(le.Contains({x, y}), x.size() <= y.size());
+    }
+  }
+}
+
+TEST(Builtin, PrefixMatchesDefinition) {
+  RegularRelation prefix = PrefixRelation(2);
+  RegularRelation strict = StrictPrefixRelation(2);
+  for (const Word& x : AllWords(2, 3)) {
+    for (const Word& y : AllWords(2, 3)) {
+      bool is_prefix = x.size() <= y.size() &&
+                       std::equal(x.begin(), x.end(), y.begin());
+      EXPECT_EQ(prefix.Contains({x, y}), is_prefix);
+      EXPECT_EQ(strict.Contains({x, y}), is_prefix && x != y);
+    }
+  }
+}
+
+TEST(Builtin, MorphismMatchesDefinition) {
+  // h(a) = b, h(b) = b.
+  RegularRelation h = MorphismRelation(2, {1, 1});
+  EXPECT_TRUE(h.Contains({W({0, 1, 0}), W({1, 1, 1})}));
+  EXPECT_FALSE(h.Contains({W({0}), W({0})}));
+  EXPECT_FALSE(h.Contains({W({0}), W({1, 1})}));
+  EXPECT_TRUE(h.Contains({W({}), W({})}));
+}
+
+TEST(Builtin, RhoIsomorphismSymmetrizes) {
+  // Declared: 0 ≺ 1. ρ-iso allows (0,1) and (1,0) positions, plus nothing
+  // else (a letter is not its own subproperty unless declared).
+  RegularRelation rho = RhoIsomorphismRelation(3, {{0, 1}});
+  EXPECT_TRUE(rho.Contains({W({0, 1}), W({1, 0})}));
+  EXPECT_FALSE(rho.Contains({W({0}), W({0})}));
+  EXPECT_FALSE(rho.Contains({W({0}), W({2})}));
+  EXPECT_FALSE(rho.Contains({W({0, 0}), W({1})}));  // ρ-iso implies el
+}
+
+TEST(Builtin, AllEqualAndAllEqualLengthTernary) {
+  RegularRelation eq3 = AllEqualRelation(2, 3);
+  EXPECT_TRUE(eq3.Contains({W({0, 1}), W({0, 1}), W({0, 1})}));
+  EXPECT_FALSE(eq3.Contains({W({0, 1}), W({0, 1}), W({1, 1})}));
+  RegularRelation el3 = AllEqualLengthRelation(2, 3);
+  EXPECT_TRUE(el3.Contains({W({0, 1}), W({1, 0}), W({1, 1})}));
+  EXPECT_FALSE(el3.Contains({W({0}), W({1, 0}), W({1})}));
+}
+
+TEST(Builtin, FiniteRelationExactTuples) {
+  RegularRelation rel = FiniteRelation(
+      2, 2, {{W({0}), W({1, 1})}, {W({}), W({0})}});
+  EXPECT_TRUE(rel.Contains({W({0}), W({1, 1})}));
+  EXPECT_TRUE(rel.Contains({W({}), W({0})}));
+  EXPECT_FALSE(rel.Contains({W({0}), W({1})}));
+  EXPECT_FALSE(rel.IsInfinite());
+}
+
+TEST(Builtin, UniversalRelation) {
+  RegularRelation all = UniversalRelation(2, 2);
+  EXPECT_TRUE(all.Contains({W({}), W({})}));
+  EXPECT_TRUE(all.Contains({W({0, 0, 0}), W({1})}));
+}
+
+TEST(Builtin, HammingDistanceMatchesDefinition) {
+  for (int k = 0; k <= 2; ++k) {
+    RegularRelation rel = HammingDistanceAtMostRelation(2, k);
+    for (const Word& x : AllWords(2, 3)) {
+      for (const Word& y : AllWords(2, 3)) {
+        int mismatches = -1;
+        if (x.size() == y.size()) {
+          mismatches = 0;
+          for (size_t i = 0; i < x.size(); ++i) {
+            if (x[i] != y[i]) ++mismatches;
+          }
+        }
+        bool expected = mismatches >= 0 && mismatches <= k;
+        EXPECT_EQ(rel.Contains({x, y}), expected) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Builtin, HammingImpliesEditDistance) {
+  // Hamming(k) ⊆ Edit(k): substitutions are edits.
+  RegularRelation hamming = HammingDistanceAtMostRelation(2, 2);
+  RegularRelation edit = EditDistanceAtMostRelation(2, 2);
+  for (const auto& m : hamming.EnumerateMembers(60, 3)) {
+    EXPECT_TRUE(edit.Contains(m));
+  }
+}
+
+TEST(EditDistance, DpReference) {
+  EXPECT_EQ(EditDistance(W({}), W({})), 0);
+  EXPECT_EQ(EditDistance(W({0}), W({})), 1);
+  EXPECT_EQ(EditDistance(W({0, 1, 0}), W({0, 0})), 1);
+  EXPECT_EQ(EditDistance(W({0, 1}), W({1, 0})), 2);
+  EXPECT_EQ(EditDistance(W({0, 1, 1}), W({0, 1})), 1);
+}
+
+TEST(EditDistance, OneEditExamples) {
+  RegularRelation d1 = OneEditOrEqualRelation(2);
+  EXPECT_TRUE(d1.Contains({W({}), W({})}));
+  EXPECT_TRUE(d1.Contains({W({0}), W({1})}));          // substitution
+  EXPECT_TRUE(d1.Contains({W({0, 1}), W({0})}));       // deletion at end
+  EXPECT_TRUE(d1.Contains({W({0, 1}), W({1})}));       // deletion at front
+  EXPECT_TRUE(d1.Contains({W({0}), W({1, 0})}));       // insertion at front
+  EXPECT_TRUE(d1.Contains({W({0, 0}), W({0, 1, 0})})); // insertion inside
+  EXPECT_FALSE(d1.Contains({W({0, 0}), W({1, 1})}));
+  EXPECT_FALSE(d1.Contains({W({}), W({0, 0})}));
+}
+
+// Property sweep: D≤k agrees with the DP edit distance on all word pairs.
+class EditDistanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistanceSweep, MatchesDp) {
+  const int k = GetParam();
+  RegularRelation rel = EditDistanceAtMostRelation(2, k);
+  for (const Word& x : AllWords(2, 3)) {
+    for (const Word& y : AllWords(2, 3)) {
+      EXPECT_EQ(rel.Contains({x, y}), EditDistance(x, y) <= k)
+          << "k=" << k << " |x|=" << x.size() << " |y|=" << y.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, EditDistanceSweep, ::testing::Values(0, 1, 2, 3));
+
+// Random long-word checks (lengths beyond the exhaustive sweep).
+class EditDistanceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditDistanceRandom, MatchesDpOnMutations) {
+  Rng rng(GetParam());
+  auto alphabet = Alphabet::FromLabels({"a", "c", "g", "t"});
+  RegularRelation d2 = EditDistanceAtMostRelation(4, 2);
+  for (int round = 0; round < 5; ++round) {
+    Word x;
+    for (int i = 0; i < 8; ++i) {
+      x.push_back(static_cast<Symbol>(rng.Below(4)));
+    }
+    Word y = x;
+    int edits = static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      if (y.empty() || rng.Chance(0.3)) {
+        y.insert(y.begin() + rng.Below(y.size() + 1),
+                 static_cast<Symbol>(rng.Below(4)));
+      } else if (rng.Chance(0.5)) {
+        y[rng.Below(y.size())] = static_cast<Symbol>(rng.Below(4));
+      } else {
+        y.erase(y.begin() + rng.Below(y.size()));
+      }
+    }
+    EXPECT_EQ(d2.Contains({x, y}), EditDistance(x, y) <= 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceRandom, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ecrpq

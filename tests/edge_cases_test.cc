@@ -1,0 +1,198 @@
+// Degenerate and adversarial inputs across the stack: empty graphs,
+// self-loops, parallel edges, all-constant queries, empty languages,
+// ε answers.
+
+#include <gtest/gtest.h>
+
+#include "core/eval_product.h"
+#include "core/evaluator.h"
+#include "graph/generators.h"
+#include "query/builder.h"
+#include "query/parser.h"
+#include "relations/builtin.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(EdgeCases, GraphWithoutNodes) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g(alphabet);
+  auto query = ParseQuery("Ans() <- (x, p, y), a*(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result.value().AsBool());  // no nodes, no assignments
+}
+
+TEST(EdgeCases, GraphWithoutEdges) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g(alphabet);
+  g.AddNode("lonely");
+  auto star = ParseQuery("Ans(x) <- (x, p, x), a*(p)", g.alphabet());
+  ASSERT_TRUE(star.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(star.value());
+  ASSERT_TRUE(result.ok());
+  // The empty path satisfies a*.
+  EXPECT_EQ(result.value().tuples().size(), 1u);
+}
+
+TEST(EdgeCases, SelfLoopSingleNode) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g(alphabet);
+  NodeId v = g.AddNode("v");
+  g.AddEdge(v, Symbol{0}, v);
+  g.AddEdge(v, Symbol{1}, v);
+  // Squared strings on a free monoid: everything is reachable; check a
+  // couple of invariants rather than sizes.
+  auto query = ParseQuery(
+      "Ans(p, q) <- (x, p, y), (x, q, y), eq(p, q), a.*(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;
+  options.max_configs = 200000;
+  Evaluator evaluator(&g, options);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().tuples().size(), 1u);
+  const PathAnswerSet& answers = result.value().path_answers(0);
+  EXPECT_TRUE(answers.IsInfinite());
+  for (const PathTuple& tuple : answers.Enumerate(5, 4)) {
+    EXPECT_EQ(tuple[0].Label(), tuple[1].Label());
+    EXPECT_GE(tuple[0].length(), 1);
+  }
+}
+
+TEST(EdgeCases, ParallelEdgesDistinctPaths) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g(alphabet);
+  NodeId u = g.AddNode("u");
+  NodeId v = g.AddNode("v");
+  g.AddEdge(u, Symbol{0}, v);
+  g.AddEdge(u, Symbol{0}, v);  // parallel duplicate
+  auto query = ParseQuery("Ans(p) <- (x, p, y), a(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  // Parallel edges with identical label and endpoints are one path VALUE
+  // in the representation (same nodes, same label).
+  EXPECT_EQ(result.value().path_answers(0).CountTuples(3), 1u);
+}
+
+TEST(EdgeCases, AllConstantQuery) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = WordGraph(alphabet, {0, 0});
+  auto yes = ParseQuery(R"(Ans() <- ("w0", p, "w2"), aa(p))", g.alphabet());
+  ASSERT_TRUE(yes.ok());
+  Evaluator evaluator(&g);
+  EXPECT_TRUE(evaluator.Evaluate(yes.value()).value().AsBool());
+  auto no = ParseQuery(R"(Ans() <- ("w2", p, "w0"), a*(p))", g.alphabet());
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(evaluator.Evaluate(no.value()).value().AsBool());
+}
+
+TEST(EdgeCases, EmptyLanguageAtom) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 3, "a");
+  auto query = ParseQuery("Ans(x) <- (x, p, y), \\0(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().tuples().empty());
+}
+
+TEST(EdgeCases, EpsilonOnlyLanguage) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = WordGraph(alphabet, {0});
+  auto query = ParseQuery("Ans(x, y) <- (x, p, y), \\e(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  // Only empty paths: x == y for both nodes.
+  EXPECT_EQ(result.value().tuples().size(), 2u);
+  for (const auto& tuple : result.value().tuples()) {
+    EXPECT_EQ(tuple[0], tuple[1]);
+  }
+}
+
+TEST(EdgeCases, SameVariableBothEndpoints) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g(alphabet);
+  NodeId u = g.AddNode("u");
+  NodeId v = g.AddNode("v");
+  g.AddEdge(u, Symbol{0}, v);
+  g.AddEdge(v, Symbol{1}, u);
+  // Loops (x, p, x) with label ab: only from u.
+  auto query = ParseQuery("Ans(x) <- (x, p, x), ab(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().tuples().size(), 1u);
+  EXPECT_EQ(result.value().tuples()[0][0], u);
+}
+
+TEST(EdgeCases, TernaryRelationAtom) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g(alphabet);
+  NodeId u = g.AddNode("u");
+  g.AddEdge(u, Symbol{0}, u);
+  g.AddEdge(u, Symbol{1}, u);
+  // 3-ary all-equal across three loops.
+  RelationRegistry registry = RelationRegistry::Default();
+  registry.Register("eq3", std::make_shared<RegularRelation>(
+                               AllEqualRelation(2, 3)));
+  auto query = ParseQuery(
+      "Ans() <- (x, p, y), (x, q, y), (x, r, y), eq3(p, q, r), ab(p)",
+      g.alphabet(), registry);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().AsBool());
+}
+
+TEST(EdgeCases, RelationAlphabetMismatchRejected) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 2, "a");
+  // A relation built for a 3-letter alphabet against a 1-letter graph.
+  auto query = QueryBuilder()
+                   .Atom("x", "p", "y")
+                   .Atom("x", "q", "y")
+                   .Relation(std::make_shared<RegularRelation>(
+                                 EqualityRelation(3)),
+                             {"p", "q"})
+                   .Head({})
+                   .Build();
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeCases, PathAnswerSetOnIsolatedAnswer) {
+  // Head binding that has exactly the empty path as its only answer.
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g(alphabet);
+  g.AddNode("solo");
+  auto query = ParseQuery("Ans(x, p) <- (x, p, x), a*(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().tuples().size(), 1u);
+  const PathAnswerSet& answers = result.value().path_answers(0);
+  EXPECT_FALSE(answers.IsEmpty());
+  EXPECT_FALSE(answers.IsInfinite());
+  auto tuples = answers.Enumerate(5, 5);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0][0].length(), 0);
+  EXPECT_TRUE(answers.Contains({Path(0)}));
+}
+
+}  // namespace
+}  // namespace ecrpq

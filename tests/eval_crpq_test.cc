@@ -1,0 +1,125 @@
+// CRPQ fast path: per-atom reachability + join (Theorem 6.5).
+
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "core/eval_crpq.h"
+#include "core/eval_product.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(CrpqFastPath, Applicability) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  auto crpq = ParseQuery("Ans(x) <- (x, p, y), a*(p)", *alphabet);
+  ASSERT_TRUE(crpq.ok());
+  EXPECT_TRUE(CrpqFastPathApplies(crpq.value()));
+  auto ecrpq = ParseQuery(
+      "Ans() <- (x, p, y), (x, q, y), el(p, q)", *alphabet);
+  ASSERT_TRUE(ecrpq.ok());
+  EXPECT_FALSE(CrpqFastPathApplies(ecrpq.value()));
+  auto repeated = ParseQuery("Ans() <- (x, p, y), (y, p, z)", *alphabet);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_FALSE(CrpqFastPathApplies(repeated.value()));
+  auto linear = ParseQuery("Ans() <- (x, p, y), len(p) >= 1", *alphabet);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_FALSE(CrpqFastPathApplies(linear.value()));
+}
+
+TEST(CrpqFastPath, ReachabilityPairs) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = WordGraph(alphabet, {0, 0, 1});  // aab
+  RegularRelation lang = RegularRelation::FromLanguage(
+      2, ParseRegexStrict("a+", *alphabet).value()->ToNfa(2));
+  auto pairs = ReachabilityPairs(g, {&lang});
+  // a+ paths: w0->w1, w0->w2, w1->w2.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+// Cross-check the fast path against the general product engine.
+class CrpqEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrpqEngineAgreement, MatchesProductEngine) {
+  Rng rng(GetParam());
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = RandomGraph(alphabet, 6, 14, &rng);
+  const char* queries[] = {
+      "Ans(x, y) <- (x, p, y), a*b(p)",
+      "Ans(x, z) <- (x, p, y), (y, q, z), a+(p), b+(q)",
+      "Ans(y) <- (x, p, y), (y, q, z), (y, r, w), .*(p), a*(q), b*(r)",
+      "Ans() <- (x, p, y), ab(p)",
+      "Ans(x) <- (x, p, x), a+(p)",
+  };
+  for (const char* text : queries) {
+    SCOPED_TRACE(text);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    EvalOptions options;
+    auto fast = EvaluateCrpq(g, query.value(), options);
+    auto slow = EvaluateProduct(g, query.value(), options);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+    EXPECT_EQ(fast.value().tuples(), slow.value().tuples());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrpqEngineAgreement, ::testing::Range(0, 10));
+
+TEST(CrpqFastPath, SemijoinOptionAgrees) {
+  Rng rng(99);
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = RandomGraph(alphabet, 8, 20, &rng);
+  auto query = ParseQuery(
+      "Ans(x, w) <- (x, p, y), (y, q, z), (z, r, w), a*(p), b*(q), a*(r)",
+      g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions with;
+  with.use_semijoin_reduction = true;
+  EvalOptions without;
+  without.use_semijoin_reduction = false;
+  auto r1 = EvaluateCrpq(g, query.value(), with);
+  auto r2 = EvaluateCrpq(g, query.value(), without);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().tuples(), r2.value().tuples());
+}
+
+TEST(CrpqFastPath, ConstantEndpoints) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = WordGraph(alphabet, {0, 1, 0});
+  auto query = ParseQuery(R"(Ans(y) <- ("w0", p, y), a.*(p))",
+                          g.alphabet());
+  ASSERT_TRUE(query.ok());
+  auto result = EvaluateCrpq(g, query.value(), EvalOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Paths from w0 starting with a: a (w1), ab (w2), aba (w3).
+  EXPECT_EQ(result.value().tuples().size(), 3u);
+}
+
+TEST(CrpqFastPath, RejectsOutsideFragment) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 2, "a");
+  auto query = ParseQuery("Ans() <- (x, p, y), (x, q, y), el(p, q)",
+                          g.alphabet());
+  ASSERT_TRUE(query.ok());
+  auto result = EvaluateCrpq(g, query.value(), EvalOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CrpqFastPath, AutoDispatchPicksIt) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 3, "a");
+  auto query = ParseQuery("Ans(x) <- (x, p, y), a+(p)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  Evaluator evaluator(&g);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().stats().engine, "crpq");
+  EXPECT_EQ(result.value().tuples().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ecrpq

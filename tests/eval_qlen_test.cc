@@ -1,0 +1,185 @@
+// The Q_len length-abstraction engine (Lemma 6.6 / Theorem 6.7) and the
+// arithmetic-progression machinery behind it.
+
+#include <gtest/gtest.h>
+
+#include "core/eval_qlen.h"
+#include "core/eval_product.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+#include "relations/builtin.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(Qlen, EqualityAbstractsToEqualLength) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  // Word ab: under eq(p,q) with p,q splitting the word, only the empty
+  // split works ("a" != "b"); under the length abstraction the middle
+  // split (|p| = |q| = 1) works as well.
+  GraphDb g = WordGraph(alphabet, {0, 1});
+  auto query = ParseQuery(
+      "Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;
+  options.build_path_answers = false;
+  auto exact = EvaluateProduct(g, query.value(), options);
+  ASSERT_TRUE(exact.ok());
+  auto qlen = EvaluateQlen(g, query.value(), options);
+  ASSERT_TRUE(qlen.ok()) << qlen.status().ToString();
+  EXPECT_EQ(qlen.value().stats().engine, "qlen");
+  // Exact answers: diagonal only. Qlen: diagonal plus (w0, w2).
+  EXPECT_LT(exact.value().tuples().size(), qlen.value().tuples().size());
+  std::set<std::vector<NodeId>> qlen_set(qlen.value().tuples().begin(),
+                                         qlen.value().tuples().end());
+  EXPECT_TRUE(qlen_set.count(
+      {*g.FindNode("w0"), *g.FindNode("w2")}));
+  // Qlen over-approximates: every exact answer is a Qlen answer.
+  for (const auto& t : exact.value().tuples()) {
+    EXPECT_TRUE(qlen_set.count(t));
+  }
+}
+
+TEST(Qlen, ElAbstractionIsExactForEl) {
+  // el is already a length relation: Q_len must equal Q exactly.
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(17);
+  GraphDb g = RandomGraph(alphabet, 5, 10, &rng);
+  auto query = ParseQuery(
+      "Ans(x, y) <- (x, p, y), (x, q, y), el(p, q)", g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.max_configs = 500000;
+  auto exact = EvaluateProduct(g, query.value(), options);
+  ASSERT_TRUE(exact.ok());
+  auto qlen = EvaluateQlen(g, query.value(), options);
+  ASSERT_TRUE(qlen.ok());
+  EXPECT_EQ(exact.value().tuples(), qlen.value().tuples());
+}
+
+TEST(Qlen, ReiInstanceCollapses) {
+  // The PSPACE-hard REI family becomes easy under the abstraction: labels
+  // are erased, so the intersection constraint turns into a length
+  // constraint. Checks it *answers* (the exact engine also works here;
+  // the collapse in SIZE is measured by bench_thm67_qlen).
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = UniversalWordGraph(alphabet);
+  auto query = ParseQuery(
+      "Ans() <- (x1, p1, y1), (x2, p2, y2), a.*(p1), .*b(p2), eq(p1, p2)",
+      g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;
+  options.build_path_answers = false;
+  auto qlen = EvaluateQlen(g, query.value(), options);
+  ASSERT_TRUE(qlen.ok());
+  EXPECT_TRUE(qlen.value().AsBool());
+}
+
+TEST(Qlen, RejectsPathHeadsAndLinearAtoms) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 2, "a");
+  auto with_path = ParseQuery("Ans(p) <- (x, p, y), a*(p)", g.alphabet());
+  ASSERT_TRUE(with_path.ok());
+  EXPECT_EQ(EvaluateQlen(g, with_path.value(), EvalOptions{}).status().code(),
+            StatusCode::kUnimplemented);
+  auto with_linear =
+      ParseQuery("Ans() <- (x, p, y), len(p) >= 1", g.alphabet());
+  ASSERT_TRUE(with_linear.ok());
+  EXPECT_EQ(
+      EvaluateQlen(g, with_linear.value(), EvalOptions{}).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(PathLengthSet, ChrobakOnGraphs) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = CycleGraph(alphabet, 3, "a");
+  // Lengths from node 0 to node 0: multiples of 3.
+  SemilinearSet1D lengths = PathLengthSet(g, 0, 0);
+  EXPECT_TRUE(lengths.Contains(0));
+  EXPECT_TRUE(lengths.Contains(3));
+  EXPECT_TRUE(lengths.Contains(300));
+  EXPECT_FALSE(lengths.Contains(1));
+  EXPECT_FALSE(lengths.Contains(2));
+  // From node 0 to node 1: 1 mod 3.
+  SemilinearSet1D to1 = PathLengthSet(g, 0, 1);
+  EXPECT_TRUE(to1.Contains(1));
+  EXPECT_TRUE(to1.Contains(4));
+  EXPECT_FALSE(to1.Contains(3));
+}
+
+TEST(PathLengthSet, WithLanguageRestriction) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g(alphabet);
+  NodeId u = g.AddNode("u");
+  g.AddEdge(u, Symbol{0}, u);  // a loop
+  g.AddEdge(u, Symbol{1}, u);  // b loop
+  Nfa lang(2);
+  {
+    // (ab)*: even lengths only.
+    StateId s0 = lang.AddState();
+    StateId s1 = lang.AddState();
+    lang.SetInitial(s0);
+    lang.SetAccepting(s0);
+    lang.AddTransition(s0, 0, s1);
+    lang.AddTransition(s1, 1, s0);
+  }
+  RegularRelation rel = RegularRelation::FromLanguage(2, lang);
+  SemilinearSet1D lengths = PathLengthSet(g, u, u, &rel);
+  EXPECT_TRUE(lengths.Contains(0));
+  EXPECT_TRUE(lengths.Contains(2));
+  EXPECT_FALSE(lengths.Contains(1));
+  EXPECT_FALSE(lengths.Contains(7));
+}
+
+TEST(IntersectSemilinear, CrtCases) {
+  // (1 + 3N) ∩ (2 + 5N): solutions 7, 22, 37, ... = 7 + 15N.
+  SemilinearSet1D a({{1, 3}});
+  SemilinearSet1D b({{2, 5}});
+  SemilinearSet1D inter = IntersectSemilinear(a, b);
+  EXPECT_TRUE(inter.Contains(7));
+  EXPECT_TRUE(inter.Contains(22));
+  EXPECT_FALSE(inter.Contains(10));
+  EXPECT_FALSE(inter.Contains(1));
+  // Incompatible residues: (0 + 2N) ∩ (1 + 2N) = ∅.
+  SemilinearSet1D even({{0, 2}});
+  SemilinearSet1D odd({{1, 2}});
+  EXPECT_TRUE(IntersectSemilinear(even, odd).IsEmpty());
+  // Singleton intersections.
+  SemilinearSet1D single({{6, 0}});
+  SemilinearSet1D multiples({{0, 3}});
+  SemilinearSet1D both = IntersectSemilinear(single, multiples);
+  EXPECT_TRUE(both.Contains(6));
+  EXPECT_FALSE(both.Contains(9));
+  EXPECT_FALSE(both.IsInfinite());
+}
+
+// Property: Qlen equals the product engine on length-only relations.
+class QlenAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(QlenAgreement, MatchesProductOnLengthRelations) {
+  Rng rng(GetParam());
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = RandomGraph(alphabet, 4, 9, &rng);
+  for (const char* text :
+       {"Ans(x, y) <- (x, p, y), (x, q, y), el(p, q)",
+        "Ans(x) <- (x, p, y), (x, q, z), shorter(p, q)",
+        "Ans() <- (x, p, y), (y, q, z), shorter_eq(p, q)"}) {
+    SCOPED_TRACE(text);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok());
+    EvalOptions options;
+    options.build_path_answers = false;
+    options.max_configs = 1000000;
+    auto exact = EvaluateProduct(g, query.value(), options);
+    auto qlen = EvaluateQlen(g, query.value(), options);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_TRUE(qlen.ok()) << qlen.status().ToString();
+    EXPECT_EQ(exact.value().tuples(), qlen.value().tuples());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QlenAgreement, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ecrpq

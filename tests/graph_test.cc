@@ -1,0 +1,165 @@
+// Graph databases, paths, generators and IO.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/path.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(GraphDb, BasicConstruction) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, "x", b);
+  g.AddEdge(b, "y", a);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.FindNode("A"), a);
+  EXPECT_EQ(g.FindNode("missing"), std::nullopt);
+  EXPECT_TRUE(g.HasEdge(a, *g.alphabet().Find("x"), b));
+  EXPECT_FALSE(g.HasEdge(a, *g.alphabet().Find("y"), b));
+  EXPECT_EQ(g.AddNode("A"), a);  // named nodes are deduplicated
+}
+
+TEST(GraphDb, NfaView) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId c = g.AddNode("C");
+  Symbol x = g.alphabet_ptr()->Intern("x");
+  g.AddEdge(a, x, b);
+  g.AddEdge(b, x, c);
+  Nfa nfa = g.ToNfa({a}, {c});
+  EXPECT_TRUE(nfa.Accepts({x, x}));
+  EXPECT_FALSE(nfa.Accepts({x}));
+}
+
+TEST(Path, LabelsAndValidation) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  Symbol x = g.alphabet_ptr()->Intern("x");
+  Symbol y = g.alphabet_ptr()->Intern("y");
+  g.AddEdge(a, x, b);
+  g.AddEdge(b, y, a);
+  Path p(a, {{x, b}, {y, a}, {x, b}});
+  EXPECT_TRUE(p.IsValidIn(g));
+  EXPECT_EQ(p.Label(), Word({x, y, x}));
+  EXPECT_EQ(p.start(), a);
+  EXPECT_EQ(p.end(), b);
+  EXPECT_EQ(p.length(), 3);
+  EXPECT_EQ(p.NodeAt(0), a);
+  EXPECT_EQ(p.NodeAt(1), b);
+  Path bad(a, {{y, b}});
+  EXPECT_FALSE(bad.IsValidIn(g));
+  Path empty(b);
+  EXPECT_TRUE(empty.IsValidIn(g));
+  EXPECT_EQ(empty.Label(), Word{});
+  EXPECT_EQ(empty.end(), b);
+}
+
+TEST(Path, Enumeration) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  Symbol x = g.alphabet_ptr()->Intern("x");
+  g.AddEdge(a, x, b);
+  g.AddEdge(b, x, a);
+  // Paths from A with length <= 2: A, A-B, A-B-A.
+  std::vector<Path> from_a = EnumeratePathsFrom(g, a, 2);
+  EXPECT_EQ(from_a.size(), 3u);
+  // All paths length <= 1: two empty + two edges.
+  EXPECT_EQ(EnumerateAllPaths(g, 1).size(), 4u);
+}
+
+TEST(Generators, WordGraphSpellsWord) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Word word = {0, 1, 0};
+  GraphDb g = WordGraph(alphabet, word);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  Nfa nfa = g.ToNfa({*g.FindNode("w0")}, {*g.FindNode("w3")});
+  EXPECT_TRUE(nfa.Accepts(word));
+  EXPECT_FALSE(nfa.Accepts({0, 1}));
+}
+
+TEST(Generators, UniversalWordGraphHasAllWords) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c"});
+  GraphDb g = UniversalWordGraph(alphabet);
+  EXPECT_EQ(g.num_nodes(), 4);
+  // From every node, every word over Σ labels some path.
+  std::vector<Word> words = {{0}, {1, 2}, {0, 0, 1}, {2, 2, 2, 0}};
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<NodeId> all;
+    for (NodeId w = 0; w < g.num_nodes(); ++w) all.push_back(w);
+    Nfa nfa = g.ToNfa({v}, all);
+    for (const Word& w : words) {
+      EXPECT_TRUE(nfa.Accepts(w)) << "node " << v;
+    }
+  }
+}
+
+TEST(Generators, LayeredGraphShape) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(7);
+  GraphDb g = LayeredGraph(alphabet, 4, 5, 2, &rng);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_EQ(g.num_edges(), 3 * 5 * 2);
+  // All edges go to the next layer.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& [label, to] : g.Out(v)) {
+      (void)label;
+      EXPECT_EQ(to / 5, v / 5 + 1);
+    }
+  }
+}
+
+TEST(Generators, RdfPropertyGraphHierarchy) {
+  Rng rng(11);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  GraphDb g = RdfPropertyGraph(10, 5, 2, &rng, &pairs);
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_EQ(pairs.size(), 4u);  // forest over 5 properties
+  EXPECT_EQ(g.alphabet().size(), 5);
+}
+
+TEST(GraphIo, TextRoundTrip) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  g.AddEdge(a, "x", b);
+  g.AddEdge(b, "y", a);
+  std::string text = GraphToText(g);
+  auto parsed = ParseGraphText(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_nodes(), 2);
+  EXPECT_EQ(parsed.value().num_edges(), 2);
+  EXPECT_TRUE(parsed.value().HasEdge(*parsed.value().FindNode("A"),
+                                     *parsed.value().alphabet().Find("x"),
+                                     *parsed.value().FindNode("B")));
+}
+
+TEST(GraphIo, ParseErrorsAndComments) {
+  EXPECT_TRUE(ParseGraphText("# comment only\n").ok());
+  EXPECT_FALSE(ParseGraphText("node\n").ok());
+  EXPECT_FALSE(ParseGraphText("edge A x\n").ok());
+  EXPECT_FALSE(ParseGraphText("frobnicate A\n").ok());
+  auto g = ParseGraphText("edge A x B  # auto-creates nodes\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 2);
+}
+
+TEST(GraphIo, DotExport) {
+  GraphDb g;
+  NodeId a = g.AddNode("A");
+  g.AddEdge(a, "loop", a);
+  std::string dot = GraphToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("loop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,152 @@
+// Parikh-image flow encodings (Section 8.2, Verma-Seidl-Schwentick style).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/operations.h"
+#include "automata/regex.h"
+#include "solver/parikh.h"
+
+namespace ecrpq {
+namespace {
+
+Nfa FromRegex(std::string_view text) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  alphabet.Intern("b");
+  auto re = ParseRegexStrict(text, alphabet);
+  EXPECT_TRUE(re.ok());
+  return re.value()->ToNfa(2);
+}
+
+// Reference: all Parikh vectors of accepted words up to a length bound.
+std::set<std::vector<int64_t>> ParikhVectorsUpTo(const Nfa& nfa, int max_len) {
+  std::set<std::vector<int64_t>> out;
+  for (const Word& w : EnumerateWords(nfa, 1 << 20, max_len)) {
+    std::vector<int64_t> counts(nfa.num_symbols(), 0);
+    for (Symbol s : w) ++counts[s];
+    out.insert(counts);
+  }
+  return out;
+}
+
+// Decides membership of a concrete Parikh vector via the flow encoding.
+bool FlowMembership(const Nfa& nfa, const std::vector<int64_t>& counts) {
+  std::vector<LinearConstraint> constraints;
+  for (size_t a = 0; a < counts.size(); ++a) {
+    constraints.push_back(
+        {{{static_cast<int>(a), 1}}, Cmp::kEq, counts[a]});
+  }
+  auto result = ExistsWordWithCounts(nfa, constraints);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value().has_value();
+}
+
+TEST(Parikh, MembershipMatchesEnumerationSmall) {
+  for (const char* regex : {"(ab)*", "a*b*", "a(a|b)*b", "ab|ba|\\e"}) {
+    SCOPED_TRACE(regex);
+    Nfa nfa = FromRegex(regex);
+    std::set<std::vector<int64_t>> reference = ParikhVectorsUpTo(nfa, 5);
+    for (int64_t na = 0; na <= 5; ++na) {
+      for (int64_t nb = 0; nb + na <= 5; ++nb) {
+        std::vector<int64_t> v = {na, nb};
+        EXPECT_EQ(FlowMembership(nfa, v), reference.count(v) > 0)
+            << "na=" << na << " nb=" << nb;
+      }
+    }
+  }
+}
+
+TEST(Parikh, DisconnectedCycleNotCounted) {
+  // Automaton: initial/accepting state 0 with no arcs, plus an unreachable
+  // cycle on states 1-2 producing 'a's. Flow encodings without a
+  // connectivity constraint wrongly admit (2,0); ours must not.
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s0);
+  nfa.AddTransition(s1, 0, s2);
+  nfa.AddTransition(s2, 0, s1);
+  EXPECT_TRUE(FlowMembership(nfa, {0, 0}));
+  EXPECT_FALSE(FlowMembership(nfa, {2, 0}));
+}
+
+TEST(Parikh, ReachableCycleRequiresEntering) {
+  // A cycle reachable from the initial state but the accepting state is
+  // before it: counts from the cycle must not be claimable.
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 0, s1);
+  EXPECT_TRUE(FlowMembership(nfa, {0}));
+  EXPECT_FALSE(FlowMembership(nfa, {1}));  // would strand at s1
+  EXPECT_FALSE(FlowMembership(nfa, {5}));
+}
+
+TEST(Parikh, InequalityConstraints) {
+  // (ab)* with constraint x_a >= 3: minimal witness (3,3).
+  Nfa nfa = FromRegex("(ab)*");
+  auto result =
+      ExistsWordWithCounts(nfa, {{{{0, 1}}, Cmp::kGe, 3}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().has_value());
+  EXPECT_GE((*result.value())[0], 3);
+  EXPECT_EQ((*result.value())[0], (*result.value())[1]);
+}
+
+TEST(Parikh, RatioConstraintAirlineStyle) {
+  // Over a*b*: 4x_a - x_b >= 0 and x_a + x_b >= 5 is satisfiable;
+  // over b* alone it is not (x_a = 0 forces x_b <= 0).
+  Nfa mixed = FromRegex("a*b*");
+  auto yes = ExistsWordWithCounts(
+      mixed, {{{{0, 4}, {1, -1}}, Cmp::kGe, 0}, {{{0, 1}, {1, 1}}, Cmp::kGe, 5}});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes.value().has_value());
+
+  Nfa only_b = FromRegex("b+");
+  auto no = ExistsWordWithCounts(
+      only_b,
+      {{{{0, 4}, {1, -1}}, Cmp::kGe, 0}, {{{0, 1}, {1, 1}}, Cmp::kGe, 5}});
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no.value().has_value());
+}
+
+TEST(Parikh, EmptyLanguage) {
+  auto result = ExistsWordWithCounts(EmptyNfa(2), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().has_value());
+}
+
+TEST(Parikh, EpsilonArcsCarryNoLetter) {
+  // a* ε-concatenated with b: ε arcs must not contribute counts.
+  Nfa a_star = FromRegex("a*");
+  Nfa b = FromRegex("b");
+  Nfa nfa = ConcatNfa(a_star, b);
+  EXPECT_TRUE(FlowMembership(nfa, {2, 1}));
+  EXPECT_FALSE(FlowMembership(nfa, {2, 0}));
+  EXPECT_FALSE(FlowMembership(nfa, {2, 2}));
+}
+
+TEST(Parikh, SharedCountersAcrossGraphs) {
+  // Two automata a* and b* with a shared budget x_a(first) == x_b(second).
+  ParikhConstraintBuilder builder;
+  auto x1 = builder.AddAutomaton(FromRegex("a*"));
+  ASSERT_TRUE(x1.ok());
+  auto x2 = builder.AddAutomaton(FromRegex("b*"));
+  ASSERT_TRUE(x2.ok());
+  builder.AddConstraint(
+      {{{x1.value()[0], 1}, {x2.value()[1], -1}}, Cmp::kEq, 0});
+  builder.AddConstraint({{{x1.value()[0], 1}}, Cmp::kGe, 4});
+  auto solution = builder.Solve();
+  ASSERT_TRUE(solution.ok());
+  ASSERT_TRUE(solution.value().feasible);
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,140 @@
+// Cross-engine property tests: every engine agrees with brute-force
+// reference semantics on random graphs, and engines agree with each other.
+//
+// Brute force enumerates assignments with path length <= L; to compare
+// against the exact engines we restrict to graphs where relevant answers
+// are short (DAG word-like graphs) or compare only brute-force-found
+// answers (soundness direction) plus engine answers realizable within L
+// (completeness direction via answer enumeration).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/eval_bruteforce.h"
+#include "core/eval_product.h"
+#include "core/evaluator.h"
+#include "graph/generators.h"
+#include "relations/builtin.h"
+#include "query/parser.h"
+
+namespace ecrpq {
+namespace {
+
+// DAG graphs keep all simple answers short, so brute force with a generous
+// bound is exact for queries whose relations cannot be satisfied by paths
+// longer than the longest simple path... To stay exact we use layered DAGs
+// whose path lengths are bounded by the layer count.
+GraphDb SmallDag(uint64_t seed) {
+  Rng rng(seed);
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  return LayeredGraph(alphabet, 4, 2, 2, &rng);
+}
+
+const char* kQueries[] = {
+    // CRPQs.
+    "Ans(x, y) <- (x, p, y), a*(p)",
+    "Ans(x, z) <- (x, p, y), (y, q, z), a+(p), b*(q)",
+    "Ans() <- (x, p, y), ab(p)",
+    // ECRPQs with binary relations.
+    "Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)",
+    "Ans(x, y) <- (x, p, y), (x, q, y), el(p, q)",
+    "Ans(x, y) <- (x, p, y), (x, q, y), prefix(p, q)",
+    "Ans() <- (x, p, y), (x, q, z), edit1(p, q)",
+    // Repetition (Prop 6.8).
+    "Ans(x, w) <- (x, p, y), (z, p, w), a*(p)",
+    // Multi-component.
+    "Ans(x, u) <- (x, p, y), (u, q, v), a(p), b(q)",
+};
+
+class EngineVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineVsBruteForce, ProductEngineMatches) {
+  auto [seed, query_index] = GetParam();
+  GraphDb g = SmallDag(seed);
+  auto query = ParseQuery(kQueries[query_index], g.alphabet());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  EvalOptions options;
+  options.build_path_answers = false;
+  options.bruteforce_max_len = 4;  // layered graph: max path length is 3
+  auto brute = EvaluateBruteForce(g, query.value(), options);
+  ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+  auto product = EvaluateProduct(g, query.value(), options);
+  ASSERT_TRUE(product.ok()) << product.status().ToString();
+  EXPECT_EQ(brute.value().tuples(), product.value().tuples())
+      << kQueries[query_index];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineVsBruteForce,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 9)));
+
+// On cyclic graphs brute force is only sound up to its bound; engine
+// answers must be a superset, and every brute-force answer must be found.
+class CyclicSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CyclicSoundness, BruteForceAnswersAreFound) {
+  Rng rng(GetParam());
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = RandomGraph(alphabet, 4, 8, &rng);
+  for (const char* text : kQueries) {
+    SCOPED_TRACE(text);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok());
+    EvalOptions options;
+    options.build_path_answers = false;
+    options.bruteforce_max_len = 3;
+    options.max_configs = 500000;
+    auto brute = EvaluateBruteForce(g, query.value(), options);
+    ASSERT_TRUE(brute.ok());
+    auto product = EvaluateProduct(g, query.value(), options);
+    ASSERT_TRUE(product.ok()) << product.status().ToString();
+    std::set<std::vector<NodeId>> engine_tuples(
+        product.value().tuples().begin(), product.value().tuples().end());
+    for (const auto& tuple : brute.value().tuples()) {
+      EXPECT_TRUE(engine_tuples.count(tuple));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CyclicSoundness, ::testing::Range(0, 8));
+
+// Engine-claimed path answers are real: enumerate and validate against the
+// graph, the relations, and brute force membership.
+class PathAnswerSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathAnswerSoundness, EnumeratedTuplesAreValid) {
+  Rng rng(GetParam() + 77);
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  GraphDb g = RandomGraph(alphabet, 4, 7, &rng);
+  auto query = ParseQuery(
+      "Ans(x, y, p, q) <- (x, p, z), (z, q, y), prefix(p, q)",
+      g.alphabet());
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;
+  options.max_configs = 500000;
+  Evaluator evaluator(&g, options);
+  auto result = evaluator.Evaluate(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  RegularRelation prefix = PrefixRelation(2);
+  for (size_t i = 0; i < result.value().tuples().size() && i < 4; ++i) {
+    const auto& tuple = result.value().tuples()[i];
+    for (const PathTuple& paths :
+         result.value().path_answers(i).Enumerate(8, 5)) {
+      ASSERT_EQ(paths.size(), 2u);
+      EXPECT_TRUE(paths[0].IsValidIn(g));
+      EXPECT_TRUE(paths[1].IsValidIn(g));
+      EXPECT_EQ(paths[0].start(), tuple[0]);
+      EXPECT_EQ(paths[1].end(), tuple[1]);
+      EXPECT_EQ(paths[0].end(), paths[1].start());
+      EXPECT_TRUE(prefix.Contains({paths[0].Label(), paths[1].Label()}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathAnswerSoundness, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,106 @@
+// Regex parsing, printing, and round-trips.
+
+#include <gtest/gtest.h>
+
+#include "automata/operations.h"
+#include "automata/regex.h"
+
+namespace ecrpq {
+namespace {
+
+TEST(RegexParser, BasicForms) {
+  Alphabet alphabet;
+  auto re = ParseRegex("a(b|c)*d?", &alphabet);
+  ASSERT_TRUE(re.ok()) << re.status().ToString();
+  Nfa nfa = re.value()->ToNfa(alphabet.size());
+  auto word = [&](std::string_view s) {
+    return alphabet.WordFromChars(s).ValueOrDie();
+  };
+  EXPECT_TRUE(nfa.Accepts(word("a")));
+  EXPECT_TRUE(nfa.Accepts(word("abcd")));
+  EXPECT_TRUE(nfa.Accepts(word("accc")));
+  EXPECT_FALSE(nfa.Accepts(word("ad" "d")));
+  EXPECT_FALSE(nfa.Accepts(word("")));
+}
+
+TEST(RegexParser, QuotedMultiCharLabels) {
+  Alphabet alphabet;
+  auto re = ParseRegex("'advisor'+", &alphabet);
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(alphabet.size(), 1);
+  EXPECT_EQ(alphabet.Label(0), "advisor");
+  Nfa nfa = re.value()->ToNfa(1);
+  EXPECT_TRUE(nfa.Accepts({0, 0}));
+  EXPECT_FALSE(nfa.Accepts({}));
+}
+
+TEST(RegexParser, EpsilonAndEmptySet) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  auto eps = ParseRegex("\\e", &alphabet);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_TRUE(eps.value()->ToNfa(1).AcceptsEmptyWord());
+  auto empty = ParseRegex("\\0", &alphabet);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(IsEmpty(empty.value()->ToNfa(1)));
+  // ε | a accepts both.
+  auto mix = ParseRegex("\\e|a", &alphabet);
+  ASSERT_TRUE(mix.ok());
+  Nfa nfa = mix.value()->ToNfa(1);
+  EXPECT_TRUE(nfa.AcceptsEmptyWord());
+  EXPECT_TRUE(nfa.Accepts({0}));
+}
+
+TEST(RegexParser, AnySymbol) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  alphabet.Intern("b");
+  auto re = ParseRegex(".*", &alphabet);
+  ASSERT_TRUE(re.ok());
+  Nfa nfa = re.value()->ToNfa(2);
+  EXPECT_TRUE(nfa.Accepts({0, 1, 0}));
+}
+
+TEST(RegexParser, Errors) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseRegex("(a", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a)", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("'unterminated", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("\\q", &alphabet).ok());
+  Alphabet strict;
+  strict.Intern("a");
+  EXPECT_FALSE(ParseRegexStrict("b", strict).ok());
+  EXPECT_TRUE(ParseRegexStrict("a", strict).ok());
+}
+
+TEST(RegexPrinter, RoundTrip) {
+  Alphabet alphabet;
+  const char* cases[] = {"a(b|c)*", "ab|cd", "(a|b)?c+", "a'long label'b"};
+  for (const char* text : cases) {
+    auto re = ParseRegex(text, &alphabet);
+    ASSERT_TRUE(re.ok()) << text;
+    std::string printed = re.value()->ToString(alphabet);
+    auto reparsed = ParseRegex(printed, &alphabet);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_TRUE(AreEquivalent(re.value()->ToNfa(alphabet.size()),
+                              reparsed.value()->ToNfa(alphabet.size())))
+        << text << " vs " << printed;
+  }
+}
+
+TEST(RegexBuilders, LiteralAndAll) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("a");
+  Symbol b = alphabet.Intern("b");
+  RegexPtr lit = Regex::Literal({a, b, a});
+  Nfa nfa = lit->ToNfa(2);
+  EXPECT_TRUE(nfa.Accepts({a, b, a}));
+  EXPECT_FALSE(nfa.Accepts({a, b}));
+  RegexPtr any_of = Regex::UnionAll({Regex::Letter(a), Regex::Letter(b)});
+  EXPECT_TRUE(any_of->ToNfa(2).Accepts({b}));
+  EXPECT_TRUE(IsEmpty(Regex::UnionAll({})->ToNfa(2)));
+  EXPECT_TRUE(Regex::ConcatAll({})->ToNfa(2).AcceptsEmptyWord());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,215 @@
+// Convolution encoding and the regular-relation algebra (Section 2).
+
+#include <gtest/gtest.h>
+
+#include "relations/builtin.h"
+#include "relations/relation.h"
+#include "relations/tuple_regex.h"
+
+namespace ecrpq {
+namespace {
+
+Word W(std::initializer_list<int> symbols) {
+  Word w;
+  for (int s : symbols) w.push_back(s);
+  return w;
+}
+
+TEST(Convolution, EncodeDecodeRoundTrip) {
+  TupleAlphabet ta(2, 2);
+  EXPECT_EQ(ta.num_symbols(), 9);
+  TupleLetter letter = {0, kPad};
+  Symbol id = ta.Encode(letter);
+  EXPECT_EQ(ta.Decode(id), letter);
+  EXPECT_EQ(ta.Component(id, 0), 0);
+  EXPECT_EQ(ta.Component(id, 1), kPad);
+  EXPECT_EQ(ta.PadMask(id), 2u);
+}
+
+TEST(Convolution, PaperExample) {
+  // s1 = aba, s2 = babb => [(s1,s2)] = (a,b)(b,a)(a,b)(⊥,b).
+  TupleAlphabet ta(2, 2);
+  Symbol a = 0, b = 1;
+  Word conv = Convolve(ta, {W({a, b, a}), W({b, a, b, b})});
+  ASSERT_EQ(conv.size(), 4u);
+  EXPECT_EQ(ta.Decode(conv[0]), TupleLetter({a, b}));
+  EXPECT_EQ(ta.Decode(conv[3]), TupleLetter({kPad, b}));
+  auto back = Deconvolve(ta, conv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value()[0], W({a, b, a}));
+  EXPECT_EQ(back.value()[1], W({b, a, b, b}));
+}
+
+TEST(Convolution, InvalidWords) {
+  TupleAlphabet ta(2, 2);
+  Word pad_then_letter = {ta.Encode({kPad, 0}), ta.Encode({0, 0})};
+  EXPECT_FALSE(IsValidConvolution(ta, pad_then_letter));
+  Word with_all_pad = {ta.Encode({0, 0}), ta.AllPadId()};
+  EXPECT_FALSE(IsValidConvolution(ta, with_all_pad));
+  Word fine = {ta.Encode({0, 0}), ta.Encode({kPad, 0})};
+  EXPECT_TRUE(IsValidConvolution(ta, fine));
+}
+
+TEST(RegularRelation, ValidityEnforced) {
+  // An NFA accepting an invalid word gets sanitized by the constructor.
+  TupleAlphabet ta(2, 2);
+  Nfa nfa(ta.num_symbols());
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState();
+  nfa.SetInitial(s0);
+  nfa.SetAccepting(s2);
+  nfa.AddTransition(s0, ta.Encode({kPad, 0}), s1);
+  nfa.AddTransition(s1, ta.Encode({0, 0}), s2);  // letter after pad: invalid
+  RegularRelation rel(2, 2, std::move(nfa));
+  EXPECT_TRUE(rel.IsEmpty());
+}
+
+TEST(RegularRelation, MembershipAndEnumeration) {
+  RegularRelation prefix = PrefixRelation(2);
+  EXPECT_TRUE(prefix.Contains({W({}), W({})}));
+  EXPECT_TRUE(prefix.Contains({W({}), W({0})}));
+  EXPECT_TRUE(prefix.Contains({W({0, 1}), W({0, 1, 1})}));
+  EXPECT_FALSE(prefix.Contains({W({1}), W({0, 1})}));
+  EXPECT_FALSE(prefix.Contains({W({0, 0}), W({0})}));
+  EXPECT_FALSE(prefix.IsEmpty());
+  EXPECT_TRUE(prefix.IsInfinite());
+  auto member = prefix.AnyMember();
+  ASSERT_TRUE(member.has_value());
+  EXPECT_TRUE(prefix.Contains(*member));
+  auto members = prefix.EnumerateMembers(10, 2);
+  EXPECT_EQ(members.size(), 10u);
+  for (const auto& m : members) EXPECT_TRUE(prefix.Contains(m));
+}
+
+TEST(RelationAlgebra, IntersectUnionComplement) {
+  RegularRelation eq = EqualityRelation(2);
+  RegularRelation el = EqualLengthRelation(2);
+  // eq ⊆ el, so eq ∩ el = eq and eq ∪ el = el.
+  auto inter = RegularRelation::Intersect(eq, el);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_TRUE(inter.value().Contains({W({0, 1}), W({0, 1})}));
+  EXPECT_FALSE(inter.value().Contains({W({0, 1}), W({1, 1})}));
+
+  auto uni = RegularRelation::Union(eq, el);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_TRUE(uni.value().Contains({W({0, 1}), W({1, 1})}));
+  EXPECT_FALSE(uni.value().Contains({W({0}), W({0, 0})}));
+
+  // Complement of el within valid convolutions: different lengths.
+  RegularRelation not_el = el.Complement();
+  EXPECT_TRUE(not_el.Contains({W({0}), W({0, 0})}));
+  EXPECT_FALSE(not_el.Contains({W({0}), W({1})}));
+}
+
+TEST(RelationAlgebra, ArityMismatchRejected) {
+  RegularRelation eq = EqualityRelation(2);
+  RegularRelation eq3 = AllEqualRelation(2, 3);
+  EXPECT_FALSE(RegularRelation::Intersect(eq, eq3).ok());
+  RegularRelation eq_other = EqualityRelation(3);
+  EXPECT_FALSE(RegularRelation::Union(eq, eq_other).ok());
+}
+
+TEST(RelationAlgebra, PermuteTapes) {
+  RegularRelation shorter = ShorterRelation(2);
+  auto longer = shorter.PermuteTapes({1, 0});
+  ASSERT_TRUE(longer.ok());
+  EXPECT_TRUE(longer.value().Contains({W({0, 0}), W({0})}));
+  EXPECT_FALSE(longer.value().Contains({W({0}), W({0, 0})}));
+  EXPECT_FALSE(shorter.PermuteTapes({0, 0}).ok());
+  EXPECT_FALSE(shorter.PermuteTapes({0}).ok());
+}
+
+TEST(RelationAlgebra, CylindrifyIgnoresOtherTapes) {
+  RegularRelation eq = EqualityRelation(2);
+  auto lifted = eq.Cylindrify(3, {0, 2});
+  ASSERT_TRUE(lifted.ok());
+  // Tapes 0 and 2 equal; tape 1 arbitrary (longer or shorter).
+  EXPECT_TRUE(lifted.value().Contains({W({0, 1}), W({}), W({0, 1})}));
+  EXPECT_TRUE(lifted.value().Contains(
+      {W({0, 1}), W({1, 1, 1, 1, 1}), W({0, 1})}));
+  EXPECT_FALSE(lifted.value().Contains({W({0, 1}), W({}), W({0, 0})}));
+}
+
+TEST(RelationAlgebra, ProjectDropsTapes) {
+  // Project prefix(x, y) to y: all strings (any y has prefix ε).
+  RegularRelation prefix = PrefixRelation(2);
+  auto proj = prefix.Project({1});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_TRUE(proj.value().Contains({W({0, 1, 1})}));
+  EXPECT_TRUE(proj.value().Contains({W({})}));
+  // Project strict-prefix(x, y) to x: x must extend to a longer y, always
+  // possible, so again everything.
+  auto proj2 = StrictPrefixRelation(2).Project({0});
+  ASSERT_TRUE(proj2.ok());
+  EXPECT_TRUE(proj2.value().Contains({W({1, 1})}));
+}
+
+TEST(RelationAlgebra, JoinSharesTape) {
+  // join of shorter(x, y) and shorter(y, z) on y: |x| < |y| < |z|.
+  RegularRelation shorter = ShorterRelation(2);
+  auto joined = RegularRelation::Join(shorter, 1, shorter, 0);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().arity(), 3);
+  EXPECT_TRUE(joined.value().Contains({W({0}), W({0, 0}), W({0, 0, 0})}));
+  EXPECT_FALSE(joined.value().Contains({W({0}), W({0, 0}), W({0, 0})}));
+}
+
+TEST(RelationAlgebra, ComposeShorter) {
+  // shorter ∘ shorter = "shorter by at least 2".
+  RegularRelation shorter = ShorterRelation(2);
+  auto composed = RegularRelation::Compose(shorter, shorter);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_TRUE(composed.value().Contains({W({0}), W({0, 0, 0})}));
+  EXPECT_FALSE(composed.value().Contains({W({0}), W({0, 0})}));
+}
+
+TEST(RelationAlgebra, LengthAbstraction) {
+  // Morphism a->b is length-preserving; its abstraction is equal-length.
+  RegularRelation morph = MorphismRelation(2, {1, 0});
+  RegularRelation abstracted = morph.LengthAbstraction();
+  EXPECT_TRUE(abstracted.Contains({W({0, 0}), W({0, 1})}));
+  EXPECT_FALSE(abstracted.Contains({W({0}), W({0, 1})}));
+}
+
+TEST(RelationAlgebra, UnaryLanguageRoundTrip) {
+  Nfa lang(2);
+  StateId s0 = lang.AddState();
+  StateId s1 = lang.AddState();
+  lang.SetInitial(s0);
+  lang.SetAccepting(s1);
+  lang.AddTransition(s0, 0, s1);
+  RegularRelation rel = RegularRelation::FromLanguage(2, lang);
+  EXPECT_TRUE(rel.Contains({W({0})}));
+  EXPECT_FALSE(rel.Contains({W({1})}));
+  auto back = rel.ToLanguageNfa();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().Accepts(W({0})));
+  EXPECT_FALSE(back.value().Accepts(W({1})));
+}
+
+TEST(TupleRegex, PrefixByHand) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  auto rel = ParseTupleRegex("([a,a]|[b,b])*([_,a]|[_,b])*", *alphabet);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  RegularRelation prefix = PrefixRelation(2);
+  // Hand-built prefix relation equals the builtin on samples.
+  for (const auto& m : prefix.EnumerateMembers(30, 3)) {
+    EXPECT_TRUE(rel.value().Contains(m));
+  }
+  EXPECT_FALSE(rel.value().Contains({W({0}), W({1, 1})}));
+}
+
+TEST(TupleRegex, Errors) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  EXPECT_FALSE(ParseTupleRegex("[a,a", *alphabet).ok());
+  EXPECT_FALSE(ParseTupleRegex("[a,c]*", *alphabet).ok());
+  EXPECT_FALSE(ParseTupleRegex("[a,a][b]*", *alphabet).ok());  // arity clash
+  EXPECT_FALSE(ParseTupleRegex("[_,_]", *alphabet).ok());      // all-pad
+  EXPECT_FALSE(ParseTupleRegex("\\e", *alphabet).ok());        // no arity
+  EXPECT_TRUE(ParseTupleRegex("[a,a]*", *alphabet, 2).ok());
+  EXPECT_FALSE(ParseTupleRegex("[a,a]*", *alphabet, 3).ok());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,88 @@
+// Rational relations via transducers and the Prop 8.4 boundary.
+
+#include <gtest/gtest.h>
+
+#include "automata/operations.h"
+#include "automata/regex.h"
+#include "relations/transducer.h"
+
+namespace ecrpq {
+namespace {
+
+Word W(std::initializer_list<int> symbols) {
+  Word w;
+  for (int s : symbols) w.push_back(s);
+  return w;
+}
+
+TEST(Transducer, RestrictionRelation) {
+  // Restriction to letter 0 (drop letter 1): reads w, outputs w|{0}.
+  // Contains(input, output).
+  Transducer t = RestrictionTransducer(2, {true, false});
+  EXPECT_TRUE(t.Contains(W({0, 1, 0, 1}), W({0, 0})));
+  EXPECT_TRUE(t.Contains(W({1, 1}), W({})));
+  EXPECT_FALSE(t.Contains(W({1}), W({0})));
+  EXPECT_FALSE(t.Contains(W({0}), W({0, 0})));
+  EXPECT_FALSE(t.Contains(W({0, 0}), W({0, 1, 0, 1})));
+}
+
+TEST(Transducer, ApplyToRegularLanguage) {
+  // Image of (01)* under "drop letter 1" is 0*.
+  Transducer t = RestrictionTransducer(2, {false, true});
+  // Note roles: t reads the word and emits the restriction; Apply computes
+  // the image of the input language.
+  Alphabet alphabet;
+  alphabet.Intern("0");
+  alphabet.Intern("1");
+  Nfa input = ParseRegexStrict("(01)*", alphabet).value()->ToNfa(2);
+  Nfa image = t.Apply(input);
+  // Restriction keeps letter 1 here: image = 1*.
+  Nfa expected = ParseRegexStrict("1*", alphabet).value()->ToNfa(2);
+  EXPECT_TRUE(AreEquivalent(image, expected));
+}
+
+TEST(Transducer, AsynchronousNotLetterToLetter) {
+  Transducer t = RestrictionTransducer(2, {true, false});
+  EXPECT_FALSE(t.IsLetterToLetter());
+  EXPECT_FALSE(t.ToRegularRelation().ok());
+}
+
+TEST(Transducer, LetterToLetterConversion) {
+  // Swap 0 and 1: a synchronous transducer convertible to a regular
+  // relation.
+  Transducer t(2);
+  StateId s = t.AddState();
+  t.SetInitial(s);
+  t.SetAccepting(s);
+  t.AddRule(s, W({0}), W({1}), s);
+  t.AddRule(s, W({1}), W({0}), s);
+  EXPECT_TRUE(t.IsLetterToLetter());
+  auto rel = t.ToRegularRelation();
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel.value().Contains({W({0, 1}), W({1, 0})}));
+  EXPECT_FALSE(rel.value().Contains({W({0}), W({0})}));
+}
+
+TEST(Pcp, BoundedSolver) {
+  // Classic solvable instance: a=(1,10111,10), b=(111,10,0):
+  // solution 2,1,1,3.
+  PcpInstance solvable;
+  solvable.a = {W({1}), W({1, 0, 1, 1, 1}), W({1, 0})};
+  solvable.b = {W({1, 1, 1}), W({1, 0}), W({0})};
+  EXPECT_TRUE(SolvePcpBounded(solvable, 10));
+
+  // Unsolvable: first letters never match.
+  PcpInstance unsolvable;
+  unsolvable.a = {W({0, 0})};
+  unsolvable.b = {W({1})};
+  EXPECT_FALSE(SolvePcpBounded(unsolvable, 12));
+
+  // Length mismatch forever: a grows strictly faster on every tile.
+  PcpInstance growing;
+  growing.a = {W({0, 0}), W({0, 0, 0})};
+  growing.b = {W({0}), W({0, 0})};
+  EXPECT_FALSE(SolvePcpBounded(growing, 12));
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,0 +1,125 @@
+// Chrobak/Sawa-style decomposition of accepted lengths into progressions.
+
+#include <gtest/gtest.h>
+
+#include "automata/operations.h"
+#include "automata/regex.h"
+#include "automata/unary.h"
+#include "util/random.h"
+
+namespace ecrpq {
+namespace {
+
+// Reference: accepted lengths by explicit DP.
+std::vector<bool> LengthsByDp(const Nfa& nfa_in, int up_to) {
+  Nfa nfa = RemoveEpsilons(nfa_in);
+  std::vector<bool> current(nfa.num_states(), false);
+  for (StateId s : nfa.InitialStates()) current[s] = true;
+  std::vector<bool> out(up_to + 1, false);
+  for (int l = 0; l <= up_to; ++l) {
+    for (StateId s = 0; s < nfa.num_states(); ++s) {
+      if (current[s] && nfa.IsAccepting(s)) out[l] = true;
+    }
+    std::vector<bool> next(nfa.num_states(), false);
+    for (StateId s = 0; s < nfa.num_states(); ++s) {
+      if (!current[s]) continue;
+      for (const Nfa::Arc& arc : nfa.ArcsFrom(s)) next[arc.second] = true;
+    }
+    current = std::move(next);
+  }
+  return out;
+}
+
+void ExpectDecompositionMatches(const Nfa& nfa, int up_to) {
+  SemilinearSet1D set = AcceptedLengths(nfa);
+  std::vector<bool> reference = LengthsByDp(nfa, up_to);
+  for (int l = 0; l <= up_to; ++l) {
+    EXPECT_EQ(set.Contains(l), reference[l])
+        << "length " << l << " in " << set.ToString();
+  }
+}
+
+Nfa FromRegex(std::string_view text) {
+  Alphabet alphabet;
+  alphabet.Intern("a");
+  alphabet.Intern("b");
+  auto re = ParseRegexStrict(text, alphabet);
+  EXPECT_TRUE(re.ok());
+  return re.value()->ToNfa(2);
+}
+
+TEST(AcceptedLengths, SimpleSets) {
+  ExpectDecompositionMatches(FromRegex("a*"), 40);
+  ExpectDecompositionMatches(FromRegex("aaa(aa)*"), 60);
+  ExpectDecompositionMatches(FromRegex("a|aaaa"), 40);
+  ExpectDecompositionMatches(FromRegex("\\0"), 10);
+  ExpectDecompositionMatches(FromRegex("\\e"), 10);
+}
+
+TEST(AcceptedLengths, MixedPeriods) {
+  // Lengths {2} ∪ {3 + 5k}: two cycles of different sizes.
+  ExpectDecompositionMatches(FromRegex("aa|aaa(aaaaa)*"), 80);
+  // Union of residues mod 2 and mod 3.
+  ExpectDecompositionMatches(FromRegex("(aa)*|(aaa)*"), 80);
+}
+
+TEST(AcceptedLengths, LabelsIgnored) {
+  // Lengths of (ab)* are the even numbers, labels don't matter.
+  SemilinearSet1D set = AcceptedLengths(FromRegex("(ab)*"));
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_TRUE(set.IsInfinite());
+}
+
+TEST(AcceptedLengths, EmptyLanguage) {
+  SemilinearSet1D set = AcceptedLengths(EmptyNfa(2));
+  EXPECT_TRUE(set.IsEmpty());
+  EXPECT_EQ(set.Min(), std::nullopt);
+}
+
+TEST(SemilinearSet, Queries) {
+  SemilinearSet1D set({{3, 0}, {5, 4}});
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Contains(13));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.Min(), 3);
+  EXPECT_EQ(set.MinAtLeast(6), 9);
+  EXPECT_TRUE(set.IsInfinite());
+}
+
+TEST(SemilinearSet, NormalizeSubsumption) {
+  SemilinearSet1D set({{5, 4}, {9, 4}, {13, 8}, {7, 0}});
+  set.Normalize();
+  // 9+4N and 13+8N are subsumed by 5+4N; {7} is not.
+  EXPECT_EQ(set.progressions().size(), 2u);
+  EXPECT_TRUE(set.Contains(7));
+  EXPECT_TRUE(set.Contains(13));
+  EXPECT_FALSE(set.Contains(8));
+}
+
+// Property: random unary NFAs decompose exactly.
+class RandomUnaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUnaryTest, MatchesDp) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.Below(6));
+  Nfa nfa(1);
+  nfa.AddStates(n);
+  for (int e = 0; e < 2 * n; ++e) {
+    nfa.AddTransition(static_cast<StateId>(rng.Below(n)), 0,
+                      static_cast<StateId>(rng.Below(n)));
+  }
+  nfa.SetInitial(static_cast<StateId>(rng.Below(n)));
+  nfa.SetAccepting(static_cast<StateId>(rng.Below(n)));
+  if (rng.Chance(0.5)) {
+    nfa.SetAccepting(static_cast<StateId>(rng.Below(n)));
+  }
+  ExpectDecompositionMatches(nfa, 3 * n * n + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUnaryTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace ecrpq
