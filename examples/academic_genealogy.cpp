@@ -7,9 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluator.h"
+#include "api/api.h"
 #include "graph/generators.h"
-#include "query/parser.h"
 
 using namespace ecrpq;
 
@@ -19,38 +18,42 @@ int main(int argc, char** argv) {
   uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
 
   Rng rng(seed);
-  GraphDb g = AdvisorGenealogy(generations, width, 2, &rng);
-  std::cout << "Genealogy: " << g.num_nodes() << " people, " << g.num_edges()
-            << " advisor edges\n\n";
+  DatabaseOptions options;
+  options.eval.max_configs = 5000000;
+  Database db(AdvisorGenealogy(generations, width, 2, &rng), options);
+  std::cout << "Genealogy: " << db.graph().num_nodes() << " people, "
+            << db.graph().num_edges() << " advisor edges\n\n";
 
-  Evaluator evaluator(&g);
-
-  // CRPQ: common academic ancestors of two people in generation 0.
-  auto common = ParseQuery(
-      R"(Ans(z) <- ("p0_0", p, z), ("p0_1", q, z), )"
-      R"('advisor'+(p), 'advisor'+(q))",
-      g.alphabet());
-  auto ancestors = evaluator.Evaluate(common.value());
+  // CRPQ with parameters: common academic ancestors of two people. The
+  // plan is compiled once; the pair is bound per execution.
+  auto common = db.Prepare(
+      R"(Ans(z) <- ($a, p, z), ($b, q, z), 'advisor'+(p), 'advisor'+(q))");
+  if (!common.ok()) {
+    std::cerr << common.status().ToString() << "\n";
+    return 1;
+  }
+  auto ancestors =
+      common.value().Execute(Params().Set("a", "p0_0").Set("b", "p0_1"));
   if (!ancestors.ok()) {
     std::cerr << ancestors.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "Common ancestors of p0_0 and p0_1 (CRPQ, engine "
-            << ancestors.value().stats().engine << "):\n";
-  for (const auto& tuple : ancestors.value().tuples()) {
-    std::cout << "  " << g.NodeName(tuple[0]) << "\n";
+  std::cout << "Common ancestors of p0_0 and p0_1 (CRPQ):\n";
+  while (ancestors.value().Next()) {
+    std::cout << "  " << db.graph().NodeName(ancestors.value().tuple()[0])
+              << "\n";
   }
+  if (!ancestors.value().status().ok()) {
+    std::cerr << ancestors.value().status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "  [engine: " << ancestors.value().stats().engine << "]\n";
 
   // ECRPQ: same-length advisor chains to a common ancestor — the paper's
   // "pairs of scientists who have the same-length path to a given advisor".
-  auto balanced = ParseQuery(
+  auto peers = db.Execute(
       R"(Ans(x, y, z) <- (x, p, z), (y, q, z), )"
-      R"('advisor'+(p), 'advisor'+(q), el(p, q))",
-      g.alphabet());
-  EvalOptions options;
-  options.max_configs = 5000000;
-  Evaluator heavy(&g, options);
-  auto peers = heavy.Evaluate(balanced.value());
+      R"('advisor'+(p), 'advisor'+(q), el(p, q))");
   if (!peers.ok()) {
     std::cerr << peers.status().ToString() << "\n";
     return 1;
@@ -61,9 +64,9 @@ int main(int argc, char** argv) {
             << peers.value().tuples().size() << " tuples, e.g.\n";
   for (const auto& tuple : peers.value().tuples()) {
     if (tuple[0] >= tuple[1]) continue;  // skip symmetric/diagonal
-    std::cout << "  " << g.NodeName(tuple[0]) << " and "
-              << g.NodeName(tuple[1]) << " w.r.t. " << g.NodeName(tuple[2])
-              << "\n";
+    std::cout << "  " << db.graph().NodeName(tuple[0]) << " and "
+              << db.graph().NodeName(tuple[1]) << " w.r.t. "
+              << db.graph().NodeName(tuple[2]) << "\n";
     if (++shown >= 5) break;
   }
   return 0;

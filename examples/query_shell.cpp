@@ -1,11 +1,12 @@
 // Interactive query shell: load a graph (text format of graph/io.h) and
-// evaluate (E)CRPQs against it.
+// evaluate (E)CRPQs against it through the Database facade. Repeated
+// queries hit the plan cache; results stream through a cursor.
 //
 //   $ ./query_shell graph.txt
 //   ecrpq> Ans(x, y) <- (x, p, y), 'advisor'+(p)
 //   ecrpq> Ans(p) <- ("ann", p, "leo"), .*(p)
 //   ecrpq> :graph        # show the loaded graph
-//   ecrpq> :engines      # engine of the last query, stats
+//   ecrpq> :cache        # plan-cache hit/miss counters
 //   ecrpq> :quit
 //
 // Without an argument a small demo graph is loaded.
@@ -14,12 +15,8 @@
 #include <iostream>
 #include <sstream>
 
-#include "core/evaluator.h"
-#include "graph/generators.h"
+#include "api/api.h"
 #include "graph/io.h"
-#include "query/analysis.h"
-#include "query/optimizer.h"
-#include "query/parser.h"
 
 using namespace ecrpq;
 
@@ -38,27 +35,31 @@ GraphDb DemoGraph() {
   return g;
 }
 
-void PrintResult(const GraphDb& g, const Query& query,
-                 const QueryResult& result) {
-  if (query.IsBoolean()) {
-    std::cout << (result.AsBool() ? "true" : "false") << "\n";
+void StreamResult(const GraphDb& g, const PreparedQuery& prepared,
+                  ResultCursor& cursor) {
+  if (prepared.query().IsBoolean()) {
+    bool satisfiable = cursor.exists();
+    if (!cursor.status().ok()) {
+      std::cout << "evaluation error: " << cursor.status().ToString() << "\n";
+      return;
+    }
+    std::cout << (satisfiable ? "true" : "false");
+    std::cout << "  [engine: " << cursor.stats().engine << "]\n";
     return;
   }
-  std::cout << result.tuples().size() << " answer(s)";
-  std::cout << "  [engine: " << result.stats().engine << "]\n";
   size_t shown = 0;
-  for (size_t i = 0; i < result.tuples().size() && shown < 20; ++i, ++shown) {
-    const auto& tuple = result.tuples()[i];
+  while (shown < 20 && cursor.Next()) {
+    ++shown;
+    const auto& tuple = cursor.tuple();
     std::cout << "  (";
     for (size_t k = 0; k < tuple.size(); ++k) {
       if (k > 0) std::cout << ", ";
       std::cout << g.NodeName(tuple[k]);
     }
     std::cout << ")";
-    if (result.has_path_answers()) {
-      const PathAnswerSet& answers = result.path_answers(i);
-      std::cout << (answers.IsInfinite() ? "  [∞ paths]" : "");
-      auto tuples = answers.Enumerate(1, 8);
+    if (const PathAnswerSet* answers = cursor.path_answers()) {
+      std::cout << (answers->IsInfinite() ? "  [∞ paths]" : "");
+      auto tuples = answers->Enumerate(1, 8);
       if (!tuples.empty()) {
         for (const Path& p : tuples[0]) {
           std::cout << "\n      " << p.ToString(g);
@@ -67,9 +68,15 @@ void PrintResult(const GraphDb& g, const Query& query,
     }
     std::cout << "\n";
   }
-  if (result.tuples().size() > shown) {
-    std::cout << "  ... (" << result.tuples().size() - shown << " more)\n";
+  if (!cursor.status().ok()) {
+    std::cout << "evaluation error: " << cursor.status().ToString() << "\n";
+    return;
   }
+  size_t more = 0;
+  while (cursor.Next()) ++more;  // count the tail without printing
+  std::cout << shown + more << " answer(s)";
+  if (more > 0) std::cout << "  (" << more << " not shown)";
+  std::cout << "  [engine: " << cursor.stats().engine << "]\n";
 }
 
 }  // namespace
@@ -91,63 +98,71 @@ int main(int argc, char** argv) {
     }
     graph = std::move(parsed).value();
   }
-  std::cout << "Loaded graph: " << graph.num_nodes() << " nodes, "
-            << graph.num_edges() << " edges, alphabet {";
-  for (Symbol s = 0; s < graph.alphabet().size(); ++s) {
-    std::cout << (s ? ", " : "") << graph.alphabet().Label(s);
+
+  DatabaseOptions options;
+  options.eval.max_configs = 10000000;
+  Database db(std::move(graph), options);
+
+  std::cout << "Loaded graph: " << db.graph().num_nodes() << " nodes, "
+            << db.graph().num_edges() << " edges, alphabet {";
+  for (Symbol s = 0; s < db.graph().alphabet().size(); ++s) {
+    std::cout << (s ? ", " : "") << db.graph().alphabet().Label(s);
   }
   std::cout << "}\nType a query (Ans(...) <- ...), :graph, :help or :quit\n";
-
-  EvalOptions options;
-  options.max_configs = 10000000;
-  Evaluator evaluator(&graph, options);
-  RelationRegistry registry = RelationRegistry::Default();
 
   std::string line;
   while (std::cout << "ecrpq> " && std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ":quit" || line == ":q") break;
     if (line == ":graph") {
-      std::cout << GraphToText(graph);
+      std::cout << GraphToText(db.graph());
+      continue;
+    }
+    if (line == ":cache") {
+      std::cout << "  plan cache: " << db.plan_cache_size() << " plans, "
+                << db.plan_cache_hits() << " hits, "
+                << db.plan_cache_misses() << " misses\n";
       continue;
     }
     if (line == ":help") {
       std::cout << "  Ans(x, y) <- (x, p, y), a*(p)          CRPQ\n"
                    "  Ans() <- (x, p, z), (z, q, y), eq(p, q) ECRPQ\n"
                    "  Ans() <- (x, p, y), len(p) >= 3         counting\n"
+                   "  Ans(y) <- ($s, p, y), a*(p)             $parameter\n"
                    "  built-ins: eq el prefix strict_prefix shorter\n"
                    "             shorter_eq edit1..3 hamming1..3\n"
-                   "  :graph :help :quit\n";
+                   "  :graph :cache :help :quit\n";
       continue;
     }
-    auto query = ParseQuery(line, graph.alphabet(), registry);
-    if (!query.ok()) {
-      std::cout << "parse error: " << query.status().ToString() << "\n";
+    auto prepared = db.Prepare(line);
+    if (!prepared.ok()) {
+      std::cout << "parse error: " << prepared.status().ToString() << "\n";
       continue;
     }
-    auto optimized = OptimizeQuery(query.value());
-    if (!optimized.ok()) {
-      std::cout << "optimizer error: " << optimized.status().ToString()
-                << "\n";
-      continue;
-    }
-    std::cout << "[" << Analyze(optimized.value().query).Describe();
-    if (optimized.value().report.fused_language_atoms +
-            optimized.value().report.dropped_universal >
-        0) {
-      std::cout << "; optimizer: " << optimized.value().report.Describe();
+    std::cout << "[" << prepared.value().analysis().Describe();
+    const OptimizerReport& report = prepared.value().optimizer_report();
+    if (report.fused_language_atoms + report.dropped_universal > 0) {
+      std::cout << "; optimizer: " << report.Describe();
     }
     std::cout << "]\n";
-    if (optimized.value().report.proven_empty) {
+    if (report.proven_empty) {
       std::cout << "statically empty\n";
       continue;
     }
-    auto result = evaluator.Evaluate(optimized.value().query);
-    if (!result.ok()) {
-      std::cout << "evaluation error: " << result.status().ToString() << "\n";
+    if (!prepared.value().parameter_names().empty()) {
+      std::cout << "query has unbound parameters:";
+      for (const std::string& p : prepared.value().parameter_names()) {
+        std::cout << " $" << p;
+      }
+      std::cout << " (the shell cannot bind them; inline constants)\n";
       continue;
     }
-    PrintResult(graph, optimized.value().query, result.value());
+    auto cursor = prepared.value().Execute();
+    if (!cursor.ok()) {
+      std::cout << "evaluation error: " << cursor.status().ToString() << "\n";
+      continue;
+    }
+    StreamResult(db.graph(), prepared.value(), cursor.value());
   }
   return 0;
 }

@@ -1,22 +1,22 @@
-// Quickstart: build a graph database, run a CRPQ and an ECRPQ, and inspect
-// node and path outputs.
+// Quickstart: build a graph database, prepare and run a CRPQ and an
+// ECRPQ through the Database/PreparedQuery/ResultCursor facade, and
+// inspect node and path outputs.
 //
 //   $ ./quickstart
 //
 // Follows the introduction of the paper: a small advisor graph, a plain
-// reachability CRPQ, and an ECRPQ that compares paths with the equal-length
-// relation — something no CRPQ can express (Proposition 3.2).
+// reachability CRPQ (with a $parameter bound at execute time), and an
+// ECRPQ that compares paths with the equal-length relation — something no
+// CRPQ can express (Proposition 3.2).
 
 #include <iostream>
 
-#include "core/evaluator.h"
-#include "graph/graph.h"
-#include "query/parser.h"
+#include "api/api.h"
 
 using namespace ecrpq;
 
 int main() {
-  // 1. A labeled graph database.
+  // 1. A labeled graph database, owned by a session facade.
   GraphDb g;
   NodeId ann = g.AddNode("ann");
   NodeId bob = g.AddNode("bob");
@@ -26,51 +26,62 @@ int main() {
   g.AddEdge(bob, "advisor", eva);
   g.AddEdge(eva, "advisor", leo);
   g.AddEdge(bob, "coauthor", ann);
+  Database db(std::move(g));
 
-  std::cout << "Graph: " << g.num_nodes() << " nodes, " << g.num_edges()
-            << " edges\n\n";
+  std::cout << "Graph: " << db.graph().num_nodes() << " nodes, "
+            << db.graph().num_edges() << " edges\n\n";
 
-  Evaluator evaluator(&g);
-
-  // 2. A CRPQ: academic ancestors of ann.
-  auto crpq = ParseQuery(R"(Ans(y) <- ("ann", p, y), 'advisor'+(p))",
-                         g.alphabet());
-  if (!crpq.ok()) {
-    std::cerr << crpq.status().ToString() << "\n";
+  // 2. A CRPQ with a parameter: academic ancestors of $who. The query is
+  //    compiled once; each execution only binds the parameter.
+  auto ancestors_of =
+      db.Prepare("Ans(y) <- ($who, p, y), 'advisor'+(p)");
+  if (!ancestors_of.ok()) {
+    std::cerr << ancestors_of.status().ToString() << "\n";
     return 1;
   }
-  auto ancestors = evaluator.Evaluate(crpq.value());
-  std::cout << "Ancestors of ann (engine: "
-            << ancestors.value().stats().engine << "):\n";
-  for (const auto& tuple : ancestors.value().tuples()) {
-    std::cout << "  " << g.NodeName(tuple[0]) << "\n";
+  for (const char* who : {"ann", "bob"}) {
+    auto cursor = ancestors_of.value().Execute(Params().Set("who", who));
+    if (!cursor.ok()) {
+      std::cerr << cursor.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "Ancestors of " << who << ":";
+    while (cursor.value().Next()) {
+      std::cout << " " << db.graph().NodeName(cursor.value().tuple()[0]);
+    }
+    std::cout << "  (engine: " << cursor.value().stats().engine << ")\n";
   }
 
   // 3. An ECRPQ: pairs with equal-length advisor paths to leo, with the
   //    witnessing paths in the output.
-  auto ecrpq = ParseQuery(
+  auto peers = db.Execute(
       R"(Ans(x, y, p, q) <- (x, p, "leo"), (y, q, "leo"), )"
-      R"('advisor'+(p), 'advisor'+(q), el(p, q))",
-      g.alphabet());
-  if (!ecrpq.ok()) {
-    std::cerr << ecrpq.status().ToString() << "\n";
+      R"('advisor'+(p), 'advisor'+(q), el(p, q))");
+  if (!peers.ok()) {
+    std::cerr << peers.status().ToString() << "\n";
     return 1;
   }
-  auto peers = evaluator.Evaluate(ecrpq.value());
   std::cout << "\nEqual-length advisor paths to leo (engine: "
             << peers.value().stats().engine << "):\n";
   for (size_t i = 0; i < peers.value().tuples().size(); ++i) {
     const auto& tuple = peers.value().tuples()[i];
-    std::cout << "  (" << g.NodeName(tuple[0]) << ", " << g.NodeName(tuple[1])
-              << ")\n";
+    std::cout << "  (" << db.graph().NodeName(tuple[0]) << ", "
+              << db.graph().NodeName(tuple[1]) << ")\n";
     // Path outputs are automata (Prop 5.2); enumerate a few members.
     const PathAnswerSet& answers = peers.value().path_answers(i);
-    std::cout << "    " << (answers.IsInfinite() ? "infinitely many" : "finitely many")
+    std::cout << "    "
+              << (answers.IsInfinite() ? "infinitely many" : "finitely many")
               << " path pairs; first:\n";
     for (const PathTuple& paths : answers.Enumerate(1, 6)) {
-      std::cout << "      p = " << paths[0].ToString(g) << "\n";
-      std::cout << "      q = " << paths[1].ToString(g) << "\n";
+      std::cout << "      p = " << paths[0].ToString(db.graph()) << "\n";
+      std::cout << "      q = " << paths[1].ToString(db.graph()) << "\n";
     }
   }
+
+  // 4. Satisfiability without materialization: the engine stops at the
+  //    first answer.
+  auto linked = db.Exists(R"(Ans() <- ("bob", p, "leo"), .+(p))");
+  std::cout << "\nbob reaches leo?  "
+            << (linked.ok() && linked.value() ? "yes" : "no") << "\n";
   return 0;
 }

@@ -4,16 +4,16 @@
 // flying Singapore Airlines for at least 80% of the journey. Edges are
 // fixed time slices labeled by airline; the constraint is
 // occ(sq) - 4*occ(other) >= 0, evaluated by the Parikh/ILP engine of
-// Theorem 8.5.
+// Theorem 8.5. Each scenario is a one-shot Exists() through the facade —
+// the engine stops at the first feasible itinerary.
 //
 //   $ ./route_planning [num_cities] [num_routes] [seed]
 
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluator.h"
+#include "api/api.h"
 #include "graph/generators.h"
-#include "query/parser.h"
 
 using namespace ecrpq;
 
@@ -23,12 +23,11 @@ int main(int argc, char** argv) {
   uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
 
   Rng rng(seed);
-  GraphDb g = FlightNetwork(num_cities, num_routes, 4, {"sq", "other"},
-                            &rng);
+  Database db(
+      FlightNetwork(num_cities, num_routes, 4, {"sq", "other"}, &rng));
   std::cout << "Flight network: " << num_cities << " cities, "
-            << g.num_edges() << " time-slice legs\n\n";
+            << db.graph().num_edges() << " time-slice legs\n\n";
 
-  Evaluator evaluator(&g);
   const char* from = "city0";
   const char* to = "city1";
   struct Scenario {
@@ -42,23 +41,20 @@ int main(int argc, char** argv) {
       {"only Singapore Airlines", "occ(p, 'other') = 0"},
       {"short route (<= 5 legs)", "len(p) <= 5"},
   };
+  Params endpoints = Params().Set("from", from).Set("to", to);
   for (const Scenario& s : scenarios) {
-    std::string text = std::string(R"(Ans() <- (")") + from + R"(", p, ")" +
-                       to + R"("), )" + s.constraint + ", len(p) >= 1";
-    auto query = ParseQuery(text, g.alphabet());
-    if (!query.ok()) {
-      std::cerr << query.status().ToString() << "\n";
-      return 1;
-    }
-    auto result = evaluator.Evaluate(query.value());
-    if (!result.ok()) {
-      std::cerr << result.status().ToString() << "\n";
+    std::string text = std::string("Ans() <- ($from, p, $to), ") +
+                       s.constraint + ", len(p) >= 1";
+    auto possible = db.Exists(text, endpoints);
+    if (!possible.ok()) {
+      std::cerr << possible.status().ToString() << "\n";
       return 1;
     }
     std::cout << "  " << from << " -> " << to << ", " << s.label << ": "
-              << (result.value().AsBool() ? "possible" : "impossible")
-              << "  (ILP: " << result.value().stats().ilp_variables
-              << " vars)\n";
+              << (possible.value() ? "possible" : "impossible") << "\n";
   }
+  std::cout << "\nplan cache: " << db.plan_cache_misses()
+            << " compilations for " << std::size(scenarios)
+            << " scenarios\n";
   return 0;
 }

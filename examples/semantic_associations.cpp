@@ -7,9 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluator.h"
+#include "api/api.h"
 #include "graph/generators.h"
-#include "query/parser.h"
 #include "relations/builtin.h"
 
 using namespace ecrpq;
@@ -31,42 +30,38 @@ int main(int argc, char** argv) {
     pairs.emplace_back(*g.alphabet().Find(child), *g.alphabet().Find(parent));
   }
 
-  // The ρ-isomorphism regular relation ( ⋃_{a≺b or b≺a} (a,b) )*.
-  RelationRegistry registry = RelationRegistry::Default();
-  registry.Register("rho", std::make_shared<RegularRelation>(
-                               RhoIsomorphismRelation(
-                                   g.alphabet().size(), pairs)));
+  DatabaseOptions options;
+  options.eval.max_configs = 5000000;
+  Database db(std::move(g), options);
+
+  // The ρ-isomorphism regular relation ( ⋃_{a≺b or b≺a} (a,b) )*,
+  // registered on the session before preparing.
+  db.RegisterRelation(
+      "rho", std::make_shared<RegularRelation>(RhoIsomorphismRelation(
+                 db.graph().alphabet().size(), pairs)));
 
   // ρ-isoAssociated pairs with nonempty association (Section 4's query,
   // restricted to sequences of length >= 1 to skip the trivial ε pairs).
-  auto query = ParseQuery(
+  auto result = db.Execute(
       "Ans(x, y, pi1, pi2) <- (x, pi1, z1), (y, pi2, z2), rho(pi1, pi2), "
-      ".+(pi1)",
-      g.alphabet(), registry);
-  if (!query.ok()) {
-    std::cerr << query.status().ToString() << "\n";
-    return 1;
-  }
-  EvalOptions options;
-  options.max_configs = 5000000;
-  Evaluator evaluator(&g, options);
-  auto result = evaluator.Evaluate(query.value());
+      ".+(pi1)");
   if (!result.ok()) {
     std::cerr << result.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "\nρ-isoAssociated pairs (distinct resources): ";
+  std::cout << "\nρ-isoAssociated pairs (distinct resources): \n";
   int shown = 0;
-  std::cout << "\n";
   for (size_t i = 0; i < result.value().tuples().size() && shown < 5; ++i) {
     const auto& tuple = result.value().tuples()[i];
     if (tuple[0] == tuple[1]) continue;
-    std::cout << "  " << g.NodeName(tuple[0]) << " ~ "
-              << g.NodeName(tuple[1]) << "  via\n";
+    std::cout << "  " << db.graph().NodeName(tuple[0]) << " ~ "
+              << db.graph().NodeName(tuple[1]) << "  via\n";
     for (const PathTuple& paths :
          result.value().path_answers(i).Enumerate(1, 4)) {
-      std::cout << "    " << g.alphabet().Format(paths[0].Label(), ".")
-                << "  vs  " << g.alphabet().Format(paths[1].Label(), ".")
+      std::cout << "    "
+                << db.graph().alphabet().Format(paths[0].Label(), ".")
+                << "  vs  "
+                << db.graph().alphabet().Format(paths[1].Label(), ".")
                 << "\n";
     }
     ++shown;

@@ -2,16 +2,17 @@
 //
 // Two DNA-like sequences are stored as paths in one graph database; the
 // edit-distance regular relation D≤k decides whether they align within k
-// edits, and an alignment ECRPQ returns the actual mismatch.
+// edits, and an alignment ECRPQ returns the actual mismatch. The four
+// thresholds are four prepared plans on one session; endpoints are
+// $parameters.
 //
 //   $ ./sequence_alignment [length] [edits] [seed]
 
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluator.h"
+#include "api/api.h"
 #include "graph/generators.h"
-#include "query/parser.h"
 #include "relations/builtin.h"
 
 using namespace ecrpq;
@@ -30,30 +31,25 @@ int main(int argc, char** argv) {
             << edits << " random edits applied)\n"
             << "exact edit distance (DP): " << EditDistance(x, y) << "\n\n";
 
-  GraphDb g = TwoWordGraph(alphabet, x, y);
-  std::string x_end = "x" + std::to_string(x.size());
-  std::string y_end = "y" + std::to_string(y.size());
-
-  Evaluator evaluator(&g);
+  Database db(TwoWordGraph(alphabet, x, y));
   for (int k = 0; k <= 3; ++k) {
-    RelationRegistry registry = RelationRegistry::Default();
-    registry.Register("editk", std::make_shared<RegularRelation>(
-                                   EditDistanceAtMostRelation(4, k)));
-    auto query = ParseQuery(
-        R"(Ans() <- ("x0", p, ")" + x_end + R"("), ("y0", q, ")" + y_end +
-            R"("), editk(p, q))",
-        g.alphabet(), registry);
-    if (!query.ok()) {
-      std::cerr << query.status().ToString() << "\n";
-      return 1;
-    }
-    auto result = evaluator.Evaluate(query.value());
-    if (!result.ok()) {
-      std::cerr << result.status().ToString() << "\n";
+    db.RegisterRelation(
+        "edit_le_" + std::to_string(k),
+        std::make_shared<RegularRelation>(EditDistanceAtMostRelation(4, k)));
+    auto within = db.Exists(
+        "Ans() <- ($x0, p, $x1), ($y0, q, $y1), edit_le_" +
+            std::to_string(k) + "(p, q)",
+        Params()
+            .Set("x0", "x0")
+            .Set("x1", "x" + std::to_string(x.size()))
+            .Set("y0", "y0")
+            .Set("y1", "y" + std::to_string(y.size())));
+    if (!within.ok()) {
+      std::cerr << within.status().ToString() << "\n";
       return 1;
     }
     std::cout << "edit distance <= " << k << " ?  "
-              << (result.value().AsBool() ? "yes" : "no") << "\n";
+              << (within.value() ? "yes" : "no") << "\n";
   }
   return 0;
 }

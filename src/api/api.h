@@ -1,0 +1,16 @@
+// Umbrella header for the public compile-once / stream-many API:
+//
+//   Database       session facade (graph + registry + options + plan cache)
+//   PreparedQuery  parse/optimize/compile once, execute many ($params)
+//   ResultCursor   pull-based answer streaming with limit/exists pushdown
+//
+// See api/database.h for a usage sketch and README.md for the quickstart.
+
+#ifndef ECRPQ_API_API_H_
+#define ECRPQ_API_API_H_
+
+#include "api/database.h"        // IWYU pragma: export
+#include "api/prepared_query.h"  // IWYU pragma: export
+#include "api/result_cursor.h"   // IWYU pragma: export
+
+#endif  // ECRPQ_API_API_H_

@@ -1,0 +1,53 @@
+#include "api/database.h"
+
+#include "query/optimizer.h"
+
+namespace ecrpq {
+
+Result<PreparedQuery> Database::Prepare(const std::string& text) {
+  auto it = cache_.find(text);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return PreparedQuery(this, it->second->second);
+  }
+  ++misses_;
+
+  auto parsed = ParseQuery(text, graph_.alphabet(), registry_);
+  if (!parsed.ok()) return parsed.status();
+  auto optimized = OptimizeQuery(parsed.value());
+  if (!optimized.ok()) return optimized.status();
+  auto compiled =
+      CompileQuery(optimized.value().query, graph_.alphabet().size());
+  if (!compiled.ok()) return compiled.status();
+
+  auto plan = std::make_shared<CompiledPlan>(
+      CompiledPlan{text, std::move(optimized.value().query),
+                   std::move(optimized.value().report),
+                   std::move(compiled).value()});
+
+  if (options_.plan_cache_capacity > 0) {
+    lru_.emplace_front(text, plan);
+    cache_[text] = lru_.begin();
+    while (lru_.size() > options_.plan_cache_capacity) {
+      cache_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  return PreparedQuery(this, std::move(plan));
+}
+
+Result<QueryResult> Database::Execute(const std::string& text,
+                                      const Params& params) {
+  auto prepared = Prepare(text);
+  if (!prepared.ok()) return prepared.status();
+  return prepared.value().ExecuteAll(params);
+}
+
+Result<bool> Database::Exists(const std::string& text, const Params& params) {
+  auto prepared = Prepare(text);
+  if (!prepared.ok()) return prepared.status();
+  return prepared.value().Exists(params);
+}
+
+}  // namespace ecrpq

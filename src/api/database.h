@@ -1,0 +1,121 @@
+// Session facade: the single public entry point of the library.
+//
+//   GraphDb g;
+//   ... load nodes/edges ...
+//   Database db(std::move(g));
+//   auto prepared = db.Prepare("Ans(y) <- ($start, p, y), 'advisor'+(p)");
+//   auto cursor = prepared.value().Execute(Params().Set("start", "ann"));
+//   while (cursor.value().Next()) { ... cursor.value().tuple() ... }
+//
+// A Database owns the graph, a relation registry (a copy of the shared
+// built-ins, extensible per session), the session-default EvalOptions, and
+// an LRU plan cache keyed by query text: preparing the same text twice
+// reuses the compiled plan (parse, optimization, relation automata,
+// analysis) instead of redoing the query-dependent work.
+
+#ifndef ECRPQ_API_DATABASE_H_
+#define ECRPQ_API_DATABASE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/prepared_query.h"
+#include "core/evaluator.h"
+#include "graph/graph.h"
+#include "query/parser.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+struct DatabaseOptions {
+  /// Session-default evaluation options (engine choice, budgets, ...).
+  EvalOptions eval;
+
+  /// Maximum number of compiled plans kept in the LRU cache (0 disables
+  /// caching).
+  size_t plan_cache_capacity = 64;
+};
+
+class Database {
+ public:
+  explicit Database(GraphDb graph, DatabaseOptions options = {})
+      : graph_(std::move(graph)),
+        options_(options),
+        registry_(RelationRegistry::Default()) {}
+
+  // A session is an identity: outstanding PreparedQuery/ResultCursor
+  // handles point back into it, and the LRU cache holds self-referential
+  // iterators, so copying or moving would dangle both.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const GraphDb& graph() const { return graph_; }
+
+  /// Mutable graph access for loading. Mutations can grow the alphabet, so
+  /// cached plans are dropped; outstanding PreparedQuery handles keep
+  /// their (possibly stale) plans and re-resolve constants per execution.
+  GraphDb& mutable_graph() {
+    ClearPlanCache();
+    return graph_;
+  }
+
+  /// The session's relation registry (a copy of the built-ins).
+  const RelationRegistry& registry() const { return registry_; }
+
+  /// Registers a custom relation (or factory) on the session. Cached
+  /// plans are dropped at this mutation point: a re-registered name must
+  /// not keep resolving through an old plan.
+  void RegisterRelation(std::string name,
+                        std::shared_ptr<const RegularRelation> relation) {
+    ClearPlanCache();
+    registry_.Register(std::move(name), std::move(relation));
+  }
+  void RegisterRelation(std::string name, RelationRegistry::Factory factory) {
+    ClearPlanCache();
+    registry_.Register(std::move(name), std::move(factory));
+  }
+
+  const EvalOptions& eval_options() const { return options_.eval; }
+
+  /// Compiles `text` (or fetches it from the plan cache): parse →
+  /// validate → optimize → relation automata + analysis.
+  Result<PreparedQuery> Prepare(const std::string& text);
+
+  /// One-shot convenience: Prepare (through the cache) + ExecuteAll.
+  Result<QueryResult> Execute(const std::string& text,
+                              const Params& params = {});
+
+  /// One-shot satisfiability: stops at the first answer.
+  Result<bool> Exists(const std::string& text, const Params& params = {});
+
+  // ---- plan cache introspection ----
+
+  uint64_t plan_cache_hits() const { return hits_; }
+  uint64_t plan_cache_misses() const { return misses_; }
+  size_t plan_cache_size() const { return cache_.size(); }
+  void ClearPlanCache() {
+    cache_.clear();
+    lru_.clear();
+  }
+
+ private:
+  GraphDb graph_;
+  DatabaseOptions options_;
+  RelationRegistry registry_;
+
+  // LRU plan cache keyed by query text; lru_ front = most recent.
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const CompiledPlan>>>;
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_API_DATABASE_H_

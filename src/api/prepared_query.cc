@@ -1,0 +1,117 @@
+#include "api/prepared_query.h"
+
+#include <algorithm>
+
+#include "api/database.h"
+#include "query/builder.h"
+
+namespace ecrpq {
+
+Engine PreparedQuery::engine() const {
+  return SelectEngine(plan_->query, plan_->compiled->analysis,
+                      db_->eval_options().engine);
+}
+
+EvalOptions PreparedQuery::EffectiveOptions(const ExecuteOptions& exec) const {
+  EvalOptions options = db_->eval_options();
+  if (exec.engine.has_value()) options.engine = *exec.engine;
+  if (exec.build_path_answers.has_value()) {
+    options.build_path_answers = *exec.build_path_answers;
+  }
+  return options;
+}
+
+Result<std::shared_ptr<const Query>> PreparedQuery::BindParams(
+    const Params& params) const {
+  const Query& query = plan_->query;
+
+  // Reject bindings for parameters the query does not have.
+  for (const auto& [name, node] : params.bindings()) {
+    (void)node;
+    const auto& known = query.parameter_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return Status::InvalidArgument("query has no parameter '$" + name +
+                                     "'");
+    }
+  }
+  if (!query.has_parameters()) {
+    // Share the plan's query (aliasing: the plan keeps it alive).
+    return std::shared_ptr<const Query>(plan_, &plan_->query);
+  }
+
+  // Every parameter must be bound, to a node that exists.
+  const GraphDb& graph = db_->graph();
+  for (const std::string& name : query.parameter_names()) {
+    auto it = params.bindings().find(name);
+    if (it == params.bindings().end()) {
+      return Status::FailedPrecondition("parameter '$" + name +
+                                        "' is unbound");
+    }
+    if (!graph.FindNode(it->second).has_value()) {
+      return Status::NotFound("parameter '$" + name +
+                              "' is bound to unknown node '" + it->second +
+                              "'");
+    }
+  }
+
+  // Rebuild the query with parameters substituted by node constants. The
+  // structure (variables, path variables, relation atoms) is unchanged, so
+  // the plan's compiled relations and analysis stay valid.
+  auto substitute = [&](const NodeTerm& term) {
+    if (!term.is_parameter) return term;
+    return NodeTerm::Const(params.bindings().at(term.name));
+  };
+  QueryBuilder builder;
+  for (const PathAtom& atom : query.path_atoms()) {
+    builder.Atom(substitute(atom.from), atom.path, substitute(atom.to));
+  }
+  for (const RelationAtom& atom : query.relation_atoms()) {
+    builder.Relation(atom.relation, atom.paths, atom.name);
+  }
+  for (const LinearAtom& atom : query.linear_atoms()) {
+    builder.Linear(atom);
+  }
+  std::vector<std::string> head_nodes;
+  for (const NodeTerm& term : query.head_nodes()) {
+    head_nodes.push_back(term.name);
+  }
+  builder.Head(std::move(head_nodes), query.head_paths());
+  auto bound = builder.Build();
+  if (!bound.ok()) return bound.status();
+  return std::make_shared<const Query>(std::move(bound).value());
+}
+
+Result<ResultCursor> PreparedQuery::Execute(const Params& params,
+                                            ExecuteOptions exec) const {
+  auto bound = BindParams(params);
+  if (!bound.ok()) return bound.status();
+  return ResultCursor(&db_->graph(), EffectiveOptions(exec), exec.limit,
+                      std::move(bound).value(), plan_->compiled,
+                      plan_->optimizer_report.proven_empty);
+}
+
+Result<QueryResult> PreparedQuery::ExecuteAll(const Params& params) const {
+  auto bound = BindParams(params);
+  if (!bound.ok()) return bound.status();
+  if (plan_->optimizer_report.proven_empty) {
+    EvalStats stats;
+    stats.engine = "static-empty";
+    return QueryResult({}, {}, std::move(stats));
+  }
+  Evaluator evaluator(&db_->graph(), EffectiveOptions({}));
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return evaluator.Evaluate(*bound.value(), sink, stats, plan_->compiled);
+  });
+}
+
+Result<bool> PreparedQuery::Exists(const Params& params) const {
+  ExecuteOptions exec;
+  exec.limit = 1;
+  auto cursor = Execute(params, exec);
+  if (!cursor.ok()) return cursor.status();
+  bool found = cursor.value().exists();
+  if (!cursor.value().status().ok()) return cursor.value().status();
+  return found;
+}
+
+}  // namespace ecrpq

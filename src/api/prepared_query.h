@@ -1,0 +1,120 @@
+// A query compiled once, executable many times.
+//
+// PreparedQuery is the product of Database::Prepare: the text is parsed,
+// validated, statically optimized, and its relation automata are compiled
+// (ε-elimination, transition maps) and analyzed exactly once. Executions
+// only pay the data-dependent cost — the paper's split between
+// query-dependent and data-dependent complexity, realized as an API.
+//
+// Queries may contain `$name` node-constant parameters (see
+// query/parser.h); each execution binds them to concrete nodes through
+// Params. PreparedQuery is a cheap value: it shares the immutable compiled
+// plan and stays valid as long as its Database.
+
+#ifndef ECRPQ_API_PREPARED_QUERY_H_
+#define ECRPQ_API_PREPARED_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result_cursor.h"
+#include "core/eval_product.h"
+#include "core/evaluator.h"
+#include "query/optimizer.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+class Database;
+
+/// Per-execution bindings for `$name` parameters: node names resolved
+/// against the database graph at execute time.
+class Params {
+ public:
+  Params() = default;
+
+  /// Binds parameter `$name` to the node called `node_name`.
+  Params& Set(std::string name, std::string node_name) {
+    bindings_[std::move(name)] = std::move(node_name);
+    return *this;
+  }
+
+  const std::map<std::string, std::string>& bindings() const {
+    return bindings_;
+  }
+
+ private:
+  std::map<std::string, std::string> bindings_;
+};
+
+/// Per-execution knobs; session defaults come from DatabaseOptions.
+struct ExecuteOptions {
+  /// Stop after this many answer tuples (0 = unlimited). Pushed down into
+  /// the engine as early termination.
+  uint64_t limit = 0;
+
+  /// Engine override for this execution (default: the session's choice).
+  std::optional<Engine> engine;
+
+  /// Override the session's build_path_answers setting.
+  std::optional<bool> build_path_answers;
+};
+
+/// The immutable compiled form of one query text (shared by every
+/// PreparedQuery handle and by the Database plan cache).
+struct CompiledPlan {
+  std::string text;
+  Query query;                     ///< optimized, validated
+  OptimizerReport optimizer_report;
+  CompiledQueryPtr compiled;       ///< relation automata + analysis
+};
+
+class PreparedQuery {
+ public:
+  /// An empty handle; using it other than by assignment is invalid.
+  PreparedQuery() = default;
+
+  const Query& query() const { return plan_->query; }
+  const std::string& text() const { return plan_->text; }
+  const std::vector<std::string>& parameter_names() const {
+    return plan_->query.parameter_names();
+  }
+  const QueryAnalysis& analysis() const { return plan_->compiled->analysis; }
+  const OptimizerReport& optimizer_report() const {
+    return plan_->optimizer_report;
+  }
+
+  /// The engine the session's options resolve to for this plan.
+  Engine engine() const;
+
+  /// Starts one execution: binds parameters (errors on unbound or unknown
+  /// parameters and on unknown nodes) and returns a lazy cursor.
+  Result<ResultCursor> Execute(const Params& params = {},
+                               ExecuteOptions exec = {}) const;
+
+  /// Runs to completion and materializes the full sorted answer set.
+  Result<QueryResult> ExecuteAll(const Params& params = {}) const;
+
+  /// True iff at least one answer exists; the engine stops at the first.
+  Result<bool> Exists(const Params& params = {}) const;
+
+ private:
+  friend class Database;
+  PreparedQuery(const Database* db, std::shared_ptr<const CompiledPlan> plan)
+      : db_(db), plan_(std::move(plan)) {}
+
+  /// Substitutes parameters; shares the plan's query when there are none.
+  Result<std::shared_ptr<const Query>> BindParams(const Params& params) const;
+
+  EvalOptions EffectiveOptions(const ExecuteOptions& exec) const;
+
+  const Database* db_ = nullptr;
+  std::shared_ptr<const CompiledPlan> plan_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_API_PREPARED_QUERY_H_

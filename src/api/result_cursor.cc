@@ -1,0 +1,33 @@
+#include "api/result_cursor.h"
+
+namespace ecrpq {
+
+void ResultCursor::Run(uint64_t limit) {
+  ran_ = true;
+  sink_ = MaterializingSink(limit);
+  if (query_ == nullptr) return;  // default-constructed: empty, exhausted
+  if (static_empty_) {
+    // The optimizer proved the query empty on every graph; skip the engine.
+    stats_.engine = "static-empty";
+    return;
+  }
+  Evaluator evaluator(graph_, options_);
+  status_ = evaluator.Evaluate(*query_, sink_, stats_, compiled_);
+}
+
+bool ResultCursor::Next() {
+  if (!ran_) Run(limit_);
+  if (!status_.ok()) return false;
+  size_t next = (rows_returned_ == 0) ? 0 : pos_ + 1;
+  if (next >= sink_.tuples.size()) return false;
+  pos_ = next;
+  ++rows_returned_;
+  return true;
+}
+
+bool ResultCursor::exists() {
+  if (!ran_) Run(1);
+  return status_.ok() && !sink_.tuples.empty();
+}
+
+}  // namespace ecrpq

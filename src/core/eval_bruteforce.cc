@@ -59,7 +59,7 @@ Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
       }
     }
     // Relations.
-    for (const ResolvedRelation& rel : rq.relations) {
+    for (const ResolvedRelation& rel : rq.relations()) {
       std::vector<Word> labels;
       for (int p : rel.paths) labels.push_back(assignment[p]->Label());
       if (!rel.relation->Contains(labels)) return;
@@ -116,19 +116,28 @@ Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
   return out;
 }
 
+Status EvaluateBruteForce(const GraphDb& graph, const Query& query,
+                          const EvalOptions& options, ResultSink& sink,
+                          EvalStats& stats, CompiledQueryPtr compiled) {
+  (void)compiled;  // ground enumeration gains nothing from reuse
+  auto answers = BruteForceAnswers(graph, query, options.bruteforce_max_len);
+  if (!answers.ok()) return answers.status();
+  stats.engine = "bruteforce";
+  std::set<std::vector<NodeId>> tuples;
+  for (const GroundAnswer& answer : answers.value()) {
+    if (tuples.insert(answer.nodes).second) {
+      if (!sink.Emit(answer.nodes, nullptr)) break;
+    }
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> EvaluateBruteForce(const GraphDb& graph,
                                        const Query& query,
                                        const EvalOptions& options) {
-  auto answers = BruteForceAnswers(graph, query, options.bruteforce_max_len);
-  if (!answers.ok()) return answers.status();
-  QueryResult result;
-  result.mutable_stats()->engine = "bruteforce";
-  std::set<std::vector<NodeId>> tuples;
-  for (const GroundAnswer& answer : answers.value()) {
-    tuples.insert(answer.nodes);
-  }
-  *result.mutable_tuples() = {tuples.begin(), tuples.end()};
-  return result;
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return EvaluateBruteForce(graph, query, options, sink, stats);
+  });
 }
 
 }  // namespace ecrpq

@@ -25,7 +25,14 @@ Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
                                                     const Query& query,
                                                     int max_len);
 
-/// QueryResult view (node tuples only; path answers omitted).
+/// Streaming view over BruteForceAnswers (node tuples only; path answers
+/// omitted).
+Status EvaluateBruteForce(const GraphDb& graph, const Query& query,
+                          const EvalOptions& options, ResultSink& sink,
+                          EvalStats& stats,
+                          CompiledQueryPtr compiled = nullptr);
+
+/// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateBruteForce(const GraphDb& graph,
                                        const Query& query,
                                        const EvalOptions& options);

@@ -9,43 +9,47 @@
 
 namespace ecrpq {
 
-Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
-                                     const EvalOptions& options) {
+Status EvaluateCounting(const GraphDb& graph, const Query& query,
+                        const EvalOptions& options, ResultSink& sink,
+                        EvalStats& stats, CompiledQueryPtr compiled) {
   if (!query.head_paths().empty()) {
     return Status::FailedPrecondition(
         "the counting engine does not produce path outputs");
   }
-  auto resolved_or = ResolveQuery(graph, query);
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
+  // Reuse the compiled relations across every σ below.
+  CompiledQueryPtr shared = resolved_or.value().compiled;
 
-  QueryResult result;
-  result.mutable_stats()->engine = "counting";
+  stats.engine = "counting";
 
   const int num_vars = static_cast<int>(query.node_variables().size());
   const int base = graph.alphabet().size();
 
   // Letter counters per (path variable, symbol) are indices into each ILP;
   // they are created per σ-attempt below.
-  std::set<std::vector<NodeId>> head_tuples;
+  HeadTupleEmitter emitter(resolved_or.value(), options, sink);
 
   std::vector<NodeId> assignment(num_vars, -1);
   Status failure = Status::OK();
+  bool stop = false;
 
   std::function<void(int)> enumerate = [&](int var) {
-    if (!failure.ok()) return;
+    if (!failure.ok() || stop) return;
     if (var < num_vars) {
       for (NodeId v = 0; v < graph.num_nodes(); ++v) {
         assignment[var] = v;
         enumerate(var + 1);
+        if (!failure.ok() || stop) break;
       }
       assignment[var] = -1;
       return;
     }
-    ++result.mutable_stats()->start_assignments;
+    ++stats.start_assignments;
 
     // Build per-component product automata under σ.
     auto products_or =
-        BuildComponentProducts(graph, query, options, assignment);
+        BuildComponentProducts(graph, query, options, assignment, shared);
     if (!products_or.ok()) {
       failure = products_or.status();
       return;
@@ -121,9 +125,8 @@ Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
       c.rhs = atom.rhs;
       builder.AddConstraint(std::move(c));
     }
-    result.mutable_stats()->ilp_variables = builder.problem().num_variables();
-    result.mutable_stats()->ilp_constraints =
-        builder.problem().constraints().size();
+    stats.ilp_variables = builder.problem().num_variables();
+    stats.ilp_constraints = builder.problem().constraints().size();
 
     auto solution = builder.Solve();
     if (!solution.ok()) {
@@ -136,13 +139,18 @@ Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
     for (const NodeTerm& term : query.head_nodes()) {
       head.push_back(assignment[query.NodeVarIndex(term.name)]);
     }
-    head_tuples.insert(std::move(head));
+    if (!emitter.Emit(head)) stop = true;
   };
   enumerate(0);
   if (!failure.ok()) return failure;
+  return emitter.status();
+}
 
-  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
-  return result;
+Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
+                                     const EvalOptions& options) {
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return EvaluateCounting(graph, query, options, sink, stats);
+  });
 }
 
 }  // namespace ecrpq

@@ -16,9 +16,16 @@
 
 namespace ecrpq {
 
-/// Evaluates an (E)CRPQ with linear atoms. Queries without linear atoms
-/// are accepted too (the constraints set is just empty). Head path
-/// variables are unsupported (FailedPrecondition).
+/// Evaluates an (E)CRPQ with linear atoms, streaming distinct tuples into
+/// `sink`. Queries without linear atoms are accepted too (the constraints
+/// set is just empty). Head path variables are unsupported
+/// (FailedPrecondition). Early termination stops the σ-enumeration, so
+/// exists()-style checks decide after the first feasible ILP.
+Status EvaluateCounting(const GraphDb& graph, const Query& query,
+                        const EvalOptions& options, ResultSink& sink,
+                        EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+
+/// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,
                                      const EvalOptions& options);
 

@@ -14,8 +14,11 @@
 namespace ecrpq {
 
 bool CrpqFastPathApplies(const Query& query) {
+  return CrpqFastPathApplies(query, Analyze(query));
+}
+
+bool CrpqFastPathApplies(const Query& query, const QueryAnalysis& analysis) {
   if (!query.linear_atoms().empty()) return false;
-  QueryAnalysis analysis = Analyze(query);
   return analysis.is_crpq && !analysis.has_relational_repetition;
 }
 
@@ -146,19 +149,19 @@ bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
 
 }  // namespace
 
-Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
-                                 const EvalOptions& options) {
-  if (!CrpqFastPathApplies(query)) {
+Status EvaluateCrpq(const GraphDb& graph, const Query& query,
+                    const EvalOptions& options, ResultSink& sink,
+                    EvalStats& stats, CompiledQueryPtr compiled) {
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+  if (!resolved_or.ok()) return resolved_or.status();
+  const ResolvedQuery& rq = resolved_or.value();
+  if (!CrpqFastPathApplies(query, rq.analysis())) {
     return Status::FailedPrecondition(
         "query is outside the CRPQ fast-path fragment (multi-ary relations, "
         "repeated path variables or linear atoms present)");
   }
-  auto resolved_or = ResolveQuery(graph, query);
-  if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
 
-  QueryResult result;
-  result.mutable_stats()->engine = "crpq";
+  stats.engine = "crpq";
 
   // Build one JoinAtom per path atom with its language intersection.
   std::vector<JoinAtom> atoms(rq.atoms.size());
@@ -166,7 +169,7 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
     atoms[i].from = rq.atoms[i].from;
     atoms[i].to = rq.atoms[i].to;
     std::vector<const RegularRelation*> languages;
-    for (const ResolvedRelation& rel : rq.relations) {
+    for (const ResolvedRelation& rel : rq.relations()) {
       if (rel.paths[0] == rq.atoms[i].path) {
         languages.push_back(rel.relation);
       }
@@ -185,7 +188,7 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
       filtered.emplace_back(u, v);
     }
     atoms[i].pairs = std::move(filtered);
-    if (atoms[i].pairs.empty()) return result;  // empty answer
+    if (atoms[i].pairs.empty()) return Status::OK();  // empty answer
   }
 
   // Semi-join reduction to a fixpoint (Yannakakis on acyclic queries; a
@@ -200,7 +203,7 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
         for (size_t j = 0; j < atoms.size(); ++j) {
           if (i == j) continue;
           if (SemiJoin(&atoms[i], atoms[j])) changed = true;
-          if (atoms[i].pairs.empty()) return result;
+          if (atoms[i].pairs.empty()) return Status::OK();
         }
       }
     }
@@ -250,7 +253,7 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
             composed.insert({other_a, it->second});
           }
         }
-        if (composed.empty()) return result;  // no embeddings at all
+        if (composed.empty()) return Status::OK();  // no embeddings at all
         JoinAtom merged;
         merged.from = a_is_from ? a.to : a.from;
         merged.to = b_is_from ? b.to : b.from;
@@ -266,21 +269,25 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
   for (JoinAtom& atom : atoms) atom.Reindex();
 
   // Backtracking join over atoms; prefer atoms with bound variables.
+  // Each new head projection streams into the sink immediately; a false
+  // return stops the whole search (limit / exists pushdown).
   const int num_vars = static_cast<int>(query.node_variables().size());
   std::vector<NodeId> binding(num_vars, -1);
   std::vector<bool> used(atoms.size(), false);
-  std::set<std::vector<NodeId>> head_tuples;
+  HeadTupleEmitter emitter(rq, options, sink);
+  bool stop = false;
 
   auto head_projection = [&]() {
     std::vector<NodeId> head;
     for (const NodeTerm& term : query.head_nodes()) {
       head.push_back(binding[query.NodeVarIndex(term.name)]);
     }
-    head_tuples.insert(std::move(head));
-    ++result.mutable_stats()->join_tuples;
+    ++stats.join_tuples;
+    if (!emitter.Emit(head)) stop = true;
   };
 
   std::function<void(int)> recurse = [&](int depth) {
+    if (stop) return;
     if (depth == static_cast<int>(atoms.size())) {
       head_projection();
       return;
@@ -308,6 +315,7 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
     NodeId u = from_val(), v = to_val();
 
     auto try_pair = [&](NodeId pu, NodeId pv) {
+      if (stop) return;
       std::vector<std::pair<int, NodeId>> bound;
       bool ok = true;
       if (!atom.from.is_const) {
@@ -347,17 +355,14 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
     used[best] = false;
   };
   recurse(0);
+  return emitter.status();
+}
 
-  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
-
-  if (!query.head_paths().empty() && options.build_path_answers) {
-    for (const std::vector<NodeId>& tuple : result.tuples()) {
-      auto answers = BuildPathAnswerSet(graph, query, options, tuple);
-      if (!answers.ok()) return answers.status();
-      result.mutable_path_answers()->push_back(std::move(answers).value());
-    }
-  }
-  return result;
+Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
+                                 const EvalOptions& options) {
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return EvaluateCrpq(graph, query, options, sink, stats);
+  });
 }
 
 }  // namespace ecrpq

@@ -19,7 +19,16 @@ namespace ecrpq {
 /// no repeated path variables, no linear atoms.
 bool CrpqFastPathApplies(const Query& query);
 
-/// Evaluates a fast-path CRPQ. FailedPrecondition outside the fragment.
+/// Same, against an already-computed analysis (no re-analysis).
+bool CrpqFastPathApplies(const Query& query, const QueryAnalysis& analysis);
+
+/// Evaluates a fast-path CRPQ, streaming distinct tuples into `sink`.
+/// FailedPrecondition outside the fragment.
+Status EvaluateCrpq(const GraphDb& graph, const Query& query,
+                    const EvalOptions& options, ResultSink& sink,
+                    EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+
+/// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
                                  const EvalOptions& options);
 

@@ -10,13 +10,52 @@
 
 namespace ecrpq {
 
-Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query) {
+Result<CompiledQueryPtr> CompileQuery(const Query& query, int base_size) {
+  auto out = std::make_shared<CompiledQuery>();
+  out->base_size = base_size;
+  for (const RelationAtom& atom : query.relation_atoms()) {
+    if (atom.relation->base_size() != base_size) {
+      return Status::InvalidArgument(
+          "relation '" + atom.name + "' is over a base alphabet of size " +
+          std::to_string(atom.relation->base_size()) +
+          " but the graph alphabet has size " + std::to_string(base_size));
+    }
+    ResolvedRelation rr;
+    rr.relation = atom.relation.get();
+    rr.nfa = RemoveEpsilons(atom.relation->nfa());
+    rr.transitions.resize(rr.nfa.num_states());
+    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
+      for (const Nfa::Arc& arc : rr.nfa.ArcsFrom(s)) {
+        rr.transitions[s][arc.first].push_back(arc.second);
+      }
+    }
+    rr.initial = rr.nfa.InitialStates();
+    rr.accepting.resize(rr.nfa.num_states());
+    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
+      rr.accepting[s] = rr.nfa.IsAccepting(s);
+    }
+    for (const std::string& p : atom.paths) {
+      rr.paths.push_back(query.PathVarIndex(p));
+    }
+    out->relations.push_back(std::move(rr));
+  }
+  out->analysis = Analyze(query);
+  return CompiledQueryPtr(std::move(out));
+}
+
+Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
+                                   CompiledQueryPtr compiled) {
   ResolvedQuery out;
   out.graph = &graph;
   out.query = &query;
 
   auto resolve_term = [&](const NodeTerm& term) -> Result<ResolvedTerm> {
     ResolvedTerm r;
+    if (term.is_parameter) {
+      return Status::FailedPrecondition(
+          "parameter '$" + term.name +
+          "' is unbound; bind it before evaluation (Params)");
+    }
     if (term.is_constant) {
       auto node = graph.FindNode(term.name);
       if (!node.has_value()) {
@@ -44,34 +83,20 @@ Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query) {
     out.atoms.push_back(r);
   }
 
-  for (const RelationAtom& atom : query.relation_atoms()) {
-    if (atom.relation->base_size() != graph.alphabet().size()) {
+  if (compiled != nullptr) {
+    if (compiled->base_size != graph.alphabet().size()) {
       return Status::InvalidArgument(
-          "relation '" + atom.name + "' is over a base alphabet of size " +
-          std::to_string(atom.relation->base_size()) +
+          "compiled plan targets a base alphabet of size " +
+          std::to_string(compiled->base_size) +
           " but the graph alphabet has size " +
           std::to_string(graph.alphabet().size()));
     }
-    ResolvedRelation rr;
-    rr.relation = atom.relation.get();
-    rr.nfa = RemoveEpsilons(atom.relation->nfa());
-    rr.transitions.resize(rr.nfa.num_states());
-    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
-      for (const Nfa::Arc& arc : rr.nfa.ArcsFrom(s)) {
-        rr.transitions[s][arc.first].push_back(arc.second);
-      }
-    }
-    rr.initial = rr.nfa.InitialStates();
-    rr.accepting.resize(rr.nfa.num_states());
-    for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
-      rr.accepting[s] = rr.nfa.IsAccepting(s);
-    }
-    for (const std::string& p : atom.paths) {
-      rr.paths.push_back(query.PathVarIndex(p));
-    }
-    out.relations.push_back(std::move(rr));
+    out.compiled = std::move(compiled);
+  } else {
+    auto built = CompileQuery(query, graph.alphabet().size());
+    if (!built.ok()) return built.status();
+    out.compiled = std::move(built).value();
   }
-  out.analysis = Analyze(query);
   return out;
 }
 
@@ -113,10 +138,10 @@ Component BuildComponent(const ResolvedQuery& rq,
     add_var(atom.from, /*is_start=*/true);
     add_var(atom.to, /*is_start=*/false);
   }
-  for (size_t r = 0; r < rq.relations.size(); ++r) {
+  for (size_t r = 0; r < rq.relations().size(); ++r) {
     // A relation belongs to the component holding its first path's track
     // (components contain either all or none of a relation's paths).
-    if (comp.track_of_path[rq.relations[r].paths[0]] >= 0) {
+    if (comp.track_of_path[rq.relations()[r].paths[0]] >= 0) {
       comp.relation_indices.push_back(static_cast<int>(r));
     }
   }
@@ -185,7 +210,7 @@ class ComponentSearch {
       : rq_(rq), comp_(comp), options_(options), stats_(stats) {
     // Per-relation tuple alphabets and local track lists.
     for (int r : comp_.relation_indices) {
-      const ResolvedRelation& rel = rq_.relations[r];
+      const ResolvedRelation& rel = rq_.relations()[r];
       std::vector<int> local;
       for (int p : rel.paths) local.push_back(comp_.track_of_path[p]);
       rel_local_tracks_.push_back(std::move(local));
@@ -211,7 +236,7 @@ class ComponentSearch {
     init.padmask = 0;
     for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
       const ResolvedRelation& rel =
-          rq_.relations[comp_.relation_indices[i]];
+          rq_.relations()[comp_.relation_indices[i]];
       std::vector<StateId> subset = rel.initial;
       std::sort(subset.begin(), subset.end());
       if (subset.empty()) return Status::OK();  // relation unsatisfiable
@@ -289,7 +314,7 @@ class ComponentSearch {
   bool Accepting(const Config& c) const {
     for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
       const ResolvedRelation& rel =
-          rq_.relations[comp_.relation_indices[i]];
+          rq_.relations()[comp_.relation_indices[i]];
       bool ok = false;
       for (StateId s : pool_.Get(c.subset_ids[i])) {
         if (rel.accepting[s]) {
@@ -361,7 +386,7 @@ class ComponentSearch {
       next.subset_ids.resize(comp_.relation_indices.size());
       for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
         const ResolvedRelation& rel =
-            rq_.relations[comp_.relation_indices[i]];
+            rq_.relations()[comp_.relation_indices[i]];
         const std::vector<int>& local = rel_local_tracks_[i];
         TupleLetter proj(local.size());
         bool rel_all_pad = true;
@@ -466,24 +491,47 @@ Status SolveComponent(const ResolvedQuery& rq, const Component& comp,
 
 }  // namespace
 
-Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
-                                    const EvalOptions& options) {
+HeadTupleEmitter::HeadTupleEmitter(const ResolvedQuery& rq,
+                                   const EvalOptions& options,
+                                   ResultSink& sink)
+    : rq_(rq),
+      options_(options),
+      sink_(sink),
+      with_paths_(!rq.query->head_paths().empty() &&
+                  options.build_path_answers) {}
+
+bool HeadTupleEmitter::Emit(const std::vector<NodeId>& head) {
+  if (!seen_.insert(head).second) return true;  // duplicate projection
+  if (with_paths_) {
+    auto answers = BuildPathAnswerSet(*rq_.graph, *rq_.query, options_, head,
+                                      rq_.compiled);
+    if (!answers.ok()) {
+      status_ = answers.status();
+      return false;
+    }
+    return sink_.Emit(head, &answers.value());
+  }
+  return sink_.Emit(head, nullptr);
+}
+
+Status EvaluateProduct(const GraphDb& graph, const Query& query,
+                       const EvalOptions& options, ResultSink& sink,
+                       EvalStats& stats, CompiledQueryPtr compiled) {
   if (!query.linear_atoms().empty()) {
     return Status::FailedPrecondition(
         "the product engine does not handle linear atoms; use the counting "
         "engine (Engine::kCounting)");
   }
-  auto resolved_or = ResolveQuery(graph, query);
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
   const ResolvedQuery& rq = resolved_or.value();
 
-  QueryResult result;
-  result.mutable_stats()->engine = "product";
+  stats.engine = "product";
 
   // Component decomposition (or a single joint component).
   std::vector<std::vector<int>> groups;
   if (options.use_components) {
-    groups = rq.analysis.components;
+    groups = rq.analysis().components;
   } else {
     std::vector<int> all(rq.atoms.size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
@@ -496,19 +544,23 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
   for (const auto& group : groups) {
     components.push_back(BuildComponent(rq, group));
     comp_results.emplace_back();
-    Status st =
-        SolveComponent(rq, components.back(), options, fixed,
-                       result.mutable_stats(), &comp_results.back(), nullptr);
+    Status st = SolveComponent(rq, components.back(), options, fixed, &stats,
+                               &comp_results.back(), nullptr);
     if (!st.ok()) return st;
     if (comp_results.back().empty()) {
-      return result;  // empty answer
+      return Status::OK();  // empty answer
     }
   }
 
-  // Join component results on shared node variables.
-  std::set<std::vector<NodeId>> head_tuples;
+  // Join component results on shared node variables, streaming each new
+  // head projection into the sink as soon as it is found. Path answers
+  // (when requested) are built per emitted tuple, so early termination
+  // also skips their construction.
+  HeadTupleEmitter emitter(rq, options, sink);
   std::vector<NodeId> global(query.node_variables().size(), -1);
+  bool stop = false;
   std::function<void(size_t)> join = [&](size_t i) {
+    if (stop) return;
     if (i == components.size()) {
       std::vector<NodeId> head;
       for (const NodeTerm& term : query.head_nodes()) {
@@ -516,12 +568,13 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
         int v = query.NodeVarIndex(term.name);
         head.push_back(global[v]);
       }
-      head_tuples.insert(std::move(head));
-      ++result.mutable_stats()->join_tuples;
+      ++stats.join_tuples;
+      if (!emitter.Emit(head)) stop = true;
       return;
     }
     const Component& comp = components[i];
     for (const std::vector<NodeId>& tuple : comp_results[i]) {
+      if (stop) return;
       bool ok = true;
       std::vector<std::pair<int, NodeId>> bound;
       for (size_t k = 0; k < comp.vars.size() && ok; ++k) {
@@ -541,24 +594,20 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
     }
   };
   join(0);
+  return emitter.status();
+}
 
-  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
-
-  // Path answers per head tuple.
-  if (!query.head_paths().empty() && options.build_path_answers) {
-    for (const std::vector<NodeId>& tuple : result.tuples()) {
-      auto answers = BuildPathAnswerSet(graph, query, options, tuple);
-      if (!answers.ok()) return answers.status();
-      result.mutable_path_answers()->push_back(std::move(answers).value());
-    }
-  }
-  return result;
+Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
+                                    const EvalOptions& options) {
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return EvaluateProduct(graph, query, options, sink, stats);
+  });
 }
 
 Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& assignment) {
-  auto resolved_or = ResolveQuery(graph, query);
+    const std::vector<NodeId>& assignment, CompiledQueryPtr compiled) {
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
   const ResolvedQuery& rq = resolved_or.value();
   if (assignment.size() != query.node_variables().size()) {
@@ -573,7 +622,7 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
 
   std::vector<ComponentProductGraph> out;
   EvalStats stats;
-  for (const auto& group : rq.analysis.components) {
+  for (const auto& group : rq.analysis().components) {
     Component comp = BuildComponent(rq, group);
     ProductGraphSink sink;
     Status st = SolveComponent(rq, comp, options, assignment, &stats,
@@ -596,8 +645,8 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
 
 Result<PathAnswerSet> BuildPathAnswerSet(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& head_nodes) {
-  auto resolved_or = ResolveQuery(graph, query);
+    const std::vector<NodeId>& head_nodes, CompiledQueryPtr compiled) {
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
   const ResolvedQuery& rq = resolved_or.value();
 
@@ -627,7 +676,7 @@ Result<PathAnswerSet> BuildPathAnswerSet(
   }
   std::vector<int> head_atoms;
   std::vector<Component> other_components;
-  for (const auto& group : rq.analysis.components) {
+  for (const auto& group : rq.analysis().components) {
     bool has_head = false;
     for (int idx : group) {
       for (int hp : head_path_ids) {

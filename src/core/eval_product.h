@@ -12,6 +12,7 @@
 #ifndef ECRPQ_CORE_EVAL_PRODUCT_H_
 #define ECRPQ_CORE_EVAL_PRODUCT_H_
 
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -47,20 +48,73 @@ struct ResolvedRelation {
   ResolvedRelation() : nfa(0) {}
 };
 
+/// The graph-independent compiled form of a query: per-relation ε-free
+/// NFAs with transition maps, plus the structural analysis. This is the
+/// query-dependent work the paper's complexity split charges to
+/// compilation — PreparedQuery builds it once and shares it across
+/// executions; ResolveQuery builds it on the fly when absent.
+struct CompiledQuery {
+  std::vector<ResolvedRelation> relations;
+  QueryAnalysis analysis;
+  int base_size = 0;  ///< alphabet size the relations were checked against
+};
+
+/// Compiles `query`'s relation atoms against a base alphabet of
+/// `base_size` letters (InvalidArgument on mismatch) and analyzes it.
+Result<CompiledQueryPtr> CompileQuery(const Query& query, int base_size);
+
 /// Query resolved against a graph (constants bound, relations prepared).
 struct ResolvedQuery {
   const GraphDb* graph = nullptr;
   const Query* query = nullptr;
   std::vector<ResolvedAtom> atoms;
-  std::vector<ResolvedRelation> relations;
-  QueryAnalysis analysis;
+  CompiledQueryPtr compiled;  ///< never null after ResolveQuery
+
+  const std::vector<ResolvedRelation>& relations() const {
+    return compiled->relations;
+  }
+  const QueryAnalysis& analysis() const { return compiled->analysis; }
 };
 
-/// Resolves and checks (constants exist, relation alphabets match).
-Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query);
+/// Resolves and checks (constants exist, no unbound parameters, relation
+/// alphabets match). `compiled` reuses a prior CompileQuery result for
+/// this query; when null it is built here.
+Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
+                                   CompiledQueryPtr compiled = nullptr);
 
-/// Evaluates with the product engine. Rejects linear atoms
-/// (FailedPrecondition) — those belong to the counting engine.
+/// Shared streaming emission for engines that project head tuples during
+/// a join: deduplicates, builds the Prop 5.2 path-answer automaton per
+/// new tuple when the query requests it, and pushes into the sink.
+/// Emit returns false when the engine should stop searching — either the
+/// sink requested early termination or path-answer construction failed
+/// (check status()).
+class HeadTupleEmitter {
+ public:
+  HeadTupleEmitter(const ResolvedQuery& rq, const EvalOptions& options,
+                   ResultSink& sink);
+
+  /// False = stop the search. Duplicate tuples are ignored (returns true).
+  bool Emit(const std::vector<NodeId>& head);
+
+  const Status& status() const { return status_; }
+
+ private:
+  const ResolvedQuery& rq_;
+  const EvalOptions& options_;
+  ResultSink& sink_;
+  bool with_paths_;
+  std::set<std::vector<NodeId>> seen_;
+  Status status_;
+};
+
+/// Evaluates with the product engine, streaming distinct tuples into
+/// `sink`. Rejects linear atoms (FailedPrecondition) — those belong to
+/// the counting engine.
+Status EvaluateProduct(const GraphDb& graph, const Query& query,
+                       const EvalOptions& options, ResultSink& sink,
+                       EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+
+/// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
                                     const EvalOptions& options);
 
@@ -70,7 +124,8 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
 /// (all-pad projections are ε-eliminated so counting stays exact).
 Result<PathAnswerSet> BuildPathAnswerSet(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& head_nodes);
+    const std::vector<NodeId>& head_nodes,
+    CompiledQueryPtr compiled = nullptr);
 
 /// The materialized product automaton of one synchronization component
 /// under a full node assignment (used by the counting engine of Thm 8.5).
@@ -87,7 +142,8 @@ struct ComponentProductGraph {
 /// variable fixed by `assignment` (parallel to query.node_variables()).
 Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& assignment);
+    const std::vector<NodeId>& assignment,
+    CompiledQueryPtr compiled = nullptr);
 
 }  // namespace ecrpq
 

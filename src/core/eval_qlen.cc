@@ -63,9 +63,9 @@ bool IsEqualLengthLike(const RegularRelation& rel) {
 // Product-based fallback (general length relations): erase edge labels and
 // replace every relation by its unary-relabeled length abstraction, then
 // run the product engine.
-Result<QueryResult> EvaluateQlenProduct(const GraphDb& graph,
-                                        const Query& query,
-                                        const EvalOptions& options) {
+Status EvaluateQlenProduct(const GraphDb& graph, const Query& query,
+                           const EvalOptions& options, ResultSink& sink,
+                           EvalStats& stats) {
   auto unary_alphabet = Alphabet::FromLabels({"."});
   GraphDb named_unary(unary_alphabet);
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
@@ -100,10 +100,10 @@ Result<QueryResult> EvaluateQlenProduct(const GraphDb& graph,
   auto qlen_query = builder.Build();
   if (!qlen_query.ok()) return qlen_query.status();
 
-  auto result = EvaluateProduct(named_unary, qlen_query.value(), options);
-  if (!result.ok()) return result.status();
-  result.value().mutable_stats()->engine = "qlen-product";
-  return result;
+  Status st =
+      EvaluateProduct(named_unary, qlen_query.value(), options, sink, stats);
+  stats.engine = "qlen-product";
+  return st;
 }
 
 // Union-find over track (path-variable) indices.
@@ -127,8 +127,9 @@ class UnionFind {
 
 }  // namespace
 
-Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
-                                 const EvalOptions& options) {
+Status EvaluateQlen(const GraphDb& graph, const Query& query,
+                    const EvalOptions& options, ResultSink& sink,
+                    EvalStats& stats, CompiledQueryPtr compiled) {
   if (!query.head_paths().empty()) {
     return Status::Unimplemented(
         "Q_len abstracts paths to lengths; path outputs are undefined "
@@ -139,27 +140,26 @@ Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
         "linear atoms belong to the counting engine, not Q_len");
   }
 
-  auto resolved_or = ResolveQuery(graph, query);
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
   const ResolvedQuery& rq = resolved_or.value();
 
   // Arithmetic fast path (the progression machinery of Claim 6.7.1/2):
   // applicable when every >=2-ary relation abstracts to equal-length.
-  for (const ResolvedRelation& rel : rq.relations) {
+  for (const ResolvedRelation& rel : rq.relations()) {
     if (rel.relation->arity() >= 2 && !IsEqualLengthLike(*rel.relation)) {
-      return EvaluateQlenProduct(graph, query, options);
+      return EvaluateQlenProduct(graph, query, options, sink, stats);
     }
   }
 
-  QueryResult result;
-  result.mutable_stats()->engine = "qlen";
+  stats.engine = "qlen";
 
   const int num_tracks = static_cast<int>(query.path_variables().size());
   const int num_vars = static_cast<int>(query.node_variables().size());
 
   // Length-equality classes over tracks.
   UnionFind classes(num_tracks);
-  for (const ResolvedRelation& rel : rq.relations) {
+  for (const ResolvedRelation& rel : rq.relations()) {
     if (rel.relation->arity() < 2) continue;
     for (size_t i = 1; i < rel.paths.size(); ++i) {
       classes.Merge(rel.paths[0], rel.paths[i]);
@@ -168,7 +168,7 @@ Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
 
   // Per-track unary language length automata (lengths of words in L).
   std::vector<std::vector<Nfa>> track_length_langs(num_tracks);
-  for (const ResolvedRelation& rel : rq.relations) {
+  for (const ResolvedRelation& rel : rq.relations()) {
     if (rel.relation->arity() != 1) continue;
     auto lang = rel.relation->ToLanguageNfa();
     if (!lang.ok()) return lang.status();
@@ -207,7 +207,7 @@ Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
   // Evaluate one pinned assignment: per class, intersect member tracks'
   // length sets; unpinned endpoints union over all nodes (sound because
   // they occur nowhere else).
-  std::set<std::vector<NodeId>> head_tuples;
+  HeadTupleEmitter emitter(rq, options, sink);
   std::vector<NodeId> binding(num_vars, -1);
 
   auto endpoint_states = [&](const ResolvedTerm& term,
@@ -260,29 +260,36 @@ Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
     return true;
   };
 
+  bool stop = false;
   std::function<void(size_t)> enumerate = [&](size_t i) {
+    if (stop) return;
     if (i == pinned_vars.size()) {
-      ++result.mutable_stats()->start_assignments;
+      ++stats.start_assignments;
       if (check_assignment()) {
         std::vector<NodeId> head;
         for (const NodeTerm& term : query.head_nodes()) {
           head.push_back(binding[query.NodeVarIndex(term.name)]);
         }
-        head_tuples.insert(std::move(head));
+        if (!emitter.Emit(head)) stop = true;
       }
       return;
     }
     int var = pinned_vars[i];
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId v = 0; v < graph.num_nodes() && !stop; ++v) {
       binding[var] = v;
       enumerate(i + 1);
     }
     binding[var] = -1;
   };
   enumerate(0);
+  return emitter.status();
+}
 
-  *result.mutable_tuples() = {head_tuples.begin(), head_tuples.end()};
-  return result;
+Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
+                                 const EvalOptions& options) {
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return EvaluateQlen(graph, query, options, sink, stats);
+  });
 }
 
 SemilinearSet1D PathLengthSet(const GraphDb& graph, NodeId from, NodeId to,

@@ -22,8 +22,14 @@
 namespace ecrpq {
 
 /// Evaluates Q_len(G): the query with every relation replaced by its
-/// length abstraction. Head path variables are not supported (lengths do
-/// not determine paths); node heads and Boolean queries are.
+/// length abstraction, streaming distinct tuples into `sink`. Head path
+/// variables are not supported (lengths do not determine paths); node
+/// heads and Boolean queries are.
+Status EvaluateQlen(const GraphDb& graph, const Query& query,
+                    const EvalOptions& options, ResultSink& sink,
+                    EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+
+/// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,
                                  const EvalOptions& options);
 

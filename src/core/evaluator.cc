@@ -8,32 +8,63 @@
 
 namespace ecrpq {
 
-Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
-  Engine engine = options_.engine;
-  if (engine == Engine::kAuto) {
-    if (!query.linear_atoms().empty()) {
-      engine = Engine::kCounting;
-    } else if (CrpqFastPathApplies(query)) {
-      engine = Engine::kCrpq;
-    } else {
-      engine = Engine::kProduct;
-    }
+Engine SelectEngine(const Query& query, const QueryAnalysis& analysis,
+                    Engine requested) {
+  if (requested != Engine::kAuto) return requested;
+  if (!query.linear_atoms().empty()) return Engine::kCounting;
+  if (CrpqFastPathApplies(query, analysis)) return Engine::kCrpq;
+  return Engine::kProduct;
+}
+
+Status Evaluator::Evaluate(const Query& query, ResultSink& sink,
+                           EvalStats& stats,
+                           CompiledQueryPtr compiled) const {
+  Engine engine;
+  if (options_.engine == Engine::kAuto) {
+    // Prefer the prepared analysis; analyze on the fly otherwise.
+    engine = (compiled != nullptr)
+                 ? SelectEngine(query, compiled->analysis, Engine::kAuto)
+                 : SelectEngine(query, Analyze(query), Engine::kAuto);
+  } else {
+    engine = options_.engine;
   }
   switch (engine) {
     case Engine::kProduct:
-      return EvaluateProduct(*graph_, query, options_);
+      return EvaluateProduct(*graph_, query, options_, sink, stats,
+                             std::move(compiled));
     case Engine::kCrpq:
-      return EvaluateCrpq(*graph_, query, options_);
+      return EvaluateCrpq(*graph_, query, options_, sink, stats,
+                          std::move(compiled));
     case Engine::kCounting:
-      return EvaluateCounting(*graph_, query, options_);
+      return EvaluateCounting(*graph_, query, options_, sink, stats,
+                              std::move(compiled));
     case Engine::kQlen:
-      return EvaluateQlen(*graph_, query, options_);
+      return EvaluateQlen(*graph_, query, options_, sink, stats,
+                          std::move(compiled));
     case Engine::kBruteForce:
-      return EvaluateBruteForce(*graph_, query, options_);
+      return EvaluateBruteForce(*graph_, query, options_, sink, stats,
+                                std::move(compiled));
     case Engine::kAuto:
       break;
   }
   return Status::Internal("unreachable engine dispatch");
+}
+
+Result<QueryResult> MaterializeResult(
+    const std::function<Status(ResultSink&, EvalStats&)>& run) {
+  MaterializingSink sink;
+  EvalStats stats;
+  Status st = run(sink, stats);
+  if (!st.ok()) return st;
+  sink.SortRows();
+  return QueryResult(std::move(sink.tuples), std::move(sink.path_answers),
+                     std::move(stats));
+}
+
+Result<QueryResult> Evaluator::Evaluate(const Query& query) const {
+  return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
+    return Evaluate(query, sink, stats);
+  });
 }
 
 }  // namespace ecrpq

@@ -17,20 +17,37 @@
 //
 // kAuto picks kCrpq when applicable, kCounting for queries with linear
 // atoms, and kProduct otherwise.
+//
+// Engines stream distinct answer tuples through a ResultSink (see
+// core/result_sink.h); the sink can stop evaluation early. The
+// Result<QueryResult> overloads materialize the full sorted answer set.
+//
+// The compile-once / stream-many session API (prepared plans, parameter
+// binding, cursors, plan caching) lives in api/ — prefer
+// api::Database/PreparedQuery for application code; Evaluator is the
+// engine-level entry point underneath it.
 
 #ifndef ECRPQ_CORE_EVALUATOR_H_
 #define ECRPQ_CORE_EVALUATOR_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/path_answers.h"
+#include "core/result_sink.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "query/analysis.h"
 #include "query/ast.h"
 #include "solver/parikh.h"
 #include "util/status.h"
 
 namespace ecrpq {
+
+// Graph-independent compiled form of a query (eval_product.h).
+struct CompiledQuery;
+using CompiledQueryPtr = std::shared_ptr<const CompiledQuery>;
 
 enum class Engine {
   kAuto,
@@ -64,10 +81,23 @@ struct EvalOptions {
   ParikhOptions parikh;
 };
 
-/// Evaluation output: Q(G) with node tuples materialized and path answers
-/// represented by Prop 5.2 automata.
+/// Resolves Engine::kAuto against a query's structural analysis; returns
+/// `requested` unchanged otherwise.
+Engine SelectEngine(const Query& query, const QueryAnalysis& analysis,
+                    Engine requested);
+
+/// Materialized evaluation output: Q(G) with node tuples sorted and path
+/// answers represented by Prop 5.2 automata. This is a thin value type
+/// filled from an engine run; engines themselves write to a ResultSink.
 class QueryResult {
  public:
+  QueryResult() = default;
+  QueryResult(std::vector<std::vector<NodeId>> tuples,
+              std::vector<PathAnswerSet> path_answers, EvalStats stats)
+      : tuples_(std::move(tuples)),
+        path_answers_(std::move(path_answers)),
+        stats_(std::move(stats)) {}
+
   /// For Boolean queries: was the body satisfiable? (Non-Boolean: any
   /// answer tuple exists.)
   bool AsBool() const { return !tuples_.empty(); }
@@ -85,18 +115,17 @@ class QueryResult {
 
   const EvalStats& stats() const { return stats_; }
 
-  // Engine-internal mutators.
-  std::vector<std::vector<NodeId>>* mutable_tuples() { return &tuples_; }
-  std::vector<PathAnswerSet>* mutable_path_answers() {
-    return &path_answers_;
-  }
-  EvalStats* mutable_stats() { return &stats_; }
-
  private:
   std::vector<std::vector<NodeId>> tuples_;
   std::vector<PathAnswerSet> path_answers_;
   EvalStats stats_;
 };
+
+/// Runs a streaming engine invocation to completion and materializes the
+/// canonical sorted QueryResult — the one place the sink/sort/wrap
+/// contract lives. `run` fills the sink and stats.
+Result<QueryResult> MaterializeResult(
+    const std::function<Status(ResultSink&, EvalStats&)>& run);
 
 /// Facade: binds a graph and options, dispatches queries to engines.
 class Evaluator {
@@ -104,7 +133,16 @@ class Evaluator {
   explicit Evaluator(const GraphDb* graph, EvalOptions options = {})
       : graph_(graph), options_(options) {}
 
+  /// Materializing evaluation: full sorted answer set.
   Result<QueryResult> Evaluate(const Query& query) const;
+
+  /// Streaming evaluation: distinct tuples are pushed into `sink` in
+  /// discovery order; `stats` receives engine counters. When `compiled`
+  /// is non-null it must be the CompileQuery output for `query` (reused
+  /// automata + analysis; see eval_product.h) — prepared-query executions
+  /// pass it to skip recompilation.
+  Status Evaluate(const Query& query, ResultSink& sink, EvalStats& stats,
+                  CompiledQueryPtr compiled = nullptr) const;
 
   const EvalOptions& options() const { return options_; }
 

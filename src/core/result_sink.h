@@ -1,0 +1,65 @@
+// Streaming result delivery for the evaluation engines.
+//
+// Engines emit each distinct answer tuple through a ResultSink as soon as
+// it is discovered, instead of materializing the whole answer set. A sink
+// can stop evaluation early by returning false from Emit — this is how
+// cursor `limit` and `exists()` push termination down into the engines
+// (the search stops, remaining path-answer automata are never built).
+//
+// Tuples arrive in discovery order, deduplicated. Callers that need the
+// canonical sorted order (the QueryResult contract) sort after the run —
+// see MaterializingSink::SortRows.
+
+#ifndef ECRPQ_CORE_RESULT_SINK_H_
+#define ECRPQ_CORE_RESULT_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path_answers.h"
+#include "graph/graph.h"
+
+namespace ecrpq {
+
+/// Consumer of answer tuples produced by an evaluation engine.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// One distinct head-node binding. `paths` is the Prop 5.2 answer
+  /// automaton for the tuple when the query head has path variables and
+  /// path answers were requested, else null; the sink may move from it
+  /// (the engine builds one per tuple and does not reuse it). Returns
+  /// false to request early termination: the engine stops searching and
+  /// returns OK.
+  virtual bool Emit(const std::vector<NodeId>& tuple,
+                    PathAnswerSet* paths) = 0;
+};
+
+/// A sink that materializes rows, optionally stopping after `limit` rows.
+class MaterializingSink : public ResultSink {
+ public:
+  /// `limit` = 0 means unlimited.
+  explicit MaterializingSink(uint64_t limit = 0) : limit_(limit) {}
+
+  bool Emit(const std::vector<NodeId>& tuple, PathAnswerSet* paths) override;
+
+  /// True if Emit stopped the engine because `limit` was reached.
+  bool limit_reached() const { return limit_reached_; }
+
+  /// Restores the canonical sorted-by-tuple order (engines emit in
+  /// discovery order); keeps path_answers parallel to tuples.
+  void SortRows();
+
+  std::vector<std::vector<NodeId>> tuples;
+  /// Empty, or parallel to `tuples`.
+  std::vector<PathAnswerSet> path_answers;
+
+ private:
+  uint64_t limit_;
+  bool limit_reached_ = false;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_RESULT_SINK_H_

@@ -65,19 +65,20 @@ QueryAnalysis Analyze(const Query& query) {
   {
     int num_vars = static_cast<int>(query.node_variables().size());
     int num_vertices = num_vars;
-    // Pre-count constant occurrences as fresh vertices.
+    // Pre-count constant (and parameter: a constant-to-be) occurrences as
+    // fresh vertices.
     for (const PathAtom& atom : query.path_atoms()) {
-      if (atom.from.is_constant) ++num_vertices;
-      if (atom.to.is_constant) ++num_vertices;
+      if (!atom.from.IsVariable()) ++num_vertices;
+      if (!atom.to.IsVariable()) ++num_vertices;
     }
     UnionFind uf(num_vertices);
     int next_const = num_vars;
     out.is_acyclic = true;
     for (const PathAtom& atom : query.path_atoms()) {
-      int u = atom.from.is_constant ? next_const++
-                                    : query.NodeVarIndex(atom.from.name);
-      int v = atom.to.is_constant ? next_const++
-                                  : query.NodeVarIndex(atom.to.name);
+      int u = !atom.from.IsVariable() ? next_const++
+                                      : query.NodeVarIndex(atom.from.name);
+      int v = !atom.to.IsVariable() ? next_const++
+                                    : query.NodeVarIndex(atom.to.name);
       if (u == v || uf.Find(u) == uf.Find(v)) {
         out.is_acyclic = false;
       } else {

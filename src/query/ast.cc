@@ -19,6 +19,7 @@ int Query::NodeVarIndex(const std::string& name) const {
 namespace {
 std::string TermToString(const NodeTerm& term) {
   if (term.is_constant) return "\"" + term.name + "\"";
+  if (term.is_parameter) return "$" + term.name;
   return term.name;
 }
 

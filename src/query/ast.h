@@ -25,13 +25,27 @@
 
 namespace ecrpq {
 
-/// A node position in a path atom: a variable or a constant node name.
+/// A node position in a path atom: a variable, a constant node name, or a
+/// `$name` parameter placeholder bound to a concrete node before
+/// evaluation (PreparedQuery::Execute substitutes parameters; evaluating a
+/// query with unbound parameters is a FailedPrecondition error).
 struct NodeTerm {
   bool is_constant = false;
   std::string name;
+  bool is_parameter = false;
 
-  static NodeTerm Var(std::string name) { return {false, std::move(name)}; }
-  static NodeTerm Const(std::string name) { return {true, std::move(name)}; }
+  static NodeTerm Var(std::string name) {
+    return {false, std::move(name), false};
+  }
+  static NodeTerm Const(std::string name) {
+    return {true, std::move(name), false};
+  }
+  static NodeTerm Param(std::string name) {
+    return {false, std::move(name), true};
+  }
+
+  /// True for plain node variables (not constants, not parameters).
+  bool IsVariable() const { return !is_constant && !is_parameter; }
 
   bool operator==(const NodeTerm& other) const = default;
 };
@@ -93,6 +107,14 @@ class Query {
     return path_variables_;
   }
 
+  /// Distinct `$name` parameter names in order of first occurrence.
+  /// Non-empty queries must have all parameters substituted (see
+  /// NodeTerm::Param) before evaluation.
+  const std::vector<std::string>& parameter_names() const {
+    return parameter_names_;
+  }
+  bool has_parameters() const { return !parameter_names_.empty(); }
+
   /// Index of a path variable in path_variables(), -1 if absent.
   int PathVarIndex(const std::string& name) const;
   /// Index of a node variable in node_variables(), -1 if absent.
@@ -117,6 +139,7 @@ class Query {
   std::vector<LinearAtom> linear_atoms_;
   std::vector<std::string> node_variables_;
   std::vector<std::string> path_variables_;
+  std::vector<std::string> parameter_names_;
   std::vector<std::vector<int>> atoms_of_path_;
 };
 

@@ -94,8 +94,17 @@ Result<Query> QueryBuilder::Build() {
   query.head_nodes_ = head_nodes_;
   query.head_paths_ = head_paths_;
 
-  // Collect variables in order of first occurrence.
+  // Collect variables in order of first occurrence. Parameters are not
+  // node variables: they stand for constants bound before evaluation.
   auto add_node_var = [&](const NodeTerm& term) {
+    if (term.is_parameter) {
+      if (std::find(query.parameter_names_.begin(),
+                    query.parameter_names_.end(),
+                    term.name) == query.parameter_names_.end()) {
+        query.parameter_names_.push_back(term.name);
+      }
+      return;
+    }
     if (term.is_constant) return;
     if (std::find(query.node_variables_.begin(), query.node_variables_.end(),
                   term.name) == query.node_variables_.end()) {

@@ -9,53 +9,89 @@
 
 namespace ecrpq {
 
-RelationRegistry RelationRegistry::Default() {
-  RelationRegistry registry;
-  registry.Register("eq", [](int n) {
-    return std::make_shared<RegularRelation>(EqualityRelation(n));
-  });
-  registry.Register("el", [](int n) {
-    return std::make_shared<RegularRelation>(EqualLengthRelation(n));
-  });
-  registry.Register("equal_length", [](int n) {
-    return std::make_shared<RegularRelation>(EqualLengthRelation(n));
-  });
-  registry.Register("prefix", [](int n) {
-    return std::make_shared<RegularRelation>(PrefixRelation(n));
-  });
-  registry.Register("strict_prefix", [](int n) {
-    return std::make_shared<RegularRelation>(StrictPrefixRelation(n));
-  });
-  registry.Register("shorter", [](int n) {
-    return std::make_shared<RegularRelation>(ShorterRelation(n));
-  });
-  registry.Register("shorter_eq", [](int n) {
-    return std::make_shared<RegularRelation>(ShorterOrEqualRelation(n));
-  });
-  for (int k = 1; k <= 3; ++k) {
-    registry.Register("edit" + std::to_string(k), [k](int n) {
-      return std::make_shared<RegularRelation>(
-          EditDistanceAtMostRelation(n, k));
-    });
-    registry.Register("hamming" + std::to_string(k), [k](int n) {
-      return std::make_shared<RegularRelation>(
-          HammingDistanceAtMostRelation(n, k));
-    });
-  }
-  return registry;
+RelationRegistry::RelationRegistry(const RelationRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.cache_mu_);
+  factories_ = other.factories_;
+  cache_ = other.cache_;
 }
 
+RelationRegistry& RelationRegistry::operator=(const RelationRegistry& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(cache_mu_, other.cache_mu_);
+  factories_ = other.factories_;
+  cache_ = other.cache_;
+  return *this;
+}
+
+const RelationRegistry& RelationRegistry::Builtins() {
+  // Shared, lazily-initialized singleton. Factories are registered once;
+  // instantiations are memoized inside (mutex-guarded) and shared by
+  // every copy taken via Default().
+  static const RelationRegistry* builtins = [] {
+    auto* registry = new RelationRegistry();
+    registry->Register("eq", [](int n) {
+      return std::make_shared<RegularRelation>(EqualityRelation(n));
+    });
+    registry->Register("el", [](int n) {
+      return std::make_shared<RegularRelation>(EqualLengthRelation(n));
+    });
+    registry->Register("equal_length", [](int n) {
+      return std::make_shared<RegularRelation>(EqualLengthRelation(n));
+    });
+    registry->Register("prefix", [](int n) {
+      return std::make_shared<RegularRelation>(PrefixRelation(n));
+    });
+    registry->Register("strict_prefix", [](int n) {
+      return std::make_shared<RegularRelation>(StrictPrefixRelation(n));
+    });
+    registry->Register("shorter", [](int n) {
+      return std::make_shared<RegularRelation>(ShorterRelation(n));
+    });
+    registry->Register("shorter_eq", [](int n) {
+      return std::make_shared<RegularRelation>(ShorterOrEqualRelation(n));
+    });
+    for (int k = 1; k <= 3; ++k) {
+      registry->Register("edit" + std::to_string(k), [k](int n) {
+        return std::make_shared<RegularRelation>(
+            EditDistanceAtMostRelation(n, k));
+      });
+      registry->Register("hamming" + std::to_string(k), [k](int n) {
+        return std::make_shared<RegularRelation>(
+            HammingDistanceAtMostRelation(n, k));
+      });
+    }
+    return registry;
+  }();
+  return *builtins;
+}
+
+RelationRegistry RelationRegistry::Default() { return Builtins(); }
+
 void RelationRegistry::Register(std::string name, Factory factory) {
+  // Drop stale memoized instantiations so a re-registered name resolves
+  // to the new relation, not the old cache entry.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->first.first == name) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   factories_[std::move(name)] = std::move(factory);
 }
 
 void RelationRegistry::Register(
     std::string name, std::shared_ptr<const RegularRelation> relation) {
-  factories_[std::move(name)] =
-      [relation](int base_size) -> std::shared_ptr<const RegularRelation> {
-    if (relation->base_size() != base_size) return nullptr;
-    return relation;
-  };
+  // Delegate to the Factory overload so the stale-cache purge runs.
+  Register(std::move(name),
+           [relation](
+               int base_size) -> std::shared_ptr<const RegularRelation> {
+             if (relation->base_size() != base_size) return nullptr;
+             return relation;
+           });
 }
 
 std::shared_ptr<const RegularRelation> RelationRegistry::Resolve(
@@ -63,11 +99,16 @@ std::shared_ptr<const RegularRelation> RelationRegistry::Resolve(
   auto it = factories_.find(name);
   if (it == factories_.end()) return nullptr;
   auto key = std::make_pair(name, base_size);
-  auto cached = cache_.find(key);
-  if (cached != cache_.end()) return cached->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto cached = cache_.find(key);
+    if (cached != cache_.end()) return cached->second;
+  }
+  // Build outside the lock (factories can be expensive); racing builders
+  // agree on the result, first insert wins.
   auto relation = it->second(base_size);
-  cache_[key] = relation;
-  return relation;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.emplace(std::move(key), relation).first->second;
 }
 
 namespace {
@@ -176,6 +217,14 @@ class QueryParser {
       std::string name(text_.substr(pos_ + 1, end - pos_ - 1));
       pos_ = end + 1;
       return NodeTerm::Const(std::move(name));
+    }
+    if (pos_ < text_.size() && text_[pos_] == '$') {
+      ++pos_;
+      std::string name = ParseIdent();
+      if (name.empty()) {
+        return Status::InvalidArgument("expected parameter name after '$'");
+      }
+      return NodeTerm::Param(std::move(name));
     }
     std::string ident = ParseIdent();
     if (ident.empty()) {

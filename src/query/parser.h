@@ -3,7 +3,7 @@
 //   query     := 'Ans' '(' head-terms? ')' '<-' atom (',' atom)*
 //   atom      := path-atom | relation-atom | linear-atom
 //   path-atom := '(' node-term ',' ident ',' node-term ')'
-//   node-term := ident | '"' node-name '"'
+//   node-term := ident | '"' node-name '"' | '$' ident
 //   relation-atom := rel-spec '(' ident (',' ident)* ')'
 //   rel-spec  := registered relation name | base regex | tuple regex
 //   linear-atom := lin-expr ('>=' | '<=' | '=') integer
@@ -16,6 +16,11 @@
 //   Ans(x, y) <- (x, p, y), a*b+(p)
 //   Ans()     <- (x, p, y), ([a,a]|[b,b])*(p, q)      -- tuple regex
 //   Ans(x)    <- (x, p, y), occ(p, a) - 4*occ(p, b) >= 0
+//   Ans(y)    <- ($start, p, y), a*(p)                -- $parameter
+//
+// `$name` terms are node-constant parameters: the query parses and
+// validates once, and each PreparedQuery execution binds them to concrete
+// nodes (see api/prepared_query.h).
 //
 // Relation names are resolved against a RelationRegistry; unresolved
 // relation specs are parsed as (tuple) regexes over the supplied alphabet.
@@ -26,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -42,7 +48,14 @@ class RelationRegistry {
   using Factory =
       std::function<std::shared_ptr<const RegularRelation>(int base_size)>;
 
-  /// A registry with the paper's built-in relations.
+  /// The shared registry of the paper's built-in relations, lazily
+  /// initialized once per process. Instantiations resolved through it (or
+  /// through copies taken via Default()) are memoized in one place, so
+  /// repeated parses do not rebuild the built-in automata.
+  static const RelationRegistry& Builtins();
+
+  /// A mutable copy of Builtins(), for callers that register their own
+  /// relations. The memoization cache is shared at copy time.
   static RelationRegistry Default();
 
   void Register(std::string name, Factory factory);
@@ -57,9 +70,18 @@ class RelationRegistry {
     return factories_.count(name) > 0;
   }
 
+  // Copies share the source's factories and memoized instantiations at
+  // copy time (the shared_ptr relations themselves are never duplicated).
+  RelationRegistry() = default;
+  RelationRegistry(const RelationRegistry& other);
+  RelationRegistry& operator=(const RelationRegistry& other);
+
  private:
   std::map<std::string, Factory> factories_;
-  // Memoized instantiations keyed by (name, base size).
+  // Memoized instantiations keyed by (name, base size). Guarded by
+  // cache_mu_ so the shared Builtins() singleton (the default registry of
+  // every ParseQuery call) is safe under concurrent Resolve.
+  mutable std::mutex cache_mu_;
   mutable std::map<std::pair<std::string, int>,
                    std::shared_ptr<const RegularRelation>>
       cache_;
@@ -68,7 +90,7 @@ class RelationRegistry {
 /// Parses a query; letters in regexes must be interned in `alphabet`.
 Result<Query> ParseQuery(std::string_view text, const Alphabet& alphabet,
                          const RelationRegistry& registry =
-                             RelationRegistry::Default());
+                             RelationRegistry::Builtins());
 
 }  // namespace ecrpq
 

@@ -2,25 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
+#include "api/api.h"
 #include "automata/regex.h"
 #include "core/eval_negation.h"
-#include "core/evaluator.h"
 #include "graph/generators.h"
-#include "query/parser.h"
 #include "relations/builtin.h"
 
 namespace ecrpq {
 namespace {
 
-QueryResult Eval(const GraphDb& g, std::string_view text,
-                 const RelationRegistry& registry =
-                     RelationRegistry::Default()) {
-  auto query = ParseQuery(text, g.alphabet(), registry);
-  EXPECT_TRUE(query.ok()) << query.status().ToString();
-  EvalOptions options;
-  options.max_configs = 2000000;
-  Evaluator evaluator(&g, options);
-  auto result = evaluator.Evaluate(query.value());
+// Evaluates through the public Database facade; `setup` may register
+// custom relations on the session before the query is prepared.
+QueryResult Eval(const GraphDb& g, const std::string& text,
+                 const std::function<void(Database&)>& setup = {}) {
+  DatabaseOptions options;
+  options.eval.max_configs = 2000000;
+  Database db(g, options);
+  if (setup) setup(db);
+  auto result = db.Execute(text);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }
@@ -96,12 +97,13 @@ TEST(PaperExamples, RhoIsoAssociations) {
   g.AddEdge(y, p1, y1);
   g.AddEdge(z, p2, x1);
 
-  RelationRegistry registry = RelationRegistry::Default();
-  registry.Register("rho",
-                    std::make_shared<RegularRelation>(RhoIsomorphismRelation(
-                        3, {{p0, p1}})));
   QueryResult r = Eval(
-      g, "Ans(x, y) <- (x, pi1, z1), (y, pi2, z2), rho(pi1, pi2)", registry);
+      g, "Ans(x, y) <- (x, pi1, z1), (y, pi2, z2), rho(pi1, pi2)",
+      [&](Database& db) {
+        db.RegisterRelation(
+            "rho", std::make_shared<RegularRelation>(
+                       RhoIsomorphismRelation(3, {{p0, p1}})));
+      });
   std::set<std::vector<NodeId>> tuples(r.tuples().begin(), r.tuples().end());
   // x (via p0) and y (via p1) are ρ-isoAssociated; z (p2) only pairs with
   // nodes via the empty sequence (every node pairs with every node via ε —
@@ -209,15 +211,12 @@ TEST(PaperExamples, AlignmentWithGapOutput) {
     g.AddEdge(v, Symbol{4}, v);  // eps loops
   }
   // Mismatch relation: pairs of single distinct letters (incl. eps).
-  RelationRegistry registry = RelationRegistry::Default();
   std::vector<std::pair<Symbol, Symbol>> mismatches;
   for (Symbol s = 0; s < 5; ++s) {
     for (Symbol t = 0; t < 5; ++t) {
       if (s != t) mismatches.emplace_back(s, t);
     }
   }
-  registry.Register("mismatch", std::make_shared<RegularRelation>(
-                                    SynchronousPairsRelation(5, mismatches)));
   // Body: x-side = π0 (match) π1 (mismatch) π2 (match), y-side likewise,
   // with π0=ρ0, π2=ρ2 and mismatch(π1, ρ1).
   QueryResult r = Eval(
@@ -225,7 +224,11 @@ TEST(PaperExamples, AlignmentWithGapOutput) {
       R"(Ans(p1, r1) <- ("x0", p0, m1), (m1, p1, m2), (m2, p2, "x4"), )"
       R"(("y0", r0, n1), (n1, r1, n2), (n2, r2, "y4"), )"
       R"(eq(p0, r0), eq(p2, r2), mismatch(p1, r1))",
-      registry);
+      [&](Database& db) {
+        db.RegisterRelation(
+            "mismatch", std::make_shared<RegularRelation>(
+                            SynchronousPairsRelation(5, mismatches)));
+      });
   ASSERT_FALSE(r.tuples().empty());
   ASSERT_TRUE(r.has_path_answers());
   // Some enumerated answer shows the g-vs-t mismatch.
