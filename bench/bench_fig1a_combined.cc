@@ -3,6 +3,9 @@
 //   * CRPQs: NP-complete, but chain-shaped instances scale polynomially
 //   * ECRPQs: PSPACE-complete — the Theorem 6.3 REI family grows
 //     exponentially with the number of intersected expressions.
+// Each family runs twice — against the CSR GraphIndex and against the
+// pre-index adjacency-scan path — and the indexed-vs-scan comparison is
+// printed (and written to BENCH_bench_fig1a_combined.json) at exit.
 
 #include <benchmark/benchmark.h>
 
@@ -17,20 +20,34 @@ using namespace ecrpq_bench;
 // layered DAG keeps the per-atom reachability relations sparse — on dense
 // graphs the enumeration-join's intermediate results explode, which is the
 // NP-hardness (join width) shape, shown separately below.
-void BM_Fig1aCombined_CrpqChain(benchmark::State& state) {
+void CrpqChain(benchmark::State& state, bool use_index) {
   GraphDb g = MakeLayeredGraph(48, 5);
   Query query = MustParse(g, ChainCrpq(static_cast<int>(state.range(0))));
   EvalOptions options;
   options.build_path_answers = false;
+  options.use_graph_index = use_index;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.counters["atoms"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Fig1aCombined_CrpqChain/" +
+                      std::string(use_index ? "indexed" : "scan") + "/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"atoms", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
-BENCHMARK(BM_Fig1aCombined_CrpqChain)
+BENCHMARK_CAPTURE(CrpqChain, indexed, true)
+    ->DenseRange(1, 8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(CrpqChain, scan, false)
     ->DenseRange(1, 8)
     ->Unit(benchmark::kMillisecond);
 
@@ -38,7 +55,7 @@ BENCHMARK(BM_Fig1aCombined_CrpqChain)
 // periodic languages via equality relations, evaluated on the universal
 // word graph. Time grows exponentially with m (the joint period is
 // lcm(2,3,5,...)).
-void BM_Fig1aCombined_EcrpqRei(benchmark::State& state) {
+void EcrpqRei(benchmark::State& state, bool use_index) {
   auto alphabet = Alphabet::FromLabels({"a", "b"});
   GraphDb g = UniversalWordGraph(alphabet);
   Query query = MustParse(g, ReiQuery(static_cast<int>(state.range(0))));
@@ -46,17 +63,32 @@ void BM_Fig1aCombined_EcrpqRei(benchmark::State& state) {
   options.build_path_answers = false;
   options.max_configs = 100000000;
   options.engine = Engine::kProduct;
+  options.use_graph_index = use_index;
   Evaluator evaluator(&g, options);
   uint64_t configs = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     configs = result.value().stats().configs_explored;
   }
   state.counters["expressions"] = static_cast<double>(state.range(0));
   state.counters["configs"] = static_cast<double>(configs);
+  RecordBenchCase("Fig1aCombined_EcrpqRei/" +
+                      std::string(use_index ? "indexed" : "scan") + "/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"expressions", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"configs", static_cast<double>(configs)}});
 }
-BENCHMARK(BM_Fig1aCombined_EcrpqRei)
+BENCHMARK_CAPTURE(EcrpqRei, indexed, true)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(EcrpqRei, scan, false)
     ->DenseRange(1, 4)
     ->Unit(benchmark::kMillisecond);
 
@@ -82,12 +114,19 @@ void BM_Fig1aCombined_CrpqCliqueJoin(benchmark::State& state) {
   EvalOptions options;
   options.build_path_answers = false;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["clique"] = static_cast<double>(k);
+  RecordBenchCase("Fig1aCombined_CrpqCliqueJoin/" + std::to_string(k), timer,
+                  {{"clique", static_cast<double>(k)},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Fig1aCombined_CrpqCliqueJoin)
     ->DenseRange(2, 5)

@@ -22,14 +22,21 @@ void BM_Fig1aData_CRPQ(benchmark::State& state) {
   options.build_path_answers = false;
   Evaluator evaluator(&g, options);
   size_t answers = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     answers = result.value().tuples().size();
   }
   state.counters["nodes"] = g.num_nodes();
   state.counters["edges"] = g.num_edges();
   state.counters["answers"] = static_cast<double>(answers);
+  RecordBenchCase("Fig1aData_CRPQ/" + std::to_string(state.range(0)), timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"answers", static_cast<double>(answers)}});
 }
 BENCHMARK(BM_Fig1aData_CRPQ)
     ->Arg(64)
@@ -51,13 +58,20 @@ void BM_Fig1aData_ECRPQ(benchmark::State& state) {
   options.engine = Engine::kProduct;
   Evaluator evaluator(&g, options);
   uint64_t configs = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     configs = result.value().stats().configs_explored;
   }
   state.counters["nodes"] = g.num_nodes();
   state.counters["configs"] = static_cast<double>(configs);
+  RecordBenchCase("Fig1aData_ECRPQ/" + std::to_string(state.range(0)), timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"configs", static_cast<double>(configs)}});
 }
 BENCHMARK(BM_Fig1aData_ECRPQ)
     ->Arg(16)
@@ -75,12 +89,18 @@ void BM_Fig1aData_Qlen(benchmark::State& state) {
   options.build_path_answers = false;
   options.max_configs = 50000000;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = EvaluateQlen(g, query, options);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["nodes"] = g.num_nodes();
+  RecordBenchCase("Fig1aData_Qlen/" + std::to_string(state.range(0)), timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Fig1aData_Qlen)
     ->Arg(16)
@@ -98,12 +118,19 @@ void BM_Fig1aData_AcyclicCRPQ(benchmark::State& state) {
   EvalOptions options;
   options.build_path_answers = false;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.counters["nodes"] = g.num_nodes();
+  RecordBenchCase("Fig1aData_AcyclicCRPQ/" + std::to_string(state.range(0)),
+                  timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Fig1aData_AcyclicCRPQ)
     ->Arg(64)
@@ -127,12 +154,20 @@ void BM_Fig1aData_SquaredStrings(benchmark::State& state) {
   options.build_path_answers = false;
   options.max_configs = 50000000;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.counters["word_len"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Fig1aData_SquaredStrings/" + std::to_string(state.range(0)),
+                  timer,
+                  {{"word_len", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Fig1aData_SquaredStrings)
     ->Arg(8)

@@ -40,12 +40,20 @@ void BM_Fig1bNegation_CrpqNotDataComplexity(benchmark::State& state) {
                          Formula::Relation(Lang(g, "a+"), {"pi"})));
   auto f = Formula::ExistsNode("x",
                                Formula::ExistsNode("y", Formula::Not(inner)));
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = EvaluateSentence(g, f);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value());
   }
   state.counters["nodes"] = g.num_nodes();
+  RecordBenchCase("Fig1bNegation_CrpqNotDataComplexity/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Fig1bNegation_CrpqNotDataComplexity)
     ->Arg(2)
@@ -93,9 +101,12 @@ void BM_Fig1bNegation_EcrpqAlternation(benchmark::State& state) {
                                      inner(depth, "p")))));
 
   NegationStats stats;
+  MedianTimer timer;
   for (auto _ : state) {
     stats = NegationStats();
+    timer.Begin();
     auto result = EvaluateSentence(g, sentence, &stats);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value());
   }
@@ -103,6 +114,12 @@ void BM_Fig1bNegation_EcrpqAlternation(benchmark::State& state) {
   state.counters["max_states"] = static_cast<double>(stats.max_states);
   state.counters["determinizations"] =
       static_cast<double>(stats.determinizations);
+  RecordBenchCase("Fig1bNegation_EcrpqAlternation/" + std::to_string(depth),
+                  timer,
+                  {{"alternations", static_cast<double>(depth)},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"max_states", static_cast<double>(stats.max_states)}});
 }
 BENCHMARK(BM_Fig1bNegation_EcrpqAlternation)
     ->DenseRange(0, 3)

@@ -13,7 +13,8 @@ namespace {
 using namespace ecrpq;
 using namespace ecrpq_bench;
 
-void RunQuery(benchmark::State& state, const std::string& text) {
+void RunQuery(benchmark::State& state, const std::string& case_name,
+              const std::string& text) {
   auto alphabet = Alphabet::FromLabels({"a", "b"});
   GraphDb g = UniversalWordGraph(alphabet);
   Query query = MustParse(g, text);
@@ -22,17 +23,26 @@ void RunQuery(benchmark::State& state, const std::string& text) {
   options.max_configs = 100000000;
   Evaluator evaluator(&g, options);
   uint64_t configs = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     configs = result.value().stats().configs_explored;
   }
   state.counters["configs"] = static_cast<double>(configs);
+  RecordBenchCase(case_name + "/" + std::to_string(state.range(0)), timer,
+                  {{"expressions", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"configs", static_cast<double>(configs)}});
 }
 
 // One shared path variable constrained by m languages (repetition).
 void BM_Fig1bRepetition_SharedVariable(benchmark::State& state) {
-  RunQuery(state, ReiRepetitionQuery(static_cast<int>(state.range(0))));
+  RunQuery(state, "Fig1bRepetition_SharedVariable",
+           ReiRepetitionQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_Fig1bRepetition_SharedVariable)
     ->DenseRange(1, 4)
@@ -41,7 +51,8 @@ BENCHMARK(BM_Fig1bRepetition_SharedVariable)
 // Control: independent variables, one language each (repetition-free
 // CRPQ; stays cheap).
 void BM_Fig1bRepetition_IndependentControl(benchmark::State& state) {
-  RunQuery(state, IndependentLanguagesQuery(static_cast<int>(state.range(0))));
+  RunQuery(state, "Fig1bRepetition_IndependentControl",
+           IndependentLanguagesQuery(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_Fig1bRepetition_IndependentControl)
     ->DenseRange(1, 4)

@@ -5,8 +5,16 @@
 #ifndef ECRPQ_BENCH_BENCH_UTIL_H_
 #define ECRPQ_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <errno.h>  // program_invocation_short_name
+#endif
 
 #include "core/evaluator.h"
 #include "graph/generators.h"
@@ -15,6 +23,141 @@
 namespace ecrpq_bench {
 
 using namespace ecrpq;
+
+// ---- machine-readable results ---------------------------------------------
+//
+// Every fig1a/fig1b bench records one entry per benchmark case into
+// BENCH_<binary>.json, written into the working directory at process exit:
+//   {"bench": "...", "cases": [{"name": ..., "median_ns": ...,
+//                               "props": {"nodes": ..., ...}}]}
+// median_ns is the median of per-iteration wall times sampled inside the
+// benchmark loop; props carry graph sizes / query shape, so the perf
+// trajectory across PRs is trackable by tooling. Case names of the form
+// "<base>/indexed/..." and "<base>/scan/..." are twins measuring the same
+// workload with and without the CSR GraphIndex; the writer prints an
+// indexed-vs-scan comparison for each twin pair at exit, so the speedup
+// is measured by the bench itself rather than asserted.
+
+/// Per-iteration wall-clock sampler (Begin/End around the measured work).
+class MedianTimer {
+ public:
+  void Begin() { start_ = Clock::now(); }
+  void End() {
+    samples_.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - start_)
+            .count());
+  }
+  double MedianNs() const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    size_t mid = s.size() / 2;
+    std::nth_element(s.begin(), s.begin() + mid, s.end());
+    return s[mid];
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  std::vector<double> samples_;
+};
+
+using BenchProps = std::vector<std::pair<std::string, double>>;
+
+/// Process-wide result log; flushed to BENCH_<binary>.json at exit.
+class BenchResultLog {
+ public:
+  static BenchResultLog& Get() {
+    static BenchResultLog log;
+    return log;
+  }
+
+  void Record(const std::string& case_name, double median_ns,
+              BenchProps props) {
+    for (Entry& e : entries_) {
+      if (e.name == case_name) {  // repeated case: keep the latest run
+        e.median_ns = median_ns;
+        e.props = std::move(props);
+        return;
+      }
+    }
+    entries_.push_back({case_name, median_ns, std::move(props)});
+  }
+
+  BenchResultLog(const BenchResultLog&) = delete;
+  BenchResultLog& operator=(const BenchResultLog&) = delete;
+
+  ~BenchResultLog() {
+    if (entries_.empty()) return;
+    WriteJson();
+    PrintIndexedVsScan();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double median_ns;
+    BenchProps props;
+  };
+
+  BenchResultLog() = default;
+
+  static std::string BinaryName() {
+#if defined(__GLIBC__)
+    return program_invocation_short_name;
+#else
+    return "bench";
+#endif
+  }
+
+  void WriteJson() const {
+    const std::string bench = BinaryName();
+    const std::string path = "BENCH_" + bench + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
+                 bench.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"median_ns\": %.1f",
+                   e.name.c_str(), e.median_ns);
+      std::fprintf(f, ", \"props\": {");
+      for (size_t p = 0; p < e.props.size(); ++p) {
+        std::fprintf(f, "%s\"%s\": %g", p > 0 ? ", " : "",
+                     e.props[p].first.c_str(), e.props[p].second);
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[bench-json] wrote %s (%zu cases)\n", path.c_str(),
+                 entries_.size());
+  }
+
+  void PrintIndexedVsScan() const {
+    for (const Entry& e : entries_) {
+      size_t pos = e.name.find("/indexed");
+      if (pos == std::string::npos) continue;
+      std::string twin = e.name;
+      twin.replace(pos, 8, "/scan");
+      for (const Entry& s : entries_) {
+        if (s.name != twin || e.median_ns <= 0.0) continue;
+        std::fprintf(stderr,
+                     "[indexed-vs-scan] %s: indexed %.3f ms, scan %.3f ms, "
+                     "speedup %.2fx\n",
+                     e.name.c_str(), e.median_ns / 1e6, s.median_ns / 1e6,
+                     s.median_ns / e.median_ns);
+      }
+    }
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Records one finished benchmark case (median of `timer`'s samples).
+inline void RecordBenchCase(const std::string& case_name,
+                            const MedianTimer& timer, BenchProps props) {
+  BenchResultLog::Get().Record(case_name, timer.MedianNs(), std::move(props));
+}
 
 /// A deterministic layered graph with ~`nodes` nodes over {a, b}.
 inline GraphDb MakeLayeredGraph(int nodes, uint64_t seed = 42) {

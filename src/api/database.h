@@ -26,6 +26,7 @@
 #include "api/prepared_query.h"
 #include "core/evaluator.h"
 #include "graph/graph.h"
+#include "graph/index.h"
 #include "query/parser.h"
 #include "util/status.h"
 
@@ -58,9 +59,29 @@ class Database {
   /// Mutable graph access for loading. Mutations can grow the alphabet, so
   /// cached plans are dropped; outstanding PreparedQuery handles keep
   /// their (possibly stale) plans and re-resolve constants per execution.
+  /// The cached GraphIndex snapshot is dropped with the plans and rebuilt
+  /// lazily on the next execution.
   GraphDb& mutable_graph() {
     ClearPlanCache();
     return graph_;
+  }
+
+  /// The session's CSR label index of the graph (see graph/index.h):
+  /// built lazily on first use, shared by every PreparedQuery execution,
+  /// and invalidated together with the plan cache on graph or relation
+  /// mutation. A snapshot whose node/edge/label counters no longer match
+  /// the graph is rebuilt here too (GraphDb is append-only, so the
+  /// counters detect mutation through a retained mutable_graph()
+  /// reference). Null when the session disables indexing
+  /// (eval.use_graph_index = false).
+  GraphIndexPtr graph_index() const {
+    if (!options_.eval.use_graph_index) return nullptr;
+    if (index_ == nullptr || index_->num_nodes() != graph_.num_nodes() ||
+        index_->num_edges() != graph_.num_edges() ||
+        index_->num_labels() != graph_.alphabet().size()) {
+      index_ = GraphIndex::Build(graph_);
+    }
+    return index_;
   }
 
   /// The session's relation registry (a copy of the built-ins).
@@ -100,12 +121,14 @@ class Database {
   void ClearPlanCache() {
     cache_.clear();
     lru_.clear();
+    index_.reset();  // same invalidation point: the graph may change next
   }
 
  private:
   GraphDb graph_;
   DatabaseOptions options_;
   RelationRegistry registry_;
+  mutable GraphIndexPtr index_;  // lazy CSR snapshot of graph_
 
   // LRU plan cache keyed by query text; lru_ front = most recent.
   using LruList =

@@ -85,7 +85,8 @@ Result<ResultCursor> PreparedQuery::Execute(const Params& params,
                                             ExecuteOptions exec) const {
   auto bound = BindParams(params);
   if (!bound.ok()) return bound.status();
-  return ResultCursor(&db_->graph(), EffectiveOptions(exec), exec.limit,
+  return ResultCursor(&db_->graph(), db_->graph_index(),
+                      EffectiveOptions(exec), exec.limit,
                       std::move(bound).value(), plan_->compiled,
                       plan_->optimizer_report.proven_empty);
 }
@@ -99,6 +100,7 @@ Result<QueryResult> PreparedQuery::ExecuteAll(const Params& params) const {
     return QueryResult({}, {}, std::move(stats));
   }
   Evaluator evaluator(&db_->graph(), EffectiveOptions({}));
+  evaluator.set_graph_index(db_->graph_index());
   return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
     return evaluator.Evaluate(*bound.value(), sink, stats, plan_->compiled);
   });

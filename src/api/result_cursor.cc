@@ -12,6 +12,7 @@ void ResultCursor::Run(uint64_t limit) {
     return;
   }
   Evaluator evaluator(graph_, options_);
+  evaluator.set_graph_index(index_);
   status_ = evaluator.Evaluate(*query_, sink_, stats_, compiled_);
 }
 

@@ -64,10 +64,11 @@ class ResultCursor {
 
  private:
   friend class PreparedQuery;
-  ResultCursor(const GraphDb* graph, EvalOptions options, uint64_t limit,
-               std::shared_ptr<const Query> query, CompiledQueryPtr compiled,
-               bool static_empty)
+  ResultCursor(const GraphDb* graph, GraphIndexPtr index, EvalOptions options,
+               uint64_t limit, std::shared_ptr<const Query> query,
+               CompiledQueryPtr compiled, bool static_empty)
       : graph_(graph),
+        index_(std::move(index)),
         options_(options),
         limit_(limit),
         query_(std::move(query)),
@@ -77,6 +78,7 @@ class ResultCursor {
   void Run(uint64_t limit);
 
   const GraphDb* graph_ = nullptr;
+  GraphIndexPtr index_;  // session-shared CSR index (may be null)
   EvalOptions options_;
   uint64_t limit_ = 0;
   std::shared_ptr<const Query> query_;

@@ -11,15 +11,21 @@ namespace ecrpq {
 
 Status EvaluateCounting(const GraphDb& graph, const Query& query,
                         const EvalOptions& options, ResultSink& sink,
-                        EvalStats& stats, CompiledQueryPtr compiled) {
+                        EvalStats& stats, CompiledQueryPtr compiled,
+                        GraphIndexPtr index) {
   if (!query.head_paths().empty()) {
     return Status::FailedPrecondition(
         "the counting engine does not produce path outputs");
   }
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  // Reuse the compiled relations across every σ below.
+  if (options.use_graph_index && resolved_or.value().index == nullptr) {
+    resolved_or.value().index = GraphIndex::Build(graph);
+  }
+  // Reuse the compiled relations and the CSR index across every σ below.
   CompiledQueryPtr shared = resolved_or.value().compiled;
+  GraphIndexPtr shared_index = resolved_or.value().index;
 
   stats.engine = "counting";
 
@@ -48,8 +54,9 @@ Status EvaluateCounting(const GraphDb& graph, const Query& query,
     ++stats.start_assignments;
 
     // Build per-component product automata under σ.
-    auto products_or =
-        BuildComponentProducts(graph, query, options, assignment, shared);
+    auto products_or = BuildComponentProducts(graph, query, options,
+                                              assignment, shared,
+                                              shared_index);
     if (!products_or.ok()) {
       failure = products_or.status();
       return;

@@ -23,7 +23,8 @@ namespace ecrpq {
 /// exists()-style checks decide after the first feasible ILP.
 Status EvaluateCounting(const GraphDb& graph, const Query& query,
                         const EvalOptions& options, ResultSink& sink,
-                        EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+                        EvalStats& stats, CompiledQueryPtr compiled = nullptr,
+                        GraphIndexPtr index = nullptr);
 
 /// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateCounting(const GraphDb& graph, const Query& query,

@@ -25,6 +25,12 @@ bool CrpqFastPathApplies(const Query& query, const QueryAnalysis& analysis) {
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph,
     const std::vector<const RegularRelation*>& languages) {
+  return ReachabilityPairs(graph, languages, /*index=*/nullptr);
+}
+
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index) {
   // Intersect the language NFAs (over the base alphabet).
   Nfa lang = UniverseNfa(graph.alphabet().size());
   for (const RegularRelation* rel : languages) {
@@ -61,9 +67,17 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     while (!work.empty()) {
       auto [q, v] = work.front();
       work.pop();
-      for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
-        for (const auto& [label, to] : graph.Out(v)) {
-          if (label == arc.first) push(arc.second, to);
+      if (index != nullptr) {
+        // CSR label slices: touch only the successors carrying exactly
+        // the letters the language state can read.
+        for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
+          for (NodeId to : index->Out(v, arc.first)) push(arc.second, to);
+        }
+      } else {
+        for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
+          for (const auto& [label, to] : graph.Out(v)) {
+            if (label == arc.first) push(arc.second, to);
+          }
         }
       }
     }
@@ -151,14 +165,19 @@ bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
 
 Status EvaluateCrpq(const GraphDb& graph, const Query& query,
                     const EvalOptions& options, ResultSink& sink,
-                    EvalStats& stats, CompiledQueryPtr compiled) {
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+                    EvalStats& stats, CompiledQueryPtr compiled,
+                    GraphIndexPtr index) {
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
+  ResolvedQuery& rq = resolved_or.value();
   if (!CrpqFastPathApplies(query, rq.analysis())) {
     return Status::FailedPrecondition(
         "query is outside the CRPQ fast-path fragment (multi-ary relations, "
         "repeated path variables or linear atoms present)");
+  }
+  if (options.use_graph_index && rq.index == nullptr) {
+    rq.index = GraphIndex::Build(graph);
   }
 
   stats.engine = "crpq";
@@ -174,7 +193,7 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
         languages.push_back(rel.relation);
       }
     }
-    atoms[i].pairs = ReachabilityPairs(graph, languages);
+    atoms[i].pairs = ReachabilityPairs(graph, languages, rq.index.get());
     // Constants restrict immediately.
     std::vector<std::pair<NodeId, NodeId>> filtered;
     for (const auto& [u, v] : atoms[i].pairs) {

@@ -26,7 +26,8 @@ bool CrpqFastPathApplies(const Query& query, const QueryAnalysis& analysis);
 /// FailedPrecondition outside the fragment.
 Status EvaluateCrpq(const GraphDb& graph, const Query& query,
                     const EvalOptions& options, ResultSink& sink,
-                    EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+                    EvalStats& stats, CompiledQueryPtr compiled = nullptr,
+                    GraphIndexPtr index = nullptr);
 
 /// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
@@ -34,9 +35,15 @@ Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
 
 /// The per-atom reachability relation: all (u, v) pairs connected by a path
 /// whose label lies in every language of `languages` (an intersection; the
-/// empty list means Σ*). Exposed for tests and benches.
+/// empty list means Σ*). Exposed for tests and benches. The overload with
+/// `index` expands the (language state, node) frontier through CSR label
+/// slices — only edges carrying a letter some language arc reads — instead
+/// of scanning full adjacency lists per arc; null falls back to the scan.
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages);
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index);
 
 }  // namespace ecrpq
 

@@ -1,10 +1,12 @@
 #include "core/eval_product.h"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <map>
 #include <queue>
 #include <set>
+#include <span>
 
 #include "automata/operations.h"
 
@@ -29,6 +31,26 @@ Result<CompiledQueryPtr> CompileQuery(const Query& query, int base_size) {
         rr.transitions[s][arc.first].push_back(arc.second);
       }
     }
+    const TupleAlphabet& ta = atom.relation->tuple_alphabet();
+    const int arity = atom.relation->arity();
+    rr.tape_masks.assign(rr.nfa.num_states(),
+                         std::vector<uint64_t>(arity, 0));
+    if (base_size > 64) {
+      for (auto& masks : rr.tape_masks) {
+        for (uint64_t& m : masks) m = ~0ULL;
+      }
+    } else {
+      for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
+        for (const Nfa::Arc& arc : rr.nfa.ArcsFrom(s)) {
+          TupleLetter letter = ta.Decode(arc.first);
+          for (int tape = 0; tape < arity; ++tape) {
+            if (letter[tape] != kPad) {
+              rr.tape_masks[s][tape] |= 1ULL << letter[tape];
+            }
+          }
+        }
+      }
+    }
     rr.initial = rr.nfa.InitialStates();
     rr.accepting.resize(rr.nfa.num_states());
     for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
@@ -44,10 +66,12 @@ Result<CompiledQueryPtr> CompileQuery(const Query& query, int base_size) {
 }
 
 Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
-                                   CompiledQueryPtr compiled) {
+                                   CompiledQueryPtr compiled,
+                                   GraphIndexPtr index) {
   ResolvedQuery out;
   out.graph = &graph;
   out.query = &query;
+  out.index = std::move(index);
 
   auto resolve_term = [&](const NodeTerm& term) -> Result<ResolvedTerm> {
     ResolvedTerm r;
@@ -171,26 +195,158 @@ struct Config {
   uint32_t padmask = 0;
   std::vector<NodeId> nodes;    // per local track
   std::vector<int> subset_ids;  // per component relation
+
+  bool operator==(const Config& other) const = default;
 };
 
-std::vector<int32_t> EncodeConfig(const Config& c) {
-  std::vector<int32_t> code;
-  code.reserve(1 + c.nodes.size() + c.subset_ids.size());
-  code.push_back(static_cast<int32_t>(c.padmask));
-  for (NodeId v : c.nodes) code.push_back(v);
-  for (int s : c.subset_ids) code.push_back(s);
-  return code;
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
-struct CodeHash {
-  size_t operator()(const std::vector<int32_t>& code) const {
-    uint64_t h = 1469598103934665603ULL;  // FNV-1a
-    for (int32_t v : code) {
-      h ^= static_cast<uint32_t>(v);
-      h *= 1099511628211ULL;
+uint64_t HashConfig(const Config& c) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto feed = [&h](uint32_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  feed(c.padmask);
+  for (NodeId v : c.nodes) feed(static_cast<uint32_t>(v));
+  for (int s : c.subset_ids) feed(static_cast<uint32_t>(s));
+  return h;
+}
+
+// Open-addressing visited/intern table over product configurations.
+//
+// When padmask + per-track node ids + per-relation subset ids fit one
+// word, configurations are keyed by a packed uint64 code and probes
+// compare single words — no per-configuration allocation, no vector
+// hashing. Subset-interning ids are assigned dynamically, so a search
+// whose subset count outgrows its bit field migrates once to the generic
+// path (hash of the config, structural equality against the discovery
+// array) and keeps going; searches whose shape never fits start there.
+class VisitedTable {
+ public:
+  VisitedTable(int tracks, int relations, int num_nodes)
+      : tracks_(tracks), relations_(relations) {
+    node_bits_ = std::bit_width(
+        static_cast<uint32_t>(std::max(num_nodes - 1, 1)));
+    int used = tracks_ + tracks_ * node_bits_;
+    if (used <= 64 && relations_ > 0) {
+      subset_bits_ = std::min<int>(31, (64 - used) / relations_);
+    } else {
+      subset_bits_ = 0;
     }
-    return static_cast<size_t>(h);
+    packed_ = (used + relations_ * subset_bits_ <= 64) &&
+              (relations_ == 0 || subset_bits_ >= 1);
+    Rehash(1024);
   }
+
+  // Returns (config id, inserted). A new config is appended to `order`.
+  std::pair<int, bool> FindOrInsert(Config&& c, std::vector<Config>& order) {
+    if (packed_) {
+      uint64_t code;
+      if (!TryPack(c, &code)) {
+        MigrateToGeneric(order);
+      } else {
+        if ((size_ + 1) * 10 >= slots_.size() * 7) RehashPacked(order);
+        size_t i = Mix64(code) & (slots_.size() - 1);
+        while (slots_[i] >= 0) {
+          if (keys_[i] == code) return {slots_[i], false};
+          i = (i + 1) & (slots_.size() - 1);
+        }
+        int id = static_cast<int>(order.size());
+        order.push_back(std::move(c));
+        slots_[i] = id;
+        keys_[i] = code;
+        ++size_;
+        return {id, true};
+      }
+    }
+    if ((size_ + 1) * 10 >= slots_.size() * 7) RehashGeneric(order);
+    size_t i = HashConfig(c) & (slots_.size() - 1);
+    while (slots_[i] >= 0) {
+      if (order[slots_[i]] == c) return {slots_[i], false};
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    int id = static_cast<int>(order.size());
+    order.push_back(std::move(c));
+    slots_[i] = id;
+    ++size_;
+    return {id, true};
+  }
+
+ private:
+  bool TryPack(const Config& c, uint64_t* out) const {
+    uint64_t code = c.padmask;
+    int shift = tracks_;
+    for (NodeId v : c.nodes) {
+      code |= static_cast<uint64_t>(static_cast<uint32_t>(v)) << shift;
+      shift += node_bits_;
+    }
+    for (int s : c.subset_ids) {
+      if (static_cast<int64_t>(s) >= (int64_t{1} << subset_bits_)) {
+        return false;
+      }
+      code |= static_cast<uint64_t>(s) << shift;
+      shift += subset_bits_;
+    }
+    *out = code;
+    return true;
+  }
+
+  void Rehash(size_t capacity) {
+    slots_.assign(capacity, -1);
+    if (packed_) keys_.assign(capacity, 0);
+  }
+
+  void RehashPacked(const std::vector<Config>& order) {
+    (void)order;  // packed slots carry their own keys
+    std::vector<int32_t> old_slots = std::move(slots_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    Rehash(old_slots.size() * 2);
+    for (size_t j = 0; j < old_slots.size(); ++j) {
+      if (old_slots[j] < 0) continue;
+      size_t i = Mix64(old_keys[j]) & (slots_.size() - 1);
+      while (slots_[i] >= 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = old_slots[j];
+      keys_[i] = old_keys[j];
+    }
+  }
+
+  // Clears the table to `capacity` slots and re-inserts every config of
+  // `order` by structural hash (generic mode's rebuild).
+  void RebuildGeneric(size_t capacity, const std::vector<Config>& order) {
+    slots_.assign(capacity, -1);
+    for (size_t id = 0; id < order.size(); ++id) {
+      size_t i = HashConfig(order[id]) & (capacity - 1);
+      while (slots_[i] >= 0) i = (i + 1) & (capacity - 1);
+      slots_[i] = static_cast<int32_t>(id);
+    }
+  }
+
+  void RehashGeneric(const std::vector<Config>& order) {
+    RebuildGeneric(slots_.size() * 2, order);
+  }
+
+  void MigrateToGeneric(const std::vector<Config>& order) {
+    packed_ = false;
+    keys_.clear();
+    keys_.shrink_to_fit();
+    RebuildGeneric(slots_.size(), order);
+  }
+
+  int tracks_;
+  int relations_;
+  int node_bits_ = 0;
+  int subset_bits_ = 0;
+  bool packed_ = false;
+  size_t size_ = 0;
+  std::vector<int32_t> slots_;  // config id or -1
+  std::vector<uint64_t> keys_;  // packed code per occupied slot
 };
 
 // Callbacks for recording the product graph (path-answer construction).
@@ -207,7 +363,12 @@ class ComponentSearch {
  public:
   ComponentSearch(const ResolvedQuery& rq, const Component& comp,
                   const EvalOptions& options, EvalStats* stats)
-      : rq_(rq), comp_(comp), options_(options), stats_(stats) {
+      : rq_(rq),
+        comp_(comp),
+        options_(options),
+        stats_(stats),
+        index_(rq.index.get()),
+        use_masks_(rq.graph->alphabet().size() <= 64) {
     // Per-relation tuple alphabets and local track lists.
     for (int r : comp_.relation_indices) {
       const ResolvedRelation& rel = rq_.relations()[r];
@@ -216,6 +377,7 @@ class ComponentSearch {
       rel_local_tracks_.push_back(std::move(local));
       rel_alphabets_.emplace_back(rel.relation->tuple_alphabet());
     }
+    subset_masks_.resize(comp_.relation_indices.size());
   }
 
   // Runs BFS from one start-node-per-track assignment; reports satisfying
@@ -247,16 +409,14 @@ class ComponentSearch {
     // all sink indices are offset by its current size.
     const int sink_base =
         (sink != nullptr) ? static_cast<int>(sink->configs.size()) : 0;
-    std::unordered_map<std::vector<int32_t>, int, CodeHash> visited;
+    VisitedTable visited(T, static_cast<int>(comp_.relation_indices.size()),
+                         graph.num_nodes());
     std::vector<Config> order;
     std::queue<int> work;
     auto intern_config = [&](Config c) -> std::pair<int, bool> {
-      auto code = EncodeConfig(c);
-      auto [it, inserted] = visited.emplace(std::move(code), 0);
+      auto [id, inserted] = visited.FindOrInsert(std::move(c), order);
       if (inserted) {
-        it->second = static_cast<int>(order.size());
-        order.push_back(std::move(c));
-        work.push(it->second);
+        work.push(id);
         if (sink != nullptr) {
           sink->configs.push_back(order.back());
           sink->arcs.emplace_back();
@@ -264,7 +424,7 @@ class ComponentSearch {
           sink->accepting.push_back(false);
         }
       }
-      return {it->second, inserted};
+      return {id, inserted};
     };
 
     auto [init_id, fresh] = intern_config(std::move(init));
@@ -291,7 +451,9 @@ class ComponentSearch {
         }
       }
 
-      // Expand successors: per track choose pad or an edge.
+      // Expand successors: per track choose pad or an edge, pulling only
+      // the label slices the live relation state-sets can read.
+      ComputeLiveMasks(current);
       std::vector<Symbol> letter(T);
       std::vector<NodeId> next_nodes(T);
       ExpandRec(0, T, current, &letter, &next_nodes, graph,
@@ -364,6 +526,43 @@ class ComponentSearch {
     return true;
   }
 
+  // Per-tape letter masks of one relation's current subset, OR of the
+  // compiled per-state tape_masks; cached per interned subset id.
+  const std::vector<uint64_t>& SubsetMasks(size_t i, int subset_id) {
+    auto& cache = subset_masks_[i];
+    if (subset_id >= static_cast<int>(cache.size())) {
+      cache.resize(subset_id + 1);
+    }
+    std::vector<uint64_t>& entry = cache[subset_id];
+    if (entry.empty()) {
+      const ResolvedRelation& rel =
+          rq_.relations()[comp_.relation_indices[i]];
+      entry.assign(rel_local_tracks_[i].size(), 0);
+      for (StateId s : pool_.Get(subset_id)) {
+        for (size_t tape = 0; tape < entry.size(); ++tape) {
+          entry[tape] |= rel.tape_masks[s][tape];
+        }
+      }
+    }
+    return entry;
+  }
+
+  // live_[t]: base letters track t may read without killing a relation —
+  // the intersection, over relations reading t, of the letters their
+  // current state-sets accept on that tape (Thm 6.1's restriction).
+  void ComputeLiveMasks(const Config& current) {
+    live_.assign(comp_.tracks.size(), ~0ULL);
+    if (index_ == nullptr || !use_masks_) return;
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const std::vector<uint64_t>& masks =
+          SubsetMasks(i, current.subset_ids[i]);
+      const std::vector<int>& local = rel_local_tracks_[i];
+      for (size_t tape = 0; tape < local.size(); ++tape) {
+        live_[local[tape]] &= masks[tape];
+      }
+    }
+  }
+
   template <typename Callback>
   void ExpandRec(int t, int total, const Config& current,
                  std::vector<Symbol>* letter, std::vector<NodeId>* next_nodes,
@@ -423,10 +622,55 @@ class ComponentSearch {
     ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
     // Option 2: follow an edge (only when not padded).
     if (!(current.padmask & (1u << t))) {
-      for (const auto& [label, to] : graph.Out(current.nodes[t])) {
-        (*letter)[t] = label;
-        (*next_nodes)[t] = to;
-        ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+      const NodeId v = current.nodes[t];
+      if (index_ != nullptr && use_masks_) {
+        // Indexed path: visit only the letters live for this track and
+        // present at the node (one AND against the node's label mask).
+        // Small adjacency rows are filtered linearly (a binary search per
+        // label costs more than reading a handful of edges); large rows
+        // jump straight to the per-label slices.
+        const uint64_t mask = live_[t] & index_->OutLabelMask(v);
+        if (mask == 0) {
+          // No live letter at this node: the track can only pad.
+        } else if (index_->out_degree(v) <= 16) {
+          std::span<const Symbol> labels = index_->OutLabels(v);
+          std::span<const NodeId> targets = index_->OutTargets(v);
+          for (size_t i = 0; i < labels.size(); ++i) {
+            if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
+              continue;
+            }
+            (*letter)[t] = labels[i];
+            (*next_nodes)[t] = targets[i];
+            ExpandRec(t + 1, total, current, letter, next_nodes, graph,
+                      emit);
+          }
+        } else {
+          uint64_t bits = mask;
+          while (bits != 0) {
+            Symbol label = static_cast<Symbol>(std::countr_zero(bits));
+            bits &= bits - 1;
+            for (NodeId to : index_->Out(v, label)) {
+              (*letter)[t] = label;
+              (*next_nodes)[t] = to;
+              ExpandRec(t + 1, total, current, letter, next_nodes, graph,
+                        emit);
+            }
+          }
+        }
+      } else if (index_ != nullptr) {
+        std::span<const Symbol> labels = index_->OutLabels(v);
+        std::span<const NodeId> targets = index_->OutTargets(v);
+        for (size_t i = 0; i < labels.size(); ++i) {
+          (*letter)[t] = labels[i];
+          (*next_nodes)[t] = targets[i];
+          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+        }
+      } else {
+        for (const auto& [label, to] : graph.Out(v)) {
+          (*letter)[t] = label;
+          (*next_nodes)[t] = to;
+          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+        }
       }
     }
   }
@@ -435,9 +679,14 @@ class ComponentSearch {
   const Component& comp_;
   const EvalOptions& options_;
   EvalStats* stats_;
+  const GraphIndex* index_;  // null = scan GraphDb adjacency (legacy path)
+  bool use_masks_;           // base alphabet fits the 64-bit letter masks
   SubsetPool pool_;
   std::vector<std::vector<int>> rel_local_tracks_;
   std::vector<TupleAlphabet> rel_alphabets_;
+  // Per component relation: per-tape letter masks keyed by subset id.
+  std::vector<std::vector<std::vector<uint64_t>>> subset_masks_;
+  std::vector<uint64_t> live_;  // per-track live letters, per expansion
 };
 
 // Enumerates start assignments for a component and accumulates results.
@@ -477,10 +726,21 @@ Status SolveComponent(const ResolvedQuery& rq, const Component& comp,
     }
     int var = start_vars[i];
     if (binding[var] >= 0) return enumerate(i + 1);
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      binding[var] = v;
-      Status st = enumerate(i + 1);
-      if (!st.ok()) return st;
+    // Seed from high-degree nodes first (GraphIndex permutation): under
+    // early termination the densest frontiers reach answers soonest. The
+    // answer set is order-independent (results is a set).
+    if (rq.index != nullptr) {
+      for (NodeId v : rq.index->NodesByDegree()) {
+        binding[var] = v;
+        Status st = enumerate(i + 1);
+        if (!st.ok()) return st;
+      }
+    } else {
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        binding[var] = v;
+        Status st = enumerate(i + 1);
+        if (!st.ok()) return st;
+      }
     }
     binding[var] = -1;
     return Status::OK();
@@ -504,7 +764,7 @@ bool HeadTupleEmitter::Emit(const std::vector<NodeId>& head) {
   if (!seen_.insert(head).second) return true;  // duplicate projection
   if (with_paths_) {
     auto answers = BuildPathAnswerSet(*rq_.graph, *rq_.query, options_, head,
-                                      rq_.compiled);
+                                      rq_.compiled, rq_.index);
     if (!answers.ok()) {
       status_ = answers.status();
       return false;
@@ -516,15 +776,20 @@ bool HeadTupleEmitter::Emit(const std::vector<NodeId>& head) {
 
 Status EvaluateProduct(const GraphDb& graph, const Query& query,
                        const EvalOptions& options, ResultSink& sink,
-                       EvalStats& stats, CompiledQueryPtr compiled) {
+                       EvalStats& stats, CompiledQueryPtr compiled,
+                       GraphIndexPtr index) {
   if (!query.linear_atoms().empty()) {
     return Status::FailedPrecondition(
         "the product engine does not handle linear atoms; use the counting "
         "engine (Engine::kCounting)");
   }
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
+  ResolvedQuery& rq = resolved_or.value();
+  if (options.use_graph_index && rq.index == nullptr) {
+    rq.index = GraphIndex::Build(graph);
+  }
 
   stats.engine = "product";
 
@@ -606,10 +871,15 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
 
 Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& assignment, CompiledQueryPtr compiled) {
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+    const std::vector<NodeId>& assignment, CompiledQueryPtr compiled,
+    GraphIndexPtr index) {
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
+  ResolvedQuery& rq = resolved_or.value();
+  if (options.use_graph_index && rq.index == nullptr) {
+    rq.index = GraphIndex::Build(graph);
+  }
   if (assignment.size() != query.node_variables().size()) {
     return Status::InvalidArgument(
         "assignment arity does not match node variable count");
@@ -645,10 +915,15 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
 
 Result<PathAnswerSet> BuildPathAnswerSet(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& head_nodes, CompiledQueryPtr compiled) {
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+    const std::vector<NodeId>& head_nodes, CompiledQueryPtr compiled,
+    GraphIndexPtr index) {
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
+  ResolvedQuery& rq = resolved_or.value();
+  if (options.use_graph_index && rq.index == nullptr) {
+    rq.index = GraphIndex::Build(graph);
+  }
 
   if (head_nodes.size() != query.head_nodes().size()) {
     return Status::InvalidArgument(

@@ -45,6 +45,14 @@ struct ResolvedRelation {
   std::vector<bool> accepting;
   std::vector<int> paths;  // indices into Query::path_variables()
 
+  /// tape_masks[s][tape]: bitmask of base symbols some transition out of
+  /// state `s` can read on `tape` (a non-pad tape component). The product
+  /// search intersects these over a configuration's live state-sets to
+  /// expand only label slices that can advance every relation — the
+  /// restricted-edge access of Thm 6.1. All-ones when the base alphabet
+  /// exceeds 64 letters (no pruning).
+  std::vector<std::vector<uint64_t>> tape_masks;
+
   ResolvedRelation() : nfa(0) {}
 };
 
@@ -69,6 +77,7 @@ struct ResolvedQuery {
   const Query* query = nullptr;
   std::vector<ResolvedAtom> atoms;
   CompiledQueryPtr compiled;  ///< never null after ResolveQuery
+  GraphIndexPtr index;        ///< CSR view of *graph; null = scan GraphDb
 
   const std::vector<ResolvedRelation>& relations() const {
     return compiled->relations;
@@ -78,9 +87,12 @@ struct ResolvedQuery {
 
 /// Resolves and checks (constants exist, no unbound parameters, relation
 /// alphabets match). `compiled` reuses a prior CompileQuery result for
-/// this query; when null it is built here.
+/// this query; when null it is built here. `index` (optional) is a
+/// prebuilt CSR view of `graph`; when null and `options.use_graph_index`
+/// holds, engines build a per-run index after resolving.
 Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
-                                   CompiledQueryPtr compiled = nullptr);
+                                   CompiledQueryPtr compiled = nullptr,
+                                   GraphIndexPtr index = nullptr);
 
 /// Shared streaming emission for engines that project head tuples during
 /// a join: deduplicates, builds the Prop 5.2 path-answer automaton per
@@ -112,7 +124,8 @@ class HeadTupleEmitter {
 /// the counting engine.
 Status EvaluateProduct(const GraphDb& graph, const Query& query,
                        const EvalOptions& options, ResultSink& sink,
-                       EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+                       EvalStats& stats, CompiledQueryPtr compiled = nullptr,
+                       GraphIndexPtr index = nullptr);
 
 /// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
@@ -124,8 +137,8 @@ Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,
 /// (all-pad projections are ε-eliminated so counting stays exact).
 Result<PathAnswerSet> BuildPathAnswerSet(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& head_nodes,
-    CompiledQueryPtr compiled = nullptr);
+    const std::vector<NodeId>& head_nodes, CompiledQueryPtr compiled = nullptr,
+    GraphIndexPtr index = nullptr);
 
 /// The materialized product automaton of one synchronization component
 /// under a full node assignment (used by the counting engine of Thm 8.5).
@@ -142,8 +155,8 @@ struct ComponentProductGraph {
 /// variable fixed by `assignment` (parallel to query.node_variables()).
 Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     const GraphDb& graph, const Query& query, const EvalOptions& options,
-    const std::vector<NodeId>& assignment,
-    CompiledQueryPtr compiled = nullptr);
+    const std::vector<NodeId>& assignment, CompiledQueryPtr compiled = nullptr,
+    GraphIndexPtr index = nullptr);
 
 }  // namespace ecrpq
 

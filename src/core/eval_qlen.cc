@@ -16,6 +16,26 @@ namespace ecrpq {
 
 namespace {
 
+// Distinct successors of `v` with labels ignored (ascending): the unary
+// abstraction of a node's out-neighbourhood, shared by the product
+// fallback's graph construction and the arithmetic path's skeleton NFA.
+void DistinctSuccessors(const GraphDb& graph, const GraphIndex* index,
+                        NodeId v, std::vector<NodeId>* targets) {
+  targets->clear();
+  if (index != nullptr) {
+    auto slice = index->OutTargets(v);
+    targets->assign(slice.begin(), slice.end());
+  } else {
+    for (const auto& [label, to] : graph.Out(v)) {
+      (void)label;
+      targets->push_back(to);
+    }
+  }
+  std::sort(targets->begin(), targets->end());
+  targets->erase(std::unique(targets->begin(), targets->end()),
+                 targets->end());
+}
+
 // Relabels a length-abstracted relation onto a one-letter base alphabet:
 // every non-pad component becomes letter 0. Used by the product-based
 // fallback for non-equal-length length relations.
@@ -65,21 +85,15 @@ bool IsEqualLengthLike(const RegularRelation& rel) {
 // run the product engine.
 Status EvaluateQlenProduct(const GraphDb& graph, const Query& query,
                            const EvalOptions& options, ResultSink& sink,
-                           EvalStats& stats) {
+                           EvalStats& stats, const GraphIndex* index) {
   auto unary_alphabet = Alphabet::FromLabels({"."});
   GraphDb named_unary(unary_alphabet);
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     named_unary.AddNode(graph.NodeName(v));
   }
+  std::vector<NodeId> targets;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    std::vector<NodeId> targets;
-    for (const auto& [label, to] : graph.Out(v)) {
-      (void)label;
-      targets.push_back(to);
-    }
-    std::sort(targets.begin(), targets.end());
-    targets.erase(std::unique(targets.begin(), targets.end()),
-                  targets.end());
+    DistinctSuccessors(graph, index, v, &targets);
     for (NodeId to : targets) named_unary.AddEdge(v, Symbol{0}, to);
   }
 
@@ -106,6 +120,40 @@ Status EvaluateQlenProduct(const GraphDb& graph, const Query& query,
   return st;
 }
 
+// Reusable unary length skeleton of a graph: states are the graph nodes,
+// one unlabeled arc per distinct (source, target) successor pair, built
+// once. The pinned-assignment loop of the arithmetic fast path previously
+// rebuilt the full labeled graph NFA (O(V + E)) for every atom of every
+// assignment only to erase its labels again; this view swaps the endpoint
+// flags in O(|starts| + |ends|) and shares the transition structure.
+class UnaryGraphView {
+ public:
+  UnaryGraphView(const GraphDb& graph, const GraphIndex* index) : nfa_(1) {
+    nfa_.AddStates(graph.num_nodes());
+    std::vector<NodeId> targets;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      DistinctSuccessors(graph, index, v, &targets);
+      for (NodeId to : targets) nfa_.AddTransition(v, 0, to);
+    }
+  }
+
+  /// The skeleton with exactly `starts` initial and `ends` accepting.
+  const Nfa& WithEndpoints(const std::vector<NodeId>& starts,
+                           const std::vector<NodeId>& ends) {
+    for (NodeId v : flagged_initial_) nfa_.SetInitial(v, false);
+    for (NodeId v : flagged_accepting_) nfa_.SetAccepting(v, false);
+    flagged_initial_ = starts;
+    flagged_accepting_ = ends;
+    for (NodeId v : starts) nfa_.SetInitial(v);
+    for (NodeId v : ends) nfa_.SetAccepting(v);
+    return nfa_;
+  }
+
+ private:
+  Nfa nfa_;
+  std::vector<NodeId> flagged_initial_, flagged_accepting_;
+};
+
 // Union-find over track (path-variable) indices.
 class UnionFind {
  public:
@@ -129,7 +177,8 @@ class UnionFind {
 
 Status EvaluateQlen(const GraphDb& graph, const Query& query,
                     const EvalOptions& options, ResultSink& sink,
-                    EvalStats& stats, CompiledQueryPtr compiled) {
+                    EvalStats& stats, CompiledQueryPtr compiled,
+                    GraphIndexPtr index) {
   if (!query.head_paths().empty()) {
     return Status::Unimplemented(
         "Q_len abstracts paths to lengths; path outputs are undefined "
@@ -140,19 +189,26 @@ Status EvaluateQlen(const GraphDb& graph, const Query& query,
         "linear atoms belong to the counting engine, not Q_len");
   }
 
-  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
+  auto resolved_or =
+      ResolveQuery(graph, query, std::move(compiled), std::move(index));
   if (!resolved_or.ok()) return resolved_or.status();
-  const ResolvedQuery& rq = resolved_or.value();
+  ResolvedQuery& rq = resolved_or.value();
 
   // Arithmetic fast path (the progression machinery of Claim 6.7.1/2):
   // applicable when every >=2-ary relation abstracts to equal-length.
+  // The index is built only once an engine path is committed.
   for (const ResolvedRelation& rel : rq.relations()) {
     if (rel.relation->arity() >= 2 && !IsEqualLengthLike(*rel.relation)) {
-      return EvaluateQlenProduct(graph, query, options, sink, stats);
+      return EvaluateQlenProduct(graph, query, options, sink, stats,
+                                 rq.index.get());
     }
   }
 
   stats.engine = "qlen";
+  if (options.use_graph_index && rq.index == nullptr) {
+    rq.index = GraphIndex::Build(graph);
+  }
+  UnaryGraphView length_view(graph, rq.index.get());
 
   const int num_tracks = static_cast<int>(query.path_variables().size());
   const int num_vars = static_cast<int>(query.node_variables().size());
@@ -240,11 +296,19 @@ Status EvaluateQlen(const GraphDb& graph, const Query& query,
           std::vector<NodeId> starts, ends;
           endpoint_states(rq.atoms[a].from, &starts);
           endpoint_states(rq.atoms[a].to, &ends);
-          Nfa nfa = graph.ToNfa(starts, ends);
-          for (const Nfa& lang : track_length_langs[t]) {
-            nfa = IntersectNfa(LengthAutomaton(nfa), lang);
+          // Shared unary skeleton; only the endpoint flags change per
+          // assignment (lengths ignore labels, so nothing else does).
+          const Nfa& base = length_view.WithEndpoints(starts, ends);
+          SemilinearSet1D lengths;
+          if (track_length_langs[t].empty()) {
+            lengths = AcceptedLengths(base);
+          } else {
+            Nfa nfa = IntersectNfa(base, track_length_langs[t][0]);
+            for (size_t li = 1; li < track_length_langs[t].size(); ++li) {
+              nfa = IntersectNfa(nfa, track_length_langs[t][li]);
+            }
+            lengths = AcceptedLengths(nfa);
           }
-          SemilinearSet1D lengths = AcceptedLengths(nfa);
           track_set = track_set.has_value()
                           ? IntersectSemilinear(*track_set, lengths)
                           : lengths;

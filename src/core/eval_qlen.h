@@ -27,7 +27,8 @@ namespace ecrpq {
 /// heads and Boolean queries are.
 Status EvaluateQlen(const GraphDb& graph, const Query& query,
                     const EvalOptions& options, ResultSink& sink,
-                    EvalStats& stats, CompiledQueryPtr compiled = nullptr);
+                    EvalStats& stats, CompiledQueryPtr compiled = nullptr,
+                    GraphIndexPtr index = nullptr);
 
 /// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateQlen(const GraphDb& graph, const Query& query,

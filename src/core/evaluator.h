@@ -38,6 +38,7 @@
 #include "core/result_sink.h"
 #include "core/stats.h"
 #include "graph/graph.h"
+#include "graph/index.h"
 #include "query/analysis.h"
 #include "query/ast.h"
 #include "solver/parikh.h"
@@ -66,6 +67,12 @@ struct EvalOptions {
 
   /// Semi-join reduction before enumeration on acyclic queries (kCrpq).
   bool use_semijoin_reduction = true;
+
+  /// Evaluate against a CSR GraphIndex (label-sliced frontier expansion,
+  /// degree-ordered seeding). Engines build one per run when the caller
+  /// supplies none; Database shares a cached index across executions.
+  /// Off = the pre-index adjacency-scan path (benchmark baseline).
+  bool use_graph_index = true;
 
   /// Build Prop 5.2 answer automata for head path variables.
   bool build_path_answers = true;
@@ -133,6 +140,17 @@ class Evaluator {
   explicit Evaluator(const GraphDb* graph, EvalOptions options = {})
       : graph_(graph), options_(options) {}
 
+  /// Attaches a prebuilt CSR index for `graph` (api::Database shares its
+  /// cached one this way). Without it, the evaluator builds one lazily on
+  /// the first Evaluate call when options().use_graph_index is set and
+  /// reuses it afterwards; a snapshot whose node/edge/label counters no
+  /// longer match the graph is rebuilt automatically (GraphDb is
+  /// append-only, so the counters detect every mutation). Not
+  /// thread-safe: concurrent Evaluate calls on one Evaluator race on the
+  /// cached index.
+  void set_graph_index(GraphIndexPtr index) { index_ = std::move(index); }
+  const GraphIndexPtr& graph_index() const { return index_; }
+
   /// Materializing evaluation: full sorted answer set.
   Result<QueryResult> Evaluate(const Query& query) const;
 
@@ -149,6 +167,7 @@ class Evaluator {
  private:
   const GraphDb* graph_;
   EvalOptions options_;
+  mutable GraphIndexPtr index_;  // lazily built snapshot, see above
 };
 
 }  // namespace ecrpq

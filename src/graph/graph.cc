@@ -16,6 +16,10 @@ NodeId GraphDb::AddNode() {
 }
 
 NodeId GraphDb::AddNode(std::string_view name) {
+  // An empty name is not a name: fall through to an anonymous node
+  // instead of interning "" (which would collapse every such node into
+  // one and break text-format round-trips).
+  if (name.empty()) return AddNode();
   auto it = name_index_.find(std::string(name));
   if (it != name_index_.end()) return it->second;
   NodeId id = AddNode();

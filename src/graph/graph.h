@@ -48,7 +48,7 @@ class GraphDb {
   NodeId AddNode();
 
   /// Adds a named node (names must be unique; returns existing id if the
-  /// name is already present).
+  /// name is already present). An empty name adds an anonymous node.
   NodeId AddNode(std::string_view name);
 
   /// Looks up a node by name.

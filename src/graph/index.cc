@@ -1,0 +1,81 @@
+#include "graph/index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ecrpq {
+
+namespace {
+
+void BuildCsr(const GraphDb& graph, bool out_side,
+              std::vector<int32_t>* offsets, std::vector<Symbol>* labels,
+              std::vector<NodeId>* targets, std::vector<uint64_t>* masks) {
+  const int n = graph.num_nodes();
+  offsets->assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& adj = out_side ? graph.Out(v) : graph.In(v);
+    (*offsets)[v + 1] = (*offsets)[v] + static_cast<int32_t>(adj.size());
+  }
+  const int e = (*offsets)[n];
+  labels->resize(e);
+  targets->resize(e);
+  masks->assign(n, 0);
+  // Sort each node's range by (label, target). The per-node ranges are
+  // independent; a simple index sort per node keeps this O(E log d).
+  std::vector<int> perm;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& adj = out_side ? graph.Out(v) : graph.In(v);
+    perm.resize(adj.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](int a, int b) {
+      return adj[a] < adj[b];
+    });
+    int32_t base = (*offsets)[v];
+    for (size_t i = 0; i < adj.size(); ++i) {
+      const auto& [label, other] = adj[perm[i]];
+      (*labels)[base + i] = label;
+      (*targets)[base + i] = other;
+      (*masks)[v] |= 1ULL << std::min<Symbol>(label, 63);
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph) {
+  auto index = std::shared_ptr<GraphIndex>(new GraphIndex());
+  index->num_nodes_ = graph.num_nodes();
+  index->num_edges_ = graph.num_edges();
+  index->num_labels_ = graph.alphabet().size();
+
+  BuildCsr(graph, /*out_side=*/true, &index->out_offsets_,
+           &index->out_labels_, &index->out_targets_,
+           &index->out_label_mask_);
+  BuildCsr(graph, /*out_side=*/false, &index->in_offsets_,
+           &index->in_labels_, &index->in_targets_, &index->in_label_mask_);
+
+  index->label_counts_.assign(std::max(index->num_labels_, 1), 0);
+  for (Symbol label : index->out_labels_) ++index->label_counts_[label];
+
+  index->by_degree_.resize(index->num_nodes_);
+  std::iota(index->by_degree_.begin(), index->by_degree_.end(), 0);
+  std::stable_sort(index->by_degree_.begin(), index->by_degree_.end(),
+                   [&](NodeId a, NodeId b) {
+                     return index->out_degree(a) + index->in_degree(a) >
+                            index->out_degree(b) + index->in_degree(b);
+                   });
+  return index;
+}
+
+std::span<const NodeId> GraphIndex::Slice(const std::vector<int32_t>& offsets,
+                                          const std::vector<Symbol>& labels,
+                                          const std::vector<NodeId>& targets,
+                                          NodeId node, Symbol label) {
+  auto first = labels.begin() + offsets[node];
+  auto last = labels.begin() + offsets[node + 1];
+  auto [lo, hi] = std::equal_range(first, last, label);
+  return {targets.data() + (lo - labels.begin()),
+          targets.data() + (hi - labels.begin())};
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,126 @@
+// Sealed CSR label index over a GraphDb — the evaluation hot-path view.
+//
+// Theorem 6.1's NLOGSPACE data-complexity argument works on-the-fly: a
+// product configuration holds one graph node per path variable plus one
+// NFA state-set per relation, and a step only needs the edges of those
+// nodes *restricted to the letters the relation states can currently
+// read*. GraphDb's adjacency (one unsorted (label, target) vector per
+// node) forces every step to scan a node's full out-list even when the
+// live letter set is a fraction of the alphabet. GraphIndex realizes the
+// restricted-edge access the theorem assumes:
+//
+//   * out- and in-edges in CSR form (one offsets array, one labels array,
+//     one targets array), sorted by (node, label, target) — the
+//     per-(node, label) successor set is a contiguous slice found by
+//     binary search inside the node's range;
+//   * a per-node label bitmask (alphabets here are small) so a frontier
+//     expansion can intersect "letters the automaton can read" with
+//     "letters this node has" in one AND before touching edge memory;
+//   * per-label edge counts (selectivity, used by planners/benches) and a
+//     degree-descending node permutation for frontier seeding: start-node
+//     enumeration visits high-degree nodes first, which reaches accepting
+//     configurations sooner under early termination (LIMIT / EXISTS).
+//
+// An index is an immutable snapshot: it is built from a GraphDb once and
+// never mutated. Database (src/api) caches one per graph version and
+// drops it on mutation; engines fall back to GraphDb scans when no index
+// is supplied (EvalOptions::use_graph_index = false).
+
+#ifndef ECRPQ_GRAPH_INDEX_H_
+#define ECRPQ_GRAPH_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ecrpq {
+
+class GraphIndex {
+ public:
+  /// Builds the sealed index (CSR arrays, masks, counts, permutation)
+  /// from the current state of `graph`.
+  static std::shared_ptr<const GraphIndex> Build(const GraphDb& graph);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return num_edges_; }
+  /// Alphabet size at build time (the snapshot's label universe).
+  int num_labels() const { return num_labels_; }
+
+  /// Targets of `node`'s out-edges labeled `label` (a contiguous,
+  /// ascending slice; empty when the node has no such edge).
+  std::span<const NodeId> Out(NodeId node, Symbol label) const {
+    return Slice(out_offsets_, out_labels_, out_targets_, node, label);
+  }
+  /// Sources of `node`'s in-edges labeled `label`.
+  std::span<const NodeId> In(NodeId node, Symbol label) const {
+    return Slice(in_offsets_, in_labels_, in_targets_, node, label);
+  }
+
+  /// All out-edge labels/targets of `node`, sorted by label (parallel
+  /// spans of equal length).
+  std::span<const Symbol> OutLabels(NodeId node) const {
+    return {out_labels_.data() + out_offsets_[node],
+            out_labels_.data() + out_offsets_[node + 1]};
+  }
+  std::span<const NodeId> OutTargets(NodeId node) const {
+    return {out_targets_.data() + out_offsets_[node],
+            out_targets_.data() + out_offsets_[node + 1]};
+  }
+  std::span<const Symbol> InLabels(NodeId node) const {
+    return {in_labels_.data() + in_offsets_[node],
+            in_labels_.data() + in_offsets_[node + 1]};
+  }
+  std::span<const NodeId> InSources(NodeId node) const {
+    return {in_targets_.data() + in_offsets_[node],
+            in_targets_.data() + in_offsets_[node + 1]};
+  }
+
+  /// Bit `l` set iff `node` has an out-edge labeled `l` (labels >= 63
+  /// collapse into bit 63; exact when num_labels() <= 63, which covers
+  /// every workload here — callers must treat bit 63 as "maybe").
+  uint64_t OutLabelMask(NodeId node) const { return out_label_mask_[node]; }
+  uint64_t InLabelMask(NodeId node) const { return in_label_mask_[node]; }
+
+  int out_degree(NodeId node) const {
+    return out_offsets_[node + 1] - out_offsets_[node];
+  }
+  int in_degree(NodeId node) const {
+    return in_offsets_[node + 1] - in_offsets_[node];
+  }
+
+  /// Total number of edges carrying `label`.
+  int64_t LabelCount(Symbol label) const { return label_counts_[label]; }
+
+  /// Every node exactly once, by descending (out + in) degree; ties by
+  /// ascending id. Frontier seeding order.
+  const std::vector<NodeId>& NodesByDegree() const { return by_degree_; }
+
+ private:
+  GraphIndex() = default;
+
+  static std::span<const NodeId> Slice(const std::vector<int32_t>& offsets,
+                                       const std::vector<Symbol>& labels,
+                                       const std::vector<NodeId>& targets,
+                                       NodeId node, Symbol label);
+
+  int num_nodes_ = 0;
+  int num_edges_ = 0;
+  int num_labels_ = 0;
+  // CSR triples: offsets (num_nodes + 1), labels/targets (num_edges),
+  // sorted by (node, label, target).
+  std::vector<int32_t> out_offsets_, in_offsets_;
+  std::vector<Symbol> out_labels_, in_labels_;
+  std::vector<NodeId> out_targets_, in_targets_;
+  std::vector<uint64_t> out_label_mask_, in_label_mask_;
+  std::vector<int64_t> label_counts_;
+  std::vector<NodeId> by_degree_;
+};
+
+using GraphIndexPtr = std::shared_ptr<const GraphIndex>;
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_GRAPH_INDEX_H_

@@ -1,6 +1,8 @@
 #include "graph/io.h"
 
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace ecrpq {
@@ -33,6 +35,12 @@ Result<GraphDb> ParseGraphText(std::string_view text, AlphabetPtr alphabet) {
                                        ": expected 'node <name>'");
       }
       graph.AddNode(tokens[1]);
+    } else if (tokens[0] == "label") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'label <name>'");
+      }
+      alphabet->Intern(tokens[1]);
     } else if (tokens[0] == "edge") {
       if (tokens.size() != 4) {
         return Status::InvalidArgument(
@@ -52,14 +60,38 @@ Result<GraphDb> ParseGraphText(std::string_view text, AlphabetPtr alphabet) {
 }
 
 std::string GraphToText(const GraphDb& graph) {
-  std::string out;
+  // Anonymous nodes have no stored name; they are exported under their
+  // "n<id>" display name. When a *named* node already owns that string,
+  // reusing it verbatim would merge the two nodes on re-import, so the
+  // synthetic name is disambiguated with trailing underscores.
+  std::vector<std::string> display(graph.num_nodes());
+  std::unordered_set<std::string> used;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    out += "node " + graph.NodeName(v) + "\n";
+    std::string name = graph.NodeName(v);
+    if (graph.FindNode(name) == v) {  // truly named node
+      display[v] = std::move(name);
+      used.insert(display[v]);
+    }
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (!display[v].empty()) continue;
+    std::string name = graph.NodeName(v);
+    while (used.count(name) > 0) name += "_";
+    display[v] = std::move(name);
+    used.insert(display[v]);
+  }
+
+  std::string out;
+  for (Symbol a = 0; a < graph.alphabet().size(); ++a) {
+    out += "label " + graph.alphabet().Label(a) + "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out += "node " + display[v] + "\n";
   }
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     for (const auto& [label, to] : graph.Out(v)) {
-      out += "edge " + graph.NodeName(v) + " " +
-             graph.alphabet().Label(label) + " " + graph.NodeName(to) + "\n";
+      out += "edge " + display[v] + " " + graph.alphabet().Label(label) +
+             " " + display[to] + "\n";
     }
   }
   return out;

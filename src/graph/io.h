@@ -1,8 +1,13 @@
 // Textual import/export for graph databases.
 //
 // Text format (one directive per line, '#' comments):
-//   node <name>
+//   label <name>                 (declares an alphabet symbol; optional)
 //   edge <from> <label> <to>     (nodes are auto-created)
+//   node <name>
+// Symbol ids are assigned in interning order, so `label` directives pin
+// the id of every symbol — including ones no edge uses — making
+// GraphToText → ParseGraphText preserve symbol ids exactly. Files without
+// `label` lines still parse; their symbols are numbered by first edge use.
 // DOT export is provided for visual inspection of small graphs.
 
 #ifndef ECRPQ_GRAPH_IO_H_
@@ -21,8 +26,12 @@ namespace ecrpq {
 Result<GraphDb> ParseGraphText(std::string_view text,
                                AlphabetPtr alphabet = nullptr);
 
-/// Serializes to the line-oriented text format (round-trips with
-/// ParseGraphText up to node order).
+/// Serializes to the line-oriented text format. Round-trips with
+/// ParseGraphText: node names, the edge multiset, and alphabet symbol
+/// ids (via `label` directives in id order) are all preserved.
+/// Anonymous nodes materialize as their "n<id>" display names —
+/// disambiguated with trailing underscores if a named node owns that
+/// string, so distinct nodes never merge on re-import.
 std::string GraphToText(const GraphDb& graph);
 
 /// Graphviz DOT rendering.

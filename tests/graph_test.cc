@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <tuple>
+
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/path.h"
@@ -140,6 +144,75 @@ TEST(GraphIo, TextRoundTrip) {
   EXPECT_TRUE(parsed.value().HasEdge(*parsed.value().FindNode("A"),
                                      *parsed.value().alphabet().Find("x"),
                                      *parsed.value().FindNode("B")));
+}
+
+TEST(GraphDb, EmptyNameAddsAnonymousNode) {
+  GraphDb g;
+  NodeId a = g.AddNode("");
+  NodeId b = g.AddNode("");
+  EXPECT_NE(a, b);  // empty names must not dedupe into one node
+  EXPECT_EQ(g.FindNode(""), std::nullopt);
+}
+
+// GraphToText → ParseGraphText must preserve node names, the edge
+// multiset, and alphabet symbol ids — including symbols no edge carries
+// and symbols whose first edge use disagrees with interning order.
+TEST(GraphIo, RoundTripPreservesNamesEdgesAndSymbolIds) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c"});  // "a" stays unused
+  GraphDb g(alphabet);
+  NodeId ann = g.AddNode("ann");
+  NodeId anon = g.AddNode();
+  NodeId bob = g.AddNode("bob");
+  g.AddEdge(ann, "c", bob);  // first used label is id 2
+  g.AddEdge(bob, "b", anon);
+  g.AddEdge(ann, "c", bob);  // duplicate edge: multiset, not set
+
+  auto parsed = ParseGraphText(GraphToText(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const GraphDb& h = parsed.value();
+
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  ASSERT_EQ(h.alphabet().size(), g.alphabet().size());
+  for (Symbol s = 0; s < g.alphabet().size(); ++s) {
+    EXPECT_EQ(h.alphabet().Label(s), g.alphabet().Label(s)) << s;
+  }
+  // Node names survive (anonymous nodes materialize as "n<id>").
+  std::multiset<std::string> g_names, h_names;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) g_names.insert(g.NodeName(v));
+  for (NodeId v = 0; v < h.num_nodes(); ++v) h_names.insert(h.NodeName(v));
+  EXPECT_EQ(g_names, h_names);
+  // Edge multiset over (from name, symbol id, to name).
+  auto edge_multiset = [](const GraphDb& db) {
+    std::multiset<std::tuple<std::string, Symbol, std::string>> edges;
+    for (NodeId v = 0; v < db.num_nodes(); ++v) {
+      for (const auto& [label, to] : db.Out(v)) {
+        edges.insert({db.NodeName(v), label, db.NodeName(to)});
+      }
+    }
+    return edges;
+  };
+  EXPECT_EQ(edge_multiset(g), edge_multiset(h));
+}
+
+// A named node that owns an anonymous node's "n<id>" display name must
+// not merge with it on re-import.
+TEST(GraphIo, RoundTripAnonymousNameCollision) {
+  GraphDb g;
+  NodeId anon = g.AddNode();           // displays as "n0"
+  NodeId named = g.AddNode("n0");      // literally named "n0"
+  g.AddEdge(anon, "x", named);
+  auto parsed = ParseGraphText(GraphToText(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_nodes(), 2);
+  EXPECT_EQ(parsed.value().num_edges(), 1);
+  // The named node keeps its name; the anonymous one was disambiguated.
+  ASSERT_TRUE(parsed.value().FindNode("n0").has_value());
+  ASSERT_TRUE(parsed.value().FindNode("n0_").has_value());
+  NodeId renamed = *parsed.value().FindNode("n0_");
+  EXPECT_TRUE(parsed.value().HasEdge(
+      renamed, *parsed.value().alphabet().Find("x"),
+      *parsed.value().FindNode("n0")));
 }
 
 TEST(GraphIo, ParseErrorsAndComments) {
