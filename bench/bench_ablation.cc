@@ -27,13 +27,21 @@ void BM_Ablation_ComponentDecomposition(benchmark::State& state) {
   options.max_configs = 100000000;
   options.use_components = (state.range(0) == 1);
   uint64_t configs = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = EvaluateProduct(g, query, options);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     configs = result.value().stats().configs_explored;
   }
   state.SetLabel(state.range(0) == 1 ? "components-on" : "components-off");
   state.counters["configs"] = static_cast<double>(configs);
+  RecordBenchCase(std::string("Ablation_ComponentDecomposition/") +
+                      (state.range(0) == 1 ? "on" : "off"),
+                  timer,
+                  {{"configs", static_cast<double>(configs)},
+                   {"nodes", static_cast<double>(g.num_nodes())}});
 }
 BENCHMARK(BM_Ablation_ComponentDecomposition)
     ->Arg(1)
@@ -50,13 +58,22 @@ void BM_Ablation_CrpqFastPathVsProduct(benchmark::State& state) {
   options.max_configs = 100000000;
   options.engine = (state.range(0) == 1) ? Engine::kCrpq : Engine::kProduct;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.SetLabel(state.range(0) == 1 ? "crpq-fast-path" : "product-engine");
   state.counters["nodes"] = static_cast<double>(state.range(1));
+  RecordBenchCase(std::string("Ablation_CrpqVsProduct/") +
+                      (state.range(0) == 1 ? "crpq" : "product") + "/" +
+                      std::to_string(state.range(1)),
+                  timer,
+                  {{"nodes", static_cast<double>(state.range(1))},
+                   {"edges", static_cast<double>(g.num_edges())}});
 }
 BENCHMARK(BM_Ablation_CrpqFastPathVsProduct)
     ->Args({1, 16})
@@ -73,7 +90,9 @@ void BM_Ablation_MaterializedJoinedRelation(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   int states = 0;
   int transitions = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     RegularRelation joined = UniversalRelation(2, m);
     for (int i = 0; i + 1 < m; ++i) {
       auto lifted =
@@ -82,6 +101,7 @@ void BM_Ablation_MaterializedJoinedRelation(benchmark::State& state) {
     }
     states = joined.nfa().num_states();
     transitions = joined.nfa().num_transitions();
+    timer.End();
     benchmark::DoNotOptimize(transitions);
   }
   state.counters["tracks"] = static_cast<double>(m);
@@ -89,6 +109,10 @@ void BM_Ablation_MaterializedJoinedRelation(benchmark::State& state) {
   // The blowup (Lemma 6.4) lives in the tuple alphabet: transitions grow
   // as |Σ|^m even when the state count stays small.
   state.counters["A_Q_transitions"] = static_cast<double>(transitions);
+  RecordBenchCase("Ablation_MaterializedAQ/" + std::to_string(m), timer,
+                  {{"tracks", static_cast<double>(m)},
+                   {"states", static_cast<double>(states)},
+                   {"transitions", static_cast<double>(transitions)}});
 }
 BENCHMARK(BM_Ablation_MaterializedJoinedRelation)
     ->DenseRange(2, 5)

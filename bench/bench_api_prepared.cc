@@ -33,11 +33,14 @@ EvalOptions BenchOptions() {
 
 // The pre-facade pattern: every call pays registry construction, parse,
 // optimization, and compilation before evaluating.
-void ParsePerCall(benchmark::State& state, const char* text) {
+void ParsePerCall(benchmark::State& state, const char* text,
+                  const char* case_name) {
   GraphDb g = MakeLayeredGraph(static_cast<int>(state.range(0)));
   Evaluator evaluator(&g, BenchOptions());
   size_t answers = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     RelationRegistry registry = RelationRegistry::Default();
     auto query = ParseQuery(text, g.alphabet(), registry);
     if (!query.ok()) {
@@ -55,12 +58,18 @@ void ParsePerCall(benchmark::State& state, const char* text) {
       break;
     }
     answers = result.value().tuples().size();
+    timer.End();
   }
   state.counters["answers"] = static_cast<double>(answers);
+  RecordBenchCase(std::string("ApiPrepared_") + case_name + "/parse-per-call/" +
+                      std::to_string(state.range(0)),
+                  timer, {{"nodes", static_cast<double>(g.num_nodes())},
+                          {"answers", static_cast<double>(answers)}});
 }
 
 // The facade pattern: Prepare once, execute per iteration.
-void PreparedReexecute(benchmark::State& state, const char* text) {
+void PreparedReexecute(benchmark::State& state, const char* text,
+                       const char* case_name) {
   DatabaseOptions options;
   options.eval = BenchOptions();
   Database db(MakeLayeredGraph(static_cast<int>(state.range(0))), options);
@@ -70,8 +79,11 @@ void PreparedReexecute(benchmark::State& state, const char* text) {
     return;
   }
   size_t answers = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = prepared.value().ExecuteAll();
+    timer.End();
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
@@ -79,25 +91,29 @@ void PreparedReexecute(benchmark::State& state, const char* text) {
     answers = result.value().tuples().size();
   }
   state.counters["answers"] = static_cast<double>(answers);
+  RecordBenchCase(std::string("ApiPrepared_") + case_name + "/prepared/" +
+                      std::to_string(state.range(0)),
+                  timer, {{"nodes", static_cast<double>(db.graph().num_nodes())},
+                          {"answers", static_cast<double>(answers)}});
 }
 
 void BM_Fig1a_CRPQ_ParsePerCall(benchmark::State& state) {
-  ParsePerCall(state, kCrpqText);
+  ParsePerCall(state, kCrpqText, "CRPQ");
 }
 void BM_Fig1a_CRPQ_Prepared(benchmark::State& state) {
-  PreparedReexecute(state, kCrpqText);
+  PreparedReexecute(state, kCrpqText, "CRPQ");
 }
 void BM_Fig1a_ECRPQ_ParsePerCall(benchmark::State& state) {
-  ParsePerCall(state, kEcrpqText);
+  ParsePerCall(state, kEcrpqText, "ECRPQ");
 }
 void BM_Fig1a_ECRPQ_Prepared(benchmark::State& state) {
-  PreparedReexecute(state, kEcrpqText);
+  PreparedReexecute(state, kEcrpqText, "ECRPQ");
 }
 void BM_Fig1a_Edit2_ParsePerCall(benchmark::State& state) {
-  ParsePerCall(state, kEditText);
+  ParsePerCall(state, kEditText, "Edit2");
 }
 void BM_Fig1a_Edit2_Prepared(benchmark::State& state) {
-  PreparedReexecute(state, kEditText);
+  PreparedReexecute(state, kEditText, "Edit2");
 }
 
 BENCHMARK(BM_Fig1a_CRPQ_ParsePerCall)->Arg(64)->Arg(128)

@@ -16,13 +16,19 @@ using namespace ecrpq_bench;
 void BM_EditDist_RelationConstruction(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   int states = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     RegularRelation rel = EditDistanceAtMostRelation(4, k);
+    timer.End();
     states = rel.nfa().num_states();
     benchmark::DoNotOptimize(states);
   }
   state.counters["k"] = static_cast<double>(k);
   state.counters["automaton_states"] = static_cast<double>(states);
+  RecordBenchCase("EditDist_RelationConstruction/" + std::to_string(k), timer,
+                  {{"k", static_cast<double>(k)},
+                   {"states", static_cast<double>(states)}});
 }
 BENCHMARK(BM_EditDist_RelationConstruction)
     ->DenseRange(1, 3)
@@ -49,12 +55,18 @@ void BM_EditDist_AlignmentQuery(benchmark::State& state) {
   options.build_path_answers = false;
   options.max_configs = 100000000;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["sequence_len"] = static_cast<double>(n);
+  RecordBenchCase("EditDist_AlignmentQuery/" + std::to_string(n), timer,
+                  {{"sequence_len", static_cast<double>(n)},
+                   {"nodes", static_cast<double>(g.num_nodes())}});
 }
 BENCHMARK(BM_EditDist_AlignmentQuery)
     ->Arg(4)
@@ -71,10 +83,15 @@ void BM_EditDist_DpBaseline(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Word x = RandomDna(alphabet, n, &rng);
   Word y = MutateWord(alphabet, x, 2, &rng);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     benchmark::DoNotOptimize(EditDistance(x, y));
+    timer.End();
   }
   state.counters["sequence_len"] = static_cast<double>(n);
+  RecordBenchCase("EditDist_DpBaseline/" + std::to_string(n), timer,
+                  {{"sequence_len", static_cast<double>(n)}});
 }
 BENCHMARK(BM_EditDist_DpBaseline)
     ->Arg(4)

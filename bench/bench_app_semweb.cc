@@ -38,13 +38,22 @@ void BM_SemWeb_RhoIsoAssociation(benchmark::State& state) {
   options.max_configs = 100000000;
   Evaluator evaluator(&g, options);
   uint64_t configs = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query.value());
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     configs = result.value().stats().configs_explored;
   }
   state.counters["resources"] = static_cast<double>(state.range(0));
   state.counters["configs"] = static_cast<double>(configs);
+  RecordBenchCase("SemWeb_RhoIsoAssociation/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"resources", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())},
+                   {"configs", static_cast<double>(configs)}});
 }
 BENCHMARK(BM_SemWeb_RhoIsoAssociation)
     ->Arg(4)
@@ -79,8 +88,11 @@ void BM_SemWeb_PropertySequenceOutput(benchmark::State& state) {
   EvalOptions options;
   options.max_configs = 100000000;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query.value());
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     if (!result.value().tuples().empty()) {
       benchmark::DoNotOptimize(
@@ -88,6 +100,11 @@ void BM_SemWeb_PropertySequenceOutput(benchmark::State& state) {
     }
   }
   state.counters["resources"] = static_cast<double>(state.range(0));
+  RecordBenchCase("SemWeb_PropertySequenceOutput/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"resources", static_cast<double>(state.range(0))},
+                   {"nodes", static_cast<double>(g.num_nodes())}});
 }
 BENCHMARK(BM_SemWeb_PropertySequenceOutput)
     ->Arg(4)

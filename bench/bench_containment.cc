@@ -26,12 +26,17 @@ void BM_Containment_SingleAtomInclusion(benchmark::State& state) {
     state.SkipWithError("parse failed");
     return;
   }
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = SingleAtomContained(q1.value(), q2.value());
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value());
   }
   state.counters["block"] = static_cast<double>(n);
+  RecordBenchCase("Containment_SingleAtomInclusion/" + std::to_string(n),
+                  timer, {{"block", static_cast<double>(n)}});
 }
 BENCHMARK(BM_Containment_SingleAtomInclusion)
     ->Arg(1)
@@ -53,13 +58,20 @@ void BM_Containment_BoundedCanonicalSearch(benchmark::State& state) {
   ContainmentOptions options;
   options.max_word_length = static_cast<int>(state.range(0));
   options.max_candidates = 2000;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = CheckContainmentBounded(q.value(), q_prime.value(),
                                           options);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().verdict);
   }
   state.counters["word_bound"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Containment_BoundedCanonicalSearch/" +
+                      std::to_string(state.range(0)),
+                  timer,
+                  {{"word_bound", static_cast<double>(state.range(0))}});
 }
 BENCHMARK(BM_Containment_BoundedCanonicalSearch)
     ->DenseRange(2, 8, 2)

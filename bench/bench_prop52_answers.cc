@@ -22,8 +22,11 @@ void BM_Prop52_BuildAnswerAutomaton(benchmark::State& state) {
   EvalOptions options;
   options.max_configs = 50000000;
   int states = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto answers = BuildPathAnswerSet(g, query, options, {0, 1});
+    timer.End();
     if (!answers.ok()) {
       state.SkipWithError(answers.status().ToString().c_str());
       break;
@@ -33,6 +36,11 @@ void BM_Prop52_BuildAnswerAutomaton(benchmark::State& state) {
   }
   state.counters["edges"] = g.num_edges();
   state.counters["automaton_states"] = static_cast<double>(states);
+  RecordBenchCase("Prop52_BuildAnswerAutomaton/" + std::to_string(nodes),
+                  timer,
+                  {{"nodes", static_cast<double>(nodes)},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"states", static_cast<double>(states)}});
 }
 BENCHMARK(BM_Prop52_BuildAnswerAutomaton)
     ->Arg(8)
@@ -56,12 +64,17 @@ void BM_Prop52_CountAndEnumerate(benchmark::State& state) {
   }
   const PathAnswerSet& answers = result.value().path_answers(0);
   const int max_len = static_cast<int>(state.range(0));
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     benchmark::DoNotOptimize(answers.IsInfinite());
     benchmark::DoNotOptimize(answers.CountTuples(max_len));
     benchmark::DoNotOptimize(answers.Enumerate(16, max_len).size());
+    timer.End();
   }
   state.counters["max_len"] = static_cast<double>(max_len);
+  RecordBenchCase("Prop52_CountAndEnumerate/" + std::to_string(max_len),
+                  timer, {{"max_len", static_cast<double>(max_len)}});
 }
 BENCHMARK(BM_Prop52_CountAndEnumerate)
     ->Arg(6)

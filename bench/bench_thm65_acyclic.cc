@@ -19,12 +19,17 @@ void BM_Thm65_AcyclicCrpqChains(benchmark::State& state) {
   EvalOptions options;
   options.build_path_answers = false;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.counters["atoms"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Thm65_AcyclicCrpqChains/" + std::to_string(state.range(0)),
+                  timer, {{"atoms", static_cast<double>(state.range(0))}});
 }
 BENCHMARK(BM_Thm65_AcyclicCrpqChains)
     ->DenseRange(2, 10, 2)
@@ -41,12 +46,18 @@ void BM_Thm65_AcyclicEcrpqRei(benchmark::State& state) {
   options.max_configs = 100000000;
   options.engine = Engine::kProduct;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["expressions"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Thm65_AcyclicEcrpqRei/" + std::to_string(state.range(0)),
+                  timer,
+                  {{"expressions", static_cast<double>(state.range(0))}});
 }
 BENCHMARK(BM_Thm65_AcyclicEcrpqRei)
     ->DenseRange(1, 4)
@@ -71,12 +82,18 @@ void BM_Thm65_SemijoinAblation(benchmark::State& state) {
   options.build_path_answers = false;
   options.use_semijoin_reduction = (state.range(0) == 1);
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().tuples().size());
   }
   state.SetLabel(state.range(0) == 1 ? "semijoin-on" : "semijoin-off");
+  RecordBenchCase(std::string("Thm65_SemijoinAblation/") +
+                      (state.range(0) == 1 ? "on" : "off"),
+                  timer, {{"branches", 5.0}});
 }
 BENCHMARK(BM_Thm65_SemijoinAblation)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);

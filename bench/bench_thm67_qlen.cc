@@ -23,12 +23,17 @@ void BM_Thm67_ExactRei(benchmark::State& state) {
   options.max_configs = 100000000;
   options.engine = Engine::kProduct;
   Evaluator evaluator(&g, options);
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = evaluator.Evaluate(query);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["expressions"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Thm67_ExactRei/" + std::to_string(state.range(0)), timer,
+                  {{"expressions", static_cast<double>(state.range(0))}});
 }
 BENCHMARK(BM_Thm67_ExactRei)->DenseRange(1, 4)->Unit(
     benchmark::kMillisecond);
@@ -40,12 +45,17 @@ void BM_Thm67_QlenRei(benchmark::State& state) {
   EvalOptions options;
   options.build_path_answers = false;
   options.max_configs = 100000000;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     auto result = EvaluateQlen(g, query, options);
+    timer.End();
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
     benchmark::DoNotOptimize(result.value().AsBool());
   }
   state.counters["expressions"] = static_cast<double>(state.range(0));
+  RecordBenchCase("Thm67_QlenRei/" + std::to_string(state.range(0)), timer,
+                  {{"expressions", static_cast<double>(state.range(0))}});
 }
 BENCHMARK(BM_Thm67_QlenRei)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 
@@ -57,13 +67,21 @@ void BM_Thm67_ChrobakDecomposition(benchmark::State& state) {
   GraphDb g = RandomGraph(alphabet, static_cast<int>(state.range(0)),
                           2 * static_cast<int>(state.range(0)), &rng);
   size_t progressions = 0;
+  MedianTimer timer;
   for (auto _ : state) {
+    timer.Begin();
     SemilinearSet1D set = PathLengthSet(g, 0, g.num_nodes() - 1);
+    timer.End();
     progressions = set.progressions().size();
     benchmark::DoNotOptimize(progressions);
   }
   state.counters["nodes"] = g.num_nodes();
   state.counters["progressions"] = static_cast<double>(progressions);
+  RecordBenchCase("Thm67_ChrobakDecomposition/" +
+                      std::to_string(state.range(0)),
+                  timer, {{"nodes", static_cast<double>(g.num_nodes())},
+                          {"progressions",
+                           static_cast<double>(progressions)}});
 }
 BENCHMARK(BM_Thm67_ChrobakDecomposition)
     ->Arg(8)

@@ -89,7 +89,12 @@ class BenchResultLog {
   ~BenchResultLog() {
     if (entries_.empty()) return;
     WriteJson();
-    PrintIndexedVsScan();
+    // Twin-case comparisons measured by the bench itself: the CSR index
+    // vs. the adjacency scan, and the cost-based planner vs. the legacy
+    // and monolithic execution modes (bench_planner_join).
+    PrintTwinSpeedups("/indexed", "/scan", "indexed-vs-scan");
+    PrintTwinSpeedups("/planned", "/monolithic", "planned-vs-monolithic");
+    PrintTwinSpeedups("/planned", "/legacy", "planned-vs-legacy");
   }
 
  private:
@@ -133,18 +138,21 @@ class BenchResultLog {
                  entries_.size());
   }
 
-  void PrintIndexedVsScan() const {
+  // Prints `fast` vs `slow` medians for every case pair differing only in
+  // that path segment (e.g. ".../indexed/4" against ".../scan/4").
+  void PrintTwinSpeedups(const std::string& fast, const std::string& slow,
+                         const char* tag) const {
     for (const Entry& e : entries_) {
-      size_t pos = e.name.find("/indexed");
+      size_t pos = e.name.find(fast);
       if (pos == std::string::npos) continue;
       std::string twin = e.name;
-      twin.replace(pos, 8, "/scan");
+      twin.replace(pos, fast.size(), slow);
       for (const Entry& s : entries_) {
         if (s.name != twin || e.median_ns <= 0.0) continue;
         std::fprintf(stderr,
-                     "[indexed-vs-scan] %s: indexed %.3f ms, scan %.3f ms, "
-                     "speedup %.2fx\n",
-                     e.name.c_str(), e.median_ns / 1e6, s.median_ns / 1e6,
+                     "[%s] %s: %s %.3f ms, %s %.3f ms, speedup %.2fx\n",
+                     tag, e.name.c_str(), fast.c_str() + 1,
+                     e.median_ns / 1e6, slow.c_str() + 1, s.median_ns / 1e6,
                      s.median_ns / e.median_ns);
       }
     }

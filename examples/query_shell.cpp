@@ -5,6 +5,7 @@
 //   $ ./query_shell graph.txt
 //   ecrpq> Ans(x, y) <- (x, p, y), 'advisor'+(p)
 //   ecrpq> Ans(p) <- ("ann", p, "leo"), .*(p)
+//   ecrpq> explain Ans(x, y) <- (x, p, y), 'advisor'+(p)
 //   ecrpq> :graph        # show the loaded graph
 //   ecrpq> :cache        # plan-cache hit/miss counters
 //   ecrpq> :quit
@@ -129,9 +130,19 @@ int main(int argc, char** argv) {
                    "  Ans() <- (x, p, z), (z, q, y), eq(p, q) ECRPQ\n"
                    "  Ans() <- (x, p, y), len(p) >= 3         counting\n"
                    "  Ans(y) <- ($s, p, y), a*(p)             $parameter\n"
+                   "  explain <query>                         show the plan\n"
                    "  built-ins: eq el prefix strict_prefix shorter\n"
                    "             shorter_eq edit1..3 hamming1..3\n"
                    "  :graph :cache :help :quit\n";
+      continue;
+    }
+    if (line.rfind("explain ", 0) == 0) {
+      auto prepared = db.Prepare(line.substr(8));
+      if (!prepared.ok()) {
+        std::cout << "parse error: " << prepared.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << prepared.value().Explain().ToString();
       continue;
     }
     auto prepared = db.Prepare(line);

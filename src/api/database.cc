@@ -24,7 +24,8 @@ Result<PreparedQuery> Database::Prepare(const std::string& text) {
   auto plan = std::make_shared<CompiledPlan>(
       CompiledPlan{text, std::move(optimized.value().query),
                    std::move(optimized.value().report),
-                   std::move(compiled).value()});
+                   std::move(compiled).value(),
+                   /*physical=*/nullptr, /*physical_index=*/{}});
 
   if (options_.plan_cache_capacity > 0) {
     lru_.emplace_front(text, plan);

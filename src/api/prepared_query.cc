@@ -12,6 +12,35 @@ Engine PreparedQuery::engine() const {
                       db_->eval_options().engine);
 }
 
+PhysicalPlanPtr PreparedQuery::plan() const {
+  GraphIndexPtr index = db_->graph_index();  // may lazily (re)build
+  if (plan_->physical == nullptr || plan_->physical_index.lock() != index) {
+    plan_->physical = std::make_shared<PhysicalPlan>(PlanQuery(
+        plan_->query, *plan_->compiled, index.get(), db_->eval_options()));
+    plan_->physical_index = index;
+  }
+  return plan_->physical;
+}
+
+Explanation PreparedQuery::Explain() const {
+  Explanation out;
+  out.plan = plan();
+  out.engine = out.plan->engine;
+  out.engine_name = EngineName(out.engine);
+  out.analysis = plan_->compiled->analysis.Describe();
+  out.plan_text = out.plan->Describe(plan_->query);
+  out.optimizer_report = plan_->optimizer_report;
+  return out;
+}
+
+std::string Explanation::ToString() const {
+  std::string out = plan_text;
+  out += "analysis: " + analysis + "\n";
+  std::string report = optimizer_report.Describe();
+  if (!report.empty()) out += "optimizer: " + report + "\n";
+  return out;
+}
+
 EvalOptions PreparedQuery::EffectiveOptions(const ExecuteOptions& exec) const {
   EvalOptions options = db_->eval_options();
   if (exec.engine.has_value()) options.engine = *exec.engine;
@@ -85,9 +114,14 @@ Result<ResultCursor> PreparedQuery::Execute(const Params& params,
                                             ExecuteOptions exec) const {
   auto bound = BindParams(params);
   if (!bound.ok()) return bound.status();
+  // The cached physical plan is structural (components, ordering,
+  // estimates), so it survives parameter substitution; an engine override
+  // invalidates it for this execution (the engine replans on the fly).
+  PhysicalPlanPtr physical = exec.engine.has_value() ? nullptr : plan();
   return ResultCursor(&db_->graph(), db_->graph_index(),
                       EffectiveOptions(exec), exec.limit,
                       std::move(bound).value(), plan_->compiled,
+                      std::move(physical),
                       plan_->optimizer_report.proven_empty);
 }
 
@@ -101,8 +135,10 @@ Result<QueryResult> PreparedQuery::ExecuteAll(const Params& params) const {
   }
   Evaluator evaluator(&db_->graph(), EffectiveOptions({}));
   evaluator.set_graph_index(db_->graph_index());
+  PhysicalPlanPtr physical = plan();
   return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
-    return evaluator.Evaluate(*bound.value(), sink, stats, plan_->compiled);
+    return evaluator.Evaluate(*bound.value(), sink, stats, plan_->compiled,
+                              physical.get());
   });
 }
 

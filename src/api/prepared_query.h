@@ -23,6 +23,7 @@
 #include "api/result_cursor.h"
 #include "core/eval_product.h"
 #include "core/evaluator.h"
+#include "core/planner.h"
 #include "query/optimizer.h"
 #include "util/status.h"
 
@@ -70,6 +71,27 @@ struct CompiledPlan {
   Query query;                     ///< optimized, validated
   OptimizerReport optimizer_report;
   CompiledQueryPtr compiled;       ///< relation automata + analysis
+
+  // Physical-plan memo: the cost-based operator DAG for this query
+  // against one GraphIndex snapshot. PreparedQuery::plan() fills it and
+  // re-costs when the Database's index snapshot changes (the weak_ptr no
+  // longer locks to the session index — i.e. after any graph mutation).
+  // Mutable: a memoized cost annotation, not plan identity; thread-safety
+  // matches the owning Database (none).
+  mutable PhysicalPlanPtr physical;
+  mutable std::weak_ptr<const GraphIndex> physical_index;
+};
+
+/// The output of PreparedQuery::Explain(): what would run, and why.
+struct Explanation {
+  Engine engine = Engine::kAuto;
+  std::string engine_name;
+  std::string analysis;            ///< QueryAnalysis::Describe()
+  std::string plan_text;           ///< operator tree with estimates
+  OptimizerReport optimizer_report;
+  PhysicalPlanPtr plan;            ///< structured operator DAG
+
+  std::string ToString() const;
 };
 
 class PreparedQuery {
@@ -89,6 +111,18 @@ class PreparedQuery {
 
   /// The engine the session's options resolve to for this plan.
   Engine engine() const;
+
+  /// The cost-based physical plan (core/planner.h) for this query against
+  /// the session's current GraphIndex snapshot. Cached on the shared
+  /// CompiledPlan — every PreparedQuery handle of the same text shares
+  /// one costed plan — and re-costed automatically when the Database
+  /// invalidates its index (graph or relation mutation).
+  PhysicalPlanPtr plan() const;
+
+  /// Explains the execution without running it: chosen engine, operator
+  /// tree with per-component cardinality estimates, structural analysis,
+  /// and the static-optimizer report.
+  Explanation Explain() const;
 
   /// Starts one execution: binds parameters (errors on unbound or unknown
   /// parameters and on unknown nodes) and returns a lazy cursor.

@@ -13,7 +13,8 @@ void ResultCursor::Run(uint64_t limit) {
   }
   Evaluator evaluator(graph_, options_);
   evaluator.set_graph_index(index_);
-  status_ = evaluator.Evaluate(*query_, sink_, stats_, compiled_);
+  status_ = evaluator.Evaluate(*query_, sink_, stats_, compiled_,
+                               plan_.get());
 }
 
 bool ResultCursor::Next() {

@@ -66,13 +66,15 @@ class ResultCursor {
   friend class PreparedQuery;
   ResultCursor(const GraphDb* graph, GraphIndexPtr index, EvalOptions options,
                uint64_t limit, std::shared_ptr<const Query> query,
-               CompiledQueryPtr compiled, bool static_empty)
+               CompiledQueryPtr compiled,
+               std::shared_ptr<const PhysicalPlan> plan, bool static_empty)
       : graph_(graph),
         index_(std::move(index)),
         options_(options),
         limit_(limit),
         query_(std::move(query)),
         compiled_(std::move(compiled)),
+        plan_(std::move(plan)),
         static_empty_(static_empty) {}
 
   void Run(uint64_t limit);
@@ -83,6 +85,7 @@ class ResultCursor {
   uint64_t limit_ = 0;
   std::shared_ptr<const Query> query_;
   CompiledQueryPtr compiled_;
+  std::shared_ptr<const PhysicalPlan> plan_;  // cached operator DAG
   bool static_empty_ = false;
 
   bool ran_ = false;

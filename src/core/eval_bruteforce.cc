@@ -11,8 +11,9 @@ namespace ecrpq {
 
 Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
                                                     const Query& query,
-                                                    int max_len) {
-  auto resolved_or = ResolveQuery(graph, query);
+                                                    int max_len,
+                                                    CompiledQueryPtr compiled) {
+  auto resolved_or = ResolveQuery(graph, query, std::move(compiled));
   if (!resolved_or.ok()) return resolved_or.status();
   const ResolvedQuery& rq = resolved_or.value();
 
@@ -119,8 +120,8 @@ Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
 Status EvaluateBruteForce(const GraphDb& graph, const Query& query,
                           const EvalOptions& options, ResultSink& sink,
                           EvalStats& stats, CompiledQueryPtr compiled) {
-  (void)compiled;  // ground enumeration gains nothing from reuse
-  auto answers = BruteForceAnswers(graph, query, options.bruteforce_max_len);
+  auto answers = BruteForceAnswers(graph, query, options.bruteforce_max_len,
+                                   std::move(compiled));
   if (!answers.ok()) return answers.status();
   stats.engine = "bruteforce";
   std::set<std::vector<NodeId>> tuples;

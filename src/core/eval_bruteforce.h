@@ -20,10 +20,11 @@ struct GroundAnswer {
 };
 
 /// All ground answers with every assigned path of length <= max_len.
-/// Deduplicated, deterministic order.
-Result<std::vector<GroundAnswer>> BruteForceAnswers(const GraphDb& graph,
-                                                    const Query& query,
-                                                    int max_len);
+/// Deduplicated, deterministic order. `compiled` (optional) reuses a
+/// prior CompileQuery result instead of recompiling inside ResolveQuery.
+Result<std::vector<GroundAnswer>> BruteForceAnswers(
+    const GraphDb& graph, const Query& query, int max_len,
+    CompiledQueryPtr compiled = nullptr);
 
 /// Streaming view over BruteForceAnswers (node tuples only; path answers
 /// omitted).

@@ -40,6 +40,14 @@ Status EvaluateCounting(const GraphDb& graph, const Query& query,
   Status failure = Status::OK();
   bool stop = false;
 
+  // The plan's LinearConstraintCheck operator: one ILP feasibility check
+  // per enumerated node assignment σ; its counters are recorded once the
+  // enumeration finishes.
+  OperatorStats check_op;
+  check_op.op = "LinearConstraintCheck";
+  check_op.detail = std::to_string(query.linear_atoms().size()) +
+                    " linear atoms";
+
   std::function<void(int)> enumerate = [&](int var) {
     if (!failure.ok() || stop) return;
     if (var < num_vars) {
@@ -135,12 +143,14 @@ Status EvaluateCounting(const GraphDb& graph, const Query& query,
     stats.ilp_variables = builder.problem().num_variables();
     stats.ilp_constraints = builder.problem().constraints().size();
 
+    ++check_op.rows_in;
     auto solution = builder.Solve();
     if (!solution.ok()) {
       failure = solution.status();
       return;
     }
     if (!solution.value().feasible) return;
+    ++check_op.rows_out;
 
     std::vector<NodeId> head;
     for (const NodeTerm& term : query.head_nodes()) {
@@ -149,6 +159,7 @@ Status EvaluateCounting(const GraphDb& graph, const Query& query,
     if (!emitter.Emit(head)) stop = true;
   };
   enumerate(0);
+  stats.operators.push_back(std::move(check_op));
   if (!failure.ok()) return failure;
   return emitter.status();
 }

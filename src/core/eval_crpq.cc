@@ -31,6 +31,14 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
     const GraphIndex* index) {
+  return ReachabilityPairs(graph, languages, index, /*sources=*/nullptr,
+                           /*scan_stats=*/nullptr);
+}
+
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    ReachabilityScanStats* scan_stats) {
   // Intersect the language NFAs (over the base alphabet).
   Nfa lang = UniverseNfa(graph.alphabet().size());
   for (const RegularRelation* rel : languages) {
@@ -50,15 +58,21 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
   // (start, node) pairs.
   std::vector<StateId> lang_initial = lang.InitialStates();
   const int ls = lang.num_states();
-  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+  const int num_starts =
+      (sources != nullptr) ? static_cast<int>(sources->size())
+                           : graph.num_nodes();
+  for (int s = 0; s < num_starts; ++s) {
+    const NodeId start = (sources != nullptr) ? (*sources)[s] : s;
     std::vector<bool> seen(static_cast<size_t>(ls) * graph.num_nodes(),
                            false);
     std::queue<std::pair<StateId, NodeId>> work;
     std::set<NodeId> ends;
     auto push = [&](StateId q, NodeId v) {
+      if (scan_stats != nullptr) ++scan_stats->frontier_expansions;
       size_t key = static_cast<size_t>(q) * graph.num_nodes() + v;
       if (!seen[key]) {
         seen[key] = true;
+        if (scan_stats != nullptr) ++scan_stats->visited_states;
         work.emplace(q, v);
         if (lang.IsAccepting(q)) ends.insert(v);
       }
@@ -182,7 +196,8 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
 
   stats.engine = "crpq";
 
-  // Build one JoinAtom per path atom with its language intersection.
+  // Build one JoinAtom per path atom with its language intersection —
+  // the per-atom ReachabilityScan leaves of the physical plan.
   std::vector<JoinAtom> atoms(rq.atoms.size());
   for (size_t i = 0; i < rq.atoms.size(); ++i) {
     atoms[i].from = rq.atoms[i].from;
@@ -193,7 +208,10 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
         languages.push_back(rel.relation);
       }
     }
-    atoms[i].pairs = ReachabilityPairs(graph, languages, rq.index.get());
+    ReachabilityScanStats scan_stats;
+    atoms[i].pairs = ReachabilityPairs(graph, languages, rq.index.get(),
+                                       /*sources=*/nullptr, &scan_stats);
+    stats.arcs_explored += scan_stats.frontier_expansions;
     // Constants restrict immediately.
     std::vector<std::pair<NodeId, NodeId>> filtered;
     for (const auto& [u, v] : atoms[i].pairs) {
@@ -207,25 +225,44 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
       filtered.emplace_back(u, v);
     }
     atoms[i].pairs = std::move(filtered);
+    OperatorStats op;
+    op.op = "ReachabilityScan";
+    op.detail = "atom " + std::to_string(i);
+    op.rows_out = atoms[i].pairs.size();
+    op.frontier_expansions = scan_stats.frontier_expansions;
+    op.visited_configs = scan_stats.visited_states;
+    stats.operators.push_back(std::move(op));
     if (atoms[i].pairs.empty()) return Status::OK();  // empty answer
   }
 
   // Semi-join reduction to a fixpoint (Yannakakis on acyclic queries; a
-  // sound filter otherwise).
+  // sound filter otherwise) — the plan's SemiJoinFilter pass.
   if (options.use_semijoin_reduction) {
+    OperatorStats op;
+    op.op = "SemiJoinFilter";
+    op.detail = "fixpoint";
+    for (const JoinAtom& atom : atoms) op.rows_in += atom.pairs.size();
     bool changed = true;
     int rounds = 0;
+    bool emptied = false;
     while (changed && rounds < static_cast<int>(atoms.size()) + 2) {
       changed = false;
       ++rounds;
-      for (size_t i = 0; i < atoms.size(); ++i) {
+      for (size_t i = 0; i < atoms.size() && !emptied; ++i) {
         for (size_t j = 0; j < atoms.size(); ++j) {
           if (i == j) continue;
           if (SemiJoin(&atoms[i], atoms[j])) changed = true;
-          if (atoms[i].pairs.empty()) return Status::OK();
+          if (atoms[i].pairs.empty()) {
+            emptied = true;
+            break;
+          }
         }
       }
+      if (emptied) break;
     }
+    for (const JoinAtom& atom : atoms) op.rows_out += atom.pairs.size();
+    stats.operators.push_back(std::move(op));
+    if (emptied) return Status::OK();
   }
 
   // Early projection (the Yannakakis step that makes acyclic combined
@@ -272,6 +309,12 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
             composed.insert({other_a, it->second});
           }
         }
+        OperatorStats op;
+        op.op = "HashJoin";
+        op.detail = "eliminate " + query.node_variables()[var];
+        op.rows_in = a.pairs.size() + b.pairs.size();
+        op.rows_out = composed.size();
+        stats.operators.push_back(std::move(op));
         if (composed.empty()) return Status::OK();  // no embeddings at all
         JoinAtom merged;
         merged.from = a_is_from ? a.to : a.from;
@@ -373,7 +416,14 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
     }
     used[best] = false;
   };
+  OperatorStats join_op;
+  join_op.op = "HashJoin";
+  join_op.detail = "backtracking";
+  for (const JoinAtom& atom : atoms) join_op.rows_in += atom.pairs.size();
+  const uint64_t joined_before = stats.join_tuples;
   recurse(0);
+  join_op.rows_out = stats.join_tuples - joined_before;
+  stats.operators.push_back(std::move(join_op));
   return emitter.status();
 }
 

@@ -33,17 +33,31 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
 Result<QueryResult> EvaluateCrpq(const GraphDb& graph, const Query& query,
                                  const EvalOptions& options);
 
+/// Counters of one reachability scan (the ReachabilityScan operator's
+/// share of EvalStats::operators).
+struct ReachabilityScanStats {
+  uint64_t frontier_expansions = 0;  ///< (state, node) frontier pushes
+  uint64_t visited_states = 0;       ///< distinct (state, node) pairs
+};
+
 /// The per-atom reachability relation: all (u, v) pairs connected by a path
 /// whose label lies in every language of `languages` (an intersection; the
 /// empty list means Σ*). Exposed for tests and benches. The overload with
 /// `index` expands the (language state, node) frontier through CSR label
 /// slices — only edges carrying a letter some language arc reads — instead
 /// of scanning full adjacency lists per arc; null falls back to the scan.
+/// `sources` (when non-null) restricts the scan to paths starting at the
+/// listed nodes — the sideways-seeded form the planner emits; null scans
+/// from every node. `scan_stats` (optional) receives frontier counters.
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages);
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
     const GraphIndex* index);
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    ReachabilityScanStats* scan_stats);
 
 }  // namespace ecrpq
 

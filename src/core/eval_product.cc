@@ -1,14 +1,14 @@
 #include "core/eval_product.h"
 
 #include <algorithm>
-#include <bit>
+#include <cmath>
 #include <functional>
 #include <map>
-#include <queue>
 #include <set>
-#include <span>
 
 #include "automata/operations.h"
+#include "core/ops.h"
+#include "core/planner.h"
 
 namespace ecrpq {
 
@@ -124,633 +124,6 @@ Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
   return out;
 }
 
-namespace {
-
-// A synchronization component prepared for product search.
-struct Component {
-  std::vector<int> atom_indices;   // into ResolvedQuery::atoms
-  std::vector<int> tracks;         // global path-var ids, local order
-  std::vector<int> track_of_path;  // global path id -> local track or -1
-  std::vector<int> relation_indices;
-  std::vector<int> vars;        // global node-var ids appearing here
-  std::vector<int> start_vars;  // vars in from-positions
-};
-
-Component BuildComponent(const ResolvedQuery& rq,
-                         const std::vector<int>& atom_indices) {
-  Component comp;
-  comp.atom_indices = atom_indices;
-  comp.track_of_path.assign(rq.query->path_variables().size(), -1);
-  auto add_var = [&](const ResolvedTerm& term, bool is_start) {
-    if (term.is_const) return;
-    if (std::find(comp.vars.begin(), comp.vars.end(), term.var) ==
-        comp.vars.end()) {
-      comp.vars.push_back(term.var);
-    }
-    if (is_start &&
-        std::find(comp.start_vars.begin(), comp.start_vars.end(),
-                  term.var) == comp.start_vars.end()) {
-      comp.start_vars.push_back(term.var);
-    }
-  };
-  for (int idx : atom_indices) {
-    const ResolvedAtom& atom = rq.atoms[idx];
-    if (comp.track_of_path[atom.path] < 0) {
-      comp.track_of_path[atom.path] = static_cast<int>(comp.tracks.size());
-      comp.tracks.push_back(atom.path);
-    }
-    add_var(atom.from, /*is_start=*/true);
-    add_var(atom.to, /*is_start=*/false);
-  }
-  for (size_t r = 0; r < rq.relations().size(); ++r) {
-    // A relation belongs to the component holding its first path's track
-    // (components contain either all or none of a relation's paths).
-    if (comp.track_of_path[rq.relations()[r].paths[0]] >= 0) {
-      comp.relation_indices.push_back(static_cast<int>(r));
-    }
-  }
-  return comp;
-}
-
-// Interns relation state subsets.
-class SubsetPool {
- public:
-  int Intern(std::vector<StateId> subset) {
-    auto [it, inserted] = ids_.emplace(std::move(subset), 0);
-    if (inserted) {
-      it->second = static_cast<int>(store_.size());
-      store_.push_back(it->first);
-    }
-    return it->second;
-  }
-  const std::vector<StateId>& Get(int id) const { return store_[id]; }
-
- private:
-  std::map<std::vector<StateId>, int> ids_;
-  std::vector<std::vector<StateId>> store_;
-};
-
-// One product configuration.
-struct Config {
-  uint32_t padmask = 0;
-  std::vector<NodeId> nodes;    // per local track
-  std::vector<int> subset_ids;  // per component relation
-
-  bool operator==(const Config& other) const = default;
-};
-
-uint64_t Mix64(uint64_t x) {
-  // splitmix64 finalizer.
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-uint64_t HashConfig(const Config& c) {
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  auto feed = [&h](uint32_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  feed(c.padmask);
-  for (NodeId v : c.nodes) feed(static_cast<uint32_t>(v));
-  for (int s : c.subset_ids) feed(static_cast<uint32_t>(s));
-  return h;
-}
-
-// Open-addressing visited/intern table over product configurations.
-//
-// When padmask + per-track node ids + per-relation subset ids fit one
-// word, configurations are keyed by a packed uint64 code and probes
-// compare single words — no per-configuration allocation, no vector
-// hashing. Subset-interning ids are assigned dynamically, so a search
-// whose subset count outgrows its bit field migrates once to the generic
-// path (hash of the config, structural equality against the discovery
-// array) and keeps going; searches whose shape never fits start there.
-class VisitedTable {
- public:
-  VisitedTable(int tracks, int relations, int num_nodes)
-      : tracks_(tracks), relations_(relations) {
-    node_bits_ = std::bit_width(
-        static_cast<uint32_t>(std::max(num_nodes - 1, 1)));
-    int used = tracks_ + tracks_ * node_bits_;
-    if (used <= 64 && relations_ > 0) {
-      subset_bits_ = std::min<int>(31, (64 - used) / relations_);
-    } else {
-      subset_bits_ = 0;
-    }
-    packed_ = (used + relations_ * subset_bits_ <= 64) &&
-              (relations_ == 0 || subset_bits_ >= 1);
-    Rehash(1024);
-  }
-
-  // Returns (config id, inserted). A new config is appended to `order`.
-  std::pair<int, bool> FindOrInsert(Config&& c, std::vector<Config>& order) {
-    if (packed_) {
-      uint64_t code;
-      if (!TryPack(c, &code)) {
-        MigrateToGeneric(order);
-      } else {
-        if ((size_ + 1) * 10 >= slots_.size() * 7) RehashPacked(order);
-        size_t i = Mix64(code) & (slots_.size() - 1);
-        while (slots_[i] >= 0) {
-          if (keys_[i] == code) return {slots_[i], false};
-          i = (i + 1) & (slots_.size() - 1);
-        }
-        int id = static_cast<int>(order.size());
-        order.push_back(std::move(c));
-        slots_[i] = id;
-        keys_[i] = code;
-        ++size_;
-        return {id, true};
-      }
-    }
-    if ((size_ + 1) * 10 >= slots_.size() * 7) RehashGeneric(order);
-    size_t i = HashConfig(c) & (slots_.size() - 1);
-    while (slots_[i] >= 0) {
-      if (order[slots_[i]] == c) return {slots_[i], false};
-      i = (i + 1) & (slots_.size() - 1);
-    }
-    int id = static_cast<int>(order.size());
-    order.push_back(std::move(c));
-    slots_[i] = id;
-    ++size_;
-    return {id, true};
-  }
-
- private:
-  bool TryPack(const Config& c, uint64_t* out) const {
-    uint64_t code = c.padmask;
-    int shift = tracks_;
-    for (NodeId v : c.nodes) {
-      code |= static_cast<uint64_t>(static_cast<uint32_t>(v)) << shift;
-      shift += node_bits_;
-    }
-    for (int s : c.subset_ids) {
-      if (static_cast<int64_t>(s) >= (int64_t{1} << subset_bits_)) {
-        return false;
-      }
-      code |= static_cast<uint64_t>(s) << shift;
-      shift += subset_bits_;
-    }
-    *out = code;
-    return true;
-  }
-
-  void Rehash(size_t capacity) {
-    slots_.assign(capacity, -1);
-    if (packed_) keys_.assign(capacity, 0);
-  }
-
-  void RehashPacked(const std::vector<Config>& order) {
-    (void)order;  // packed slots carry their own keys
-    std::vector<int32_t> old_slots = std::move(slots_);
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    Rehash(old_slots.size() * 2);
-    for (size_t j = 0; j < old_slots.size(); ++j) {
-      if (old_slots[j] < 0) continue;
-      size_t i = Mix64(old_keys[j]) & (slots_.size() - 1);
-      while (slots_[i] >= 0) i = (i + 1) & (slots_.size() - 1);
-      slots_[i] = old_slots[j];
-      keys_[i] = old_keys[j];
-    }
-  }
-
-  // Clears the table to `capacity` slots and re-inserts every config of
-  // `order` by structural hash (generic mode's rebuild).
-  void RebuildGeneric(size_t capacity, const std::vector<Config>& order) {
-    slots_.assign(capacity, -1);
-    for (size_t id = 0; id < order.size(); ++id) {
-      size_t i = HashConfig(order[id]) & (capacity - 1);
-      while (slots_[i] >= 0) i = (i + 1) & (capacity - 1);
-      slots_[i] = static_cast<int32_t>(id);
-    }
-  }
-
-  void RehashGeneric(const std::vector<Config>& order) {
-    RebuildGeneric(slots_.size() * 2, order);
-  }
-
-  void MigrateToGeneric(const std::vector<Config>& order) {
-    packed_ = false;
-    keys_.clear();
-    keys_.shrink_to_fit();
-    RebuildGeneric(slots_.size(), order);
-  }
-
-  int tracks_;
-  int relations_;
-  int node_bits_ = 0;
-  int subset_bits_ = 0;
-  bool packed_ = false;
-  size_t size_ = 0;
-  std::vector<int32_t> slots_;  // config id or -1
-  std::vector<uint64_t> keys_;  // packed code per occupied slot
-};
-
-// Callbacks for recording the product graph (path-answer construction).
-struct ProductGraphSink {
-  // state ids parallel to discovery order of configs
-  std::vector<Config> configs;
-  std::vector<std::vector<std::pair<std::vector<Symbol>, int>>> arcs;
-  std::vector<bool> initial;
-  std::vector<bool> accepting;
-};
-
-// Product search over one component for one start assignment.
-class ComponentSearch {
- public:
-  ComponentSearch(const ResolvedQuery& rq, const Component& comp,
-                  const EvalOptions& options, EvalStats* stats)
-      : rq_(rq),
-        comp_(comp),
-        options_(options),
-        stats_(stats),
-        index_(rq.index.get()),
-        use_masks_(rq.graph->alphabet().size() <= 64) {
-    // Per-relation tuple alphabets and local track lists.
-    for (int r : comp_.relation_indices) {
-      const ResolvedRelation& rel = rq_.relations()[r];
-      std::vector<int> local;
-      for (int p : rel.paths) local.push_back(comp_.track_of_path[p]);
-      rel_local_tracks_.push_back(std::move(local));
-      rel_alphabets_.emplace_back(rel.relation->tuple_alphabet());
-    }
-    subset_masks_.resize(comp_.relation_indices.size());
-  }
-
-  // Runs BFS from one start-node-per-track assignment; reports satisfying
-  // (full component assignment) tuples into `results`. `fixed` holds
-  // pre-bound global vars (or -1). If `sink` is non-null the product graph
-  // is recorded there.
-  Status Run(const std::vector<NodeId>& start_nodes,
-             const std::vector<NodeId>& fixed,
-             std::set<std::vector<NodeId>>* results,
-             ProductGraphSink* sink) {
-    const int T = static_cast<int>(comp_.tracks.size());
-    const GraphDb& graph = *rq_.graph;
-
-    // Start binding of start vars (from the caller's enumeration).
-    // Initial relation subsets.
-    Config init;
-    init.nodes = start_nodes;
-    init.padmask = 0;
-    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
-      std::vector<StateId> subset = rel.initial;
-      std::sort(subset.begin(), subset.end());
-      if (subset.empty()) return Status::OK();  // relation unsatisfiable
-      init.subset_ids.push_back(pool_.Intern(std::move(subset)));
-    }
-
-    // The sink may already hold configs from previous start assignments;
-    // all sink indices are offset by its current size.
-    const int sink_base =
-        (sink != nullptr) ? static_cast<int>(sink->configs.size()) : 0;
-    VisitedTable visited(T, static_cast<int>(comp_.relation_indices.size()),
-                         graph.num_nodes());
-    std::vector<Config> order;
-    std::queue<int> work;
-    auto intern_config = [&](Config c) -> std::pair<int, bool> {
-      auto [id, inserted] = visited.FindOrInsert(std::move(c), order);
-      if (inserted) {
-        work.push(id);
-        if (sink != nullptr) {
-          sink->configs.push_back(order.back());
-          sink->arcs.emplace_back();
-          sink->initial.push_back(false);
-          sink->accepting.push_back(false);
-        }
-      }
-      return {id, inserted};
-    };
-
-    auto [init_id, fresh] = intern_config(std::move(init));
-    (void)fresh;
-    if (sink != nullptr) sink->initial[sink_base + init_id] = true;
-
-    while (!work.empty()) {
-      int config_id = work.front();
-      work.pop();
-      if (++stats_->configs_explored > options_.max_configs) {
-        return Status::ResourceExhausted(
-            "product search exceeded max_configs=" +
-            std::to_string(options_.max_configs));
-      }
-      Config current = order[config_id];  // copy: order grows during expand
-
-      // Acceptance: every relation subset intersects its accepting set,
-      // and end constraints are consistent.
-      if (Accepting(current)) {
-        std::vector<NodeId> assignment;
-        if (EndConsistent(current, start_nodes, fixed, &assignment)) {
-          if (results != nullptr) results->insert(assignment);
-          if (sink != nullptr) sink->accepting[sink_base + config_id] = true;
-        }
-      }
-
-      // Expand successors: per track choose pad or an edge, pulling only
-      // the label slices the live relation state-sets can read.
-      ComputeLiveMasks(current);
-      std::vector<Symbol> letter(T);
-      std::vector<NodeId> next_nodes(T);
-      ExpandRec(0, T, current, &letter, &next_nodes, graph,
-                [&](Config next, const std::vector<Symbol>& letters) {
-                  ++stats_->arcs_explored;
-                  auto [next_id, unused] = intern_config(std::move(next));
-                  (void)unused;
-                  if (sink != nullptr) {
-                    sink->arcs[sink_base + config_id].push_back(
-                        {letters, sink_base + next_id});
-                  }
-                });
-    }
-    return Status::OK();
-  }
-
-  const Component& component() const { return comp_; }
-
- private:
-  bool Accepting(const Config& c) const {
-    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
-      bool ok = false;
-      for (StateId s : pool_.Get(c.subset_ids[i])) {
-        if (rel.accepting[s]) {
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) return false;
-    }
-    return true;
-  }
-
-  // Checks end-node constraints; produces the component assignment
-  // (parallel to comp_.vars) on success.
-  bool EndConsistent(const Config& c, const std::vector<NodeId>& start_nodes,
-                     const std::vector<NodeId>& fixed,
-                     std::vector<NodeId>* assignment) const {
-    std::vector<NodeId> binding(rq_.query->node_variables().size(), -1);
-    // Seed with fixed bindings and start assignments.
-    for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
-    for (int idx : comp_.atom_indices) {
-      const ResolvedAtom& atom = rq_.atoms[idx];
-      int track = comp_.track_of_path[atom.path];
-      NodeId start = start_nodes[track];
-      NodeId end = c.nodes[track];
-      // From-term: already consistent by construction of start_nodes, but
-      // fixed vars must agree too.
-      if (atom.from.is_const) {
-        if (atom.from.node != start) return false;
-      } else {
-        if (binding[atom.from.var] >= 0 && binding[atom.from.var] != start) {
-          return false;
-        }
-        binding[atom.from.var] = start;
-      }
-      if (atom.to.is_const) {
-        if (atom.to.node != end) return false;
-      } else {
-        if (binding[atom.to.var] >= 0 && binding[atom.to.var] != end) {
-          return false;
-        }
-        binding[atom.to.var] = end;
-      }
-    }
-    assignment->clear();
-    for (int v : comp_.vars) assignment->push_back(binding[v]);
-    return true;
-  }
-
-  // Per-tape letter masks of one relation's current subset, OR of the
-  // compiled per-state tape_masks; cached per interned subset id.
-  const std::vector<uint64_t>& SubsetMasks(size_t i, int subset_id) {
-    auto& cache = subset_masks_[i];
-    if (subset_id >= static_cast<int>(cache.size())) {
-      cache.resize(subset_id + 1);
-    }
-    std::vector<uint64_t>& entry = cache[subset_id];
-    if (entry.empty()) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
-      entry.assign(rel_local_tracks_[i].size(), 0);
-      for (StateId s : pool_.Get(subset_id)) {
-        for (size_t tape = 0; tape < entry.size(); ++tape) {
-          entry[tape] |= rel.tape_masks[s][tape];
-        }
-      }
-    }
-    return entry;
-  }
-
-  // live_[t]: base letters track t may read without killing a relation —
-  // the intersection, over relations reading t, of the letters their
-  // current state-sets accept on that tape (Thm 6.1's restriction).
-  void ComputeLiveMasks(const Config& current) {
-    live_.assign(comp_.tracks.size(), ~0ULL);
-    if (index_ == nullptr || !use_masks_) return;
-    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-      const std::vector<uint64_t>& masks =
-          SubsetMasks(i, current.subset_ids[i]);
-      const std::vector<int>& local = rel_local_tracks_[i];
-      for (size_t tape = 0; tape < local.size(); ++tape) {
-        live_[local[tape]] &= masks[tape];
-      }
-    }
-  }
-
-  template <typename Callback>
-  void ExpandRec(int t, int total, const Config& current,
-                 std::vector<Symbol>* letter, std::vector<NodeId>* next_nodes,
-                 const GraphDb& graph, const Callback& emit) {
-    if (t == total) {
-      uint32_t new_padmask = 0;
-      bool all_pad = true;
-      for (int i = 0; i < total; ++i) {
-        if ((*letter)[i] == kPad) {
-          new_padmask |= (1u << i);
-        } else {
-          all_pad = false;
-        }
-      }
-      if (all_pad) return;
-      // Advance relations on their projected letters.
-      Config next;
-      next.padmask = new_padmask;
-      next.nodes = *next_nodes;
-      next.subset_ids.resize(comp_.relation_indices.size());
-      for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-        const ResolvedRelation& rel =
-            rq_.relations()[comp_.relation_indices[i]];
-        const std::vector<int>& local = rel_local_tracks_[i];
-        TupleLetter proj(local.size());
-        bool rel_all_pad = true;
-        for (size_t tape = 0; tape < local.size(); ++tape) {
-          proj[tape] = (*letter)[local[tape]];
-          if (proj[tape] != kPad) rel_all_pad = false;
-        }
-        if (rel_all_pad) {
-          // The relation's word has ended; its subset is frozen.
-          next.subset_ids[i] = current.subset_ids[i];
-          continue;
-        }
-        Symbol id = rel_alphabets_[i].Encode(proj);
-        std::vector<StateId> advanced;
-        for (StateId s : pool_.Get(current.subset_ids[i])) {
-          auto it = rel.transitions[s].find(id);
-          if (it != rel.transitions[s].end()) {
-            advanced.insert(advanced.end(), it->second.begin(),
-                            it->second.end());
-          }
-        }
-        if (advanced.empty()) return;  // prune
-        std::sort(advanced.begin(), advanced.end());
-        advanced.erase(std::unique(advanced.begin(), advanced.end()),
-                       advanced.end());
-        next.subset_ids[i] = pool_.Intern(std::move(advanced));
-      }
-      emit(std::move(next), *letter);
-      return;
-    }
-    // Option 1: pad (always allowed; forced when already padded).
-    (*letter)[t] = kPad;
-    (*next_nodes)[t] = current.nodes[t];
-    ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
-    // Option 2: follow an edge (only when not padded).
-    if (!(current.padmask & (1u << t))) {
-      const NodeId v = current.nodes[t];
-      if (index_ != nullptr && use_masks_) {
-        // Indexed path: visit only the letters live for this track and
-        // present at the node (one AND against the node's label mask).
-        // Small adjacency rows are filtered linearly (a binary search per
-        // label costs more than reading a handful of edges); large rows
-        // jump straight to the per-label slices.
-        const uint64_t mask = live_[t] & index_->OutLabelMask(v);
-        if (mask == 0) {
-          // No live letter at this node: the track can only pad.
-        } else if (index_->out_degree(v) <= 16) {
-          std::span<const Symbol> labels = index_->OutLabels(v);
-          std::span<const NodeId> targets = index_->OutTargets(v);
-          for (size_t i = 0; i < labels.size(); ++i) {
-            if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
-              continue;
-            }
-            (*letter)[t] = labels[i];
-            (*next_nodes)[t] = targets[i];
-            ExpandRec(t + 1, total, current, letter, next_nodes, graph,
-                      emit);
-          }
-        } else {
-          uint64_t bits = mask;
-          while (bits != 0) {
-            Symbol label = static_cast<Symbol>(std::countr_zero(bits));
-            bits &= bits - 1;
-            for (NodeId to : index_->Out(v, label)) {
-              (*letter)[t] = label;
-              (*next_nodes)[t] = to;
-              ExpandRec(t + 1, total, current, letter, next_nodes, graph,
-                        emit);
-            }
-          }
-        }
-      } else if (index_ != nullptr) {
-        std::span<const Symbol> labels = index_->OutLabels(v);
-        std::span<const NodeId> targets = index_->OutTargets(v);
-        for (size_t i = 0; i < labels.size(); ++i) {
-          (*letter)[t] = labels[i];
-          (*next_nodes)[t] = targets[i];
-          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
-        }
-      } else {
-        for (const auto& [label, to] : graph.Out(v)) {
-          (*letter)[t] = label;
-          (*next_nodes)[t] = to;
-          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
-        }
-      }
-    }
-  }
-
-  const ResolvedQuery& rq_;
-  const Component& comp_;
-  const EvalOptions& options_;
-  EvalStats* stats_;
-  const GraphIndex* index_;  // null = scan GraphDb adjacency (legacy path)
-  bool use_masks_;           // base alphabet fits the 64-bit letter masks
-  SubsetPool pool_;
-  std::vector<std::vector<int>> rel_local_tracks_;
-  std::vector<TupleAlphabet> rel_alphabets_;
-  // Per component relation: per-tape letter masks keyed by subset id.
-  std::vector<std::vector<std::vector<uint64_t>>> subset_masks_;
-  std::vector<uint64_t> live_;  // per-track live letters, per expansion
-};
-
-// Enumerates start assignments for a component and accumulates results.
-Status SolveComponent(const ResolvedQuery& rq, const Component& comp,
-                      const EvalOptions& options,
-                      const std::vector<NodeId>& fixed, EvalStats* stats,
-                      std::set<std::vector<NodeId>>* results,
-                      ProductGraphSink* sink) {
-  const GraphDb& graph = *rq.graph;
-  ComponentSearch search(rq, comp, options, stats);
-
-  // Enumerate assignments to start vars (respecting `fixed`), derive the
-  // start node per track, and run one BFS per assignment.
-  std::vector<NodeId> binding(rq.query->node_variables().size(), -1);
-  for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
-
-  std::vector<int> start_vars = comp.start_vars;
-  Status status = Status::OK();
-
-  std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
-    if (i == start_vars.size()) {
-      // Derive start node per track; all from-terms of a track must agree.
-      std::vector<NodeId> start_nodes(comp.tracks.size(), -1);
-      for (int idx : comp.atom_indices) {
-        const ResolvedAtom& atom = rq.atoms[idx];
-        int track = comp.track_of_path[atom.path];
-        NodeId v = atom.from.is_const ? atom.from.node
-                                      : binding[atom.from.var];
-        if (start_nodes[track] < 0) {
-          start_nodes[track] = v;
-        } else if (start_nodes[track] != v) {
-          return Status::OK();  // inconsistent repetition start
-        }
-      }
-      ++stats->start_assignments;
-      return search.Run(start_nodes, binding, results, sink);
-    }
-    int var = start_vars[i];
-    if (binding[var] >= 0) return enumerate(i + 1);
-    // Seed from high-degree nodes first (GraphIndex permutation): under
-    // early termination the densest frontiers reach answers soonest. The
-    // answer set is order-independent (results is a set).
-    if (rq.index != nullptr) {
-      for (NodeId v : rq.index->NodesByDegree()) {
-        binding[var] = v;
-        Status st = enumerate(i + 1);
-        if (!st.ok()) return st;
-      }
-    } else {
-      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-        binding[var] = v;
-        Status st = enumerate(i + 1);
-        if (!st.ok()) return st;
-      }
-    }
-    binding[var] = -1;
-    return Status::OK();
-  };
-  status = enumerate(0);
-  return status;
-}
-
-}  // namespace
-
 HeadTupleEmitter::HeadTupleEmitter(const ResolvedQuery& rq,
                                    const EvalOptions& options,
                                    ResultSink& sink)
@@ -777,7 +150,7 @@ bool HeadTupleEmitter::Emit(const std::vector<NodeId>& head) {
 Status EvaluateProduct(const GraphDb& graph, const Query& query,
                        const EvalOptions& options, ResultSink& sink,
                        EvalStats& stats, CompiledQueryPtr compiled,
-                       GraphIndexPtr index) {
+                       GraphIndexPtr index, const PhysicalPlan* plan) {
   if (!query.linear_atoms().empty()) {
     return Status::FailedPrecondition(
         "the product engine does not handle linear atoms; use the counting "
@@ -793,72 +166,167 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
 
   stats.engine = "product";
 
-  // Component decomposition (or a single joint component).
-  std::vector<std::vector<int>> groups;
-  if (options.use_components) {
-    groups = rq.analysis().components;
-  } else {
-    std::vector<int> all(rq.atoms.size());
-    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
-    groups.push_back(std::move(all));
+  // Obtain the physical plan. A caller-supplied plan (the prepared-query
+  // path) is used as-is when it targets this engine; otherwise plan here,
+  // forcing the product shape — direct EvaluateProduct calls on queries
+  // whose auto-selected engine would differ must still get product-style
+  // component groups.
+  PhysicalPlan local_plan;
+  if (plan == nullptr || plan->engine != Engine::kProduct) {
+    EvalOptions planning = options;
+    planning.engine = Engine::kProduct;
+    local_plan = PlanQuery(query, *rq.compiled, rq.index.get(), planning);
+    plan = &local_plan;
   }
 
-  std::vector<Component> components;
-  std::vector<std::set<std::vector<NodeId>>> comp_results;
-  std::vector<NodeId> fixed(query.node_variables().size(), -1);
-  for (const auto& group : groups) {
-    components.push_back(BuildComponent(rq, group));
-    comp_results.emplace_back();
-    Status st = SolveComponent(rq, components.back(), options, fixed, &stats,
-                               &comp_results.back(), nullptr);
+  // Execute component leaves in plan order, keeping one binding table per
+  // component. Sideways information passing: when the planner marked a
+  // component, its shared variables are seeded from the prior tables that
+  // bind them (exact when one table binds them all; a sound superset of
+  // the join projection otherwise — the final join re-enforces equality).
+  // A runtime guard keeps ProductExpand re-runs (one search per seed row)
+  // cheaper than one full-seeded search; scan leaves filter in a single
+  // pass, so seeding them never hurts.
+  const double V = std::max(1, graph.num_nodes());
+  constexpr size_t kMaxSeedRows = 1 << 16;
+  std::vector<BindingTable> tables;
+  const std::vector<NodeId> fixed(query.node_variables().size(), -1);
+  for (const PlannedComponent& pc : plan->components) {
+    ComponentSpec comp = BuildComponentSpec(rq, pc.atom_indices);
+    BindingTable seeds;
+    const BindingTable* seeds_ptr = nullptr;
+    if (pc.sideways && options.use_planner && !pc.shared_vars.empty()) {
+      // Group the shared vars by the earliest prior table binding them;
+      // project each group, then cross the groups (usually there is one).
+      std::map<size_t, std::vector<int>> groups;
+      for (int v : pc.shared_vars) {
+        for (size_t j = 0; j < tables.size(); ++j) {
+          if (tables[j].ColumnOf(v) >= 0) {
+            groups[j].push_back(v);
+            break;
+          }
+        }
+      }
+      seeds = BindingTable::Unit();
+      bool usable = true;
+      for (const auto& [j, vars] : groups) {
+        BindingTable proj = ProjectDistinct(tables[j], vars);
+        if (seeds.vars.empty()) {
+          seeds = std::move(proj);
+        } else {
+          BindingTable crossed;
+          crossed.vars = seeds.vars;
+          crossed.vars.insert(crossed.vars.end(), proj.vars.begin(),
+                              proj.vars.end());
+          for (const std::vector<NodeId>& a : seeds.rows) {
+            for (const std::vector<NodeId>& b : proj.rows) {
+              std::vector<NodeId> row = a;
+              row.insert(row.end(), b.begin(), b.end());
+              crossed.rows.push_back(std::move(row));
+            }
+            if (crossed.rows.size() > kMaxSeedRows) break;
+          }
+          seeds = std::move(crossed);
+        }
+        if (seeds.rows.size() > kMaxSeedRows) {
+          usable = false;  // seeding would cost more than it prunes
+          break;
+        }
+      }
+      if (usable && !seeds.vars.empty()) {
+        if (IsReachabilityScanComponent(rq, comp)) {
+          seeds_ptr = &seeds;
+        } else {
+          int covered_start = 0;
+          for (int v : comp.start_vars) {
+            if (seeds.ColumnOf(v) >= 0) ++covered_start;
+          }
+          if (covered_start > 0 &&
+              static_cast<double>(seeds.rows.size()) <
+                  std::pow(V, covered_start)) {
+            seeds_ptr = &seeds;
+          }
+        }
+      }
+    }
+    std::set<std::vector<NodeId>> results;
+    Status st = ExecuteComponentOp(rq, comp, options, fixed, seeds_ptr,
+                                   pc.est_rows, stats, &results,
+                                   /*graph_sink=*/nullptr);
     if (!st.ok()) return st;
-    if (comp_results.back().empty()) {
-      return Status::OK();  // empty answer
+    if (results.empty()) return Status::OK();  // empty answer
+    BindingTable table;
+    table.vars = comp.vars;
+    table.rows.assign(results.begin(), results.end());
+    tables.push_back(std::move(table));
+  }
+
+  // Semi-join reduction between the component tables before the join:
+  // rows with no partner on a shared variable can never contribute, and
+  // dropping them shrinks the streamed join's search space (Yannakakis'
+  // first phase, at component granularity).
+  if (tables.size() > 1) {
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds < static_cast<int>(tables.size()) + 2) {
+      changed = false;
+      ++rounds;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        for (size_t j = 0; j < tables.size(); ++j) {
+          if (i == j) continue;
+          if (SemiJoinFilterOp(&tables[i], tables[j], stats)) changed = true;
+          if (tables[i].rows.empty()) return Status::OK();  // empty answer
+        }
+      }
     }
   }
 
-  // Join component results on shared node variables, streaming each new
-  // head projection into the sink as soon as it is found. Path answers
-  // (when requested) are built per emitted tuple, so early termination
-  // also skips their construction.
+  // Join the component tables on shared node variables, streaming each
+  // new head projection into the sink as soon as it is found — early
+  // termination (limit / exists) stops the join itself, and path answers
+  // (when requested) are built per emitted tuple only. One HashJoin
+  // operator entry profiles the streamed join.
   HeadTupleEmitter emitter(rq, options, sink);
+  OperatorStats join_op;
+  join_op.op = "HashJoin";
+  join_op.detail = "streamed over " + std::to_string(tables.size()) +
+                   " components";
+  for (const BindingTable& t : tables) join_op.rows_in += t.rows.size();
   std::vector<NodeId> global(query.node_variables().size(), -1);
   bool stop = false;
   std::function<void(size_t)> join = [&](size_t i) {
     if (stop) return;
-    if (i == components.size()) {
+    if (i == tables.size()) {
       std::vector<NodeId> head;
       for (const NodeTerm& term : query.head_nodes()) {
         ECRPQ_DCHECK(!term.is_constant);
-        int v = query.NodeVarIndex(term.name);
-        head.push_back(global[v]);
+        head.push_back(global[query.NodeVarIndex(term.name)]);
       }
       ++stats.join_tuples;
+      ++join_op.rows_out;
       if (!emitter.Emit(head)) stop = true;
       return;
     }
-    const Component& comp = components[i];
-    for (const std::vector<NodeId>& tuple : comp_results[i]) {
+    const BindingTable& t = tables[i];
+    for (const std::vector<NodeId>& row : t.rows) {
       if (stop) return;
       bool ok = true;
-      std::vector<std::pair<int, NodeId>> bound;
-      for (size_t k = 0; k < comp.vars.size() && ok; ++k) {
-        int v = comp.vars[k];
+      std::vector<int> bound;
+      for (size_t k = 0; k < t.vars.size() && ok; ++k) {
+        int v = t.vars[k];
         if (global[v] >= 0) {
-          ok = (global[v] == tuple[k]);
+          ok = (global[v] == row[k]);
         } else {
-          global[v] = tuple[k];
-          bound.emplace_back(v, tuple[k]);
+          global[v] = row[k];
+          bound.push_back(v);
         }
       }
       if (ok) join(i + 1);
-      for (const auto& [v, node] : bound) {
-        (void)node;
-        global[v] = -1;
-      }
+      for (int v : bound) global[v] = -1;
     }
   };
   join(0);
+  stats.operators.push_back(std::move(join_op));
   return emitter.status();
 }
 
@@ -893,10 +361,11 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
   std::vector<ComponentProductGraph> out;
   EvalStats stats;
   for (const auto& group : rq.analysis().components) {
-    Component comp = BuildComponent(rq, group);
+    ComponentSpec comp = BuildComponentSpec(rq, group);
     ProductGraphSink sink;
-    Status st = SolveComponent(rq, comp, options, assignment, &stats,
-                               /*results=*/nullptr, &sink);
+    Status st = ExecuteComponentOp(rq, comp, options, assignment,
+                                   /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                   stats, /*results=*/nullptr, &sink);
     if (!st.ok()) return st;
     ComponentProductGraph cpg;
     cpg.tracks = comp.tracks;
@@ -950,7 +419,7 @@ Result<PathAnswerSet> BuildPathAnswerSet(
     head_path_ids.push_back(query.PathVarIndex(p));
   }
   std::vector<int> head_atoms;
-  std::vector<Component> other_components;
+  std::vector<ComponentSpec> other_components;
   for (const auto& group : rq.analysis().components) {
     bool has_head = false;
     for (int idx : group) {
@@ -961,14 +430,14 @@ Result<PathAnswerSet> BuildPathAnswerSet(
     if (has_head) {
       head_atoms.insert(head_atoms.end(), group.begin(), group.end());
     } else {
-      other_components.push_back(BuildComponent(rq, group));
+      other_components.push_back(BuildComponentSpec(rq, group));
     }
   }
   std::sort(head_atoms.begin(), head_atoms.end());
   if (head_atoms.empty()) {
     return Status::InvalidArgument("query head has no path variables");
   }
-  Component comp = BuildComponent(rq, head_atoms);
+  ComponentSpec comp = BuildComponentSpec(rq, head_atoms);
 
   EvalStats stats;
 
@@ -978,10 +447,12 @@ Result<PathAnswerSet> BuildPathAnswerSet(
   std::vector<std::vector<NodeId>> anchors;  // full-var partial bindings
   {
     std::vector<std::set<std::vector<NodeId>>> other_results;
-    for (const Component& other : other_components) {
+    for (const ComponentSpec& other : other_components) {
       other_results.emplace_back();
-      Status st = SolveComponent(rq, other, options, fixed, &stats,
-                                 &other_results.back(), nullptr);
+      Status st = ExecuteComponentOp(rq, other, options, fixed,
+                                     /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                     stats, &other_results.back(),
+                                     /*graph_sink=*/nullptr);
       if (!st.ok()) return st;
       if (other_results.back().empty()) {
         // Unsatisfiable side condition: the answer set is empty.
@@ -1000,7 +471,7 @@ Result<PathAnswerSet> BuildPathAnswerSet(
         anchor_set.insert(anchor);
         return;
       }
-      const Component& other = other_components[i];
+      const ComponentSpec& other = other_components[i];
       for (const std::vector<NodeId>& tuple : other_results[i]) {
         bool ok = true;
         std::vector<int> bound;
@@ -1024,8 +495,9 @@ Result<PathAnswerSet> BuildPathAnswerSet(
 
   ProductGraphSink sink;
   for (const std::vector<NodeId>& anchor : anchors) {
-    Status st = SolveComponent(rq, comp, options, anchor, &stats,
-                               /*results=*/nullptr, &sink);
+    Status st = ExecuteComponentOp(rq, comp, options, anchor,
+                                   /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                   stats, /*results=*/nullptr, &sink);
     if (!st.ok()) return st;
   }
 

@@ -21,6 +21,8 @@
 
 namespace ecrpq {
 
+struct PhysicalPlan;  // core/planner.h
+
 /// A node term resolved against a graph: constant node or variable index.
 struct ResolvedTerm {
   bool is_const = false;
@@ -121,11 +123,15 @@ class HeadTupleEmitter {
 
 /// Evaluates with the product engine, streaming distinct tuples into
 /// `sink`. Rejects linear atoms (FailedPrecondition) — those belong to
-/// the counting engine.
+/// the counting engine. `plan` (optional) is a PhysicalPlan for this
+/// query produced by PlanQuery (core/planner.h) — prepared executions
+/// pass their cached plan; when null (or planned for another engine) the
+/// engine plans on the fly against its index.
 Status EvaluateProduct(const GraphDb& graph, const Query& query,
                        const EvalOptions& options, ResultSink& sink,
                        EvalStats& stats, CompiledQueryPtr compiled = nullptr,
-                       GraphIndexPtr index = nullptr);
+                       GraphIndexPtr index = nullptr,
+                       const PhysicalPlan* plan = nullptr);
 
 /// Materializing convenience wrapper (sorted tuples).
 Result<QueryResult> EvaluateProduct(const GraphDb& graph, const Query& query,

@@ -324,12 +324,20 @@ Status EvaluateQlen(const GraphDb& graph, const Query& query,
     return true;
   };
 
+  // The plan's LinearConstraintCheck operator in its length-abstraction
+  // form: one arithmetic-progression feasibility check per assignment.
+  OperatorStats check_op;
+  check_op.op = "LinearConstraintCheck";
+  check_op.detail = "length abstraction";
+
   bool stop = false;
   std::function<void(size_t)> enumerate = [&](size_t i) {
     if (stop) return;
     if (i == pinned_vars.size()) {
       ++stats.start_assignments;
+      ++check_op.rows_in;
       if (check_assignment()) {
+        ++check_op.rows_out;
         std::vector<NodeId> head;
         for (const NodeTerm& term : query.head_nodes()) {
           head.push_back(binding[query.NodeVarIndex(term.name)]);
@@ -346,6 +354,7 @@ Status EvaluateQlen(const GraphDb& graph, const Query& query,
     binding[var] = -1;
   };
   enumerate(0);
+  stats.operators.push_back(std::move(check_op));
   return emitter.status();
 }
 

@@ -1,12 +1,24 @@
 #include "core/evaluator.h"
 
+#include <cstdlib>
+
 #include "core/eval_bruteforce.h"
 #include "core/eval_counting.h"
 #include "core/eval_crpq.h"
 #include "core/eval_product.h"
 #include "core/eval_qlen.h"
+#include "core/planner.h"
 
 namespace ecrpq {
+
+bool DefaultUsePlanner() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("ECRPQ_NO_PLANNER");
+    return env == nullptr || env[0] == '\0' ||
+           (env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
 
 Engine SelectEngine(const Query& query, const QueryAnalysis& analysis,
                     Engine requested) {
@@ -16,18 +28,38 @@ Engine SelectEngine(const Query& query, const QueryAnalysis& analysis,
   return Engine::kProduct;
 }
 
-Status Evaluator::Evaluate(const Query& query, ResultSink& sink,
-                           EvalStats& stats,
-                           CompiledQueryPtr compiled) const {
-  Engine engine;
-  if (options_.engine == Engine::kAuto) {
-    // Prefer the prepared analysis; analyze on the fly otherwise.
-    engine = (compiled != nullptr)
-                 ? SelectEngine(query, compiled->analysis, Engine::kAuto)
-                 : SelectEngine(query, Analyze(query), Engine::kAuto);
-  } else {
-    engine = options_.engine;
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kAuto:
+      return "auto";
+    case Engine::kProduct:
+      return "product";
+    case Engine::kCrpq:
+      return "crpq";
+    case Engine::kCounting:
+      return "counting";
+    case Engine::kQlen:
+      return "qlen";
+    case Engine::kBruteForce:
+      return "bruteforce";
   }
+  return "?";
+}
+
+Status Evaluator::Evaluate(const Query& query, ResultSink& sink,
+                           EvalStats& stats, CompiledQueryPtr compiled,
+                           const PhysicalPlan* plan) const {
+  // Compile once when the caller supplied nothing: the compiled form
+  // carries the structural analysis, so engine selection and the engine's
+  // own resolution share one Analyze pass instead of each redoing it
+  // (prepared executions hand in the plan-cache copy the same way).
+  if (compiled == nullptr) {
+    auto built = CompileQuery(query, graph_->alphabet().size());
+    if (!built.ok()) return built.status();
+    compiled = std::move(built).value();
+  }
+  const Engine engine =
+      SelectEngine(query, compiled->analysis, options_.engine);
   // Build (or refresh) the cached index. GraphDb is append-only, so a
   // snapshot is stale iff one of its counters moved — revalidating here
   // keeps a reused Evaluator correct when the graph was grown between
@@ -46,7 +78,7 @@ Status Evaluator::Evaluate(const Query& query, ResultSink& sink,
   switch (engine) {
     case Engine::kProduct:
       return EvaluateProduct(*graph_, query, options_, sink, stats,
-                             std::move(compiled), std::move(index));
+                             std::move(compiled), std::move(index), plan);
     case Engine::kCrpq:
       return EvaluateCrpq(*graph_, query, options_, sink, stats,
                           std::move(compiled), std::move(index));

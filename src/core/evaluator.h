@@ -50,6 +50,9 @@ namespace ecrpq {
 struct CompiledQuery;
 using CompiledQueryPtr = std::shared_ptr<const CompiledQuery>;
 
+// Cost-based operator DAG for a query (core/planner.h).
+struct PhysicalPlan;
+
 enum class Engine {
   kAuto,
   kProduct,
@@ -59,11 +62,29 @@ enum class Engine {
   kBruteForce,
 };
 
+/// Default for EvalOptions::use_planner: true unless the ECRPQ_NO_PLANNER
+/// environment variable is set to a non-empty, non-"0" value (the CI
+/// ablation hook — the whole suite runs once with the planner and once
+/// on the legacy path).
+bool DefaultUsePlanner();
+
 struct EvalOptions {
   Engine engine = Engine::kAuto;
 
   /// Evaluate synchronization components independently and join (kProduct).
+  /// Off = forbid decomposition: the whole conjunction runs as ONE
+  /// monolithic product (the paper's Thm 5.1 evaluation, exponential in
+  /// the number of components) — the baseline the planner is measured
+  /// against (bench_planner_join).
   bool use_components = true;
+
+  /// Cost-based conjunct planning (core/planner.h): order components
+  /// cheapest-first by GraphIndex cardinality estimates and seed later
+  /// components from earlier bindings (sideways information passing).
+  /// Off = the legacy path: components in analysis order, each solved by
+  /// full degree-ordered seeding, then joined. Defaults to on; the
+  /// ECRPQ_NO_PLANNER environment variable flips the default off.
+  bool use_planner = DefaultUsePlanner();
 
   /// Semi-join reduction before enumeration on acyclic queries (kCrpq).
   bool use_semijoin_reduction = true;
@@ -92,6 +113,9 @@ struct EvalOptions {
 /// `requested` unchanged otherwise.
 Engine SelectEngine(const Query& query, const QueryAnalysis& analysis,
                     Engine requested);
+
+/// Lower-case display name of an engine ("product", "crpq", ...).
+const char* EngineName(Engine engine);
 
 /// Materialized evaluation output: Q(G) with node tuples sorted and path
 /// answers represented by Prop 5.2 automata. This is a thin value type
@@ -158,9 +182,14 @@ class Evaluator {
   /// discovery order; `stats` receives engine counters. When `compiled`
   /// is non-null it must be the CompileQuery output for `query` (reused
   /// automata + analysis; see eval_product.h) — prepared-query executions
-  /// pass it to skip recompilation.
+  /// pass it to skip recompilation. When it is null, the query is
+  /// compiled here once and the compiled analysis is shared between
+  /// engine selection and the engine itself (one Analyze pass, not two).
+  /// `plan` (optional) is a cached PhysicalPlan for this query
+  /// (core/planner.h); engines plan on the fly when absent.
   Status Evaluate(const Query& query, ResultSink& sink, EvalStats& stats,
-                  CompiledQueryPtr compiled = nullptr) const;
+                  CompiledQueryPtr compiled = nullptr,
+                  const PhysicalPlan* plan = nullptr) const;
 
   const EvalOptions& options() const { return options_; }
 

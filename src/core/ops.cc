@@ -1,0 +1,927 @@
+#include "core/ops.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <queue>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/eval_crpq.h"
+
+namespace ecrpq {
+
+BindingTable ProjectDistinct(const BindingTable& table,
+                             const std::vector<int>& vars) {
+  BindingTable out;
+  out.vars = vars;
+  std::vector<int> cols;
+  for (int v : vars) {
+    int c = table.ColumnOf(v);
+    ECRPQ_DCHECK(c >= 0);
+    cols.push_back(c);
+  }
+  std::set<std::vector<NodeId>> seen;
+  for (const std::vector<NodeId>& row : table.rows) {
+    std::vector<NodeId> projected;
+    projected.reserve(cols.size());
+    for (int c : cols) projected.push_back(row[c]);
+    if (seen.insert(projected).second) out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+ComponentSpec BuildComponentSpec(const ResolvedQuery& rq,
+                                 const std::vector<int>& atom_indices) {
+  ComponentSpec comp;
+  comp.atom_indices = atom_indices;
+  comp.track_of_path.assign(rq.query->path_variables().size(), -1);
+  auto add_var = [&](const ResolvedTerm& term, bool is_start) {
+    if (term.is_const) return;
+    if (std::find(comp.vars.begin(), comp.vars.end(), term.var) ==
+        comp.vars.end()) {
+      comp.vars.push_back(term.var);
+    }
+    if (is_start &&
+        std::find(comp.start_vars.begin(), comp.start_vars.end(),
+                  term.var) == comp.start_vars.end()) {
+      comp.start_vars.push_back(term.var);
+    }
+  };
+  for (int idx : atom_indices) {
+    const ResolvedAtom& atom = rq.atoms[idx];
+    if (comp.track_of_path[atom.path] < 0) {
+      comp.track_of_path[atom.path] = static_cast<int>(comp.tracks.size());
+      comp.tracks.push_back(atom.path);
+    }
+    add_var(atom.from, /*is_start=*/true);
+    add_var(atom.to, /*is_start=*/false);
+  }
+  for (size_t r = 0; r < rq.relations().size(); ++r) {
+    // A relation belongs to the component holding its first path's track
+    // (components contain either all or none of a relation's paths).
+    if (comp.track_of_path[rq.relations()[r].paths[0]] >= 0) {
+      comp.relation_indices.push_back(static_cast<int>(r));
+    }
+  }
+  return comp;
+}
+
+bool IsReachabilityScanComponent(const ResolvedQuery& rq,
+                                 const ComponentSpec& comp) {
+  if (comp.atom_indices.size() != 1 || comp.tracks.size() != 1) return false;
+  for (int r : comp.relation_indices) {
+    if (rq.relations()[r].relation->arity() != 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Interns relation state subsets.
+class SubsetPool {
+ public:
+  int Intern(std::vector<StateId> subset) {
+    auto [it, inserted] = ids_.emplace(std::move(subset), 0);
+    if (inserted) {
+      it->second = static_cast<int>(store_.size());
+      store_.push_back(it->first);
+    }
+    return it->second;
+  }
+  const std::vector<StateId>& Get(int id) const { return store_[id]; }
+
+ private:
+  std::map<std::vector<StateId>, int> ids_;
+  std::vector<std::vector<StateId>> store_;
+};
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashConfig(const ProductConfig& c) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto feed = [&h](uint32_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  feed(c.padmask);
+  for (NodeId v : c.nodes) feed(static_cast<uint32_t>(v));
+  for (int s : c.subset_ids) feed(static_cast<uint32_t>(s));
+  return h;
+}
+
+// Open-addressing visited/intern table over product configurations.
+//
+// When padmask + per-track node ids + per-relation subset ids fit one
+// word, configurations are keyed by a packed uint64 code and probes
+// compare single words — no per-configuration allocation, no vector
+// hashing. Subset-interning ids are assigned dynamically, so a search
+// whose subset count outgrows its bit field migrates once to the generic
+// path (hash of the config, structural equality against the discovery
+// array) and keeps going; searches whose shape never fits start there.
+class VisitedTable {
+ public:
+  VisitedTable(int tracks, int relations, int num_nodes)
+      : tracks_(tracks), relations_(relations) {
+    node_bits_ = std::bit_width(
+        static_cast<uint32_t>(std::max(num_nodes - 1, 1)));
+    int used = tracks_ + tracks_ * node_bits_;
+    if (used <= 64 && relations_ > 0) {
+      subset_bits_ = std::min<int>(31, (64 - used) / relations_);
+    } else {
+      subset_bits_ = 0;
+    }
+    packed_ = (used + relations_ * subset_bits_ <= 64) &&
+              (relations_ == 0 || subset_bits_ >= 1);
+    Rehash(1024);
+  }
+
+  // Returns (config id, inserted). A new config is appended to `order`.
+  std::pair<int, bool> FindOrInsert(ProductConfig&& c,
+                                    std::vector<ProductConfig>& order) {
+    if (packed_) {
+      uint64_t code;
+      if (!TryPack(c, &code)) {
+        MigrateToGeneric(order);
+      } else {
+        if ((size_ + 1) * 10 >= slots_.size() * 7) RehashPacked(order);
+        size_t i = Mix64(code) & (slots_.size() - 1);
+        while (slots_[i] >= 0) {
+          if (keys_[i] == code) return {slots_[i], false};
+          i = (i + 1) & (slots_.size() - 1);
+        }
+        int id = static_cast<int>(order.size());
+        order.push_back(std::move(c));
+        slots_[i] = id;
+        keys_[i] = code;
+        ++size_;
+        return {id, true};
+      }
+    }
+    if ((size_ + 1) * 10 >= slots_.size() * 7) RehashGeneric(order);
+    size_t i = HashConfig(c) & (slots_.size() - 1);
+    while (slots_[i] >= 0) {
+      if (order[slots_[i]] == c) return {slots_[i], false};
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    int id = static_cast<int>(order.size());
+    order.push_back(std::move(c));
+    slots_[i] = id;
+    ++size_;
+    return {id, true};
+  }
+
+ private:
+  bool TryPack(const ProductConfig& c, uint64_t* out) const {
+    uint64_t code = c.padmask;
+    int shift = tracks_;
+    for (NodeId v : c.nodes) {
+      code |= static_cast<uint64_t>(static_cast<uint32_t>(v)) << shift;
+      shift += node_bits_;
+    }
+    for (int s : c.subset_ids) {
+      if (static_cast<int64_t>(s) >= (int64_t{1} << subset_bits_)) {
+        return false;
+      }
+      code |= static_cast<uint64_t>(s) << shift;
+      shift += subset_bits_;
+    }
+    *out = code;
+    return true;
+  }
+
+  void Rehash(size_t capacity) {
+    slots_.assign(capacity, -1);
+    if (packed_) keys_.assign(capacity, 0);
+  }
+
+  void RehashPacked(const std::vector<ProductConfig>& order) {
+    (void)order;  // packed slots carry their own keys
+    std::vector<int32_t> old_slots = std::move(slots_);
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    Rehash(old_slots.size() * 2);
+    for (size_t j = 0; j < old_slots.size(); ++j) {
+      if (old_slots[j] < 0) continue;
+      size_t i = Mix64(old_keys[j]) & (slots_.size() - 1);
+      while (slots_[i] >= 0) i = (i + 1) & (slots_.size() - 1);
+      slots_[i] = old_slots[j];
+      keys_[i] = old_keys[j];
+    }
+  }
+
+  // Clears the table to `capacity` slots and re-inserts every config of
+  // `order` by structural hash (generic mode's rebuild).
+  void RebuildGeneric(size_t capacity,
+                      const std::vector<ProductConfig>& order) {
+    slots_.assign(capacity, -1);
+    for (size_t id = 0; id < order.size(); ++id) {
+      size_t i = HashConfig(order[id]) & (capacity - 1);
+      while (slots_[i] >= 0) i = (i + 1) & (capacity - 1);
+      slots_[i] = static_cast<int32_t>(id);
+    }
+  }
+
+  void RehashGeneric(const std::vector<ProductConfig>& order) {
+    RebuildGeneric(slots_.size() * 2, order);
+  }
+
+  void MigrateToGeneric(const std::vector<ProductConfig>& order) {
+    packed_ = false;
+    keys_.clear();
+    keys_.shrink_to_fit();
+    RebuildGeneric(slots_.size(), order);
+  }
+
+  int tracks_;
+  int relations_;
+  int node_bits_ = 0;
+  int subset_bits_ = 0;
+  bool packed_ = false;
+  size_t size_ = 0;
+  std::vector<int32_t> slots_;  // config id or -1
+  std::vector<uint64_t> keys_;  // packed code per occupied slot
+};
+
+// Product search over one component for one start assignment.
+class ComponentSearch {
+ public:
+  ComponentSearch(const ResolvedQuery& rq, const ComponentSpec& comp,
+                  const EvalOptions& options, EvalStats* stats)
+      : rq_(rq),
+        comp_(comp),
+        options_(options),
+        stats_(stats),
+        index_(rq.index.get()),
+        use_masks_(rq.graph->alphabet().size() <= 64) {
+    // Per-relation tuple alphabets and local track lists.
+    for (int r : comp_.relation_indices) {
+      const ResolvedRelation& rel = rq_.relations()[r];
+      std::vector<int> local;
+      for (int p : rel.paths) local.push_back(comp_.track_of_path[p]);
+      rel_local_tracks_.push_back(std::move(local));
+      rel_alphabets_.emplace_back(rel.relation->tuple_alphabet());
+    }
+    subset_masks_.resize(comp_.relation_indices.size());
+  }
+
+  // Runs BFS from one start-node-per-track assignment; reports satisfying
+  // (full component assignment) tuples into `results`. `fixed` holds
+  // pre-bound global vars (or -1). If `sink` is non-null the product graph
+  // is recorded there.
+  Status Run(const std::vector<NodeId>& start_nodes,
+             const std::vector<NodeId>& fixed,
+             std::set<std::vector<NodeId>>* results,
+             ProductGraphSink* sink) {
+    const int T = static_cast<int>(comp_.tracks.size());
+    const GraphDb& graph = *rq_.graph;
+
+    // Start binding of start vars (from the caller's enumeration).
+    // Initial relation subsets.
+    ProductConfig init;
+    init.nodes = start_nodes;
+    init.padmask = 0;
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const ResolvedRelation& rel =
+          rq_.relations()[comp_.relation_indices[i]];
+      std::vector<StateId> subset = rel.initial;
+      std::sort(subset.begin(), subset.end());
+      if (subset.empty()) return Status::OK();  // relation unsatisfiable
+      init.subset_ids.push_back(pool_.Intern(std::move(subset)));
+    }
+
+    // The sink may already hold configs from previous start assignments;
+    // all sink indices are offset by its current size.
+    const int sink_base =
+        (sink != nullptr) ? static_cast<int>(sink->configs.size()) : 0;
+    VisitedTable visited(T, static_cast<int>(comp_.relation_indices.size()),
+                         graph.num_nodes());
+    std::vector<ProductConfig> order;
+    std::queue<int> work;
+    auto intern_config = [&](ProductConfig c) -> std::pair<int, bool> {
+      auto [id, inserted] = visited.FindOrInsert(std::move(c), order);
+      if (inserted) {
+        work.push(id);
+        ++visited_configs_;
+        if (sink != nullptr) {
+          sink->configs.push_back(order.back());
+          sink->arcs.emplace_back();
+          sink->initial.push_back(false);
+          sink->accepting.push_back(false);
+        }
+      }
+      return {id, inserted};
+    };
+
+    auto [init_id, fresh] = intern_config(std::move(init));
+    (void)fresh;
+    if (sink != nullptr) sink->initial[sink_base + init_id] = true;
+
+    while (!work.empty()) {
+      int config_id = work.front();
+      work.pop();
+      if (++stats_->configs_explored > options_.max_configs) {
+        return Status::ResourceExhausted(
+            "product search exceeded max_configs=" +
+            std::to_string(options_.max_configs));
+      }
+      ProductConfig current = order[config_id];  // copy: order grows below
+
+      // Acceptance: every relation subset intersects its accepting set,
+      // and end constraints are consistent.
+      if (Accepting(current)) {
+        std::vector<NodeId> assignment;
+        if (EndConsistent(current, start_nodes, fixed, &assignment)) {
+          if (results != nullptr) results->insert(assignment);
+          if (sink != nullptr) sink->accepting[sink_base + config_id] = true;
+        }
+      }
+
+      // Expand successors: per track choose pad or an edge, pulling only
+      // the label slices the live relation state-sets can read.
+      ComputeLiveMasks(current);
+      std::vector<Symbol> letter(T);
+      std::vector<NodeId> next_nodes(T);
+      ExpandRec(0, T, current, &letter, &next_nodes, graph,
+                [&](ProductConfig next, const std::vector<Symbol>& letters) {
+                  ++stats_->arcs_explored;
+                  ++frontier_expansions_;
+                  auto [next_id, unused] = intern_config(std::move(next));
+                  (void)unused;
+                  if (sink != nullptr) {
+                    sink->arcs[sink_base + config_id].push_back(
+                        {letters, sink_base + next_id});
+                  }
+                });
+    }
+    return Status::OK();
+  }
+
+  const ComponentSpec& component() const { return comp_; }
+  uint64_t visited_configs() const { return visited_configs_; }
+  uint64_t frontier_expansions() const { return frontier_expansions_; }
+
+ private:
+  bool Accepting(const ProductConfig& c) const {
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const ResolvedRelation& rel =
+          rq_.relations()[comp_.relation_indices[i]];
+      bool ok = false;
+      for (StateId s : pool_.Get(c.subset_ids[i])) {
+        if (rel.accepting[s]) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  // Checks end-node constraints; produces the component assignment
+  // (parallel to comp_.vars) on success.
+  bool EndConsistent(const ProductConfig& c,
+                     const std::vector<NodeId>& start_nodes,
+                     const std::vector<NodeId>& fixed,
+                     std::vector<NodeId>* assignment) const {
+    std::vector<NodeId> binding(rq_.query->node_variables().size(), -1);
+    // Seed with fixed bindings and start assignments.
+    for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
+    for (int idx : comp_.atom_indices) {
+      const ResolvedAtom& atom = rq_.atoms[idx];
+      int track = comp_.track_of_path[atom.path];
+      NodeId start = start_nodes[track];
+      NodeId end = c.nodes[track];
+      // From-term: already consistent by construction of start_nodes, but
+      // fixed vars must agree too.
+      if (atom.from.is_const) {
+        if (atom.from.node != start) return false;
+      } else {
+        if (binding[atom.from.var] >= 0 && binding[atom.from.var] != start) {
+          return false;
+        }
+        binding[atom.from.var] = start;
+      }
+      if (atom.to.is_const) {
+        if (atom.to.node != end) return false;
+      } else {
+        if (binding[atom.to.var] >= 0 && binding[atom.to.var] != end) {
+          return false;
+        }
+        binding[atom.to.var] = end;
+      }
+    }
+    assignment->clear();
+    for (int v : comp_.vars) assignment->push_back(binding[v]);
+    return true;
+  }
+
+  // Per-tape letter masks of one relation's current subset, OR of the
+  // compiled per-state tape_masks; cached per interned subset id.
+  const std::vector<uint64_t>& SubsetMasks(size_t i, int subset_id) {
+    auto& cache = subset_masks_[i];
+    if (subset_id >= static_cast<int>(cache.size())) {
+      cache.resize(subset_id + 1);
+    }
+    std::vector<uint64_t>& entry = cache[subset_id];
+    if (entry.empty()) {
+      const ResolvedRelation& rel =
+          rq_.relations()[comp_.relation_indices[i]];
+      entry.assign(rel_local_tracks_[i].size(), 0);
+      for (StateId s : pool_.Get(subset_id)) {
+        for (size_t tape = 0; tape < entry.size(); ++tape) {
+          entry[tape] |= rel.tape_masks[s][tape];
+        }
+      }
+    }
+    return entry;
+  }
+
+  // live_[t]: base letters track t may read without killing a relation —
+  // the intersection, over relations reading t, of the letters their
+  // current state-sets accept on that tape (Thm 6.1's restriction).
+  void ComputeLiveMasks(const ProductConfig& current) {
+    live_.assign(comp_.tracks.size(), ~0ULL);
+    if (index_ == nullptr || !use_masks_) return;
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const std::vector<uint64_t>& masks =
+          SubsetMasks(i, current.subset_ids[i]);
+      const std::vector<int>& local = rel_local_tracks_[i];
+      for (size_t tape = 0; tape < local.size(); ++tape) {
+        live_[local[tape]] &= masks[tape];
+      }
+    }
+  }
+
+  template <typename Callback>
+  void ExpandRec(int t, int total, const ProductConfig& current,
+                 std::vector<Symbol>* letter, std::vector<NodeId>* next_nodes,
+                 const GraphDb& graph, const Callback& emit) {
+    if (t == total) {
+      uint32_t new_padmask = 0;
+      bool all_pad = true;
+      for (int i = 0; i < total; ++i) {
+        if ((*letter)[i] == kPad) {
+          new_padmask |= (1u << i);
+        } else {
+          all_pad = false;
+        }
+      }
+      if (all_pad) return;
+      // Advance relations on their projected letters.
+      ProductConfig next;
+      next.padmask = new_padmask;
+      next.nodes = *next_nodes;
+      next.subset_ids.resize(comp_.relation_indices.size());
+      for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+        const ResolvedRelation& rel =
+            rq_.relations()[comp_.relation_indices[i]];
+        const std::vector<int>& local = rel_local_tracks_[i];
+        TupleLetter proj(local.size());
+        bool rel_all_pad = true;
+        for (size_t tape = 0; tape < local.size(); ++tape) {
+          proj[tape] = (*letter)[local[tape]];
+          if (proj[tape] != kPad) rel_all_pad = false;
+        }
+        if (rel_all_pad) {
+          // The relation's word has ended; its subset is frozen.
+          next.subset_ids[i] = current.subset_ids[i];
+          continue;
+        }
+        Symbol id = rel_alphabets_[i].Encode(proj);
+        std::vector<StateId> advanced;
+        for (StateId s : pool_.Get(current.subset_ids[i])) {
+          auto it = rel.transitions[s].find(id);
+          if (it != rel.transitions[s].end()) {
+            advanced.insert(advanced.end(), it->second.begin(),
+                            it->second.end());
+          }
+        }
+        if (advanced.empty()) return;  // prune
+        std::sort(advanced.begin(), advanced.end());
+        advanced.erase(std::unique(advanced.begin(), advanced.end()),
+                       advanced.end());
+        next.subset_ids[i] = pool_.Intern(std::move(advanced));
+      }
+      emit(std::move(next), *letter);
+      return;
+    }
+    // Option 1: pad (always allowed; forced when already padded).
+    (*letter)[t] = kPad;
+    (*next_nodes)[t] = current.nodes[t];
+    ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+    // Option 2: follow an edge (only when not padded).
+    if (!(current.padmask & (1u << t))) {
+      const NodeId v = current.nodes[t];
+      if (index_ != nullptr && use_masks_) {
+        // Indexed path: visit only the letters live for this track and
+        // present at the node (one AND against the node's label mask).
+        // Small adjacency rows are filtered linearly (a binary search per
+        // label costs more than reading a handful of edges); large rows
+        // jump straight to the per-label slices.
+        const uint64_t mask = live_[t] & index_->OutLabelMask(v);
+        if (mask == 0) {
+          // No live letter at this node: the track can only pad.
+        } else if (index_->out_degree(v) <= 16) {
+          std::span<const Symbol> labels = index_->OutLabels(v);
+          std::span<const NodeId> targets = index_->OutTargets(v);
+          for (size_t i = 0; i < labels.size(); ++i) {
+            if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
+              continue;
+            }
+            (*letter)[t] = labels[i];
+            (*next_nodes)[t] = targets[i];
+            ExpandRec(t + 1, total, current, letter, next_nodes, graph,
+                      emit);
+          }
+        } else {
+          uint64_t bits = mask;
+          while (bits != 0) {
+            Symbol label = static_cast<Symbol>(std::countr_zero(bits));
+            bits &= bits - 1;
+            for (NodeId to : index_->Out(v, label)) {
+              (*letter)[t] = label;
+              (*next_nodes)[t] = to;
+              ExpandRec(t + 1, total, current, letter, next_nodes, graph,
+                        emit);
+            }
+          }
+        }
+      } else if (index_ != nullptr) {
+        std::span<const Symbol> labels = index_->OutLabels(v);
+        std::span<const NodeId> targets = index_->OutTargets(v);
+        for (size_t i = 0; i < labels.size(); ++i) {
+          (*letter)[t] = labels[i];
+          (*next_nodes)[t] = targets[i];
+          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+        }
+      } else {
+        for (const auto& [label, to] : graph.Out(v)) {
+          (*letter)[t] = label;
+          (*next_nodes)[t] = to;
+          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+        }
+      }
+    }
+  }
+
+  const ResolvedQuery& rq_;
+  const ComponentSpec& comp_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+  const GraphIndex* index_;  // null = scan GraphDb adjacency (legacy path)
+  bool use_masks_;           // base alphabet fits the 64-bit letter masks
+  SubsetPool pool_;
+  std::vector<std::vector<int>> rel_local_tracks_;
+  std::vector<TupleAlphabet> rel_alphabets_;
+  // Per component relation: per-tape letter masks keyed by subset id.
+  std::vector<std::vector<std::vector<uint64_t>>> subset_masks_;
+  std::vector<uint64_t> live_;  // per-track live letters, per expansion
+  uint64_t visited_configs_ = 0;
+  uint64_t frontier_expansions_ = 0;
+};
+
+// Enumerates start assignments (respecting `fixed`) and runs one product
+// BFS per assignment — the ProductExpand body for one overlay of fixed
+// bindings.
+Status ExpandWithSeeding(const ResolvedQuery& rq, ComponentSearch& search,
+                         const std::vector<NodeId>& fixed, EvalStats* stats,
+                         std::set<std::vector<NodeId>>* results,
+                         ProductGraphSink* sink) {
+  const ComponentSpec& comp = search.component();
+  const GraphDb& graph = *rq.graph;
+
+  std::vector<NodeId> binding(rq.query->node_variables().size(), -1);
+  for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
+
+  const std::vector<int>& start_vars = comp.start_vars;
+
+  std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
+    if (i == start_vars.size()) {
+      // Derive start node per track; all from-terms of a track must agree.
+      std::vector<NodeId> start_nodes(comp.tracks.size(), -1);
+      for (int idx : comp.atom_indices) {
+        const ResolvedAtom& atom = rq.atoms[idx];
+        int track = comp.track_of_path[atom.path];
+        NodeId v = atom.from.is_const ? atom.from.node
+                                      : binding[atom.from.var];
+        if (start_nodes[track] < 0) {
+          start_nodes[track] = v;
+        } else if (start_nodes[track] != v) {
+          return Status::OK();  // inconsistent repetition start
+        }
+      }
+      ++stats->start_assignments;
+      return search.Run(start_nodes, binding, results, sink);
+    }
+    int var = start_vars[i];
+    if (binding[var] >= 0) return enumerate(i + 1);
+    // Seed from high-degree nodes first (GraphIndex permutation): under
+    // early termination the densest frontiers reach answers soonest. The
+    // answer set is order-independent (results is a set).
+    if (rq.index != nullptr) {
+      for (NodeId v : rq.index->NodesByDegree()) {
+        binding[var] = v;
+        Status st = enumerate(i + 1);
+        if (!st.ok()) return st;
+      }
+    } else {
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        binding[var] = v;
+        Status st = enumerate(i + 1);
+        if (!st.ok()) return st;
+      }
+    }
+    binding[var] = -1;
+    return Status::OK();
+  };
+  return enumerate(0);
+}
+
+// ReachabilityScan leaf: single path atom, all-unary languages. One
+// intersected-NFA BFS (restricted to seeded sources when available)
+// instead of the subset-tracking product search.
+Status ScanComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
+                       const EvalOptions& options,
+                       const std::vector<NodeId>& fixed,
+                       const BindingTable* seeds, EvalStats& stats,
+                       OperatorStats& op,
+                       std::set<std::vector<NodeId>>* results) {
+  const ResolvedAtom& atom = rq.atoms[comp.atom_indices[0]];
+  std::vector<const RegularRelation*> languages;
+  for (int r : comp.relation_indices) {
+    languages.push_back(rq.relations()[r].relation);
+  }
+
+  // Source restriction: constant > fixed > seeded column > all nodes.
+  auto bound_of = [&](const ResolvedTerm& term) -> NodeId {
+    if (term.is_const) return term.node;
+    return fixed[term.var];
+  };
+  NodeId from_bound = bound_of(atom.from);
+
+  std::vector<NodeId> sources;
+  const std::vector<NodeId>* source_ptr = nullptr;
+  int seed_from_col =
+      (seeds != nullptr && !atom.from.is_const && fixed[atom.from.var] < 0)
+          ? seeds->ColumnOf(atom.from.var)
+          : -1;
+  if (from_bound >= 0) {
+    sources.push_back(from_bound);
+    source_ptr = &sources;
+  } else if (seed_from_col >= 0) {
+    std::set<NodeId> distinct;
+    for (const std::vector<NodeId>& row : seeds->rows) {
+      distinct.insert(row[seed_from_col]);
+    }
+    sources.assign(distinct.begin(), distinct.end());
+    source_ptr = &sources;
+  }
+
+  ReachabilityScanStats scan_stats;
+  std::vector<std::pair<NodeId, NodeId>> pairs = ReachabilityPairs(
+      *rq.graph, languages, rq.index.get(), source_ptr, &scan_stats);
+  op.frontier_expansions += scan_stats.frontier_expansions;
+  op.visited_configs += scan_stats.visited_states;
+  stats.arcs_explored += scan_stats.frontier_expansions;
+  stats.start_assignments +=
+      source_ptr != nullptr ? sources.size() : rq.graph->num_nodes();
+  // Charge visited (language state, node) pairs to the product budget —
+  // the same states a product search over this component would have
+  // interned — so the ReachabilityScan routing preserves the caller's
+  // max_configs resource guard. (The scan itself is polynomial, so the
+  // check after the fact bounds the query, not an explosion.)
+  stats.configs_explored += scan_stats.visited_states;
+  if (stats.configs_explored > options.max_configs) {
+    return Status::ResourceExhausted(
+        "product search exceeded max_configs=" +
+        std::to_string(options.max_configs));
+  }
+
+  // Seed-row compatibility set (projection of seed rows onto comp.vars).
+  std::set<std::vector<NodeId>> seed_set;
+  std::vector<int> seed_cols;
+  if (seeds != nullptr) {
+    for (int v : seeds->vars) seed_cols.push_back(v);
+    for (const std::vector<NodeId>& row : seeds->rows) seed_set.insert(row);
+  }
+
+  for (const auto& [u, v] : pairs) {
+    if (atom.from.is_const && u != atom.from.node) continue;
+    if (atom.to.is_const && v != atom.to.node) continue;
+    std::vector<NodeId> binding(rq.query->node_variables().size(), -1);
+    for (size_t i = 0; i < fixed.size(); ++i) binding[i] = fixed[i];
+    bool ok = true;
+    if (!atom.from.is_const) {
+      if (binding[atom.from.var] >= 0 && binding[atom.from.var] != u) {
+        ok = false;
+      }
+      binding[atom.from.var] = u;
+    }
+    if (ok && !atom.to.is_const) {
+      if (binding[atom.to.var] >= 0 && binding[atom.to.var] != v) ok = false;
+      if (ok) binding[atom.to.var] = v;
+    }
+    if (!ok) continue;
+    std::vector<NodeId> assignment;
+    for (int var : comp.vars) assignment.push_back(binding[var]);
+    if (seeds != nullptr) {
+      std::vector<NodeId> key;
+      for (int var : seed_cols) key.push_back(binding[var]);
+      if (seed_set.find(key) == seed_set.end()) continue;
+    }
+    results->insert(std::move(assignment));
+  }
+  return Status::OK();
+}
+
+std::string ComponentDetail(const ComponentSpec& comp) {
+  std::string detail = "atoms";
+  for (int idx : comp.atom_indices) detail += " " + std::to_string(idx);
+  return detail;
+}
+
+}  // namespace
+
+Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
+                          const EvalOptions& options,
+                          const std::vector<NodeId>& fixed,
+                          const BindingTable* seeds, double est_rows,
+                          EvalStats& stats,
+                          std::set<std::vector<NodeId>>* results,
+                          ProductGraphSink* graph_sink) {
+  OperatorStats op;
+  op.detail = ComponentDetail(comp);
+  op.est_rows = est_rows;
+  op.rows_in = (seeds != nullptr) ? seeds->rows.size() : 0;
+  const size_t before = (results != nullptr) ? results->size() : 0;
+
+  Status status;
+  if (results != nullptr && graph_sink == nullptr &&
+      IsReachabilityScanComponent(rq, comp)) {
+    op.op = "ReachabilityScan";
+    status = ScanComponentOp(rq, comp, options, fixed, seeds, stats, op,
+                             results);
+  } else {
+    op.op = "ProductExpand";
+    ComponentSearch search(rq, comp, options, &stats);
+    if (seeds != nullptr && !seeds->vars.empty()) {
+      // Sideways information passing: one seeded expansion per seed row.
+      std::vector<NodeId> overlay;
+      for (const std::vector<NodeId>& row : seeds->rows) {
+        overlay = fixed;
+        bool consistent = true;
+        for (size_t i = 0; i < seeds->vars.size(); ++i) {
+          int var = seeds->vars[i];
+          if (overlay[var] >= 0 && overlay[var] != row[i]) {
+            consistent = false;
+            break;
+          }
+          overlay[var] = row[i];
+        }
+        if (!consistent) continue;
+        status = ExpandWithSeeding(rq, search, overlay, &stats, results,
+                                   graph_sink);
+        if (!status.ok()) break;
+      }
+    } else {
+      status = ExpandWithSeeding(rq, search, fixed, &stats, results,
+                                 graph_sink);
+    }
+    op.visited_configs = search.visited_configs();
+    op.frontier_expansions = search.frontier_expansions();
+  }
+
+  op.rows_out = (results != nullptr) ? results->size() - before : 0;
+  if (graph_sink != nullptr) op.rows_out = graph_sink->configs.size();
+  stats.operators.push_back(std::move(op));
+  return status;
+}
+
+BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
+                        EvalStats& stats) {
+  OperatorStats op;
+  op.op = "HashJoin";
+  op.rows_in = left.rows.size() + right.rows.size();
+
+  // Shared variables and output layout: left columns, then right's
+  // non-shared columns.
+  std::vector<std::pair<int, int>> shared;  // (left col, right col)
+  std::vector<int> right_extra;             // right cols not shared
+  for (size_t rc = 0; rc < right.vars.size(); ++rc) {
+    int lc = left.ColumnOf(right.vars[rc]);
+    if (lc >= 0) {
+      shared.emplace_back(lc, static_cast<int>(rc));
+    } else {
+      right_extra.push_back(static_cast<int>(rc));
+    }
+  }
+  for (const auto& [lc, rc] : shared) {
+    op.detail += (op.detail.empty() ? "on" : ",");
+    (void)lc;
+    op.detail += " v" + std::to_string(right.vars[rc]);
+  }
+  if (shared.empty()) op.detail = "cross";
+
+  BindingTable out;
+  out.vars = left.vars;
+  for (int rc : right_extra) out.vars.push_back(right.vars[rc]);
+
+  // Build on the right, keyed by the shared columns; probe with the left.
+  std::map<std::vector<NodeId>, std::vector<int>> build;
+  for (size_t r = 0; r < right.rows.size(); ++r) {
+    std::vector<NodeId> key;
+    key.reserve(shared.size());
+    for (const auto& [lc, rc] : shared) {
+      (void)lc;
+      key.push_back(right.rows[r][rc]);
+    }
+    build[std::move(key)].push_back(static_cast<int>(r));
+  }
+
+  // Output rows are distinct by construction: both inputs hold distinct
+  // rows, and an output is its left row (prefix) plus the right row's
+  // non-key columns — two equal outputs would need two equal right rows.
+  for (const std::vector<NodeId>& lrow : left.rows) {
+    std::vector<NodeId> key;
+    key.reserve(shared.size());
+    for (const auto& [lc, rc] : shared) {
+      (void)rc;
+      key.push_back(lrow[lc]);
+    }
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (int r : it->second) {
+      std::vector<NodeId> row = lrow;
+      for (int rc : right_extra) row.push_back(right.rows[r][rc]);
+      ++stats.join_tuples;
+      out.rows.push_back(std::move(row));
+    }
+  }
+
+  op.rows_out = out.rows.size();
+  stats.operators.push_back(std::move(op));
+  return out;
+}
+
+bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
+                      EvalStats& stats) {
+  std::vector<std::pair<int, int>> shared;  // (target col, filter col)
+  for (size_t fc = 0; fc < filter.vars.size(); ++fc) {
+    int tc = target->ColumnOf(filter.vars[fc]);
+    if (tc >= 0) shared.emplace_back(tc, static_cast<int>(fc));
+  }
+  if (shared.empty()) return false;
+
+  OperatorStats op;
+  op.op = "SemiJoinFilter";
+  op.rows_in = target->rows.size();
+  for (const auto& [tc, fc] : shared) {
+    (void)fc;
+    op.detail += (op.detail.empty() ? "on v" : ",v") +
+                 std::to_string(target->vars[tc]);
+  }
+
+  std::set<std::vector<NodeId>> keys;
+  for (const std::vector<NodeId>& frow : filter.rows) {
+    std::vector<NodeId> key;
+    key.reserve(shared.size());
+    for (const auto& [tc, fc] : shared) {
+      (void)tc;
+      key.push_back(frow[fc]);
+    }
+    keys.insert(std::move(key));
+  }
+
+  std::vector<std::vector<NodeId>> kept;
+  kept.reserve(target->rows.size());
+  for (std::vector<NodeId>& trow : target->rows) {
+    std::vector<NodeId> key;
+    key.reserve(shared.size());
+    for (const auto& [tc, fc] : shared) {
+      (void)fc;
+      key.push_back(trow[tc]);
+    }
+    if (keys.count(key)) kept.push_back(std::move(trow));
+  }
+  bool shrank = kept.size() < target->rows.size();
+  target->rows = std::move(kept);
+
+  // Only filtering passes are profiled — the fixpoint driver calls this
+  // repeatedly, and no-op passes would drown the operator profile.
+  if (shrank) {
+    op.rows_out = target->rows.size();
+    stats.operators.push_back(std::move(op));
+  }
+  return shrank;
+}
+
+}  // namespace ecrpq

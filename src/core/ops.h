@@ -1,0 +1,143 @@
+// Physical operator layer: the executable pieces a PhysicalPlan
+// (core/planner.h) is made of.
+//
+// The paper's tractability results all hinge on *decomposing* the
+// conjunction: Theorem 6.5 joins per-atom reachability relations, and the
+// synchronization-component argument behind Prop 6.2 evaluates each
+// component's product independently. This layer turns those two shapes
+// into reusable operators over a common currency — the BindingTable, a
+// materialized relation over node variables:
+//
+//   ReachabilityScan   one path atom, all-unary languages: the (u, v)
+//                      pair relation via one intersected-NFA BFS
+//   ProductExpand      one synchronization component: the on-the-fly
+//                      convolution product search (Thm 6.1)
+//   HashJoin           natural join of two binding tables on shared vars
+//   SemiJoinFilter     reduce a table to rows matched by another
+//   LinearConstraintCheck  the counting engine's per-assignment ILP
+//                      (recorded as operator stats; see eval_counting.cc)
+//
+// Leaves support *sideways information passing*: a seed table of bindings
+// produced by earlier operators restricts the leaf's start-variable
+// enumeration (ProductExpand runs once per seed row; ReachabilityScan
+// BFSes only from seeded sources) instead of the full degree-ordered
+// seeding over every node. The planner decides when seeding pays off.
+//
+// Every operator appends one OperatorStats entry (rows in/out, frontier
+// expansions, visited-table occupancy) to EvalStats::operators.
+
+#ifndef ECRPQ_CORE_OPS_H_
+#define ECRPQ_CORE_OPS_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/eval_product.h"
+#include "core/evaluator.h"
+
+namespace ecrpq {
+
+/// A materialized relation over node variables: column i holds bindings
+/// of global node-variable `vars[i]`; rows are distinct.
+struct BindingTable {
+  std::vector<int> vars;
+  std::vector<std::vector<NodeId>> rows;
+
+  /// Column index of `var`, or -1 when absent.
+  int ColumnOf(int var) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// The table with no columns and one (empty) row — the join identity.
+  static BindingTable Unit() {
+    BindingTable t;
+    t.rows.push_back({});
+    return t;
+  }
+};
+
+/// Distinct projection of `table` onto `vars` (each must be a column).
+BindingTable ProjectDistinct(const BindingTable& table,
+                             const std::vector<int>& vars);
+
+/// A synchronization component prepared for execution: its atoms, local
+/// track order, participating relations, and variable roles.
+struct ComponentSpec {
+  std::vector<int> atom_indices;   // into ResolvedQuery::atoms
+  std::vector<int> tracks;         // global path-var ids, local order
+  std::vector<int> track_of_path;  // global path id -> local track or -1
+  std::vector<int> relation_indices;
+  std::vector<int> vars;        // global node-var ids appearing here
+  std::vector<int> start_vars;  // vars in from-positions
+};
+
+ComponentSpec BuildComponentSpec(const ResolvedQuery& rq,
+                                 const std::vector<int>& atom_indices);
+
+/// True when the component is a single path atom whose relations are all
+/// unary — evaluable by the CRPQ-style intersected-NFA reachability scan
+/// instead of the subset-tracking product search.
+bool IsReachabilityScanComponent(const ResolvedQuery& rq,
+                                 const ComponentSpec& comp);
+
+/// One recorded product configuration (per-track nodes + interned relation
+/// state-subset ids); the product graph of a component search, used for
+/// Prop 5.2 path answers and the counting engine's flow encodings.
+struct ProductConfig {
+  uint32_t padmask = 0;
+  std::vector<NodeId> nodes;    // per local track
+  std::vector<int> subset_ids;  // per component relation
+
+  bool operator==(const ProductConfig& other) const = default;
+};
+
+struct ProductGraphSink {
+  // state ids parallel to discovery order of configs
+  std::vector<ProductConfig> configs;
+  std::vector<std::vector<std::pair<std::vector<Symbol>, int>>> arcs;
+  std::vector<bool> initial;
+  std::vector<bool> accepting;
+};
+
+/// Executes one component leaf (ReachabilityScan or ProductExpand,
+/// dispatched by shape). `fixed` pins global node variables (-1 = free).
+/// When `seeds` is non-null (sideways information passing) the leaf is
+/// restricted to assignments compatible with at least one seed row:
+/// ProductExpand runs once per seed row with the row overlaid on `fixed`;
+/// ReachabilityScan BFSes only from seeded source nodes and filters ends.
+/// Satisfying component assignments (parallel to comp.vars) accumulate in
+/// `results`; the product graph is recorded into `graph_sink` when
+/// non-null (graph recording forces the ProductExpand path). Appends one
+/// OperatorStats entry with the given planner estimate (`est_rows` < 0
+/// when unplanned).
+Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
+                          const EvalOptions& options,
+                          const std::vector<NodeId>& fixed,
+                          const BindingTable* seeds, double est_rows,
+                          EvalStats& stats,
+                          std::set<std::vector<NodeId>>* results,
+                          ProductGraphSink* graph_sink);
+
+/// Natural hash join on shared variables, materialized; output columns
+/// are left.vars followed by right's non-shared vars. Rows stay distinct.
+/// Appends a HashJoin OperatorStats entry. (The product engine streams
+/// its final multi-way join for limit/exists pushdown and uses
+/// SemiJoinFilterOp to reduce the tables first; this materialized form
+/// composes intermediate tables.)
+BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
+                        EvalStats& stats);
+
+/// Keeps rows of `target` matched by some row of `filter` on their shared
+/// variables (no-op without shared variables). Appends a SemiJoinFilter
+/// entry when rows were actually removed. Returns true when `target`
+/// shrank.
+bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
+                      EvalStats& stats);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_OPS_H_

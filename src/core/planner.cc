@@ -1,0 +1,348 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace ecrpq {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kReachabilityScan:
+      return "ReachabilityScan";
+    case OpKind::kProductExpand:
+      return "ProductExpand";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kSemiJoinFilter:
+      return "SemiJoinFilter";
+    case OpKind::kLinearConstraintCheck:
+      return "LinearConstraintCheck";
+  }
+  return "?";
+}
+
+namespace {
+
+// Variable roles of one component, computed from the query text alone
+// (planning must work before constants are resolved against a graph, so
+// this mirrors ops.cc's BuildComponentSpec without a ResolvedQuery).
+struct ComponentVars {
+  std::vector<int> vars;
+  std::vector<int> start_vars;
+  std::vector<int> tracks;        // global path-var ids
+  int const_endpoints = 0;        // constant/parameter atom endpoints
+};
+
+ComponentVars CollectComponentVars(const Query& query,
+                                   const std::vector<int>& atom_indices) {
+  ComponentVars out;
+  auto add_var = [&](const NodeTerm& term, bool is_start) {
+    if (!term.IsVariable()) {
+      ++out.const_endpoints;
+      return;
+    }
+    int var = query.NodeVarIndex(term.name);
+    if (std::find(out.vars.begin(), out.vars.end(), var) == out.vars.end()) {
+      out.vars.push_back(var);
+    }
+    if (is_start && std::find(out.start_vars.begin(), out.start_vars.end(),
+                              var) == out.start_vars.end()) {
+      out.start_vars.push_back(var);
+    }
+  };
+  for (int idx : atom_indices) {
+    const PathAtom& atom = query.path_atoms()[idx];
+    int path = query.PathVarIndex(atom.path);
+    if (std::find(out.tracks.begin(), out.tracks.end(), path) ==
+        out.tracks.end()) {
+      out.tracks.push_back(path);
+    }
+    add_var(atom.from, /*is_start=*/true);
+    add_var(atom.to, /*is_start=*/false);
+  }
+  return out;
+}
+
+// Relations (indices into compiled.relations) reading any track of the
+// component; a relation's paths either all belong or none do.
+std::vector<int> ComponentRelations(const CompiledQuery& compiled,
+                                    const std::vector<int>& tracks) {
+  std::vector<int> out;
+  for (size_t r = 0; r < compiled.relations.size(); ++r) {
+    const ResolvedRelation& rel = compiled.relations[r];
+    if (!rel.paths.empty() &&
+        std::find(tracks.begin(), tracks.end(), rel.paths[0]) !=
+            tracks.end()) {
+      out.push_back(static_cast<int>(r));
+    }
+  }
+  return out;
+}
+
+OpKind LeafKind(const Query& query, const CompiledQuery& compiled,
+                const std::vector<int>& atom_indices,
+                const std::vector<int>& tracks) {
+  (void)query;
+  if (atom_indices.size() != 1 || tracks.size() != 1) {
+    return OpKind::kProductExpand;
+  }
+  for (int r : ComponentRelations(compiled, tracks)) {
+    if (compiled.relations[r].relation->arity() != 1) {
+      return OpKind::kProductExpand;
+    }
+  }
+  return OpKind::kReachabilityScan;
+}
+
+// Per-track statistics under the live first-letter mask: the letters the
+// relations' initial state-sets can read on this track.
+struct TrackStats {
+  double live_edges = 0;
+  double live_sources = 0;
+  double live_targets = 0;
+  double states = 1;         // product of relation automaton sizes
+  bool accepts_empty = true; // every relation accepts ε on this track
+};
+
+TrackStats ComputeTrackStats(const CompiledQuery& compiled, int track,
+                             const GraphIndex& index) {
+  TrackStats out;
+  const int num_labels = index.num_labels();
+  uint64_t mask = ~0ULL;
+  bool constrained = false;
+  for (const ResolvedRelation& rel : compiled.relations) {
+    bool reads = false;
+    for (size_t tape = 0; tape < rel.paths.size(); ++tape) {
+      if (rel.paths[tape] != track) continue;
+      reads = true;
+      uint64_t m = 0;
+      for (StateId s : rel.initial) m |= rel.tape_masks[s][tape];
+      mask &= m;
+      constrained = true;
+    }
+    if (reads) {
+      out.states *= std::max(1, rel.nfa.num_states());
+      bool rel_accepts_empty = false;
+      for (StateId s : rel.initial) {
+        if (rel.accepting[s]) rel_accepts_empty = true;
+      }
+      out.accepts_empty = out.accepts_empty && rel_accepts_empty;
+    }
+  }
+  const double V = std::max(1, index.num_nodes());
+  if (!constrained || num_labels > 64) {
+    out.live_edges = index.num_edges();
+    out.live_sources = V;
+    out.live_targets = V;
+    return out;
+  }
+  for (Symbol l = 0; l < num_labels && l < 64; ++l) {
+    if (((mask >> l) & 1) == 0) continue;
+    out.live_edges += static_cast<double>(index.LabelCount(l));
+    out.live_sources += static_cast<double>(index.LabelSourceCount(l));
+    out.live_targets += static_cast<double>(index.LabelTargetCount(l));
+  }
+  out.live_sources = std::min(out.live_sources, V);
+  out.live_targets = std::min(out.live_targets, V);
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// One pass over the component's tracks, producing both the cardinality
+// estimate and the full-seeding expansion-work proxy (est_cost's factor).
+void EstimateComponent(const CompiledQuery& compiled,
+                       const ComponentVars& cv, const GraphIndex& index,
+                       double* card_out, double* expand_work_out) {
+  const double V = std::max(1, index.num_nodes());
+  double card = 1.0;
+  double expand_work = 1.0;
+  for (int track : cv.tracks) {
+    TrackStats ts = ComputeTrackStats(compiled, track, index);
+    // Reachable (start, end) pair estimate for this track: bounded by the
+    // distinct live sources × targets, and by the live edge volume scaled
+    // with automaton size (a shallow-path proxy). Both bounds grow with
+    // per-label edge counts, so the estimate is monotone in them.
+    double pairs = std::min(ts.live_sources * std::max(ts.live_targets, 1.0),
+                            ts.live_edges * std::min(ts.states, 64.0));
+    if (ts.accepts_empty) pairs = std::max(pairs, V);  // ε: all (v, v)
+    card *= std::max(pairs, 1.0);
+    expand_work += ts.live_edges * std::min(ts.states, 64.0);
+  }
+  // Constant/parameter endpoints anchor the search: each divides the
+  // surviving assignment space by the node count.
+  for (int i = 0; i < cv.const_endpoints; ++i) card /= V;
+  const double ceiling =
+      std::pow(V, static_cast<double>(std::max<size_t>(cv.vars.size(), 0)));
+  *card_out = std::min(std::max(card, 0.0), ceiling);
+  *expand_work_out = expand_work;
+}
+
+}  // namespace
+
+double EstimateComponentCardinality(const Query& query,
+                                    const CompiledQuery& compiled,
+                                    const std::vector<int>& atom_indices,
+                                    const GraphIndex& index) {
+  ComponentVars cv = CollectComponentVars(query, atom_indices);
+  double card = 0.0, expand_work = 0.0;
+  EstimateComponent(compiled, cv, index, &card, &expand_work);
+  return card;
+}
+
+PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
+                       const GraphIndex* index, const EvalOptions& options) {
+  PhysicalPlan plan;
+  plan.engine = SelectEngine(query, compiled.analysis, options.engine);
+  plan.costed = (index != nullptr);
+  plan.linear_check = !query.linear_atoms().empty();
+
+  // The conjunct groups the leaves evaluate over:
+  //   crpq      one leaf per path atom (per-atom reachability + join);
+  //   product / counting / qlen
+  //             one leaf per synchronization component, or one monolithic
+  //             group when decomposition is forbidden;
+  //   brute force
+  //             no operator structure (reference enumeration).
+  std::vector<std::vector<int>> groups;
+  if (plan.engine == Engine::kBruteForce) {
+    plan.decomposed = false;
+    return plan;
+  }
+  if (plan.engine == Engine::kCrpq) {
+    for (size_t i = 0; i < query.path_atoms().size(); ++i) {
+      groups.push_back({static_cast<int>(i)});
+    }
+  } else if (options.use_components) {
+    groups = compiled.analysis.components;
+  } else {
+    std::vector<int> all(query.path_atoms().size());
+    std::iota(all.begin(), all.end(), 0);
+    if (!all.empty()) groups.push_back(std::move(all));
+  }
+  plan.decomposed = groups.size() > 1;
+
+  const double V = (index != nullptr) ? std::max(1, index->num_nodes()) : 1.0;
+  for (const std::vector<int>& group : groups) {
+    PlannedComponent pc;
+    pc.atom_indices = group;
+    ComponentVars cv = CollectComponentVars(query, group);
+    pc.vars = cv.vars;
+    pc.start_vars = cv.start_vars;
+    pc.leaf = LeafKind(query, compiled, group, cv.tracks);
+    if (index != nullptr) {
+      double expand_work = 0.0;
+      EstimateComponent(compiled, cv, *index, &pc.est_rows,
+                        &expand_work);
+      pc.est_cost =
+          std::pow(V, static_cast<double>(pc.start_vars.size())) *
+          expand_work;
+    }
+    plan.components.push_back(std::move(pc));
+  }
+
+  // Ordering and sideways seeding describe what the PRODUCT executor
+  // will do with this plan; the other engines (crpq's dynamic most-bound
+  // join, counting/qlen's σ-enumeration) choose their own orders and
+  // ignore these annotations, so claiming them in the plan would make
+  // Explain misrepresent execution.
+  if (plan.engine != Engine::kProduct) return plan;
+
+  // Cheapest-first ordering (stable: analysis order breaks ties), only
+  // when statistics are available and the planner is enabled; the legacy
+  // path keeps the analysis order.
+  if (plan.costed && options.use_planner && plan.components.size() > 1) {
+    std::stable_sort(plan.components.begin(), plan.components.end(),
+                     [](const PlannedComponent& a, const PlannedComponent& b) {
+                       if (a.est_rows != b.est_rows) {
+                         return a.est_rows < b.est_rows;
+                       }
+                       return a.est_cost < b.est_cost;
+                     });
+  }
+
+  // Sideways information passing: a component whose start variables (or,
+  // for scan leaves, any variables) were bound by earlier components is
+  // seeded from the accumulated bindings instead of fully enumerated. The
+  // executor still applies a runtime guard (seed rows vs. full seeding).
+  if (options.use_planner) {
+    std::set<int> bound;
+    for (PlannedComponent& pc : plan.components) {
+      for (int v : pc.vars) {
+        if (bound.count(v)) pc.shared_vars.push_back(v);
+      }
+      bool shares_start = false;
+      for (int v : pc.shared_vars) {
+        if (std::find(pc.start_vars.begin(), pc.start_vars.end(), v) !=
+            pc.start_vars.end()) {
+          shares_start = true;
+        }
+      }
+      pc.sideways = !pc.shared_vars.empty() &&
+                    (shares_start || pc.leaf == OpKind::kReachabilityScan);
+      for (int v : pc.vars) bound.insert(v);
+    }
+  }
+  return plan;
+}
+
+std::string PhysicalPlan::Describe(const Query& query) const {
+  auto var_names = [&](const std::vector<int>& vars) {
+    std::string out = "{";
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (i > 0) out += ",";
+      out += query.node_variables()[vars[i]];
+    }
+    return out + "}";
+  };
+  auto fmt = [](double v) {
+    if (v < 0) return std::string("?");
+    if (v >= 1e15) return std::string(">=1e15");
+    return std::to_string(static_cast<long long>(v + 0.5));
+  };
+
+  std::string out = "engine: ";
+  out += EngineName(engine);
+  out += costed ? " (cost-based plan)" : " (uncosted plan)";
+  out += "\n";
+  if (components.empty()) {
+    out += "  monolithic enumeration (no operator structure)\n";
+  }
+  for (size_t i = 0; i < components.size(); ++i) {
+    const PlannedComponent& pc = components[i];
+    if (i > 0) {
+      out += "  HashJoin on " + var_names(pc.shared_vars) + "\n";
+    }
+    out += "  [" + std::to_string(i) + "] ";
+    out += OpKindName(pc.leaf);
+    out += " atoms{";
+    for (size_t a = 0; a < pc.atom_indices.size(); ++a) {
+      if (a > 0) out += ",";
+      out += std::to_string(pc.atom_indices[a]);
+    }
+    out += "} vars" + var_names(pc.vars);
+    if (pc.sideways) {
+      out += " seeded" + var_names(pc.shared_vars);
+    }
+    out += " est_rows=" + fmt(pc.est_rows);
+    out += " est_cost=" + fmt(pc.est_cost);
+    out += "\n";
+  }
+  if (engine == Engine::kCrpq) {
+    out +=
+        "  SemiJoinFilter to fixpoint, then backtracking HashJoin\n"
+        "  (leaves listed in atom order; the join picks the most-bound "
+        "atom dynamically)\n";
+  }
+  if (linear_check) {
+    out += "  LinearConstraintCheck (Parikh/ILP over " +
+           std::to_string(query.linear_atoms().size()) + " linear atoms)\n";
+  }
+  return out;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,103 @@
+// Cost-based conjunct planner: the layer between the static optimizer and
+// the evaluation engines.
+//
+// The paper evaluates an ECRPQ as one monolithic product over all relation
+// atoms (Thm 5.1), but its own complexity analysis locates tractability in
+// *decomposition*: acyclic CRPQs join per-atom reachability relations
+// (Thm 6.5), and synchronization components can be evaluated independently
+// and joined on node variables (the Prop 6.2-style argument the engines
+// already exploit structurally). What no layer did before this one exists
+// is *choose an order*: which component to evaluate first, and which later
+// components should be seeded by the bindings earlier ones produced
+// (sideways information passing) instead of enumerating every node.
+//
+// PlanQuery reads GraphIndex statistics — per-label edge counts, distinct
+// source/target counts, automaton sizes — to estimate each component's
+// result cardinality, orders components cheapest-first, and marks
+// components whose start variables are bound by earlier components for
+// seeded execution. The result is a PhysicalPlan: a small operator DAG
+// over the operators of core/ops.h (ReachabilityScan / ProductExpand
+// leaves, HashJoin between components, SemiJoinFilter reductions,
+// LinearConstraintCheck for counting queries).
+//
+// Planning is a pure function of (query, compiled relations, index
+// statistics, options): it never touches the graph's edges, so a plan can
+// be cached per query text and re-costed only when the index snapshot
+// changes (api::Database does exactly this through PreparedQuery).
+
+#ifndef ECRPQ_CORE_PLANNER_H_
+#define ECRPQ_CORE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval_product.h"
+#include "core/evaluator.h"
+#include "graph/index.h"
+
+namespace ecrpq {
+
+enum class OpKind {
+  kReachabilityScan,
+  kProductExpand,
+  kHashJoin,
+  kSemiJoinFilter,
+  kLinearConstraintCheck,
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One planned component leaf plus how it connects to the components
+/// executed before it.
+struct PlannedComponent {
+  std::vector<int> atom_indices;  ///< path-atom indices of this component
+  OpKind leaf = OpKind::kProductExpand;
+  std::vector<int> vars;         ///< node vars this component binds
+  std::vector<int> start_vars;   ///< vars in from-positions
+  std::vector<int> shared_vars;  ///< vars bound by earlier components
+  /// Seed this component's execution from the accumulated bindings
+  /// (sideways information passing) instead of full node enumeration.
+  bool sideways = false;
+  double est_rows = -1.0;  ///< cardinality estimate (-1: no statistics)
+  double est_cost = -1.0;  ///< full-seeding work estimate
+};
+
+struct PhysicalPlan {
+  Engine engine = Engine::kProduct;
+  /// Components in execution order (cheapest-first when statistics were
+  /// available). Size 1 with every atom = monolithic evaluation.
+  std::vector<PlannedComponent> components;
+  /// Whether the conjunction was decomposed at all.
+  bool decomposed = false;
+  /// A LinearConstraintCheck operator gates emission (counting engine).
+  bool linear_check = false;
+  /// True when GraphIndex statistics informed ordering/estimates.
+  bool costed = false;
+
+  /// Multi-line operator-tree rendering (Explain output).
+  std::string Describe(const Query& query) const;
+};
+
+using PhysicalPlanPtr = std::shared_ptr<const PhysicalPlan>;
+
+/// Estimates the number of distinct node-variable assignments satisfying
+/// one synchronization component (the atoms listed in `atom_indices`),
+/// from the index's label statistics and the compiled relation automata.
+/// Monotone in per-label edge counts. Exposed for tests.
+double EstimateComponentCardinality(const Query& query,
+                                    const CompiledQuery& compiled,
+                                    const std::vector<int>& atom_indices,
+                                    const GraphIndex& index);
+
+/// Builds the physical plan for `query`: resolves kAuto against the
+/// analysis, decomposes into synchronization components (unless
+/// options.use_components is off), costs and orders them, and marks
+/// sideways-seeded components. `index` may be null (no statistics: the
+/// analysis order is kept and estimates stay at -1).
+PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
+                       const GraphIndex* index, const EvalOptions& options);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_CORE_PLANNER_H_

@@ -1,0 +1,22 @@
+#include "core/stats.h"
+
+namespace ecrpq {
+
+std::string OperatorStats::Describe() const {
+  std::string out = op;
+  if (!detail.empty()) out += "(" + detail + ")";
+  out += " rows_in=" + std::to_string(rows_in) +
+         " rows_out=" + std::to_string(rows_out);
+  if (frontier_expansions > 0) {
+    out += " frontier=" + std::to_string(frontier_expansions);
+  }
+  if (visited_configs > 0) {
+    out += " visited=" + std::to_string(visited_configs);
+  }
+  if (est_rows >= 0.0) {
+    out += " est_rows=" + std::to_string(static_cast<long long>(est_rows));
+  }
+  return out;
+}
+
+}  // namespace ecrpq

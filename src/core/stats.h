@@ -5,8 +5,33 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ecrpq {
+
+/// Counters of one executed physical operator (see core/ops.h). The
+/// operator layer appends one entry per operator invocation, in execution
+/// order, so a run's EvalStats reads like a profile of its plan:
+///
+///   ReachabilityScan(c0)  rows_out=12  frontier=340  visited=97
+///   ProductExpand(c1)     rows_in=5 rows_out=3 frontier=88 visited=41
+///   HashJoin              rows_in=15 rows_out=4
+///
+/// rows_in is the number of tuples the operator consumed (seed rows for
+/// sideways-seeded leaves, probe+build rows for joins); rows_out the
+/// number it produced. frontier_expansions counts product arcs generated;
+/// visited_configs the occupancy of the visited/intern table.
+struct OperatorStats {
+  std::string op;      ///< operator kind ("ProductExpand", "HashJoin", ...)
+  std::string detail;  ///< operand summary (component atoms, join vars)
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t frontier_expansions = 0;
+  uint64_t visited_configs = 0;
+  double est_rows = -1.0;  ///< planner estimate, -1 when unplanned
+
+  std::string Describe() const;
+};
 
 struct EvalStats {
   std::string engine;               ///< which engine produced the result
@@ -17,6 +42,10 @@ struct EvalStats {
   uint64_t ilp_variables = 0;       ///< ILP size (counting engines)
   uint64_t ilp_constraints = 0;
 
+  /// Per-operator profile in execution order, populated by the operator
+  /// layer (core/ops.h). Empty for engines that bypass it (brute force).
+  std::vector<OperatorStats> operators;
+
   void Accumulate(const EvalStats& other) {
     configs_explored += other.configs_explored;
     arcs_explored += other.arcs_explored;
@@ -24,6 +53,8 @@ struct EvalStats {
     join_tuples += other.join_tuples;
     ilp_variables += other.ilp_variables;
     ilp_constraints += other.ilp_constraints;
+    operators.insert(operators.end(), other.operators.begin(),
+                     other.operators.end());
   }
 };
 

@@ -57,6 +57,27 @@ std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph) {
   index->label_counts_.assign(std::max(index->num_labels_, 1), 0);
   for (Symbol label : index->out_labels_) ++index->label_counts_[label];
 
+  // Distinct-source/target counts per label: CSR rows are sorted by
+  // label, so each node contributes one increment per distinct label run.
+  auto distinct_endpoint_counts = [&](const std::vector<int32_t>& offsets,
+                                      const std::vector<Symbol>& labels,
+                                      std::vector<int64_t>* counts) {
+    counts->assign(std::max(index->num_labels_, 1), 0);
+    for (NodeId v = 0; v < index->num_nodes_; ++v) {
+      Symbol prev = -1;
+      for (int32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        if (labels[i] != prev) {
+          prev = labels[i];
+          ++(*counts)[prev];
+        }
+      }
+    }
+  };
+  distinct_endpoint_counts(index->out_offsets_, index->out_labels_,
+                           &index->label_source_counts_);
+  distinct_endpoint_counts(index->in_offsets_, index->in_labels_,
+                           &index->label_target_counts_);
+
   index->by_degree_.resize(index->num_nodes_);
   std::iota(index->by_degree_.begin(), index->by_degree_.end(), 0);
   std::stable_sort(index->by_degree_.begin(), index->by_degree_.end(),

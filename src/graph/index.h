@@ -94,6 +94,17 @@ class GraphIndex {
   /// Total number of edges carrying `label`.
   int64_t LabelCount(Symbol label) const { return label_counts_[label]; }
 
+  /// Distinct nodes with at least one out-edge (in-edge) carrying `label`.
+  /// Planner statistics: LabelCount / LabelSourceCount is the average
+  /// per-source fanout of the label, and the source/target counts bound
+  /// the frontier a label-restricted expansion can reach.
+  int64_t LabelSourceCount(Symbol label) const {
+    return label_source_counts_[label];
+  }
+  int64_t LabelTargetCount(Symbol label) const {
+    return label_target_counts_[label];
+  }
+
   /// Every node exactly once, by descending (out + in) degree; ties by
   /// ascending id. Frontier seeding order.
   const std::vector<NodeId>& NodesByDegree() const { return by_degree_; }
@@ -116,6 +127,7 @@ class GraphIndex {
   std::vector<NodeId> out_targets_, in_targets_;
   std::vector<uint64_t> out_label_mask_, in_label_mask_;
   std::vector<int64_t> label_counts_;
+  std::vector<int64_t> label_source_counts_, label_target_counts_;
   std::vector<NodeId> by_degree_;
 };
 

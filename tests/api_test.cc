@@ -276,5 +276,68 @@ TEST(Database, StaticallyEmptyPlanSkipsEngine) {
   EXPECT_EQ(result.value().stats().engine, "static-empty");
 }
 
+TEST(PreparedQuery, ExplainReportsPlanAndEstimates) {
+  Database db(AdvisorGraph());
+  auto prepared = db.Prepare(
+      "Ans(x, u) <- (x, p, z), (z, q, y), (u, r, v), eq(p, q), "
+      "'advisor'*(r)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  Explanation explanation = prepared.value().Explain();
+  EXPECT_EQ(explanation.engine, prepared.value().engine());
+  EXPECT_EQ(explanation.engine_name, "product");
+  ASSERT_NE(explanation.plan, nullptr);
+  EXPECT_TRUE(explanation.plan->costed);
+  ASSERT_EQ(explanation.plan->components.size(), 2u);
+  for (const PlannedComponent& pc : explanation.plan->components) {
+    EXPECT_GE(pc.est_rows, 0.0);
+  }
+  std::string text = explanation.ToString();
+  EXPECT_NE(text.find("engine: product"), std::string::npos);
+  EXPECT_NE(text.find("est_rows"), std::string::npos);
+  EXPECT_NE(text.find("analysis:"), std::string::npos);
+}
+
+TEST(PreparedQuery, PhysicalPlanCachedAndRecostedOnIndexInvalidation) {
+  Database db(AdvisorGraph());
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)");
+  ASSERT_TRUE(prepared.ok());
+
+  PhysicalPlanPtr first = prepared.value().plan();
+  PhysicalPlanPtr again = prepared.value().plan();
+  EXPECT_EQ(first.get(), again.get());  // cached per query text
+
+  // A second handle for the same text shares the costed plan.
+  auto sibling = db.Prepare("Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)");
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_EQ(sibling.value().plan().get(), first.get());
+
+  // Graph mutation invalidates the index; the plan must be re-costed.
+  // (mutable_graph clears the plan cache, but the outstanding handle keeps
+  // its CompiledPlan — exactly the path the weak_ptr re-cost covers.)
+  db.mutable_graph().AddEdge(0, "advisor", 3);
+  PhysicalPlanPtr recosted = prepared.value().plan();
+  EXPECT_NE(recosted.get(), first.get());
+  EXPECT_TRUE(recosted->costed);
+}
+
+TEST(ResultCursor, PerOperatorStatsExposed) {
+  Database db(AdvisorGraph());
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, z), (z, q, y), eq(p, q)");
+  ASSERT_TRUE(prepared.ok());
+  auto cursor = prepared.value().Execute();
+  ASSERT_TRUE(cursor.ok());
+  while (cursor.value().Next()) {
+  }
+  ASSERT_TRUE(cursor.value().status().ok());
+  ASSERT_FALSE(cursor.value().stats().operators.empty());
+  uint64_t total_rows_out = 0;
+  for (const OperatorStats& op : cursor.value().stats().operators) {
+    EXPECT_FALSE(op.op.empty());
+    total_rows_out += op.rows_out;
+  }
+  EXPECT_GT(total_rows_out, 0u);
+}
+
 }  // namespace
 }  // namespace ecrpq
