@@ -95,6 +95,9 @@ class BenchResultLog {
     PrintTwinSpeedups("/indexed", "/scan", "indexed-vs-scan");
     PrintTwinSpeedups("/planned", "/monolithic", "planned-vs-monolithic");
     PrintTwinSpeedups("/planned", "/legacy", "planned-vs-legacy");
+    PrintTwinSpeedups("/threads/2", "/threads/1", "parallel-1to2");
+    PrintTwinSpeedups("/threads/4", "/threads/1", "parallel-1to4");
+    PrintTwinSpeedups("/threads/8", "/threads/1", "parallel-1to8");
   }
 
  private:

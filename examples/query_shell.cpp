@@ -6,6 +6,7 @@
 //   ecrpq> Ans(x, y) <- (x, p, y), 'advisor'+(p)
 //   ecrpq> Ans(p) <- ("ann", p, "leo"), .*(p)
 //   ecrpq> explain Ans(x, y) <- (x, p, y), 'advisor'+(p)
+//   ecrpq> threads 4     # worker lanes per query (0 = auto, 1 = serial)
 //   ecrpq> :graph        # show the loaded graph
 //   ecrpq> :cache        # plan-cache hit/miss counters
 //   ecrpq> :quit
@@ -35,6 +36,10 @@ GraphDb DemoGraph() {
   g.AddEdge(bob, "coauthor", ann);
   return g;
 }
+
+// Worker lanes per execution: 0 = session default (ECRPQ_THREADS env or
+// hardware concurrency), 1 = the serial legacy path. Set by `threads <n>`.
+int g_threads = 0;
 
 void StreamResult(const GraphDb& g, const PreparedQuery& prepared,
                   ResultCursor& cursor) {
@@ -131,9 +136,25 @@ int main(int argc, char** argv) {
                    "  Ans() <- (x, p, y), len(p) >= 3         counting\n"
                    "  Ans(y) <- ($s, p, y), a*(p)             $parameter\n"
                    "  explain <query>                         show the plan\n"
+                   "  threads <n>                             worker lanes "
+                   "(0 = auto, 1 = serial)\n"
                    "  built-ins: eq el prefix strict_prefix shorter\n"
                    "             shorter_eq edit1..3 hamming1..3\n"
                    "  :graph :cache :help :quit\n";
+      continue;
+    }
+    if (line.rfind("threads", 0) == 0) {
+      std::istringstream args(line.substr(7));
+      int n = -1;
+      if (args >> n && n >= 0) {
+        g_threads = n;
+        std::cout << "  threads = " << n
+                  << (n == 0 ? " (auto)" : n == 1 ? " (serial)" : "")
+                  << "\n";
+      } else {
+        std::cout << "  usage: threads <n>   (current: " << g_threads
+                  << ", 0 = auto, 1 = serial)\n";
+      }
       continue;
     }
     if (line.rfind("explain ", 0) == 0) {
@@ -168,7 +189,9 @@ int main(int argc, char** argv) {
       std::cout << " (the shell cannot bind them; inline constants)\n";
       continue;
     }
-    auto cursor = prepared.value().Execute();
+    ExecuteOptions exec;
+    if (g_threads > 0) exec.num_threads = g_threads;
+    auto cursor = prepared.value().Execute({}, exec);
     if (!cursor.ok()) {
       std::cout << "evaluation error: " << cursor.status().ToString() << "\n";
       continue;

@@ -9,8 +9,9 @@
 #ifndef ECRPQ_API_API_H_
 #define ECRPQ_API_API_H_
 
-#include "api/database.h"        // IWYU pragma: export
-#include "api/prepared_query.h"  // IWYU pragma: export
-#include "api/result_cursor.h"   // IWYU pragma: export
+#include "api/database.h"         // IWYU pragma: export
+#include "api/prepared_query.h"   // IWYU pragma: export
+#include "api/result_cursor.h"    // IWYU pragma: export
+#include "util/cancellation.h"    // IWYU pragma: export
 
 #endif  // ECRPQ_API_API_H_

@@ -5,34 +5,54 @@
 namespace ecrpq {
 
 Result<PreparedQuery> Database::Prepare(const std::string& text) {
-  auto it = cache_.find(text);
-  if (it != cache_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return PreparedQuery(this, it->second->second);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(text);
+    if (it != cache_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return PreparedQuery(this, it->second->second);
+    }
+    ++misses_;
   }
-  ++misses_;
 
-  auto parsed = ParseQuery(text, graph_.alphabet(), registry_);
-  if (!parsed.ok()) return parsed.status();
-  auto optimized = OptimizeQuery(parsed.value());
-  if (!optimized.ok()) return optimized.status();
-  auto compiled =
-      CompileQuery(optimized.value().query, graph_.alphabet().size());
-  if (!compiled.ok()) return compiled.status();
+  // Compile outside the cache lock (parsing reads the graph alphabet and
+  // the registry — take the shared graph guard so a concurrent
+  // MutateGraph cannot race the reads), and INSERT while still holding
+  // the graph guard: a writer invalidating the cache needs the exclusive
+  // guard, so a plan compiled under this shared hold cannot be cached
+  // after the mutation that would make it stale. Concurrent misses on one
+  // text may compile twice; the cache converges on one entry.
+  std::shared_ptr<CompiledPlan> plan;
+  {
+    auto read_lock = ReadLock();
+    auto parsed = ParseQuery(text, graph_.alphabet(), registry_);
+    if (!parsed.ok()) return parsed.status();
+    auto optimized = OptimizeQuery(parsed.value());
+    if (!optimized.ok()) return optimized.status();
+    auto compiled =
+        CompileQuery(optimized.value().query, graph_.alphabet().size());
+    if (!compiled.ok()) return compiled.status();
 
-  auto plan = std::make_shared<CompiledPlan>(
-      CompiledPlan{text, std::move(optimized.value().query),
-                   std::move(optimized.value().report),
-                   std::move(compiled).value(),
-                   /*physical=*/nullptr, /*physical_index=*/{}});
+    plan = std::make_shared<CompiledPlan>(
+        text, std::move(optimized.value().query),
+        std::move(optimized.value().report), std::move(compiled).value());
 
-  if (options_.plan_cache_capacity > 0) {
-    lru_.emplace_front(text, plan);
-    cache_[text] = lru_.begin();
-    while (lru_.size() > options_.plan_cache_capacity) {
-      cache_.erase(lru_.back().first);
-      lru_.pop_back();
+    if (options_.plan_cache_capacity > 0) {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = cache_.find(text);
+      if (it != cache_.end()) {
+        // Another thread compiled the same text meanwhile: adopt its
+        // entry.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return PreparedQuery(this, it->second->second);
+      }
+      lru_.emplace_front(text, plan);
+      cache_[text] = lru_.begin();
+      while (lru_.size() > options_.plan_cache_capacity) {
+        cache_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
     }
   }
   return PreparedQuery(this, std::move(plan));

@@ -12,13 +12,38 @@
 // an LRU plan cache keyed by query text: preparing the same text twice
 // reuses the compiled plan (parse, optimization, relation automata,
 // analysis) instead of redoing the query-dependent work.
+//
+// Concurrency model
+// -----------------
+// A Database is safe for inter-query parallelism: any number of threads
+// may call Prepare / Execute / Exists and run PreparedQuery executions on
+// one shared Database concurrently. The implementation is a snapshot
+// protocol:
+//
+//   - the graph is guarded by a reader/writer lock: every execution holds
+//     it shared for its whole engine run; MutateGraph takes it exclusive,
+//     applies the mutation, and invalidates the caches before readers
+//     resume;
+//   - the CSR GraphIndex is an immutable snapshot behind a shared_ptr:
+//     executions pin the current snapshot and keep using it even while a
+//     newer one is built (the swap happens under a mutex, the old
+//     snapshot dies with its last execution);
+//   - the LRU plan cache (and its hit/miss counters) is mutex-guarded;
+//     the per-plan physical-plan memo has its own lock in CompiledPlan.
+//
+// NOT thread-safe: mutable_graph() (a bare reference for single-threaded
+// loading — use MutateGraph once queries may be in flight) and reading
+// graph() while a writer is inside MutateGraph.
 
 #ifndef ECRPQ_API_DATABASE_H_
 #define ECRPQ_API_DATABASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -33,7 +58,8 @@
 namespace ecrpq {
 
 struct DatabaseOptions {
-  /// Session-default evaluation options (engine choice, budgets, ...).
+  /// Session-default evaluation options (engine choice, budgets,
+  /// num_threads, ...).
   EvalOptions eval;
 
   /// Maximum number of compiled plans kept in the LRU cache (0 disables
@@ -56,14 +82,27 @@ class Database {
 
   const GraphDb& graph() const { return graph_; }
 
-  /// Mutable graph access for loading. Mutations can grow the alphabet, so
-  /// cached plans are dropped; outstanding PreparedQuery handles keep
-  /// their (possibly stale) plans and re-resolve constants per execution.
-  /// The cached GraphIndex snapshot is dropped with the plans and rebuilt
-  /// lazily on the next execution.
+  /// Mutable graph access for single-threaded loading. Mutations can grow
+  /// the alphabet, so cached plans are dropped; outstanding PreparedQuery
+  /// handles keep their (possibly stale) plans and re-resolve constants
+  /// per execution. The cached GraphIndex snapshot is dropped with the
+  /// plans and rebuilt lazily on the next execution. NOT safe while other
+  /// threads execute queries — use MutateGraph for that.
   GraphDb& mutable_graph() {
     ClearPlanCache();
     return graph_;
+  }
+
+  /// Thread-safe mutation: runs `fn` with exclusive access to the graph
+  /// (all concurrent executions drain first and block until `fn`
+  /// returns), then invalidates the plan cache and the GraphIndex
+  /// snapshot. Executions that pinned the old snapshot before the write
+  /// finish against it; later executions see the new graph and a fresh
+  /// snapshot.
+  void MutateGraph(const std::function<void(GraphDb&)>& fn) {
+    std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+    fn(graph_);
+    ClearPlanCache();  // before readers resume (lock order: graph → cache)
   }
 
   /// The session's CSR label index of the graph (see graph/index.h):
@@ -73,15 +112,11 @@ class Database {
   /// the graph is rebuilt here too (GraphDb is append-only, so the
   /// counters detect mutation through a retained mutable_graph()
   /// reference). Null when the session disables indexing
-  /// (eval.use_graph_index = false).
+  /// (eval.use_graph_index = false). Thread-safe: the returned snapshot
+  /// is immutable and stays valid after later invalidations.
   GraphIndexPtr graph_index() const {
-    if (!options_.eval.use_graph_index) return nullptr;
-    if (index_ == nullptr || index_->num_nodes() != graph_.num_nodes() ||
-        index_->num_edges() != graph_.num_edges() ||
-        index_->num_labels() != graph_.alphabet().size()) {
-      index_ = GraphIndex::Build(graph_);
-    }
-    return index_;
+    std::shared_lock<std::shared_mutex> lock(graph_mutex_);
+    return graph_index_locked();
   }
 
   /// The session's relation registry (a copy of the built-ins).
@@ -89,13 +124,16 @@ class Database {
 
   /// Registers a custom relation (or factory) on the session. Cached
   /// plans are dropped at this mutation point: a re-registered name must
-  /// not keep resolving through an old plan.
+  /// not keep resolving through an old plan. Takes the writer lock, so it
+  /// is safe alongside concurrent executions.
   void RegisterRelation(std::string name,
                         std::shared_ptr<const RegularRelation> relation) {
+    std::unique_lock<std::shared_mutex> lock(graph_mutex_);
     ClearPlanCache();
     registry_.Register(std::move(name), std::move(relation));
   }
   void RegisterRelation(std::string name, RelationRegistry::Factory factory) {
+    std::unique_lock<std::shared_mutex> lock(graph_mutex_);
     ClearPlanCache();
     registry_.Register(std::move(name), std::move(factory));
   }
@@ -103,7 +141,9 @@ class Database {
   const EvalOptions& eval_options() const { return options_.eval; }
 
   /// Compiles `text` (or fetches it from the plan cache): parse →
-  /// validate → optimize → relation automata + analysis.
+  /// validate → optimize → relation automata + analysis. Thread-safe;
+  /// concurrent misses on the same text may compile twice but converge on
+  /// one cached plan.
   Result<PreparedQuery> Prepare(const std::string& text);
 
   /// One-shot convenience: Prepare (through the cache) + ExecuteAll.
@@ -115,19 +155,72 @@ class Database {
 
   // ---- plan cache introspection ----
 
-  uint64_t plan_cache_hits() const { return hits_; }
-  uint64_t plan_cache_misses() const { return misses_; }
-  size_t plan_cache_size() const { return cache_.size(); }
+  uint64_t plan_cache_hits() const {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return hits_;
+  }
+  uint64_t plan_cache_misses() const {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return misses_;
+  }
+  size_t plan_cache_size() const {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.size();
+  }
   void ClearPlanCache() {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.clear();
     lru_.clear();
     index_.reset();  // same invalidation point: the graph may change next
   }
 
  private:
+  friend class PreparedQuery;
+  friend class ResultCursor;
+
+  /// Shared guard over graph_ (and registry_), held by executions for the
+  /// duration of their engine run. Lock order: graph_mutex_ before
+  /// cache_mutex_ / CompiledPlan::memo_mutex.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(graph_mutex_);
+  }
+
+  /// True when `index` is a current snapshot of graph_ (GraphDb is
+  /// append-only, so the counters detect every mutation). Caller holds
+  /// ReadLock.
+  bool IndexFresh(const GraphIndexPtr& index) const {
+    return index != nullptr && index->num_nodes() == graph_.num_nodes() &&
+           index->num_edges() == graph_.num_edges() &&
+           index->num_labels() == graph_.alphabet().size();
+  }
+
+  /// graph_index() body; the caller must hold ReadLock (shared or
+  /// exclusive) so the staleness counters and the rebuild read a stable
+  /// graph. The O(V+E) build runs OUTSIDE cache_mutex_ — concurrent
+  /// plan-cache hits never wait on an index rebuild; racing builders
+  /// tolerate a double build and converge on one snapshot.
+  GraphIndexPtr graph_index_locked() const {
+    if (!options_.eval.use_graph_index) return nullptr;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (IndexFresh(index_)) return index_;
+    }
+    GraphIndexPtr built = GraphIndex::Build(graph_);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (!IndexFresh(index_)) index_ = built;
+    return index_;
+  }
+
   GraphDb graph_;
   DatabaseOptions options_;
   RelationRegistry registry_;
+
+  /// Readers = executions (and snapshot/prepare graph reads); writer =
+  /// MutateGraph / RegisterRelation.
+  mutable std::shared_mutex graph_mutex_;
+
+  /// Guards index_, lru_, cache_, hits_, misses_.
+  mutable std::mutex cache_mutex_;
   mutable GraphIndexPtr index_;  // lazy CSR snapshot of graph_
 
   // LRU plan cache keyed by query text; lru_ front = most recent.

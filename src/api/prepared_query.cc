@@ -12,14 +12,18 @@ Engine PreparedQuery::engine() const {
                       db_->eval_options().engine);
 }
 
-PhysicalPlanPtr PreparedQuery::plan() const {
-  GraphIndexPtr index = db_->graph_index();  // may lazily (re)build
+PhysicalPlanPtr PreparedQuery::PlanForIndex(GraphIndexPtr index) const {
+  std::lock_guard<std::mutex> lock(plan_->memo_mutex);
   if (plan_->physical == nullptr || plan_->physical_index.lock() != index) {
     plan_->physical = std::make_shared<PhysicalPlan>(PlanQuery(
         plan_->query, *plan_->compiled, index.get(), db_->eval_options()));
     plan_->physical_index = index;
   }
   return plan_->physical;
+}
+
+PhysicalPlanPtr PreparedQuery::plan() const {
+  return PlanForIndex(db_->graph_index());  // may lazily (re)build
 }
 
 Explanation PreparedQuery::Explain() const {
@@ -47,6 +51,8 @@ EvalOptions PreparedQuery::EffectiveOptions(const ExecuteOptions& exec) const {
   if (exec.build_path_answers.has_value()) {
     options.build_path_answers = *exec.build_path_answers;
   }
+  if (exec.num_threads.has_value()) options.num_threads = *exec.num_threads;
+  if (exec.cancellation != nullptr) options.cancellation = exec.cancellation;
   return options;
 }
 
@@ -112,13 +118,20 @@ Result<std::shared_ptr<const Query>> PreparedQuery::BindParams(
 
 Result<ResultCursor> PreparedQuery::Execute(const Params& params,
                                             ExecuteOptions exec) const {
+  // Pin one snapshot (graph + index) for parameter binding and planning;
+  // the cursor re-pins at Run time (it holds the read guard for the
+  // engine run, so a MutateGraph between Execute and the first Next only
+  // delays the cursor, never races it).
+  auto read_lock = db_->ReadLock();
   auto bound = BindParams(params);
   if (!bound.ok()) return bound.status();
+  GraphIndexPtr index = db_->graph_index_locked();
   // The cached physical plan is structural (components, ordering,
   // estimates), so it survives parameter substitution; an engine override
   // invalidates it for this execution (the engine replans on the fly).
-  PhysicalPlanPtr physical = exec.engine.has_value() ? nullptr : plan();
-  return ResultCursor(&db_->graph(), db_->graph_index(),
+  PhysicalPlanPtr physical =
+      exec.engine.has_value() ? nullptr : PlanForIndex(index);
+  return ResultCursor(db_, &db_->graph(), std::move(index),
                       EffectiveOptions(exec), exec.limit,
                       std::move(bound).value(), plan_->compiled,
                       std::move(physical),
@@ -126,6 +139,9 @@ Result<ResultCursor> PreparedQuery::Execute(const Params& params,
 }
 
 Result<QueryResult> PreparedQuery::ExecuteAll(const Params& params) const {
+  // Hold the session's read guard for the whole engine run: concurrent
+  // ExecuteAll calls share it, MutateGraph waits for them.
+  auto read_lock = db_->ReadLock();
   auto bound = BindParams(params);
   if (!bound.ok()) return bound.status();
   if (plan_->optimizer_report.proven_empty) {
@@ -134,8 +150,9 @@ Result<QueryResult> PreparedQuery::ExecuteAll(const Params& params) const {
     return QueryResult({}, {}, std::move(stats));
   }
   Evaluator evaluator(&db_->graph(), EffectiveOptions({}));
-  evaluator.set_graph_index(db_->graph_index());
-  PhysicalPlanPtr physical = plan();
+  GraphIndexPtr index = db_->graph_index_locked();
+  evaluator.set_graph_index(index);
+  PhysicalPlanPtr physical = PlanForIndex(std::move(index));
   return MaterializeResult([&](ResultSink& sink, EvalStats& stats) {
     return evaluator.Evaluate(*bound.value(), sink, stats, plan_->compiled,
                               physical.get());

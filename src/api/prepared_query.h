@@ -16,8 +16,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/result_cursor.h"
@@ -62,11 +64,27 @@ struct ExecuteOptions {
 
   /// Override the session's build_path_answers setting.
   std::optional<bool> build_path_answers;
+
+  /// Override the session's intra-query parallelism for this execution
+  /// (see EvalOptions::num_threads; 1 = serial legacy path).
+  std::optional<int> num_threads;
+
+  /// Cancellation token for this execution (see EvalOptions::cancellation
+  /// for polling granularity per engine; trip it from any thread to stop
+  /// the engine). Use a fresh token per execution.
+  std::shared_ptr<CancellationToken> cancellation;
 };
 
 /// The immutable compiled form of one query text (shared by every
 /// PreparedQuery handle and by the Database plan cache).
 struct CompiledPlan {
+  CompiledPlan(std::string text, Query query, OptimizerReport report,
+               CompiledQueryPtr compiled)
+      : text(std::move(text)),
+        query(std::move(query)),
+        optimizer_report(std::move(report)),
+        compiled(std::move(compiled)) {}
+
   std::string text;
   Query query;                     ///< optimized, validated
   OptimizerReport optimizer_report;
@@ -76,8 +94,10 @@ struct CompiledPlan {
   // against one GraphIndex snapshot. PreparedQuery::plan() fills it and
   // re-costs when the Database's index snapshot changes (the weak_ptr no
   // longer locks to the session index — i.e. after any graph mutation).
-  // Mutable: a memoized cost annotation, not plan identity; thread-safety
-  // matches the owning Database (none).
+  // Mutable: a memoized cost annotation, not plan identity; memo_mutex
+  // guards it so every PreparedQuery handle of the same text can execute
+  // concurrently (lock order: Database::graph_mutex_ before memo_mutex).
+  mutable std::mutex memo_mutex;
   mutable PhysicalPlanPtr physical;
   mutable std::weak_ptr<const GraphIndex> physical_index;
 };
@@ -116,7 +136,7 @@ class PreparedQuery {
   /// the session's current GraphIndex snapshot. Cached on the shared
   /// CompiledPlan — every PreparedQuery handle of the same text shares
   /// one costed plan — and re-costed automatically when the Database
-  /// invalidates its index (graph or relation mutation).
+  /// invalidates its index (graph or relation mutation). Thread-safe.
   PhysicalPlanPtr plan() const;
 
   /// Explains the execution without running it: chosen engine, operator
@@ -126,13 +146,18 @@ class PreparedQuery {
 
   /// Starts one execution: binds parameters (errors on unbound or unknown
   /// parameters and on unknown nodes) and returns a lazy cursor.
+  /// Thread-safe: any number of threads may Execute one PreparedQuery (or
+  /// different handles of the same cached plan) concurrently; each call
+  /// pins the session's current graph/index snapshot.
   Result<ResultCursor> Execute(const Params& params = {},
                                ExecuteOptions exec = {}) const;
 
   /// Runs to completion and materializes the full sorted answer set.
+  /// Thread-safe (see Execute).
   Result<QueryResult> ExecuteAll(const Params& params = {}) const;
 
   /// True iff at least one answer exists; the engine stops at the first.
+  /// Thread-safe (see Execute).
   Result<bool> Exists(const Params& params = {}) const;
 
  private:
@@ -141,7 +166,12 @@ class PreparedQuery {
       : db_(db), plan_(std::move(plan)) {}
 
   /// Substitutes parameters; shares the plan's query when there are none.
+  /// The caller must hold the database's read lock (graph name lookups).
   Result<std::shared_ptr<const Query>> BindParams(const Params& params) const;
+
+  /// plan() body against an already-pinned index snapshot; takes only the
+  /// CompiledPlan memo lock.
+  PhysicalPlanPtr PlanForIndex(GraphIndexPtr index) const;
 
   EvalOptions EffectiveOptions(const ExecuteOptions& exec) const;
 

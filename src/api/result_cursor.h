@@ -25,6 +25,8 @@
 
 namespace ecrpq {
 
+class Database;
+
 class ResultCursor {
  public:
   /// An empty, exhausted cursor.
@@ -64,11 +66,12 @@ class ResultCursor {
 
  private:
   friend class PreparedQuery;
-  ResultCursor(const GraphDb* graph, GraphIndexPtr index, EvalOptions options,
-               uint64_t limit, std::shared_ptr<const Query> query,
-               CompiledQueryPtr compiled,
+  ResultCursor(const Database* db, const GraphDb* graph, GraphIndexPtr index,
+               EvalOptions options, uint64_t limit,
+               std::shared_ptr<const Query> query, CompiledQueryPtr compiled,
                std::shared_ptr<const PhysicalPlan> plan, bool static_empty)
-      : graph_(graph),
+      : db_(db),
+        graph_(graph),
         index_(std::move(index)),
         options_(options),
         limit_(limit),
@@ -79,6 +82,7 @@ class ResultCursor {
 
   void Run(uint64_t limit);
 
+  const Database* db_ = nullptr;  // read-guard provider (null: no locking)
   const GraphDb* graph_ = nullptr;
   GraphIndexPtr index_;  // session-shared CSR index (may be null)
   EvalOptions options_;

@@ -124,6 +124,11 @@ Status EvaluateBruteForce(const GraphDb& graph, const Query& query,
                                    std::move(compiled));
   if (!answers.ok()) return answers.status();
   stats.engine = "bruteforce";
+  if (options.cancellation != nullptr &&
+      options.cancellation->cancelled()) {
+    return Status::Cancelled("query execution cancelled");
+  }
+
   std::set<std::vector<NodeId>> tuples;
   for (const GroundAnswer& answer : answers.value()) {
     if (tuples.insert(answer.nodes).second) {

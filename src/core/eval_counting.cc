@@ -28,6 +28,11 @@ Status EvaluateCounting(const GraphDb& graph, const Query& query,
   GraphIndexPtr shared_index = resolved_or.value().index;
 
   stats.engine = "counting";
+  if (options.cancellation != nullptr &&
+      options.cancellation->cancelled()) {
+    return Status::Cancelled("query execution cancelled");
+  }
+
 
   const int num_vars = static_cast<int>(query.node_variables().size());
   const int base = graph.alphabet().size();

@@ -9,6 +9,7 @@
 
 #include "automata/operations.h"
 #include "core/eval_product.h"
+#include "core/parallel.h"
 #include "query/analysis.h"
 
 namespace ecrpq {
@@ -39,6 +40,69 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
     const GraphIndex* index, const std::vector<NodeId>* sources,
     ReachabilityScanStats* scan_stats) {
+  return ReachabilityPairs(graph, languages, index, sources, scan_stats,
+                           /*num_threads=*/1, /*cancel=*/nullptr,
+                           /*deterministic=*/true);
+}
+
+namespace {
+
+// One source's BFS over (language state, node); `seen` is a reusable
+// ls × |V| bitmap (reset here). Accepting product states yield `ends`.
+// Polls `cancel` every few thousand expansions so even a single-source
+// scan over a huge graph unwinds promptly (the caller treats the partial
+// result as void once the token has tripped).
+void ScanFromSource(const GraphDb& graph, const GraphIndex* index,
+                    const Nfa& lang, const std::vector<StateId>& lang_initial,
+                    NodeId start, std::vector<bool>* seen,
+                    std::set<NodeId>* ends, ReachabilityScanStats* stats,
+                    CancellationToken* cancel) {
+  seen->assign(static_cast<size_t>(lang.num_states()) * graph.num_nodes(),
+               false);
+  ends->clear();
+  std::queue<std::pair<StateId, NodeId>> work;
+  auto push = [&](StateId q, NodeId v) {
+    if (stats != nullptr) ++stats->frontier_expansions;
+    size_t key = static_cast<size_t>(q) * graph.num_nodes() + v;
+    if (!(*seen)[key]) {
+      (*seen)[key] = true;
+      if (stats != nullptr) ++stats->visited_states;
+      work.emplace(q, v);
+      if (lang.IsAccepting(q)) ends->insert(v);
+    }
+  };
+  for (StateId q : lang_initial) push(q, start);
+  uint32_t since_poll = 0;
+  while (!work.empty()) {
+    if (cancel != nullptr && ++since_poll >= 2048) {
+      since_poll = 0;
+      if (cancel->cancelled()) return;
+    }
+    auto [q, v] = work.front();
+    work.pop();
+    if (index != nullptr) {
+      // CSR label slices: touch only the successors carrying exactly
+      // the letters the language state can read.
+      for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
+        for (NodeId to : index->Out(v, arc.first)) push(arc.second, to);
+      }
+    } else {
+      for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
+        for (const auto& [label, to] : graph.Out(v)) {
+          if (label == arc.first) push(arc.second, to);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    ReachabilityScanStats* scan_stats, int num_threads,
+    CancellationToken* cancel, bool deterministic) {
   // Intersect the language NFAs (over the base alphabet).
   Nfa lang = UniverseNfa(graph.alphabet().size());
   for (const RegularRelation* rel : languages) {
@@ -57,45 +121,66 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
   // per start node (O(|V| · |lang| · |E|)). Accepting product states yield
   // (start, node) pairs.
   std::vector<StateId> lang_initial = lang.InitialStates();
-  const int ls = lang.num_states();
   const int num_starts =
       (sources != nullptr) ? static_cast<int>(sources->size())
                            : graph.num_nodes();
-  for (int s = 0; s < num_starts; ++s) {
-    const NodeId start = (sources != nullptr) ? (*sources)[s] : s;
-    std::vector<bool> seen(static_cast<size_t>(ls) * graph.num_nodes(),
-                           false);
-    std::queue<std::pair<StateId, NodeId>> work;
+  auto source_of = [&](int s) -> NodeId {
+    return (sources != nullptr) ? (*sources)[s] : s;
+  };
+
+  const int lanes = std::min(std::max(num_threads, 1), num_starts);
+  if (lanes <= 1) {
+    std::vector<bool> seen;
     std::set<NodeId> ends;
-    auto push = [&](StateId q, NodeId v) {
-      if (scan_stats != nullptr) ++scan_stats->frontier_expansions;
-      size_t key = static_cast<size_t>(q) * graph.num_nodes() + v;
-      if (!seen[key]) {
-        seen[key] = true;
-        if (scan_stats != nullptr) ++scan_stats->visited_states;
-        work.emplace(q, v);
-        if (lang.IsAccepting(q)) ends.insert(v);
-      }
-    };
-    for (StateId q : lang_initial) push(q, start);
-    while (!work.empty()) {
-      auto [q, v] = work.front();
-      work.pop();
-      if (index != nullptr) {
-        // CSR label slices: touch only the successors carrying exactly
-        // the letters the language state can read.
-        for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
-          for (NodeId to : index->Out(v, arc.first)) push(arc.second, to);
+    for (int s = 0; s < num_starts; ++s) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      ScanFromSource(graph, index, lang, lang_initial, source_of(s), &seen,
+                     &ends, scan_stats, cancel);
+      for (NodeId end : ends) out.emplace_back(source_of(s), end);
+    }
+    return out;
+  }
+
+  // Morsel-parallel: per-source end-set slots, per-lane counters and seen
+  // bitmaps. Deterministic mode concatenates the slots in source order
+  // (bit-identical to the serial scan); otherwise lanes append finished
+  // morsels in completion order under a lock.
+  std::vector<std::set<NodeId>> slots(num_starts);
+  std::vector<ReachabilityScanStats> lane_stats(lanes);
+  std::mutex out_mutex;
+  const size_t grain =
+      std::max<size_t>(1, static_cast<size_t>(num_starts) / (lanes * 8));
+  ParallelMorsels(
+      lanes, num_starts, grain, [&](size_t begin, size_t end, int lane_id) {
+        std::vector<bool> seen;
+        ReachabilityScanStats* ls =
+            (scan_stats != nullptr) ? &lane_stats[lane_id] : nullptr;
+        for (size_t s = begin; s < end; ++s) {
+          if (cancel != nullptr && cancel->cancelled()) return;
+          ScanFromSource(graph, index, lang, lang_initial,
+                         source_of(static_cast<int>(s)), &seen, &slots[s],
+                         ls, cancel);
         }
-      } else {
-        for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
-          for (const auto& [label, to] : graph.Out(v)) {
-            if (label == arc.first) push(arc.second, to);
+        if (!deterministic) {
+          std::lock_guard<std::mutex> lock(out_mutex);
+          for (size_t s = begin; s < end; ++s) {
+            for (NodeId e : slots[s]) {
+              out.emplace_back(source_of(static_cast<int>(s)), e);
+            }
+            slots[s].clear();
           }
         }
-      }
+      });
+  if (deterministic) {
+    for (int s = 0; s < num_starts; ++s) {
+      for (NodeId e : slots[s]) out.emplace_back(source_of(s), e);
     }
-    for (NodeId end : ends) out.emplace_back(start, end);
+  }
+  if (scan_stats != nullptr) {
+    for (const ReachabilityScanStats& ls : lane_stats) {
+      scan_stats->frontier_expansions += ls.frontier_expansions;
+      scan_stats->visited_states += ls.visited_states;
+    }
   }
   return out;
 }
@@ -196,8 +281,12 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
 
   stats.engine = "crpq";
 
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  CancellationToken* cancel = options.cancellation.get();
+
   // Build one JoinAtom per path atom with its language intersection —
-  // the per-atom ReachabilityScan leaves of the physical plan.
+  // the per-atom ReachabilityScan leaves of the physical plan. Each scan
+  // runs its per-source BFSes morsel-parallel.
   std::vector<JoinAtom> atoms(rq.atoms.size());
   for (size_t i = 0; i < rq.atoms.size(); ++i) {
     atoms[i].from = rq.atoms[i].from;
@@ -210,7 +299,12 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
     }
     ReachabilityScanStats scan_stats;
     atoms[i].pairs = ReachabilityPairs(graph, languages, rq.index.get(),
-                                       /*sources=*/nullptr, &scan_stats);
+                                       /*sources=*/nullptr, &scan_stats,
+                                       num_threads, cancel,
+                                       options.deterministic);
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled("query execution cancelled");
+    }
     stats.arcs_explored += scan_stats.frontier_expansions;
     // Constants restrict immediately.
     std::vector<std::pair<NodeId, NodeId>> filtered;
@@ -231,6 +325,7 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
     op.rows_out = atoms[i].pairs.size();
     op.frontier_expansions = scan_stats.frontier_expansions;
     op.visited_configs = scan_stats.visited_states;
+    op.threads = num_threads;
     stats.operators.push_back(std::move(op));
     if (atoms[i].pairs.empty()) return Status::OK();  // empty answer
   }
@@ -350,6 +445,10 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
 
   std::function<void(int)> recurse = [&](int depth) {
     if (stop) return;
+    if (cancel != nullptr && cancel->cancelled()) {
+      stop = true;
+      return;
+    }
     if (depth == static_cast<int>(atoms.size())) {
       head_projection();
       return;
@@ -424,6 +523,10 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
   recurse(0);
   join_op.rows_out = stats.join_tuples - joined_before;
   stats.operators.push_back(std::move(join_op));
+  if (emitter.status().ok() && cancel != nullptr && cancel->cancelled() &&
+      !emitter.stopped_by_sink()) {
+    return Status::Cancelled("query execution cancelled");
+  }
   return emitter.status();
 }
 

@@ -49,6 +49,15 @@ struct ReachabilityScanStats {
 /// `sources` (when non-null) restricts the scan to paths starting at the
 /// listed nodes — the sideways-seeded form the planner emits; null scans
 /// from every node. `scan_stats` (optional) receives frontier counters.
+///
+/// With num_threads > 1 the per-source BFSes run morsel-parallel: lanes
+/// claim source morsels off a shared cursor and write each source's end
+/// set into its own slot. With `deterministic` (the default) slots are
+/// concatenated in source order, making the output identical to the
+/// serial scan's; otherwise lanes append finished morsels in completion
+/// order (same pair set, order may vary). `cancel` (optional) stops all
+/// lanes promptly; the caller must treat the result as partial once the
+/// token has tripped.
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages);
 std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
@@ -58,6 +67,11 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
     const GraphIndex* index, const std::vector<NodeId>* sources,
     ReachabilityScanStats* scan_stats);
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    ReachabilityScanStats* scan_stats, int num_threads,
+    CancellationToken* cancel, bool deterministic);
 
 }  // namespace ecrpq
 

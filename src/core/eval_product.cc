@@ -8,6 +8,7 @@
 
 #include "automata/operations.h"
 #include "core/ops.h"
+#include "core/parallel.h"
 #include "core/planner.h"
 
 namespace ecrpq {
@@ -135,16 +136,25 @@ HeadTupleEmitter::HeadTupleEmitter(const ResolvedQuery& rq,
 
 bool HeadTupleEmitter::Emit(const std::vector<NodeId>& head) {
   if (!seen_.insert(head).second) return true;  // duplicate projection
+  bool keep_going;
   if (with_paths_) {
     auto answers = BuildPathAnswerSet(*rq_.graph, *rq_.query, options_, head,
                                       rq_.compiled, rq_.index);
     if (!answers.ok()) {
       status_ = answers.status();
+      if (options_.cancellation != nullptr) options_.cancellation->Cancel();
       return false;
     }
-    return sink_.Emit(head, &answers.value());
+    keep_going = sink_.Emit(head, &answers.value());
+  } else {
+    keep_going = sink_.Emit(head, nullptr);
   }
-  return sink_.Emit(head, nullptr);
+  if (!keep_going) {
+    // Limit / exists pushdown: fan the stop out to every worker.
+    stopped_by_sink_ = true;
+    if (options_.cancellation != nullptr) options_.cancellation->Cancel();
+  }
+  return keep_going;
 }
 
 Status EvaluateProduct(const GraphDb& graph, const Query& query,
@@ -186,7 +196,10 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
   // the join projection otherwise — the final join re-enforces equality).
   // A runtime guard keeps ProductExpand re-runs (one search per seed row)
   // cheaper than one full-seeded search; scan leaves filter in a single
-  // pass, so seeding them never hurts.
+  // pass, so seeding them never hurts. Each leaf runs morsel-parallel on
+  // the lanes the planner recorded for it (capped by the session's
+  // resolved num_threads; 1 = the legacy serial path).
+  const int num_threads = ResolveNumThreads(options.num_threads);
   const double V = std::max(1, graph.num_nodes());
   constexpr size_t kMaxSeedRows = 1 << 16;
   std::vector<BindingTable> tables;
@@ -249,10 +262,15 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
         }
       }
     }
+    // The runtime-resolved lane count wins (a per-execution num_threads
+    // override must be honored even against a plan memoized at a lower
+    // session parallelism); the plan only contributes its cost-based
+    // demotion of leaves too small to amortize lanes.
+    const int leaf_threads = pc.demoted_serial ? 1 : num_threads;
     std::set<std::vector<NodeId>> results;
     Status st = ExecuteComponentOp(rq, comp, options, fixed, seeds_ptr,
-                                   pc.est_rows, stats, &results,
-                                   /*graph_sink=*/nullptr);
+                                   pc.est_rows, leaf_threads, stats,
+                                   &results, /*graph_sink=*/nullptr);
     if (!st.ok()) return st;
     if (results.empty()) return Status::OK();  // empty answer
     BindingTable table;
@@ -274,7 +292,9 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
       for (size_t i = 0; i < tables.size(); ++i) {
         for (size_t j = 0; j < tables.size(); ++j) {
           if (i == j) continue;
-          if (SemiJoinFilterOp(&tables[i], tables[j], stats)) changed = true;
+          if (SemiJoinFilterOp(&tables[i], tables[j], stats, num_threads)) {
+            changed = true;
+          }
           if (tables[i].rows.empty()) return Status::OK();  // empty answer
         }
       }
@@ -293,9 +313,15 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
                    " components";
   for (const BindingTable& t : tables) join_op.rows_in += t.rows.size();
   std::vector<NodeId> global(query.node_variables().size(), -1);
+  CancellationToken* cancel = options.cancellation.get();
   bool stop = false;
   std::function<void(size_t)> join = [&](size_t i) {
     if (stop) return;
+    if (cancel != nullptr && cancel->cancelled() &&
+        !emitter.stopped_by_sink()) {
+      stop = true;  // external kill mid-join
+      return;
+    }
     if (i == tables.size()) {
       std::vector<NodeId> head;
       for (const NodeTerm& term : query.head_nodes()) {
@@ -327,6 +353,10 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
   };
   join(0);
   stats.operators.push_back(std::move(join_op));
+  if (emitter.status().ok() && cancel != nullptr && cancel->cancelled() &&
+      !emitter.stopped_by_sink()) {
+    return Status::Cancelled("query execution cancelled");
+  }
   return emitter.status();
 }
 
@@ -365,7 +395,8 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     ProductGraphSink sink;
     Status st = ExecuteComponentOp(rq, comp, options, assignment,
                                    /*seeds=*/nullptr, /*est_rows=*/-1.0,
-                                   stats, /*results=*/nullptr, &sink);
+                                   /*num_threads=*/1, stats,
+                                   /*results=*/nullptr, &sink);
     if (!st.ok()) return st;
     ComponentProductGraph cpg;
     cpg.tracks = comp.tracks;
@@ -451,7 +482,8 @@ Result<PathAnswerSet> BuildPathAnswerSet(
       other_results.emplace_back();
       Status st = ExecuteComponentOp(rq, other, options, fixed,
                                      /*seeds=*/nullptr, /*est_rows=*/-1.0,
-                                     stats, &other_results.back(),
+                                     /*num_threads=*/1, stats,
+                                     &other_results.back(),
                                      /*graph_sink=*/nullptr);
       if (!st.ok()) return st;
       if (other_results.back().empty()) {
@@ -497,7 +529,8 @@ Result<PathAnswerSet> BuildPathAnswerSet(
   for (const std::vector<NodeId>& anchor : anchors) {
     Status st = ExecuteComponentOp(rq, comp, options, anchor,
                                    /*seeds=*/nullptr, /*est_rows=*/-1.0,
-                                   stats, /*results=*/nullptr, &sink);
+                                   /*num_threads=*/1, stats,
+                                   /*results=*/nullptr, &sink);
     if (!st.ok()) return st;
   }
 

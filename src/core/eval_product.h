@@ -101,7 +101,10 @@ Result<ResolvedQuery> ResolveQuery(const GraphDb& graph, const Query& query,
 /// new tuple when the query requests it, and pushes into the sink.
 /// Emit returns false when the engine should stop searching — either the
 /// sink requested early termination or path-answer construction failed
-/// (check status()).
+/// (check status()). When the execution carries a CancellationToken
+/// (EvalOptions::cancellation), a sink-requested stop trips it, so any
+/// workers still running unwind promptly (limit / exists pushdown
+/// reaching the whole execution, not just the join loop).
 class HeadTupleEmitter {
  public:
   HeadTupleEmitter(const ResolvedQuery& rq, const EvalOptions& options,
@@ -112,11 +115,16 @@ class HeadTupleEmitter {
 
   const Status& status() const { return status_; }
 
+  /// True when the sink requested early termination (limit reached) —
+  /// distinguishes a benign stop from an external cancellation.
+  bool stopped_by_sink() const { return stopped_by_sink_; }
+
  private:
   const ResolvedQuery& rq_;
   const EvalOptions& options_;
   ResultSink& sink_;
   bool with_paths_;
+  bool stopped_by_sink_ = false;
   std::set<std::vector<NodeId>> seen_;
   Status status_;
 };

@@ -117,6 +117,11 @@ Status EvaluateQlenProduct(const GraphDb& graph, const Query& query,
   Status st =
       EvaluateProduct(named_unary, qlen_query.value(), options, sink, stats);
   stats.engine = "qlen-product";
+  if (options.cancellation != nullptr &&
+      options.cancellation->cancelled()) {
+    return Status::Cancelled("query execution cancelled");
+  }
+
   return st;
 }
 
@@ -205,6 +210,11 @@ Status EvaluateQlen(const GraphDb& graph, const Query& query,
   }
 
   stats.engine = "qlen";
+  if (options.cancellation != nullptr &&
+      options.cancellation->cancelled()) {
+    return Status::Cancelled("query execution cancelled");
+  }
+
   if (options.use_graph_index && rq.index == nullptr) {
     rq.index = GraphIndex::Build(graph);
   }

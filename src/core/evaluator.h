@@ -42,6 +42,7 @@
 #include "query/analysis.h"
 #include "query/ast.h"
 #include "solver/parikh.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace ecrpq {
@@ -97,6 +98,35 @@ struct EvalOptions {
 
   /// Build Prop 5.2 answer automata for head path variables.
   bool build_path_answers = true;
+
+  /// Degree of intra-query parallelism. Operator leaves partition their
+  /// degree-ordered seed sets (start assignments, seed rows, scan
+  /// sources) into morsels executed on the shared work-stealing pool;
+  /// large joins build partitioned tables and probe morsel-wise; a single
+  /// fully-anchored product search expands its frontier cooperatively
+  /// against a sharded visited table. 0 = auto (the ECRPQ_THREADS
+  /// environment variable when set, else hardware concurrency); 1 = the
+  /// exact legacy single-threaded path (no pool involvement).
+  int num_threads = 0;
+
+  /// Thread-count-independent results (default on): parallel leaves merge
+  /// per-worker outputs at barrier points in canonical seed order, so the
+  /// emitted tuple sequence — and therefore which k tuples a `limit`
+  /// keeps — does not depend on num_threads. Off lets leaves fold worker
+  /// outputs in completion order (same tuple set, order may vary). See
+  /// the ordering contract in core/result_sink.h.
+  bool deterministic = true;
+
+  /// Optional cooperative cancellation. The product and crpq engines —
+  /// the paths parallel execution runs on — poll the token at
+  /// morsel/config granularity and return Status::Cancelled once it
+  /// trips; it also fans early termination (limit / exists, worker
+  /// errors, budget exhaustion) out to all workers of the execution.
+  /// The counting/qlen/bruteforce engines (serial; num_threads is a
+  /// no-op there) currently check only at entry, so a mid-run cancel
+  /// takes effect at their next engine-level boundary. Use one token per
+  /// execution — a tripped token stays tripped.
+  std::shared_ptr<CancellationToken> cancellation;
 
   /// Product-configuration budget (kProduct); exceeding returns
   /// ResourceExhausted.

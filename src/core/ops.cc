@@ -1,9 +1,12 @@
 #include "core/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <functional>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <queue>
 #include <span>
 #include <string>
@@ -11,6 +14,7 @@
 #include <unordered_set>
 
 #include "core/eval_crpq.h"
+#include "core/parallel.h"
 
 namespace ecrpq {
 
@@ -81,7 +85,11 @@ bool IsReachabilityScanComponent(const ResolvedQuery& rq,
 
 namespace {
 
-// Interns relation state subsets.
+constexpr const char* kCancelledMessage = "query execution cancelled";
+
+// Interns relation state subsets (serial searches; one pool per search).
+// The shared-frontier parallel search uses SharedSubsetPool
+// (core/parallel.h) instead.
 class SubsetPool {
  public:
   int Intern(std::vector<StateId> subset) {
@@ -99,49 +107,21 @@ class SubsetPool {
   std::vector<std::vector<StateId>> store_;
 };
 
-uint64_t Mix64(uint64_t x) {
-  // splitmix64 finalizer.
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-uint64_t HashConfig(const ProductConfig& c) {
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  auto feed = [&h](uint32_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  feed(c.padmask);
-  for (NodeId v : c.nodes) feed(static_cast<uint32_t>(v));
-  for (int s : c.subset_ids) feed(static_cast<uint32_t>(s));
-  return h;
-}
-
-// Open-addressing visited/intern table over product configurations.
+// Open-addressing visited/intern table over product configurations
+// (serial searches; the parallel search shards this structure — see
+// ShardedVisitedTable in core/parallel.h).
 //
 // When padmask + per-track node ids + per-relation subset ids fit one
-// word, configurations are keyed by a packed uint64 code and probes
-// compare single words — no per-configuration allocation, no vector
-// hashing. Subset-interning ids are assigned dynamically, so a search
-// whose subset count outgrows its bit field migrates once to the generic
-// path (hash of the config, structural equality against the discovery
-// array) and keeps going; searches whose shape never fits start there.
+// word (ConfigCodec), configurations are keyed by a packed uint64 code
+// and probes compare single words — no per-configuration allocation, no
+// vector hashing. Subset-interning ids are assigned dynamically, so a
+// search whose subset count outgrows its bit field migrates once to the
+// generic path (structural hash, equality against the discovery array)
+// and keeps going; searches whose shape never fits start there.
 class VisitedTable {
  public:
   VisitedTable(int tracks, int relations, int num_nodes)
-      : tracks_(tracks), relations_(relations) {
-    node_bits_ = std::bit_width(
-        static_cast<uint32_t>(std::max(num_nodes - 1, 1)));
-    int used = tracks_ + tracks_ * node_bits_;
-    if (used <= 64 && relations_ > 0) {
-      subset_bits_ = std::min<int>(31, (64 - used) / relations_);
-    } else {
-      subset_bits_ = 0;
-    }
-    packed_ = (used + relations_ * subset_bits_ <= 64) &&
-              (relations_ == 0 || subset_bits_ >= 1);
+      : codec_(tracks, relations, num_nodes), packed_(codec_.packable) {
     Rehash(1024);
   }
 
@@ -150,11 +130,11 @@ class VisitedTable {
                                     std::vector<ProductConfig>& order) {
     if (packed_) {
       uint64_t code;
-      if (!TryPack(c, &code)) {
+      if (!codec_.TryPack(c, &code)) {
         MigrateToGeneric(order);
       } else {
         if ((size_ + 1) * 10 >= slots_.size() * 7) RehashPacked(order);
-        size_t i = Mix64(code) & (slots_.size() - 1);
+        size_t i = MixHash64(code) & (slots_.size() - 1);
         while (slots_[i] >= 0) {
           if (keys_[i] == code) return {slots_[i], false};
           i = (i + 1) & (slots_.size() - 1);
@@ -168,7 +148,7 @@ class VisitedTable {
       }
     }
     if ((size_ + 1) * 10 >= slots_.size() * 7) RehashGeneric(order);
-    size_t i = HashConfig(c) & (slots_.size() - 1);
+    size_t i = HashProductConfig(c) & (slots_.size() - 1);
     while (slots_[i] >= 0) {
       if (order[slots_[i]] == c) return {slots_[i], false};
       i = (i + 1) & (slots_.size() - 1);
@@ -181,24 +161,6 @@ class VisitedTable {
   }
 
  private:
-  bool TryPack(const ProductConfig& c, uint64_t* out) const {
-    uint64_t code = c.padmask;
-    int shift = tracks_;
-    for (NodeId v : c.nodes) {
-      code |= static_cast<uint64_t>(static_cast<uint32_t>(v)) << shift;
-      shift += node_bits_;
-    }
-    for (int s : c.subset_ids) {
-      if (static_cast<int64_t>(s) >= (int64_t{1} << subset_bits_)) {
-        return false;
-      }
-      code |= static_cast<uint64_t>(s) << shift;
-      shift += subset_bits_;
-    }
-    *out = code;
-    return true;
-  }
-
   void Rehash(size_t capacity) {
     slots_.assign(capacity, -1);
     if (packed_) keys_.assign(capacity, 0);
@@ -211,7 +173,7 @@ class VisitedTable {
     Rehash(old_slots.size() * 2);
     for (size_t j = 0; j < old_slots.size(); ++j) {
       if (old_slots[j] < 0) continue;
-      size_t i = Mix64(old_keys[j]) & (slots_.size() - 1);
+      size_t i = MixHash64(old_keys[j]) & (slots_.size() - 1);
       while (slots_[i] >= 0) i = (i + 1) & (slots_.size() - 1);
       slots_[i] = old_slots[j];
       keys_[i] = old_keys[j];
@@ -224,7 +186,7 @@ class VisitedTable {
                       const std::vector<ProductConfig>& order) {
     slots_.assign(capacity, -1);
     for (size_t id = 0; id < order.size(); ++id) {
-      size_t i = HashConfig(order[id]) & (capacity - 1);
+      size_t i = HashProductConfig(order[id]) & (capacity - 1);
       while (slots_[i] >= 0) i = (i + 1) & (capacity - 1);
       slots_[i] = static_cast<int32_t>(id);
     }
@@ -241,25 +203,27 @@ class VisitedTable {
     RebuildGeneric(slots_.size(), order);
   }
 
-  int tracks_;
-  int relations_;
-  int node_bits_ = 0;
-  int subset_bits_ = 0;
+  ConfigCodec codec_;
   bool packed_ = false;
   size_t size_ = 0;
   std::vector<int32_t> slots_;  // config id or -1
   std::vector<uint64_t> keys_;  // packed code per occupied slot
 };
 
-// Product search over one component for one start assignment.
-class ComponentSearch {
+// Product search over one component. Templated on the state-subset pool:
+// SubsetPool for serial searches (one pool per search, lock-free) and
+// SharedSubsetPool for shared-frontier parallel searches (one pool shared
+// by every lane; each lane owns a ComponentSearchT as its expansion
+// context — the per-subset mask caches stay lane-private).
+template <typename Pool>
+class ComponentSearchT {
  public:
-  ComponentSearch(const ResolvedQuery& rq, const ComponentSpec& comp,
-                  const EvalOptions& options, EvalStats* stats)
+  ComponentSearchT(const ResolvedQuery& rq, const ComponentSpec& comp,
+                   const EvalOptions& options, Pool* pool)
       : rq_(rq),
         comp_(comp),
         options_(options),
-        stats_(stats),
+        pool_(pool),
         index_(rq.index.get()),
         use_masks_(rq.graph->alphabet().size() <= 64) {
     // Per-relation tuple alphabets and local track lists.
@@ -273,36 +237,75 @@ class ComponentSearch {
     subset_masks_.resize(comp_.relation_indices.size());
   }
 
-  // Runs BFS from one start-node-per-track assignment; reports satisfying
-  // (full component assignment) tuples into `results`. `fixed` holds
-  // pre-bound global vars (or -1). If `sink` is non-null the product graph
-  // is recorded there.
-  Status Run(const std::vector<NodeId>& start_nodes,
-             const std::vector<NodeId>& fixed,
-             std::set<std::vector<NodeId>>* results,
-             ProductGraphSink* sink) {
-    const int T = static_cast<int>(comp_.tracks.size());
-    const GraphDb& graph = *rq_.graph;
-
-    // Start binding of start vars (from the caller's enumeration).
-    // Initial relation subsets.
-    ProductConfig init;
-    init.nodes = start_nodes;
-    init.padmask = 0;
-    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
+  // Builds the initial configuration for one start assignment; false when
+  // some relation has no initial state (unsatisfiable — no search runs).
+  bool MakeInitialConfig(const std::vector<NodeId>& start_nodes,
+                         ProductConfig* out) {
+    out->padmask = 0;
+    out->nodes = start_nodes;
+    out->subset_ids.clear();
+    for (int r : comp_.relation_indices) {
+      const ResolvedRelation& rel = rq_.relations()[r];
       std::vector<StateId> subset = rel.initial;
       std::sort(subset.begin(), subset.end());
-      if (subset.empty()) return Status::OK();  // relation unsatisfiable
-      init.subset_ids.push_back(pool_.Intern(std::move(subset)));
+      if (subset.empty()) return false;  // relation unsatisfiable
+      out->subset_ids.push_back(pool_->Intern(std::move(subset)));
     }
+    return true;
+  }
+
+  // One configuration step: acceptance (+ end-consistency filtering into
+  // `results`) and successor expansion. `emit(ProductConfig&&, letters)`
+  // receives every generated successor; the caller owns dedup/queueing.
+  // Both the serial BFS (Run) and the shared-frontier lanes drive this.
+  template <typename Emit>
+  void ProcessConfig(const ProductConfig& current,
+                     const std::vector<NodeId>& start_nodes,
+                     const std::vector<NodeId>& fixed,
+                     std::set<std::vector<NodeId>>* results, bool* accepted,
+                     Emit&& emit) {
+    *accepted = false;
+    if (Accepting(current)) {
+      std::vector<NodeId> assignment;
+      if (EndConsistent(current, start_nodes, fixed, &assignment)) {
+        if (results != nullptr) results->insert(std::move(assignment));
+        *accepted = true;
+      }
+    }
+    const int T = static_cast<int>(comp_.tracks.size());
+    ComputeLiveMasks(current);
+    scratch_letter_.assign(T, kPad);
+    scratch_next_nodes_.assign(T, -1);
+    auto counted = [&](ProductConfig next,
+                       const std::vector<Symbol>& letters) {
+      ++arcs_explored_;
+      ++frontier_expansions_;
+      emit(std::move(next), letters);
+    };
+    ExpandRec(0, T, current, &scratch_letter_, &scratch_next_nodes_,
+              *rq_.graph, counted);
+  }
+
+  // Serial BFS from one start-node-per-track assignment; reports
+  // satisfying component assignments into `results` and records the
+  // product graph into `sink` when non-null. `configs_budget` is the
+  // execution-wide popped-configuration counter checked against
+  // max_configs; `cancel` (optional) stops the search cooperatively.
+  Status Run(const std::vector<NodeId>& start_nodes,
+             const std::vector<NodeId>& fixed,
+             std::set<std::vector<NodeId>>* results, ProductGraphSink* sink,
+             std::atomic<uint64_t>* configs_budget,
+             CancellationToken* cancel) {
+    const GraphDb& graph = *rq_.graph;
+    ProductConfig init;
+    if (!MakeInitialConfig(start_nodes, &init)) return Status::OK();
 
     // The sink may already hold configs from previous start assignments;
     // all sink indices are offset by its current size.
     const int sink_base =
         (sink != nullptr) ? static_cast<int>(sink->configs.size()) : 0;
-    VisitedTable visited(T, static_cast<int>(comp_.relation_indices.size()),
+    VisitedTable visited(static_cast<int>(comp_.tracks.size()),
+                         static_cast<int>(comp_.relation_indices.size()),
                          graph.num_nodes());
     std::vector<ProductConfig> order;
     std::queue<int> work;
@@ -328,39 +331,31 @@ class ComponentSearch {
     while (!work.empty()) {
       int config_id = work.front();
       work.pop();
-      if (++stats_->configs_explored > options_.max_configs) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        return Status::Cancelled(kCancelledMessage);
+      }
+      if (configs_budget->fetch_add(1, std::memory_order_relaxed) + 1 >
+          options_.max_configs) {
         return Status::ResourceExhausted(
             "product search exceeded max_configs=" +
             std::to_string(options_.max_configs));
       }
       ProductConfig current = order[config_id];  // copy: order grows below
-
-      // Acceptance: every relation subset intersects its accepting set,
-      // and end constraints are consistent.
-      if (Accepting(current)) {
-        std::vector<NodeId> assignment;
-        if (EndConsistent(current, start_nodes, fixed, &assignment)) {
-          if (results != nullptr) results->insert(assignment);
-          if (sink != nullptr) sink->accepting[sink_base + config_id] = true;
-        }
+      bool accepted = false;
+      ProcessConfig(current, start_nodes, fixed, results, &accepted,
+                    [&](ProductConfig next,
+                        const std::vector<Symbol>& letters) {
+                      auto [next_id, unused] =
+                          intern_config(std::move(next));
+                      (void)unused;
+                      if (sink != nullptr) {
+                        sink->arcs[sink_base + config_id].push_back(
+                            {letters, sink_base + next_id});
+                      }
+                    });
+      if (accepted && sink != nullptr) {
+        sink->accepting[sink_base + config_id] = true;
       }
-
-      // Expand successors: per track choose pad or an edge, pulling only
-      // the label slices the live relation state-sets can read.
-      ComputeLiveMasks(current);
-      std::vector<Symbol> letter(T);
-      std::vector<NodeId> next_nodes(T);
-      ExpandRec(0, T, current, &letter, &next_nodes, graph,
-                [&](ProductConfig next, const std::vector<Symbol>& letters) {
-                  ++stats_->arcs_explored;
-                  ++frontier_expansions_;
-                  auto [next_id, unused] = intern_config(std::move(next));
-                  (void)unused;
-                  if (sink != nullptr) {
-                    sink->arcs[sink_base + config_id].push_back(
-                        {letters, sink_base + next_id});
-                  }
-                });
     }
     return Status::OK();
   }
@@ -368,6 +363,7 @@ class ComponentSearch {
   const ComponentSpec& component() const { return comp_; }
   uint64_t visited_configs() const { return visited_configs_; }
   uint64_t frontier_expansions() const { return frontier_expansions_; }
+  uint64_t arcs_explored() const { return arcs_explored_; }
 
  private:
   bool Accepting(const ProductConfig& c) const {
@@ -375,7 +371,8 @@ class ComponentSearch {
       const ResolvedRelation& rel =
           rq_.relations()[comp_.relation_indices[i]];
       bool ok = false;
-      for (StateId s : pool_.Get(c.subset_ids[i])) {
+      auto&& subset = pool_->Get(c.subset_ids[i]);
+      for (StateId s : subset) {
         if (rel.accepting[s]) {
           ok = true;
           break;
@@ -425,7 +422,9 @@ class ComponentSearch {
   }
 
   // Per-tape letter masks of one relation's current subset, OR of the
-  // compiled per-state tape_masks; cached per interned subset id.
+  // compiled per-state tape_masks; cached per interned subset id. The
+  // cache is lane-private even when the pool is shared (ids are global,
+  // mask values are a pure function of the id, so lanes agree).
   const std::vector<uint64_t>& SubsetMasks(size_t i, int subset_id) {
     auto& cache = subset_masks_[i];
     if (subset_id >= static_cast<int>(cache.size())) {
@@ -436,7 +435,8 @@ class ComponentSearch {
       const ResolvedRelation& rel =
           rq_.relations()[comp_.relation_indices[i]];
       entry.assign(rel_local_tracks_[i].size(), 0);
-      for (StateId s : pool_.Get(subset_id)) {
+      auto&& subset = pool_->Get(subset_id);
+      for (StateId s : subset) {
         for (size_t tape = 0; tape < entry.size(); ++tape) {
           entry[tape] |= rel.tape_masks[s][tape];
         }
@@ -498,18 +498,21 @@ class ComponentSearch {
         }
         Symbol id = rel_alphabets_[i].Encode(proj);
         std::vector<StateId> advanced;
-        for (StateId s : pool_.Get(current.subset_ids[i])) {
-          auto it = rel.transitions[s].find(id);
-          if (it != rel.transitions[s].end()) {
-            advanced.insert(advanced.end(), it->second.begin(),
-                            it->second.end());
+        {
+          auto&& subset = pool_->Get(current.subset_ids[i]);
+          for (StateId s : subset) {
+            auto it = rel.transitions[s].find(id);
+            if (it != rel.transitions[s].end()) {
+              advanced.insert(advanced.end(), it->second.begin(),
+                              it->second.end());
+            }
           }
         }
         if (advanced.empty()) return;  // prune
         std::sort(advanced.begin(), advanced.end());
         advanced.erase(std::unique(advanced.begin(), advanced.end()),
                        advanced.end());
-        next.subset_ids[i] = pool_.Intern(std::move(advanced));
+        next.subset_ids[i] = pool_->Intern(std::move(advanced));
       }
       emit(std::move(next), *letter);
       return;
@@ -576,26 +579,54 @@ class ComponentSearch {
   const ResolvedQuery& rq_;
   const ComponentSpec& comp_;
   const EvalOptions& options_;
-  EvalStats* stats_;
+  Pool* pool_;
   const GraphIndex* index_;  // null = scan GraphDb adjacency (legacy path)
   bool use_masks_;           // base alphabet fits the 64-bit letter masks
-  SubsetPool pool_;
   std::vector<std::vector<int>> rel_local_tracks_;
   std::vector<TupleAlphabet> rel_alphabets_;
   // Per component relation: per-tape letter masks keyed by subset id.
   std::vector<std::vector<std::vector<uint64_t>>> subset_masks_;
   std::vector<uint64_t> live_;  // per-track live letters, per expansion
+  // Per-expansion scratch (hoisted out of the per-config hot loop).
+  std::vector<Symbol> scratch_letter_;
+  std::vector<NodeId> scratch_next_nodes_;
   uint64_t visited_configs_ = 0;
   uint64_t frontier_expansions_ = 0;
+  uint64_t arcs_explored_ = 0;
 };
 
-// Enumerates start assignments (respecting `fixed`) and runs one product
-// BFS per assignment — the ProductExpand body for one overlay of fixed
-// bindings.
-Status ExpandWithSeeding(const ResolvedQuery& rq, ComponentSearch& search,
-                         const std::vector<NodeId>& fixed, EvalStats* stats,
-                         std::set<std::vector<NodeId>>* results,
-                         ProductGraphSink* sink) {
+using ComponentSearch = ComponentSearchT<SubsetPool>;
+
+// Derives one start node per track from `binding`; false when repeated
+// tracks have disagreeing from-terms (no search needed).
+bool DeriveStartNodes(const ResolvedQuery& rq, const ComponentSpec& comp,
+                      const std::vector<NodeId>& binding,
+                      std::vector<NodeId>* start_nodes) {
+  start_nodes->assign(comp.tracks.size(), -1);
+  for (int idx : comp.atom_indices) {
+    const ResolvedAtom& atom = rq.atoms[idx];
+    int track = comp.track_of_path[atom.path];
+    NodeId v = atom.from.is_const ? atom.from.node : binding[atom.from.var];
+    if ((*start_nodes)[track] < 0) {
+      (*start_nodes)[track] = v;
+    } else if ((*start_nodes)[track] != v) {
+      return false;  // inconsistent repetition start
+    }
+  }
+  return true;
+}
+
+// Enumerates start assignments (respecting the bound vars of `fixed`) and
+// runs one serial product BFS per assignment — the ProductExpand body for
+// one overlay of fixed bindings. `start_assignments` counts enumerated
+// assignments (merged into EvalStats at the operator barrier).
+Status EnumerateAndRun(const ResolvedQuery& rq, ComponentSearch& search,
+                       const std::vector<NodeId>& fixed,
+                       uint64_t* start_assignments,
+                       std::set<std::vector<NodeId>>* results,
+                       ProductGraphSink* sink,
+                       std::atomic<uint64_t>* configs_budget,
+                       CancellationToken* cancel) {
   const ComponentSpec& comp = search.component();
   const GraphDb& graph = *rq.graph;
 
@@ -605,22 +636,17 @@ Status ExpandWithSeeding(const ResolvedQuery& rq, ComponentSearch& search,
   const std::vector<int>& start_vars = comp.start_vars;
 
   std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status::Cancelled(kCancelledMessage);
+    }
     if (i == start_vars.size()) {
-      // Derive start node per track; all from-terms of a track must agree.
-      std::vector<NodeId> start_nodes(comp.tracks.size(), -1);
-      for (int idx : comp.atom_indices) {
-        const ResolvedAtom& atom = rq.atoms[idx];
-        int track = comp.track_of_path[atom.path];
-        NodeId v = atom.from.is_const ? atom.from.node
-                                      : binding[atom.from.var];
-        if (start_nodes[track] < 0) {
-          start_nodes[track] = v;
-        } else if (start_nodes[track] != v) {
-          return Status::OK();  // inconsistent repetition start
-        }
+      std::vector<NodeId> start_nodes;
+      if (!DeriveStartNodes(rq, comp, binding, &start_nodes)) {
+        return Status::OK();
       }
-      ++stats->start_assignments;
-      return search.Run(start_nodes, binding, results, sink);
+      ++*start_assignments;
+      return search.Run(start_nodes, binding, results, sink, configs_budget,
+                        cancel);
     }
     int var = start_vars[i];
     if (binding[var] >= 0) return enumerate(i + 1);
@@ -646,13 +672,288 @@ Status ExpandWithSeeding(const ResolvedQuery& rq, ComponentSearch& search,
   return enumerate(0);
 }
 
+// Prefers hard errors over the Cancelled echoes other lanes report after
+// one of them tripped the shared token.
+Status CombineLaneStatuses(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok() && s.code() != StatusCode::kCancelled) return s;
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// Per-lane state of the morsel-driven ProductExpand drivers.
+struct ExpandLane {
+  std::unique_ptr<SubsetPool> pool;
+  std::unique_ptr<ComponentSearch> search;
+  std::set<std::vector<NodeId>> results;
+  uint64_t start_assignments = 0;
+  Status status;
+
+  ComponentSearch& Search(const ResolvedQuery& rq, const ComponentSpec& comp,
+                          const EvalOptions& options) {
+    if (search == nullptr) {
+      pool = std::make_unique<SubsetPool>();
+      search = std::make_unique<ComponentSearch>(rq, comp, options,
+                                                 pool.get());
+    }
+    return *search;
+  }
+};
+
+// Barrier-point merge of the morsel drivers: lane results fold into the
+// global set in canonical lane order, counters sum into the operator
+// entry, and the first hard lane error (or a Cancelled echo) wins. Lanes
+// that merely OBSERVED the tripped token exit without recording a
+// status, so an externally killed run whose lanes all bailed that way
+// still reports Cancelled instead of an empty success.
+Status MergeExpandLanes(std::vector<ExpandLane>& lanes,
+                        const CancellationToken* cancel, EvalStats& stats,
+                        OperatorStats& op,
+                        std::set<std::vector<NodeId>>* results) {
+  std::vector<Status> statuses;
+  for (ExpandLane& lane : lanes) {
+    statuses.push_back(lane.status);
+    stats.start_assignments += lane.start_assignments;
+    if (lane.search != nullptr) {
+      op.visited_configs += lane.search->visited_configs();
+      op.frontier_expansions += lane.search->frontier_expansions();
+      stats.arcs_explored += lane.search->arcs_explored();
+    }
+    if (results != nullptr) {
+      results->insert(lane.results.begin(), lane.results.end());
+    }
+  }
+  Status combined = CombineLaneStatuses(statuses);
+  if (combined.ok() && cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled(kCancelledMessage);
+  }
+  return combined;
+}
+
+// Applies one seed row on top of `fixed`; false when they disagree.
+bool OverlaySeedRow(const BindingTable& seeds, size_t row,
+                    std::vector<NodeId>* overlay) {
+  for (size_t i = 0; i < seeds.vars.size(); ++i) {
+    int var = seeds.vars[i];
+    NodeId v = seeds.rows[row][i];
+    if ((*overlay)[var] >= 0 && (*overlay)[var] != v) return false;
+    (*overlay)[var] = v;
+  }
+  return true;
+}
+
+// Morsel-parallel ProductExpand over seed rows: lanes claim row morsels
+// and run one serial seeded search per row (each lane reuses one search —
+// warm subset pools and mask caches across its rows).
+Status MorselSeedRowsExpand(const ResolvedQuery& rq,
+                            const ComponentSpec& comp,
+                            const EvalOptions& options, int num_lanes,
+                            const std::vector<NodeId>& fixed,
+                            const BindingTable& seeds,
+                            std::atomic<uint64_t>* configs_budget,
+                            CancellationToken* cancel, EvalStats& stats,
+                            OperatorStats& op,
+                            std::set<std::vector<NodeId>>* results) {
+  std::vector<ExpandLane> lanes(num_lanes);
+  std::atomic<bool> failed{false};
+  const size_t grain =
+      std::max<size_t>(1, seeds.rows.size() / (num_lanes * 8));
+  ParallelMorsels(num_lanes, seeds.rows.size(), grain,
+                  [&](size_t begin, size_t end, int lane_id) {
+                    ExpandLane& lane = lanes[lane_id];
+                    ComponentSearch& search = lane.Search(rq, comp, options);
+                    std::vector<NodeId> overlay;
+                    for (size_t r = begin; r < end; ++r) {
+                      if (failed.load(std::memory_order_relaxed) ||
+                          cancel->cancelled()) {
+                        return;
+                      }
+                      overlay = fixed;
+                      if (!OverlaySeedRow(seeds, r, &overlay)) continue;
+                      Status st = EnumerateAndRun(
+                          rq, search, overlay, &lane.start_assignments,
+                          &lane.results, nullptr, configs_budget, cancel);
+                      if (!st.ok()) {
+                        lane.status = st;
+                        failed.store(true, std::memory_order_relaxed);
+                        cancel->Cancel();
+                        return;
+                      }
+                    }
+                  });
+  return MergeExpandLanes(lanes, cancel, stats, op, results);
+}
+
+// Morsel-parallel ProductExpand over the first unbound start variable:
+// the degree-ordered node list is split into morsels, and each lane pins
+// the variable to its claimed nodes, serially enumerating any remaining
+// start variables per pin.
+Status MorselStartNodesExpand(const ResolvedQuery& rq,
+                              const ComponentSpec& comp,
+                              const EvalOptions& options, int num_lanes,
+                              const std::vector<NodeId>& overlay, int var,
+                              std::atomic<uint64_t>* configs_budget,
+                              CancellationToken* cancel, EvalStats& stats,
+                              OperatorStats& op,
+                              std::set<std::vector<NodeId>>* results) {
+  std::vector<NodeId> order;
+  if (rq.index != nullptr) {
+    order = rq.index->NodesByDegree();
+  } else {
+    order.resize(rq.graph->num_nodes());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  std::vector<ExpandLane> lanes(num_lanes);
+  std::atomic<bool> failed{false};
+  const size_t grain = std::max<size_t>(1, order.size() / (num_lanes * 8));
+  ParallelMorsels(num_lanes, order.size(), grain,
+                  [&](size_t begin, size_t end, int lane_id) {
+                    ExpandLane& lane = lanes[lane_id];
+                    ComponentSearch& search = lane.Search(rq, comp, options);
+                    std::vector<NodeId> pinned;
+                    for (size_t i = begin; i < end; ++i) {
+                      if (failed.load(std::memory_order_relaxed) ||
+                          cancel->cancelled()) {
+                        return;
+                      }
+                      pinned = overlay;
+                      pinned[var] = order[i];
+                      Status st = EnumerateAndRun(
+                          rq, search, pinned, &lane.start_assignments,
+                          &lane.results, nullptr, configs_budget, cancel);
+                      if (!st.ok()) {
+                        lane.status = st;
+                        failed.store(true, std::memory_order_relaxed);
+                        cancel->Cancel();
+                        return;
+                      }
+                    }
+                  });
+  return MergeExpandLanes(lanes, cancel, stats, op, results);
+}
+
+// Shared-frontier parallel expansion of ONE fully anchored product
+// search: every lane pops config batches off a shared frontier queue,
+// expands them through its private ComponentSearchT context, and inserts
+// successors into the sharded visited table (striped per-shard locks);
+// only the inserting lane enqueues a config, so each configuration is
+// processed exactly once. Termination: empty queue + no lane mid-batch.
+Status SharedFrontierExpand(const ResolvedQuery& rq,
+                            const ComponentSpec& comp,
+                            const EvalOptions& options, int num_lanes,
+                            const std::vector<NodeId>& start_nodes,
+                            const std::vector<NodeId>& fixed,
+                            std::atomic<uint64_t>* configs_budget,
+                            CancellationToken* cancel, EvalStats& stats,
+                            OperatorStats& op,
+                            std::set<std::vector<NodeId>>* results) {
+  SharedSubsetPool pool;
+  ComponentSearchT<SharedSubsetPool> init_ctx(rq, comp, options, &pool);
+  ProductConfig init;
+  if (!init_ctx.MakeInitialConfig(start_nodes, &init)) return Status::OK();
+
+  ConfigCodec codec(static_cast<int>(comp.tracks.size()),
+                    static_cast<int>(comp.relation_indices.size()),
+                    rq.graph->num_nodes());
+  ShardedVisitedTable visited(codec, num_lanes * 4);
+  FrontierQueue frontier;
+  visited.Insert(init);
+  {
+    std::vector<ProductConfig> seed;
+    seed.push_back(std::move(init));
+    frontier.PushBatch(std::move(seed), /*last_batch_done=*/false);
+  }
+  ++stats.start_assignments;
+
+  struct FrontierLane {
+    std::set<std::vector<NodeId>> results;
+    uint64_t frontier_expansions = 0;
+    uint64_t arcs_explored = 0;
+    Status status;
+  };
+  std::vector<FrontierLane> lanes(num_lanes);
+  std::mutex shared_results_mutex;  // !deterministic completion-order fold
+  constexpr size_t kBatch = 16;
+
+  ThreadPool::Shared().RunOnWorkers(num_lanes, [&](int lane_id) {
+    FrontierLane& lane = lanes[lane_id];
+    ComponentSearchT<SharedSubsetPool> ctx(rq, comp, options, &pool);
+    std::vector<ProductConfig> batch;
+    std::vector<ProductConfig> outbox;
+    std::set<std::vector<NodeId>>* lane_results =
+        options.deterministic ? &lane.results : nullptr;
+    std::set<std::vector<NodeId>> scratch;  // completion-order mode
+    while (frontier.PopBatch(kBatch, &batch)) {
+      outbox.clear();
+      bool abort = false;
+      for (const ProductConfig& config : batch) {
+        if (cancel->cancelled()) {
+          lane.status = Status::Cancelled(kCancelledMessage);
+          abort = true;
+          break;
+        }
+        if (configs_budget->fetch_add(1, std::memory_order_relaxed) + 1 >
+            options.max_configs) {
+          lane.status = Status::ResourceExhausted(
+              "product search exceeded max_configs=" +
+              std::to_string(options.max_configs));
+          cancel->Cancel();
+          abort = true;
+          break;
+        }
+        bool accepted = false;
+        ctx.ProcessConfig(
+            config, start_nodes, fixed,
+            lane_results != nullptr ? lane_results : &scratch, &accepted,
+            [&](ProductConfig next, const std::vector<Symbol>& letters) {
+              (void)letters;
+              if (visited.Insert(next)) outbox.push_back(std::move(next));
+            });
+        (void)accepted;
+        if (lane_results == nullptr && !scratch.empty()) {
+          std::lock_guard<std::mutex> lock(shared_results_mutex);
+          if (results != nullptr) {
+            results->insert(scratch.begin(), scratch.end());
+          }
+          scratch.clear();
+        }
+      }
+      if (abort) {
+        frontier.Abort();
+        frontier.PushBatch({}, /*last_batch_done=*/true);
+        break;
+      }
+      frontier.PushBatch(std::move(outbox), /*last_batch_done=*/true);
+    }
+    lane.frontier_expansions = ctx.frontier_expansions();
+    lane.arcs_explored = ctx.arcs_explored();
+  });
+
+  std::vector<Status> statuses;
+  for (FrontierLane& lane : lanes) {
+    statuses.push_back(lane.status);
+    op.frontier_expansions += lane.frontier_expansions;
+    stats.arcs_explored += lane.arcs_explored;
+    if (options.deterministic && results != nullptr) {
+      results->insert(lane.results.begin(), lane.results.end());
+    }
+  }
+  op.visited_configs += visited.size();
+  return CombineLaneStatuses(statuses);
+}
+
 // ReachabilityScan leaf: single path atom, all-unary languages. One
-// intersected-NFA BFS (restricted to seeded sources when available)
-// instead of the subset-tracking product search.
+// intersected-NFA BFS per source (restricted to seeded sources when
+// available) instead of the subset-tracking product search; the per-source
+// BFSes run morsel-parallel on `num_threads` lanes.
 Status ScanComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                        const EvalOptions& options,
                        const std::vector<NodeId>& fixed,
-                       const BindingTable* seeds, EvalStats& stats,
+                       const BindingTable* seeds, int num_threads,
+                       CancellationToken* cancel, EvalStats& stats,
                        OperatorStats& op,
                        std::set<std::vector<NodeId>>* results) {
   const ResolvedAtom& atom = rq.atoms[comp.atom_indices[0]];
@@ -688,7 +989,11 @@ Status ScanComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
 
   ReachabilityScanStats scan_stats;
   std::vector<std::pair<NodeId, NodeId>> pairs = ReachabilityPairs(
-      *rq.graph, languages, rq.index.get(), source_ptr, &scan_stats);
+      *rq.graph, languages, rq.index.get(), source_ptr, &scan_stats,
+      num_threads, cancel, options.deterministic);
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled(kCancelledMessage);
+  }
   op.frontier_expansions += scan_stats.frontier_expansions;
   op.visited_configs += scan_stats.visited_states;
   stats.arcs_explored += scan_stats.frontier_expansions;
@@ -755,7 +1060,7 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                           const EvalOptions& options,
                           const std::vector<NodeId>& fixed,
                           const BindingTable* seeds, double est_rows,
-                          EvalStats& stats,
+                          int num_threads, EvalStats& stats,
                           std::set<std::vector<NodeId>>* results,
                           ProductGraphSink* graph_sink) {
   OperatorStats op;
@@ -764,50 +1069,129 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
   op.rows_in = (seeds != nullptr) ? seeds->rows.size() : 0;
   const size_t before = (results != nullptr) ? results->size() : 0;
 
+  // Graph recording is single-consumer (the sink indexes a global
+  // discovery array), so it pins the serial path.
+  int lanes = std::max(num_threads, 1);
+  if (graph_sink != nullptr) lanes = 1;
+
+  // One cancellation token per operator run: the caller's (so external
+  // kills and sink early-termination fan out to every lane), or a local
+  // one so lane errors still cancel their siblings.
+  CancellationToken local_cancel;
+  CancellationToken* cancel = options.cancellation.get();
+  if (cancel == nullptr && lanes > 1) cancel = &local_cancel;
+
+  // The execution-wide popped-configuration budget: seeded from the
+  // stats accumulated so far (scans charge it too), written back after.
+  std::atomic<uint64_t> configs_budget{stats.configs_explored};
+
   Status status;
   if (results != nullptr && graph_sink == nullptr &&
       IsReachabilityScanComponent(rq, comp)) {
     op.op = "ReachabilityScan";
-    status = ScanComponentOp(rq, comp, options, fixed, seeds, stats, op,
-                             results);
+    op.threads = lanes;
+    status = ScanComponentOp(rq, comp, options, fixed, seeds, lanes, cancel,
+                             stats, op, results);
   } else {
     op.op = "ProductExpand";
-    ComponentSearch search(rq, comp, options, &stats);
-    if (seeds != nullptr && !seeds->vars.empty()) {
-      // Sideways information passing: one seeded expansion per seed row.
-      std::vector<NodeId> overlay;
-      for (const std::vector<NodeId>& row : seeds->rows) {
-        overlay = fixed;
-        bool consistent = true;
-        for (size_t i = 0; i < seeds->vars.size(); ++i) {
-          int var = seeds->vars[i];
-          if (overlay[var] >= 0 && overlay[var] != row[i]) {
-            consistent = false;
+    const bool seeded = seeds != nullptr && !seeds->vars.empty();
+    if (lanes <= 1) {
+      // Exact legacy single-threaded path.
+      op.threads = 1;
+      SubsetPool pool;
+      ComponentSearch search(rq, comp, options, &pool);
+      uint64_t start_assignments = 0;
+      if (seeded) {
+        // Sideways information passing: one seeded expansion per row.
+        std::vector<NodeId> overlay;
+        for (size_t r = 0; r < seeds->rows.size(); ++r) {
+          overlay = fixed;
+          if (!OverlaySeedRow(*seeds, r, &overlay)) continue;
+          status = EnumerateAndRun(rq, search, overlay, &start_assignments,
+                                   results, graph_sink, &configs_budget,
+                                   cancel);
+          if (!status.ok()) break;
+        }
+      } else {
+        status = EnumerateAndRun(rq, search, fixed, &start_assignments,
+                                 results, graph_sink, &configs_budget,
+                                 cancel);
+      }
+      stats.start_assignments += start_assignments;
+      stats.arcs_explored += search.arcs_explored();
+      op.visited_configs = search.visited_configs();
+      op.frontier_expansions = search.frontier_expansions();
+    } else if (seeded && seeds->rows.size() >= 2) {
+      op.threads = lanes;
+      status = MorselSeedRowsExpand(rq, comp, options, lanes, fixed, *seeds,
+                                    &configs_budget, cancel, stats, op,
+                                    results);
+    } else {
+      // Single overlay: `fixed`, or `fixed` plus the lone seed row.
+      std::vector<NodeId> overlay = fixed;
+      bool feasible = true;
+      if (seeded) {
+        feasible = !seeds->rows.empty() &&
+                   OverlaySeedRow(*seeds, 0, &overlay);
+      }
+      if (feasible) {
+        int first_unbound = -1;
+        for (int v : comp.start_vars) {
+          if (overlay[v] < 0) {
+            first_unbound = v;
             break;
           }
-          overlay[var] = row[i];
         }
-        if (!consistent) continue;
-        status = ExpandWithSeeding(rq, search, overlay, &stats, results,
-                                   graph_sink);
-        if (!status.ok()) break;
+        if (first_unbound >= 0) {
+          op.threads = lanes;
+          status = MorselStartNodesExpand(rq, comp, options, lanes, overlay,
+                                          first_unbound, &configs_budget,
+                                          cancel, stats, op, results);
+        } else {
+          // Every start variable anchored: ONE product search, expanded
+          // cooperatively against the sharded visited table.
+          std::vector<NodeId> start_nodes;
+          if (DeriveStartNodes(rq, comp, overlay, &start_nodes)) {
+            op.threads = lanes;
+            status = SharedFrontierExpand(rq, comp, options, lanes,
+                                          start_nodes, overlay,
+                                          &configs_budget, cancel, stats,
+                                          op, results);
+          }
+        }
       }
-    } else {
-      status = ExpandWithSeeding(rq, search, fixed, &stats, results,
-                                 graph_sink);
     }
-    op.visited_configs = search.visited_configs();
-    op.frontier_expansions = search.frontier_expansions();
   }
 
+  stats.configs_explored =
+      std::max(stats.configs_explored,
+               configs_budget.load(std::memory_order_relaxed));
   op.rows_out = (results != nullptr) ? results->size() - before : 0;
   if (graph_sink != nullptr) op.rows_out = graph_sink->configs.size();
   stats.operators.push_back(std::move(op));
   return status;
 }
 
+namespace {
+
+// FNV-1a over a row's key columns (partitioned joins).
+uint64_t HashKey(const std::vector<NodeId>& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (NodeId v : key) {
+    h ^= static_cast<uint32_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Rows below this skip the parallel join paths (partitioning overhead
+// would dominate).
+constexpr size_t kParallelJoinRows = 4096;
+
+}  // namespace
+
 BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
-                        EvalStats& stats) {
+                        EvalStats& stats, int num_threads) {
   OperatorStats op;
   op.op = "HashJoin";
   op.rows_in = left.rows.size() + right.rows.size();
@@ -835,35 +1219,118 @@ BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
   out.vars = left.vars;
   for (int rc : right_extra) out.vars.push_back(right.vars[rc]);
 
-  // Build on the right, keyed by the shared columns; probe with the left.
-  std::map<std::vector<NodeId>, std::vector<int>> build;
-  for (size_t r = 0; r < right.rows.size(); ++r) {
+  auto right_key = [&](size_t r) {
     std::vector<NodeId> key;
     key.reserve(shared.size());
     for (const auto& [lc, rc] : shared) {
       (void)lc;
       key.push_back(right.rows[r][rc]);
     }
-    build[std::move(key)].push_back(static_cast<int>(r));
-  }
-
-  // Output rows are distinct by construction: both inputs hold distinct
-  // rows, and an output is its left row (prefix) plus the right row's
-  // non-key columns — two equal outputs would need two equal right rows.
-  for (const std::vector<NodeId>& lrow : left.rows) {
+    return key;
+  };
+  auto left_key = [&](const std::vector<NodeId>& lrow) {
     std::vector<NodeId> key;
     key.reserve(shared.size());
     for (const auto& [lc, rc] : shared) {
       (void)rc;
       key.push_back(lrow[lc]);
     }
-    auto it = build.find(key);
-    if (it == build.end()) continue;
-    for (int r : it->second) {
-      std::vector<NodeId> row = lrow;
-      for (int rc : right_extra) row.push_back(right.rows[r][rc]);
-      ++stats.join_tuples;
-      out.rows.push_back(std::move(row));
+    return key;
+  };
+  auto emit_row = [&](const std::vector<NodeId>& lrow, size_t r,
+                      std::vector<std::vector<NodeId>>* rows) {
+    std::vector<NodeId> row = lrow;
+    for (int rc : right_extra) row.push_back(right.rows[r][rc]);
+    rows->push_back(std::move(row));
+  };
+
+  const int lanes = std::max(num_threads, 1);
+  if (lanes > 1 && left.rows.size() + right.rows.size() >= kParallelJoinRows) {
+    op.threads = lanes;
+    // Partitioned build: lanes claim morsels of the right rows and bucket
+    // (row id) pairs per key-hash partition; a second morsel pass builds
+    // each partition's hash table independently. Row ids are sorted per
+    // partition so per-key probe order matches the serial build.
+    const size_t P = std::bit_ceil(static_cast<size_t>(lanes) * 4);
+    std::vector<std::vector<std::vector<int>>> lane_buckets(
+        lanes, std::vector<std::vector<int>>(P));
+    ParallelMorsels(lanes, right.rows.size(), 2048,
+                    [&](size_t begin, size_t end, int lane_id) {
+                      auto& buckets = lane_buckets[lane_id];
+                      for (size_t r = begin; r < end; ++r) {
+                        const uint64_t h =
+                            MixHash64(HashKey(right_key(r)));
+                        buckets[h & (P - 1)].push_back(
+                            static_cast<int>(r));
+                      }
+                    });
+    std::vector<std::unordered_map<uint64_t, std::vector<int>>> partitions(
+        P);
+    ParallelMorsels(lanes, P, 1, [&](size_t begin, size_t end, int lane_id) {
+      (void)lane_id;
+      for (size_t p = begin; p < end; ++p) {
+        std::vector<int> ids;
+        for (int l = 0; l < lanes; ++l) {
+          ids.insert(ids.end(), lane_buckets[l][p].begin(),
+                     lane_buckets[l][p].end());
+        }
+        std::sort(ids.begin(), ids.end());
+        for (int r : ids) {
+          partitions[p][MixHash64(HashKey(right_key(r)))].push_back(r);
+        }
+      }
+    });
+
+    // Morsel-wise probe into per-morsel output slots, concatenated in
+    // morsel order — identical row order to the serial probe. Hash
+    // collisions across distinct keys are resolved by re-checking the
+    // key columns.
+    const size_t grain = 1024;
+    const size_t num_morsels = (left.rows.size() + grain - 1) / grain;
+    std::vector<std::vector<std::vector<NodeId>>> slots(num_morsels);
+    std::atomic<uint64_t> join_tuples{0};
+    ParallelMorsels(
+        lanes, left.rows.size(), grain,
+        [&](size_t begin, size_t end, int lane_id) {
+          (void)lane_id;
+          std::vector<std::vector<NodeId>>& slot = slots[begin / grain];
+          for (size_t i = begin; i < end; ++i) {
+            const std::vector<NodeId>& lrow = left.rows[i];
+            std::vector<NodeId> key = left_key(lrow);
+            const uint64_t h = MixHash64(HashKey(key));
+            auto it = partitions[h & (P - 1)].find(h);
+            if (it == partitions[h & (P - 1)].end()) continue;
+            for (int r : it->second) {
+              if (right_key(r) != key) continue;
+              join_tuples.fetch_add(1, std::memory_order_relaxed);
+              emit_row(lrow, r, &slot);
+            }
+          }
+        });
+    for (std::vector<std::vector<NodeId>>& slot : slots) {
+      for (std::vector<NodeId>& row : slot) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+    stats.join_tuples += join_tuples.load(std::memory_order_relaxed);
+  } else {
+    // Build on the right, keyed by the shared columns; probe with the
+    // left.
+    std::map<std::vector<NodeId>, std::vector<int>> build;
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      build[right_key(r)].push_back(static_cast<int>(r));
+    }
+    // Output rows are distinct by construction: both inputs hold distinct
+    // rows, and an output is its left row (prefix) plus the right row's
+    // non-key columns — two equal outputs would need two equal right
+    // rows.
+    for (const std::vector<NodeId>& lrow : left.rows) {
+      auto it = build.find(left_key(lrow));
+      if (it == build.end()) continue;
+      for (int r : it->second) {
+        ++stats.join_tuples;
+        emit_row(lrow, r, &out.rows);
+      }
     }
   }
 
@@ -873,7 +1340,7 @@ BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
 }
 
 bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
-                      EvalStats& stats) {
+                      EvalStats& stats, int num_threads) {
   std::vector<std::pair<int, int>> shared;  // (target col, filter col)
   for (size_t fc = 0; fc < filter.vars.size(); ++fc) {
     int tc = target->ColumnOf(filter.vars[fc]);
@@ -890,27 +1357,84 @@ bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
                  std::to_string(target->vars[tc]);
   }
 
-  std::set<std::vector<NodeId>> keys;
-  for (const std::vector<NodeId>& frow : filter.rows) {
+  auto filter_key = [&](const std::vector<NodeId>& frow) {
     std::vector<NodeId> key;
     key.reserve(shared.size());
     for (const auto& [tc, fc] : shared) {
       (void)tc;
       key.push_back(frow[fc]);
     }
-    keys.insert(std::move(key));
-  }
-
-  std::vector<std::vector<NodeId>> kept;
-  kept.reserve(target->rows.size());
-  for (std::vector<NodeId>& trow : target->rows) {
+    return key;
+  };
+  auto target_key = [&](const std::vector<NodeId>& trow) {
     std::vector<NodeId> key;
     key.reserve(shared.size());
     for (const auto& [tc, fc] : shared) {
       (void)fc;
       key.push_back(trow[tc]);
     }
-    if (keys.count(key)) kept.push_back(std::move(trow));
+    return key;
+  };
+
+  const int lanes = std::max(num_threads, 1);
+  std::vector<std::vector<NodeId>> kept;
+  kept.reserve(target->rows.size());
+  if (lanes > 1 &&
+      target->rows.size() + filter.rows.size() >= kParallelJoinRows) {
+    op.threads = lanes;
+    // Partitioned build of the filter-key set, then a morsel-wise probe
+    // into per-morsel slots concatenated in order (the kept rows keep
+    // their original relative order, as in the serial pass).
+    const size_t P = std::bit_ceil(static_cast<size_t>(lanes) * 4);
+    std::vector<std::vector<std::vector<std::vector<NodeId>>>> lane_buckets(
+        lanes,
+        std::vector<std::vector<std::vector<NodeId>>>(P));
+    ParallelMorsels(lanes, filter.rows.size(), 2048,
+                    [&](size_t begin, size_t end, int lane_id) {
+                      auto& buckets = lane_buckets[lane_id];
+                      for (size_t r = begin; r < end; ++r) {
+                        std::vector<NodeId> key = filter_key(filter.rows[r]);
+                        const size_t p = MixHash64(HashKey(key)) & (P - 1);
+                        buckets[p].push_back(std::move(key));
+                      }
+                    });
+    std::vector<std::set<std::vector<NodeId>>> partitions(P);
+    ParallelMorsels(lanes, P, 1, [&](size_t begin, size_t end, int lane_id) {
+      (void)lane_id;
+      for (size_t p = begin; p < end; ++p) {
+        for (int l = 0; l < lanes; ++l) {
+          for (std::vector<NodeId>& key : lane_buckets[l][p]) {
+            partitions[p].insert(std::move(key));
+          }
+        }
+      }
+    });
+    const size_t grain = 1024;
+    const size_t num_morsels = (target->rows.size() + grain - 1) / grain;
+    std::vector<std::vector<std::vector<NodeId>>> slots(num_morsels);
+    ParallelMorsels(lanes, target->rows.size(), grain,
+                    [&](size_t begin, size_t end, int lane_id) {
+                      (void)lane_id;
+                      auto& slot = slots[begin / grain];
+                      for (size_t i = begin; i < end; ++i) {
+                        std::vector<NodeId> key = target_key(target->rows[i]);
+                        if (partitions[MixHash64(HashKey(key)) & (P - 1)]
+                                .count(key)) {
+                          slot.push_back(std::move(target->rows[i]));
+                        }
+                      }
+                    });
+    for (std::vector<std::vector<NodeId>>& slot : slots) {
+      for (std::vector<NodeId>& row : slot) kept.push_back(std::move(row));
+    }
+  } else {
+    std::set<std::vector<NodeId>> keys;
+    for (const std::vector<NodeId>& frow : filter.rows) {
+      keys.insert(filter_key(frow));
+    }
+    for (std::vector<NodeId>& trow : target->rows) {
+      if (keys.count(target_key(trow))) kept.push_back(std::move(trow));
+    }
   }
   bool shrank = kept.size() < target->rows.size();
   target->rows = std::move(kept);

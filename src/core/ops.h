@@ -23,8 +23,19 @@
 // BFSes only from seeded sources) instead of the full degree-ordered
 // seeding over every node. The planner decides when seeding pays off.
 //
+// Execution is morsel-driven parallel (core/parallel.h) when the caller
+// passes num_threads > 1: leaves partition their seed sets (scan sources,
+// seed rows, start assignments) into morsels pulled by worker lanes, a
+// single fully-anchored product search expands its frontier cooperatively
+// against a sharded visited table, and large joins build partitioned
+// tables and probe morsel-wise. Workers accumulate into private stats and
+// result sets merged at the operator barrier in canonical lane order, so
+// results and counters are thread-count-independent; num_threads == 1 is
+// the exact legacy single-threaded path.
+//
 // Every operator appends one OperatorStats entry (rows in/out, frontier
-// expansions, visited-table occupancy) to EvalStats::operators.
+// expansions, visited-table occupancy, worker lanes) to
+// EvalStats::operators.
 
 #ifndef ECRPQ_CORE_OPS_H_
 #define ECRPQ_CORE_OPS_H_
@@ -111,14 +122,16 @@ struct ProductGraphSink {
 /// ReachabilityScan BFSes only from seeded source nodes and filters ends.
 /// Satisfying component assignments (parallel to comp.vars) accumulate in
 /// `results`; the product graph is recorded into `graph_sink` when
-/// non-null (graph recording forces the ProductExpand path). Appends one
-/// OperatorStats entry with the given planner estimate (`est_rows` < 0
-/// when unplanned).
+/// non-null (graph recording forces the ProductExpand path and serial
+/// execution). `num_threads` is the leaf's worker-lane count (1 = exact
+/// legacy serial execution; callers resolve EvalOptions::num_threads via
+/// ResolveNumThreads first). Appends one OperatorStats entry with the
+/// given planner estimate (`est_rows` < 0 when unplanned).
 Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                           const EvalOptions& options,
                           const std::vector<NodeId>& fixed,
                           const BindingTable* seeds, double est_rows,
-                          EvalStats& stats,
+                          int num_threads, EvalStats& stats,
                           std::set<std::vector<NodeId>>* results,
                           ProductGraphSink* graph_sink);
 
@@ -127,16 +140,19 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
 /// Appends a HashJoin OperatorStats entry. (The product engine streams
 /// its final multi-way join for limit/exists pushdown and uses
 /// SemiJoinFilterOp to reduce the tables first; this materialized form
-/// composes intermediate tables.)
+/// composes intermediate tables.) With num_threads > 1 and enough rows
+/// the build side is partitioned by key hash in parallel and the probe
+/// runs morsel-wise; the output row order is identical to the serial one.
 BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
-                        EvalStats& stats);
+                        EvalStats& stats, int num_threads = 1);
 
 /// Keeps rows of `target` matched by some row of `filter` on their shared
 /// variables (no-op without shared variables). Appends a SemiJoinFilter
 /// entry when rows were actually removed. Returns true when `target`
-/// shrank.
+/// shrank. Parallel (partitioned build, morsel-wise probe, order
+/// preserved) under the same conditions as HashJoinOp.
 bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
-                      EvalStats& stats);
+                      EvalStats& stats, int num_threads = 1);
 
 }  // namespace ecrpq
 

@@ -1,0 +1,231 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ecrpq {
+
+int ResolveNumThreads(int requested) {
+  if (requested >= 1) return std::min(requested, 256);
+  return ThreadPool::DefaultParallelism();
+}
+
+void ParallelMorsels(int lanes, size_t count, size_t grain,
+                     const std::function<void(size_t, size_t, int)>& body) {
+  if (count == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t num_morsels = (count + grain - 1) / grain;
+  lanes = std::min<int>(lanes, static_cast<int>(num_morsels));
+  if (lanes <= 1) {
+    body(0, count, 0);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  ThreadPool::Shared().RunOnWorkers(lanes, [&](int lane) {
+    for (;;) {
+      const size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) return;
+      const size_t begin = m * grain;
+      body(begin, std::min(count, begin + grain), lane);
+    }
+  });
+}
+
+uint64_t MixHash64(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashProductConfig(const ProductConfig& c) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto feed = [&h](uint32_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  feed(c.padmask);
+  for (NodeId v : c.nodes) feed(static_cast<uint32_t>(v));
+  for (int s : c.subset_ids) feed(static_cast<uint32_t>(s));
+  return h;
+}
+
+ConfigCodec::ConfigCodec(int tracks, int relations, int num_nodes)
+    : tracks(tracks), relations(relations) {
+  node_bits = std::bit_width(static_cast<uint32_t>(
+      std::max(num_nodes - 1, 1)));
+  const int used = tracks + tracks * node_bits;
+  if (used <= 64 && relations > 0) {
+    subset_bits = std::min<int>(31, (64 - used) / relations);
+  } else {
+    subset_bits = 0;
+  }
+  packable = (used + relations * subset_bits <= 64) &&
+             (relations == 0 || subset_bits >= 1);
+}
+
+bool ConfigCodec::TryPack(const ProductConfig& c, uint64_t* out) const {
+  uint64_t code = c.padmask;
+  int shift = tracks;
+  for (NodeId v : c.nodes) {
+    code |= static_cast<uint64_t>(static_cast<uint32_t>(v)) << shift;
+    shift += node_bits;
+  }
+  for (int s : c.subset_ids) {
+    if (static_cast<int64_t>(s) >= (int64_t{1} << subset_bits)) return false;
+    code |= static_cast<uint64_t>(s) << shift;
+    shift += subset_bits;
+  }
+  *out = code;
+  return true;
+}
+
+ShardedVisitedTable::ShardedVisitedTable(const ConfigCodec& codec, int shards)
+    : codec_(codec) {
+  const size_t n =
+      std::bit_ceil(static_cast<size_t>(std::max(shards, 1)));
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->packed = codec_.packable;
+    s->slots.assign(64, -1);
+    if (s->packed) s->keys.assign(64, 0);
+    shards_.push_back(std::move(s));
+  }
+}
+
+void ShardedVisitedTable::InsertSlotPacked(Shard& s, uint64_t code,
+                                           int32_t id) {
+  size_t i = MixHash64(code) & (s.slots.size() - 1);
+  while (s.slots[i] >= 0) i = (i + 1) & (s.slots.size() - 1);
+  s.slots[i] = id;
+  s.keys[i] = code;
+}
+
+void ShardedVisitedTable::InsertSlotGeneric(Shard& s, uint64_t hash,
+                                            int32_t id) {
+  size_t i = hash & (s.slots.size() - 1);
+  while (s.slots[i] >= 0) i = (i + 1) & (s.slots.size() - 1);
+  s.slots[i] = id;
+}
+
+void ShardedVisitedTable::GrowOrMigrate(Shard& s, bool migrate) {
+  const size_t capacity = migrate ? s.slots.size() : s.slots.size() * 2;
+  s.slots.assign(capacity, -1);
+  if (migrate) {
+    s.packed = false;
+    s.keys.clear();
+    s.keys.shrink_to_fit();
+  }
+  if (s.packed) {
+    s.keys.assign(capacity, 0);
+    for (size_t id = 0; id < s.configs.size(); ++id) {
+      uint64_t code = 0;
+      [[maybe_unused]] bool ok = codec_.TryPack(s.configs[id], &code);
+      InsertSlotPacked(s, code, static_cast<int32_t>(id));
+    }
+  } else {
+    for (size_t id = 0; id < s.configs.size(); ++id) {
+      InsertSlotGeneric(s, s.hashes[id], static_cast<int32_t>(id));
+    }
+  }
+}
+
+bool ShardedVisitedTable::Insert(const ProductConfig& c) {
+  const uint64_t hash = HashProductConfig(c);
+  Shard& s = *shards_[(hash >> 32) & shard_mask_];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.packed) {
+    uint64_t code;
+    if (codec_.TryPack(c, &code)) {
+      if ((s.size + 1) * 10 >= s.slots.size() * 7) {
+        GrowOrMigrate(s, /*migrate=*/false);
+      }
+      size_t i = MixHash64(code) & (s.slots.size() - 1);
+      while (s.slots[i] >= 0) {
+        if (s.keys[i] == code) return false;
+        i = (i + 1) & (s.slots.size() - 1);
+      }
+      s.slots[i] = static_cast<int32_t>(s.configs.size());
+      s.keys[i] = code;
+      s.configs.push_back(c);
+      s.hashes.push_back(hash);
+      ++s.size;
+      return true;
+    }
+    // A subset id outgrew its bit field: this shard (only) falls back to
+    // structural hashing; other shards migrate when they hit the same.
+    GrowOrMigrate(s, /*migrate=*/true);
+  }
+  if ((s.size + 1) * 10 >= s.slots.size() * 7) {
+    GrowOrMigrate(s, /*migrate=*/false);
+  }
+  size_t i = hash & (s.slots.size() - 1);
+  while (s.slots[i] >= 0) {
+    if (s.hashes[s.slots[i]] == hash && s.configs[s.slots[i]] == c) {
+      return false;
+    }
+    i = (i + 1) & (s.slots.size() - 1);
+  }
+  s.slots[i] = static_cast<int32_t>(s.configs.size());
+  s.configs.push_back(c);
+  s.hashes.push_back(hash);
+  ++s.size;
+  return true;
+}
+
+uint64_t ShardedVisitedTable::size() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->size;
+  }
+  return total;
+}
+
+bool FrontierQueue::PopBatch(size_t max_batch,
+                             std::vector<ProductConfig>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (done_) return false;
+    if (!queue_.empty()) {
+      out->clear();
+      while (!queue_.empty() && out->size() < max_batch) {
+        out->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++active_;
+      return true;
+    }
+    if (active_ == 0) {
+      done_ = true;
+      cv_.notify_all();
+      return false;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void FrontierQueue::PushBatch(std::vector<ProductConfig>&& batch,
+                              bool last_batch_done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ProductConfig& c : batch) queue_.push_back(std::move(c));
+  if (last_batch_done) --active_;
+  if (queue_.empty() && active_ == 0) {
+    done_ = true;
+    cv_.notify_all();
+    return;
+  }
+  if (!queue_.empty()) cv_.notify_all();
+}
+
+void FrontierQueue::Abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_ = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+}  // namespace ecrpq

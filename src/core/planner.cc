@@ -5,6 +5,8 @@
 #include <numeric>
 #include <set>
 
+#include "core/parallel.h"
+
 namespace ecrpq {
 
 const char* OpKindName(OpKind kind) {
@@ -225,6 +227,7 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
     if (!all.empty()) groups.push_back(std::move(all));
   }
   plan.decomposed = groups.size() > 1;
+  plan.num_threads = ResolveNumThreads(options.num_threads);
 
   const double V = (index != nullptr) ? std::max(1, index->num_nodes()) : 1.0;
   for (const std::vector<int>& group : groups) {
@@ -242,6 +245,15 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
           std::pow(V, static_cast<double>(pc.start_vars.size())) *
           expand_work;
     }
+    // Chosen parallelism: the resolved lane count, demoted to serial when
+    // the cost estimate says the leaf cannot amortize lane startup (a
+    // distinct flag, so a serial-session plan is not mistaken for a
+    // demotion by later num_threads overrides). The product executor
+    // honors the demotion per leaf; the crpq executor applies the
+    // resolved count to every scan.
+    pc.demoted_serial = plan.engine == Engine::kProduct && plan.costed &&
+                        pc.est_cost >= 0.0 && pc.est_cost < 20000.0;
+    pc.threads = pc.demoted_serial ? 1 : plan.num_threads;
     plan.components.push_back(std::move(pc));
   }
 
@@ -308,6 +320,9 @@ std::string PhysicalPlan::Describe(const Query& query) const {
   std::string out = "engine: ";
   out += EngineName(engine);
   out += costed ? " (cost-based plan)" : " (uncosted plan)";
+  if (num_threads > 1) {
+    out += " threads=" + std::to_string(num_threads);
+  }
   out += "\n";
   if (components.empty()) {
     out += "  monolithic enumeration (no operator structure)\n";
@@ -330,6 +345,9 @@ std::string PhysicalPlan::Describe(const Query& query) const {
     }
     out += " est_rows=" + fmt(pc.est_rows);
     out += " est_cost=" + fmt(pc.est_cost);
+    if (pc.threads > 0) {
+      out += " parallelism=" + std::to_string(pc.threads);
+    }
     out += "\n";
   }
   if (engine == Engine::kCrpq) {

@@ -61,6 +61,16 @@ struct PlannedComponent {
   bool sideways = false;
   double est_rows = -1.0;  ///< cardinality estimate (-1: no statistics)
   double est_cost = -1.0;  ///< full-seeding work estimate
+  /// Worker lanes the planner chose for this leaf (morsel-driven
+  /// execution, core/parallel.h): the plan's resolved num_threads, or 1
+  /// when the cost estimate says the leaf is too small to amortize lane
+  /// startup. 0 = unplanned (executor resolves EvalOptions::num_threads).
+  int threads = 0;
+  /// True when `threads == 1` is a cost-based demotion (est_cost too
+  /// small to amortize lanes) rather than a serial session default — the
+  /// executor keeps demoted leaves serial even under a larger
+  /// per-execution num_threads override.
+  bool demoted_serial = false;
 };
 
 struct PhysicalPlan {
@@ -74,6 +84,10 @@ struct PhysicalPlan {
   bool linear_check = false;
   /// True when GraphIndex statistics informed ordering/estimates.
   bool costed = false;
+  /// The parallelism EvalOptions::num_threads resolved to at plan time
+  /// (ECRPQ_THREADS / hardware concurrency); per-leaf choices are in
+  /// PlannedComponent::threads and rendered by Describe/Explain.
+  int num_threads = 1;
 
   /// Multi-line operator-tree rendering (Explain output).
   std::string Describe(const Query& query) const;

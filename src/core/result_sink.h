@@ -9,6 +9,25 @@
 // Tuples arrive in discovery order, deduplicated. Callers that need the
 // canonical sorted order (the QueryResult contract) sort after the run —
 // see MaterializingSink::SortRows.
+//
+// Ordering contract under parallelism
+// -----------------------------------
+// Sinks are always driven from ONE thread: engines run their parallel
+// work inside operator leaves, merge per-worker results at barrier
+// points, and only then stream head tuples through the (serial) join into
+// the sink. Sink implementations therefore need no internal locking.
+// With EvalOptions::deterministic set (the default), those barrier merges
+// fold worker outputs in canonical seed order, so the emission sequence —
+// and hence which k tuples an early-terminating sink keeps — is
+// independent of EvalOptions::num_threads. With deterministic off,
+// operator leaves may fold worker outputs in completion order: the tuple
+// SET is unchanged, but the emission order (and a limit's cut) may vary
+// between runs.
+//
+// Early termination and cancellation: returning false from Emit stops the
+// engine as before; when the execution carries a CancellationToken
+// (EvalOptions::cancellation), the engine also trips it so that any
+// workers still running unwind promptly.
 
 #ifndef ECRPQ_CORE_RESULT_SINK_H_
 #define ECRPQ_CORE_RESULT_SINK_H_

@@ -16,6 +16,7 @@ std::string OperatorStats::Describe() const {
   if (est_rows >= 0.0) {
     out += " est_rows=" + std::to_string(static_cast<long long>(est_rows));
   }
+  if (threads > 1) out += " threads=" + std::to_string(threads);
   return out;
 }
 

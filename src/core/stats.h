@@ -29,6 +29,7 @@ struct OperatorStats {
   uint64_t frontier_expansions = 0;
   uint64_t visited_configs = 0;
   double est_rows = -1.0;  ///< planner estimate, -1 when unplanned
+  int threads = 1;  ///< worker lanes that executed this operator
 
   std::string Describe() const;
 };
@@ -46,7 +47,17 @@ struct EvalStats {
   /// layer (core/ops.h). Empty for engines that bypass it (brute force).
   std::vector<OperatorStats> operators;
 
-  void Accumulate(const EvalStats& other) {
+  /// Merges another run's (or another worker's) counters into this one:
+  /// numeric counters add, operator profiles append in call order, and the
+  /// engine tag is adopted when unset. Merge is the barrier-point
+  /// primitive of parallel execution — every worker accumulates into a
+  /// private EvalStats and lanes merge in canonical lane order, so a
+  /// sequential run (num_threads = 1) reports exactly the same numbers it
+  /// did before the parallel refactor, and a parallel run reports the
+  /// same totals as the sequential one whenever it explored the same
+  /// space (no early termination).
+  void Merge(const EvalStats& other) {
+    if (engine.empty()) engine = other.engine;
     configs_explored += other.configs_explored;
     arcs_explored += other.arcs_explored;
     start_assignments += other.start_assignments;
@@ -56,6 +67,9 @@ struct EvalStats {
     operators.insert(operators.end(), other.operators.begin(),
                      other.operators.end());
   }
+
+  /// Back-compat alias for Merge (kept for callers that predate it).
+  void Accumulate(const EvalStats& other) { Merge(other); }
 };
 
 }  // namespace ecrpq

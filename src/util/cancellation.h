@@ -1,0 +1,31 @@
+// Cooperative cancellation for query executions.
+//
+// One CancellationToken is shared per execution (EvalOptions::cancellation
+// / ExecuteOptions::cancellation). Engine workers poll cancelled() at
+// morsel/config granularity and unwind promptly once any party — an
+// external killer, a worker hitting an error or the max_configs budget,
+// or the result emitter after a sink-requested stop (limit / exists) —
+// calls Cancel(). A tripped token stays tripped: use a fresh one per
+// execution.
+
+#ifndef ECRPQ_UTIL_CANCELLATION_H_
+#define ECRPQ_UTIL_CANCELLATION_H_
+
+#include <atomic>
+
+namespace ecrpq {
+
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_UTIL_CANCELLATION_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted, ///< configured search/size limit exceeded
   kUnimplemented,     ///< feature outside the decidable/implemented fragment
   kInternal,          ///< invariant violation escaped a release build
+  kCancelled,         ///< execution stopped via a CancellationToken
 };
 
 /// A cheap, value-semantic success-or-error carrier.
@@ -52,6 +53,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

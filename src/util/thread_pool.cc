@@ -1,0 +1,161 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace ecrpq {
+
+int ThreadPool::DefaultParallelism() {
+  static const int resolved = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("ECRPQ_THREADS")) {
+      threads = std::atoi(env);
+    }
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    return std::clamp(threads, 1, 256);
+  }();
+  return resolved;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(DefaultParallelism() - 1);
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t slot;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    slot = next_++ % workers_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
+    workers_[slot]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(int self) {
+  // Own queue front first (LIFO locality does not matter at lane
+  // granularity; FIFO keeps queries fair), then steal from the back of
+  // the siblings' queues.
+  const int n = static_cast<int>(workers_.size());
+  for (int k = 0; k < n; ++k) {
+    Worker& w = *workers_[(self + k) % n];
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (w.tasks.empty()) continue;
+      if (k == 0) {
+        task = std::move(w.tasks.front());
+        w.tasks.pop_front();
+      } else {
+        task = std::move(w.tasks.back());
+        w.tasks.pop_back();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      --pending_;
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  while (true) {
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::RunOnWorkers(int lanes, const std::function<void(int)>& fn) {
+  const int extra =
+      std::min(std::max(lanes - 1, 0), static_cast<int>(threads_.size()));
+  if (extra == 0) {
+    fn(0);
+    return;
+  }
+  // Lane claim protocol. Each queued lane task is claimed exactly once:
+  // by the worker that pops it (kWorker) or by the caller after its own
+  // lane returns (kCaller — the caller "reclaims" lanes still stuck in
+  // the queue behind other queries' tasks and runs them inline, where
+  // they immediately drain whatever morsels remain). The caller then
+  // waits only for worker-claimed lanes, so a query whose work is done
+  // never blocks on pool backlog it does not own. A worker that pops a
+  // reclaimed task finds the claim taken and returns without touching
+  // `state` beyond the shared_ptr — safe even after the caller left.
+  constexpr int kQueued = 0, kWorker = 1, kCaller = 2;
+  struct RunState {
+    std::function<void(int)> fn;
+    std::vector<std::unique_ptr<std::atomic<int>>> claims;
+    std::mutex mutex;
+    std::condition_variable cv;
+    int worker_done = 0;
+  };
+  auto state = std::make_shared<RunState>();
+  state->fn = fn;  // copies the callable; its captured refs outlive the wait
+  for (int i = 0; i < extra; ++i) {
+    state->claims.push_back(std::make_unique<std::atomic<int>>(kQueued));
+  }
+  for (int lane = 1; lane <= extra; ++lane) {
+    Submit([state, lane] {
+      int expected = kQueued;
+      if (!state->claims[lane - 1]->compare_exchange_strong(expected,
+                                                            kWorker)) {
+        return;  // reclaimed by the caller; the run may already be over
+      }
+      state->fn(lane);
+      // Notify under the mutex: the waiter cannot wake, observe the
+      // count, and finish before this lane releases the lock.
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->worker_done;
+      state->cv.notify_one();
+    });
+  }
+  fn(0);
+  int worker_claimed = 0;
+  for (int i = 0; i < extra; ++i) {
+    int expected = kQueued;
+    if (state->claims[i]->compare_exchange_strong(expected, kCaller)) {
+      state->fn(i + 1);  // run the reclaimed lane inline
+    } else {
+      ++worker_claimed;
+    }
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state, worker_claimed] {
+    return state->worker_done == worker_claimed;
+  });
+}
+
+}  // namespace ecrpq

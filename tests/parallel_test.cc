@@ -1,0 +1,470 @@
+// Concurrency correctness: the morsel-driven parallel execution layer
+// (core/parallel.h, util/thread_pool.h) must be invisible in results —
+// identical answer sets and engine counters at every thread count — and
+// the api layer must serve concurrent executions on one shared Database
+// while the graph mutates through the snapshot protocol. Cancellation
+// (external kill, limit/exists pushdown) must stop workers promptly.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "core/evaluator.h"
+#include "core/parallel.h"
+#include "graph/generators.h"
+#include "query/parser.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace ecrpq {
+namespace {
+
+GraphDb SmallDag(uint64_t seed) {
+  Rng rng(seed);
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  return LayeredGraph(alphabet, 4, 2, 2, &rng);
+}
+
+GraphDb MediumRandom(int nodes, uint64_t seed) {
+  Rng rng(seed);
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  return RandomGraph(alphabet, nodes, 3 * nodes, &rng);
+}
+
+// Random multi-component queries over a small variable pool (the same
+// family planner_test uses): single-atom ReachabilityScan components and
+// eq-synchronized ProductExpand pairs, sharing variables 1 in 3 draws.
+std::string RandomQuery(Rng* rng) {
+  static const char* kLanguages[] = {"a*", "b*", "a+", "ab", "(ab)*",
+                                     "(a|b)*", "a(a|b)*"};
+  static const std::vector<std::vector<int>> kShapes = {
+      {1, 1}, {2, 1}, {1, 2}, {1, 1, 1}};
+  const std::vector<int>& shape = kShapes[rng->Next() % kShapes.size()];
+  auto lang = [&]() { return kLanguages[rng->Next() % 7]; };
+
+  std::string body;
+  std::set<std::string> used_vars;
+  int next_var = 0;
+  int next_path = 0;
+  auto pick_var = [&]() {
+    std::string v;
+    if (!used_vars.empty() && rng->Next() % 3 == 0) {
+      auto it = used_vars.begin();
+      std::advance(it, rng->Next() % used_vars.size());
+      v = *it;
+    } else {
+      v = "x" + std::to_string(next_var++ % 4);
+    }
+    used_vars.insert(v);
+    return v;
+  };
+  for (size_t c = 0; c < shape.size(); ++c) {
+    if (c > 0) body += ", ";
+    if (shape[c] == 1) {
+      std::string p = "p" + std::to_string(next_path++);
+      body += "(" + pick_var() + ", " + p + ", " + pick_var() + "), ";
+      body += std::string(lang()) + "(" + p + ")";
+    } else {
+      std::string p = "p" + std::to_string(next_path++);
+      std::string q = "p" + std::to_string(next_path++);
+      body += "(" + pick_var() + ", " + p + ", " + pick_var() + "), ";
+      body += "(" + pick_var() + ", " + q + ", " + pick_var() + "), ";
+      body += "eq(" + p + ", " + q + ")";
+    }
+  }
+  std::vector<std::string> vars(used_vars.begin(), used_vars.end());
+  std::string head;
+  const size_t head_arity = std::min<size_t>(vars.size(), 2);
+  for (size_t i = 0; i < head_arity; ++i) {
+    if (i > 0) head += ", ";
+    head += vars[rng->Next() % vars.size()];
+  }
+  return "Ans(" + head + ") <- " + body;
+}
+
+Result<QueryResult> RunAtThreads(const GraphDb& g, const Query& query,
+                                 int num_threads) {
+  EvalOptions options;
+  options.num_threads = num_threads;
+  options.build_path_answers = false;
+  Evaluator evaluator(&g, options);
+  return evaluator.Evaluate(query);
+}
+
+// (a) 100 random queries: identical result sets AND identical engine
+// counters at num_threads ∈ {1, 2, 8}. The counters are the stronger
+// check: parallel lanes explore exactly the configurations the serial
+// search does, merged at barriers — nothing double-counted or skipped.
+TEST(ParallelExecution, ResultsIdenticalAcrossThreadCounts) {
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(7000 + seed);
+    GraphDb g = SmallDag(seed % 7);
+    std::string text = RandomQuery(&rng);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok()) << text;
+
+    auto serial = RunAtThreads(g, query.value(), 1);
+    ASSERT_TRUE(serial.ok()) << text << ": " << serial.status().ToString();
+    for (int threads : {2, 8}) {
+      auto parallel = RunAtThreads(g, query.value(), threads);
+      ASSERT_TRUE(parallel.ok())
+          << text << " @" << threads << ": " << parallel.status().ToString();
+      EXPECT_EQ(serial.value().tuples(), parallel.value().tuples())
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().configs_explored,
+                parallel.value().stats().configs_explored)
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().arcs_explored,
+                parallel.value().stats().arcs_explored)
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().start_assignments,
+                parallel.value().stats().start_assignments)
+          << text << " @" << threads;
+    }
+  }
+}
+
+// deterministic=false may reorder emission but never changes the answer
+// set (ExecuteAll sorts canonically, so equality is exact).
+TEST(ParallelExecution, NonDeterministicModeSameAnswerSet) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(9100 + seed);
+    GraphDb g = SmallDag(seed % 5);
+    std::string text = RandomQuery(&rng);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok()) << text;
+    auto serial = RunAtThreads(g, query.value(), 1);
+    ASSERT_TRUE(serial.ok());
+    EvalOptions options;
+    options.num_threads = 8;
+    options.deterministic = false;
+    options.build_path_answers = false;
+    Evaluator evaluator(&g, options);
+    auto loose = evaluator.Evaluate(query.value());
+    ASSERT_TRUE(loose.ok()) << text;
+    EXPECT_EQ(serial.value().tuples(), loose.value().tuples()) << text;
+  }
+}
+
+// (b) One shared Database: 8 client threads × 50 executions each while a
+// writer thread mutates the graph (MutateGraph) and invalidates the
+// snapshot. Every execution must succeed against SOME consistent
+// snapshot; the plan cache serves all clients. Run under TSan in CI.
+TEST(ParallelServing, ConcurrentExecuteWithGraphMutation) {
+  DatabaseOptions options;
+  options.eval.num_threads = 2;  // intra-query lanes under inter-query load
+  options.eval.build_path_answers = false;
+  Rng rng(11);
+  Database db(
+      LayeredGraph(Alphabet::FromLabels({"a", "b"}), 8, 4, 2, &rng),
+      options);
+
+  const std::vector<std::string> texts = {
+      "Ans(x, y) <- (x, p, y), a*(p)",
+      "Ans(x, z) <- (x, p, y), (y, q, z), a*(p), b*(q)",
+      "Ans(y, z) <- (x, p, y), (x, q, z), eq(p, q)",
+  };
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 50;
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 25; ++i) {
+      db.MutateGraph([&](GraphDb& g) {
+        NodeId u = static_cast<NodeId>(i % g.num_nodes());
+        NodeId v = static_cast<NodeId>((i * 7 + 3) % g.num_nodes());
+        g.AddEdge(u, i % 2 == 0 ? "a" : "b", v);
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string& text = texts[(c + i) % texts.size()];
+        auto prepared = db.Prepare(text);
+        if (!prepared.ok()) {
+          ++failures;
+          continue;
+        }
+        if (i % 3 == 0) {
+          // Cursor path (lazy Run under the read guard).
+          ExecuteOptions exec;
+          exec.limit = 5;
+          auto cursor = prepared.value().Execute({}, exec);
+          if (!cursor.ok()) {
+            ++failures;
+            continue;
+          }
+          while (cursor.value().Next()) {
+          }
+          if (!cursor.value().status().ok()) ++failures;
+        } else {
+          auto result = prepared.value().ExecuteAll();
+          if (!result.ok()) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_GT(db.plan_cache_hits(), 0u);
+  // The mutated graph is visible to post-drain executions.
+  auto after = db.Execute(texts[0]);
+  ASSERT_TRUE(after.ok());
+}
+
+// MutateGraph invalidates the index snapshot and cached plans: answers
+// reflect the new edges on the next execution.
+TEST(ParallelServing, MutateGraphRefreshesSnapshot) {
+  GraphDb g;
+  NodeId a = g.AddNode("a0");
+  NodeId b = g.AddNode("b0");
+  g.AddNode("c0");
+  g.AddEdge(a, "a", b);
+  Database db(std::move(g));
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, y), a+(p)");
+  ASSERT_TRUE(prepared.ok());
+  auto before = prepared.value().ExecuteAll();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().tuples().size(), 1u);
+
+  db.MutateGraph([](GraphDb& graph) {
+    graph.AddEdge(*graph.FindNode("b0"), "a", *graph.FindNode("c0"));
+  });
+  auto after = prepared.value().ExecuteAll();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().tuples().size(), 3u);  // a→b, b→c, a→c
+}
+
+// (c) Cancellation. A token tripped before execution stops the engine at
+// its first poll — deterministically Cancelled, with workers never
+// ramping up.
+TEST(ParallelCancellation, PreCancelledTokenStopsImmediately) {
+  // Big enough that the planner does NOT cost-demote the eq component to
+  // serial: the morsel driver itself must report Cancelled, not just the
+  // serial path.
+  GraphDb g = MediumRandom(120, 3);
+  DatabaseOptions options;
+  options.eval.num_threads = 4;
+  options.eval.build_path_answers = false;
+  Database db(std::move(g), options);
+  auto prepared = db.Prepare("Ans(y, z) <- (x, p, y), (x, q, z), eq(p, q)");
+  ASSERT_TRUE(prepared.ok());
+
+  ExecuteOptions exec;
+  exec.cancellation = std::make_shared<CancellationToken>();
+  exec.cancellation->Cancel();
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value().Next());
+  EXPECT_EQ(cursor.value().status().code(), StatusCode::kCancelled);
+}
+
+// Cancelling mid-flight unwinds all lanes promptly: the execution thread
+// joins shortly after Cancel() even though the full search would run far
+// longer (the workload is an eq-synchronized product over a dense graph).
+TEST(ParallelCancellation, MidRunCancelUnwindsPromptly) {
+  GraphDb g = MediumRandom(120, 5);
+  DatabaseOptions options;
+  options.eval.num_threads = 4;
+  options.eval.max_configs = 500000000;  // never the stopping reason
+  options.eval.build_path_answers = false;
+  Database db(std::move(g), options);
+  auto prepared = db.Prepare(
+      "Ans(y, z) <- (x, p, y), (x, q, z), (y, r, z), eq(p, q), eq(q, r)");
+  ASSERT_TRUE(prepared.ok());
+
+  ExecuteOptions exec;
+  exec.cancellation = std::make_shared<CancellationToken>();
+  std::atomic<bool> done{false};
+  Status status;
+  std::thread runner([&] {
+    auto cursor = prepared.value().Execute({}, exec);
+    ASSERT_TRUE(cursor.ok());
+    cursor.value().Next();
+    status = cursor.value().status();
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  exec.cancellation->Cancel();
+  auto cancel_time = std::chrono::steady_clock::now();
+  runner.join();
+  auto unwind = std::chrono::steady_clock::now() - cancel_time;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(unwind).count(),
+            30);
+  // Cancelled when the kill landed mid-run; OK only if the query finished
+  // inside the 30ms head start (possible on a fast machine).
+  if (done.load() && !status.ok()) {
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  }
+}
+
+// limit/exists pushdown still terminates early under parallel execution
+// (the emitter trips the shared token so lanes do not keep expanding).
+TEST(ParallelCancellation, LimitAndExistsUnderParallelism) {
+  GraphDb g = MediumRandom(50, 9);
+  DatabaseOptions options;
+  options.eval.num_threads = 8;
+  options.eval.build_path_answers = false;
+  Database db(std::move(g), options);
+
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, y), a*(p)");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared.value().Exists().value());
+
+  ExecuteOptions exec;
+  exec.limit = 3;
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  int rows = 0;
+  while (cursor.value().Next()) ++rows;
+  EXPECT_EQ(rows, 3);
+  EXPECT_TRUE(cursor.value().status().ok());
+}
+
+// EvalStats::Merge: counters add, operator profiles append, the engine
+// tag is adopted when unset — the barrier-point primitive behind all of
+// the above.
+TEST(ParallelStats, MergeAccumulates) {
+  EvalStats a;
+  a.engine = "product";
+  a.configs_explored = 10;
+  a.arcs_explored = 20;
+  a.start_assignments = 3;
+  OperatorStats op_a;
+  op_a.op = "ProductExpand";
+  op_a.threads = 4;
+  a.operators.push_back(op_a);
+
+  EvalStats b;
+  b.configs_explored = 5;
+  b.arcs_explored = 7;
+  b.join_tuples = 2;
+  OperatorStats op_b;
+  op_b.op = "HashJoin";
+  b.operators.push_back(op_b);
+
+  EvalStats merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  EXPECT_EQ(merged.engine, "product");
+  EXPECT_EQ(merged.configs_explored, 15u);
+  EXPECT_EQ(merged.arcs_explored, 27u);
+  EXPECT_EQ(merged.start_assignments, 3u);
+  EXPECT_EQ(merged.join_tuples, 2u);
+  ASSERT_EQ(merged.operators.size(), 2u);
+  EXPECT_EQ(merged.operators[0].op, "ProductExpand");
+  EXPECT_EQ(merged.operators[0].threads, 4);
+  EXPECT_NE(merged.operators[0].Describe().find("threads=4"),
+            std::string::npos);
+}
+
+// ShardedVisitedTable: concurrent inserters agree on exactly one winner
+// per distinct configuration.
+TEST(ParallelStats, ShardedVisitedTableDedup) {
+  ConfigCodec codec(/*tracks=*/2, /*relations=*/1, /*num_nodes=*/64);
+  ShardedVisitedTable table(codec, /*shards=*/8);
+  constexpr int kConfigs = 2000;
+  std::atomic<int> inserted{0};
+  ThreadPool pool(3);
+  pool.RunOnWorkers(4, [&](int lane) {
+    (void)lane;
+    for (int i = 0; i < kConfigs; ++i) {
+      ProductConfig c;
+      c.padmask = i % 3;
+      c.nodes = {i % 64, (i / 2) % 64};
+      c.subset_ids = {i % 5};
+      if (table.Insert(c)) inserted.fetch_add(1);
+    }
+  });
+  // Distinct (padmask, nodes, subset) triples generated above:
+  std::set<std::tuple<uint32_t, NodeId, NodeId, int>> distinct;
+  for (int i = 0; i < kConfigs; ++i) {
+    distinct.insert({static_cast<uint32_t>(i % 3), i % 64, (i / 2) % 64,
+                     i % 5});
+  }
+  EXPECT_EQ(inserted.load(), static_cast<int>(distinct.size()));
+  EXPECT_EQ(table.size(), distinct.size());
+}
+
+// Partitioned-build / morsel-probe joins: above the row threshold the
+// parallel HashJoinOp and SemiJoinFilterOp must produce bit-identical
+// tables (rows AND order) to the serial implementations.
+TEST(ParallelStats, PartitionedJoinsMatchSerial) {
+  Rng rng(31);
+  BindingTable left, right;
+  left.vars = {0, 1};
+  right.vars = {1, 2};
+  for (int i = 0; i < 6000; ++i) {
+    left.rows.push_back({static_cast<NodeId>(rng.Below(500)),
+                         static_cast<NodeId>(rng.Below(200))});
+    right.rows.push_back({static_cast<NodeId>(rng.Below(200)),
+                          static_cast<NodeId>(rng.Below(500))});
+  }
+  // Distinct rows (the BindingTable contract).
+  auto dedup = [](BindingTable* t) {
+    std::set<std::vector<NodeId>> seen;
+    std::vector<std::vector<NodeId>> rows;
+    for (auto& row : t->rows) {
+      if (seen.insert(row).second) rows.push_back(std::move(row));
+    }
+    t->rows = std::move(rows);
+  };
+  dedup(&left);
+  dedup(&right);
+  ASSERT_GE(left.rows.size() + right.rows.size(), 4096u);
+
+  EvalStats serial_stats, parallel_stats;
+  BindingTable serial_join = HashJoinOp(left, right, serial_stats, 1);
+  BindingTable parallel_join = HashJoinOp(left, right, parallel_stats, 4);
+  EXPECT_EQ(serial_join.vars, parallel_join.vars);
+  EXPECT_EQ(serial_join.rows, parallel_join.rows);  // content AND order
+  EXPECT_EQ(serial_stats.join_tuples, parallel_stats.join_tuples);
+  ASSERT_EQ(parallel_stats.operators.size(), 1u);
+  EXPECT_EQ(parallel_stats.operators[0].threads, 4);
+
+  BindingTable serial_target = left, parallel_target = left;
+  EvalStats semi_serial, semi_parallel;
+  bool shrank_serial =
+      SemiJoinFilterOp(&serial_target, right, semi_serial, 1);
+  bool shrank_parallel =
+      SemiJoinFilterOp(&parallel_target, right, semi_parallel, 4);
+  EXPECT_EQ(shrank_serial, shrank_parallel);
+  EXPECT_EQ(serial_target.rows, parallel_target.rows);
+}
+
+// The planner records its chosen per-operator parallelism in Explain.
+TEST(ParallelPlanning, ExplainRecordsParallelism) {
+  DatabaseOptions options;
+  options.eval.num_threads = 4;
+  Database db(MediumRandom(40, 2), options);
+  auto prepared =
+      db.Prepare("Ans(x, z) <- (x, p, y), (y, q, z), a*(p), b*(q)");
+  ASSERT_TRUE(prepared.ok());
+  Explanation explanation = prepared.value().Explain();
+  ASSERT_NE(explanation.plan, nullptr);
+  EXPECT_EQ(explanation.plan->num_threads, 4);
+  for (const PlannedComponent& pc : explanation.plan->components) {
+    EXPECT_GE(pc.threads, 1);
+    EXPECT_LE(pc.threads, 4);
+  }
+  EXPECT_NE(explanation.plan_text.find("parallelism="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrpq
