@@ -1,0 +1,172 @@
+// Bidirectional meet-in-the-middle search vs. forward-only evaluation on
+// anchored high-fan-out workloads.
+//
+// The workload family is a deep layered DAG (every node fans out to
+// `fanout` random nodes of the next layer), where the classical forward
+// search must sweep the full downstream cone of the source anchor while
+// the meet-in-the-middle search only explores two small balls that touch
+// near the target's layer:
+//
+//   AnchoredScan     ("s", p, "t") with a regular language: the
+//                    ReachabilityScan leaf anchored on both sides —
+//                    forward explores every layer, bidirectional stops
+//                    at the meet
+//   AnchoredProduct  two eq-synchronized anchored atoms: the
+//                    ProductExpand leaf (subset-tracking convolution
+//                    search) under the same anchoring
+//   ConstTarget      (x, p, "t"): free source, constant target — one
+//                    backward search over the reversed tape instead of
+//                    |V| forward searches
+//
+// Each case runs the same query with EvalOptions::direction forced to
+// forward (the pre-direction engine behavior) and to the direction the
+// planner would pick; BENCH_bench_bidirectional.json records the
+// medians, and the writer prints bidirectional-vs-forward and
+// backward-vs-forward speedups at exit, so CI measures the win instead
+// of asserting it (the smoke step gates on >= 1.5x for the anchored
+// scan).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+// Layered DAG with NAMED nodes ("L<layer>_<i>") so queries can anchor
+// constants on specific layers.
+GraphDb NamedLayeredGraph(int layers, int width, int fanout,
+                          uint64_t seed = 42) {
+  auto alphabet = Alphabet::FromLabels({"a", "b"});
+  Rng rng(seed);
+  GraphDb g(alphabet);
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      g.AddNode("L" + std::to_string(l) + "_" + std::to_string(i));
+    }
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      NodeId from = static_cast<NodeId>(l * width + i);
+      for (int e = 0; e < fanout; ++e) {
+        NodeId to =
+            static_cast<NodeId>((l + 1) * width + rng.Below(width));
+        g.AddEdge(from, rng.Chance(0.5) ? "a" : "b", to);
+      }
+    }
+  }
+  return g;
+}
+
+const char* DirName(SearchDirection dir) {
+  switch (dir) {
+    case SearchDirection::kForward:
+      return "fwd";
+    case SearchDirection::kBackward:
+      return "bwd";
+    case SearchDirection::kBidirectional:
+      return "bidir";
+    default:
+      return "auto";
+  }
+}
+
+void RunCase(benchmark::State& state, const std::string& family,
+             const GraphDb& g, const std::string& query_text,
+             SearchDirection dir, int arg) {
+  Query query = MustParse(g, query_text);
+  EvalOptions options;
+  options.engine = Engine::kProduct;
+  options.direction = dir;
+  options.build_path_answers = false;
+  options.max_configs = 500000000;
+  Evaluator evaluator(&g, options);
+  size_t answers = 0;
+  double configs = 0;
+  MedianTimer timer;
+  for (auto _ : state) {
+    timer.Begin();
+    auto result = evaluator.Evaluate(query);
+    timer.End();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    answers = result.value().tuples().size();
+    configs = static_cast<double>(result.value().stats().configs_explored);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.counters["configs"] = configs;
+  RecordBenchCase(family + "/" + DirName(dir) + "/" + std::to_string(arg),
+                  timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"answers", static_cast<double>(answers)},
+                   {"configs", configs}});
+}
+
+// ---- AnchoredScan: both endpoints constant, ReachabilityScan leaf ----
+//
+// The target sits at layer 10 of a `layers`-deep DAG: the forward sweep
+// pays for every layer below the source, the meet-in-the-middle probe
+// only for the ten layers between the anchors.
+void AnchoredScan(benchmark::State& state, SearchDirection dir) {
+  const int layers = static_cast<int>(state.range(0));
+  GraphDb g = NamedLayeredGraph(layers, /*width=*/48, /*fanout=*/4);
+  RunCase(state, "Bidirectional_AnchoredScan", g,
+          R"(Ans() <- ("L0_0", p, "L10_7"), (a|b)*(p))", dir, layers);
+}
+BENCHMARK_CAPTURE(AnchoredScan, fwd, SearchDirection::kForward)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(AnchoredScan, bidir, SearchDirection::kBidirectional)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(AnchoredScan, auto, SearchDirection::kAuto)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- AnchoredProduct: eq-synchronized anchored pair, ProductExpand ----
+//
+// Both tracks advance in lockstep (eq forces identical label sequences),
+// so the forward cone is width² per layer; anchoring both ends lets the
+// half-searches meet after ~8 layers instead of sweeping all of them.
+void AnchoredProduct(benchmark::State& state, SearchDirection dir) {
+  const int layers = static_cast<int>(state.range(0));
+  GraphDb g = NamedLayeredGraph(layers, /*width=*/12, /*fanout=*/3);
+  RunCase(state, "Bidirectional_AnchoredProduct", g,
+          R"(Ans() <- ("L0_0", p, "L8_5"), ("L0_1", q, "L8_9"), eq(p, q))",
+          dir, layers);
+}
+BENCHMARK_CAPTURE(AnchoredProduct, fwd, SearchDirection::kForward)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(AnchoredProduct, bidir, SearchDirection::kBidirectional)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- ConstTarget: free source, constant target ----
+//
+// Forward-only evaluation enumerates every node as a candidate source
+// (|V| scans); the backward direction runs ONE reversed-tape search from
+// the target and reads the sources off its cone.
+void ConstTarget(benchmark::State& state, SearchDirection dir) {
+  const int layers = static_cast<int>(state.range(0));
+  GraphDb g = NamedLayeredGraph(layers, /*width=*/24, /*fanout=*/3);
+  RunCase(state, "Bidirectional_ConstTarget", g,
+          R"(Ans(x) <- (x, p, "L12_3"), (a|b)*(p))", dir, layers);
+}
+BENCHMARK_CAPTURE(ConstTarget, fwd, SearchDirection::kForward)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(ConstTarget, bwd, SearchDirection::kBackward)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

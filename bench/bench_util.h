@@ -90,14 +90,17 @@ class BenchResultLog {
     if (entries_.empty()) return;
     WriteJson();
     // Twin-case comparisons measured by the bench itself: the CSR index
-    // vs. the adjacency scan, and the cost-based planner vs. the legacy
-    // and monolithic execution modes (bench_planner_join).
+    // vs. the adjacency scan, the cost-based planner vs. the legacy and
+    // monolithic execution modes (bench_planner_join), and the
+    // direction-aware searches vs. forward-only (bench_bidirectional).
     PrintTwinSpeedups("/indexed", "/scan", "indexed-vs-scan");
     PrintTwinSpeedups("/planned", "/monolithic", "planned-vs-monolithic");
     PrintTwinSpeedups("/planned", "/legacy", "planned-vs-legacy");
     PrintTwinSpeedups("/threads/2", "/threads/1", "parallel-1to2");
     PrintTwinSpeedups("/threads/4", "/threads/1", "parallel-1to4");
     PrintTwinSpeedups("/threads/8", "/threads/1", "parallel-1to8");
+    PrintTwinSpeedups("/bidir", "/fwd", "bidirectional-vs-forward");
+    PrintTwinSpeedups("/bwd", "/fwd", "backward-vs-forward");
   }
 
  private:
@@ -117,11 +120,12 @@ class BenchResultLog {
 #endif
   }
 
-  void WriteJson() const {
+  // Writes one JSON file to `path`; returns false when the path was not
+  // writable (e.g. a read-only checkout for the repo-root copy).
+  bool WriteJsonTo(const std::string& path) const {
     const std::string bench = BinaryName();
-    const std::string path = "BENCH_" + bench + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
+    if (f == nullptr) return false;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
                  bench.c_str());
     for (size_t i = 0; i < entries_.size(); ++i) {
@@ -139,6 +143,19 @@ class BenchResultLog {
     std::fclose(f);
     std::fprintf(stderr, "[bench-json] wrote %s (%zu cases)\n", path.c_str(),
                  entries_.size());
+    return true;
+  }
+
+  void WriteJson() const {
+    const std::string name = "BENCH_" + BinaryName() + ".json";
+    // Working-directory copy (the build tree in CI, uploaded as the
+    // artifact) plus the committed-trajectory copy at the repo root:
+    // scripts/diff_bench_medians.py diffs fresh medians against the
+    // checked-in baselines, so the perf trajectory lives in git.
+    WriteJsonTo(name);
+#ifdef ECRPQ_REPO_ROOT
+    WriteJsonTo(std::string(ECRPQ_REPO_ROOT) + "/" + name);
+#endif
   }
 
   // Prints `fast` vs `slow` medians for every case pair differing only in

@@ -41,6 +41,18 @@ GraphDb DemoGraph() {
 // hardware concurrency), 1 = the serial legacy path. Set by `threads <n>`.
 int g_threads = 0;
 
+// Print the per-operator profile after each query (toggled by `stats`):
+// one line per executed operator with rows, frontier/visited counters,
+// the leaf's search direction (direction=fwd|bwd|bidir) and — for
+// bidirectional leaves — the meet-probe count (meet_checks=N).
+bool g_stats = false;
+
+void PrintOperatorStats(const EvalStats& stats) {
+  for (const OperatorStats& op : stats.operators) {
+    std::cout << "    " << op.Describe() << "\n";
+  }
+}
+
 void StreamResult(const GraphDb& g, const PreparedQuery& prepared,
                   ResultCursor& cursor) {
   if (prepared.query().IsBoolean()) {
@@ -51,6 +63,7 @@ void StreamResult(const GraphDb& g, const PreparedQuery& prepared,
     }
     std::cout << (satisfiable ? "true" : "false");
     std::cout << "  [engine: " << cursor.stats().engine << "]\n";
+    if (g_stats) PrintOperatorStats(cursor.stats());
     return;
   }
   size_t shown = 0;
@@ -83,6 +96,7 @@ void StreamResult(const GraphDb& g, const PreparedQuery& prepared,
   std::cout << shown + more << " answer(s)";
   if (more > 0) std::cout << "  (" << more << " not shown)";
   std::cout << "  [engine: " << cursor.stats().engine << "]\n";
+  if (g_stats) PrintOperatorStats(cursor.stats());
 }
 
 }  // namespace
@@ -135,12 +149,24 @@ int main(int argc, char** argv) {
                    "  Ans() <- (x, p, z), (z, q, y), eq(p, q) ECRPQ\n"
                    "  Ans() <- (x, p, y), len(p) >= 3         counting\n"
                    "  Ans(y) <- ($s, p, y), a*(p)             $parameter\n"
-                   "  explain <query>                         show the plan\n"
+                   "  explain <query>                         show the plan "
+                   "(direction=fwd|bwd|bidir per leaf)\n"
                    "  threads <n>                             worker lanes "
                    "(0 = auto, 1 = serial)\n"
+                   "  stats                                   toggle the "
+                   "per-operator profile (direction, meet_checks)\n"
                    "  built-ins: eq el prefix strict_prefix shorter\n"
                    "             shorter_eq edit1..3 hamming1..3\n"
                    "  :graph :cache :help :quit\n";
+      continue;
+    }
+    if (line == "stats") {
+      g_stats = !g_stats;
+      std::cout << "  per-operator stats "
+                << (g_stats ? "on (direction= and meet_checks= shown per "
+                              "leaf)"
+                            : "off")
+                << "\n";
       continue;
     }
     if (line.rfind("threads", 0) == 0) {

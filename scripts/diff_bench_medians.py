@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Diff fresh bench medians against the committed trajectory baselines.
+
+The bench binaries write BENCH_<name>.json into their working directory
+and into the repo root; the repo-root copies are committed, forming the
+perf trajectory across PRs. CI stashes the committed copies before
+running the benches and then calls
+
+    scripts/diff_bench_medians.py <baseline_dir> <fresh_dir> [threshold]
+
+which compares every case's median_ns pairwise and prints a WARN line
+for each case slower than `threshold` (default 1.3) times its committed
+baseline. Warn-only by default — CI machines differ from the machines
+the baselines were recorded on; pass --fail to exit non-zero on any
+regression instead (for self-hosted runners with stable hardware).
+"""
+
+import json
+import pathlib
+import sys
+
+
+def load_cases(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {case["name"]: case["median_ns"] for case in data.get("cases", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    fail_on_regression = "--fail" in argv
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    baseline_dir, fresh_dir = pathlib.Path(args[0]), pathlib.Path(args[1])
+    threshold = float(args[2]) if len(args) > 2 else 1.3
+
+    regressions = 0
+    compared = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"[bench-diff] {baseline_path.name}: no fresh run, skipped")
+            continue
+        baseline = load_cases(baseline_path)
+        fresh = load_cases(fresh_path)
+        for name, base_ns in sorted(baseline.items()):
+            if name not in fresh or base_ns <= 0:
+                continue
+            compared += 1
+            ratio = fresh[name] / base_ns
+            if ratio > threshold:
+                regressions += 1
+                print(
+                    f"WARN [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms vs "
+                    f"baseline {base_ns / 1e6:.3f} ms ({ratio:.2f}x > "
+                    f"{threshold:.2f}x)"
+                )
+    print(
+        f"[bench-diff] compared {compared} cases, "
+        f"{regressions} above {threshold:.2f}x baseline"
+    )
+    if regressions and fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

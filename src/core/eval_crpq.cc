@@ -47,14 +47,30 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
 
 namespace {
 
-// One source's BFS over (language state, node); `seen` is a reusable
+// The intersected, ε-free, trimmed language NFA a scan simulates.
+Nfa BuildScanLanguage(const GraphDb& graph,
+                      const std::vector<const RegularRelation*>& languages) {
+  Nfa lang = UniverseNfa(graph.alphabet().size());
+  for (const RegularRelation* rel : languages) {
+    ECRPQ_DCHECK(rel->arity() == 1);
+    auto nfa = rel->ToLanguageNfa();
+    ECRPQ_DCHECK(nfa.ok());
+    lang = IntersectNfa(lang, nfa.value());
+  }
+  return Trim(RemoveEpsilons(lang));
+}
+
+// One anchor's BFS over (language state, node); `seen` is a reusable
 // ls × |V| bitmap (reset here). Accepting product states yield `ends`.
-// Polls `cancel` every few thousand expansions so even a single-source
-// scan over a huge graph unwinds promptly (the caller treats the partial
-// result as void once the token has tripped).
+// With `backward` the traversal walks in-edges (the caller passes the
+// REVERSED language NFA, so accepting states are the forward-initial
+// ones and `ends` collects path SOURCES). Polls `cancel` every few
+// thousand expansions so even a single-anchor scan over a huge graph
+// unwinds promptly (the caller treats the partial result as void once
+// the token has tripped).
 void ScanFromSource(const GraphDb& graph, const GraphIndex* index,
                     const Nfa& lang, const std::vector<StateId>& lang_initial,
-                    NodeId start, std::vector<bool>* seen,
+                    NodeId start, bool backward, std::vector<bool>* seen,
                     std::set<NodeId>* ends, ReachabilityScanStats* stats,
                     CancellationToken* cancel) {
   seen->assign(static_cast<size_t>(lang.num_states()) * graph.num_nodes(),
@@ -81,19 +97,90 @@ void ScanFromSource(const GraphDb& graph, const GraphIndex* index,
     auto [q, v] = work.front();
     work.pop();
     if (index != nullptr) {
-      // CSR label slices: touch only the successors carrying exactly
+      // CSR label slices: touch only the neighbors carrying exactly
       // the letters the language state can read.
       for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
-        for (NodeId to : index->Out(v, arc.first)) push(arc.second, to);
+        std::span<const NodeId> slice =
+            backward ? index->In(v, arc.first) : index->Out(v, arc.first);
+        for (NodeId to : slice) push(arc.second, to);
       }
     } else {
+      const auto& adjacency = backward ? graph.In(v) : graph.Out(v);
       for (const Nfa::Arc& arc : lang.ArcsFrom(q)) {
-        for (const auto& [label, to] : graph.Out(v)) {
+        for (const auto& [label, to] : adjacency) {
           if (label == arc.first) push(arc.second, to);
         }
       }
     }
   }
+}
+
+// One (source, target) meet-in-the-middle reachability probe over
+// (NFA state, node) configurations: a forward half-search over `lang`
+// and out-edges, a backward half-search over `rlang` (the reversed NFA —
+// same state ids) and in-edges, alternating on the smaller frontier.
+// A meet is the same (state, node) configuration discovered by both
+// sides: the forward prefix reaches state q at node v, and from (q, v)
+// the backward-explored suffix reaches acceptance at the target. Either
+// side exhausting first proves unreachability (every accepting run meets
+// at all of its splits, including the opposite side's seed). Returns
+// true when a path from `s` to `t` matches the language.
+bool BidirectionalReachProbe(const GraphDb& graph, const GraphIndex* index,
+                             const Nfa& lang, const Nfa& rlang, NodeId s,
+                             NodeId t, std::vector<bool>* seen_f,
+                             std::vector<bool>* seen_b,
+                             ReachabilityScanStats* stats,
+                             uint64_t* meet_checks, CancellationToken* cancel) {
+  const size_t stride = graph.num_nodes();
+  seen_f->assign(static_cast<size_t>(lang.num_states()) * stride, false);
+  seen_b->assign(static_cast<size_t>(lang.num_states()) * stride, false);
+  std::vector<std::pair<StateId, NodeId>> fr_f, fr_b, next;
+  bool met = false;
+  auto push = [&](bool fwd_side, StateId q, NodeId v,
+                  std::vector<std::pair<StateId, NodeId>>* out) {
+    if (stats != nullptr) ++stats->frontier_expansions;
+    std::vector<bool>& seen = fwd_side ? *seen_f : *seen_b;
+    std::vector<bool>& other = fwd_side ? *seen_b : *seen_f;
+    const size_t key = static_cast<size_t>(q) * stride + v;
+    if (seen[key]) return;
+    seen[key] = true;
+    if (stats != nullptr) ++stats->visited_states;
+    if (meet_checks != nullptr) ++*meet_checks;
+    if (other[key]) met = true;
+    out->push_back({q, v});
+  };
+  for (StateId q : lang.InitialStates()) push(/*fwd_side=*/true, q, s, &fr_f);
+  for (StateId q : rlang.InitialStates()) {
+    push(/*fwd_side=*/false, q, t, &fr_b);
+  }
+  while (!met && !fr_f.empty() && !fr_b.empty()) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const bool step_fwd = fr_f.size() <= fr_b.size();
+    std::vector<std::pair<StateId, NodeId>>& frontier =
+        step_fwd ? fr_f : fr_b;
+    const Nfa& stepper = step_fwd ? lang : rlang;
+    next.clear();
+    for (const auto& [q, v] : frontier) {
+      if (met) break;
+      if (index != nullptr) {
+        for (const Nfa::Arc& arc : stepper.ArcsFrom(q)) {
+          std::span<const NodeId> slice = step_fwd
+                                              ? index->Out(v, arc.first)
+                                              : index->In(v, arc.first);
+          for (NodeId to : slice) push(step_fwd, arc.second, to, &next);
+        }
+      } else {
+        const auto& adjacency = step_fwd ? graph.Out(v) : graph.In(v);
+        for (const Nfa::Arc& arc : stepper.ArcsFrom(q)) {
+          for (const auto& [label, to] : adjacency) {
+            if (label == arc.first) push(step_fwd, arc.second, to, &next);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return met;
 }
 
 }  // namespace
@@ -103,77 +190,121 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     const GraphIndex* index, const std::vector<NodeId>* sources,
     ReachabilityScanStats* scan_stats, int num_threads,
     CancellationToken* cancel, bool deterministic) {
+  return ReachabilityPairsDirected(graph, languages, index, sources,
+                                   /*targets=*/nullptr,
+                                   SearchDirection::kForward, scan_stats,
+                                   /*meet_checks=*/nullptr, num_threads,
+                                   cancel, deterministic);
+}
+
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairsDirected(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    const std::vector<NodeId>* targets, SearchDirection direction,
+    ReachabilityScanStats* scan_stats, uint64_t* meet_checks,
+    int num_threads, CancellationToken* cancel, bool deterministic) {
   // Intersect the language NFAs (over the base alphabet).
-  Nfa lang = UniverseNfa(graph.alphabet().size());
-  for (const RegularRelation* rel : languages) {
-    ECRPQ_DCHECK(rel->arity() == 1);
-    auto nfa = rel->ToLanguageNfa();
-    ECRPQ_DCHECK(nfa.ok());
-    lang = IntersectNfa(lang, nfa.value());
-  }
-  lang = Trim(RemoveEpsilons(lang));
+  Nfa lang = BuildScanLanguage(graph, languages);
 
   std::vector<std::pair<NodeId, NodeId>> out;
   if (lang.num_states() == 0) return out;
 
-  // BFS over (language state, node) from every start node at once, tagging
-  // each product state with its start node would square memory; instead run
-  // per start node (O(|V| · |lang| · |E|)). Accepting product states yield
-  // (start, node) pairs.
-  std::vector<StateId> lang_initial = lang.InitialStates();
-  const int num_starts =
-      (sources != nullptr) ? static_cast<int>(sources->size())
-                           : graph.num_nodes();
-  auto source_of = [&](int s) -> NodeId {
-    return (sources != nullptr) ? (*sources)[s] : s;
-  };
+  // Safety degrade: a bidirectional sweep needs both anchor sets.
+  if (direction == SearchDirection::kBidirectional &&
+      (sources == nullptr || targets == nullptr)) {
+    direction = targets != nullptr ? SearchDirection::kBackward
+                                   : SearchDirection::kForward;
+  }
 
-  const int lanes = std::min(std::max(num_threads, 1), num_starts);
-  if (lanes <= 1) {
-    std::vector<bool> seen;
-    std::set<NodeId> ends;
-    for (int s = 0; s < num_starts; ++s) {
-      if (cancel != nullptr && cancel->cancelled()) break;
-      ScanFromSource(graph, index, lang, lang_initial, source_of(s), &seen,
-                     &ends, scan_stats, cancel);
-      for (NodeId end : ends) out.emplace_back(source_of(s), end);
+  if (direction == SearchDirection::kBidirectional) {
+    // One meet-in-the-middle probe per anchored (source, target) pair;
+    // pairs are few by construction (the planner degrades large anchor
+    // products to a one-sided sweep), so the probes run serially and the
+    // output order is the pair enumeration order.
+    Nfa rlang = Reverse(lang);
+    std::vector<bool> seen_f, seen_b;
+    for (NodeId s : *sources) {
+      for (NodeId t : *targets) {
+        if (cancel != nullptr && cancel->cancelled()) return out;
+        if (BidirectionalReachProbe(graph, index, lang, rlang, s, t,
+                                    &seen_f, &seen_b, scan_stats,
+                                    meet_checks, cancel)) {
+          out.emplace_back(s, t);
+        }
+      }
     }
     return out;
   }
 
-  // Morsel-parallel: per-source end-set slots, per-lane counters and seen
-  // bitmaps. Deterministic mode concatenates the slots in source order
+  // One-sided sweep. Forward BFSes over (language state, node) per source
+  // node (tagging product states with start nodes would square memory;
+  // O(|V| · |lang| · |E|) per-anchor instead); backward runs the mirror
+  // per TARGET node over the reversed NFA and in-edges, so a bound
+  // target side costs one BFS instead of |V|.
+  const bool backward = direction == SearchDirection::kBackward;
+  const Nfa scan_lang = backward ? Reverse(lang) : std::move(lang);
+  const std::vector<NodeId>* anchors = backward ? targets : sources;
+  std::vector<StateId> scan_initial = scan_lang.InitialStates();
+  const int num_anchors = (anchors != nullptr)
+                              ? static_cast<int>(anchors->size())
+                              : graph.num_nodes();
+  auto anchor_of = [&](int s) -> NodeId {
+    return (anchors != nullptr) ? (*anchors)[s] : s;
+  };
+  auto emit = [&](NodeId anchor, NodeId reached) {
+    if (backward) {
+      out.emplace_back(reached, anchor);
+    } else {
+      out.emplace_back(anchor, reached);
+    }
+  };
+
+  const int lanes = std::min(std::max(num_threads, 1), num_anchors);
+  if (lanes <= 1) {
+    std::vector<bool> seen;
+    std::set<NodeId> ends;
+    for (int s = 0; s < num_anchors; ++s) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      ScanFromSource(graph, index, scan_lang, scan_initial, anchor_of(s),
+                     backward, &seen, &ends, scan_stats, cancel);
+      for (NodeId end : ends) emit(anchor_of(s), end);
+    }
+    return out;
+  }
+
+  // Morsel-parallel: per-anchor end-set slots, per-lane counters and seen
+  // bitmaps. Deterministic mode concatenates the slots in anchor order
   // (bit-identical to the serial scan); otherwise lanes append finished
   // morsels in completion order under a lock.
-  std::vector<std::set<NodeId>> slots(num_starts);
+  std::vector<std::set<NodeId>> slots(num_anchors);
   std::vector<ReachabilityScanStats> lane_stats(lanes);
   std::mutex out_mutex;
   const size_t grain =
-      std::max<size_t>(1, static_cast<size_t>(num_starts) / (lanes * 8));
+      std::max<size_t>(1, static_cast<size_t>(num_anchors) / (lanes * 8));
   ParallelMorsels(
-      lanes, num_starts, grain, [&](size_t begin, size_t end, int lane_id) {
+      lanes, num_anchors, grain, [&](size_t begin, size_t end, int lane_id) {
         std::vector<bool> seen;
         ReachabilityScanStats* ls =
             (scan_stats != nullptr) ? &lane_stats[lane_id] : nullptr;
         for (size_t s = begin; s < end; ++s) {
           if (cancel != nullptr && cancel->cancelled()) return;
-          ScanFromSource(graph, index, lang, lang_initial,
-                         source_of(static_cast<int>(s)), &seen, &slots[s],
-                         ls, cancel);
+          ScanFromSource(graph, index, scan_lang, scan_initial,
+                         anchor_of(static_cast<int>(s)), backward, &seen,
+                         &slots[s], ls, cancel);
         }
         if (!deterministic) {
           std::lock_guard<std::mutex> lock(out_mutex);
           for (size_t s = begin; s < end; ++s) {
             for (NodeId e : slots[s]) {
-              out.emplace_back(source_of(static_cast<int>(s)), e);
+              emit(anchor_of(static_cast<int>(s)), e);
             }
             slots[s].clear();
           }
         }
       });
   if (deterministic) {
-    for (int s = 0; s < num_starts; ++s) {
-      for (NodeId e : slots[s]) out.emplace_back(source_of(s), e);
+    for (int s = 0; s < num_anchors; ++s) {
+      for (NodeId e : slots[s]) emit(anchor_of(s), e);
     }
   }
   if (scan_stats != nullptr) {
@@ -286,7 +417,13 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
 
   // Build one JoinAtom per path atom with its language intersection —
   // the per-atom ReachabilityScan leaves of the physical plan. Each scan
-  // runs its per-source BFSes morsel-parallel.
+  // runs its per-anchor BFSes morsel-parallel, in the direction the
+  // atom's constants favor (the same rule the planner records): both
+  // endpoints constant → one bidirectional meet probe; constant target
+  // only → one backward BFS from it (instead of |V| forward BFSes);
+  // otherwise the classic forward sweep. EvalOptions::direction forces a
+  // direction; the auto rule engages only with the planner enabled so
+  // the ECRPQ_NO_PLANNER ablation keeps the legacy forward path.
   std::vector<JoinAtom> atoms(rq.atoms.size());
   for (size_t i = 0; i < rq.atoms.size(); ++i) {
     atoms[i].from = rq.atoms[i].from;
@@ -297,11 +434,51 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
         languages.push_back(rel.relation);
       }
     }
+    const bool from_const = atoms[i].from.is_const;
+    const bool to_const = atoms[i].to.is_const;
+    SearchDirection dir = SearchDirection::kForward;
+    if (options.direction != SearchDirection::kAuto) {
+      dir = options.direction;
+    } else if (options.use_planner) {
+      if (from_const && to_const) {
+        dir = SearchDirection::kBidirectional;
+      } else if (to_const) {
+        dir = SearchDirection::kBackward;
+      }
+    }
+    std::vector<NodeId> anchor_sources, anchor_targets;
+    const std::vector<NodeId>* sources = nullptr;
+    const std::vector<NodeId>* targets = nullptr;
+    if (dir == SearchDirection::kBidirectional) {
+      if (from_const && to_const) {
+        anchor_sources.push_back(atoms[i].from.node);
+        anchor_targets.push_back(atoms[i].to.node);
+        sources = &anchor_sources;
+        targets = &anchor_targets;
+      } else {
+        dir = to_const ? SearchDirection::kBackward
+                       : SearchDirection::kForward;
+      }
+    }
+    if (dir == SearchDirection::kBackward && to_const) {
+      anchor_targets.assign(1, atoms[i].to.node);
+      targets = &anchor_targets;
+    }
+    if (dir == SearchDirection::kForward && from_const &&
+        (options.use_planner || options.direction != SearchDirection::kAuto)) {
+      // Constant source: one anchored forward BFS instead of the full
+      // |V|-source sweep (the mirror of the constant-target backward
+      // case; gated like the auto rule so ECRPQ_NO_PLANNER keeps the
+      // legacy sweep).
+      anchor_sources.assign(1, atoms[i].from.node);
+      sources = &anchor_sources;
+    }
     ReachabilityScanStats scan_stats;
-    atoms[i].pairs = ReachabilityPairs(graph, languages, rq.index.get(),
-                                       /*sources=*/nullptr, &scan_stats,
-                                       num_threads, cancel,
-                                       options.deterministic);
+    uint64_t meet_checks = 0;
+    atoms[i].pairs = ReachabilityPairsDirected(
+        graph, languages, rq.index.get(), sources, targets, dir,
+        &scan_stats, &meet_checks, num_threads, cancel,
+        options.deterministic);
     if (cancel != nullptr && cancel->cancelled()) {
       return Status::Cancelled("query execution cancelled");
     }
@@ -325,6 +502,8 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
     op.rows_out = atoms[i].pairs.size();
     op.frontier_expansions = scan_stats.frontier_expansions;
     op.visited_configs = scan_stats.visited_states;
+    op.meet_checks = meet_checks;
+    op.direction = SearchDirectionName(dir);
     op.threads = num_threads;
     stats.operators.push_back(std::move(op));
     if (atoms[i].pairs.empty()) return Status::OK();  // empty answer

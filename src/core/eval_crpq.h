@@ -73,6 +73,27 @@ std::vector<std::pair<NodeId, NodeId>> ReachabilityPairs(
     ReachabilityScanStats* scan_stats, int num_threads,
     CancellationToken* cancel, bool deterministic);
 
+/// Direction-aware reachability scan (the ReachabilityScan leaf's
+/// executable). kForward is exactly the overload above (per-source BFS;
+/// `targets` is ignored — callers filter ends). kBackward mirrors it: one
+/// BFS per TARGET over the reversed intersection NFA and the graph's
+/// in-edges (GraphIndex::In slices when indexed), emitting every
+/// (source, target) pair whose path label lies in the intersection — one
+/// backward BFS replaces |V| forward BFSes when only the target side is
+/// anchored. kBidirectional (requires both `sources` and `targets`) runs
+/// one meet-in-the-middle probe per (source, target) pair over
+/// (NFA state, node) configurations, alternating on the smaller frontier
+/// and stopping at the first meet; `meet_checks` (optional) counts the
+/// opposite-side probes. Bidirectional probes run serially per pair
+/// (anchored pairs are few); forward/backward sweeps honor
+/// `num_threads`/`deterministic` as documented above.
+std::vector<std::pair<NodeId, NodeId>> ReachabilityPairsDirected(
+    const GraphDb& graph, const std::vector<const RegularRelation*>& languages,
+    const GraphIndex* index, const std::vector<NodeId>* sources,
+    const std::vector<NodeId>* targets, SearchDirection direction,
+    ReachabilityScanStats* scan_stats, uint64_t* meet_checks,
+    int num_threads, CancellationToken* cancel, bool deterministic);
+
 }  // namespace ecrpq
 
 #endif  // ECRPQ_CORE_EVAL_CRPQ_H_

@@ -57,6 +57,37 @@ Result<CompiledQueryPtr> CompileQuery(const Query& query, int base_size) {
     for (StateId s = 0; s < rr.nfa.num_states(); ++s) {
       rr.accepting[s] = rr.nfa.IsAccepting(s);
     }
+    // Reversed tape: Reverse preserves state ids, so the reversed
+    // transition maps, masks, and endpoint sets index the same states as
+    // the forward ones (backward subsets intersect forward subsets at
+    // bidirectional meets without any remapping).
+    Nfa rev = Reverse(rr.nfa);
+    rr.rev_transitions.resize(rev.num_states());
+    rr.rev_tape_masks.assign(rev.num_states(),
+                             std::vector<uint64_t>(arity, 0));
+    for (StateId s = 0; s < rev.num_states(); ++s) {
+      for (const Nfa::Arc& arc : rev.ArcsFrom(s)) {
+        rr.rev_transitions[s][arc.first].push_back(arc.second);
+        if (base_size > 64) continue;
+        TupleLetter letter = ta.Decode(arc.first);
+        for (int tape = 0; tape < arity; ++tape) {
+          if (letter[tape] != kPad) {
+            rr.rev_tape_masks[s][tape] |= 1ULL << letter[tape];
+          }
+        }
+      }
+    }
+    if (base_size > 64) {
+      for (auto& masks : rr.rev_tape_masks) {
+        for (uint64_t& m : masks) m = ~0ULL;
+      }
+    }
+    rr.rev_initial = rev.InitialStates();
+    std::sort(rr.rev_initial.begin(), rr.rev_initial.end());
+    rr.rev_accepting.resize(rev.num_states());
+    for (StateId s = 0; s < rev.num_states(); ++s) {
+      rr.rev_accepting[s] = rev.IsAccepting(s);
+    }
     for (const std::string& p : atom.paths) {
       rr.paths.push_back(query.PathVarIndex(p));
     }
@@ -250,13 +281,26 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
         if (IsReachabilityScanComponent(rq, comp)) {
           seeds_ptr = &seeds;
         } else {
-          int covered_start = 0;
-          for (int v : comp.start_vars) {
-            if (seeds.ColumnOf(v) >= 0) ++covered_start;
+          // Count seeded coverage of the vars the leaf's direction
+          // anchors (start vars forward, end vars backward, both for a
+          // bidirectional leaf): seeding pays when replaying the rows is
+          // cheaper than enumerating the covered anchors.
+          std::set<int> anchor_vars;
+          if (pc.direction != SearchDirection::kBackward) {
+            anchor_vars.insert(comp.start_vars.begin(),
+                               comp.start_vars.end());
           }
-          if (covered_start > 0 &&
+          if (pc.direction == SearchDirection::kBackward ||
+              pc.direction == SearchDirection::kBidirectional) {
+            anchor_vars.insert(comp.end_vars.begin(), comp.end_vars.end());
+          }
+          int covered = 0;
+          for (int v : anchor_vars) {
+            if (seeds.ColumnOf(v) >= 0) ++covered;
+          }
+          if (covered > 0 &&
               static_cast<double>(seeds.rows.size()) <
-                  std::pow(V, covered_start)) {
+                  std::pow(V, covered)) {
             seeds_ptr = &seeds;
           }
         }
@@ -269,8 +313,8 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
     const int leaf_threads = pc.demoted_serial ? 1 : num_threads;
     std::set<std::vector<NodeId>> results;
     Status st = ExecuteComponentOp(rq, comp, options, fixed, seeds_ptr,
-                                   pc.est_rows, leaf_threads, stats,
-                                   &results, /*graph_sink=*/nullptr);
+                                   pc.est_rows, pc.direction, leaf_threads,
+                                   stats, &results, /*graph_sink=*/nullptr);
     if (!st.ok()) return st;
     if (results.empty()) return Status::OK();  // empty answer
     BindingTable table;
@@ -395,6 +439,7 @@ Result<std::vector<ComponentProductGraph>> BuildComponentProducts(
     ProductGraphSink sink;
     Status st = ExecuteComponentOp(rq, comp, options, assignment,
                                    /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                   SearchDirection::kForward,
                                    /*num_threads=*/1, stats,
                                    /*results=*/nullptr, &sink);
     if (!st.ok()) return st;
@@ -482,6 +527,7 @@ Result<PathAnswerSet> BuildPathAnswerSet(
       other_results.emplace_back();
       Status st = ExecuteComponentOp(rq, other, options, fixed,
                                      /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                     SearchDirection::kAuto,
                                      /*num_threads=*/1, stats,
                                      &other_results.back(),
                                      /*graph_sink=*/nullptr);
@@ -529,6 +575,7 @@ Result<PathAnswerSet> BuildPathAnswerSet(
   for (const std::vector<NodeId>& anchor : anchors) {
     Status st = ExecuteComponentOp(rq, comp, options, anchor,
                                    /*seeds=*/nullptr, /*est_rows=*/-1.0,
+                                   SearchDirection::kForward,
                                    /*num_threads=*/1, stats,
                                    /*results=*/nullptr, &sink);
     if (!st.ok()) return st;

@@ -55,6 +55,25 @@ struct ResolvedRelation {
   /// exceeds 64 letters (no pruning).
   std::vector<std::vector<uint64_t>> tape_masks;
 
+  /// The reversed tape, compiled alongside the forward one so backward /
+  /// bidirectional half-searches simulate Reverse(nfa) over the SAME
+  /// state id space (meet detection intersects forward and backward
+  /// state-subsets directly):
+  ///   rev_transitions[s][sym] — predecessors of `s` under `sym` (the
+  ///       reversed NFA's arcs; state ids coincide with `nfa`'s);
+  ///   rev_initial / rev_accepting — the forward accepting / initial
+  ///       states (a backward simulation starts at acceptance and
+  ///       succeeds on reaching an initial state);
+  ///   rev_tape_masks[s][tape] — per-state *in*-letter masks: base
+  ///       symbols some transition INTO `s` reads on `tape`. A backward
+  ///       expansion intersects these the way the forward search uses
+  ///       tape_masks, gating GraphIndex::In() slices by InLabelMask.
+  std::vector<std::unordered_map<Symbol, std::vector<StateId>>>
+      rev_transitions;
+  std::vector<StateId> rev_initial;
+  std::vector<bool> rev_accepting;
+  std::vector<std::vector<uint64_t>> rev_tape_masks;
+
   ResolvedRelation() : nfa(0) {}
 };
 

@@ -46,6 +46,20 @@ const char* EngineName(Engine engine) {
   return "?";
 }
 
+const char* SearchDirectionName(SearchDirection direction) {
+  switch (direction) {
+    case SearchDirection::kAuto:
+      return "auto";
+    case SearchDirection::kForward:
+      return "fwd";
+    case SearchDirection::kBackward:
+      return "bwd";
+    case SearchDirection::kBidirectional:
+      return "bidir";
+  }
+  return "?";
+}
+
 Status Evaluator::Evaluate(const Query& query, ResultSink& sink,
                            EvalStats& stats, CompiledQueryPtr compiled,
                            const PhysicalPlan* plan) const {

@@ -63,6 +63,27 @@ enum class Engine {
   kBruteForce,
 };
 
+/// Direction of a component leaf's search (ReachabilityScan /
+/// ProductExpand). Forward expands out-edges from start anchors (the
+/// classical evaluation); backward expands in-edges from end anchors
+/// through the compiled reversed automata; bidirectional runs both
+/// half-searches on a fully anchored leaf, always stepping the smaller
+/// frontier, and stops at the first meet (meet-in-the-middle). The
+/// planner picks a direction per leaf from index statistics; kAuto defers
+/// to that choice, any other value forces every leaf (infeasible
+/// requests degrade: bidirectional needs both endpoints anchored and
+/// falls back to backward/forward; graph recording pins forward).
+enum class SearchDirection {
+  kAuto,
+  kForward,
+  kBackward,
+  kBidirectional,
+};
+
+/// Short display name ("auto", "fwd", "bwd", "bidir") — the `direction=`
+/// field of Explain and operator stats.
+const char* SearchDirectionName(SearchDirection direction);
+
 /// Default for EvalOptions::use_planner: true unless the ECRPQ_NO_PLANNER
 /// environment variable is set to a non-empty, non-"0" value (the CI
 /// ablation hook — the whole suite runs once with the planner and once
@@ -89,6 +110,13 @@ struct EvalOptions {
 
   /// Semi-join reduction before enumeration on acyclic queries (kCrpq).
   bool use_semijoin_reduction = true;
+
+  /// Search direction of component leaves. kAuto lets the planner choose
+  /// per leaf (forward unless statistics or anchoring favor backward /
+  /// bidirectional; requires use_planner and an index — the legacy path
+  /// stays forward-only). Any other value forces that direction on every
+  /// leaf where it is feasible (benchmark / ablation hook).
+  SearchDirection direction = SearchDirection::kAuto;
 
   /// Evaluate against a CSR GraphIndex (label-sliced frontier expansion,
   /// degree-ordered seeding). Engines build one per run when the caller

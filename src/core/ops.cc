@@ -49,10 +49,9 @@ ComponentSpec BuildComponentSpec(const ResolvedQuery& rq,
         comp.vars.end()) {
       comp.vars.push_back(term.var);
     }
-    if (is_start &&
-        std::find(comp.start_vars.begin(), comp.start_vars.end(),
-                  term.var) == comp.start_vars.end()) {
-      comp.start_vars.push_back(term.var);
+    std::vector<int>& side = is_start ? comp.start_vars : comp.end_vars;
+    if (std::find(side.begin(), side.end(), term.var) == side.end()) {
+      side.push_back(term.var);
     }
   };
   for (int idx : atom_indices) {
@@ -215,38 +214,67 @@ class VisitedTable {
 // SharedSubsetPool for shared-frontier parallel searches (one pool shared
 // by every lane; each lane owns a ComponentSearchT as its expansion
 // context — the per-subset mask caches stay lane-private).
+//
+// A context is built for one direction. Forward contexts run the classic
+// search: configurations advance on out-edges, state-subsets advance on
+// the forward transition maps, acceptance needs an accepting state per
+// relation, and the padmask marks tracks whose word has ENDED (pads are a
+// monotone suffix: a padded track may only keep padding). Backward
+// contexts run the exact mirror over the compiled reversed tape
+// (ResolvedRelation::rev_*): configurations advance on in-edges gated by
+// InLabelMask, subsets advance on rev_transitions (so a backward subset
+// holds the forward states from which an accepting state is reachable via
+// the consumed suffix), acceptance needs a forward-INITIAL state per
+// relation, and the padmask marks tracks that have STARTED consuming (a
+// track may pad only while still inside its trailing-pad region — the
+// mirror monotonicity, keeping pads a suffix of every track word). Both
+// searches intern subsets in the same pool over the same state id space,
+// which is what lets a bidirectional meet test S_fwd ∩ S_bwd per
+// relation directly.
 template <typename Pool>
 class ComponentSearchT {
  public:
   ComponentSearchT(const ResolvedQuery& rq, const ComponentSpec& comp,
-                   const EvalOptions& options, Pool* pool)
+                   const EvalOptions& options, Pool* pool,
+                   bool backward = false)
       : rq_(rq),
         comp_(comp),
         options_(options),
         pool_(pool),
         index_(rq.index.get()),
-        use_masks_(rq.graph->alphabet().size() <= 64) {
-    // Per-relation tuple alphabets and local track lists.
+        use_masks_(rq.graph->alphabet().size() <= 64),
+        backward_(backward) {
+    // Per-relation tuple alphabets, local track lists, and the
+    // direction's view of the compiled automaton (forward or reversed
+    // tape — same state ids either way).
     for (int r : comp_.relation_indices) {
       const ResolvedRelation& rel = rq_.relations()[r];
       std::vector<int> local;
       for (int p : rel.paths) local.push_back(comp_.track_of_path[p]);
       rel_local_tracks_.push_back(std::move(local));
       rel_alphabets_.emplace_back(rel.relation->tuple_alphabet());
+      RelView view;
+      view.transitions = backward_ ? &rel.rev_transitions : &rel.transitions;
+      view.initial = backward_ ? &rel.rev_initial : &rel.initial;
+      view.accepting = backward_ ? &rel.rev_accepting : &rel.accepting;
+      view.tape_masks = backward_ ? &rel.rev_tape_masks : &rel.tape_masks;
+      views_.push_back(view);
     }
     subset_masks_.resize(comp_.relation_indices.size());
   }
 
-  // Builds the initial configuration for one start assignment; false when
-  // some relation has no initial state (unsatisfiable — no search runs).
-  bool MakeInitialConfig(const std::vector<NodeId>& start_nodes,
+  bool backward() const { return backward_; }
+
+  // Builds the initial configuration for one anchor assignment (start
+  // nodes forward, end nodes backward); false when some relation has no
+  // initial state in this direction (unsatisfiable — no search runs).
+  bool MakeInitialConfig(const std::vector<NodeId>& anchor_nodes,
                          ProductConfig* out) {
     out->padmask = 0;
-    out->nodes = start_nodes;
+    out->nodes = anchor_nodes;
     out->subset_ids.clear();
-    for (int r : comp_.relation_indices) {
-      const ResolvedRelation& rel = rq_.relations()[r];
-      std::vector<StateId> subset = rel.initial;
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      std::vector<StateId> subset = *views_[i].initial;
       std::sort(subset.begin(), subset.end());
       if (subset.empty()) return false;  // relation unsatisfiable
       out->subset_ids.push_back(pool_->Intern(std::move(subset)));
@@ -254,20 +282,27 @@ class ComponentSearchT {
     return true;
   }
 
-  // One configuration step: acceptance (+ end-consistency filtering into
-  // `results`) and successor expansion. `emit(ProductConfig&&, letters)`
-  // receives every generated successor; the caller owns dedup/queueing.
-  // Both the serial BFS (Run) and the shared-frontier lanes drive this.
+  // One configuration step: acceptance (+ endpoint-consistency filtering
+  // into `results`) and successor expansion. `anchor_nodes` holds the
+  // per-track anchors of this search — start nodes forward, end nodes
+  // backward. `emit(ProductConfig&&, letters)` receives every generated
+  // successor; the caller owns dedup/queueing. The serial BFS (Run), the
+  // shared-frontier lanes, and the bidirectional half-searches all drive
+  // this.
   template <typename Emit>
   void ProcessConfig(const ProductConfig& current,
-                     const std::vector<NodeId>& start_nodes,
+                     const std::vector<NodeId>& anchor_nodes,
                      const std::vector<NodeId>& fixed,
                      std::set<std::vector<NodeId>>* results, bool* accepted,
                      Emit&& emit) {
     *accepted = false;
     if (Accepting(current)) {
       std::vector<NodeId> assignment;
-      if (EndConsistent(current, start_nodes, fixed, &assignment)) {
+      const std::vector<NodeId>& starts =
+          backward_ ? current.nodes : anchor_nodes;
+      const std::vector<NodeId>& ends =
+          backward_ ? anchor_nodes : current.nodes;
+      if (ConsistentAssignment(starts, ends, fixed, &assignment)) {
         if (results != nullptr) results->insert(std::move(assignment));
         *accepted = true;
       }
@@ -286,19 +321,21 @@ class ComponentSearchT {
               *rq_.graph, counted);
   }
 
-  // Serial BFS from one start-node-per-track assignment; reports
-  // satisfying component assignments into `results` and records the
-  // product graph into `sink` when non-null. `configs_budget` is the
-  // execution-wide popped-configuration counter checked against
-  // max_configs; `cancel` (optional) stops the search cooperatively.
-  Status Run(const std::vector<NodeId>& start_nodes,
+  // Serial BFS from one anchor-node-per-track assignment (start nodes
+  // forward, end nodes backward); reports satisfying component
+  // assignments into `results` and records the product graph into `sink`
+  // when non-null (forward contexts only — callers pin graph recording to
+  // the forward direction). `configs_budget` is the execution-wide
+  // popped-configuration counter checked against max_configs; `cancel`
+  // (optional) stops the search cooperatively.
+  Status Run(const std::vector<NodeId>& anchor_nodes,
              const std::vector<NodeId>& fixed,
              std::set<std::vector<NodeId>>* results, ProductGraphSink* sink,
              std::atomic<uint64_t>* configs_budget,
              CancellationToken* cancel) {
     const GraphDb& graph = *rq_.graph;
     ProductConfig init;
-    if (!MakeInitialConfig(start_nodes, &init)) return Status::OK();
+    if (!MakeInitialConfig(anchor_nodes, &init)) return Status::OK();
 
     // The sink may already hold configs from previous start assignments;
     // all sink indices are offset by its current size.
@@ -342,7 +379,7 @@ class ComponentSearchT {
       }
       ProductConfig current = order[config_id];  // copy: order grows below
       bool accepted = false;
-      ProcessConfig(current, start_nodes, fixed, results, &accepted,
+      ProcessConfig(current, anchor_nodes, fixed, results, &accepted,
                     [&](ProductConfig next,
                         const std::vector<Symbol>& letters) {
                       auto [next_id, unused] =
@@ -365,40 +402,23 @@ class ComponentSearchT {
   uint64_t frontier_expansions() const { return frontier_expansions_; }
   uint64_t arcs_explored() const { return arcs_explored_; }
 
- private:
-  bool Accepting(const ProductConfig& c) const {
-    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
-      bool ok = false;
-      auto&& subset = pool_->Get(c.subset_ids[i]);
-      for (StateId s : subset) {
-        if (rel.accepting[s]) {
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) return false;
-    }
-    return true;
-  }
-
-  // Checks end-node constraints; produces the component assignment
-  // (parallel to comp_.vars) on success.
-  bool EndConsistent(const ProductConfig& c,
-                     const std::vector<NodeId>& start_nodes,
-                     const std::vector<NodeId>& fixed,
-                     std::vector<NodeId>* assignment) const {
+  // Checks per-atom endpoint constraints of one full (start, end) node
+  // assignment per track; produces the component assignment (parallel to
+  // comp_.vars) on success. Shared by all directions: forward passes
+  // (anchors, config nodes), backward (config nodes, anchors), and the
+  // bidirectional driver (start anchors, end anchors).
+  bool ConsistentAssignment(const std::vector<NodeId>& start_nodes,
+                            const std::vector<NodeId>& end_nodes,
+                            const std::vector<NodeId>& fixed,
+                            std::vector<NodeId>* assignment) const {
     std::vector<NodeId> binding(rq_.query->node_variables().size(), -1);
-    // Seed with fixed bindings and start assignments.
+    // Seed with fixed bindings and anchor assignments.
     for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
     for (int idx : comp_.atom_indices) {
       const ResolvedAtom& atom = rq_.atoms[idx];
       int track = comp_.track_of_path[atom.path];
       NodeId start = start_nodes[track];
-      NodeId end = c.nodes[track];
-      // From-term: already consistent by construction of start_nodes, but
-      // fixed vars must agree too.
+      NodeId end = end_nodes[track];
       if (atom.from.is_const) {
         if (atom.from.node != start) return false;
       } else {
@@ -421,10 +441,40 @@ class ComponentSearchT {
     return true;
   }
 
+ private:
+  // The direction's view of one compiled relation: forward or reversed
+  // transition maps, endpoint sets, and tape masks (state ids coincide).
+  struct RelView {
+    const std::vector<std::unordered_map<Symbol, std::vector<StateId>>>*
+        transitions = nullptr;
+    const std::vector<StateId>* initial = nullptr;
+    const std::vector<bool>* accepting = nullptr;
+    const std::vector<std::vector<uint64_t>>* tape_masks = nullptr;
+  };
+
+  bool Accepting(const ProductConfig& c) const {
+    for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
+      const std::vector<bool>& accepting = *views_[i].accepting;
+      bool ok = false;
+      auto&& subset = pool_->Get(c.subset_ids[i]);
+      for (StateId s : subset) {
+        if (accepting[s]) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
   // Per-tape letter masks of one relation's current subset, OR of the
-  // compiled per-state tape_masks; cached per interned subset id. The
-  // cache is lane-private even when the pool is shared (ids are global,
-  // mask values are a pure function of the id, so lanes agree).
+  // direction's compiled per-state tape masks (out-letters forward,
+  // in-letters backward); cached per interned subset id. The cache is
+  // lane-private even when the pool is shared (ids are global, mask
+  // values are a pure function of the id and direction, so same-direction
+  // lanes agree; forward and backward contexts are distinct objects, so
+  // the caches never mix directions).
   const std::vector<uint64_t>& SubsetMasks(size_t i, int subset_id) {
     auto& cache = subset_masks_[i];
     if (subset_id >= static_cast<int>(cache.size())) {
@@ -432,13 +482,13 @@ class ComponentSearchT {
     }
     std::vector<uint64_t>& entry = cache[subset_id];
     if (entry.empty()) {
-      const ResolvedRelation& rel =
-          rq_.relations()[comp_.relation_indices[i]];
+      const std::vector<std::vector<uint64_t>>& tape_masks =
+          *views_[i].tape_masks;
       entry.assign(rel_local_tracks_[i].size(), 0);
       auto&& subset = pool_->Get(subset_id);
       for (StateId s : subset) {
         for (size_t tape = 0; tape < entry.size(); ++tape) {
-          entry[tape] |= rel.tape_masks[s][tape];
+          entry[tape] |= tape_masks[s][tape];
         }
       }
     }
@@ -466,14 +516,18 @@ class ComponentSearchT {
                  std::vector<Symbol>* letter, std::vector<NodeId>* next_nodes,
                  const GraphDb& graph, const Callback& emit) {
     if (t == total) {
+      // Successor padmask. Forward, a bit marks a track that PADDED this
+      // step (its word ended; only pads may follow). Backward, a bit
+      // marks a track that has STARTED consuming (a real letter was read
+      // at or after this position; only real letters may precede) — the
+      // per-track options below enforce the matching monotonicity, so in
+      // both directions the bit is a pure function of this step's letter.
       uint32_t new_padmask = 0;
       bool all_pad = true;
       for (int i = 0; i < total; ++i) {
-        if ((*letter)[i] == kPad) {
-          new_padmask |= (1u << i);
-        } else {
-          all_pad = false;
-        }
+        const bool padded = (*letter)[i] == kPad;
+        if (padded != backward_) new_padmask |= (1u << i);
+        if (!padded) all_pad = false;
       }
       if (all_pad) return;
       // Advance relations on their projected letters.
@@ -482,8 +536,7 @@ class ComponentSearchT {
       next.nodes = *next_nodes;
       next.subset_ids.resize(comp_.relation_indices.size());
       for (size_t i = 0; i < comp_.relation_indices.size(); ++i) {
-        const ResolvedRelation& rel =
-            rq_.relations()[comp_.relation_indices[i]];
+        const auto& transitions = *views_[i].transitions;
         const std::vector<int>& local = rel_local_tracks_[i];
         TupleLetter proj(local.size());
         bool rel_all_pad = true;
@@ -492,7 +545,8 @@ class ComponentSearchT {
           if (proj[tape] != kPad) rel_all_pad = false;
         }
         if (rel_all_pad) {
-          // The relation's word has ended; its subset is frozen.
+          // The relation's word does not cover this position (it has
+          // ended forward / not yet begun backward); subset frozen.
           next.subset_ids[i] = current.subset_ids[i];
           continue;
         }
@@ -501,8 +555,8 @@ class ComponentSearchT {
         {
           auto&& subset = pool_->Get(current.subset_ids[i]);
           for (StateId s : subset) {
-            auto it = rel.transitions[s].find(id);
-            if (it != rel.transitions[s].end()) {
+            auto it = transitions[s].find(id);
+            if (it != transitions[s].end()) {
               advanced.insert(advanced.end(), it->second.begin(),
                               it->second.end());
             }
@@ -517,25 +571,39 @@ class ComponentSearchT {
       emit(std::move(next), *letter);
       return;
     }
-    // Option 1: pad (always allowed; forced when already padded).
-    (*letter)[t] = kPad;
-    (*next_nodes)[t] = current.nodes[t];
-    ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
-    // Option 2: follow an edge (only when not padded).
-    if (!(current.padmask & (1u << t))) {
+    // Option 1: pad. Forward: always allowed (a track may end anywhere,
+    // and must keep padding once padded). Backward: allowed only while
+    // the track is still inside its trailing-pad region (bit unset) —
+    // once it has consumed a real letter, pads may no longer precede.
+    if (!backward_ || !(current.padmask & (1u << t))) {
+      (*letter)[t] = kPad;
+      (*next_nodes)[t] = current.nodes[t];
+      ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+    }
+    // Option 2: follow an edge. Forward: only when the track has not
+    // padded (bit unset). Backward: always (a started track must keep
+    // reading; an unstarted one may start here).
+    if (backward_ || !(current.padmask & (1u << t))) {
       const NodeId v = current.nodes[t];
       if (index_ != nullptr && use_masks_) {
         // Indexed path: visit only the letters live for this track and
-        // present at the node (one AND against the node's label mask).
-        // Small adjacency rows are filtered linearly (a binary search per
-        // label costs more than reading a handful of edges); large rows
-        // jump straight to the per-label slices.
-        const uint64_t mask = live_[t] & index_->OutLabelMask(v);
+        // present at the node (one AND against the node's label mask —
+        // out-labels forward, in-labels backward). Small adjacency rows
+        // are filtered linearly (a binary search per label costs more
+        // than reading a handful of edges); large rows jump straight to
+        // the per-label slices.
+        const uint64_t node_mask = backward_ ? index_->InLabelMask(v)
+                                             : index_->OutLabelMask(v);
+        const uint64_t mask = live_[t] & node_mask;
+        const int degree =
+            backward_ ? index_->in_degree(v) : index_->out_degree(v);
         if (mask == 0) {
           // No live letter at this node: the track can only pad.
-        } else if (index_->out_degree(v) <= 16) {
-          std::span<const Symbol> labels = index_->OutLabels(v);
-          std::span<const NodeId> targets = index_->OutTargets(v);
+        } else if (degree <= 16) {
+          std::span<const Symbol> labels =
+              backward_ ? index_->InLabels(v) : index_->OutLabels(v);
+          std::span<const NodeId> targets =
+              backward_ ? index_->InSources(v) : index_->OutTargets(v);
           for (size_t i = 0; i < labels.size(); ++i) {
             if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
               continue;
@@ -550,7 +618,9 @@ class ComponentSearchT {
           while (bits != 0) {
             Symbol label = static_cast<Symbol>(std::countr_zero(bits));
             bits &= bits - 1;
-            for (NodeId to : index_->Out(v, label)) {
+            std::span<const NodeId> slice =
+                backward_ ? index_->In(v, label) : index_->Out(v, label);
+            for (NodeId to : slice) {
               (*letter)[t] = label;
               (*next_nodes)[t] = to;
               ExpandRec(t + 1, total, current, letter, next_nodes, graph,
@@ -559,15 +629,18 @@ class ComponentSearchT {
           }
         }
       } else if (index_ != nullptr) {
-        std::span<const Symbol> labels = index_->OutLabels(v);
-        std::span<const NodeId> targets = index_->OutTargets(v);
+        std::span<const Symbol> labels =
+            backward_ ? index_->InLabels(v) : index_->OutLabels(v);
+        std::span<const NodeId> targets =
+            backward_ ? index_->InSources(v) : index_->OutTargets(v);
         for (size_t i = 0; i < labels.size(); ++i) {
           (*letter)[t] = labels[i];
           (*next_nodes)[t] = targets[i];
           ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
         }
       } else {
-        for (const auto& [label, to] : graph.Out(v)) {
+        const auto& adjacency = backward_ ? graph.In(v) : graph.Out(v);
+        for (const auto& [label, to] : adjacency) {
           (*letter)[t] = label;
           (*next_nodes)[t] = to;
           ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
@@ -582,8 +655,10 @@ class ComponentSearchT {
   Pool* pool_;
   const GraphIndex* index_;  // null = scan GraphDb adjacency (legacy path)
   bool use_masks_;           // base alphabet fits the 64-bit letter masks
+  bool backward_;            // this context runs the reversed-tape mirror
   std::vector<std::vector<int>> rel_local_tracks_;
   std::vector<TupleAlphabet> rel_alphabets_;
+  std::vector<RelView> views_;  // per component relation, per direction_
   // Per component relation: per-tape letter masks keyed by subset id.
   std::vector<std::vector<std::vector<uint64_t>>> subset_masks_;
   std::vector<uint64_t> live_;  // per-track live letters, per expansion
@@ -597,28 +672,45 @@ class ComponentSearchT {
 
 using ComponentSearch = ComponentSearchT<SubsetPool>;
 
-// Derives one start node per track from `binding`; false when repeated
-// tracks have disagreeing from-terms (no search needed).
-bool DeriveStartNodes(const ResolvedQuery& rq, const ComponentSpec& comp,
-                      const std::vector<NodeId>& binding,
-                      std::vector<NodeId>* start_nodes) {
-  start_nodes->assign(comp.tracks.size(), -1);
+// Derives one anchor node per track from `binding` — the from-terms when
+// `from_side`, the to-terms otherwise; false when repeated tracks have
+// disagreeing terms on that side (no search needed).
+bool DeriveAnchorNodes(const ResolvedQuery& rq, const ComponentSpec& comp,
+                       const std::vector<NodeId>& binding, bool from_side,
+                       std::vector<NodeId>* anchor_nodes) {
+  anchor_nodes->assign(comp.tracks.size(), -1);
   for (int idx : comp.atom_indices) {
     const ResolvedAtom& atom = rq.atoms[idx];
+    const ResolvedTerm& term = from_side ? atom.from : atom.to;
     int track = comp.track_of_path[atom.path];
-    NodeId v = atom.from.is_const ? atom.from.node : binding[atom.from.var];
-    if ((*start_nodes)[track] < 0) {
-      (*start_nodes)[track] = v;
-    } else if ((*start_nodes)[track] != v) {
-      return false;  // inconsistent repetition start
+    NodeId v = term.is_const ? term.node : binding[term.var];
+    if ((*anchor_nodes)[track] < 0) {
+      (*anchor_nodes)[track] = v;
+    } else if ((*anchor_nodes)[track] != v) {
+      return false;  // inconsistent repetition anchor
     }
   }
   return true;
 }
 
-// Enumerates start assignments (respecting the bound vars of `fixed`) and
-// runs one serial product BFS per assignment — the ProductExpand body for
-// one overlay of fixed bindings. `start_assignments` counts enumerated
+bool DeriveStartNodes(const ResolvedQuery& rq, const ComponentSpec& comp,
+                      const std::vector<NodeId>& binding,
+                      std::vector<NodeId>* start_nodes) {
+  return DeriveAnchorNodes(rq, comp, binding, /*from_side=*/true,
+                           start_nodes);
+}
+
+bool DeriveEndNodes(const ResolvedQuery& rq, const ComponentSpec& comp,
+                    const std::vector<NodeId>& binding,
+                    std::vector<NodeId>* end_nodes) {
+  return DeriveAnchorNodes(rq, comp, binding, /*from_side=*/false,
+                           end_nodes);
+}
+
+// Enumerates anchor assignments (start vars for forward contexts, end
+// vars for backward ones; respecting the bound vars of `fixed`) and runs
+// one serial product BFS per assignment — the ProductExpand body for one
+// overlay of fixed bindings. `start_assignments` counts enumerated
 // assignments (merged into EvalStats at the operator barrier).
 Status EnumerateAndRun(const ResolvedQuery& rq, ComponentSearch& search,
                        const std::vector<NodeId>& fixed,
@@ -629,32 +721,39 @@ Status EnumerateAndRun(const ResolvedQuery& rq, ComponentSearch& search,
                        CancellationToken* cancel) {
   const ComponentSpec& comp = search.component();
   const GraphDb& graph = *rq.graph;
+  const bool backward = search.backward();
 
   std::vector<NodeId> binding(rq.query->node_variables().size(), -1);
   for (size_t v = 0; v < fixed.size(); ++v) binding[v] = fixed[v];
 
-  const std::vector<int>& start_vars = comp.start_vars;
+  const std::vector<int>& anchor_vars =
+      backward ? comp.end_vars : comp.start_vars;
 
   std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
     if (cancel != nullptr && cancel->cancelled()) {
       return Status::Cancelled(kCancelledMessage);
     }
-    if (i == start_vars.size()) {
-      std::vector<NodeId> start_nodes;
-      if (!DeriveStartNodes(rq, comp, binding, &start_nodes)) {
+    if (i == anchor_vars.size()) {
+      std::vector<NodeId> anchor_nodes;
+      if (!DeriveAnchorNodes(rq, comp, binding, /*from_side=*/!backward,
+                             &anchor_nodes)) {
         return Status::OK();
       }
       ++*start_assignments;
-      return search.Run(start_nodes, binding, results, sink, configs_budget,
+      return search.Run(anchor_nodes, binding, results, sink, configs_budget,
                         cancel);
     }
-    int var = start_vars[i];
+    int var = anchor_vars[i];
     if (binding[var] >= 0) return enumerate(i + 1);
-    // Seed from high-degree nodes first (GraphIndex permutation): under
-    // early termination the densest frontiers reach answers soonest. The
+    // Seed from high-degree nodes first (GraphIndex permutation; the
+    // in-degree-descending one for backward searches): under early
+    // termination the densest frontiers reach answers soonest. The
     // answer set is order-independent (results is a set).
     if (rq.index != nullptr) {
-      for (NodeId v : rq.index->NodesByDegree()) {
+      const std::vector<NodeId>& order = backward
+                                             ? rq.index->NodesByInDegree()
+                                             : rq.index->NodesByDegree();
+      for (NodeId v : order) {
         binding[var] = v;
         Status st = enumerate(i + 1);
         if (!st.ok()) return st;
@@ -690,14 +789,18 @@ struct ExpandLane {
   std::unique_ptr<ComponentSearch> search;
   std::set<std::vector<NodeId>> results;
   uint64_t start_assignments = 0;
+  uint64_t meet_checks = 0;  // bidirectional rows only
+  uint64_t visited_configs = 0;
+  uint64_t frontier_expansions = 0;
+  uint64_t arcs_explored = 0;
   Status status;
 
   ComponentSearch& Search(const ResolvedQuery& rq, const ComponentSpec& comp,
-                          const EvalOptions& options) {
+                          const EvalOptions& options, bool backward) {
     if (search == nullptr) {
       pool = std::make_unique<SubsetPool>();
       search = std::make_unique<ComponentSearch>(rq, comp, options,
-                                                 pool.get());
+                                                 pool.get(), backward);
     }
     return *search;
   }
@@ -717,6 +820,10 @@ Status MergeExpandLanes(std::vector<ExpandLane>& lanes,
   for (ExpandLane& lane : lanes) {
     statuses.push_back(lane.status);
     stats.start_assignments += lane.start_assignments;
+    op.meet_checks += lane.meet_checks;
+    op.visited_configs += lane.visited_configs;
+    op.frontier_expansions += lane.frontier_expansions;
+    stats.arcs_explored += lane.arcs_explored;
     if (lane.search != nullptr) {
       op.visited_configs += lane.search->visited_configs();
       op.frontier_expansions += lane.search->frontier_expansions();
@@ -745,12 +852,232 @@ bool OverlaySeedRow(const BindingTable& seeds, size_t row,
   return true;
 }
 
+// Counters one bidirectional search reports back to its caller (merged
+// into the operator entry at the barrier).
+struct BidirCounters {
+  uint64_t visited_configs = 0;
+  uint64_t frontier_expansions = 0;
+  uint64_t arcs_explored = 0;
+  uint64_t meet_checks = 0;
+};
+
+// Meet-in-the-middle search of ONE fully anchored component: a forward
+// half-search from the start anchors and a backward half-search from the
+// end anchors run level-synchronously, each step expanding whichever
+// side currently has the smaller frontier (frontier-size alternation).
+// Every newly discovered configuration probes the opposite side's meet
+// table — configurations keyed by their packed node tuple — and a meet
+// is a forward/backward pair on the same nodes whose padmasks are
+// compatible (no track both ended forward and started backward) and
+// whose state-subsets intersect for every relation: the forward prefix
+// reaches a state from which the backward suffix accepts. Since the
+// component is fully anchored its satisfying assignment is unique, so
+// the search stops at the first meet (after finishing the level, keeping
+// every counter thread-count-independent); either side exhausting
+// without a meet proves the assignment unsatisfiable, because an
+// accepting word of length m meets at every split 0..m — including the
+// opposite side's initial configuration.
+//
+// Lanes expand the chosen level's frontier morsel-wise against the
+// side's sharded visited table; the opposite side's meet table is frozen
+// during the step, so probes are lock-free reads. Both directions intern
+// subsets in one shared pool over the same state id space, which is what
+// makes the per-relation intersection test meaningful.
+Status BidirectionalProductSearch(const ResolvedQuery& rq,
+                                  const ComponentSpec& comp,
+                                  const EvalOptions& options, int num_lanes,
+                                  const std::vector<NodeId>& start_nodes,
+                                  const std::vector<NodeId>& end_nodes,
+                                  const std::vector<NodeId>& fixed,
+                                  std::atomic<uint64_t>* configs_budget,
+                                  CancellationToken* cancel,
+                                  BidirCounters* counters,
+                                  std::set<std::vector<NodeId>>* results) {
+  const int lanes = std::max(num_lanes, 1);
+  SharedSubsetPool pool;
+  using Ctx = ComponentSearchT<SharedSubsetPool>;
+  std::vector<std::unique_ptr<Ctx>> fwd_ctxs, bwd_ctxs;
+  for (int l = 0; l < lanes; ++l) {
+    fwd_ctxs.push_back(
+        std::make_unique<Ctx>(rq, comp, options, &pool, /*backward=*/false));
+    bwd_ctxs.push_back(
+        std::make_unique<Ctx>(rq, comp, options, &pool, /*backward=*/true));
+  }
+
+  // The anchored component has exactly one candidate assignment; an
+  // inconsistent anchor pair can never bind, so no search runs.
+  std::vector<NodeId> assignment;
+  if (!fwd_ctxs[0]->ConsistentAssignment(start_nodes, end_nodes, fixed,
+                                         &assignment)) {
+    return Status::OK();
+  }
+
+  ProductConfig fwd_init, bwd_init;
+  if (!fwd_ctxs[0]->MakeInitialConfig(start_nodes, &fwd_init) ||
+      !bwd_ctxs[0]->MakeInitialConfig(end_nodes, &bwd_init)) {
+    return Status::OK();
+  }
+
+  ConfigCodec codec(static_cast<int>(comp.tracks.size()),
+                    static_cast<int>(comp.relation_indices.size()),
+                    rq.graph->num_nodes());
+  struct Side {
+    ShardedVisitedTable visited;
+    // Meet table: packed node-tuple hash -> configs discovered here.
+    std::unordered_map<uint64_t, std::vector<ProductConfig>> by_nodes;
+    std::vector<ProductConfig> frontier;
+    Side(const ConfigCodec& codec, int shards) : visited(codec, shards) {}
+  };
+  Side fwd(codec, lanes * 4), bwd(codec, lanes * 4);
+
+  auto node_key = [](const ProductConfig& c) {
+    uint64_t h = 1469598103934665603ULL;
+    for (NodeId v : c.nodes) {
+      h ^= static_cast<uint32_t>(v);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+
+  // Forward config `f` and backward config `b` meet iff they sit on the
+  // same nodes, no track has both ended (forward pad bit) and started
+  // consuming backward (backward bit), and every relation's subsets
+  // intersect (sorted two-pointer test over the shared pool's vectors).
+  auto meets = [&](const ProductConfig& f, const ProductConfig& b) {
+    if (f.nodes != b.nodes) return false;
+    if ((f.padmask & b.padmask) != 0) return false;
+    for (size_t i = 0; i < f.subset_ids.size(); ++i) {
+      auto&& s_fwd = pool.Get(f.subset_ids[i]);
+      auto&& s_bwd = pool.Get(b.subset_ids[i]);
+      size_t a = 0, b2 = 0;
+      bool hit = false;
+      while (a < s_fwd.size() && b2 < s_bwd.size()) {
+        if (s_fwd[a] < s_bwd[b2]) {
+          ++a;
+        } else if (s_fwd[a] > s_bwd[b2]) {
+          ++b2;
+        } else {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) return false;
+    }
+    return true;
+  };
+
+  std::atomic<bool> found{false};
+  std::atomic<uint64_t> meet_checks{0};
+
+  // Probes one newly discovered config against the OPPOSITE side's meet
+  // table (frozen while this side expands). The whole bucket is scanned —
+  // no early break — so meet_checks depends only on the level's config
+  // set, never on lane scheduling.
+  auto probe = [&](const ProductConfig& c, bool c_is_fwd, const Side& other) {
+    auto it = other.by_nodes.find(node_key(c));
+    if (it == other.by_nodes.end()) return;
+    for (const ProductConfig& o : it->second) {
+      meet_checks.fetch_add(1, std::memory_order_relaxed);
+      const ProductConfig& f = c_is_fwd ? c : o;
+      const ProductConfig& b = c_is_fwd ? o : c;
+      if (meets(f, b)) found.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  auto register_config = [&](Side& side, ProductConfig&& c) {
+    side.by_nodes[node_key(c)].push_back(c);
+    side.frontier.push_back(std::move(c));
+  };
+
+  // Seed both sides; the forward init probing the backward init covers
+  // the split-at-0 case (all-ε words: start == end anchors and every
+  // relation accepting an initial state).
+  fwd.visited.Insert(fwd_init);
+  bwd.visited.Insert(bwd_init);
+  register_config(bwd, std::move(bwd_init));
+  probe(fwd_init, /*c_is_fwd=*/true, bwd);
+  register_config(fwd, std::move(fwd_init));
+
+  Status status = Status::OK();
+  while (!found.load(std::memory_order_relaxed) && !fwd.frontier.empty() &&
+         !bwd.frontier.empty()) {
+    const bool step_fwd = fwd.frontier.size() <= bwd.frontier.size();
+    Side& side = step_fwd ? fwd : bwd;
+    Side& other = step_fwd ? bwd : fwd;
+    auto& ctxs = step_fwd ? fwd_ctxs : bwd_ctxs;
+    const std::vector<NodeId>& anchors = step_fwd ? start_nodes : end_nodes;
+
+    const size_t n = side.frontier.size();
+    const size_t grain = std::max<size_t>(1, n / (lanes * 4));
+    std::vector<std::vector<ProductConfig>> slots((n + grain - 1) / grain);
+    std::atomic<bool> failed{false};
+    std::vector<Status> lane_statuses(lanes);
+    ParallelMorsels(
+        lanes, n, grain, [&](size_t begin, size_t end, int lane_id) {
+          Ctx& ctx = *ctxs[lane_id];
+          std::vector<ProductConfig>& slot = slots[begin / grain];
+          for (size_t i = begin; i < end; ++i) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            if (cancel != nullptr && cancel->cancelled()) {
+              lane_statuses[lane_id] = Status::Cancelled(kCancelledMessage);
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (configs_budget->fetch_add(1, std::memory_order_relaxed) + 1 >
+                options.max_configs) {
+              lane_statuses[lane_id] = Status::ResourceExhausted(
+                  "product search exceeded max_configs=" +
+                  std::to_string(options.max_configs));
+              failed.store(true, std::memory_order_relaxed);
+              if (cancel != nullptr) cancel->Cancel();
+              return;
+            }
+            bool accepted = false;
+            ctx.ProcessConfig(
+                side.frontier[i], anchors, fixed, /*results=*/nullptr,
+                &accepted,
+                [&](ProductConfig next, const std::vector<Symbol>& letters) {
+                  (void)letters;
+                  if (side.visited.Insert(next)) {
+                    probe(next, step_fwd, other);
+                    slot.push_back(std::move(next));
+                  }
+                });
+            (void)accepted;
+          }
+        });
+    status = CombineLaneStatuses(lane_statuses);
+    if (!status.ok()) break;
+    // Serial phase: register the level's discoveries (meet table + next
+    // frontier) in slot order.
+    side.frontier.clear();
+    for (std::vector<ProductConfig>& slot : slots) {
+      for (ProductConfig& c : slot) register_config(side, std::move(c));
+    }
+  }
+
+  for (int l = 0; l < lanes; ++l) {
+    counters->frontier_expansions += fwd_ctxs[l]->frontier_expansions() +
+                                     bwd_ctxs[l]->frontier_expansions();
+    counters->arcs_explored +=
+        fwd_ctxs[l]->arcs_explored() + bwd_ctxs[l]->arcs_explored();
+  }
+  counters->visited_configs += fwd.visited.size() + bwd.visited.size();
+  counters->meet_checks += meet_checks.load(std::memory_order_relaxed);
+  if (!status.ok()) return status;
+  if (found.load(std::memory_order_relaxed) && results != nullptr) {
+    results->insert(assignment);
+  }
+  return Status::OK();
+}
+
 // Morsel-parallel ProductExpand over seed rows: lanes claim row morsels
 // and run one serial seeded search per row (each lane reuses one search —
 // warm subset pools and mask caches across its rows).
 Status MorselSeedRowsExpand(const ResolvedQuery& rq,
                             const ComponentSpec& comp,
-                            const EvalOptions& options, int num_lanes,
+                            const EvalOptions& options,
+                            SearchDirection direction, int num_lanes,
                             const std::vector<NodeId>& fixed,
                             const BindingTable& seeds,
                             std::atomic<uint64_t>* configs_budget,
@@ -761,47 +1088,75 @@ Status MorselSeedRowsExpand(const ResolvedQuery& rq,
   std::atomic<bool> failed{false};
   const size_t grain =
       std::max<size_t>(1, seeds.rows.size() / (num_lanes * 8));
-  ParallelMorsels(num_lanes, seeds.rows.size(), grain,
-                  [&](size_t begin, size_t end, int lane_id) {
-                    ExpandLane& lane = lanes[lane_id];
-                    ComponentSearch& search = lane.Search(rq, comp, options);
-                    std::vector<NodeId> overlay;
-                    for (size_t r = begin; r < end; ++r) {
-                      if (failed.load(std::memory_order_relaxed) ||
-                          cancel->cancelled()) {
-                        return;
-                      }
-                      overlay = fixed;
-                      if (!OverlaySeedRow(seeds, r, &overlay)) continue;
-                      Status st = EnumerateAndRun(
-                          rq, search, overlay, &lane.start_assignments,
-                          &lane.results, nullptr, configs_budget, cancel);
-                      if (!st.ok()) {
-                        lane.status = st;
-                        failed.store(true, std::memory_order_relaxed);
-                        cancel->Cancel();
-                        return;
-                      }
-                    }
-                  });
+  ParallelMorsels(
+      num_lanes, seeds.rows.size(), grain,
+      [&](size_t begin, size_t end, int lane_id) {
+        ExpandLane& lane = lanes[lane_id];
+        std::vector<NodeId> overlay;
+        for (size_t r = begin; r < end; ++r) {
+          if (failed.load(std::memory_order_relaxed) ||
+              cancel->cancelled()) {
+            return;
+          }
+          overlay = fixed;
+          if (!OverlaySeedRow(seeds, r, &overlay)) continue;
+          Status st;
+          if (direction == SearchDirection::kBidirectional) {
+            // Every endpoint is bound per row: one serial
+            // meet-in-the-middle search per seed row.
+            std::vector<NodeId> starts, ends;
+            if (!DeriveStartNodes(rq, comp, overlay, &starts) ||
+                !DeriveEndNodes(rq, comp, overlay, &ends)) {
+              continue;
+            }
+            ++lane.start_assignments;
+            BidirCounters counters;
+            st = BidirectionalProductSearch(rq, comp, options,
+                                            /*num_lanes=*/1, starts, ends,
+                                            overlay, configs_budget, cancel,
+                                            &counters, &lane.results);
+            lane.visited_configs += counters.visited_configs;
+            lane.frontier_expansions += counters.frontier_expansions;
+            lane.arcs_explored += counters.arcs_explored;
+            lane.meet_checks += counters.meet_checks;
+          } else {
+            ComponentSearch& search = lane.Search(
+                rq, comp, options,
+                direction == SearchDirection::kBackward);
+            st = EnumerateAndRun(rq, search, overlay,
+                                 &lane.start_assignments, &lane.results,
+                                 nullptr, configs_budget, cancel);
+          }
+          if (!st.ok()) {
+            lane.status = st;
+            failed.store(true, std::memory_order_relaxed);
+            cancel->Cancel();
+            return;
+          }
+        }
+      });
   return MergeExpandLanes(lanes, cancel, stats, op, results);
 }
 
-// Morsel-parallel ProductExpand over the first unbound start variable:
-// the degree-ordered node list is split into morsels, and each lane pins
-// the variable to its claimed nodes, serially enumerating any remaining
-// start variables per pin.
+// Morsel-parallel ProductExpand over the first unbound anchor variable
+// (start vars forward, end vars backward): the degree-ordered node list
+// (in-degree-descending for backward) is split into morsels, and each
+// lane pins the variable to its claimed nodes, serially enumerating any
+// remaining anchor variables per pin.
 Status MorselStartNodesExpand(const ResolvedQuery& rq,
                               const ComponentSpec& comp,
-                              const EvalOptions& options, int num_lanes,
+                              const EvalOptions& options,
+                              SearchDirection direction, int num_lanes,
                               const std::vector<NodeId>& overlay, int var,
                               std::atomic<uint64_t>* configs_budget,
                               CancellationToken* cancel, EvalStats& stats,
                               OperatorStats& op,
                               std::set<std::vector<NodeId>>* results) {
+  const bool backward = direction == SearchDirection::kBackward;
   std::vector<NodeId> order;
   if (rq.index != nullptr) {
-    order = rq.index->NodesByDegree();
+    order = backward ? rq.index->NodesByInDegree()
+                     : rq.index->NodesByDegree();
   } else {
     order.resize(rq.graph->num_nodes());
     std::iota(order.begin(), order.end(), 0);
@@ -812,7 +1167,8 @@ Status MorselStartNodesExpand(const ResolvedQuery& rq,
   ParallelMorsels(num_lanes, order.size(), grain,
                   [&](size_t begin, size_t end, int lane_id) {
                     ExpandLane& lane = lanes[lane_id];
-                    ComponentSearch& search = lane.Search(rq, comp, options);
+                    ComponentSearch& search =
+                        lane.Search(rq, comp, options, backward);
                     std::vector<NodeId> pinned;
                     for (size_t i = begin; i < end; ++i) {
                       if (failed.load(std::memory_order_relaxed) ||
@@ -835,25 +1191,29 @@ Status MorselStartNodesExpand(const ResolvedQuery& rq,
   return MergeExpandLanes(lanes, cancel, stats, op, results);
 }
 
-// Shared-frontier parallel expansion of ONE fully anchored product
-// search: every lane pops config batches off a shared frontier queue,
+// Shared-frontier parallel expansion of ONE anchored product search
+// (anchored on its direction's side: start nodes forward, end nodes
+// backward): every lane pops config batches off a shared frontier queue,
 // expands them through its private ComponentSearchT context, and inserts
 // successors into the sharded visited table (striped per-shard locks);
 // only the inserting lane enqueues a config, so each configuration is
 // processed exactly once. Termination: empty queue + no lane mid-batch.
 Status SharedFrontierExpand(const ResolvedQuery& rq,
                             const ComponentSpec& comp,
-                            const EvalOptions& options, int num_lanes,
-                            const std::vector<NodeId>& start_nodes,
+                            const EvalOptions& options,
+                            SearchDirection direction, int num_lanes,
+                            const std::vector<NodeId>& anchor_nodes,
                             const std::vector<NodeId>& fixed,
                             std::atomic<uint64_t>* configs_budget,
                             CancellationToken* cancel, EvalStats& stats,
                             OperatorStats& op,
                             std::set<std::vector<NodeId>>* results) {
+  const bool backward = direction == SearchDirection::kBackward;
   SharedSubsetPool pool;
-  ComponentSearchT<SharedSubsetPool> init_ctx(rq, comp, options, &pool);
+  ComponentSearchT<SharedSubsetPool> init_ctx(rq, comp, options, &pool,
+                                              backward);
   ProductConfig init;
-  if (!init_ctx.MakeInitialConfig(start_nodes, &init)) return Status::OK();
+  if (!init_ctx.MakeInitialConfig(anchor_nodes, &init)) return Status::OK();
 
   ConfigCodec codec(static_cast<int>(comp.tracks.size()),
                     static_cast<int>(comp.relation_indices.size()),
@@ -880,7 +1240,8 @@ Status SharedFrontierExpand(const ResolvedQuery& rq,
 
   ThreadPool::Shared().RunOnWorkers(num_lanes, [&](int lane_id) {
     FrontierLane& lane = lanes[lane_id];
-    ComponentSearchT<SharedSubsetPool> ctx(rq, comp, options, &pool);
+    ComponentSearchT<SharedSubsetPool> ctx(rq, comp, options, &pool,
+                                           backward);
     std::vector<ProductConfig> batch;
     std::vector<ProductConfig> outbox;
     std::set<std::vector<NodeId>>* lane_results =
@@ -906,7 +1267,7 @@ Status SharedFrontierExpand(const ResolvedQuery& rq,
         }
         bool accepted = false;
         ctx.ProcessConfig(
-            config, start_nodes, fixed,
+            config, anchor_nodes, fixed,
             lane_results != nullptr ? lane_results : &scratch, &accepted,
             [&](ProductConfig next, const std::vector<Symbol>& letters) {
               (void)letters;
@@ -946,15 +1307,19 @@ Status SharedFrontierExpand(const ResolvedQuery& rq,
 }
 
 // ReachabilityScan leaf: single path atom, all-unary languages. One
-// intersected-NFA BFS per source (restricted to seeded sources when
-// available) instead of the subset-tracking product search; the per-source
-// BFSes run morsel-parallel on `num_threads` lanes.
+// intersected-NFA BFS per anchor (restricted to seeded sources/targets
+// when available) instead of the subset-tracking product search; the
+// per-anchor BFSes run morsel-parallel on `num_threads` lanes. The
+// direction decides which side anchors the BFSes: forward scans from
+// sources, backward scans from targets through the reversed NFA over
+// in-edges, and bidirectional runs one meet-in-the-middle reachability
+// probe per (source, target) pair.
 Status ScanComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                        const EvalOptions& options,
                        const std::vector<NodeId>& fixed,
-                       const BindingTable* seeds, int num_threads,
-                       CancellationToken* cancel, EvalStats& stats,
-                       OperatorStats& op,
+                       const BindingTable* seeds, SearchDirection direction,
+                       int num_threads, CancellationToken* cancel,
+                       EvalStats& stats, OperatorStats& op,
                        std::set<std::vector<NodeId>>* results) {
   const ResolvedAtom& atom = rq.atoms[comp.atom_indices[0]];
   std::vector<const RegularRelation*> languages;
@@ -962,43 +1327,87 @@ Status ScanComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
     languages.push_back(rq.relations()[r].relation);
   }
 
-  // Source restriction: constant > fixed > seeded column > all nodes.
+  // Endpoint restrictions: constant > fixed > seeded column > all nodes.
   auto bound_of = [&](const ResolvedTerm& term) -> NodeId {
     if (term.is_const) return term.node;
     return fixed[term.var];
   };
-  NodeId from_bound = bound_of(atom.from);
-
-  std::vector<NodeId> sources;
-  const std::vector<NodeId>* source_ptr = nullptr;
-  int seed_from_col =
-      (seeds != nullptr && !atom.from.is_const && fixed[atom.from.var] < 0)
-          ? seeds->ColumnOf(atom.from.var)
-          : -1;
-  if (from_bound >= 0) {
-    sources.push_back(from_bound);
-    source_ptr = &sources;
-  } else if (seed_from_col >= 0) {
+  auto collect = [&](const ResolvedTerm& term, std::vector<NodeId>* out) {
+    NodeId bound = bound_of(term);
+    if (bound >= 0) {
+      out->push_back(bound);
+      return true;
+    }
+    int seed_col = (seeds != nullptr && !term.is_const)
+                       ? seeds->ColumnOf(term.var)
+                       : -1;
+    if (seed_col < 0) return false;
     std::set<NodeId> distinct;
     for (const std::vector<NodeId>& row : seeds->rows) {
-      distinct.insert(row[seed_from_col]);
+      distinct.insert(row[seed_col]);
     }
-    sources.assign(distinct.begin(), distinct.end());
-    source_ptr = &sources;
+    out->assign(distinct.begin(), distinct.end());
+    return true;
+  };
+  // Only the sides the direction anchors are materialized (a forward
+  // scan never reads the target set; distilling it from a large seed
+  // table would be pure overhead). A bidirectional request collects
+  // both — it may degrade to either side below.
+  std::vector<NodeId> sources, targets;
+  const std::vector<NodeId>* source_ptr = nullptr;
+  const std::vector<NodeId>* target_ptr = nullptr;
+  if (direction != SearchDirection::kBackward) {
+    source_ptr = collect(atom.from, &sources) ? &sources : nullptr;
+  }
+  if (direction != SearchDirection::kForward) {
+    target_ptr = collect(atom.to, &targets) ? &targets : nullptr;
   }
 
+  // Degrade infeasible or unprofitable requests: bidirectional needs
+  // both endpoint sets, and a pairwise meet probe pays a per-pair
+  // (state × node) bitmap reset, so it only beats a one-sided sweep
+  // when the anchor product is tiny (the constant-anchored case the
+  // planner targets). Larger seeded sets run the sweep anchored on the
+  // smaller side instead; a backward scan is always feasible (all nodes
+  // anchor when no target restriction exists).
+  if (direction == SearchDirection::kBidirectional) {
+    if (source_ptr == nullptr || target_ptr == nullptr) {
+      direction = target_ptr != nullptr ? SearchDirection::kBackward
+                                        : SearchDirection::kForward;
+    } else if (sources.size() * targets.size() > 4) {
+      direction = targets.size() < sources.size()
+                      ? SearchDirection::kBackward
+                      : SearchDirection::kForward;
+    }
+  }
+  op.direction = SearchDirectionName(direction);
+
   ReachabilityScanStats scan_stats;
-  std::vector<std::pair<NodeId, NodeId>> pairs = ReachabilityPairs(
-      *rq.graph, languages, rq.index.get(), source_ptr, &scan_stats,
-      num_threads, cancel, options.deterministic);
+  uint64_t meet_checks = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs = ReachabilityPairsDirected(
+      *rq.graph, languages, rq.index.get(), source_ptr, target_ptr,
+      direction, &scan_stats, &meet_checks, num_threads, cancel,
+      options.deterministic);
   if (cancel != nullptr && cancel->cancelled()) {
     return Status::Cancelled(kCancelledMessage);
   }
   op.frontier_expansions += scan_stats.frontier_expansions;
   op.visited_configs += scan_stats.visited_states;
+  op.meet_checks += meet_checks;
   stats.arcs_explored += scan_stats.frontier_expansions;
-  stats.start_assignments +=
-      source_ptr != nullptr ? sources.size() : rq.graph->num_nodes();
+  switch (direction) {
+    case SearchDirection::kBidirectional:
+      stats.start_assignments += sources.size() * targets.size();
+      break;
+    case SearchDirection::kBackward:
+      stats.start_assignments +=
+          target_ptr != nullptr ? targets.size() : rq.graph->num_nodes();
+      break;
+    default:
+      stats.start_assignments +=
+          source_ptr != nullptr ? sources.size() : rq.graph->num_nodes();
+      break;
+  }
   // Charge visited (language state, node) pairs to the product budget —
   // the same states a product search over this component would have
   // interned — so the ReachabilityScan routing preserves the caller's
@@ -1054,13 +1463,63 @@ std::string ComponentDetail(const ComponentSpec& comp) {
   return detail;
 }
 
+// True when every variable of `vars` is pinned by the overlay sources a
+// leaf execution will see: the fixed bindings, or a seed column.
+bool VarsBound(const std::vector<int>& vars, const std::vector<NodeId>& fixed,
+               const BindingTable* seeds) {
+  for (int v : vars) {
+    if (fixed[v] >= 0) continue;
+    if (seeds != nullptr && seeds->ColumnOf(v) >= 0) continue;
+    return false;
+  }
+  return true;
+}
+
+// Resolves the direction a ProductExpand leaf actually runs: the
+// EvalOptions override beats the planner's per-leaf choice, graph
+// recording pins forward (the sink's discovery array is a forward
+// product automaton), and an infeasible bidirectional request (some
+// endpoint unbound) degrades to backward when the end side is bound,
+// else forward.
+SearchDirection ResolveLeafDirection(SearchDirection planned,
+                                     const EvalOptions& options,
+                                     const ComponentSpec& comp,
+                                     const std::vector<NodeId>& fixed,
+                                     const BindingTable* seeds,
+                                     bool graph_sink_present) {
+  if (graph_sink_present) return SearchDirection::kForward;
+  SearchDirection dir = options.direction != SearchDirection::kAuto
+                            ? options.direction
+                            : planned;
+  if (dir == SearchDirection::kAuto) dir = SearchDirection::kForward;
+  if (dir == SearchDirection::kBidirectional &&
+      !(VarsBound(comp.start_vars, fixed, seeds) &&
+        VarsBound(comp.end_vars, fixed, seeds))) {
+    dir = VarsBound(comp.end_vars, fixed, seeds)
+              ? SearchDirection::kBackward
+              : SearchDirection::kForward;
+  }
+  // A bidirectional run pays per-search setup (shared subset pool, two
+  // sharded visited tables, meet tables), and the seeded form replays
+  // one run PER ROW; with a large seed table those constants dominate
+  // the tiny per-row searches, so degrade to the warm per-lane forward
+  // machinery (the ProductExpand mirror of ScanComponentOp's
+  // anchor-product degrade).
+  if (dir == SearchDirection::kBidirectional && seeds != nullptr &&
+      seeds->rows.size() > 128) {
+    dir = SearchDirection::kForward;
+  }
+  return dir;
+}
+
 }  // namespace
 
 Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                           const EvalOptions& options,
                           const std::vector<NodeId>& fixed,
                           const BindingTable* seeds, double est_rows,
-                          int num_threads, EvalStats& stats,
+                          SearchDirection direction, int num_threads,
+                          EvalStats& stats,
                           std::set<std::vector<NodeId>>* results,
                           ProductGraphSink* graph_sink) {
   OperatorStats op;
@@ -1073,6 +1532,9 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
   // discovery array), so it pins the serial path.
   int lanes = std::max(num_threads, 1);
   if (graph_sink != nullptr) lanes = 1;
+
+  const SearchDirection dir = ResolveLeafDirection(
+      direction, options, comp, fixed, seeds, graph_sink != nullptr);
 
   // One cancellation token per operator run: the caller's (so external
   // kills and sink early-termination fan out to every lane), or a local
@@ -1090,16 +1552,54 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
       IsReachabilityScanComponent(rq, comp)) {
     op.op = "ReachabilityScan";
     op.threads = lanes;
-    status = ScanComponentOp(rq, comp, options, fixed, seeds, lanes, cancel,
-                             stats, op, results);
+    status = ScanComponentOp(rq, comp, options, fixed, seeds, dir, lanes,
+                             cancel, stats, op, results);
   } else {
     op.op = "ProductExpand";
+    op.direction = SearchDirectionName(dir);
     const bool seeded = seeds != nullptr && !seeds->vars.empty();
-    if (lanes <= 1) {
-      // Exact legacy single-threaded path.
+    const bool backward = dir == SearchDirection::kBackward;
+    if (dir == SearchDirection::kBidirectional && lanes <= 1) {
+      // Serial meet-in-the-middle: one anchored bidirectional search per
+      // overlay (every endpoint is bound, so each overlay has a unique
+      // candidate assignment).
+      op.threads = 1;
+      uint64_t start_assignments = 0;
+      BidirCounters counters;
+      auto run_bidir = [&](const std::vector<NodeId>& overlay) -> Status {
+        std::vector<NodeId> starts, ends;
+        if (!DeriveStartNodes(rq, comp, overlay, &starts) ||
+            !DeriveEndNodes(rq, comp, overlay, &ends)) {
+          return Status::OK();
+        }
+        ++start_assignments;
+        return BidirectionalProductSearch(rq, comp, options, /*num_lanes=*/1,
+                                          starts, ends, overlay,
+                                          &configs_budget, cancel, &counters,
+                                          results);
+      };
+      if (seeded) {
+        std::vector<NodeId> overlay;
+        for (size_t r = 0; r < seeds->rows.size(); ++r) {
+          overlay = fixed;
+          if (!OverlaySeedRow(*seeds, r, &overlay)) continue;
+          status = run_bidir(overlay);
+          if (!status.ok()) break;
+        }
+      } else {
+        status = run_bidir(fixed);
+      }
+      stats.start_assignments += start_assignments;
+      stats.arcs_explored += counters.arcs_explored;
+      op.visited_configs = counters.visited_configs;
+      op.frontier_expansions = counters.frontier_expansions;
+      op.meet_checks = counters.meet_checks;
+    } else if (lanes <= 1) {
+      // Exact legacy single-threaded path (forward), or its backward
+      // mirror over the reversed tape.
       op.threads = 1;
       SubsetPool pool;
-      ComponentSearch search(rq, comp, options, &pool);
+      ComponentSearch search(rq, comp, options, &pool, backward);
       uint64_t start_assignments = 0;
       if (seeded) {
         // Sideways information passing: one seeded expansion per row.
@@ -1123,9 +1623,9 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
       op.frontier_expansions = search.frontier_expansions();
     } else if (seeded && seeds->rows.size() >= 2) {
       op.threads = lanes;
-      status = MorselSeedRowsExpand(rq, comp, options, lanes, fixed, *seeds,
-                                    &configs_budget, cancel, stats, op,
-                                    results);
+      status = MorselSeedRowsExpand(rq, comp, options, dir, lanes, fixed,
+                                    *seeds, &configs_budget, cancel, stats,
+                                    op, results);
     } else {
       // Single overlay: `fixed`, or `fixed` plus the lone seed row.
       std::vector<NodeId> overlay = fixed;
@@ -1134,9 +1634,28 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
         feasible = !seeds->rows.empty() &&
                    OverlaySeedRow(*seeds, 0, &overlay);
       }
-      if (feasible) {
+      if (feasible && dir == SearchDirection::kBidirectional) {
+        // Fully anchored: both half-searches expand morsel-parallel.
+        std::vector<NodeId> starts, ends;
+        if (DeriveStartNodes(rq, comp, overlay, &starts) &&
+            DeriveEndNodes(rq, comp, overlay, &ends)) {
+          op.threads = lanes;
+          ++stats.start_assignments;
+          BidirCounters counters;
+          status = BidirectionalProductSearch(rq, comp, options, lanes,
+                                              starts, ends, overlay,
+                                              &configs_budget, cancel,
+                                              &counters, results);
+          stats.arcs_explored += counters.arcs_explored;
+          op.visited_configs = counters.visited_configs;
+          op.frontier_expansions = counters.frontier_expansions;
+          op.meet_checks = counters.meet_checks;
+        }
+      } else if (feasible) {
+        const std::vector<int>& anchor_vars =
+            backward ? comp.end_vars : comp.start_vars;
         int first_unbound = -1;
-        for (int v : comp.start_vars) {
+        for (int v : anchor_vars) {
           if (overlay[v] < 0) {
             first_unbound = v;
             break;
@@ -1144,22 +1663,30 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
         }
         if (first_unbound >= 0) {
           op.threads = lanes;
-          status = MorselStartNodesExpand(rq, comp, options, lanes, overlay,
-                                          first_unbound, &configs_budget,
-                                          cancel, stats, op, results);
+          status = MorselStartNodesExpand(rq, comp, options, dir, lanes,
+                                          overlay, first_unbound,
+                                          &configs_budget, cancel, stats,
+                                          op, results);
         } else {
-          // Every start variable anchored: ONE product search, expanded
-          // cooperatively against the sharded visited table.
-          std::vector<NodeId> start_nodes;
-          if (DeriveStartNodes(rq, comp, overlay, &start_nodes)) {
+          // Every anchor variable of this direction bound: ONE product
+          // search, expanded cooperatively against the sharded visited
+          // table.
+          std::vector<NodeId> anchor_nodes;
+          const bool derived =
+              backward ? DeriveEndNodes(rq, comp, overlay, &anchor_nodes)
+                       : DeriveStartNodes(rq, comp, overlay, &anchor_nodes);
+          if (derived) {
             op.threads = lanes;
-            status = SharedFrontierExpand(rq, comp, options, lanes,
-                                          start_nodes, overlay,
+            status = SharedFrontierExpand(rq, comp, options, dir, lanes,
+                                          anchor_nodes, overlay,
                                           &configs_budget, cancel, stats,
                                           op, results);
           }
         }
       }
+    }
+    if (status.ok() && cancel != nullptr && cancel->cancelled()) {
+      status = Status::Cancelled(kCancelledMessage);
     }
   }
 

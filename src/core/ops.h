@@ -23,6 +23,16 @@
 // BFSes only from seeded sources) instead of the full degree-ordered
 // seeding over every node. The planner decides when seeding pays off.
 //
+// Leaves are *direction-aware* (core/planner.h picks per leaf): forward
+// expands out-edges from start anchors; backward runs the mirror search
+// over GraphIndex::In() slices through the compiled reversed automata
+// (ResolvedRelation::rev_*), turning a bound-end/free-start leaf from
+// |V| forward searches into one backward search; bidirectional runs both
+// half-searches of a fully anchored leaf, always expanding the smaller
+// frontier, and stops at the first meet — a forward and a backward
+// configuration on the same nodes whose state-subsets intersect for
+// every relation (meet-in-the-middle).
+//
 // Execution is morsel-driven parallel (core/parallel.h) when the caller
 // passes num_threads > 1: leaves partition their seed sets (scan sources,
 // seed rows, start assignments) into morsels pulled by worker lanes, a
@@ -84,6 +94,7 @@ struct ComponentSpec {
   std::vector<int> relation_indices;
   std::vector<int> vars;        // global node-var ids appearing here
   std::vector<int> start_vars;  // vars in from-positions
+  std::vector<int> end_vars;    // vars in to-positions
 };
 
 ComponentSpec BuildComponentSpec(const ResolvedQuery& rq,
@@ -122,16 +133,23 @@ struct ProductGraphSink {
 /// ReachabilityScan BFSes only from seeded source nodes and filters ends.
 /// Satisfying component assignments (parallel to comp.vars) accumulate in
 /// `results`; the product graph is recorded into `graph_sink` when
-/// non-null (graph recording forces the ProductExpand path and serial
-/// execution). `num_threads` is the leaf's worker-lane count (1 = exact
-/// legacy serial execution; callers resolve EvalOptions::num_threads via
-/// ResolveNumThreads first). Appends one OperatorStats entry with the
-/// given planner estimate (`est_rows` < 0 when unplanned).
+/// non-null (graph recording forces the ProductExpand path, serial
+/// execution, and the forward direction). `direction` is the planner's
+/// per-leaf choice (kAuto = forward); EvalOptions::direction overrides
+/// it, and infeasible requests degrade (bidirectional needs every
+/// endpoint bound by fixed/seeds/constants, else it falls back to
+/// backward when the end side is bound, else forward). `num_threads` is
+/// the leaf's worker-lane count (1 = exact legacy serial execution;
+/// callers resolve EvalOptions::num_threads via ResolveNumThreads
+/// first). Appends one OperatorStats entry with the given planner
+/// estimate (`est_rows` < 0 when unplanned), the executed direction, and
+/// — for bidirectional leaves — the meet-probe count.
 Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
                           const EvalOptions& options,
                           const std::vector<NodeId>& fixed,
                           const BindingTable* seeds, double est_rows,
-                          int num_threads, EvalStats& stats,
+                          SearchDirection direction, int num_threads,
+                          EvalStats& stats,
                           std::set<std::vector<NodeId>>* results,
                           ProductGraphSink* graph_sink);
 

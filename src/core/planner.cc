@@ -33,6 +33,7 @@ namespace {
 struct ComponentVars {
   std::vector<int> vars;
   std::vector<int> start_vars;
+  std::vector<int> end_vars;
   std::vector<int> tracks;        // global path-var ids
   int const_endpoints = 0;        // constant/parameter atom endpoints
 };
@@ -49,9 +50,9 @@ ComponentVars CollectComponentVars(const Query& query,
     if (std::find(out.vars.begin(), out.vars.end(), var) == out.vars.end()) {
       out.vars.push_back(var);
     }
-    if (is_start && std::find(out.start_vars.begin(), out.start_vars.end(),
-                              var) == out.start_vars.end()) {
-      out.start_vars.push_back(var);
+    std::vector<int>& side = is_start ? out.start_vars : out.end_vars;
+    if (std::find(side.begin(), side.end(), var) == side.end()) {
+      side.push_back(var);
     }
   };
   for (int idx : atom_indices) {
@@ -98,12 +99,18 @@ OpKind LeafKind(const Query& query, const CompiledQuery& compiled,
   return OpKind::kReachabilityScan;
 }
 
-// Per-track statistics under the live first-letter mask: the letters the
-// relations' initial state-sets can read on this track.
+// Per-track statistics under the live first-letter masks: the letters
+// the relations' initial state-sets can read on this track (forward),
+// and — for the backward mirror — the letters their accepting states can
+// be reached by (rev_tape_masks of the reversed tape's initial states,
+// i.e. the LAST letters of the track's words).
 struct TrackStats {
   double live_edges = 0;
   double live_sources = 0;
   double live_targets = 0;
+  double bwd_live_edges = 0;
+  double bwd_live_sources = 0;
+  double bwd_live_targets = 0;
   double states = 1;         // product of relation automaton sizes
   bool accepts_empty = true; // every relation accepts ε on this track
 };
@@ -113,6 +120,7 @@ TrackStats ComputeTrackStats(const CompiledQuery& compiled, int track,
   TrackStats out;
   const int num_labels = index.num_labels();
   uint64_t mask = ~0ULL;
+  uint64_t bwd_mask = ~0ULL;
   bool constrained = false;
   for (const ResolvedRelation& rel : compiled.relations) {
     bool reads = false;
@@ -122,6 +130,9 @@ TrackStats ComputeTrackStats(const CompiledQuery& compiled, int track,
       uint64_t m = 0;
       for (StateId s : rel.initial) m |= rel.tape_masks[s][tape];
       mask &= m;
+      uint64_t bm = 0;
+      for (StateId s : rel.rev_initial) bm |= rel.rev_tape_masks[s][tape];
+      bwd_mask &= bm;
       constrained = true;
     }
     if (reads) {
@@ -135,19 +146,29 @@ TrackStats ComputeTrackStats(const CompiledQuery& compiled, int track,
   }
   const double V = std::max(1, index.num_nodes());
   if (!constrained || num_labels > 64) {
-    out.live_edges = index.num_edges();
-    out.live_sources = V;
-    out.live_targets = V;
+    out.live_edges = out.bwd_live_edges = index.num_edges();
+    out.live_sources = out.bwd_live_sources = V;
+    out.live_targets = out.bwd_live_targets = V;
     return out;
   }
   for (Symbol l = 0; l < num_labels && l < 64; ++l) {
-    if (((mask >> l) & 1) == 0) continue;
-    out.live_edges += static_cast<double>(index.LabelCount(l));
-    out.live_sources += static_cast<double>(index.LabelSourceCount(l));
-    out.live_targets += static_cast<double>(index.LabelTargetCount(l));
+    if ((mask >> l) & 1) {
+      out.live_edges += static_cast<double>(index.LabelCount(l));
+      out.live_sources += static_cast<double>(index.LabelSourceCount(l));
+      out.live_targets += static_cast<double>(index.LabelTargetCount(l));
+    }
+    if ((bwd_mask >> l) & 1) {
+      out.bwd_live_edges += static_cast<double>(index.LabelCount(l));
+      out.bwd_live_sources +=
+          static_cast<double>(index.LabelSourceCount(l));
+      out.bwd_live_targets +=
+          static_cast<double>(index.LabelTargetCount(l));
+    }
   }
   out.live_sources = std::min(out.live_sources, V);
   out.live_targets = std::min(out.live_targets, V);
+  out.bwd_live_sources = std::min(out.bwd_live_sources, V);
+  out.bwd_live_targets = std::min(out.bwd_live_targets, V);
   return out;
 }
 
@@ -155,14 +176,21 @@ TrackStats ComputeTrackStats(const CompiledQuery& compiled, int track,
 
 namespace {
 
-// One pass over the component's tracks, producing both the cardinality
-// estimate and the full-seeding expansion-work proxy (est_cost's factor).
+// One pass over the component's tracks, producing the cardinality
+// estimate and the per-direction full-seeding expansion-work proxies
+// (est_cost / est_cost_bwd factors). The directional work sums live edge
+// volume scaled with automaton size plus the average degree along the
+// direction's first live letter set — live_edges / live_sources is the
+// mean out-fanout a forward frontier step pays, live edges over targets
+// the mean in-fanout of a backward step.
 void EstimateComponent(const CompiledQuery& compiled,
                        const ComponentVars& cv, const GraphIndex& index,
-                       double* card_out, double* expand_work_out) {
+                       double* card_out, double* expand_work_out,
+                       double* bwd_expand_work_out) {
   const double V = std::max(1, index.num_nodes());
   double card = 1.0;
   double expand_work = 1.0;
+  double bwd_expand_work = 1.0;
   for (int track : cv.tracks) {
     TrackStats ts = ComputeTrackStats(compiled, track, index);
     // Reachable (start, end) pair estimate for this track: bounded by the
@@ -173,7 +201,10 @@ void EstimateComponent(const CompiledQuery& compiled,
                             ts.live_edges * std::min(ts.states, 64.0));
     if (ts.accepts_empty) pairs = std::max(pairs, V);  // ε: all (v, v)
     card *= std::max(pairs, 1.0);
-    expand_work += ts.live_edges * std::min(ts.states, 64.0);
+    expand_work += ts.live_edges * std::min(ts.states, 64.0) +
+                   ts.live_edges / std::max(ts.live_sources, 1.0);
+    bwd_expand_work += ts.bwd_live_edges * std::min(ts.states, 64.0) +
+                       ts.bwd_live_edges / std::max(ts.bwd_live_targets, 1.0);
   }
   // Constant/parameter endpoints anchor the search: each divides the
   // surviving assignment space by the node count.
@@ -182,6 +213,9 @@ void EstimateComponent(const CompiledQuery& compiled,
       std::pow(V, static_cast<double>(std::max<size_t>(cv.vars.size(), 0)));
   *card_out = std::min(std::max(card, 0.0), ceiling);
   *expand_work_out = expand_work;
+  if (bwd_expand_work_out != nullptr) {
+    *bwd_expand_work_out = bwd_expand_work;
+  }
 }
 
 }  // namespace
@@ -192,7 +226,7 @@ double EstimateComponentCardinality(const Query& query,
                                     const GraphIndex& index) {
   ComponentVars cv = CollectComponentVars(query, atom_indices);
   double card = 0.0, expand_work = 0.0;
-  EstimateComponent(compiled, cv, index, &card, &expand_work);
+  EstimateComponent(compiled, cv, index, &card, &expand_work, nullptr);
   return card;
 }
 
@@ -230,20 +264,28 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
   plan.num_threads = ResolveNumThreads(options.num_threads);
 
   const double V = (index != nullptr) ? std::max(1, index->num_nodes()) : 1.0;
+  // Per-component expansion-work proxies, parallel to plan.components
+  // until the cheapest-first reorder (carried inside the component via
+  // est_cost / est_cost_bwd afterwards).
   for (const std::vector<int>& group : groups) {
     PlannedComponent pc;
     pc.atom_indices = group;
     ComponentVars cv = CollectComponentVars(query, group);
     pc.vars = cv.vars;
     pc.start_vars = cv.start_vars;
+    pc.end_vars = cv.end_vars;
     pc.leaf = LeafKind(query, compiled, group, cv.tracks);
     if (index != nullptr) {
       double expand_work = 0.0;
-      EstimateComponent(compiled, cv, *index, &pc.est_rows,
-                        &expand_work);
+      double bwd_expand_work = 0.0;
+      EstimateComponent(compiled, cv, *index, &pc.est_rows, &expand_work,
+                        &bwd_expand_work);
       pc.est_cost =
           std::pow(V, static_cast<double>(pc.start_vars.size())) *
           expand_work;
+      pc.est_cost_bwd =
+          std::pow(V, static_cast<double>(pc.end_vars.size())) *
+          bwd_expand_work;
     }
     // Chosen parallelism: the resolved lane count, demoted to serial when
     // the cost estimate says the leaf cannot amortize lane startup (a
@@ -261,7 +303,21 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
   // will do with this plan; the other engines (crpq's dynamic most-bound
   // join, counting/qlen's σ-enumeration) choose their own orders and
   // ignore these annotations, so claiming them in the plan would make
-  // Explain misrepresent execution.
+  // Explain misrepresent execution. Search direction IS annotated for
+  // crpq leaves too: EvaluateCrpq applies the same constant-anchoring
+  // rule per atom, so the plan stays faithful.
+  if (plan.engine == Engine::kCrpq && options.use_planner) {
+    for (PlannedComponent& pc : plan.components) {
+      const PathAtom& atom = query.path_atoms()[pc.atom_indices[0]];
+      const bool from_anchored = !atom.from.IsVariable();
+      const bool to_anchored = !atom.to.IsVariable();
+      if (from_anchored && to_anchored) {
+        pc.direction = SearchDirection::kBidirectional;
+      } else if (to_anchored) {
+        pc.direction = SearchDirection::kBackward;
+      }
+    }
+  }
   if (plan.engine != Engine::kProduct) return plan;
 
   // Cheapest-first ordering (stable: analysis order breaks ties), only
@@ -277,25 +333,87 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
                      });
   }
 
-  // Sideways information passing: a component whose start variables (or,
-  // for scan leaves, any variables) were bound by earlier components is
-  // seeded from the accumulated bindings instead of fully enumerated. The
-  // executor still applies a runtime guard (seed rows vs. full seeding).
+  // Sideways information passing and per-leaf direction. A component
+  // whose anchor-side variables (or, for scan leaves, any variables)
+  // were bound by earlier components is seeded from the accumulated
+  // bindings instead of fully enumerated; the executor still applies a
+  // runtime guard (seed rows vs. full seeding). The direction choice
+  // uses the same sharing information: a side counts as anchored when
+  // every one of its variables is shared with earlier components
+  // (constants contribute no variables, so fully constant sides are
+  // anchored for free). Both sides anchored → bidirectional
+  // (meet-in-the-middle on the unique per-row assignment); otherwise the
+  // per-direction cost — node-count to the power of the side's FREE
+  // variables times the direction's expansion-work proxy — picks forward
+  // or backward, with a margin biasing ties to the classical forward
+  // search.
   if (options.use_planner) {
     std::set<int> bound;
     for (PlannedComponent& pc : plan.components) {
       for (int v : pc.vars) {
         if (bound.count(v)) pc.shared_vars.push_back(v);
       }
+      auto shared = [&](int v) {
+        return std::find(pc.shared_vars.begin(), pc.shared_vars.end(), v) !=
+               pc.shared_vars.end();
+      };
       bool shares_start = false;
-      for (int v : pc.shared_vars) {
-        if (std::find(pc.start_vars.begin(), pc.start_vars.end(), v) !=
-            pc.start_vars.end()) {
+      bool shares_end = false;
+      size_t free_starts = 0, free_ends = 0;
+      for (int v : pc.start_vars) {
+        if (shared(v)) {
           shares_start = true;
+        } else {
+          ++free_starts;
         }
       }
+      for (int v : pc.end_vars) {
+        if (shared(v)) {
+          shares_end = true;
+        } else {
+          ++free_ends;
+        }
+      }
+      if (plan.costed) {
+        if (free_starts == 0 && free_ends == 0) {
+          pc.direction = SearchDirection::kBidirectional;
+        } else {
+          // Recover the directional work proxies from the stored full
+          // costs and re-scale by the free (unseeded) variable counts.
+          const double fwd_work =
+              pc.est_cost /
+              std::pow(V, static_cast<double>(pc.start_vars.size()));
+          const double bwd_work =
+              pc.est_cost_bwd /
+              std::pow(V, static_cast<double>(pc.end_vars.size()));
+          const double cost_fwd =
+              std::pow(V, static_cast<double>(free_starts)) * fwd_work;
+          const double cost_bwd =
+              std::pow(V, static_cast<double>(free_ends)) * bwd_work;
+          if (cost_bwd * 1.25 < cost_fwd) {
+            pc.direction = SearchDirection::kBackward;
+          }
+        }
+        // Re-evaluate the serial demotion for the chosen direction: the
+        // initial decision used the forward cost, but a leaf flipped to
+        // backward (or bidirectional, bounded by the cheaper cone)
+        // should amortize lanes against the search it actually runs.
+        if (pc.direction != SearchDirection::kForward) {
+          const double dir_cost =
+              pc.direction == SearchDirection::kBackward
+                  ? pc.est_cost_bwd
+                  : std::min(pc.est_cost, pc.est_cost_bwd);
+          pc.demoted_serial = dir_cost >= 0.0 && dir_cost < 20000.0;
+          pc.threads = pc.demoted_serial ? 1 : plan.num_threads;
+        }
+      }
+      const bool shares_anchor =
+          pc.direction == SearchDirection::kBidirectional
+              ? (shares_start || shares_end)
+              : (pc.direction == SearchDirection::kBackward ? shares_end
+                                                            : shares_start);
       pc.sideways = !pc.shared_vars.empty() &&
-                    (shares_start || pc.leaf == OpKind::kReachabilityScan);
+                    (shares_anchor || pc.leaf == OpKind::kReachabilityScan);
       for (int v : pc.vars) bound.insert(v);
     }
   }
@@ -342,6 +460,9 @@ std::string PhysicalPlan::Describe(const Query& query) const {
     out += "} vars" + var_names(pc.vars);
     if (pc.sideways) {
       out += " seeded" + var_names(pc.shared_vars);
+    }
+    if (engine == Engine::kProduct || engine == Engine::kCrpq) {
+      out += std::string(" direction=") + SearchDirectionName(pc.direction);
     }
     out += " est_rows=" + fmt(pc.est_rows);
     out += " est_cost=" + fmt(pc.est_cost);

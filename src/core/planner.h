@@ -55,6 +55,7 @@ struct PlannedComponent {
   OpKind leaf = OpKind::kProductExpand;
   std::vector<int> vars;         ///< node vars this component binds
   std::vector<int> start_vars;   ///< vars in from-positions
+  std::vector<int> end_vars;     ///< vars in to-positions
   std::vector<int> shared_vars;  ///< vars bound by earlier components
   /// Seed this component's execution from the accumulated bindings
   /// (sideways information passing) instead of full node enumeration.
@@ -71,6 +72,18 @@ struct PlannedComponent {
   /// executor keeps demoted leaves serial even under a larger
   /// per-execution num_threads override.
   bool demoted_serial = false;
+  /// Search direction the leaf should run (Explain: `direction=`).
+  /// Forward is the classical evaluation; the planner picks backward
+  /// when the end side is better anchored / cheaper to expand (distinct
+  /// live source/target counts, per-label edge counts, and average
+  /// in/out degree along the first live letter sets), and bidirectional
+  /// when both sides are fully anchored (constants or sideways seeds).
+  /// The executor re-checks feasibility at runtime and degrades when the
+  /// seeding assumption fell through; EvalOptions::direction overrides.
+  SearchDirection direction = SearchDirection::kForward;
+  /// Backward mirror of est_cost (end-side enumeration × reversed-tape
+  /// expansion work); -1 without statistics.
+  double est_cost_bwd = -1.0;
 };
 
 struct PhysicalPlan {

@@ -13,6 +13,10 @@ std::string OperatorStats::Describe() const {
   if (visited_configs > 0) {
     out += " visited=" + std::to_string(visited_configs);
   }
+  if (meet_checks > 0) {
+    out += " meet_checks=" + std::to_string(meet_checks);
+  }
+  if (!direction.empty()) out += " direction=" + direction;
   if (est_rows >= 0.0) {
     out += " est_rows=" + std::to_string(static_cast<long long>(est_rows));
   }

@@ -28,8 +28,15 @@ struct OperatorStats {
   uint64_t rows_out = 0;
   uint64_t frontier_expansions = 0;
   uint64_t visited_configs = 0;
+  /// Meet probes of a bidirectional leaf: candidate configurations of the
+  /// opposite half-search tested for a (node, state)-compatible meet.
+  /// Zero for forward/backward leaves and non-leaf operators.
+  uint64_t meet_checks = 0;
   double est_rows = -1.0;  ///< planner estimate, -1 when unplanned
   int threads = 1;  ///< worker lanes that executed this operator
+  /// Search direction the leaf actually ran ("fwd", "bwd", "bidir");
+  /// empty for operators without a direction (joins, filters).
+  std::string direction;
 
   std::string Describe() const;
 };

@@ -85,6 +85,12 @@ std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph) {
                      return index->out_degree(a) + index->in_degree(a) >
                             index->out_degree(b) + index->in_degree(b);
                    });
+  index->by_in_degree_.resize(index->num_nodes_);
+  std::iota(index->by_in_degree_.begin(), index->by_in_degree_.end(), 0);
+  std::stable_sort(index->by_in_degree_.begin(), index->by_in_degree_.end(),
+                   [&](NodeId a, NodeId b) {
+                     return index->in_degree(a) > index->in_degree(b);
+                   });
   return index;
 }
 

@@ -109,6 +109,13 @@ class GraphIndex {
   /// ascending id. Frontier seeding order.
   const std::vector<NodeId>& NodesByDegree() const { return by_degree_; }
 
+  /// Every node exactly once, by descending in-degree; ties by ascending
+  /// id. Seeding order for backward / bidirectional searches: end-anchor
+  /// enumeration visits the nodes with the densest backward frontiers
+  /// first, reaching accepting configurations sooner under early
+  /// termination (the in-side mirror of NodesByDegree).
+  const std::vector<NodeId>& NodesByInDegree() const { return by_in_degree_; }
+
  private:
   GraphIndex() = default;
 
@@ -129,6 +136,7 @@ class GraphIndex {
   std::vector<int64_t> label_counts_;
   std::vector<int64_t> label_source_counts_, label_target_counts_;
   std::vector<NodeId> by_degree_;
+  std::vector<NodeId> by_in_degree_;
 };
 
 using GraphIndexPtr = std::shared_ptr<const GraphIndex>;
