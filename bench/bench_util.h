@@ -101,6 +101,7 @@ class BenchResultLog {
     PrintTwinSpeedups("/threads/8", "/threads/1", "parallel-1to8");
     PrintTwinSpeedups("/bidir", "/fwd", "bidirectional-vs-forward");
     PrintTwinSpeedups("/bwd", "/fwd", "backward-vs-forward");
+    PrintTwinSpeedups("/cached", "/nocache", "cache-vs-nocache");
   }
 
  private:
@@ -121,10 +122,15 @@ class BenchResultLog {
   }
 
   // Writes one JSON file to `path`; returns false when the path was not
-  // writable (e.g. a read-only checkout for the repo-root copy).
+  // writable (e.g. a read-only checkout for the repo-root copy). The
+  // write is atomic — temp file in the same directory, then rename — so
+  // a concurrent reader (CI collecting artifacts, diff_bench_medians.py
+  // on a watch loop) never observes a truncated file, and a crashed
+  // bench never leaves half a JSON behind.
   bool WriteJsonTo(const std::string& path) const {
     const std::string bench = BinaryName();
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"cases\": [\n",
                  bench.c_str());
@@ -141,6 +147,10 @@ class BenchResultLog {
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
     std::fprintf(stderr, "[bench-json] wrote %s (%zu cases)\n", path.c_str(),
                  entries_.size());
     return true;

@@ -7,15 +7,29 @@ perf trajectory across PRs. CI stashes the committed copies before
 running the benches and then calls
 
     scripts/diff_bench_medians.py <baseline_dir> <fresh_dir> [threshold]
+        [--threshold X] [--fail] [--fail-over Y]
 
 which compares every case's median_ns pairwise and prints a WARN line
-for each case slower than `threshold` (default 1.3) times its committed
-baseline. Warn-only by default — CI machines differ from the machines
-the baselines were recorded on; pass --fail to exit non-zero on any
-regression instead (for self-hosted runners with stable hardware).
+for each case slower than the warn threshold times its committed
+baseline. The warn threshold is, in order of precedence: --threshold,
+the positional third argument, the BENCH_DIFF_THRESHOLD environment
+variable, then the 1.3 default.
+
+Warn-only by default — CI machines differ from the machines the
+baselines were recorded on. Two escalation modes:
+
+    --fail         exit non-zero when any case exceeds the warn
+                   threshold (for self-hosted runners with stable
+                   hardware)
+    --fail-over Y  exit non-zero only for cases above the larger ratio
+                   Y — cases between the warn threshold and Y still
+                   warn but do not fail. This is the noisy-runner
+                   compromise: a 10x blowup fails the build while
+                   ordinary machine jitter merely warns.
 """
 
 import json
+import os
 import pathlib
 import sys
 
@@ -26,16 +40,45 @@ def load_cases(path):
     return {case["name"]: case["median_ns"] for case in data.get("cases", [])}
 
 
+def parse_args(argv):
+    positional = []
+    opts = {"fail": False, "threshold": None, "fail_over": None}
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--fail":
+            opts["fail"] = True
+        elif arg == "--threshold" and i + 1 < len(argv):
+            i += 1
+            opts["threshold"] = float(argv[i])
+        elif arg == "--fail-over" and i + 1 < len(argv):
+            i += 1
+            opts["fail_over"] = float(argv[i])
+        elif arg.startswith("--"):
+            print(f"unknown option {arg}", file=sys.stderr)
+            return None, None
+        else:
+            positional.append(arg)
+        i += 1
+    return positional, opts
+
+
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    fail_on_regression = "--fail" in argv
-    if len(args) < 2:
+    positional, opts = parse_args(argv)
+    if positional is None or len(positional) < 2:
         print(__doc__)
         return 2
-    baseline_dir, fresh_dir = pathlib.Path(args[0]), pathlib.Path(args[1])
-    threshold = float(args[2]) if len(args) > 2 else 1.3
+    baseline_dir = pathlib.Path(positional[0])
+    fresh_dir = pathlib.Path(positional[1])
+    threshold = opts["threshold"]
+    if threshold is None and len(positional) > 2:
+        threshold = float(positional[2])
+    if threshold is None:
+        threshold = float(os.environ.get("BENCH_DIFF_THRESHOLD", "1.3"))
+    fail_over = opts["fail_over"]
 
     regressions = 0
+    failures = 0
     compared = 0
     for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
         fresh_path = fresh_dir / baseline_path.name
@@ -49,18 +92,28 @@ def main(argv):
                 continue
             compared += 1
             ratio = fresh[name] / base_ns
-            if ratio > threshold:
-                regressions += 1
-                print(
-                    f"WARN [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms vs "
-                    f"baseline {base_ns / 1e6:.3f} ms ({ratio:.2f}x > "
-                    f"{threshold:.2f}x)"
-                )
-    print(
+            if ratio <= threshold:
+                continue
+            over_fail = fail_over is not None and ratio > fail_over
+            if over_fail:
+                failures += 1
+            regressions += 1
+            label = "FAIL" if over_fail else "WARN"
+            print(
+                f"{label} [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms vs "
+                f"baseline {base_ns / 1e6:.3f} ms ({ratio:.2f}x > "
+                f"{threshold:.2f}x)"
+            )
+    summary = (
         f"[bench-diff] compared {compared} cases, "
         f"{regressions} above {threshold:.2f}x baseline"
     )
-    if regressions and fail_on_regression:
+    if fail_over is not None:
+        summary += f", {failures} above the {fail_over:.2f}x fail-over bar"
+    print(summary)
+    if failures:
+        return 1
+    if regressions and opts["fail"]:
         return 1
     return 0
 

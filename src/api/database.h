@@ -122,6 +122,14 @@ class Database {
   /// The session's relation registry (a copy of the built-ins).
   const RelationRegistry& registry() const { return registry_; }
 
+  /// Public shared guard over the graph for snapshot readers outside the
+  /// cursor machinery — e.g. the serving layer rendering NodeName()s of a
+  /// finished execution while a MutateGraph writer may be pending. Hold
+  /// it only around short read sections; executions take it internally.
+  std::shared_lock<std::shared_mutex> SharedReadGuard() const {
+    return ReadLock();
+  }
+
   /// Registers a custom relation (or factory) on the session. Cached
   /// plans are dropped at this mutation point: a re-registered name must
   /// not keep resolving through an old plan. Takes the writer lock, so it

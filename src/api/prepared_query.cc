@@ -132,7 +132,7 @@ Result<ResultCursor> PreparedQuery::Execute(const Params& params,
   PhysicalPlanPtr physical =
       exec.engine.has_value() ? nullptr : PlanForIndex(index);
   return ResultCursor(db_, &db_->graph(), std::move(index),
-                      EffectiveOptions(exec), exec.limit,
+                      EffectiveOptions(exec), exec.limit, exec.deadline,
                       std::move(bound).value(), plan_->compiled,
                       std::move(physical),
                       plan_->optimizer_report.proven_empty);

@@ -14,6 +14,7 @@
 #ifndef ECRPQ_API_PREPARED_QUERY_H_
 #define ECRPQ_API_PREPARED_QUERY_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,6 +59,22 @@ struct ExecuteOptions {
   /// Stop after this many answer tuples (0 = unlimited). Pushed down into
   /// the engine as early termination.
   uint64_t limit = 0;
+
+  /// Absolute deadline for this execution. When the engine is still
+  /// running at the deadline, the shared DeadlineMonitor trips the
+  /// execution's CancellationToken (one is created if the caller supplied
+  /// none) and the cursor reports Status::Cancelled — never a silent
+  /// empty-OK. A deadline that has already passed when evaluation starts
+  /// fails the same way without running the engine. Executions queued or
+  /// delayed past their deadline therefore shed load instead of doing
+  /// stale work (the serving layer maps per-request deadline_ms here).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Convenience: deadline = now + timeout.
+  ExecuteOptions& set_timeout(std::chrono::milliseconds timeout) {
+    deadline = std::chrono::steady_clock::now() + timeout;
+    return *this;
+  }
 
   /// Engine override for this execution (default: the session's choice).
   std::optional<Engine> engine;

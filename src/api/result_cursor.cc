@@ -3,6 +3,7 @@
 #include <shared_mutex>
 
 #include "api/database.h"
+#include "util/deadline.h"
 
 namespace ecrpq {
 
@@ -14,6 +15,26 @@ void ResultCursor::Run(uint64_t limit) {
     // The optimizer proved the query empty on every graph; skip the engine.
     stats_.engine = "static-empty";
     return;
+  }
+  // An expired deadline sheds the execution before it pins a snapshot or
+  // touches the engine: a queued request that missed its deadline must
+  // fail as Cancelled, not run to completion late (and must not hold the
+  // read guard while doing stale work).
+  if (deadline_.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline_) {
+    status_ = Status::Cancelled("deadline exceeded before evaluation");
+    return;
+  }
+  // Arm the deadline for the duration of the engine run: the shared
+  // monitor trips the execution's token at the deadline and the engine
+  // unwinds with Status::Cancelled mid-search. The guard disarms on every
+  // exit path, so a finished execution can never trip a token late.
+  DeadlineGuard deadline_guard;
+  if (deadline_.has_value()) {
+    if (options_.cancellation == nullptr) {
+      options_.cancellation = std::make_shared<CancellationToken>();
+    }
+    deadline_guard = DeadlineGuard(options_.cancellation, *deadline_);
   }
   // Hold the session's read guard for the engine run: MutateGraph waits
   // for in-flight cursors, and the engine (including its worker lanes,
@@ -27,6 +48,10 @@ void ResultCursor::Run(uint64_t limit) {
   evaluator.set_graph_index(index_);
   status_ = evaluator.Evaluate(*query_, sink_, stats_, compiled_,
                                plan_.get());
+  // The engine may have emitted a complete result in the same instant the
+  // deadline tripped the token; completing OK is correct then. But an
+  // engine that returned OK on a tripped DEADLINE token without having
+  // finished cannot happen: trips surface as Cancelled from the engines.
 }
 
 bool ResultCursor::Next() {

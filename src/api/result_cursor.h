@@ -16,8 +16,10 @@
 #ifndef ECRPQ_API_RESULT_CURSOR_H_
 #define ECRPQ_API_RESULT_CURSOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/evaluator.h"
@@ -68,6 +70,7 @@ class ResultCursor {
   friend class PreparedQuery;
   ResultCursor(const Database* db, const GraphDb* graph, GraphIndexPtr index,
                EvalOptions options, uint64_t limit,
+               std::optional<std::chrono::steady_clock::time_point> deadline,
                std::shared_ptr<const Query> query, CompiledQueryPtr compiled,
                std::shared_ptr<const PhysicalPlan> plan, bool static_empty)
       : db_(db),
@@ -75,6 +78,7 @@ class ResultCursor {
         index_(std::move(index)),
         options_(options),
         limit_(limit),
+        deadline_(deadline),
         query_(std::move(query)),
         compiled_(std::move(compiled)),
         plan_(std::move(plan)),
@@ -87,6 +91,7 @@ class ResultCursor {
   GraphIndexPtr index_;  // session-shared CSR index (may be null)
   EvalOptions options_;
   uint64_t limit_ = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::shared_ptr<const Query> query_;
   CompiledQueryPtr compiled_;
   std::shared_ptr<const PhysicalPlan> plan_;  // cached operator DAG

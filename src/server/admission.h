@@ -1,0 +1,75 @@
+// Admission control for the serving layer: a bounded in-flight query
+// semaphore with a bounded wait queue and explicit load-shedding.
+//
+// Every EXECUTE passes TryAdmit() on the I/O thread before it is
+// dispatched: up to `max_in_flight` admitted queries may run on executor
+// threads and up to `max_queue` more may sit admitted-but-waiting behind
+// them. A request beyond both bounds is rejected *immediately* with an
+// OVERLOADED reply — the server never queues unboundedly and never drops
+// a request silently. Release() frees the slot when the execution
+// finishes (success, error, cancel, or deadline all release).
+
+#ifndef ECRPQ_SERVER_ADMISSION_H_
+#define ECRPQ_SERVER_ADMISSION_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace ecrpq {
+
+class AdmissionController {
+ public:
+  AdmissionController(int max_in_flight, int max_queue)
+      : capacity_(std::max(1, max_in_flight) + std::max(0, max_queue)),
+        max_in_flight_(std::max(1, max_in_flight)),
+        max_queue_(std::max(0, max_queue)) {}
+
+  /// Claims a slot; false = shed this request (reply OVERLOADED).
+  bool TryAdmit() {
+    int current = admitted_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= capacity_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (admitted_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_acq_rel)) {
+        total_admitted_.fetch_add(1, std::memory_order_relaxed);
+        int peak = peak_.load(std::memory_order_relaxed);
+        while (current + 1 > peak &&
+               !peak_.compare_exchange_weak(peak, current + 1,
+                                            std::memory_order_relaxed)) {
+        }
+        return true;
+      }
+    }
+  }
+
+  void Release() { admitted_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  int admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  int capacity() const { return capacity_; }
+  int max_in_flight() const { return max_in_flight_; }
+  int max_queue() const { return max_queue_; }
+  uint64_t total_admitted() const {
+    return total_admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  int peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  const int capacity_;  // max_in_flight + max_queue
+  const int max_in_flight_;
+  const int max_queue_;
+  std::atomic<int> admitted_{0};
+  std::atomic<int> peak_{0};
+  std::atomic<uint64_t> total_admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SERVER_ADMISSION_H_

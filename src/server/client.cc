@@ -1,0 +1,274 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ecrpq {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  in_.clear();
+  in_offset_ = 0;
+  pending_.clear();
+}
+
+Status Client::ConnectRaw(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("connect: " + std::string(strerror(errno)));
+    Close();
+    return status;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  ECRPQ_RETURN_IF_ERROR(ConnectRaw(host, port));
+  uint32_t id = NextRequestId();
+  ECRPQ_RETURN_IF_ERROR(
+      SendFrame(MakeFrame(MsgType::kHello, id, HelloRequest{})));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kHelloOk));
+  HelloReply hello;
+  return Decode(reply.payload, &hello);
+}
+
+// ---- raw I/O ----------------------------------------------------------------
+
+Status Client::SendRaw(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("send: " + std::string(strerror(errno)));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendFrame(const Frame& frame) {
+  std::vector<uint8_t> wire;
+  EncodeFrame(frame, &wire);
+  return SendRaw(wire.data(), wire.size());
+}
+
+Status Client::ReadFrame(Frame* frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    Status status = DecodeFrame(in_, &in_offset_, frame);
+    if (status.ok()) {
+      if (in_offset_ == in_.size()) {
+        in_.clear();
+        in_offset_ = 0;
+      }
+      return status;
+    }
+    if (status.code() != StatusCode::kFailedPrecondition) return status;
+    uint8_t buf[65536];
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Internal("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("recv: " + std::string(strerror(errno)));
+    }
+    in_.insert(in_.end(), buf, buf + n);
+  }
+}
+
+Status Client::WaitReply(uint32_t request_id, Frame* frame) {
+  auto it = pending_.find(request_id);
+  if (it != pending_.end()) {
+    *frame = std::move(it->second);
+    pending_.erase(it);
+    return Status::OK();
+  }
+  while (true) {
+    Frame next;
+    ECRPQ_RETURN_IF_ERROR(ReadFrame(&next));
+    if (next.request_id == request_id) {
+      *frame = std::move(next);
+      return Status::OK();
+    }
+    pending_[next.request_id] = std::move(next);
+  }
+}
+
+Status Client::ExpectType(const Frame& frame, MsgType expected) const {
+  if (frame.type == expected) return Status::OK();
+  if (frame.type == MsgType::kError) {
+    ErrorReply err;
+    Status decode = Decode(frame.payload, &err);
+    if (!decode.ok()) return decode;
+    return Status(static_cast<StatusCode>(err.code), err.message);
+  }
+  if (frame.type == MsgType::kOverloaded) {
+    OverloadedReply shed;
+    Status decode = Decode(frame.payload, &shed);
+    if (!decode.ok()) return decode;
+    return Status::ResourceExhausted("OVERLOADED: " + shed.message);
+  }
+  return Status::Internal("unexpected reply type " +
+                          std::to_string(static_cast<int>(frame.type)));
+}
+
+// ---- requests ---------------------------------------------------------------
+
+Status Client::Prepare(const std::string& text, uint32_t* stmt_id) {
+  uint32_t id = NextRequestId();
+  PrepareRequest req;
+  req.text = text;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kPrepare, id, req)));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kPrepareOk));
+  PrepareReply ok;
+  ECRPQ_RETURN_IF_ERROR(Decode(reply.payload, &ok));
+  *stmt_id = ok.stmt_id;
+  return Status::OK();
+}
+
+Status Client::SendExecute(uint32_t stmt_id, const ExecuteSpec& spec,
+                           uint32_t* request_id) {
+  uint32_t id = NextRequestId();
+  ExecuteRequest req;
+  req.stmt_id = stmt_id;
+  req.deadline_ms = spec.deadline_ms;
+  req.row_limit = spec.row_limit;
+  req.page_size = spec.page_size;
+  req.flags = spec.bypass_cache ? kExecFlagBypassCache : 0;
+  req.params = spec.params;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kExecute, id, req)));
+  *request_id = id;
+  return Status::OK();
+}
+
+Status Client::DecodeRows(const Frame& frame, RowsPage* page) const {
+  RowsReply rows;
+  ECRPQ_RETURN_IF_ERROR(Decode(frame.payload, &rows));
+  page->cursor_id = rows.cursor_id;
+  page->done = (rows.flags & kRowsFlagDone) != 0;
+  page->from_cache = (rows.flags & kRowsFlagFromCache) != 0;
+  page->arity = rows.arity;
+  page->rows = std::move(rows.rows);
+  return Status::OK();
+}
+
+Status Client::AwaitRows(uint32_t request_id, RowsPage* page) {
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(request_id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kRows));
+  return DecodeRows(reply, page);
+}
+
+Status Client::Execute(uint32_t stmt_id, const ExecuteSpec& spec,
+                       RowsPage* page) {
+  uint32_t id = 0;
+  ECRPQ_RETURN_IF_ERROR(SendExecute(stmt_id, spec, &id));
+  return AwaitRows(id, page);
+}
+
+Status Client::Fetch(uint64_t cursor_id, uint32_t max_rows, RowsPage* page) {
+  uint32_t id = NextRequestId();
+  FetchRequest req;
+  req.cursor_id = cursor_id;
+  req.max_rows = max_rows;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kFetch, id, req)));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kRows));
+  return DecodeRows(reply, page);
+}
+
+Status Client::Cancel(uint32_t target_request_id) {
+  uint32_t id = NextRequestId();
+  CancelRequest req;
+  req.target_request_id = target_request_id;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kCancel, id, req)));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  return ExpectType(reply, MsgType::kOk);
+}
+
+Status Client::Mutate(const std::vector<std::array<std::string, 3>>& edges,
+                      uint64_t* num_nodes, uint64_t* num_edges) {
+  uint32_t id = NextRequestId();
+  MutateRequest req;
+  req.edges = edges;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kMutate, id, req)));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kMutateOk));
+  MutateReply ok;
+  ECRPQ_RETURN_IF_ERROR(Decode(reply.payload, &ok));
+  if (num_nodes != nullptr) *num_nodes = ok.num_nodes;
+  if (num_edges != nullptr) *num_edges = ok.num_edges;
+  return Status::OK();
+}
+
+Status Client::Stats(std::string* text) {
+  uint32_t id = NextRequestId();
+  Frame frame;
+  frame.type = MsgType::kStats;
+  frame.request_id = id;
+  ECRPQ_RETURN_IF_ERROR(SendFrame(frame));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kStatsOk));
+  StatsReply ok;
+  ECRPQ_RETURN_IF_ERROR(Decode(reply.payload, &ok));
+  *text = std::move(ok.text);
+  return Status::OK();
+}
+
+Status Client::CloseStmt(uint32_t stmt_id) {
+  uint32_t id = NextRequestId();
+  Frame frame;
+  frame.type = MsgType::kCloseStmt;
+  frame.request_id = id;
+  WireWriter writer(&frame.payload);
+  writer.U32(stmt_id);
+  ECRPQ_RETURN_IF_ERROR(SendFrame(frame));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  return ExpectType(reply, MsgType::kOk);
+}
+
+Status Client::CloseCursor(uint64_t cursor_id) {
+  uint32_t id = NextRequestId();
+  Frame frame;
+  frame.type = MsgType::kCloseCursor;
+  frame.request_id = id;
+  WireWriter writer(&frame.payload);
+  writer.U64(cursor_id);
+  ECRPQ_RETURN_IF_ERROR(SendFrame(frame));
+  Frame reply;
+  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+  return ExpectType(reply, MsgType::kOk);
+}
+
+}  // namespace ecrpq

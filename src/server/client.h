@@ -1,0 +1,128 @@
+// Synchronous client library for ecrpq-serverd.
+//
+// One Client owns one TCP connection and performs the versioned
+// handshake on Connect(). Requests are correlated by request_id, so the
+// library supports the split SendExecute()/AwaitRows() form: fire an
+// execute, do other work (send an out-of-band Cancel targeting it), then
+// collect the reply. Replies arriving for *other* request_ids while one
+// is awaited are buffered, never dropped — a CANCEL acknowledgment can
+// legally overtake the terminal reply of the execute it killed.
+//
+// Server-side errors come back as ERROR frames carrying a StatusCode;
+// the library reconstructs the Status so callers see the same error
+// surface as the embedded API (e.g. Status::Cancelled for a deadline).
+// OVERLOADED load-shed replies map to StatusCode::kResourceExhausted
+// with an "OVERLOADED" message prefix so callers can tell shed load from
+// an ordinary failure and retry with backoff.
+//
+// Thread-compatibility: a Client is NOT thread-safe; use one per thread
+// (bench_serving opens hundreds).
+
+#ifndef ECRPQ_SERVER_CLIENT_H_
+#define ECRPQ_SERVER_CLIENT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the HELLO handshake.
+  Status Connect(const std::string& host, int port);
+
+  /// TCP connect only, no handshake — for protocol tests that probe the
+  /// server's handling of pre-handshake and malformed traffic.
+  Status ConnectRaw(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Knobs for one execute request.
+  struct ExecuteSpec {
+    uint32_t deadline_ms = 0;  ///< 0 = no deadline
+    uint64_t row_limit = 0;    ///< 0 = unlimited
+    uint32_t page_size = 0;    ///< 0 = server default
+    bool bypass_cache = false;
+    std::vector<std::pair<std::string, std::string>> params;
+  };
+
+  /// One ROWS page (the shape of execute and fetch replies).
+  struct RowsPage {
+    uint64_t cursor_id = 0;  ///< 0 = complete, nothing to fetch
+    bool done = false;
+    bool from_cache = false;
+    uint16_t arity = 0;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  Status Prepare(const std::string& text, uint32_t* stmt_id);
+
+  /// Execute and wait for the first page.
+  Status Execute(uint32_t stmt_id, const ExecuteSpec& spec, RowsPage* page);
+
+  /// Pipelined form: send the execute and return without reading the
+  /// reply; `request_id` identifies it for Cancel() and AwaitRows().
+  Status SendExecute(uint32_t stmt_id, const ExecuteSpec& spec,
+                     uint32_t* request_id);
+  Status AwaitRows(uint32_t request_id, RowsPage* page);
+
+  /// Next page of a paged result.
+  Status Fetch(uint64_t cursor_id, uint32_t max_rows, RowsPage* page);
+
+  /// Cancels the execute sent as `target_request_id` (0 = all in-flight
+  /// on this connection) and waits for the server's acknowledgment.
+  Status Cancel(uint32_t target_request_id);
+
+  /// Appends edges (node/label names; unknown nodes created). On success
+  /// reports the post-mutation graph size.
+  Status Mutate(const std::vector<std::array<std::string, 3>>& edges,
+                uint64_t* num_nodes, uint64_t* num_edges);
+
+  Status Stats(std::string* text);
+  Status CloseStmt(uint32_t stmt_id);
+  Status CloseCursor(uint64_t cursor_id);
+
+  // -- low-level access (protocol tests and the CLI's malformed mode) --
+
+  /// Writes raw bytes to the socket, bypassing framing entirely.
+  Status SendRaw(const void* data, size_t size);
+  Status SendFrame(const Frame& frame);
+  /// Reads the next frame regardless of its request_id.
+  Status ReadFrame(Frame* frame);
+
+ private:
+  uint32_t NextRequestId() { return next_request_id_++; }
+
+  /// Reads frames until one carries `request_id`, buffering the rest.
+  Status WaitReply(uint32_t request_id, Frame* frame);
+
+  /// Decodes a reply frame that should be `expected`; ERROR/OVERLOADED
+  /// frames become the corresponding Status.
+  Status ExpectType(const Frame& frame, MsgType expected) const;
+
+  Status DecodeRows(const Frame& frame, RowsPage* page) const;
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  std::vector<uint8_t> in_;
+  size_t in_offset_ = 0;
+  /// Replies read while waiting for a different request_id.
+  std::map<uint32_t, Frame> pending_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SERVER_CLIENT_H_

@@ -1,0 +1,107 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+
+namespace ecrpq {
+
+std::string ResultCache::Key(
+    const std::string& text,
+    const std::vector<std::pair<std::string, std::string>>& params) {
+  // Canonical form: text, then name=value pairs sorted by name, joined
+  // with unit separators (0x1f cannot appear in parsed query text and is
+  // vanishingly unlikely in node names; a collision would only conflate
+  // two keys of the same text, not corrupt results across texts).
+  std::vector<std::pair<std::string, std::string>> sorted = params;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = text;
+  for (const auto& [name, value] : sorted) {
+    key += '\x1f';
+    key += name;
+    key += '\x1e';
+    key += value;
+  }
+  return key;
+}
+
+CachedResultPtr ResultCache::Lookup(const std::string& key,
+                                    const GraphIndexPtr& index) {
+  if (index == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.snapshot.lock() != index) {
+    // The graph mutated since this entry was computed: the Database
+    // swapped its index snapshot, so the weak_ptr no longer locks to the
+    // current one. Evict; serving a stale answer is never an option.
+    ++invalidations_;
+    ++misses_;
+    lru_.erase(it->second.lru_it);
+    map_.erase(it);
+    return nullptr;
+  }
+  ++hits_;
+  Touch(it->second, key);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key, const GraphIndexPtr& index,
+                         CachedResultPtr result) {
+  if (capacity_ == 0 || index == nullptr || result == nullptr ||
+      result->rows.size() > max_rows_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.snapshot = index;
+    it->second.result = std::move(result);
+    Touch(it->second, key);
+    ++insertions_;
+    return;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{index, std::move(result), lru_.begin()});
+  ++insertions_;
+}
+
+void ResultCache::Touch(Entry& entry, const std::string& key) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+uint64_t ResultCache::insertions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insertions_;
+}
+uint64_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace ecrpq

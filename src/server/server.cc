@@ -1,0 +1,445 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "util/thread_pool.h"
+
+namespace ecrpq {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Server(Database* db, ServingOptions options)
+    : db_(db),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_max_rows) {
+  if (options_.executor_threads <= 0) {
+    options_.executor_threads = ThreadPool::DefaultParallelism();
+  }
+  if (options_.max_in_flight < 0) {
+    options_.max_in_flight = options_.executor_threads;
+  }
+  if (options_.max_queue < 0) {
+    options_.max_queue = 4 * options_.max_in_flight;
+  }
+  admission_ = std::make_unique<AdmissionController>(options_.max_in_flight,
+                                                     options_.max_queue);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 511) != 0) {
+    Status status = Status::Internal("bind/listen: " +
+                                     std::string(strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (pipe(wake_pipe_) != 0 || !SetNonBlocking(wake_pipe_[0]) ||
+      !SetNonBlocking(wake_pipe_[1]) || !SetNonBlocking(listen_fd_)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe/nonblock setup failed");
+  }
+  stop_.store(false);
+  running_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  executors_.reserve(options_.executor_threads);
+  for (int i = 0; i < options_.executor_threads; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+  if (options_.stats_interval_sec > 0) {
+    stats_thread_ = std::thread([this] { StatsLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  WakeIo();
+  run_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  run_cv_.notify_all();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  if (stats_thread_.joinable()) stats_thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) close(wake_pipe_[i]);
+    wake_pipe_[i] = -1;
+  }
+}
+
+void Server::WakeIo() {
+  if (wake_pipe_[1] >= 0) {
+    uint8_t byte = 1;
+    ssize_t ignored = write(wake_pipe_[1], &byte, 1);
+    (void)ignored;  // pipe full = a wake-up is already pending
+  }
+}
+
+// ---- I/O thread -------------------------------------------------------------
+
+void Server::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<ConnPtr> polled;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->out.size() > conn->out_offset) events |= POLLOUT;
+        if (conn->closing && conn->out.size() <= conn->out_offset) {
+          events = POLLOUT;  // nothing left to say; close below
+        }
+      }
+      fds.push_back({fd, events, 0});
+      polled.push_back(conn);
+    }
+    int ready = poll(fds.data(), fds.size(), 200);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents & POLLIN) {
+      uint8_t buf[256];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) AcceptNew();
+    std::vector<ConnPtr> to_close;
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const pollfd& pfd = fds[i + 2];
+      const ConnPtr& conn = polled[i];
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        to_close.push_back(conn);
+        continue;
+      }
+      if (pfd.revents & POLLOUT) FlushTo(conn);
+      bool done = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        done = conn->closing && conn->out.size() <= conn->out_offset;
+      }
+      if (done) {
+        to_close.push_back(conn);
+        continue;
+      }
+      if (pfd.revents & POLLIN) ReadFrom(conn);
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->dead) to_close.push_back(conn);
+      }
+    }
+    for (const ConnPtr& conn : to_close) CloseConn(conn);
+  }
+  // Teardown: every open connection is closed and its in-flight work
+  // cancelled; queued executes release their admission slots when the
+  // executors drain them against the closed sessions.
+  std::vector<ConnPtr> remaining;
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const ConnPtr& conn : remaining) CloseConn(conn);
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN / transient
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->session = std::make_shared<Session>(db_, &cache_, admission_.get(),
+                                              &stats_, &options_,
+                                              next_session_id_++);
+    conns_.emplace(fd, std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ReadFrom(const ConnPtr& conn) {
+  uint8_t buf[65536];
+  while (true) {
+    ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.insert(conn->in.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {  // orderly EOF: peer is gone
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->dead = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->dead = true;
+    return;
+  }
+  // Extract every complete frame.
+  while (true) {
+    Frame frame;
+    Status status = DecodeFrame(conn->in, &conn->in_offset, &frame);
+    if (status.code() == StatusCode::kFailedPrecondition) break;  // partial
+    if (!status.ok()) {
+      // Unframeable stream (length lies outside the protocol bounds):
+      // tell the client why, then hang up — resynchronizing with a liar
+      // is not possible.
+      stats_.frames_malformed.fetch_add(1, std::memory_order_relaxed);
+      ErrorReply reply;
+      reply.code = static_cast<uint32_t>(status.code());
+      reply.message = status.message();
+      SendReplies(conn, {MakeFrame(MsgType::kError, 0, reply)},
+                  /*then_close=*/true);
+      return;
+    }
+    stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    DispatchFrame(conn, std::move(frame));
+  }
+  // Compact the consumed prefix of the read buffer.
+  if (conn->in_offset > 0) {
+    if (conn->in_offset == conn->in.size()) {
+      conn->in.clear();
+    } else if (conn->in_offset > 16384) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() +
+                         static_cast<ptrdiff_t>(conn->in_offset));
+    } else {
+      return;
+    }
+    conn->in_offset = 0;
+  }
+}
+
+void Server::DispatchFrame(const ConnPtr& conn, Frame frame) {
+  switch (frame.type) {
+    case MsgType::kHello:
+    case MsgType::kCancel: {
+      // Inline on the I/O thread: the handshake gates everything behind
+      // it, and a CANCEL must overtake the execute it targets instead of
+      // queueing behind it.
+      Session::HandleResult result = conn->session->Handle(frame);
+      SendReplies(conn, result.replies, result.close_connection);
+      return;
+    }
+    case MsgType::kExecute: {
+      std::optional<Frame> shed = conn->session->PreadmitExecute(frame);
+      if (shed.has_value()) {
+        SendReplies(conn, {*shed}, /*then_close=*/false);
+        return;
+      }
+      EnqueueTask(conn, std::move(frame));
+      return;
+    }
+    default:
+      EnqueueTask(conn, std::move(frame));
+      return;
+  }
+}
+
+void Server::EnqueueTask(const ConnPtr& conn, Frame frame) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->tasks.push_back(std::move(frame));
+    if (!conn->scheduled) {
+      conn->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    {
+      std::lock_guard<std::mutex> lock(run_mutex_);
+      runnable_.push_back(conn);
+    }
+    run_cv_.notify_one();
+  }
+}
+
+void Server::SendReplies(const ConnPtr& conn,
+                         const std::vector<Frame>& replies, bool then_close) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    if (conn->dead) return;  // the peer is gone; drop the rendering
+    for (const Frame& reply : replies) EncodeFrame(reply, &conn->out);
+    if (then_close) conn->closing = true;
+  }
+  WakeIo();  // the I/O thread owns the fd; ask it to flush
+}
+
+void Server::FlushTo(const ConnPtr& conn) {
+  std::lock_guard<std::mutex> lock(conn->mutex);
+  while (conn->out_offset < conn->out.size()) {
+    ssize_t n = send(conn->fd, conn->out.data() + conn->out_offset,
+                     conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn->dead = true;
+    return;
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+}
+
+void Server::CloseConn(const ConnPtr& conn) {
+  if (conns_.erase(conn->fd) == 0) return;  // already closed this round
+  // Cancel in-flight work first: a disconnected client's query must stop
+  // consuming executor time mid-search.
+  conn->session->Close();
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->dead = true;
+    close(conn->fd);
+  }
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---- executor pool ----------------------------------------------------------
+
+void Server::ExecutorLoop() {
+  while (true) {
+    ConnPtr conn;
+    {
+      std::unique_lock<std::mutex> lock(run_mutex_);
+      run_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !runnable_.empty();
+      });
+      if (runnable_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      conn = std::move(runnable_.front());
+      runnable_.pop_front();
+    }
+    Frame frame;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->tasks.empty()) {
+        conn->scheduled = false;
+        continue;
+      }
+      frame = std::move(conn->tasks.front());
+      conn->tasks.pop_front();
+    }
+    Session::HandleResult result = conn->session->Handle(frame);
+    SendReplies(conn, result.replies, result.close_connection);
+    // One frame per turn: requeue if more is pending, so long queries on
+    // one connection cannot starve the rest of the pool's fairness.
+    bool more = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->tasks.empty()) {
+        conn->scheduled = false;
+      } else {
+        more = true;
+      }
+    }
+    if (more) {
+      {
+        std::lock_guard<std::mutex> lock(run_mutex_);
+        runnable_.push_back(conn);
+      }
+      run_cv_.notify_one();
+    }
+  }
+}
+
+// ---- periodic serving log line ----------------------------------------------
+
+void Server::StatsLoop() {
+  uint64_t last_ok = 0;
+  uint64_t last_rows = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    for (int i = 0; i < options_.stats_interval_sec * 10 &&
+                    !stop_.load(std::memory_order_acquire);
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    uint64_t ok = stats_.executes_ok.load(std::memory_order_relaxed);
+    uint64_t rows = stats_.rows_returned.load(std::memory_order_relaxed);
+    double interval = static_cast<double>(options_.stats_interval_sec);
+    std::fprintf(
+        stderr,
+        "[ecrpq-serverd] qps=%.1f rows/s=%.1f p50=%.0fus p99=%.0fus "
+        "in_flight=%d/%d shed=%llu cancelled=%llu deadline=%llu "
+        "cache_hit=%llu/%llu sessions=%llu\n",
+        static_cast<double>(ok - last_ok) / interval,
+        static_cast<double>(rows - last_rows) / interval,
+        stats_.execute_latency.PercentileNs(50) / 1000.0,
+        stats_.execute_latency.PercentileNs(99) / 1000.0,
+        admission_->admitted(), admission_->capacity(),
+        static_cast<unsigned long long>(
+            stats_.executes_overloaded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            stats_.executes_cancelled.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            stats_.executes_deadline.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(cache_.hits()),
+        static_cast<unsigned long long>(cache_.misses()),
+        static_cast<unsigned long long>(
+            stats_.connections_active.load(std::memory_order_relaxed)));
+    last_ok = ok;
+    last_rows = rows;
+  }
+}
+
+}  // namespace ecrpq

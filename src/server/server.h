@@ -1,0 +1,129 @@
+// ecrpq-serverd: the TCP transport of the serving subsystem.
+//
+// One I/O thread multiplexes every connection through poll(): it
+// accepts, reads and frames bytes, sheds EXECUTE load at receipt
+// (Session::PreadmitExecute — an OVERLOADED reply costs no executor
+// time), and writes queued replies. Decoded frames are dispatched to a
+// small executor pool actor-style: each connection owns a FIFO of
+// pending frames and is runnable on at most one executor thread at a
+// time, so one connection's requests are answered in order while
+// thousands of connections proceed concurrently. CANCEL and HELLO are
+// handled inline on the I/O thread — a cancel must overtake the very
+// execute it targets, never queue behind it.
+//
+// Disconnect duty: when a client drops mid-query, the I/O thread trips
+// every in-flight CancellationToken of that session (Session::Close), so
+// the engine unwinds promptly instead of computing an answer nobody will
+// read; replies to a closed session are discarded. Stop() does the same
+// for every connection, which makes shutdown bounded by the engines'
+// cancellation poll granularity, not by their remaining work.
+
+#ifndef ECRPQ_SERVER_SERVER_H_
+#define ECRPQ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/api.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "server/server_stats.h"
+#include "server/session.h"
+
+namespace ecrpq {
+
+class Server {
+ public:
+  /// `db` must outlive the server; several servers may share one.
+  explicit Server(Database* db, ServingOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the I/O + executor (+ stats) threads.
+  Status Start();
+
+  /// Drains and joins everything; idempotent. In-flight queries are
+  /// cancelled through their tokens.
+  void Stop();
+
+  /// The bound TCP port (after Start; meaningful with options.port = 0).
+  int port() const { return port_; }
+
+  const ServerStats& stats() const { return stats_; }
+  const ResultCache& cache() const { return cache_; }
+  const AdmissionController& admission() const { return *admission_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::shared_ptr<Session> session;
+
+    // I/O-thread-only read state.
+    std::vector<uint8_t> in;
+    size_t in_offset = 0;
+
+    // Cross-thread state (executors append replies / tasks finish).
+    std::mutex mutex;
+    std::vector<uint8_t> out;
+    size_t out_offset = 0;
+    std::deque<Frame> tasks;
+    bool scheduled = false;  // on the runnable queue or being processed
+    bool closing = false;    // flush out, then close
+    bool dead = false;       // fd closed; drop replies
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void IoLoop();
+  void ExecutorLoop();
+  void StatsLoop();
+
+  void AcceptNew();
+  void ReadFrom(const ConnPtr& conn);
+  void DispatchFrame(const ConnPtr& conn, Frame frame);
+  void EnqueueTask(const ConnPtr& conn, Frame frame);
+  void SendReplies(const ConnPtr& conn, const std::vector<Frame>& replies,
+                   bool then_close);
+  void FlushTo(const ConnPtr& conn);
+  void CloseConn(const ConnPtr& conn);
+  void WakeIo();
+
+  Database* db_;
+  ServingOptions options_;
+  ServerStats stats_;
+  ResultCache cache_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::thread io_thread_;
+  std::vector<std::thread> executors_;
+  std::thread stats_thread_;
+
+  // I/O-thread-only connection table.
+  std::unordered_map<int, ConnPtr> conns_;
+  uint64_t next_session_id_ = 1;
+
+  // Runnable queue feeding the executor pool.
+  std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  std::deque<ConnPtr> runnable_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SERVER_SERVER_H_

@@ -1,0 +1,25 @@
+#include "server/server_stats.h"
+
+namespace ecrpq {
+
+double LatencyHistogram::PercentileNs(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < 64; ++b) {
+    uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    seen += c;
+    if (seen > rank) {
+      // Bucket b holds values in [2^(b-1), 2^b); geometric midpoint.
+      double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+      double hi = static_cast<double>(b >= 63 ? ~0ull : (1ull << b));
+      return (lo + hi) / 2.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,496 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecrpq {
+
+namespace {
+
+constexpr uint32_t kMaxPageSize = 65536;
+
+/// A bare acknowledgment (CANCEL / CLOSE-*): type + echoed id, no payload.
+Frame OkFrame(uint32_t request_id) {
+  Frame frame;
+  frame.type = MsgType::kOk;
+  frame.request_id = request_id;
+  return frame;
+}
+
+/// One ROWS page worth of rows out of a rendered result.
+RowsReply BuildPage(const CachedResultPtr& result, size_t offset,
+                    uint32_t count) {
+  RowsReply reply;
+  reply.arity = result->arity;
+  size_t end = std::min(result->rows.size(), offset + count);
+  reply.rows.assign(result->rows.begin() + offset,
+                    result->rows.begin() + end);
+  if (end >= result->rows.size()) reply.flags |= kRowsFlagDone;
+  return reply;
+}
+
+}  // namespace
+
+Frame Session::ErrorFrame(uint32_t request_id, const Status& status) const {
+  ErrorReply reply;
+  reply.code = static_cast<uint32_t>(status.code());
+  reply.message = status.message();
+  return MakeFrame(MsgType::kError, request_id, reply);
+}
+
+std::optional<Frame> Session::PreadmitExecute(const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return ErrorFrame(frame.request_id,
+                        Status::FailedPrecondition("session closed"));
+    }
+  }
+  if (!admission_->TryAdmit()) {
+    stats_->executes_overloaded.fetch_add(1, std::memory_order_relaxed);
+    OverloadedReply reply;
+    reply.in_flight = static_cast<uint32_t>(admission_->admitted());
+    reply.capacity = static_cast<uint32_t>(admission_->capacity());
+    reply.message = "execute shed by admission control (in-flight " +
+                    std::to_string(reply.in_flight) + " >= capacity " +
+                    std::to_string(reply.capacity) + ")";
+    return MakeFrame(MsgType::kOverloaded, frame.request_id, reply);
+  }
+  // Register the token now, on the I/O thread: an out-of-band CANCEL (or
+  // a disconnect) must reach an execute that is still waiting for an
+  // executor thread, not only one that already started.
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_flight_[frame.request_id] = std::make_shared<CancellationToken>();
+  return std::nullopt;
+}
+
+Session::HandleResult Session::Handle(const Frame& frame) {
+  HandleResult out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      // The connection died while this frame sat in the queue. An
+      // admitted execute still owns an admission slot — give it back.
+      if (frame.type == MsgType::kExecute) {
+        auto it = in_flight_.find(frame.request_id);
+        if (it != in_flight_.end()) {
+          in_flight_.erase(it);
+          admission_->Release();
+        }
+      }
+      return out;
+    }
+    if (!hello_done_ && frame.type != MsgType::kHello) {
+      out.replies.push_back(ErrorFrame(
+          frame.request_id,
+          Status::FailedPrecondition("handshake required before " +
+                                     std::to_string(static_cast<int>(
+                                         frame.type)))));
+      out.close_connection = true;
+      return out;
+    }
+  }
+  switch (frame.type) {
+    case MsgType::kHello:
+      out.replies.push_back(HandleHello(frame, &out.close_connection));
+      break;
+    case MsgType::kPrepare:
+      out.replies.push_back(HandlePrepare(frame));
+      break;
+    case MsgType::kExecute:
+      out.replies.push_back(HandleExecute(frame));
+      break;
+    case MsgType::kFetch:
+      out.replies.push_back(HandleFetch(frame));
+      break;
+    case MsgType::kCancel:
+      out.replies.push_back(HandleCancel(frame));
+      break;
+    case MsgType::kMutate:
+      out.replies.push_back(HandleMutate(frame));
+      break;
+    case MsgType::kStats:
+      out.replies.push_back(HandleStats(frame));
+      break;
+    case MsgType::kCloseStmt:
+      out.replies.push_back(HandleCloseStmt(frame));
+      break;
+    case MsgType::kCloseCursor:
+      out.replies.push_back(HandleCloseCursor(frame));
+      break;
+    default:
+      stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+      out.replies.push_back(ErrorFrame(
+          frame.request_id,
+          Status::InvalidArgument(
+              "unknown message type " +
+              std::to_string(static_cast<int>(frame.type)))));
+      break;
+  }
+  return out;
+}
+
+Frame Session::HandleHello(const Frame& frame, bool* close_connection) {
+  HelloRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok() || req.magic != kProtocolMagic) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    *close_connection = true;
+    return ErrorFrame(frame.request_id,
+                      Status::InvalidArgument("bad handshake magic"));
+  }
+  if (req.version != kProtocolVersion) {
+    *close_connection = true;
+    return ErrorFrame(
+        frame.request_id,
+        Status::InvalidArgument(
+            "unsupported protocol version " + std::to_string(req.version) +
+            " (server speaks " + std::to_string(kProtocolVersion) + ")"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hello_done_ = true;
+  }
+  HelloReply reply;
+  reply.server = "ecrpq-serverd/1";
+  return MakeFrame(MsgType::kHelloOk, frame.request_id, reply);
+}
+
+Frame Session::HandlePrepare(const Frame& frame) {
+  PrepareRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id, decoded);
+  }
+  stats_->prepares.fetch_add(1, std::memory_order_relaxed);
+  auto prepared = db_->Prepare(req.text);  // hits the shared plan cache
+  if (!prepared.ok()) return ErrorFrame(frame.request_id, prepared.status());
+  PrepareReply reply;
+  reply.param_names = prepared.value().parameter_names();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reply.stmt_id = next_stmt_id_++;
+    stmts_.emplace(reply.stmt_id, std::move(prepared).value());
+  }
+  return MakeFrame(MsgType::kPrepareOk, frame.request_id, reply);
+}
+
+Frame Session::HandleExecute(const Frame& frame) {
+  const auto started = std::chrono::steady_clock::now();
+  // Admission: normally done by PreadmitExecute on the I/O thread; a
+  // direct call (tests, in-process use) admits here.
+  std::shared_ptr<CancellationToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(frame.request_id);
+    if (it != in_flight_.end()) token = it->second;
+  }
+  if (token == nullptr) {
+    std::optional<Frame> shed = PreadmitExecute(frame);
+    if (shed.has_value()) return *shed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    token = in_flight_[frame.request_id];
+  }
+  auto finish = [&](Frame reply, bool ok_rows, uint64_t rows) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(frame.request_id);
+    }
+    admission_->Release();
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    stats_->execute_latency.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    if (ok_rows) {
+      stats_->executes_ok.fetch_add(1, std::memory_order_relaxed);
+      stats_->rows_returned.fetch_add(rows, std::memory_order_relaxed);
+    }
+    return reply;
+  };
+
+  ExecuteRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return finish(ErrorFrame(frame.request_id, decoded), false, 0);
+  }
+  PreparedQuery stmt;
+  bool stmt_found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stmts_.find(req.stmt_id);
+    if (it != stmts_.end()) {
+      stmt = it->second;  // cheap handle: shares the compiled plan
+      stmt_found = true;
+    }
+  }  // finish() relocks mutex_, so error out only after unlocking
+  if (!stmt_found) {
+    stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+    return finish(ErrorFrame(frame.request_id,
+                             Status::NotFound("unknown statement id " +
+                                              std::to_string(req.stmt_id))),
+                  false, 0);
+  }
+  const uint32_t page_size =
+      std::min(req.page_size == 0 ? options_->default_page_size
+                                  : req.page_size,
+               kMaxPageSize);
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (req.deadline_ms > 0) {
+    deadline = started + std::chrono::milliseconds(req.deadline_ms);
+  }
+
+  // ---- result cache probe -------------------------------------------------
+  const bool bypass_cache = (req.flags & kExecFlagBypassCache) != 0 ||
+                            req.row_limit > 0;
+  const std::string cache_key = ResultCache::Key(stmt.text(), req.params);
+  GraphIndexPtr snapshot = db_->graph_index();
+  if (!bypass_cache) {
+    if (CachedResultPtr hit = cache_->Lookup(cache_key, snapshot)) {
+      return finish(RowsPage(frame.request_id, hit, 0, page_size,
+                             /*from_cache=*/true),
+                    true, hit->rows.size());
+    }
+  }
+
+  // ---- engine run ---------------------------------------------------------
+  ExecuteOptions exec;
+  exec.limit = req.row_limit;
+  exec.deadline = deadline;
+  exec.cancellation = token;
+  exec.build_path_answers = false;  // the wire carries node tuples only
+  if (options_->query_threads > 0) exec.num_threads = options_->query_threads;
+  Params params;
+  for (const auto& [name, value] : req.params) params.Set(name, value);
+  auto cursor = stmt.Execute(params, exec);
+  if (!cursor.ok()) {
+    stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+    return finish(ErrorFrame(frame.request_id, cursor.status()), false, 0);
+  }
+  std::vector<std::vector<NodeId>> tuples;
+  while (cursor.value().Next()) tuples.push_back(cursor.value().tuple());
+  const Status& run_status = cursor.value().status();
+  if (!run_status.ok()) {
+    if (run_status.code() == StatusCode::kCancelled) {
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() >= *deadline) {
+        stats_->executes_deadline.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_->executes_cancelled.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    return finish(ErrorFrame(frame.request_id, run_status), false, 0);
+  }
+
+  // Render NodeIds to names under the shared graph guard: a MutateGraph
+  // writer may be appending nodes concurrently, and the name table must
+  // be stable while we read it. Node ids are append-only, so ids from the
+  // finished execution stay valid.
+  auto rendered = std::make_shared<CachedResult>();
+  rendered->arity =
+      static_cast<uint16_t>(stmt.query().head_nodes().size());
+  {
+    auto guard = db_->SharedReadGuard();
+    const GraphDb& graph = db_->graph();
+    rendered->rows.reserve(tuples.size());
+    for (const auto& tuple : tuples) {
+      std::vector<std::string> row;
+      row.reserve(tuple.size());
+      for (NodeId node : tuple) row.push_back(graph.NodeName(node));
+      rendered->rows.push_back(std::move(row));
+    }
+  }
+  CachedResultPtr result = rendered;
+
+  // Memoize complete results, but only when no MutateGraph raced the run:
+  // the entry is keyed to the snapshot we probed with, and a mutation in
+  // between means the engine may have run against a newer one.
+  if (!bypass_cache && db_->graph_index() == snapshot) {
+    cache_->Insert(cache_key, snapshot, result);
+  }
+  return finish(RowsPage(frame.request_id, result, 0, page_size,
+                         /*from_cache=*/false),
+                true, result->rows.size());
+}
+
+Frame Session::RowsPage(uint32_t request_id, CachedResultPtr result,
+                        size_t offset, uint32_t page_size, bool from_cache) {
+  RowsReply reply = BuildPage(result, offset, page_size);
+  if (from_cache) reply.flags |= kRowsFlagFromCache;
+  if ((reply.flags & kRowsFlagDone) == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t cursor_id = next_cursor_id_++;
+    cursors_[cursor_id] =
+        CursorState{std::move(result), offset + reply.rows.size()};
+    reply.cursor_id = cursor_id;
+  }
+  return MakeFrame(MsgType::kRows, request_id, reply);
+}
+
+Frame Session::HandleFetch(const Frame& frame) {
+  FetchRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id, decoded);
+  }
+  stats_->fetches.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t page_size =
+      std::min(req.max_rows == 0 ? options_->default_page_size : req.max_rows,
+               kMaxPageSize);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cursors_.find(req.cursor_id);
+  if (it == cursors_.end()) {
+    return ErrorFrame(frame.request_id,
+                      Status::NotFound("unknown cursor id " +
+                                       std::to_string(req.cursor_id)));
+  }
+  RowsReply reply = BuildPage(it->second.result, it->second.offset, page_size);
+  stats_->rows_returned.fetch_add(reply.rows.size(),
+                                  std::memory_order_relaxed);
+  if (reply.flags & kRowsFlagDone) {
+    cursors_.erase(it);
+  } else {
+    it->second.offset += reply.rows.size();
+    reply.cursor_id = req.cursor_id;
+  }
+  return MakeFrame(MsgType::kRows, frame.request_id, reply);
+}
+
+Frame Session::HandleCancel(const Frame& frame) {
+  CancelRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id, decoded);
+  }
+  stats_->cancels.fetch_add(1, std::memory_order_relaxed);
+  CancelInFlight(req.target_request_id);
+  return OkFrame(frame.request_id);
+}
+
+void Session::CancelInFlight(uint32_t target_request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [request_id, token] : in_flight_) {
+    if (target_request_id == 0 || request_id == target_request_id) {
+      token->Cancel();
+    }
+  }
+}
+
+Frame Session::HandleMutate(const Frame& frame) {
+  MutateRequest req;
+  Status decoded = Decode(frame.payload, &req);
+  if (!decoded.ok()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id, decoded);
+  }
+  stats_->mutations.fetch_add(1, std::memory_order_relaxed);
+  MutateReply reply;
+  // Exclusive writer section: in-flight executions drain first, the plan
+  // cache and index snapshot are invalidated before readers resume — and
+  // with them, implicitly, every result-cache entry (snapshot-keyed).
+  db_->MutateGraph([&](GraphDb& graph) {
+    for (const auto& edge : req.edges) {
+      auto from = graph.FindNode(edge[0]);
+      NodeId from_id = from.has_value() ? *from : graph.AddNode(edge[0]);
+      auto to = graph.FindNode(edge[2]);
+      NodeId to_id = to.has_value() ? *to : graph.AddNode(edge[2]);
+      graph.AddEdge(from_id, edge[1], to_id);
+    }
+    reply.num_nodes = static_cast<uint64_t>(graph.num_nodes());
+    reply.num_edges = static_cast<uint64_t>(graph.num_edges());
+  });
+  return MakeFrame(MsgType::kMutateOk, frame.request_id, reply);
+}
+
+Frame Session::HandleStats(const Frame& frame) {
+  StatsReply reply;
+  auto add = [&](const std::string& key, uint64_t value) {
+    reply.text += key + "=" + std::to_string(value) + "\n";
+  };
+  const ServerStats& s = *stats_;
+  add("server.connections_accepted", s.connections_accepted.load());
+  add("server.connections_active", s.connections_active.load());
+  add("server.frames_received", s.frames_received.load());
+  add("server.frames_malformed", s.frames_malformed.load());
+  add("server.prepares", s.prepares.load());
+  add("server.executes_ok", s.executes_ok.load());
+  add("server.executes_error", s.executes_error.load());
+  add("server.executes_cancelled", s.executes_cancelled.load());
+  add("server.executes_deadline", s.executes_deadline.load());
+  add("server.executes_overloaded", s.executes_overloaded.load());
+  add("server.fetches", s.fetches.load());
+  add("server.mutations", s.mutations.load());
+  add("server.cancels", s.cancels.load());
+  add("server.rows_returned", s.rows_returned.load());
+  add("latency.count", s.execute_latency.count());
+  add("latency.mean_us",
+      static_cast<uint64_t>(s.execute_latency.MeanNs() / 1000.0));
+  add("latency.p50_us",
+      static_cast<uint64_t>(s.execute_latency.PercentileNs(50) / 1000.0));
+  add("latency.p99_us",
+      static_cast<uint64_t>(s.execute_latency.PercentileNs(99) / 1000.0));
+  add("admission.in_flight", static_cast<uint64_t>(admission_->admitted()));
+  add("admission.capacity", static_cast<uint64_t>(admission_->capacity()));
+  add("admission.peak", static_cast<uint64_t>(admission_->peak()));
+  add("admission.total_admitted", admission_->total_admitted());
+  add("admission.total_rejected", admission_->total_rejected());
+  add("cache.hits", cache_->hits());
+  add("cache.misses", cache_->misses());
+  add("cache.insertions", cache_->insertions());
+  add("cache.invalidations", cache_->invalidations());
+  add("cache.size", cache_->size());
+  add("db.plan_cache_size", db_->plan_cache_size());
+  add("db.plan_cache_hits", db_->plan_cache_hits());
+  add("db.plan_cache_misses", db_->plan_cache_misses());
+  {
+    auto guard = db_->SharedReadGuard();
+    add("db.nodes", static_cast<uint64_t>(db_->graph().num_nodes()));
+    add("db.edges", static_cast<uint64_t>(db_->graph().num_edges()));
+  }
+  return MakeFrame(MsgType::kStatsOk, frame.request_id, reply);
+}
+
+Frame Session::HandleCloseStmt(const Frame& frame) {
+  WireReader r(frame.payload.data(), frame.payload.size());
+  uint32_t stmt_id = r.U32();
+  if (!r.Complete()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id,
+                      Status::InvalidArgument("malformed payload: close-stmt"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stmts_.erase(stmt_id);
+  return OkFrame(frame.request_id);
+}
+
+Frame Session::HandleCloseCursor(const Frame& frame) {
+  WireReader r(frame.payload.data(), frame.payload.size());
+  uint64_t cursor_id = r.U64();
+  if (!r.Complete()) {
+    stats_->frames_malformed.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(
+        frame.request_id,
+        Status::InvalidArgument("malformed payload: close-cursor"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  cursors_.erase(cursor_id);
+  return OkFrame(frame.request_id);
+}
+
+void Session::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  for (auto& [request_id, token] : in_flight_) {
+    (void)request_id;
+    token->Cancel();
+  }
+  cursors_.clear();
+  stmts_.clear();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,162 @@
+// Per-connection session state of ecrpq-serverd, independent of sockets.
+//
+// A Session owns one connection's protocol conversation: the versioned
+// handshake, a prepared-statement table (statements reuse the Database
+// plan cache and are re-executed across requests), a cursor table for
+// paged result streaming, and the registry of in-flight executions that
+// out-of-band CANCEL frames (handled on the I/O thread) trip through
+// their CancellationTokens. Handle() is a pure frame → replies function
+// run on an executor thread, which makes the whole request surface —
+// malformed payloads, admission, deadlines, caching — testable without a
+// TCP server in the loop.
+//
+// Division of labor with the transport (server.h):
+//   I/O thread    PreadmitExecute (admission at receipt — load is shed
+//                 *before* anything queues), CancelRequest, Close
+//   executor      Handle (everything else, including engine runs)
+// Internal state is mutex-guarded; the transport additionally serializes
+// Handle calls per session (actor-style), so one connection's requests
+// are answered in order while different connections proceed in parallel.
+
+#ifndef ECRPQ_SERVER_SESSION_H_
+#define ECRPQ_SERVER_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/result_cache.h"
+#include "server/server_stats.h"
+
+namespace ecrpq {
+
+/// Knobs shared by the server and its sessions.
+struct ServingOptions {
+  /// TCP port to bind (0 = ephemeral; Server::port() reports the choice).
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+
+  /// Executor threads running query requests (0 = hardware default).
+  int executor_threads = 0;
+
+  /// Admission control: at most max_in_flight executes run concurrently
+  /// and at most max_queue more wait behind them; beyond that EXECUTE is
+  /// answered OVERLOADED immediately. Negative = derive from
+  /// executor_threads (in-flight = executors, queue = 4x in-flight);
+  /// max_queue = 0 is meaningful and sheds as soon as every slot is busy.
+  int max_in_flight = -1;
+  int max_queue = -1;
+
+  /// Result cache sizing (entries / max rows memoized per entry;
+  /// cache_capacity 0 disables caching).
+  size_t cache_capacity = 1024;
+  size_t cache_max_rows = 4096;
+
+  /// Rows per ROWS page when the client does not ask otherwise.
+  uint32_t default_page_size = 1024;
+
+  /// Worker lanes per query execution (EvalOptions::num_threads).
+  /// Serving defaults to 1: under concurrent load, inter-query
+  /// parallelism across executor threads beats intra-query fan-out.
+  int query_threads = 1;
+
+  /// Period of the serving log line (qps, p50/p99, cache, admission);
+  /// 0 disables it.
+  int stats_interval_sec = 0;
+};
+
+class Session {
+ public:
+  Session(Database* db, ResultCache* cache, AdmissionController* admission,
+          ServerStats* stats, const ServingOptions* options, uint64_t id)
+      : db_(db),
+        cache_(cache),
+        admission_(admission),
+        stats_(stats),
+        options_(options),
+        id_(id) {}
+
+  struct HandleResult {
+    std::vector<Frame> replies;
+    /// Protocol violation (bad handshake, unframeable stream): the
+    /// transport sends the replies, then closes the connection.
+    bool close_connection = false;
+  };
+
+  /// Admission + in-flight registration for an EXECUTE frame, run on the
+  /// I/O thread at receipt. Returns the OVERLOADED reply when the request
+  /// was shed (do not queue it); nullopt when admitted — the frame must
+  /// then be passed to Handle(), which releases the slot when done.
+  std::optional<Frame> PreadmitExecute(const Frame& frame);
+
+  /// Processes one decoded frame and returns the replies. EXECUTE frames
+  /// not seen by PreadmitExecute are admitted here (direct-call tests).
+  HandleResult Handle(const Frame& frame);
+
+  /// Trips the CancellationToken of an in-flight (or still-queued)
+  /// execute; 0 trips all. Safe from any thread.
+  void CancelInFlight(uint32_t target_request_id);
+
+  /// Connection teardown: cancels every in-flight execute and marks the
+  /// session closed; queued Handle calls become cheap no-ops and the
+  /// transport drops their replies.
+  void Close();
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  Frame HandleHello(const Frame& frame, bool* close_connection);
+  Frame HandlePrepare(const Frame& frame);
+  Frame HandleExecute(const Frame& frame);
+  Frame HandleFetch(const Frame& frame);
+  Frame HandleCancel(const Frame& frame);
+  Frame HandleMutate(const Frame& frame);
+  Frame HandleStats(const Frame& frame);
+  Frame HandleCloseStmt(const Frame& frame);
+  Frame HandleCloseCursor(const Frame& frame);
+
+  Frame ErrorFrame(uint32_t request_id, const Status& status) const;
+
+  /// Serves `result` starting at `offset` as one ROWS page, registering a
+  /// cursor when rows remain. Caller holds no locks.
+  Frame RowsPage(uint32_t request_id, CachedResultPtr result, size_t offset,
+                 uint32_t page_size, bool from_cache);
+
+  struct CursorState {
+    CachedResultPtr result;  // rendered rows (fresh or cached)
+    size_t offset = 0;
+  };
+
+  Database* db_;
+  ResultCache* cache_;
+  AdmissionController* admission_;
+  ServerStats* stats_;
+  const ServingOptions* options_;
+  const uint64_t id_;
+
+  mutable std::mutex mutex_;
+  bool hello_done_ = false;
+  bool closed_ = false;
+  uint32_t next_stmt_id_ = 1;
+  uint64_t next_cursor_id_ = 1;
+  std::map<uint32_t, PreparedQuery> stmts_;
+  std::map<uint64_t, CursorState> cursors_;
+  /// request_id → token of an admitted, not-yet-finished execute.
+  std::map<uint32_t, std::shared_ptr<CancellationToken>> in_flight_;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_SERVER_SESSION_H_

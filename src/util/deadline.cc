@@ -1,0 +1,72 @@
+#include "util/deadline.h"
+
+namespace ecrpq {
+
+DeadlineMonitor& DeadlineMonitor::Shared() {
+  // Leaked on purpose: executions may still be armed during static
+  // destruction (detached serving threads), and the monitor thread must
+  // not race a destructor. Reachable through the static pointer, so leak
+  // checkers stay quiet.
+  static DeadlineMonitor* monitor = new DeadlineMonitor();
+  return *monitor;
+}
+
+uint64_t DeadlineMonitor::Arm(std::shared_ptr<CancellationToken> token,
+                              Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  uint64_t id = next_id_++;
+  heap_.push(Entry{deadline, id, token});
+  lock.unlock();
+  cv_.notify_one();  // the new deadline may be the earliest
+  return id;
+}
+
+void DeadlineMonitor::Disarm(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The heap entry is discarded when it reaches the top; until then the
+  // id sits in the tombstone set (bounded by armed-and-unexpired count).
+  disarmed_.insert(id);
+}
+
+void DeadlineMonitor::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    // Drop tombstoned and expired entries at the top, tripping live
+    // tokens whose time has come.
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (disarmed_.erase(top.id) > 0) {
+        heap_.pop();
+        continue;
+      }
+      if (top.deadline > Clock::now()) break;
+      std::shared_ptr<CancellationToken> token = top.token.lock();
+      heap_.pop();
+      if (token != nullptr) token->Cancel();
+    }
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+    } else {
+      // Copy, don't reference: wait_until re-reads the time_point after
+      // reacquiring the lock, and an Arm() during the wait may have
+      // reallocated the heap's storage out from under a reference.
+      const Clock::time_point next = heap_.top().deadline;
+      cv_.wait_until(lock, next);
+    }
+  }
+}
+
+DeadlineMonitor::~DeadlineMonitor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,118 @@
+// Deadline enforcement for query executions.
+//
+// Engines already stop promptly when their CancellationToken trips (see
+// util/cancellation.h); what a deadline needs is someone to trip the
+// token when the clock runs out. DeadlineMonitor is that someone: one
+// shared background thread sleeping until the earliest armed deadline,
+// tripping expired tokens, and going back to sleep. Arming is O(log n)
+// and the thread is only started on first use, so executions without
+// deadlines (the whole pre-serving library) never pay for it.
+//
+//   auto token = std::make_shared<CancellationToken>();
+//   {
+//     DeadlineGuard guard(token, Clock::now() + 50ms);
+//     ... run the engine; it returns Status::Cancelled if the token
+//         tripped mid-search ...
+//   }  // disarmed; a finished execution never trips a recycled slot
+//
+// Tokens are held weakly: an execution that finishes (and drops its
+// token) before the deadline costs the monitor nothing but a stale heap
+// entry that is discarded on expiry.
+
+#ifndef ECRPQ_UTIL_DEADLINE_H_
+#define ECRPQ_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/cancellation.h"
+
+namespace ecrpq {
+
+class DeadlineMonitor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The process-wide monitor (lazily constructed; its thread starts on
+  /// the first Arm).
+  static DeadlineMonitor& Shared();
+
+  /// Trips `token` at `deadline` unless disarmed first. Returns an id
+  /// for Disarm. Thread-safe.
+  uint64_t Arm(std::shared_ptr<CancellationToken> token,
+               Clock::time_point deadline);
+
+  /// Cancels a pending Arm. Safe to call after the deadline fired (no-op)
+  /// and with an id the monitor already discarded.
+  void Disarm(uint64_t id);
+
+  ~DeadlineMonitor();
+
+ private:
+  DeadlineMonitor() = default;
+  void Loop();
+
+  struct Entry {
+    Clock::time_point deadline;
+    uint64_t id;
+    std::weak_ptr<CancellationToken> token;
+    bool operator>(const Entry& other) const {
+      return deadline > other.deadline;
+    }
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<uint64_t> disarmed_;  // lazily removed from heap_
+  uint64_t next_id_ = 1;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// RAII arm/disarm around one execution. A null token or an unset
+/// deadline arms nothing.
+class DeadlineGuard {
+ public:
+  DeadlineGuard() = default;
+  DeadlineGuard(std::shared_ptr<CancellationToken> token,
+                DeadlineMonitor::Clock::time_point deadline) {
+    if (token != nullptr) {
+      id_ = DeadlineMonitor::Shared().Arm(std::move(token), deadline);
+    }
+  }
+  ~DeadlineGuard() { Disarm(); }
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+  DeadlineGuard(DeadlineGuard&& other) noexcept : id_(other.id_) {
+    other.id_ = 0;
+  }
+  DeadlineGuard& operator=(DeadlineGuard&& other) noexcept {
+    if (this != &other) {
+      Disarm();
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+ private:
+  void Disarm() {
+    if (id_ != 0) DeadlineMonitor::Shared().Disarm(id_);
+    id_ = 0;
+  }
+
+  uint64_t id_ = 0;
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_UTIL_DEADLINE_H_

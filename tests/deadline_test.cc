@@ -1,0 +1,193 @@
+// ExecuteOptions deadlines: a query past its deadline must come back as
+// Status::Cancelled — never as a silent empty-OK result — whether the
+// deadline expired before evaluation started or the DeadlineMonitor
+// tripped the token mid-search, and whether or not a MutateGraph writer
+// is racing the execution. A deadline-cancelled execution must also not
+// pin its graph snapshot beyond the cursor's lifetime (the serving
+// layer's cache-invalidation protocol depends on dead snapshots dying).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/api.h"
+#include "util/cancellation.h"
+#include "util/deadline.h"
+
+namespace ecrpq {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+GraphDb Chain(int n) {
+  GraphDb g;
+  NodeId prev = g.AddNode("v0");
+  for (int i = 1; i < n; ++i) {
+    NodeId next = g.AddNode("v" + std::to_string(i));
+    g.AddEdge(prev, "a", next);
+    prev = next;
+  }
+  return g;
+}
+
+// A counting query whose threshold exceeds every path length in an
+// n-chain: zero answers, but the counting engine must sweep an enormous
+// length-annotated search space to prove it — minutes of work on a
+// 2000-chain, yet cancellable at poll granularity (milliseconds).
+constexpr char kBurnQuery[] = "Ans() <- (x, p, y), len(p) >= 2100";
+
+TEST(Deadline, ExpiredBeforeRunIsCancelledNotEmptyOk) {
+  Database db(Chain(50));
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, y), 'a'+(p)");
+  ASSERT_TRUE(prepared.ok());
+
+  ExecuteOptions exec;
+  exec.deadline = steady_clock::now() - milliseconds(5);
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value().Next());
+  EXPECT_EQ(cursor.value().status().code(), StatusCode::kCancelled)
+      << "an expired deadline must surface as Cancelled, not empty-OK: "
+      << cursor.value().status().ToString();
+}
+
+TEST(Deadline, TimeoutTripsMidSearch) {
+  Database db(Chain(2000));
+  auto prepared = db.Prepare(kBurnQuery);
+  ASSERT_TRUE(prepared.ok());
+
+  ExecuteOptions exec;
+  exec.set_timeout(milliseconds(100));
+  auto start = steady_clock::now();
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value().Next());
+  auto elapsed = steady_clock::now() - start;
+  EXPECT_EQ(cursor.value().status().code(), StatusCode::kCancelled);
+  // The uncancelled search runs for minutes; well under 30s here proves
+  // the monitor tripped the token mid-search (generous bound for TSan).
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(Deadline, GenerousDeadlineDoesNotInterfere) {
+  Database db(Chain(50));
+  auto prepared = db.Prepare("Ans(x, y) <- (x, p, y), 'a'+(p)");
+  ASSERT_TRUE(prepared.ok());
+
+  ExecuteOptions exec;
+  exec.set_timeout(std::chrono::seconds(60));
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  size_t rows = 0;
+  while (cursor.value().Next()) ++rows;
+  EXPECT_TRUE(cursor.value().status().ok());
+  EXPECT_EQ(rows, 50u * 49u / 2u);
+
+  // The guard disarmed on completion: a second run through the same
+  // token-less path must not be hit by the first run's stale deadline.
+  auto again = prepared.value().Execute({}, ExecuteOptions{});
+  ASSERT_TRUE(again.ok());
+  rows = 0;
+  while (again.value().Next()) ++rows;
+  EXPECT_TRUE(again.value().status().ok());
+  EXPECT_EQ(rows, 50u * 49u / 2u);
+}
+
+TEST(Deadline, SharesCallerSuppliedToken) {
+  Database db(Chain(2000));
+  auto prepared = db.Prepare(kBurnQuery);
+  ASSERT_TRUE(prepared.ok());
+
+  // A caller token and a far deadline coexist: the explicit Cancel()
+  // must win long before the deadline would fire.
+  ExecuteOptions exec;
+  exec.cancellation = std::make_shared<CancellationToken>();
+  exec.set_timeout(std::chrono::seconds(120));
+  std::thread killer([token = exec.cancellation] {
+    std::this_thread::sleep_for(milliseconds(100));
+    token->Cancel();
+  });
+  auto cursor = prepared.value().Execute({}, exec);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.value().Next());
+  EXPECT_EQ(cursor.value().status().code(), StatusCode::kCancelled);
+  killer.join();
+}
+
+TEST(Deadline, CancelledExecuteRacingMutateGraphPinsNoStaleSnapshot) {
+  Database db(Chain(2000));
+  auto prepared = db.Prepare(kBurnQuery);
+  ASSERT_TRUE(prepared.ok());
+
+  std::weak_ptr<const GraphIndex> before = db.graph_index();
+
+  // A writer appends edges every few milliseconds while the deadline
+  // query burns; the snapshot protocol keeps both sides consistent.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      db.MutateGraph([&](GraphDb& g) {
+        NodeId fresh = g.AddNode("w" + std::to_string(i++));
+        g.AddEdge(fresh, "a", 0);
+      });
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+  });
+
+  {
+    ExecuteOptions exec;
+    exec.set_timeout(milliseconds(150));
+    auto cursor = prepared.value().Execute({}, exec);
+    ASSERT_TRUE(cursor.ok());
+    EXPECT_FALSE(cursor.value().Next());
+    EXPECT_EQ(cursor.value().status().code(), StatusCode::kCancelled)
+        << "racing a writer must not turn a deadline into empty-OK";
+  }  // cursor destroyed: its snapshot pin is released
+
+  stop.store(true);
+  writer.join();
+
+  // Force a fresh index for the mutated graph; with the cursor gone,
+  // nothing may keep the pre-mutation snapshot alive.
+  GraphIndexPtr current = db.graph_index();
+  EXPECT_NE(before.lock(), current);
+  EXPECT_TRUE(before.expired())
+      << "deadline-cancelled execution left the stale snapshot pinned";
+
+  // And the database still answers correctly after the race.
+  auto check = db.Prepare("Ans(x) <- (x, p, \"v0\"), 'a'(p)");
+  ASSERT_TRUE(check.ok());
+  auto cursor = check.value().Execute();
+  ASSERT_TRUE(cursor.ok());
+  size_t rows = 0;
+  while (cursor.value().Next()) ++rows;
+  EXPECT_TRUE(cursor.value().status().ok());
+  EXPECT_GE(rows, 1u);  // at least the writer's w* nodes point at v0
+}
+
+TEST(DeadlineMonitor, DisarmPreventsLateTrip) {
+  auto token = std::make_shared<CancellationToken>();
+  {
+    DeadlineGuard guard(token, steady_clock::now() + milliseconds(50));
+  }  // disarmed before the deadline
+  std::this_thread::sleep_for(milliseconds(120));
+  EXPECT_FALSE(token->cancelled());
+}
+
+TEST(DeadlineMonitor, TripsExpiredTokens) {
+  auto token = std::make_shared<CancellationToken>();
+  DeadlineGuard guard(token, steady_clock::now() + milliseconds(30));
+  for (int i = 0; i < 200 && !token->cancelled(); ++i) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_TRUE(token->cancelled());
+}
+
+}  // namespace
+}  // namespace ecrpq

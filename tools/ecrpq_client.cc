@@ -1,0 +1,196 @@
+// ecrpq_client: command-line driver for ecrpq-serverd.
+//
+//   ecrpq_client [--host H] [--port P] <command> [args]
+//
+//   query "<text>" [--param name=value]... [--deadline MS] [--limit N]
+//                  [--page N] [--nocache]
+//       prepare + execute + fetch every page, print the rows
+//   stats            print the server's key=value counters
+//   mutate F L T [F L T ...]
+//       append edges (from label to; unknown node names are created)
+//   cancel-test "<text>"
+//       pipeline an execute, cancel it out-of-band, and report whether
+//       the server answered Cancelled (exit 0) or completed first
+//   malformed
+//       send an unframeable byte stream and verify the server replies
+//       ERROR and closes the connection (exit 0 when it does)
+//
+// Exit codes: 0 success, 1 server/protocol error, 2 usage.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace ecrpq;
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: ecrpq_client [--host H] [--port P] "
+               "query|stats|mutate|cancel-test|malformed ...\n";
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+void PrintPage(const Client::RowsPage& page) {
+  for (const auto& row : page.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::cout << (i ? "\t" : "") << row[i];
+    }
+    std::cout << "\n";
+  }
+}
+
+int RunQuery(Client& client, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Client::ExecuteSpec spec;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--param" && i + 1 < args.size()) {
+      const std::string& kv = args[++i];
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) return Usage();
+      spec.params.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (args[i] == "--deadline" && i + 1 < args.size()) {
+      spec.deadline_ms = static_cast<uint32_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--limit" && i + 1 < args.size()) {
+      spec.row_limit = static_cast<uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--page" && i + 1 < args.size()) {
+      spec.page_size = static_cast<uint32_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--nocache") {
+      spec.bypass_cache = true;
+    } else {
+      return Usage();
+    }
+  }
+  uint32_t stmt_id = 0;
+  Status status = client.Prepare(args[0], &stmt_id);
+  if (!status.ok()) return Fail(status);
+  Client::RowsPage page;
+  status = client.Execute(stmt_id, spec, &page);
+  if (!status.ok()) return Fail(status);
+  size_t total = page.rows.size();
+  // Only the execute's first page carries the from-cache flag; fetched
+  // continuation pages come out of the cursor either way.
+  const bool from_cache = page.from_cache;
+  PrintPage(page);
+  while (!page.done && page.cursor_id != 0) {
+    status = client.Fetch(page.cursor_id, spec.page_size, &page);
+    if (!status.ok()) return Fail(status);
+    total += page.rows.size();
+    PrintPage(page);
+  }
+  std::cerr << total << " row(s)" << (from_cache ? " [cached]" : "") << "\n";
+  return 0;
+}
+
+int RunStats(Client& client) {
+  std::string text;
+  Status status = client.Stats(&text);
+  if (!status.ok()) return Fail(status);
+  std::cout << text;
+  return 0;
+}
+
+int RunMutate(Client& client, const std::vector<std::string>& args) {
+  if (args.empty() || args.size() % 3 != 0) return Usage();
+  std::vector<std::array<std::string, 3>> edges;
+  for (size_t i = 0; i < args.size(); i += 3) {
+    edges.push_back({args[i], args[i + 1], args[i + 2]});
+  }
+  uint64_t nodes = 0;
+  uint64_t count = 0;
+  Status status = client.Mutate(edges, &nodes, &count);
+  if (!status.ok()) return Fail(status);
+  std::cout << "graph now " << nodes << " nodes / " << count << " edges\n";
+  return 0;
+}
+
+int RunCancelTest(Client& client, const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  uint32_t stmt_id = 0;
+  Status status = client.Prepare(args[0], &stmt_id);
+  if (!status.ok()) return Fail(status);
+  Client::ExecuteSpec spec;
+  spec.bypass_cache = true;
+  uint32_t request_id = 0;
+  status = client.SendExecute(stmt_id, spec, &request_id);
+  if (!status.ok()) return Fail(status);
+  status = client.Cancel(request_id);
+  if (!status.ok()) return Fail(status);
+  Client::RowsPage page;
+  status = client.AwaitRows(request_id, &page);
+  if (status.code() == StatusCode::kCancelled) {
+    std::cout << "cancelled as requested\n";
+    return 0;
+  }
+  if (status.ok()) {
+    // Legal race: the execute finished before the cancel landed.
+    std::cout << "completed before cancel (" << page.rows.size()
+              << " rows)\n";
+    return 0;
+  }
+  return Fail(status);
+}
+
+int RunMalformed(Client& client) {
+  // A length prefix far beyond kMaxFrameBody: unframeable, so the server
+  // must answer one ERROR frame and close the connection.
+  const uint8_t lying[8] = {0xff, 0xff, 0xff, 0x7f, 0x01, 0x02, 0x03, 0x04};
+  Status status = client.SendRaw(lying, sizeof(lying));
+  if (!status.ok()) return Fail(status);
+  Frame reply;
+  status = client.ReadFrame(&reply);
+  if (!status.ok()) return Fail(status);
+  if (reply.type != MsgType::kError) {
+    std::cerr << "expected ERROR, got type "
+              << static_cast<int>(reply.type) << "\n";
+    return 1;
+  }
+  status = client.ReadFrame(&reply);
+  if (status.ok()) {
+    std::cerr << "expected the server to close the connection\n";
+    return 1;
+  }
+  std::cout << "malformed stream rejected and connection closed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7687;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return Usage();
+  std::string command = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+
+  Client client;
+  Status status = client.Connect(host, port);
+  if (!status.ok()) return Fail(status);
+
+  if (command == "query") return RunQuery(client, args);
+  if (command == "stats") return RunStats(client);
+  if (command == "mutate") return RunMutate(client, args);
+  if (command == "cancel-test") return RunCancelTest(client, args);
+  if (command == "malformed") return RunMalformed(client);
+  return Usage();
+}

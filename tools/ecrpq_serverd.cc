@@ -1,0 +1,143 @@
+// ecrpq-serverd: stand-alone serving daemon for ECRPQ graph queries.
+//
+//   $ ecrpq_serverd --port 7687 --graph data.txt --stats-interval 10
+//
+// Loads a graph (text format of graph/io.h; a small demo graph without
+// --graph), binds the serving subsystem of src/server/, and runs until
+// SIGINT/SIGTERM, then drains: in-flight queries are cancelled through
+// their tokens and every thread is joined before exit. The bound port is
+// printed on stdout as "LISTENING <port>" so harnesses using --port 0
+// (ephemeral) can discover it.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "api/api.h"
+#include "graph/io.h"
+#include "server/server.h"
+
+using namespace ecrpq;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+GraphDb DemoGraph() {
+  GraphDb g;
+  NodeId ann = g.AddNode("ann");
+  NodeId bob = g.AddNode("bob");
+  NodeId eva = g.AddNode("eva");
+  NodeId leo = g.AddNode("leo");
+  g.AddEdge(ann, "advisor", eva);
+  g.AddEdge(bob, "advisor", eva);
+  g.AddEdge(eva, "advisor", leo);
+  g.AddEdge(bob, "coauthor", ann);
+  return g;
+}
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --port N           TCP port (default 7687; 0 = ephemeral)\n"
+      << "  --bind ADDR        bind address (default 127.0.0.1)\n"
+      << "  --graph FILE       graph in text format (default: demo graph)\n"
+      << "  --executors N      executor threads (0 = hardware default)\n"
+      << "  --max-in-flight N  concurrent executes before queueing\n"
+      << "  --max-queue N      queued executes before OVERLOADED\n"
+      << "  --cache-capacity N result-cache entries (0 disables)\n"
+      << "  --cache-max-rows N largest memoizable result\n"
+      << "  --query-threads N  worker lanes per query (default 1)\n"
+      << "  --stats-interval N periodic serving log line every N seconds\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServingOptions options;
+  options.port = 7687;
+  std::string graph_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return true;
+    };
+    int value = 0;
+    if (arg == "--port" && next_int(&value)) {
+      options.port = value;
+    } else if (arg == "--bind" && i + 1 < argc) {
+      options.bind_address = argv[++i];
+    } else if (arg == "--graph" && i + 1 < argc) {
+      graph_file = argv[++i];
+    } else if (arg == "--executors" && next_int(&value)) {
+      options.executor_threads = value;
+    } else if (arg == "--max-in-flight" && next_int(&value)) {
+      options.max_in_flight = value;
+    } else if (arg == "--max-queue" && next_int(&value)) {
+      options.max_queue = value;
+    } else if (arg == "--cache-capacity" && next_int(&value)) {
+      options.cache_capacity = static_cast<size_t>(value);
+    } else if (arg == "--cache-max-rows" && next_int(&value)) {
+      options.cache_max_rows = static_cast<size_t>(value);
+    } else if (arg == "--query-threads" && next_int(&value)) {
+      options.query_threads = value;
+    } else if (arg == "--stats-interval" && next_int(&value)) {
+      options.stats_interval_sec = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  GraphDb graph = DemoGraph();
+  if (!graph_file.empty()) {
+    std::ifstream in(graph_file);
+    if (!in) {
+      std::cerr << "cannot open " << graph_file << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseGraphText(buffer.str());
+    if (!parsed.ok()) {
+      std::cerr << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    graph = std::move(parsed).value();
+  }
+
+  Database db(std::move(graph));
+  Server server(&db, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "start failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cerr << "ecrpq-serverd serving " << db.graph().num_nodes()
+            << " nodes / " << db.graph().num_edges() << " edges on "
+            << options.bind_address << ":" << server.port() << " ("
+            << server.options().executor_threads << " executors, "
+            << server.admission().max_in_flight() << "+"
+            << server.admission().max_queue() << " admission)\n";
+  std::cout << "LISTENING " << server.port() << std::endl;
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "ecrpq-serverd draining...\n";
+  server.Stop();
+  std::cerr << "ecrpq-serverd stopped cleanly\n";
+  return 0;
+}
