@@ -173,6 +173,7 @@ Status Client::DecodeRows(const Frame& frame, RowsPage* page) const {
   page->cursor_id = rows.cursor_id;
   page->done = (rows.flags & kRowsFlagDone) != 0;
   page->from_cache = (rows.flags & kRowsFlagFromCache) != 0;
+  page->truncated = (rows.flags & kRowsFlagTruncated) != 0;
   page->arity = rows.arity;
   page->rows = std::move(rows.rows);
   return Status::OK();

@@ -64,6 +64,9 @@ class Client {
     uint64_t cursor_id = 0;  ///< 0 = complete, nothing to fetch
     bool done = false;
     bool from_cache = false;
+    /// The server's max_result_rows ceiling cut the result: the rows are
+    /// a prefix of the full answer set.
+    bool truncated = false;
     uint16_t arity = 0;
     std::vector<std::vector<std::string>> rows;
   };

@@ -1,5 +1,6 @@
 #include "server/protocol.h"
 
+#include <cassert>
 #include <cstring>
 
 namespace ecrpq {
@@ -40,6 +41,10 @@ bool IsKnownMsgType(uint8_t type) {
 // ---- framing ----------------------------------------------------------------
 
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  // Oversized payloads must be caught where the frame is built (the
+  // session byte-caps ROWS pages); encoding one anyway would overflow
+  // the u32 length prefix and desynchronize the stream for the peer.
+  assert(frame.payload.size() <= kMaxFrameBody - kMinFrameBody);
   const uint32_t body_len =
       static_cast<uint32_t>(kMinFrameBody + frame.payload.size());
   WireWriter w(out);

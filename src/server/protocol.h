@@ -172,12 +172,15 @@ struct PrepareReply {
 
 struct RowsReply {
   uint64_t cursor_id = 0;  ///< 0 = no cursor (result fit in this page)
-  uint8_t flags = 0;       ///< kRowsFlagDone | kRowsFlagFromCache
+  uint8_t flags = 0;       ///< kRowsFlag* bits
   uint16_t arity = 0;
   std::vector<std::vector<std::string>> rows;
 };
 inline constexpr uint8_t kRowsFlagDone = 0x01;
 inline constexpr uint8_t kRowsFlagFromCache = 0x02;
+/// The server's max_result_rows ceiling stopped the execution: the rows
+/// streamed through this cursor are a prefix of the full answer set.
+inline constexpr uint8_t kRowsFlagTruncated = 0x04;
 
 struct ErrorReply {
   uint32_t code = 0;  ///< StatusCode

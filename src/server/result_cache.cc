@@ -4,21 +4,37 @@
 
 namespace ecrpq {
 
+namespace {
+
+/// Appends a u32 length prefix, then the bytes. Param values are
+/// client-supplied node names that may contain ANY byte, so no joiner
+/// character can delimit components unambiguously — only an explicit
+/// length can.
+void AppendLengthPrefixed(const std::string& s, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
+  out->append(s);
+}
+
+}  // namespace
+
 std::string ResultCache::Key(
     const std::string& text,
     const std::vector<std::pair<std::string, std::string>>& params) {
-  // Canonical form: text, then name=value pairs sorted by name, joined
-  // with unit separators (0x1f cannot appear in parsed query text and is
-  // vanishingly unlikely in node names; a collision would only conflate
-  // two keys of the same text, not corrupt results across texts).
+  // Canonical form: length-prefixed text, then length-prefixed
+  // name/value pairs sorted by name. Two distinct (text, params)
+  // bindings can never build the same key, so a shared cross-session
+  // cache can never serve rows computed for a different binding.
   std::vector<std::pair<std::string, std::string>> sorted = params;
   std::sort(sorted.begin(), sorted.end());
-  std::string key = text;
+  std::string key;
+  key.reserve(text.size() + 4 * (1 + 2 * sorted.size()));
+  AppendLengthPrefixed(text, &key);
   for (const auto& [name, value] : sorted) {
-    key += '\x1f';
-    key += name;
-    key += '\x1e';
-    key += value;
+    AppendLengthPrefixed(name, &key);
+    AppendLengthPrefixed(value, &key);
   }
   return key;
 }
@@ -50,7 +66,7 @@ CachedResultPtr ResultCache::Lookup(const std::string& key,
 void ResultCache::Insert(const std::string& key, const GraphIndexPtr& index,
                          CachedResultPtr result) {
   if (capacity_ == 0 || index == nullptr || result == nullptr ||
-      result->rows.size() > max_rows_) {
+      result->truncated || result->rows.size() > max_rows_) {
     return;
   }
   std::lock_guard<std::mutex> lock(mutex_);

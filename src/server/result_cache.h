@@ -36,6 +36,9 @@ namespace ecrpq {
 /// (immutable) between the cache and in-flight replies.
 struct CachedResult {
   uint16_t arity = 0;
+  /// The server's max_result_rows ceiling stopped the execution early;
+  /// rows is a prefix of the full answer set. Never cached.
+  bool truncated = false;
   std::vector<std::vector<std::string>> rows;
 };
 using CachedResultPtr = std::shared_ptr<const CachedResult>;

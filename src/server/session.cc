@@ -9,6 +9,11 @@ namespace {
 
 constexpr uint32_t kMaxPageSize = 65536;
 
+// Encoded-byte budget for the rows of one ROWS page: the frame body may
+// not exceed kMaxFrameBody, and the reply's fixed fields (cursor_id,
+// flags, arity, row count) plus the frame header need headroom.
+constexpr size_t kPageByteBudget = kMaxFrameBody - 64;
+
 /// A bare acknowledgment (CANCEL / CLOSE-*): type + echoed id, no payload.
 Frame OkFrame(uint32_t request_id) {
   Frame frame;
@@ -17,15 +22,37 @@ Frame OkFrame(uint32_t request_id) {
   return frame;
 }
 
-/// One ROWS page worth of rows out of a rendered result.
+/// One ROWS page worth of rows out of a rendered result, capped both by
+/// row count and by encoded byte size so the page always fits in one
+/// frame (row count alone doesn't bound it: names are arbitrary-length).
+/// Sets *status only when the next row alone exceeds the frame limit and
+/// therefore can never be sent.
 RowsReply BuildPage(const CachedResultPtr& result, size_t offset,
-                    uint32_t count) {
+                    uint32_t count, Status* status) {
   RowsReply reply;
   reply.arity = result->arity;
-  size_t end = std::min(result->rows.size(), offset + count);
-  reply.rows.assign(result->rows.begin() + offset,
-                    result->rows.begin() + end);
-  if (end >= result->rows.size()) reply.flags |= kRowsFlagDone;
+  if (result->truncated) reply.flags |= kRowsFlagTruncated;
+  const size_t end = std::min(result->rows.size(), offset + count);
+  size_t budget = kPageByteBudget;
+  for (size_t i = offset; i < end; ++i) {
+    const std::vector<std::string>& row = result->rows[i];
+    size_t encoded = 0;
+    for (const std::string& value : row) encoded += 4 + value.size();
+    if (encoded > budget) {
+      if (reply.rows.empty()) {
+        *status = Status::ResourceExhausted(
+            "result row encodes to " + std::to_string(encoded) +
+            " bytes, beyond the " + std::to_string(kMaxFrameBody) +
+            "-byte frame limit");
+      }
+      return reply;  // never kRowsFlagDone: rows (the big one) remain
+    }
+    budget -= encoded;
+    reply.rows.push_back(row);
+  }
+  if (offset + reply.rows.size() >= result->rows.size()) {
+    reply.flags |= kRowsFlagDone;
+  }
   return reply;
 }
 
@@ -39,11 +66,20 @@ Frame Session::ErrorFrame(uint32_t request_id, const Status& status) const {
 }
 
 std::optional<Frame> Session::PreadmitExecute(const Frame& frame) {
+  const Status duplicate = Status::InvalidArgument(
+      "request id " + std::to_string(frame.request_id) +
+      " already has an execute in flight");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
       return ErrorFrame(frame.request_id,
                         Status::FailedPrecondition("session closed"));
+    }
+    // Reject duplicates before touching the admission counter so the
+    // answer is a deterministic ERROR even when the server is saturated.
+    if (in_flight_.count(frame.request_id) > 0) {
+      stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+      return ErrorFrame(frame.request_id, duplicate);
     }
   }
   if (!admission_->TryAdmit()) {
@@ -59,9 +95,23 @@ std::optional<Frame> Session::PreadmitExecute(const Frame& frame) {
   // Register the token now, on the I/O thread: an out-of-band CANCEL (or
   // a disconnect) must reach an execute that is still waiting for an
   // executor thread, not only one that already started.
-  std::lock_guard<std::mutex> lock(mutex_);
-  in_flight_[frame.request_id] = std::make_shared<CancellationToken>();
-  return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool inserted =
+        in_flight_
+            .emplace(frame.request_id, std::make_shared<CancellationToken>())
+            .second;
+    if (inserted) return std::nullopt;
+  }
+  // A duplicate raced in between the check above and the admit (only
+  // possible for direct Handle() callers — the I/O thread serializes a
+  // connection's frames). Overwriting the registration would make two
+  // admissions share one in_flight_ entry — its single erase would
+  // release one slot and leak the other permanently — so reject the
+  // duplicate and give its slot back.
+  admission_->Release();
+  stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+  return ErrorFrame(frame.request_id, duplicate);
 }
 
 Session::HandleResult Session::Handle(const Frame& frame) {
@@ -248,15 +298,24 @@ Frame Session::HandleExecute(const Frame& frame) {
   GraphIndexPtr snapshot = db_->graph_index();
   if (!bypass_cache) {
     if (CachedResultPtr hit = cache_->Lookup(cache_key, snapshot)) {
-      return finish(RowsPage(frame.request_id, hit, 0, page_size,
-                             /*from_cache=*/true),
-                    true, hit->rows.size());
+      Frame page = RowsPage(frame.request_id, hit, 0, page_size,
+                            /*from_cache=*/true);
+      const bool sent_rows = page.type == MsgType::kRows;
+      return finish(std::move(page), sent_rows,
+                    sent_rows ? hit->rows.size() : 0);
     }
   }
 
   // ---- engine run ---------------------------------------------------------
+  // Server-side ceiling on materialized rows: with row_limit=0 a single
+  // pathological query must not buffer an unbounded result set here, so
+  // the weaker of (client limit, max_result_rows) bounds the run and a
+  // capped result is flagged truncated.
+  const uint64_t row_cap = options_->max_result_rows;
+  const bool server_capped =
+      row_cap > 0 && (req.row_limit == 0 || req.row_limit > row_cap);
   ExecuteOptions exec;
-  exec.limit = req.row_limit;
+  exec.limit = server_capped ? row_cap : req.row_limit;
   exec.deadline = deadline;
   exec.cancellation = token;
   exec.build_path_answers = false;  // the wire carries node tuples only
@@ -292,6 +351,7 @@ Frame Session::HandleExecute(const Frame& frame) {
   auto rendered = std::make_shared<CachedResult>();
   rendered->arity =
       static_cast<uint16_t>(stmt.query().head_nodes().size());
+  rendered->truncated = server_capped && tuples.size() >= row_cap;
   {
     auto guard = db_->SharedReadGuard();
     const GraphDb& graph = db_->graph();
@@ -309,16 +369,23 @@ Frame Session::HandleExecute(const Frame& frame) {
   // the entry is keyed to the snapshot we probed with, and a mutation in
   // between means the engine may have run against a newer one.
   if (!bypass_cache && db_->graph_index() == snapshot) {
-    cache_->Insert(cache_key, snapshot, result);
+    cache_->Insert(cache_key, snapshot, result);  // refuses truncated
   }
-  return finish(RowsPage(frame.request_id, result, 0, page_size,
-                         /*from_cache=*/false),
-                true, result->rows.size());
+  Frame page = RowsPage(frame.request_id, result, 0, page_size,
+                        /*from_cache=*/false);
+  const bool sent_rows = page.type == MsgType::kRows;
+  return finish(std::move(page), sent_rows,
+                sent_rows ? result->rows.size() : 0);
 }
 
 Frame Session::RowsPage(uint32_t request_id, CachedResultPtr result,
                         size_t offset, uint32_t page_size, bool from_cache) {
-  RowsReply reply = BuildPage(result, offset, page_size);
+  Status page_status = Status::OK();
+  RowsReply reply = BuildPage(result, offset, page_size, &page_status);
+  if (!page_status.ok()) {
+    stats_->executes_error.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(request_id, page_status);
+  }
   if (from_cache) reply.flags |= kRowsFlagFromCache;
   if ((reply.flags & kRowsFlagDone) == 0) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -348,7 +415,15 @@ Frame Session::HandleFetch(const Frame& frame) {
                       Status::NotFound("unknown cursor id " +
                                        std::to_string(req.cursor_id)));
   }
-  RowsReply reply = BuildPage(it->second.result, it->second.offset, page_size);
+  Status page_status = Status::OK();
+  RowsReply reply =
+      BuildPage(it->second.result, it->second.offset, page_size, &page_status);
+  if (!page_status.ok()) {
+    // An unsendable row blocks this cursor for good: drop it so the
+    // client isn't invited to re-fetch into the same error forever.
+    cursors_.erase(it);
+    return ErrorFrame(frame.request_id, page_status);
+  }
   stats_->rows_returned.fetch_add(reply.rows.size(),
                                   std::memory_order_relaxed);
   if (reply.flags & kRowsFlagDone) {

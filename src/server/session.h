@@ -63,6 +63,11 @@ struct ServingOptions {
   /// Rows per ROWS page when the client does not ask otherwise.
   uint32_t default_page_size = 1024;
 
+  /// Ceiling on rows materialized per execute (0 = unlimited). A result
+  /// that hits it is truncated, flagged kRowsFlagTruncated, and never
+  /// cached — bounding server memory even for row_limit=0 requests.
+  uint64_t max_result_rows = 1u << 20;
+
   /// Worker lanes per query execution (EvalOptions::num_threads).
   /// Serving defaults to 1: under concurrent load, inter-query
   /// parallelism across executor threads beats intra-query fan-out.
@@ -93,8 +98,11 @@ class Session {
 
   /// Admission + in-flight registration for an EXECUTE frame, run on the
   /// I/O thread at receipt. Returns the OVERLOADED reply when the request
-  /// was shed (do not queue it); nullopt when admitted — the frame must
-  /// then be passed to Handle(), which releases the slot when done.
+  /// was shed, or an ERROR reply when request_id already has an execute
+  /// in flight (a duplicate must not double-register one id: its two
+  /// finishes would release one admission slot, leaking the other
+  /// forever); nullopt when admitted — the frame must then be passed to
+  /// Handle(), which releases the slot when done.
   std::optional<Frame> PreadmitExecute(const Frame& frame);
 
   /// Processes one decoded frame and returns the replies. EXECUTE frames

@@ -20,6 +20,7 @@ uint64_t DeadlineMonitor::Arm(std::shared_ptr<CancellationToken> token,
   }
   uint64_t id = next_id_++;
   heap_.push(Entry{deadline, id, token});
+  armed_.insert(id);
   lock.unlock();
   cv_.notify_one();  // the new deadline may be the earliest
   return id;
@@ -27,9 +28,15 @@ uint64_t DeadlineMonitor::Arm(std::shared_ptr<CancellationToken> token,
 
 void DeadlineMonitor::Disarm(uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  // The heap entry is discarded when it reaches the top; until then the
-  // id sits in the tombstone set (bounded by armed-and-unexpired count).
-  disarmed_.insert(id);
+  // Tombstone only ids still sitting in the heap: a deadline that
+  // already fired was popped by Loop (which erased it from armed_), and
+  // inserting a tombstone for it would never be cleaned up again.
+  if (armed_.erase(id) > 0) disarmed_.insert(id);
+}
+
+size_t DeadlineMonitor::pending_tombstones() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disarmed_.size();
 }
 
 void DeadlineMonitor::Loop() {
@@ -45,6 +52,7 @@ void DeadlineMonitor::Loop() {
       }
       if (top.deadline > Clock::now()) break;
       std::shared_ptr<CancellationToken> token = top.token.lock();
+      armed_.erase(top.id);  // fired: a later Disarm must be a no-op
       heap_.pop();
       if (token != nullptr) token->Cancel();
     }

@@ -53,6 +53,10 @@ class DeadlineMonitor {
   /// and with an id the monitor already discarded.
   void Disarm(uint64_t id);
 
+  /// Tombstones awaiting lazy removal from the heap (tests: bounded by
+  /// the disarmed-but-not-yet-popped count, never by fired deadlines).
+  size_t pending_tombstones() const;
+
   ~DeadlineMonitor();
 
  private:
@@ -68,9 +72,10 @@ class DeadlineMonitor {
     }
   };
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<uint64_t> armed_;     // ids currently in heap_
   std::unordered_set<uint64_t> disarmed_;  // lazily removed from heap_
   uint64_t next_id_ = 1;
   bool stop_ = false;

@@ -180,6 +180,25 @@ TEST(DeadlineMonitor, DisarmPreventsLateTrip) {
   EXPECT_FALSE(token->cancelled());
 }
 
+// Regression: disarming AFTER the deadline fired (the normal order for
+// every deadline-expired execution: the monitor pops the entry, then the
+// guard destructs) must not leave a tombstone behind — in a long-running
+// server that set grows one entry per tripped deadline, forever.
+TEST(DeadlineMonitor, FiredDeadlineLeavesNoTombstone) {
+  DeadlineMonitor& monitor = DeadlineMonitor::Shared();
+  const size_t before = monitor.pending_tombstones();
+  for (int i = 0; i < 16; ++i) {
+    auto token = std::make_shared<CancellationToken>();
+    DeadlineGuard guard(token, steady_clock::now() + milliseconds(5));
+    for (int j = 0; j < 500 && !token->cancelled(); ++j) {
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+    ASSERT_TRUE(token->cancelled());
+  }  // each guard disarmed after its deadline fired
+  EXPECT_LE(monitor.pending_tombstones(), before)
+      << "post-fire Disarm must be a true no-op, not a leaked tombstone";
+}
+
 TEST(DeadlineMonitor, TripsExpiredTokens) {
   auto token = std::make_shared<CancellationToken>();
   DeadlineGuard guard(token, steady_clock::now() + milliseconds(30));

@@ -18,8 +18,12 @@
 #include <vector>
 
 #include "api/api.h"
+#include "server/admission.h"
 #include "server/client.h"
+#include "server/result_cache.h"
 #include "server/server.h"
+#include "server/server_stats.h"
+#include "server/session.h"
 
 namespace ecrpq {
 namespace {
@@ -271,6 +275,25 @@ TEST(ServerCache, HitThenMutateGraphInvalidates) {
   EXPECT_NE(v0_page.rows.size(), v5_page.rows.size());
 }
 
+// Regression: the key must be injection-proof. Param values are
+// client-supplied node names that may contain any byte, so a joiner
+// character cannot delimit components — two different bindings colliding
+// would serve one client's rows to another.
+TEST(ServerCache, KeyCannotBeForgedAcrossBindings) {
+  const std::string tricky =
+      std::string("x") + '\x1f' + "b" + '\x1e' + "y";  // old separators
+  EXPECT_NE(ResultCache::Key("q", {{"a", tricky}}),
+            ResultCache::Key("q", {{"a", "x"}, {"b", "y"}}));
+  // Bytes must not slide across the name/value boundary...
+  EXPECT_NE(ResultCache::Key("q", {{"ab", "c"}}),
+            ResultCache::Key("q", {{"a", "bc"}}));
+  // ...nor across the text/params boundary.
+  EXPECT_NE(ResultCache::Key("qa", {}), ResultCache::Key("q", {{"a", ""}}));
+  // Canonicalization still holds: binding order is irrelevant.
+  EXPECT_EQ(ResultCache::Key("q", {{"a", "1"}, {"b", "2"}}),
+            ResultCache::Key("q", {{"b", "2"}, {"a", "1"}}));
+}
+
 TEST(ServerCache, BypassFlagSkipsCache) {
   TestServer ts(20);
   ASSERT_TRUE(ts.start_status.ok());
@@ -285,6 +308,72 @@ TEST(ServerCache, BypassFlagSkipsCache) {
   bypass.bypass_cache = true;
   ASSERT_TRUE(client.Execute(stmt_id, bypass, &page).ok());
   EXPECT_FALSE(page.from_cache);
+}
+
+// The server-side row ceiling bounds what one execute may materialize:
+// the result comes back truncated+flagged, and a truncated prefix is
+// never cached (a later caller must get the real answer set).
+TEST(ServerSession, ServerRowCapTruncatesAndSkipsCache) {
+  ServingOptions options;
+  options.max_result_rows = 10;
+  TestServer ts(40, options);
+  ASSERT_TRUE(ts.start_status.ok());
+  Client client;
+  ASSERT_TRUE(ts.ConnectClient(&client).ok());
+
+  uint32_t stmt_id = 0;
+  ASSERT_TRUE(client.Prepare(kPairsQuery, &stmt_id).ok());
+  Client::RowsPage page;
+  ASSERT_TRUE(client.Execute(stmt_id, {}, &page).ok());
+  EXPECT_TRUE(page.truncated);
+  EXPECT_TRUE(page.done);
+  EXPECT_EQ(page.rows.size(), 10u) << "ceiling must stop materialization";
+
+  ASSERT_TRUE(client.Execute(stmt_id, {}, &page).ok());
+  EXPECT_FALSE(page.from_cache) << "truncated results must not be cached";
+  EXPECT_EQ(ts.server->cache().size(), 0u);
+
+  // A client limit under the ceiling behaves as before: exact, unflagged.
+  Client::ExecuteSpec spec;
+  spec.row_limit = 5;
+  ASSERT_TRUE(client.Execute(stmt_id, spec, &page).ok());
+  EXPECT_FALSE(page.truncated);
+  EXPECT_EQ(page.rows.size(), 5u);
+}
+
+// Regression: a ROWS page was capped only by row count, so rows with
+// long node names could encode past kMaxFrameBody — the client treats
+// such a frame as a fatal protocol violation. Pages must be byte-capped
+// and a single unsendable row must become a clean ERROR, not a torn
+// stream.
+TEST(ServerSession, OversizedRowsErrorInsteadOfBreakingFraming) {
+  TestServer ts(2);
+  ASSERT_TRUE(ts.start_status.ok());
+  Client client;
+  ASSERT_TRUE(ts.ConnectClient(&client).ok());
+
+  // Two ~9 MiB node names, created by separate MUTATEs (together they
+  // exceed one frame) and then connected so the pairs query must emit
+  // the 18 MiB row (giant_a, giant_b) — beyond any legal frame.
+  const std::string giant_a(9 * 1024 * 1024, 'A');
+  const std::string giant_b(9 * 1024 * 1024, 'B');
+  ASSERT_TRUE(client.Mutate({{giant_a, "a", "mid"}}, nullptr, nullptr).ok());
+  ASSERT_TRUE(client.Mutate({{"mid", "a", giant_b}}, nullptr, nullptr).ok());
+
+  uint32_t stmt_id = 0;
+  ASSERT_TRUE(client.Prepare(kPairsQuery, &stmt_id).ok());
+  Client::RowsPage page;
+  Status status = client.Execute(stmt_id, {}, &page);
+  while (status.ok() && !page.done) {
+    status = client.Fetch(page.cursor_id, 0, &page);
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << "the oversized row must surface as an explicit error: "
+      << status.ToString();
+
+  // The connection survived — framing never desynchronized.
+  std::string text;
+  EXPECT_TRUE(client.Stats(&text).ok());
 }
 
 // ---- admission control ------------------------------------------------------
@@ -324,6 +413,108 @@ TEST(ServerAdmission, ShedsBeyondCapacityWithExplicitOverloaded) {
   EXPECT_EQ(busy.AwaitRows(burn_id, &burned).code(), StatusCode::kCancelled);
   status = second.Execute(stmt2, {}, &page);
   EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Regression: two pipelined EXECUTEs under one request_id must not
+// double-register the id — the pair would release one admission slot and
+// leak the other permanently, bleeding capacity until every execute is
+// shed OVERLOADED. The duplicate gets an ERROR and no slot.
+TEST(ServerAdmission, DuplicateRequestIdRejectedWithoutLeakingSlot) {
+  Database db(Chain(10));
+  ResultCache cache;
+  AdmissionController admission(4, 0);
+  ServerStats stats;
+  ServingOptions options;
+  Session session(&db, &cache, &admission, &stats, &options, 1);
+
+  ASSERT_EQ(session.Handle(MakeFrame(MsgType::kHello, 1, HelloRequest{}))
+                .replies[0]
+                .type,
+            MsgType::kHelloOk);
+  PrepareRequest prep;
+  prep.text = kPairsQuery;
+  Session::HandleResult prepared =
+      session.Handle(MakeFrame(MsgType::kPrepare, 2, prep));
+  ASSERT_EQ(prepared.replies[0].type, MsgType::kPrepareOk);
+  PrepareReply prep_reply;
+  ASSERT_TRUE(Decode(prepared.replies[0].payload, &prep_reply).ok());
+
+  ExecuteRequest exec;
+  exec.stmt_id = prep_reply.stmt_id;
+  Frame frame = MakeFrame(MsgType::kExecute, 7, exec);
+  ASSERT_FALSE(session.PreadmitExecute(frame).has_value());
+  EXPECT_EQ(admission.admitted(), 1);
+
+  std::optional<Frame> dup = session.PreadmitExecute(frame);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->type, MsgType::kError);
+  EXPECT_EQ(admission.admitted(), 1) << "duplicate must not hold a slot";
+
+  Session::HandleResult done = session.Handle(frame);
+  ASSERT_EQ(done.replies.size(), 1u);
+  EXPECT_EQ(done.replies[0].type, MsgType::kRows);
+  EXPECT_EQ(admission.admitted(), 0)
+      << "exactly one release per admission, even after a duplicate";
+
+  // Once the first finished, reusing its id is legal again.
+  ASSERT_FALSE(session.PreadmitExecute(frame).has_value());
+  EXPECT_EQ(admission.admitted(), 1);
+  EXPECT_EQ(session.Handle(frame).replies[0].type, MsgType::kRows);
+  EXPECT_EQ(admission.admitted(), 0);
+}
+
+TEST(ServerAdmission, DuplicateRequestIdOverWireDoesNotExhaustCapacity) {
+  ServingOptions options;
+  options.executor_threads = 2;
+  options.max_in_flight = 2;
+  options.max_queue = 0;
+  TestServer ts(2000, options);
+  ASSERT_TRUE(ts.start_status.ok());
+  Client client;
+  ASSERT_TRUE(ts.ConnectClient(&client).ok());
+  uint32_t stmt_id = 0;
+  ASSERT_TRUE(client.Prepare(kBurnQuery, &stmt_id).ok());
+
+  ExecuteRequest req;
+  req.stmt_id = stmt_id;
+  req.flags = kExecFlagBypassCache;
+  ASSERT_TRUE(client.SendFrame(MakeFrame(MsgType::kExecute, 100, req)).ok());
+  std::this_thread::sleep_for(milliseconds(100));  // burn is in flight
+  ASSERT_TRUE(client.SendFrame(MakeFrame(MsgType::kExecute, 100, req)).ok());
+
+  Frame reply;
+  ASSERT_TRUE(client.ReadFrame(&reply).ok());
+  EXPECT_EQ(reply.type, MsgType::kError) << "duplicate id must be rejected";
+  EXPECT_EQ(reply.request_id, 100u);
+
+  CancelRequest cancel;
+  cancel.target_request_id = 100;
+  ASSERT_TRUE(client.SendFrame(MakeFrame(MsgType::kCancel, 101, cancel)).ok());
+  bool saw_cancel_ack = false;
+  bool saw_burn_reply = false;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.ReadFrame(&reply).ok());
+    if (reply.request_id == 101) {
+      EXPECT_EQ(reply.type, MsgType::kOk);
+      saw_cancel_ack = true;
+    } else {
+      EXPECT_EQ(reply.request_id, 100u);
+      EXPECT_EQ(reply.type, MsgType::kError);
+      saw_burn_reply = true;
+    }
+  }
+  EXPECT_TRUE(saw_cancel_ack);
+  EXPECT_TRUE(saw_burn_reply);
+
+  // Every admitted slot was released: the server reports zero in flight
+  // and still serves at full capacity.
+  std::string text;
+  ASSERT_TRUE(client.Stats(&text).ok());
+  EXPECT_NE(text.find("admission.in_flight=0"), std::string::npos) << text;
+  uint32_t pairs_stmt = 0;
+  ASSERT_TRUE(client.Prepare(kPairsQuery, &pairs_stmt).ok());
+  Client::RowsPage page;
+  EXPECT_TRUE(client.Execute(pairs_stmt, {}, &page).ok());
 }
 
 // ---- cancellation and deadlines ---------------------------------------------

@@ -80,6 +80,7 @@ int RunQuery(Client& client, const std::vector<std::string>& args) {
   // Only the execute's first page carries the from-cache flag; fetched
   // continuation pages come out of the cursor either way.
   const bool from_cache = page.from_cache;
+  const bool truncated = page.truncated;
   PrintPage(page);
   while (!page.done && page.cursor_id != 0) {
     status = client.Fetch(page.cursor_id, spec.page_size, &page);
@@ -87,7 +88,9 @@ int RunQuery(Client& client, const std::vector<std::string>& args) {
     total += page.rows.size();
     PrintPage(page);
   }
-  std::cerr << total << " row(s)" << (from_cache ? " [cached]" : "") << "\n";
+  std::cerr << total << " row(s)" << (from_cache ? " [cached]" : "")
+            << (truncated ? " [truncated by server max-result-rows]" : "")
+            << "\n";
   return 0;
 }
 

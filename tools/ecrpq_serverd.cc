@@ -54,6 +54,8 @@ int Usage(const char* argv0) {
       << "  --max-queue N      queued executes before OVERLOADED\n"
       << "  --cache-capacity N result-cache entries (0 disables)\n"
       << "  --cache-max-rows N largest memoizable result\n"
+      << "  --max-result-rows N rows materialized per execute before the\n"
+      << "                     result is truncated+flagged (0 = unlimited)\n"
       << "  --query-threads N  worker lanes per query (default 1)\n"
       << "  --stats-interval N periodic serving log line every N seconds\n";
   return 2;
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
       options.cache_capacity = static_cast<size_t>(value);
     } else if (arg == "--cache-max-rows" && next_int(&value)) {
       options.cache_max_rows = static_cast<size_t>(value);
+    } else if (arg == "--max-result-rows" && next_int(&value)) {
+      options.max_result_rows = static_cast<uint64_t>(value);
     } else if (arg == "--query-threads" && next_int(&value)) {
       options.query_threads = value;
     } else if (arg == "--stats-interval" && next_int(&value)) {
