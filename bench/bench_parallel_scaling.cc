@@ -2,31 +2,52 @@
 // engine paths, measured by the bench itself (BENCH json + twin-speedup
 // lines at exit; CI greps the 1→4 speedup).
 //
-// Three workloads at num_threads ∈ {1, 2, 4, 8}:
+// Two tiers at num_threads ∈ {1, 2, 4, 8}:
 //
-//   ProductSearch    an eq-synchronized two-track component with one free
-//                    start variable — V independent product searches,
-//                    morsel-partitioned over the degree-ordered seeds
-//   PlannerJoin      the cross-component planner workload of
-//                    bench_planner_join (selective scan seeding an
-//                    expensive eq component) — parallel scan sources +
-//                    parallel seeded expansions under the cost-based plan
-//   ConcurrentClients 16 client threads sharing ONE Database and ONE
-//                    prepared query (plan-cache + snapshot protocol),
-//                    each running serial executions — inter-query
-//                    parallelism through the api layer
+// tiny/ — the original 72/40-node cases. Too small to show scaling by
+// design (the adaptive grain keeps most of their work serial); they are
+// kept as SERIAL-REGRESSION GUARDS: their threads/1 medians are diffed
+// against the committed baselines to prove the parallel machinery costs
+// the legacy path nothing.
+//
+//   tiny/ProductSearch  an eq-synchronized two-track component with one
+//                       free start variable — V independent product
+//                       searches, morsel-partitioned over the seeds
+//   tiny/PlannerJoin    the cross-component planner workload of
+//                       bench_planner_join (selective scan seeding an
+//                       expensive eq component)
+//
+// large/ — the scaling tier (10^5–10^6 nodes, >10^6 edges; the CI gate
+// reads the parallel-1to{4,8} lines of these cases):
+//
+//   large/GridProduct   ONE anchored product search on a 1000x1000
+//                       labeled grid (10^6 nodes, ~3M edges): two
+//                       eq-synchronized tracks from the corner under a
+//                       24-step length bound — a single shared frontier
+//                       growing to tens of thousands of configurations
+//                       per level, i.e. exactly the level-synchronous
+//                       lock-free expansion path
+//   large/PowerLawScan  reachability scan over a 2^17-node / 1.3M-edge
+//                       preferential-attachment graph (one bounded BFS
+//                       per source node, morsel-partitioned)
 //
 // num_threads=1 is the exact legacy serial path, so the t1 cases double
-// as the regression guard against PR 3 medians.
+// as the regression guard against prior-PR medians.
+//
+// ConcurrentClients is tier-free: 16 client threads sharing ONE Database
+// and ONE prepared query (plan-cache + snapshot protocol), measuring the
+// api layer's inter-query parallelism.
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/api.h"
 #include "bench_util.h"
+#include "graph/generators.h"
 
 namespace {
 
@@ -62,7 +83,7 @@ const char* kPlannerJoinQuery =
     "Ans(x, w) <- (x, p, u), c(p), (x, q, v), (v, r, w), eq(q, r)";
 
 void RunScaling(benchmark::State& state, const char* case_name,
-                const GraphDb& g, const char* query_text) {
+                const GraphDb& g, const std::string& query_text) {
   const int threads = static_cast<int>(state.range(0));
   Query query = MustParse(g, query_text);
   EvalOptions options;
@@ -94,22 +115,69 @@ void RunScaling(benchmark::State& state, const char* case_name,
                    {"answers", static_cast<double>(answers)}});
 }
 
-void ProductSearch(benchmark::State& state) {
+void TinyProductSearch(benchmark::State& state) {
   GraphDb g = MakeRandomGraph(72);
-  RunScaling(state, "ProductSearch", g, kProductQuery);
+  RunScaling(state, "tiny/ProductSearch", g, kProductQuery);
 }
-BENCHMARK(ProductSearch)
+BENCHMARK(TinyProductSearch)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-void PlannerJoin(benchmark::State& state) {
+void TinyPlannerJoin(benchmark::State& state) {
   GraphDb g = CrossComponentGraph(40, /*rare=*/3);
-  RunScaling(state, "PlannerJoin", g, kPlannerJoinQuery);
+  RunScaling(state, "tiny/PlannerJoin", g, kPlannerJoinQuery);
 }
-BENCHMARK(PlannerJoin)
+BENCHMARK(TinyPlannerJoin)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// 1000x1000 labeled grid (right/down/diagonal edges, 4 labels): one
+// anchored two-track eq search from the corner. The 24-fold letter group
+// bounds the word length, so the branching factor (~outdeg^2 / labels =
+// 2.25 per level) grows the shared frontier to the distinct-pair cap of
+// each level (~10^5 configurations) and the search cuts off at level 24
+// when the length automaton runs dry — a single large product search,
+// the workload the level-synchronous expansion exists for.
+void LargeGridProduct(benchmark::State& state) {
+  static const GraphDb& g = *[] {
+    auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+    Rng rng(42);
+    return new GraphDb(GridGraph(alphabet, 1000, 1000, &rng));
+  }();
+  std::string letter = "(a|b|c|d)";
+  std::string bounded;
+  for (int i = 0; i < 24; ++i) bounded += letter;
+  RunScaling(state, "large/GridProduct", g,
+             "Ans(y, z) <- (\"g0_0\", p, y), (\"g0_0\", q, z), eq(p, q), " +
+                 bounded + "(p)");
+}
+BENCHMARK(LargeGridProduct)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// 2^17-node preferential-attachment graph, 10 edges per node: one
+// bounded reachability BFS per source node (aaaa = exactly four a-steps),
+// morsel-partitioned over the sources.
+void LargePowerLawScan(benchmark::State& state) {
+  static const GraphDb& g = *[] {
+    auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+    Rng rng(42);
+    return new GraphDb(
+        PowerLawGraph(alphabet, 1 << 17, 10 * (1 << 17), &rng));
+  }();
+  RunScaling(state, "large/PowerLawScan", g,
+             "Ans(x) <- (x, p, y), aaaa(p)");
+}
+BENCHMARK(LargePowerLawScan)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

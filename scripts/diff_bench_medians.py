@@ -11,7 +11,9 @@ running the benches and then calls
 
 which compares every case's median_ns pairwise and prints a WARN line
 for each case slower than the warn threshold times its committed
-baseline. The warn threshold is, in order of precedence: --threshold,
+baseline. Cases present only in the fresh run print as NEW and are
+counted in the summary but never warn or fail — a PR that adds a bench
+tier diffs clean, and the next PR's committed baseline picks them up. The warn threshold is, in order of precedence: --threshold,
 the positional third argument, the BENCH_DIFF_THRESHOLD environment
 variable, then the 1.3 default.
 
@@ -80,6 +82,7 @@ def main(argv):
     regressions = 0
     failures = 0
     compared = 0
+    new_cases = 0
     for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
         fresh_path = fresh_dir / baseline_path.name
         if not fresh_path.exists():
@@ -87,6 +90,15 @@ def main(argv):
             continue
         baseline = load_cases(baseline_path)
         fresh = load_cases(fresh_path)
+        # Cases only the fresh run has are NEW, not regressions: a PR that
+        # adds a bench tier diffs clean and the next PR's baseline picks
+        # the case up. Listed so a silently renamed case is visible.
+        for name in sorted(set(fresh) - set(baseline)):
+            new_cases += 1
+            print(
+                f"NEW  [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms "
+                "(no committed baseline)"
+            )
         for name, base_ns in sorted(baseline.items()):
             if name not in fresh or base_ns <= 0:
                 continue
@@ -108,6 +120,8 @@ def main(argv):
         f"[bench-diff] compared {compared} cases, "
         f"{regressions} above {threshold:.2f}x baseline"
     )
+    if new_cases:
+        summary += f", {new_cases} new (no baseline)"
     if fail_over is not None:
         summary += f", {failures} above the {fail_over:.2f}x fail-over bar"
     print(summary)

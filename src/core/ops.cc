@@ -309,6 +309,8 @@ class ComponentSearchT {
     }
     const int T = static_cast<int>(comp_.tracks.size());
     ComputeLiveMasks(current);
+    scratch_cands_.resize(T);
+    for (int t = 0; t < T; ++t) GatherCandidates(t, current, *rq_.graph);
     scratch_letter_.assign(T, kPad);
     scratch_next_nodes_.assign(T, -1);
     auto counted = [&](ProductConfig next,
@@ -580,71 +582,82 @@ class ComponentSearchT {
       (*next_nodes)[t] = current.nodes[t];
       ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
     }
-    // Option 2: follow an edge. Forward: only when the track has not
-    // padded (bit unset). Backward: always (a started track must keep
-    // reading; an unstarted one may start here).
-    if (backward_ || !(current.padmask & (1u << t))) {
-      const NodeId v = current.nodes[t];
-      if (index_ != nullptr && use_masks_) {
-        // Indexed path: visit only the letters live for this track and
-        // present at the node (one AND against the node's label mask —
-        // out-labels forward, in-labels backward). Small adjacency rows
-        // are filtered linearly (a binary search per label costs more
-        // than reading a handful of edges); large rows jump straight to
-        // the per-label slices.
-        const uint64_t node_mask = backward_ ? index_->InLabelMask(v)
-                                             : index_->OutLabelMask(v);
-        const uint64_t mask = live_[t] & node_mask;
-        const int degree =
-            backward_ ? index_->in_degree(v) : index_->out_degree(v);
-        if (mask == 0) {
-          // No live letter at this node: the track can only pad.
-        } else if (degree <= 16) {
-          std::span<const Symbol> labels =
-              backward_ ? index_->InLabels(v) : index_->OutLabels(v);
-          std::span<const NodeId> targets =
-              backward_ ? index_->InSources(v) : index_->OutTargets(v);
-          for (size_t i = 0; i < labels.size(); ++i) {
-            if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
-              continue;
-            }
-            (*letter)[t] = labels[i];
-            (*next_nodes)[t] = targets[i];
-            ExpandRec(t + 1, total, current, letter, next_nodes, graph,
-                      emit);
-          }
-        } else {
-          uint64_t bits = mask;
-          while (bits != 0) {
-            Symbol label = static_cast<Symbol>(std::countr_zero(bits));
-            bits &= bits - 1;
-            std::span<const NodeId> slice =
-                backward_ ? index_->In(v, label) : index_->Out(v, label);
-            for (NodeId to : slice) {
-              (*letter)[t] = label;
-              (*next_nodes)[t] = to;
-              ExpandRec(t + 1, total, current, letter, next_nodes, graph,
-                        emit);
-            }
-          }
-        }
-      } else if (index_ != nullptr) {
+    // Option 2: follow an edge — the track's gathered candidates (empty
+    // when the configuration forbids edges on this track; the direction
+    // rules live in GatherCandidates). A dense flat loop: the inner
+    // tracks of the cross-product iterate contiguous pairs instead of
+    // re-filtering CSR slices once per outer combination.
+    for (const auto& [label, to] : scratch_cands_[t]) {
+      (*letter)[t] = label;
+      (*next_nodes)[t] = to;
+      ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+    }
+  }
+
+  // Gathers track t's edge options for `current` into scratch_cands_[t],
+  // once per configuration: live_[t] and the padmask depend only on the
+  // configuration — never on the partial letter assignment — so the
+  // (label, target) candidates of every track can be materialized before
+  // the cross-track recursion. Edges are allowed forward only while the
+  // track has not padded (bit unset); backward always (a started track
+  // must keep reading; an unstarted one may start here). Gathering
+  // follows the exact iteration order of the former in-place paths, so
+  // the emission sequence — and with it sink recording and every
+  // counter — is byte-identical:
+  //   * masked small rows (degree <= 16): linear filter of the CSR row,
+  //     ascending (label, target) — a binary search per label costs more
+  //     than reading a handful of edges;
+  //   * masked large rows: live letters in ascending label order via
+  //     countr_zero, each label's slice ascending by target;
+  //   * unmasked index rows: the full CSR row;
+  //   * no index: GraphDb adjacency in stored order (legacy path).
+  void GatherCandidates(int t, const ProductConfig& current,
+                        const GraphDb& graph) {
+    std::vector<std::pair<Symbol, NodeId>>& cands = scratch_cands_[t];
+    cands.clear();
+    if (!backward_ && (current.padmask & (1u << t)) != 0) return;
+    const NodeId v = current.nodes[t];
+    if (index_ != nullptr && use_masks_) {
+      const uint64_t node_mask =
+          backward_ ? index_->InLabelMask(v) : index_->OutLabelMask(v);
+      const uint64_t mask = live_[t] & node_mask;
+      const int degree =
+          backward_ ? index_->in_degree(v) : index_->out_degree(v);
+      if (mask == 0) {
+        // No live letter at this node: the track can only pad.
+      } else if (degree <= 16) {
         std::span<const Symbol> labels =
             backward_ ? index_->InLabels(v) : index_->OutLabels(v);
         std::span<const NodeId> targets =
             backward_ ? index_->InSources(v) : index_->OutTargets(v);
         for (size_t i = 0; i < labels.size(); ++i) {
-          (*letter)[t] = labels[i];
-          (*next_nodes)[t] = targets[i];
-          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+          if (((mask >> std::min<Symbol>(labels[i], 63)) & 1) == 0) {
+            continue;
+          }
+          cands.emplace_back(labels[i], targets[i]);
         }
       } else {
-        const auto& adjacency = backward_ ? graph.In(v) : graph.Out(v);
-        for (const auto& [label, to] : adjacency) {
-          (*letter)[t] = label;
-          (*next_nodes)[t] = to;
-          ExpandRec(t + 1, total, current, letter, next_nodes, graph, emit);
+        uint64_t bits = mask;
+        while (bits != 0) {
+          Symbol label = static_cast<Symbol>(std::countr_zero(bits));
+          bits &= bits - 1;
+          std::span<const NodeId> slice =
+              backward_ ? index_->In(v, label) : index_->Out(v, label);
+          for (NodeId to : slice) cands.emplace_back(label, to);
         }
+      }
+    } else if (index_ != nullptr) {
+      std::span<const Symbol> labels =
+          backward_ ? index_->InLabels(v) : index_->OutLabels(v);
+      std::span<const NodeId> targets =
+          backward_ ? index_->InSources(v) : index_->OutTargets(v);
+      for (size_t i = 0; i < labels.size(); ++i) {
+        cands.emplace_back(labels[i], targets[i]);
+      }
+    } else {
+      const auto& adjacency = backward_ ? graph.In(v) : graph.Out(v);
+      for (const auto& [label, to] : adjacency) {
+        cands.emplace_back(label, to);
       }
     }
   }
@@ -665,6 +678,8 @@ class ComponentSearchT {
   // Per-expansion scratch (hoisted out of the per-config hot loop).
   std::vector<Symbol> scratch_letter_;
   std::vector<NodeId> scratch_next_nodes_;
+  // Per-track edge candidates of the configuration being expanded.
+  std::vector<std::vector<std::pair<Symbol, NodeId>>> scratch_cands_;
   uint64_t visited_configs_ = 0;
   uint64_t frontier_expansions_ = 0;
   uint64_t arcs_explored_ = 0;
@@ -922,13 +937,13 @@ Status BidirectionalProductSearch(const ResolvedQuery& rq,
                     static_cast<int>(comp.relation_indices.size()),
                     rq.graph->num_nodes());
   struct Side {
-    ShardedVisitedTable visited;
+    HybridVisitedTable visited;
     // Meet table: packed node-tuple hash -> configs discovered here.
     std::unordered_map<uint64_t, std::vector<ProductConfig>> by_nodes;
     std::vector<ProductConfig> frontier;
-    Side(const ConfigCodec& codec, int shards) : visited(codec, shards) {}
+    Side(const ConfigCodec& codec, int lanes) : visited(codec, lanes) {}
   };
-  Side fwd(codec, lanes * 4), bwd(codec, lanes * 4);
+  Side fwd(codec, lanes), bwd(codec, lanes);
 
   auto node_key = [](const ProductConfig& c) {
     uint64_t h = 1469598103934665603ULL;
@@ -1008,8 +1023,11 @@ Status BidirectionalProductSearch(const ResolvedQuery& rq,
     const std::vector<NodeId>& anchors = step_fwd ? start_nodes : end_nodes;
 
     const size_t n = side.frontier.size();
-    const size_t grain = std::max<size_t>(1, n / (lanes * 4));
+    const size_t grain = AdaptiveGrain(n, lanes);
     std::vector<std::vector<ProductConfig>> slots((n + grain - 1) / grain);
+    // Configs the visited table bounced at its occupancy gate; retried in
+    // the serial phase after the barrier grows the table.
+    std::vector<std::vector<ProductConfig>> deferred(lanes);
     std::atomic<bool> failed{false};
     std::vector<Status> lane_statuses(lanes);
     ParallelMorsels(
@@ -1038,9 +1056,16 @@ Status BidirectionalProductSearch(const ResolvedQuery& rq,
                 &accepted,
                 [&](ProductConfig next, const std::vector<Symbol>& letters) {
                   (void)letters;
-                  if (side.visited.Insert(next)) {
-                    probe(next, step_fwd, other);
-                    slot.push_back(std::move(next));
+                  switch (side.visited.Insert(next)) {
+                    case VisitedInsert::kNew:
+                      probe(next, step_fwd, other);
+                      slot.push_back(std::move(next));
+                      break;
+                    case VisitedInsert::kDeferred:
+                      deferred[lane_id].push_back(std::move(next));
+                      break;
+                    case VisitedInsert::kPresent:
+                      break;
                   }
                 });
             (void)accepted;
@@ -1049,10 +1074,25 @@ Status BidirectionalProductSearch(const ResolvedQuery& rq,
     status = CombineLaneStatuses(lane_statuses);
     if (!status.ok()) break;
     // Serial phase: register the level's discoveries (meet table + next
-    // frontier) in slot order.
+    // frontier) in slot order, then grow the visited table and retry the
+    // deferred configs — a deferral never inserted, so the retry either
+    // claims the config (probed and registered exactly like a direct
+    // claim; the opposite meet table is still frozen) or finds another
+    // lane already claimed it. Exactly-once processing holds either way.
     side.frontier.clear();
     for (std::vector<ProductConfig>& slot : slots) {
       for (ProductConfig& c : slot) register_config(side, std::move(c));
+    }
+    uint64_t num_deferred = 0;
+    for (const auto& d : deferred) num_deferred += d.size();
+    side.visited.MaintainAtBarrier(num_deferred);
+    for (auto& d : deferred) {
+      for (ProductConfig& c : d) {
+        if (side.visited.Insert(c) == VisitedInsert::kNew) {
+          probe(c, step_fwd, other);
+          register_config(side, std::move(c));
+        }
+      }
     }
   }
 
@@ -1191,13 +1231,26 @@ Status MorselStartNodesExpand(const ResolvedQuery& rq,
   return MergeExpandLanes(lanes, cancel, stats, op, results);
 }
 
-// Shared-frontier parallel expansion of ONE anchored product search
-// (anchored on its direction's side: start nodes forward, end nodes
-// backward): every lane pops config batches off a shared frontier queue,
-// expands them through its private ComponentSearchT context, and inserts
-// successors into the sharded visited table (striped per-shard locks);
-// only the inserting lane enqueues a config, so each configuration is
-// processed exactly once. Termination: empty queue + no lane mid-batch.
+// Level-synchronous shared-frontier expansion of ONE anchored product
+// search (anchored on its direction's side: start nodes forward, end
+// nodes backward). Each BFS level's frontier is a flat array — packed
+// 8-byte config codes when the shape fits one word (the common case:
+// cache-friendly, unpacked into a reusable per-lane scratch config),
+// whole configurations otherwise — split into contiguous morsels
+// (AdaptiveGrain: tiny levels run inline on the caller, large ones give
+// each lane a few cache-local ranges). Lanes dedup successors through
+// the lock-free HybridVisitedTable — one relaxed CAS per novel config,
+// no locks on the hot path — into per-lane outboxes concatenated at the
+// level barrier; configs the table bounced at its occupancy gate are
+// parked per lane and retried after the barrier grows the table (a
+// deferral never inserts, so the retry preserves exactly-once claiming).
+//
+// Only the claiming lane forwards a config, so every configuration in
+// the closure is processed exactly once — which is all the determinism
+// contract needs: results fold into std::sets and every reported counter
+// (configs, arcs, frontier expansions, visited size) is a sum over the
+// closure, so answer tuples and EvalStats are identical at any lane
+// count regardless of morsel scheduling.
 Status SharedFrontierExpand(const ResolvedQuery& rq,
                             const ComponentSpec& comp,
                             const EvalOptions& options,
@@ -1209,101 +1262,153 @@ Status SharedFrontierExpand(const ResolvedQuery& rq,
                             OperatorStats& op,
                             std::set<std::vector<NodeId>>* results) {
   const bool backward = direction == SearchDirection::kBackward;
+  const int lanes = std::max(num_lanes, 1);
   SharedSubsetPool pool;
-  ComponentSearchT<SharedSubsetPool> init_ctx(rq, comp, options, &pool,
-                                              backward);
+  using Ctx = ComponentSearchT<SharedSubsetPool>;
+  std::vector<std::unique_ptr<Ctx>> ctxs;
+  ctxs.reserve(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    ctxs.push_back(std::make_unique<Ctx>(rq, comp, options, &pool, backward));
+  }
   ProductConfig init;
-  if (!init_ctx.MakeInitialConfig(anchor_nodes, &init)) return Status::OK();
+  if (!ctxs[0]->MakeInitialConfig(anchor_nodes, &init)) return Status::OK();
+  ++stats.start_assignments;
 
   ConfigCodec codec(static_cast<int>(comp.tracks.size()),
                     static_cast<int>(comp.relation_indices.size()),
                     rq.graph->num_nodes());
-  ShardedVisitedTable visited(codec, num_lanes * 4);
-  FrontierQueue frontier;
-  visited.Insert(init);
+  HybridVisitedTable visited(codec, lanes);
+
+  // Current level. Subset ids are interned once per distinct state set,
+  // so within one run a config is deterministically packable or not —
+  // the two arrays partition the frontier consistently across levels.
+  std::vector<uint64_t> frontier_packed;
+  std::vector<ProductConfig> frontier_generic;
   {
-    std::vector<ProductConfig> seed;
-    seed.push_back(std::move(init));
-    frontier.PushBatch(std::move(seed), /*last_batch_done=*/false);
+    uint64_t code;
+    if (codec.packable && codec.TryPack(init, &code)) {
+      visited.InsertPacked(code);
+      frontier_packed.push_back(code);
+    } else {
+      visited.Insert(init);
+      frontier_generic.push_back(std::move(init));
+    }
   }
-  ++stats.start_assignments;
 
   struct FrontierLane {
+    std::vector<uint64_t> out_packed;
+    std::vector<ProductConfig> out_generic;
+    std::vector<uint64_t> deferred;
+    ProductConfig scratch;  // unpack target, reused across morsels
     std::set<std::vector<NodeId>> results;
-    uint64_t frontier_expansions = 0;
-    uint64_t arcs_explored = 0;
     Status status;
   };
-  std::vector<FrontierLane> lanes(num_lanes);
-  std::mutex shared_results_mutex;  // !deterministic completion-order fold
-  constexpr size_t kBatch = 16;
+  std::vector<FrontierLane> lane_state(lanes);
 
-  ThreadPool::Shared().RunOnWorkers(num_lanes, [&](int lane_id) {
-    FrontierLane& lane = lanes[lane_id];
-    ComponentSearchT<SharedSubsetPool> ctx(rq, comp, options, &pool,
-                                           backward);
-    std::vector<ProductConfig> batch;
-    std::vector<ProductConfig> outbox;
-    std::set<std::vector<NodeId>>* lane_results =
-        options.deterministic ? &lane.results : nullptr;
-    std::set<std::vector<NodeId>> scratch;  // completion-order mode
-    while (frontier.PopBatch(kBatch, &batch)) {
-      outbox.clear();
-      bool abort = false;
-      for (const ProductConfig& config : batch) {
-        if (cancel->cancelled()) {
-          lane.status = Status::Cancelled(kCancelledMessage);
-          abort = true;
-          break;
-        }
-        if (configs_budget->fetch_add(1, std::memory_order_relaxed) + 1 >
-            options.max_configs) {
-          lane.status = Status::ResourceExhausted(
-              "product search exceeded max_configs=" +
-              std::to_string(options.max_configs));
-          cancel->Cancel();
-          abort = true;
-          break;
-        }
-        bool accepted = false;
-        ctx.ProcessConfig(
-            config, anchor_nodes, fixed,
-            lane_results != nullptr ? lane_results : &scratch, &accepted,
-            [&](ProductConfig next, const std::vector<Symbol>& letters) {
-              (void)letters;
-              if (visited.Insert(next)) outbox.push_back(std::move(next));
-            });
-        (void)accepted;
-        if (lane_results == nullptr && !scratch.empty()) {
-          std::lock_guard<std::mutex> lock(shared_results_mutex);
-          if (results != nullptr) {
-            results->insert(scratch.begin(), scratch.end());
+  while (!frontier_packed.empty() || !frontier_generic.empty()) {
+    const size_t n_packed = frontier_packed.size();
+    const size_t total = n_packed + frontier_generic.size();
+    std::atomic<bool> failed{false};
+    ParallelMorsels(
+        lanes, total, AdaptiveGrain(total, lanes),
+        [&](size_t begin, size_t end, int lane_id) {
+          FrontierLane& lane = lane_state[lane_id];
+          Ctx& ctx = *ctxs[lane_id];
+          auto emit = [&](ProductConfig next,
+                          const std::vector<Symbol>& letters) {
+            (void)letters;
+            uint64_t code;
+            if (codec.packable && codec.TryPack(next, &code)) {
+              switch (visited.InsertPacked(code)) {
+                case VisitedInsert::kNew:
+                  lane.out_packed.push_back(code);
+                  break;
+                case VisitedInsert::kDeferred:
+                  lane.deferred.push_back(code);
+                  break;
+                case VisitedInsert::kPresent:
+                  break;
+              }
+            } else if (visited.Insert(next) == VisitedInsert::kNew) {
+              lane.out_generic.push_back(std::move(next));
+            }
+          };
+          for (size_t i = begin; i < end; ++i) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            if (cancel->cancelled()) {
+              lane.status = Status::Cancelled(kCancelledMessage);
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (configs_budget->fetch_add(1, std::memory_order_relaxed) +
+                    1 >
+                options.max_configs) {
+              lane.status = Status::ResourceExhausted(
+                  "product search exceeded max_configs=" +
+                  std::to_string(options.max_configs));
+              cancel->Cancel();
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const ProductConfig* current;
+            if (i < n_packed) {
+              codec.Unpack(frontier_packed[i], &lane.scratch);
+              current = &lane.scratch;
+            } else {
+              current = &frontier_generic[i - n_packed];
+            }
+            bool accepted = false;
+            ctx.ProcessConfig(*current, anchor_nodes, fixed, &lane.results,
+                              &accepted, emit);
+            (void)accepted;
           }
-          scratch.clear();
+        });
+    if (failed.load(std::memory_order_relaxed)) break;
+
+    // Level barrier (single-threaded): grow the visited table past its
+    // load target, retry the deferred codes — guaranteed to not defer
+    // again — and concatenate the lane outboxes into the next frontier.
+    uint64_t num_deferred = 0;
+    for (const FrontierLane& lane : lane_state) {
+      num_deferred += lane.deferred.size();
+    }
+    visited.MaintainAtBarrier(num_deferred);
+    frontier_packed.clear();
+    frontier_generic.clear();
+    for (FrontierLane& lane : lane_state) {
+      for (uint64_t code : lane.deferred) {
+        if (visited.InsertPacked(code) == VisitedInsert::kNew) {
+          lane.out_packed.push_back(code);
         }
       }
-      if (abort) {
-        frontier.Abort();
-        frontier.PushBatch({}, /*last_batch_done=*/true);
-        break;
+      lane.deferred.clear();
+      frontier_packed.insert(frontier_packed.end(), lane.out_packed.begin(),
+                             lane.out_packed.end());
+      lane.out_packed.clear();
+      for (ProductConfig& c : lane.out_generic) {
+        frontier_generic.push_back(std::move(c));
       }
-      frontier.PushBatch(std::move(outbox), /*last_batch_done=*/true);
+      lane.out_generic.clear();
     }
-    lane.frontier_expansions = ctx.frontier_expansions();
-    lane.arcs_explored = ctx.arcs_explored();
-  });
+  }
 
   std::vector<Status> statuses;
-  for (FrontierLane& lane : lanes) {
+  for (FrontierLane& lane : lane_state) {
     statuses.push_back(lane.status);
-    op.frontier_expansions += lane.frontier_expansions;
-    stats.arcs_explored += lane.arcs_explored;
-    if (options.deterministic && results != nullptr) {
+    if (results != nullptr) {
       results->insert(lane.results.begin(), lane.results.end());
     }
   }
+  for (int l = 0; l < lanes; ++l) {
+    op.frontier_expansions += ctxs[l]->frontier_expansions();
+    stats.arcs_explored += ctxs[l]->arcs_explored();
+  }
   op.visited_configs += visited.size();
-  return CombineLaneStatuses(statuses);
+  Status combined = CombineLaneStatuses(statuses);
+  if (combined.ok() && cancel->cancelled()) {
+    return Status::Cancelled(kCancelledMessage);
+  }
+  return combined;
 }
 
 // ReachabilityScan leaf: single path atom, all-unary languages. One

@@ -81,6 +81,118 @@ bool ConfigCodec::TryPack(const ProductConfig& c, uint64_t* out) const {
   return true;
 }
 
+void ConfigCodec::Unpack(uint64_t code, ProductConfig* out) const {
+  out->padmask =
+      static_cast<uint32_t>(code & ((uint64_t{1} << tracks) - 1));
+  out->nodes.resize(tracks);
+  const uint64_t node_mask = (uint64_t{1} << node_bits) - 1;
+  int shift = tracks;
+  for (int t = 0; t < tracks; ++t) {
+    out->nodes[t] = static_cast<NodeId>((code >> shift) & node_mask);
+    shift += node_bits;
+  }
+  out->subset_ids.resize(relations);
+  const uint64_t subset_mask = (uint64_t{1} << subset_bits) - 1;
+  for (int r = 0; r < relations; ++r) {
+    out->subset_ids[r] = static_cast<int>((code >> shift) & subset_mask);
+    shift += subset_bits;
+  }
+}
+
+EpochVisitedSet::EpochVisitedSet(size_t initial_capacity) {
+  capacity_ = std::bit_ceil(std::max<size_t>(initial_capacity, 1024));
+  limit_ = capacity_ - capacity_ / 4;
+  slots_.reset(new std::atomic<uint64_t>[capacity_]);
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+VisitedInsert EpochVisitedSet::Insert(uint64_t code) {
+  if (code == ~uint64_t{0}) {
+    return all_ones_claimed_.exchange(true, std::memory_order_relaxed)
+               ? VisitedInsert::kPresent
+               : VisitedInsert::kNew;
+  }
+  if (size_.load(std::memory_order_relaxed) >= limit_) {
+    return VisitedInsert::kDeferred;
+  }
+  const uint64_t stored = code + 1;
+  size_t i = MixHash64(code) & (capacity_ - 1);
+  for (;;) {
+    uint64_t cur = slots_[i].load(std::memory_order_relaxed);
+    if (cur == stored) return VisitedInsert::kPresent;
+    if (cur == 0) {
+      if (slots_[i].compare_exchange_strong(cur, stored,
+                                            std::memory_order_relaxed)) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return VisitedInsert::kNew;
+      }
+      // CAS loaded the winner into `cur`: it may be our own code (another
+      // lane claimed it first) or a different one (keep probing).
+      if (cur == stored) return VisitedInsert::kPresent;
+    }
+    i = (i + 1) & (capacity_ - 1);
+  }
+}
+
+bool EpochVisitedSet::ShouldGrow(uint64_t pending) const {
+  return (size_.load(std::memory_order_relaxed) + pending) * 2 >= capacity_;
+}
+
+void EpochVisitedSet::Grow() {
+  const size_t new_cap = capacity_ * 2;
+  auto fresh =
+      std::unique_ptr<std::atomic<uint64_t>[]>(new std::atomic<uint64_t>[new_cap]);
+  for (size_t i = 0; i < new_cap; ++i) {
+    fresh[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < capacity_; ++i) {
+    const uint64_t stored = slots_[i].load(std::memory_order_relaxed);
+    if (stored == 0) continue;
+    size_t j = MixHash64(stored - 1) & (new_cap - 1);
+    while (fresh[j].load(std::memory_order_relaxed) != 0) {
+      j = (j + 1) & (new_cap - 1);
+    }
+    fresh[j].store(stored, std::memory_order_relaxed);
+  }
+  slots_ = std::move(fresh);
+  capacity_ = new_cap;
+  limit_ = new_cap - new_cap / 4;
+}
+
+uint64_t EpochVisitedSet::size() const {
+  return size_.load(std::memory_order_relaxed) +
+         (all_ones_claimed_.load(std::memory_order_relaxed) ? 1 : 0);
+}
+
+HybridVisitedTable::HybridVisitedTable(const ConfigCodec& codec, int lanes)
+    : codec_(codec), generic_(codec, std::max(lanes, 1) * 4) {}
+
+VisitedInsert HybridVisitedTable::Insert(const ProductConfig& c) {
+  if (codec_.packable) {
+    uint64_t code;
+    if (codec_.TryPack(c, &code)) return packed_.Insert(code);
+  }
+  return generic_.Insert(c) ? VisitedInsert::kNew : VisitedInsert::kPresent;
+}
+
+void HybridVisitedTable::MaintainAtBarrier(uint64_t pending) {
+  while (packed_.ShouldGrow(pending)) packed_.Grow();
+}
+
+uint64_t HybridVisitedTable::size() const {
+  return packed_.size() + generic_.size();
+}
+
+size_t AdaptiveGrain(size_t count, int lanes) {
+  constexpr size_t kSerialBelow = 192;
+  constexpr size_t kMinMorsel = 64;
+  if (count < kSerialBelow || lanes <= 1) return std::max<size_t>(count, 1);
+  return std::max(kMinMorsel,
+                  count / (static_cast<size_t>(lanes) * 4));
+}
+
 ShardedVisitedTable::ShardedVisitedTable(const ConfigCodec& codec, int shards)
     : codec_(codec) {
   const size_t n =

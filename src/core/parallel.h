@@ -119,7 +119,66 @@ struct ConfigCodec {
   ConfigCodec(int tracks, int relations, int num_nodes);
 
   bool TryPack(const ProductConfig& c, uint64_t* out) const;
+
+  /// Exact inverse of TryPack: rebuilds the configuration a code encodes.
+  /// Only valid for codes TryPack produced under this codec. Resizes
+  /// `out`'s vectors, so a reused scratch config never reallocates.
+  void Unpack(uint64_t code, ProductConfig* out) const;
 };
+
+/// Outcome of a concurrent visited-table insert.
+enum class VisitedInsert {
+  kNew,       ///< not seen before; the caller owns expanding this config
+  kPresent,   ///< already claimed (here or by another lane)
+  kDeferred,  ///< table at its occupancy gate; retry after the next barrier
+};
+
+/// Lock-free open-addressing set of packed config codes — the contended
+/// hot path of level-synchronous parallel expansion. One relaxed CAS per
+/// novel config, one relaxed load per duplicate; no locks, no per-insert
+/// allocation. Codes are stored as `code + 1` so 0 can mark an empty
+/// slot; the all-ones code (whose increment wraps to 0) gets a dedicated
+/// one-bit side table, because ConfigCodec can legally use all 64 bits.
+///
+/// Growth is cooperative, not concurrent: Insert never resizes. Past the
+/// occupancy gate (3/4 of capacity) it returns kDeferred and the caller
+/// parks the config until the level barrier, where a single thread calls
+/// Grow() and re-inserts the parked configs. The gate keeps probe chains
+/// bounded under concurrency: capacity is at least 1024, so the slack
+/// above the gate (capacity / 4 >= 256) covers every lane that can pass
+/// the gate check simultaneously (lane counts are clamped to 256).
+class EpochVisitedSet {
+ public:
+  explicit EpochVisitedSet(size_t initial_capacity = 1024);
+
+  /// Thread-safe. kNew exactly once per distinct code across all lanes.
+  VisitedInsert Insert(uint64_t code);
+
+  /// True when `pending` more inserts would push the load factor past
+  /// ~1/2 — the barrier-phase growth trigger.
+  bool ShouldGrow(uint64_t pending) const;
+
+  /// Doubles capacity and rehashes. Single-threaded use only (call at a
+  /// level barrier, never while any lane may Insert).
+  void Grow();
+
+  /// Exact at quiescence.
+  uint64_t size() const;
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+  size_t capacity_ = 0;  // power of two
+  size_t limit_ = 0;     // occupancy gate (capacity - capacity / 4)
+  std::atomic<uint64_t> size_{0};
+  std::atomic<bool> all_ones_claimed_{false};
+};
+
+/// Morsel size for splitting a frontier of `count` configs over `lanes`:
+/// below the serial threshold the whole frontier is one morsel (so
+/// ParallelMorsels runs it inline — tiny levels never pay the pool
+/// hand-off), above it each lane gets ~4 contiguous ranges for locality
+/// with enough morsels to absorb skew.
+size_t AdaptiveGrain(size_t count, int lanes);
 
 /// The visited/dedup table of a shared-frontier product search: one
 /// open-addressing table per shard, shard chosen by structural config
@@ -158,6 +217,37 @@ class ShardedVisitedTable {
   ConfigCodec codec_;
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t shard_mask_ = 0;
+};
+
+/// The visited table of level-synchronous parallel product search: packed
+/// configs dedup through the lock-free EpochVisitedSet, configs whose
+/// subset ids outgrew the codec's bit fields fall back to the striped-
+/// lock ShardedVisitedTable. Subset ids are interned once per distinct
+/// state set, so within one run a given config is deterministically
+/// packable or not — every lane routes it to the same sub-table and
+/// exactly-once claiming holds across the split.
+class HybridVisitedTable {
+ public:
+  HybridVisitedTable(const ConfigCodec& codec, int lanes);
+
+  /// Thread-safe. kDeferred only on the packed path (the fallback locks).
+  VisitedInsert Insert(const ProductConfig& c);
+
+  /// As Insert for a code the caller already packed under the same codec.
+  VisitedInsert InsertPacked(uint64_t code) { return packed_.Insert(code); }
+
+  /// Barrier-phase maintenance: grows the packed set until `pending`
+  /// deferred re-inserts fit under the load target. Single-threaded use
+  /// only; guarantees the re-inserts cannot defer again.
+  void MaintainAtBarrier(uint64_t pending);
+
+  uint64_t size() const;
+  const ConfigCodec& codec() const { return codec_; }
+
+ private:
+  ConfigCodec codec_;
+  EpochVisitedSet packed_;
+  ShardedVisitedTable generic_;
 };
 
 /// Shared frontier of one parallel product search: lanes pop batches of

@@ -184,6 +184,66 @@ GraphDb FlightNetwork(int num_cities, int num_routes, int max_legs,
   return g;
 }
 
+GraphDb PowerLawGraph(const AlphabetPtr& alphabet, int num_nodes,
+                      int num_edges, Rng* rng) {
+  ECRPQ_DCHECK(num_nodes > 0);
+  ECRPQ_DCHECK(alphabet->size() > 0);
+  const int num_labels = alphabet->size();
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  // Repeated-endpoint pool: picking a uniform element is picking a node
+  // with probability proportional to its current in-degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(num_edges);
+  for (int i = 0; i < num_edges; ++i) {
+    const NodeId from = static_cast<NodeId>(rng->Below(num_nodes));
+    NodeId to;
+    if (!endpoints.empty() && rng->Chance(0.75)) {
+      to = rng->Pick(endpoints);
+    } else {
+      to = static_cast<NodeId>(rng->Below(num_nodes));
+    }
+    const Symbol label = static_cast<Symbol>(rng->Below(num_labels));
+    edges.push_back({from, label, to});
+    endpoints.push_back(to);
+  }
+  return GraphDb::FromEdges(alphabet, num_nodes, edges);
+}
+
+GraphDb GridGraph(const AlphabetPtr& alphabet, int rows, int cols, Rng* rng) {
+  ECRPQ_DCHECK(rows >= 1 && cols >= 1);
+  ECRPQ_DCHECK(alphabet->size() > 0);
+  const int num_labels = alphabet->size();
+  GraphDb g(alphabet);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.AddNode("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  auto node = [&](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(rows) * cols * 3);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const NodeId v = node(r, c);
+      if (c + 1 < cols) {
+        edges.push_back(
+            {v, static_cast<Symbol>(rng->Below(num_labels)), node(r, c + 1)});
+      }
+      if (r + 1 < rows) {
+        edges.push_back(
+            {v, static_cast<Symbol>(rng->Below(num_labels)), node(r + 1, c)});
+      }
+      if (r + 1 < rows && c + 1 < cols) {
+        edges.push_back({v, static_cast<Symbol>(rng->Below(num_labels)),
+                         node(r + 1, c + 1)});
+      }
+    }
+  }
+  g.AddEdges(edges);
+  return g;
+}
+
 Word RandomDna(const AlphabetPtr& alphabet, int n, Rng* rng) {
   static const char* kBases[] = {"a", "c", "g", "t"};
   Word out;

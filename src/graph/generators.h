@@ -67,6 +67,27 @@ GraphDb FlightNetwork(int num_cities, int num_routes, int max_legs,
                       const std::vector<std::string>& airlines, Rng* rng,
                       AlphabetPtr alphabet = nullptr);
 
+/// Scalable power-law (preferential-attachment flavored) graph for the
+/// large benchmark tiers: `num_nodes` anonymous nodes, `num_edges` edges
+/// with labels uniform over `alphabet`. Sources are uniform; each target
+/// is, with probability 0.75, an endpoint of an earlier edge (degree-
+/// proportional — the repeated-endpoint trick, no aux structures beyond
+/// one flat array), else uniform. Built through GraphDb::FromEdges, so
+/// generation is O(V + E) with no per-edge adjacency reallocation —
+/// 10^6 nodes / several million edges generate in well under a second.
+GraphDb PowerLawGraph(const AlphabetPtr& alphabet, int num_nodes,
+                      int num_edges, Rng* rng);
+
+/// Scalable labeled grid/mesh: `rows` x `cols` nodes named "g<r>_<c>"
+/// (row-major ids), each cell with right / down / down-right diagonal
+/// edges (where they exist) carrying labels uniform over `alphabet` —
+/// ~3·rows·cols edges. Bounded degree and named corners make it the
+/// anchored product-search workload of the large tier: with L labels the
+/// off-diagonal branching of a two-track eq-product is ~9/L, so L >= 16
+/// keeps the explored configuration count O(rows·cols). Edges are built
+/// through the size-then-fill bulk path.
+GraphDb GridGraph(const AlphabetPtr& alphabet, int rows, int cols, Rng* rng);
+
 /// Random DNA-like sequence of length n over {a,c,g,t}.
 Word RandomDna(const AlphabetPtr& alphabet, int n, Rng* rng);
 

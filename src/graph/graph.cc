@@ -15,6 +15,15 @@ NodeId GraphDb::AddNode() {
   return static_cast<NodeId>(out_.size() - 1);
 }
 
+NodeId GraphDb::AddNodes(int count) {
+  ECRPQ_DCHECK(count >= 0);
+  const NodeId first = static_cast<NodeId>(out_.size());
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+  names_.resize(names_.size() + count);
+  return first;
+}
+
 NodeId GraphDb::AddNode(std::string_view name) {
   // An empty name is not a name: fall through to an anonymous node
   // instead of interning "" (which would collapse every such node into
@@ -51,6 +60,35 @@ void GraphDb::AddEdge(NodeId from, Symbol label, NodeId to) {
 
 void GraphDb::AddEdge(NodeId from, std::string_view label, NodeId to) {
   AddEdge(from, alphabet_->Intern(label), to);
+}
+
+void GraphDb::AddEdges(const std::vector<Edge>& edges) {
+  const int n = num_nodes();
+  std::vector<int32_t> out_deg(n, 0), in_deg(n, 0);
+  for (const Edge& e : edges) {
+    ECRPQ_DCHECK(e.from >= 0 && e.from < n);
+    ECRPQ_DCHECK(e.to >= 0 && e.to < n);
+    ECRPQ_DCHECK(e.label >= 0 && e.label < alphabet_->size());
+    ++out_deg[e.from];
+    ++in_deg[e.to];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (out_deg[v] > 0) out_[v].reserve(out_[v].size() + out_deg[v]);
+    if (in_deg[v] > 0) in_[v].reserve(in_[v].size() + in_deg[v]);
+  }
+  for (const Edge& e : edges) {
+    out_[e.from].emplace_back(e.label, e.to);
+    in_[e.to].emplace_back(e.label, e.from);
+  }
+  num_edges_ += static_cast<int>(edges.size());
+}
+
+GraphDb GraphDb::FromEdges(AlphabetPtr alphabet, int num_nodes,
+                           const std::vector<Edge>& edges) {
+  GraphDb g(std::move(alphabet));
+  g.AddNodes(num_nodes);
+  g.AddEdges(edges);
+  return g;
 }
 
 bool GraphDb::HasEdge(NodeId from, Symbol label, NodeId to) const {

@@ -41,8 +41,19 @@ namespace ecrpq {
 class GraphIndex {
  public:
   /// Builds the sealed index (CSR arrays, masks, counts, permutation)
-  /// from the current state of `graph`.
+  /// from the current state of `graph`. Size-then-fill construction: one
+  /// degree pass sizes the CSR arrays exactly, then each node's slice is
+  /// filled by sorting packed (label << 32 | target) keys — no per-edge
+  /// reallocation and no per-node permutation buffers. Auto-parallelizes
+  /// the fill above ~512k edges (see the overload).
   static std::shared_ptr<const GraphIndex> Build(const GraphDb& graph);
+
+  /// As Build, with the CSR fill explicitly split over contiguous node
+  /// ranges on `num_threads` pool lanes (0 = auto). Each node owns a
+  /// disjoint output slice, so the built index is byte-identical at any
+  /// lane count.
+  static std::shared_ptr<const GraphIndex> Build(const GraphDb& graph,
+                                                 int num_threads);
 
   int num_nodes() const { return num_nodes_; }
   int num_edges() const { return num_edges_; }

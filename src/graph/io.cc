@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
@@ -92,6 +93,113 @@ std::string GraphToText(const GraphDb& graph) {
     for (const auto& [label, to] : graph.Out(v)) {
       out += "edge " + display[v] + " " + graph.alphabet().Label(label) +
              " " + display[to] + "\n";
+    }
+  }
+  return out;
+}
+
+Result<GraphDb> ParseEdgeListText(std::string_view text,
+                                  AlphabetPtr alphabet) {
+  if (alphabet == nullptr) alphabet = std::make_shared<Alphabet>();
+  // Cursor-based tokenizer: newlines are whitespace (the format is
+  // positional — header, labels, then 3 integers per edge), '#' comments
+  // run to end of line, and integers parse in place with from_chars — no
+  // per-line string allocation on the multi-million-edge path.
+  const char* p = text.data();
+  const char* end = p + text.size();
+  int line = 1;
+  auto skip = [&] {
+    while (p < end) {
+      if (*p == '#') {
+        while (p < end && *p != '\n') ++p;
+      } else if (*p == '\n') {
+        ++line;
+        ++p;
+      } else if (*p == ' ' || *p == '\t' || *p == '\r') {
+        ++p;
+      } else {
+        break;
+      }
+    }
+  };
+  auto error = [&](const std::string& what) {
+    return Status::InvalidArgument("edge-list line " + std::to_string(line) +
+                                   ": " + what);
+  };
+  auto word = [&](std::string_view* out) {
+    skip();
+    const char* b = p;
+    while (p < end && *p != ' ' && *p != '\t' && *p != '\r' && *p != '\n' &&
+           *p != '#') {
+      ++p;
+    }
+    *out = std::string_view(b, p - b);
+    return !out->empty();
+  };
+  auto integer = [&](int64_t* out) {
+    skip();
+    auto [ptr, ec] = std::from_chars(p, end, *out);
+    if (ec != std::errc()) return false;
+    p = ptr;
+    return true;
+  };
+
+  std::string_view magic;
+  if (!word(&magic) || magic != "ecrpq-edgelist") {
+    return error("expected 'ecrpq-edgelist <nodes> <edges> <labels>' header");
+  }
+  int64_t num_nodes = 0, num_edges = 0, num_labels = 0;
+  if (!integer(&num_nodes) || !integer(&num_edges) || !integer(&num_labels) ||
+      num_nodes < 0 || num_edges < 0 || num_labels < 0 ||
+      num_nodes > INT32_MAX || num_edges > INT32_MAX) {
+    return error("malformed header counts");
+  }
+  for (int64_t l = 0; l < num_labels; ++l) {
+    std::string_view name;
+    if (!word(&name)) {
+      return error("expected " + std::to_string(num_labels) +
+                   " label names, got " + std::to_string(l));
+    }
+    alphabet->Intern(name);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (int64_t i = 0; i < num_edges; ++i) {
+    int64_t from = 0, label = 0, to = 0;
+    if (!integer(&from) || !integer(&label) || !integer(&to)) {
+      return error("expected '<from> <label> <to>' for edge " +
+                   std::to_string(i) + " of " + std::to_string(num_edges));
+    }
+    if (from < 0 || from >= num_nodes || to < 0 || to >= num_nodes) {
+      return error("edge " + std::to_string(i) + ": node id out of range");
+    }
+    if (label < 0 || label >= alphabet->size()) {
+      return error("edge " + std::to_string(i) + ": label id out of range");
+    }
+    edges.push_back({static_cast<NodeId>(from), static_cast<Symbol>(label),
+                     static_cast<NodeId>(to)});
+  }
+  skip();
+  if (p < end) return error("trailing content after declared edge count");
+  return GraphDb::FromEdges(std::move(alphabet),
+                            static_cast<int>(num_nodes), edges);
+}
+
+std::string GraphToEdgeListText(const GraphDb& graph) {
+  std::string out = "ecrpq-edgelist " + std::to_string(graph.num_nodes()) +
+                    " " + std::to_string(graph.num_edges()) + " " +
+                    std::to_string(graph.alphabet().size()) + "\n";
+  for (Symbol a = 0; a < graph.alphabet().size(); ++a) {
+    out += graph.alphabet().Label(a);
+    out += '\n';
+  }
+  out.reserve(out.size() + static_cast<size_t>(graph.num_edges()) * 24);
+  char buf[64];
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [label, to] : graph.Out(v)) {
+      const int n = std::snprintf(buf, sizeof(buf), "%d %d %d\n", v,
+                                  static_cast<int>(label), to);
+      out.append(buf, n);
     }
   }
   return out;

@@ -37,6 +37,36 @@ std::string GraphToText(const GraphDb& graph);
 /// Graphviz DOT rendering.
 std::string GraphToDot(const GraphDb& graph);
 
+// ---- bulk edge-list format -------------------------------------------------
+//
+// The `edge`-directive format above creates nodes by name and edges one at
+// a time — fine for serving-layer fixtures, hopeless for multi-million-edge
+// loads (per-line keyword dispatch, a name hash probe per endpoint, and
+// per-edge adjacency reallocation). The edge-list format is the bulk
+// counterpart, for anonymous graphs at generator scale:
+//
+//   ecrpq-edgelist <num_nodes> <num_edges> <num_labels>
+//   <label name>                (num_labels lines, pinning symbol ids 0..)
+//   <from> <label> <to>         (num_edges lines, integer ids)
+//
+// '#' starts a comment anywhere; blank lines are skipped. The declared
+// counts let the loader reserve everything up front and hand the whole
+// edge array to GraphDb::FromEdges (size-then-fill, no per-edge
+// reallocation); integers are parsed with std::from_chars. Node names are
+// NOT preserved (every node imports as anonymous) — by design: the format
+// targets the synthetic large tiers and external bulk dumps, where names
+// are dead weight. GraphToEdgeListText -> ParseEdgeListText round-trips
+// node count, symbol ids, and the exact per-node edge order.
+
+/// Parses the bulk edge-list format into a graph over `alphabet` (created
+/// fresh when null; listed labels are interned in declaration order).
+Result<GraphDb> ParseEdgeListText(std::string_view text,
+                                  AlphabetPtr alphabet = nullptr);
+
+/// Serializes to the bulk edge-list format (out-edges in per-node CSR
+/// order, one "<from> <label> <to>" line per edge).
+std::string GraphToEdgeListText(const GraphDb& graph);
+
 }  // namespace ecrpq
 
 #endif  // ECRPQ_GRAPH_IO_H_

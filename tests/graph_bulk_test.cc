@@ -1,0 +1,164 @@
+// Bulk graph construction equivalence: the size-then-fill paths
+// (GraphDb::FromEdges / AddEdges, the edge-list format of graph/io.h) and
+// the parallel CSR index build must be indistinguishable from their
+// incremental counterparts — same adjacency, same per-node order, same
+// index contents — at generator scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/index.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace ecrpq {
+namespace {
+
+std::vector<Edge> RandomEdges(int num_nodes, int num_edges, int num_labels,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (int i = 0; i < num_edges; ++i) {
+    edges.push_back({static_cast<NodeId>(rng.Below(num_nodes)),
+                     static_cast<Symbol>(rng.Below(num_labels)),
+                     static_cast<NodeId>(rng.Below(num_nodes))});
+  }
+  return edges;
+}
+
+// `exact_in` relaxes the in-adjacency check to multiset equality: the
+// edge-list text orders edges by source node, so a reparse rebuilds each
+// in-list in file order, not the original insertion order (the out-lists
+// and the edge multiset are preserved exactly either way).
+void ExpectSameAdjacency(const GraphDb& a, const GraphDb& b,
+                         bool exact_in = true) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.Out(v), b.Out(v)) << "out-adjacency of node " << v;
+    if (exact_in) {
+      ASSERT_EQ(a.In(v), b.In(v)) << "in-adjacency of node " << v;
+    } else {
+      auto lhs = a.In(v);
+      auto rhs = b.In(v);
+      std::sort(lhs.begin(), lhs.end());
+      std::sort(rhs.begin(), rhs.end());
+      ASSERT_EQ(lhs, rhs) << "in-adjacency of node " << v;
+    }
+  }
+}
+
+void ExpectIndexesEqual(const GraphIndex& a, const GraphIndex& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_labels(), b.num_labels());
+  auto same_span = [](auto lhs, auto rhs) {
+    return std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end());
+  };
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.out_degree(v), b.out_degree(v)) << v;
+    ASSERT_EQ(a.in_degree(v), b.in_degree(v)) << v;
+    ASSERT_TRUE(same_span(a.OutLabels(v), b.OutLabels(v))) << v;
+    ASSERT_TRUE(same_span(a.OutTargets(v), b.OutTargets(v))) << v;
+    ASSERT_TRUE(same_span(a.InLabels(v), b.InLabels(v))) << v;
+    ASSERT_TRUE(same_span(a.InSources(v), b.InSources(v))) << v;
+    ASSERT_EQ(a.OutLabelMask(v), b.OutLabelMask(v)) << v;
+    ASSERT_EQ(a.InLabelMask(v), b.InLabelMask(v)) << v;
+  }
+  for (Symbol label = 0; label < a.num_labels(); ++label) {
+    EXPECT_EQ(a.LabelCount(label), b.LabelCount(label)) << label;
+    EXPECT_EQ(a.LabelSourceCount(label), b.LabelSourceCount(label)) << label;
+    EXPECT_EQ(a.LabelTargetCount(label), b.LabelTargetCount(label)) << label;
+  }
+  EXPECT_EQ(a.NodesByDegree(), b.NodesByDegree());
+  EXPECT_EQ(a.NodesByInDegree(), b.NodesByInDegree());
+}
+
+// FromEdges / AddEdges carry a documented contract: equivalent to calling
+// AddEdge per element in order — same node ids, same per-node adjacency
+// order — just without the per-edge reallocation churn.
+TEST(GraphBulk, BulkConstructionMatchesIncremental) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+  constexpr int kNodes = 2000;
+  constexpr int kEdges = 12000;
+  std::vector<Edge> edges = RandomEdges(kNodes, kEdges, 4, /*seed=*/11);
+
+  GraphDb bulk = GraphDb::FromEdges(alphabet, kNodes, edges);
+
+  GraphDb incremental(alphabet);
+  for (int i = 0; i < kNodes; ++i) incremental.AddNode();
+  for (const Edge& e : edges) incremental.AddEdge(e.from, e.label, e.to);
+
+  GraphDb batched(alphabet);
+  batched.AddNodes(kNodes);
+  batched.AddEdges(edges);
+
+  ExpectSameAdjacency(bulk, incremental);
+  ExpectSameAdjacency(batched, incremental);
+}
+
+// GraphToEdgeListText -> ParseEdgeListText round-trips node count, symbol
+// ids, and exact per-node edge order on a generator-scale graph.
+TEST(GraphBulk, EdgeListRoundTrip) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+  Rng rng(7);
+  GraphDb g = PowerLawGraph(alphabet, 5000, 30000, &rng);
+  std::string text = GraphToEdgeListText(g);
+  auto parsed = ParseEdgeListText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().alphabet().size(), g.alphabet().size());
+  ExpectSameAdjacency(g, parsed.value(), /*exact_in=*/false);
+}
+
+// The header's declared node count preserves trailing isolated nodes,
+// which no edge line would otherwise mention.
+TEST(GraphBulk, EdgeListPreservesIsolatedNodes) {
+  auto alphabet = Alphabet::FromLabels({"a"});
+  GraphDb g = GraphDb::FromEdges(alphabet, 10, {{0, 0, 1}});
+  auto parsed = ParseEdgeListText(GraphToEdgeListText(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_nodes(), 10);
+  EXPECT_EQ(parsed.value().num_edges(), 1);
+}
+
+// The parallel CSR fill writes disjoint per-node slices, so the built
+// index must match the serial build exactly — checked on a graph big
+// enough (600k edges) to cross the auto-parallel threshold, so the
+// argument-less Build really exercises the multi-lane fill.
+TEST(GraphBulk, IndexBuildParallelMatchesSerialOnLargeGraph) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+  Rng rng(42);
+  GraphDb g = PowerLawGraph(alphabet, 100000, 600000, &rng);
+  auto serial = GraphIndex::Build(g, /*num_threads=*/1);
+  auto parallel = GraphIndex::Build(g, /*num_threads=*/8);
+  auto automatic = GraphIndex::Build(g);
+  ExpectIndexesEqual(*serial, *parallel);
+  ExpectIndexesEqual(*serial, *automatic);
+}
+
+// A bulk-built graph indexes identically to its per-edge incremental
+// twin: the CSR sort normalizes whatever per-node order the construction
+// path produced.
+TEST(GraphBulk, IndexOfBulkGraphMatchesIncrementalGraph) {
+  auto alphabet = Alphabet::FromLabels({"a", "b", "c"});
+  constexpr int kNodes = 3000;
+  constexpr int kEdges = 18000;
+  std::vector<Edge> edges = RandomEdges(kNodes, kEdges, 3, /*seed=*/23);
+
+  GraphDb bulk = GraphDb::FromEdges(alphabet, kNodes, edges);
+  GraphDb incremental(alphabet);
+  for (int i = 0; i < kNodes; ++i) incremental.AddNode();
+  for (const Edge& e : edges) incremental.AddEdge(e.from, e.label, e.to);
+
+  ExpectIndexesEqual(*GraphIndex::Build(bulk, /*num_threads=*/1),
+                     *GraphIndex::Build(incremental, /*num_threads=*/1));
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -97,6 +97,85 @@ Result<QueryResult> RunAtThreads(const GraphDb& g, const Query& query,
   return evaluator.Evaluate(query);
 }
 
+constexpr int kGridRows = 224;
+constexpr int kGridCols = 224;
+
+// The 50k-node graph of the large-tier property test: a 224x224 labeled
+// grid (50176 nodes, ~150k edges over {a, b, c, d}). Built once; every
+// query against it is anchored, so each evaluation is ONE product search
+// on the shared-frontier (or bidirectional) path rather than 50k seeded
+// searches.
+const GraphDb& LargeGrid() {
+  static const GraphDb* g = [] {
+    auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+    Rng rng(2026);
+    return new GraphDb(GridGraph(alphabet, kGridRows, kGridCols, &rng));
+  }();
+  return *g;
+}
+
+std::string GridNode(Rng* rng) {
+  return "\"g" + std::to_string(rng->Below(kGridRows)) + "_" +
+         std::to_string(rng->Below(kGridCols)) + "\"";
+}
+
+// `len` concatenated letter atoms: a bounded-length language, so the
+// frontier grows geometrically (eq-product branching ~outdeg^2 / labels =
+// 2.25 per level on this grid) and then dries up when the length
+// automaton runs out — closures stay finite and tractable.
+std::string LetterBound(Rng* rng, int len) {
+  static const char* kAtoms[] = {"a",     "b",     "c",        "d",
+                                 "(a|b)", "(c|d)", "(a|b|c|d)"};
+  std::string s;
+  for (int i = 0; i < len; ++i) s += kAtoms[rng->Next() % 7];
+  return s;
+}
+
+// Random ANCHORED queries over the grid. Every family pins at least one
+// endpoint to a named node, steering evaluation into the machinery under
+// test: the level-synchronous shared-frontier expansion (families 0-2,
+// 4), whose eq-product levels grow to hundreds-to-thousands of
+// configurations (genuinely multi-lane morsels at 2/4/8 threads, with
+// per-lane outboxes, deferred re-inserts and barrier growth), and the
+// bidirectional meet (family 3, both endpoints anchored).
+std::string RandomLargeGridQuery(Rng* rng) {
+  switch (rng->Next() % 5) {
+    case 0:  // anchored bounded reachability scan
+      return "Ans(y) <- (" + GridNode(rng) + ", p, y), " +
+             LetterBound(rng, 2 + static_cast<int>(rng->Below(6))) + "(p)";
+    case 1: {  // eq-product, shared anchored start: the big-frontier family
+      std::string a = GridNode(rng);
+      return "Ans(y, z) <- (" + a + ", p, y), (" + a + ", q, z), eq(p, q), " +
+             LetterBound(rng, 4 + static_cast<int>(rng->Below(8))) + "(p)";
+    }
+    case 2:  // single-letter star: unbounded language, subcritical growth
+      return "Ans(y) <- (" + GridNode(rng) + ", p, y), " +
+             std::string(1, static_cast<char>('a' + rng->Below(4))) + "*(p)";
+    case 3:  // doubly anchored boolean: bidirectional meet-in-the-middle
+      return "Ans() <- (" + GridNode(rng) + ", p, " + GridNode(rng) + "), " +
+             LetterBound(rng, 4 + static_cast<int>(rng->Below(5))) + "(p)";
+    default:  // eq-product with two distinct anchors
+      return "Ans(y, z) <- (" + GridNode(rng) + ", p, y), (" + GridNode(rng) +
+             ", q, z), eq(p, q), " +
+             LetterBound(rng, 4 + static_cast<int>(rng->Below(6))) + "(p)";
+  }
+}
+
+// Sanitizer builds (CI's TSan/ASan jobs) run a subset of the query
+// budget: same families, same per-query cost, ~10x instrumentation
+// overhead. The full 100 run in every uninstrumented build.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr uint64_t kLargeGridQueries = 20;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr uint64_t kLargeGridQueries = 20;
+#else
+constexpr uint64_t kLargeGridQueries = 100;
+#endif
+#else
+constexpr uint64_t kLargeGridQueries = 100;
+#endif
+
 // (a) 100 random queries: identical result sets AND identical engine
 // counters at num_threads ∈ {1, 2, 8}. The counters are the stronger
 // check: parallel lanes explore exactly the configurations the serial
@@ -112,6 +191,43 @@ TEST(ParallelExecution, ResultsIdenticalAcrossThreadCounts) {
     auto serial = RunAtThreads(g, query.value(), 1);
     ASSERT_TRUE(serial.ok()) << text << ": " << serial.status().ToString();
     for (int threads : {2, 8}) {
+      auto parallel = RunAtThreads(g, query.value(), threads);
+      ASSERT_TRUE(parallel.ok())
+          << text << " @" << threads << ": " << parallel.status().ToString();
+      EXPECT_EQ(serial.value().tuples(), parallel.value().tuples())
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().configs_explored,
+                parallel.value().stats().configs_explored)
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().arcs_explored,
+                parallel.value().stats().arcs_explored)
+          << text << " @" << threads;
+      EXPECT_EQ(serial.value().stats().start_assignments,
+                parallel.value().stats().start_assignments)
+          << text << " @" << threads;
+    }
+  }
+}
+
+// The large-graph determinism contract of the epoch machinery: random
+// anchored queries on the 50k-node grid must produce byte-identical
+// answer sets AND engine counters at num_threads ∈ {1, 2, 4, 8}. Unlike
+// the SmallDag test above, these frontiers are big enough that the
+// parallel runs genuinely split levels across lanes through
+// HybridVisitedTable / EpochVisitedSet — this is the property test that
+// pins their exactly-once claiming; CI's TSan job covers the data-race
+// side of the same code.
+TEST(ParallelExecution, LargeGraphResultsIdenticalAcrossThreadCounts) {
+  const GraphDb& g = LargeGrid();
+  for (uint64_t seed = 0; seed < kLargeGridQueries; ++seed) {
+    Rng rng(40000 + seed);
+    std::string text = RandomLargeGridQuery(&rng);
+    auto query = ParseQuery(text, g.alphabet());
+    ASSERT_TRUE(query.ok()) << text;
+
+    auto serial = RunAtThreads(g, query.value(), 1);
+    ASSERT_TRUE(serial.ok()) << text << ": " << serial.status().ToString();
+    for (int threads : {2, 4, 8}) {
       auto parallel = RunAtThreads(g, query.value(), threads);
       ASSERT_TRUE(parallel.ok())
           << text << " @" << threads << ": " << parallel.status().ToString();
@@ -400,6 +516,58 @@ TEST(ParallelStats, ShardedVisitedTableDedup) {
   }
   EXPECT_EQ(inserted.load(), static_cast<int>(distinct.size()));
   EXPECT_EQ(table.size(), distinct.size());
+}
+
+// EpochVisitedSet: the lock-free packed-code set must hand out exactly
+// one kNew per distinct code across racing lanes, park inserts at the
+// occupancy gate as kDeferred (never losing or double-claiming them), and
+// come back exact after barrier growth — including the all-ones code,
+// whose stored form would wrap to the empty-slot marker and so lives in a
+// dedicated side flag.
+TEST(ParallelStats, EpochVisitedSetExactlyOnceAcrossDeferralAndGrowth) {
+  EpochVisitedSet set;
+  // 3000 distinct codes >> the initial gate (1024 - 256 = 768 slots), so
+  // every lane hits deferrals mid-run; MixHash64 is a bijection, so the
+  // codes really are distinct.
+  std::vector<uint64_t> codes;
+  for (uint64_t i = 0; i < 3000; ++i) codes.push_back(MixHash64(i));
+  codes.push_back(~uint64_t{0});
+  constexpr int kLanes = 4;
+  std::atomic<int> news{0};
+  std::vector<std::vector<uint64_t>> deferred(kLanes);
+  ThreadPool pool(kLanes - 1);
+  pool.RunOnWorkers(kLanes, [&](int lane) {
+    // Each lane walks the universe at a different offset so the same code
+    // races in from several lanes at once.
+    for (size_t i = 0; i < codes.size(); ++i) {
+      const uint64_t code = codes[(i + lane * 97) % codes.size()];
+      switch (set.Insert(code)) {
+        case VisitedInsert::kNew:
+          news.fetch_add(1);
+          break;
+        case VisitedInsert::kPresent:
+          break;
+        case VisitedInsert::kDeferred:
+          deferred[lane].push_back(code);
+          break;
+      }
+    }
+  });
+  uint64_t pending = 0;
+  for (const auto& d : deferred) pending += d.size();
+  EXPECT_GT(pending, 0u);  // the gate actually engaged
+  // The level-barrier protocol: one thread grows until the parked codes
+  // fit, then retries them; none may defer again.
+  while (set.ShouldGrow(pending)) set.Grow();
+  for (const auto& d : deferred) {
+    for (uint64_t code : d) {
+      const VisitedInsert r = set.Insert(code);
+      ASSERT_NE(r, VisitedInsert::kDeferred);
+      if (r == VisitedInsert::kNew) news.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(news.load(), static_cast<int>(codes.size()));
+  EXPECT_EQ(set.size(), codes.size());
 }
 
 // Partitioned-build / morsel-probe joins: above the row threshold the
