@@ -1,0 +1,333 @@
+// Delta-batched index maintenance: write-batch-to-first-read cost of the
+// segmented snapshot chain (GraphIndex::ApplyDelta) against a
+// from-scratch rebuild (GraphIndex::Build) on a 3M-edge power-law graph,
+// and the read-throughput tax of delta overlays before and after
+// compaction. Twin pairs measured by the bench itself:
+//
+//   .../delta/...   vs .../rebuild/...   delta-vs-rebuild — the O(delta)
+//                                        write path against the O(V+E)
+//                                        one; CI's smoke gate requires
+//                                        >= 10x on the 1000-edge batch
+//   .../compacted   vs .../fresh         compacted-vs-fresh — reads on a
+//                                        CompactIndexNow()-folded index
+//                                        against a fresh Build of the
+//                                        same graph; must be ~1.0x
+//
+// Three case families:
+//
+//   IndexWriteToRead/{delta,rebuild}/batch/N
+//       pure index level: base snapshot + N-edge batch (10% removals)
+//       -> queryable snapshot -> probe every written row. The rebuild
+//       twin times GraphIndex::Build on an identically mutated graph.
+//   DbWriteToRead/{delta,rebuild}/batch/1000
+//       end-to-end through Database: ApplyDelta (snapshot-swap protocol,
+//       single-flight, plan-cache bookkeeping) against MutateGraph +
+//       lazy full rebuild on first graph_index().
+//   ReadThroughput/{fresh,compacted,chain/32}
+//       200k row probes against a fresh-built index, a compacted one,
+//       and a 32-segment delta chain (the overlay-directory tax).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/api.h"
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/index.h"
+
+namespace {
+
+using namespace ecrpq;
+using namespace ecrpq_bench;
+
+constexpr int kNodes = 1 << 19;        // 524288
+constexpr int kEdges = 3'000'000;
+constexpr int kLabels = 8;
+
+const GraphDb& BaseGraph() {
+  static const GraphDb& g = *[] {
+    auto alphabet =
+        Alphabet::FromLabels({"a", "b", "c", "d", "e", "f", "g", "h"});
+    Rng rng(42);
+    return new GraphDb(PowerLawGraph(alphabet, kNodes, kEdges, &rng));
+  }();
+  return g;
+}
+
+const GraphIndexPtr& BaseIndex() {
+  static GraphIndexPtr index = GraphIndex::Build(BaseGraph());
+  return index;
+}
+
+struct Batch {
+  std::vector<Edge> add;
+  std::vector<Edge> remove;
+};
+
+// `size` edges, 90% adds / 10% removals. Removals are distinct edges
+// sampled from `g`'s live adjacency, so the batch satisfies the Delta
+// contract (every removed edge present exactly once per listing).
+Batch MakeBatch(const GraphDb& g, int size, uint64_t seed) {
+  Rng rng(seed);
+  Batch b;
+  const int removes = size / 10;
+  for (int i = removes; i < size; ++i) {
+    b.add.push_back({static_cast<NodeId>(rng.Below(g.num_nodes())),
+                     static_cast<Symbol>(rng.Below(kLabels)),
+                     static_cast<NodeId>(rng.Below(g.num_nodes()))});
+  }
+  std::unordered_set<uint64_t> picked;
+  for (int i = 0; i < removes; ++i) {
+    for (int tries = 0; tries < 64; ++tries) {
+      NodeId v = static_cast<NodeId>(rng.Below(g.num_nodes()));
+      const auto& out = g.Out(v);
+      if (out.empty()) continue;
+      auto [label, to] = out[rng.Below(out.size())];
+      uint64_t key = (static_cast<uint64_t>(v) << 35) |
+                     (static_cast<uint64_t>(label) << 32) |
+                     static_cast<uint64_t>(to);
+      if (!picked.insert(key).second) continue;
+      b.remove.push_back({v, label, to});
+      break;
+    }
+  }
+  return b;
+}
+
+GraphDb MutatedCopy(const GraphDb& g, const Batch& b) {
+  GraphDb mutated = g;
+  for (const Edge& e : b.add) mutated.AddEdge(e.from, e.label, e.to);
+  for (const Edge& e : b.remove) mutated.RemoveEdge(e.from, e.label, e.to);
+  return mutated;
+}
+
+// The "first read": probe the row of every written edge on the new
+// snapshot — the moment a reader first benefits from the batch.
+size_t ProbeBatch(const GraphIndex& index, const Batch& b) {
+  size_t sum = 0;
+  for (const Edge& e : b.add) sum += index.Out(e.from, e.label).size();
+  for (const Edge& e : b.remove) sum += index.Out(e.from, e.label).size();
+  return sum;
+}
+
+BenchProps GraphProps(const GraphDb& g, int batch) {
+  return {{"nodes", static_cast<double>(g.num_nodes())},
+          {"edges", static_cast<double>(g.num_edges())},
+          {"batch", static_cast<double>(batch)}};
+}
+
+// ---- IndexWriteToRead: pure GraphIndex level ------------------------------
+
+void IndexDeltaWriteToRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const GraphDb& g = BaseGraph();
+  const GraphIndexPtr& base = BaseIndex();
+  Batch b = MakeBatch(g, batch, /*seed=*/7);
+  GraphIndex::Delta delta;
+  delta.added = b.add;
+  delta.removed = b.remove;
+  delta.new_num_nodes = g.num_nodes();
+  delta.new_num_labels = kLabels;
+  delta.new_version = base->version() + 1;
+  MedianTimer timer;
+  size_t touched = 0;
+  for (auto _ : state) {
+    timer.Begin();
+    GraphIndexPtr snap = base->ApplyDelta(delta);
+    size_t sum = ProbeBatch(*snap, b);
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+    touched = snap->delta_nodes();
+  }
+  state.counters["touched_nodes"] = static_cast<double>(touched);
+  RecordBenchCase("IndexWriteToRead/delta/batch/" + std::to_string(batch),
+                  timer, GraphProps(g, batch));
+}
+BENCHMARK(IndexDeltaWriteToRead)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void IndexRebuildWriteToRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const GraphDb& g = BaseGraph();
+  Batch b = MakeBatch(g, batch, /*seed=*/7);
+  GraphDb mutated = MutatedCopy(g, b);  // batch applied outside the timer
+  MedianTimer timer;
+  for (auto _ : state) {
+    timer.Begin();
+    GraphIndexPtr snap = GraphIndex::Build(mutated);
+    size_t sum = ProbeBatch(*snap, b);
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+  }
+  RecordBenchCase("IndexWriteToRead/rebuild/batch/" + std::to_string(batch),
+                  timer, GraphProps(mutated, batch));
+}
+BENCHMARK(IndexRebuildWriteToRead)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- DbWriteToRead: end-to-end through Database ---------------------------
+
+DatabaseOptions BenchDbOptions() {
+  DatabaseOptions options;
+  // Compaction off for the measurement window: the bench measures the
+  // per-batch write path, not the (amortized, threshold-driven) fold.
+  options.background_compaction = false;
+  options.compact_delta_fraction = 1.0;
+  options.compact_max_segments = 1 << 20;
+  options.eval.build_path_answers = false;
+  return options;
+}
+
+void DbDeltaWriteToRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Database db(BaseGraph(), BenchDbOptions());
+  (void)db.graph_index();  // seed the snapshot the deltas advance
+  uint64_t seed = 1000;
+  MedianTimer timer;
+  for (auto _ : state) {
+    Batch b = MakeBatch(db.graph(), batch, seed++);
+    timer.Begin();
+    MutationSummary summary = db.ApplyDelta(b.add, b.remove);
+    GraphIndexPtr snap = db.graph_index();
+    size_t sum = ProbeBatch(*snap, b);
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+    if (!summary.delta_applied) {
+      state.SkipWithError("delta path not taken");
+      return;
+    }
+  }
+  RecordBenchCase("DbWriteToRead/delta/batch/" + std::to_string(batch),
+                  timer, GraphProps(db.graph(), batch));
+}
+BENCHMARK(DbDeltaWriteToRead)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void DbRebuildWriteToRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Database db(BaseGraph(), BenchDbOptions());
+  (void)db.graph_index();
+  uint64_t seed = 1000;  // same batch stream as the delta twin
+  MedianTimer timer;
+  for (auto _ : state) {
+    Batch b = MakeBatch(db.graph(), batch, seed++);
+    timer.Begin();
+    db.MutateGraph([&](GraphDb& g) {
+      for (const Edge& e : b.add) g.AddEdge(e.from, e.label, e.to);
+      for (const Edge& e : b.remove) g.RemoveEdge(e.from, e.label, e.to);
+    });
+    GraphIndexPtr snap = db.graph_index();  // lazy full rebuild
+    size_t sum = ProbeBatch(*snap, b);
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+  }
+  RecordBenchCase("DbWriteToRead/rebuild/batch/" + std::to_string(batch),
+                  timer, GraphProps(db.graph(), batch));
+}
+BENCHMARK(DbRebuildWriteToRead)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// ---- ReadThroughput: overlay tax and compaction ---------------------------
+
+constexpr int kChain = 32;
+constexpr int kChainBatch = 1000;
+constexpr int kProbes = 200000;
+
+// The base graph plus kChain batches of kChainBatch edges (the chain
+// workload), built once and shared by the three read cases.
+struct ChainFixture {
+  GraphDb mutated;
+  GraphIndexPtr chained;    // kChain delta segments over BaseIndex()
+  GraphIndexPtr fresh;      // GraphIndex::Build(mutated)
+  GraphIndexPtr compacted;  // Database::CompactIndexNow() product
+  std::vector<std::pair<NodeId, Symbol>> probes;
+};
+
+const ChainFixture& Chain() {
+  static const ChainFixture& fixture = *[] {
+    auto* f = new ChainFixture;
+    f->mutated = BaseGraph();
+    GraphIndexPtr snap = BaseIndex();
+    Database db(BaseGraph(), BenchDbOptions());
+    (void)db.graph_index();
+    for (int i = 0; i < kChain; ++i) {
+      Batch b = MakeBatch(f->mutated, kChainBatch, /*seed=*/9000 + i);
+      for (const Edge& e : b.add) f->mutated.AddEdge(e.from, e.label, e.to);
+      for (const Edge& e : b.remove) {
+        f->mutated.RemoveEdge(e.from, e.label, e.to);
+      }
+      GraphIndex::Delta delta;
+      delta.added = b.add;
+      delta.removed = b.remove;
+      delta.new_num_nodes = f->mutated.num_nodes();
+      delta.new_num_labels = kLabels;
+      delta.new_version = snap->version() + 1;
+      snap = snap->ApplyDelta(delta);
+      db.ApplyDelta(b.add, b.remove);
+    }
+    f->chained = snap;
+    f->fresh = GraphIndex::Build(f->mutated);
+    db.CompactIndexNow();
+    f->compacted = db.graph_index();
+    Rng rng(99);
+    f->probes.reserve(kProbes);
+    for (int i = 0; i < kProbes; ++i) {
+      f->probes.emplace_back(
+          static_cast<NodeId>(rng.Below(f->mutated.num_nodes())),
+          static_cast<Symbol>(rng.Below(kLabels)));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+void RunReadThroughput(benchmark::State& state, const char* case_name,
+                       const GraphIndex& index) {
+  const ChainFixture& f = Chain();
+  MedianTimer timer;
+  for (auto _ : state) {
+    timer.Begin();
+    size_t sum = 0;
+    for (const auto& [node, label] : f.probes) {
+      for (NodeId to : index.Out(node, label)) {
+        sum += static_cast<size_t>(to);
+      }
+    }
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["segments"] =
+      static_cast<double>(index.num_delta_segments());
+  RecordBenchCase(case_name, timer,
+                  {{"nodes", static_cast<double>(f.mutated.num_nodes())},
+                   {"edges", static_cast<double>(f.mutated.num_edges())},
+                   {"probes", static_cast<double>(kProbes)},
+                   {"segments",
+                    static_cast<double>(index.num_delta_segments())}});
+}
+
+void ReadThroughputFresh(benchmark::State& state) {
+  RunReadThroughput(state, "ReadThroughput/fresh", *Chain().fresh);
+}
+BENCHMARK(ReadThroughputFresh)->Unit(benchmark::kMillisecond);
+
+void ReadThroughputCompacted(benchmark::State& state) {
+  RunReadThroughput(state, "ReadThroughput/compacted", *Chain().compacted);
+}
+BENCHMARK(ReadThroughputCompacted)->Unit(benchmark::kMillisecond);
+
+void ReadThroughputChain(benchmark::State& state) {
+  RunReadThroughput(state, "ReadThroughput/chain/32", *Chain().chained);
+}
+BENCHMARK(ReadThroughputChain)->Unit(benchmark::kMillisecond);
+
+}  // namespace

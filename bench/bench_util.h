@@ -102,6 +102,11 @@ class BenchResultLog {
     PrintTwinSpeedups("/bidir", "/fwd", "bidirectional-vs-forward");
     PrintTwinSpeedups("/bwd", "/fwd", "backward-vs-forward");
     PrintTwinSpeedups("/cached", "/nocache", "cache-vs-nocache");
+    // bench_mutation: O(delta) snapshot maintenance vs full rebuild, and
+    // the (absence of a) read tax after compaction folds the chain.
+    PrintTwinSpeedups("/delta", "/rebuild", "delta-vs-rebuild");
+    PrintTwinSpeedups("/compacted", "/fresh", "compacted-vs-fresh");
+    PrintTwinSpeedups("/chain/32", "/fresh", "chain32-vs-fresh");
   }
 
  private:

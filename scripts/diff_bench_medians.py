@@ -11,7 +11,9 @@ running the benches and then calls
 
 which compares every case's median_ns pairwise and prints a WARN line
 for each case slower than the warn threshold times its committed
-baseline. Cases present only in the fresh run print as NEW and are
+baseline, then a per-bench summary table (one line per bench binary:
+summed baseline/fresh medians and the geometric mean of the per-case
+ratios — the single number to scan for "did this binary move"). Cases present only in the fresh run print as NEW and are
 counted in the summary but never warn or fail — a PR that adds a bench
 tier diffs clean, and the next PR's committed baseline picks them up. The warn threshold is, in order of precedence: --threshold,
 the positional third argument, the BENCH_DIFF_THRESHOLD environment
@@ -31,6 +33,7 @@ baselines were recorded on. Two escalation modes:
 """
 
 import json
+import math
 import os
 import pathlib
 import sys
@@ -83,6 +86,7 @@ def main(argv):
     failures = 0
     compared = 0
     new_cases = 0
+    per_bench = []  # (bench, n_cases, old_ms, new_ms, geomean_ratio)
     for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
         fresh_path = fresh_dir / baseline_path.name
         if not fresh_path.exists():
@@ -99,11 +103,18 @@ def main(argv):
                 f"NEW  [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms "
                 "(no committed baseline)"
             )
+        old_ms = new_ms = log_ratio_sum = 0.0
+        paired = 0
         for name, base_ns in sorted(baseline.items()):
             if name not in fresh or base_ns <= 0:
                 continue
             compared += 1
             ratio = fresh[name] / base_ns
+            paired += 1
+            old_ms += base_ns / 1e6
+            new_ms += fresh[name] / 1e6
+            if ratio > 0:
+                log_ratio_sum += math.log(ratio)
             if ratio <= threshold:
                 continue
             over_fail = fail_over is not None and ratio > fail_over
@@ -116,6 +127,19 @@ def main(argv):
                 f"baseline {base_ns / 1e6:.3f} ms ({ratio:.2f}x > "
                 f"{threshold:.2f}x)"
             )
+        if paired:
+            bench = baseline_path.name[len("BENCH_") : -len(".json")]
+            per_bench.append(
+                (bench, paired, old_ms, new_ms,
+                 math.exp(log_ratio_sum / paired))
+            )
+    if per_bench:
+        width = max(len(b[0]) for b in per_bench)
+        print(f"[bench-diff] {'bench':<{width}} cases "
+              f"{'old_ms':>10} {'new_ms':>10}  ratio")
+        for bench, paired, old_ms, new_ms, geomean in per_bench:
+            print(f"[bench-diff] {bench:<{width}} {paired:>5} "
+                  f"{old_ms:>10.3f} {new_ms:>10.3f} {geomean:>5.2f}x")
     summary = (
         f"[bench-diff] compared {compared} cases, "
         f"{regressions} above {threshold:.2f}x baseline"

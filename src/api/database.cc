@@ -1,8 +1,196 @@
 #include "api/database.h"
 
 #include "query/optimizer.h"
+#include "util/status.h"
 
 namespace ecrpq {
+
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> lock(compact_mutex_);
+    compact_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compact_thread_.joinable()) compact_thread_.join();
+}
+
+MutationSummary Database::ApplyDelta(const GraphMutation& mutation) {
+  std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+  GraphIndexPtr prev;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    prev = index_;
+  }
+  const bool prev_fresh = IndexFresh(prev);
+  const uint64_t pre_version = graph_.version();
+  const int old_num_labels = graph_.alphabet().size();
+  const int old_num_nodes = graph_.num_nodes();
+
+  MutationSummary summary;
+  GraphIndex::Delta delta;
+  auto resolve = [&](const std::string& name) {
+    auto found = graph_.FindNode(name);
+    return found.has_value() ? *found : graph_.AddNode(name);
+  };
+  for (const std::string& name : mutation.add_nodes) {
+    if (name.empty()) {
+      graph_.AddNode();
+    } else {
+      resolve(name);
+    }
+  }
+  delta.added.reserve(mutation.add_edges.size());
+  for (const EdgeSpec& spec : mutation.add_edges) {
+    const NodeId from = resolve(spec.from);
+    const NodeId to = resolve(spec.to);
+    graph_.AddEdge(from, spec.label, to);  // interns the label if new
+    delta.added.push_back({from, *graph_.alphabet().Find(spec.label), to});
+  }
+  for (const EdgeSpec& spec : mutation.remove_edges) {
+    const auto from = graph_.FindNode(spec.from);
+    const auto to = graph_.FindNode(spec.to);
+    const auto label = graph_.alphabet().Find(spec.label);
+    if (from && to && label && graph_.RemoveEdge(*from, *label, *to)) {
+      delta.removed.push_back({*from, *label, *to});
+    } else {
+      ++summary.skipped_removes;
+    }
+  }
+  return FinishDeltaLocked(std::move(prev), prev_fresh, pre_version,
+                           old_num_labels, old_num_nodes, &delta, &summary);
+}
+
+MutationSummary Database::ApplyDelta(const std::vector<Edge>& add,
+                                     const std::vector<Edge>& remove) {
+  std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+  GraphIndexPtr prev;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    prev = index_;
+  }
+  const bool prev_fresh = IndexFresh(prev);
+  const uint64_t pre_version = graph_.version();
+  const int old_num_labels = graph_.alphabet().size();
+  const int old_num_nodes = graph_.num_nodes();
+
+  MutationSummary summary;
+  GraphIndex::Delta delta;
+  delta.added.reserve(add.size());
+  for (const Edge& e : add) {
+    ECRPQ_DCHECK(e.from >= 0 && e.from < graph_.num_nodes());
+    ECRPQ_DCHECK(e.to >= 0 && e.to < graph_.num_nodes());
+    ECRPQ_DCHECK(e.label >= 0 && e.label < graph_.alphabet().size());
+    graph_.AddEdge(e.from, e.label, e.to);
+    delta.added.push_back(e);
+  }
+  for (const Edge& e : remove) {
+    if (e.from >= 0 && e.from < graph_.num_nodes() && e.to >= 0 &&
+        e.to < graph_.num_nodes() && graph_.RemoveEdge(e.from, e.label, e.to)) {
+      delta.removed.push_back(e);
+    } else {
+      ++summary.skipped_removes;
+    }
+  }
+  return FinishDeltaLocked(std::move(prev), prev_fresh, pre_version,
+                           old_num_labels, old_num_nodes, &delta, &summary);
+}
+
+MutationSummary Database::FinishDeltaLocked(
+    GraphIndexPtr prev, bool prev_fresh, uint64_t pre_version,
+    int old_num_labels, int old_num_nodes, GraphIndex::Delta* delta,
+    MutationSummary* summary) {
+  delta->new_num_nodes = graph_.num_nodes();
+  delta->new_num_labels = graph_.alphabet().size();
+  delta->new_version = graph_.version();
+  summary->added_edges = static_cast<int>(delta->added.size());
+  summary->removed_edges = static_cast<int>(delta->removed.size());
+  summary->new_nodes = graph_.num_nodes() - old_num_nodes;
+  summary->num_nodes = graph_.num_nodes();
+  summary->num_edges = graph_.num_edges();
+  summary->version = graph_.version();
+
+  const bool changed = graph_.version() != pre_version;
+  if (!changed) return *summary;  // empty batch: snapshot still current
+
+  GraphIndexPtr next;
+  if (prev_fresh && prev != nullptr) {
+    next = prev->ApplyDelta(*delta);
+    summary->delta_applied = true;
+  }
+  const bool alphabet_grew = delta->new_num_labels != old_num_labels;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    if (alphabet_grew) {
+      // Compiled automata are sized by the alphabet — plans must not
+      // outlive a grown label universe. (Alphabet-stable batches keep
+      // their plans: constants re-resolve and plans re-cost per
+      // execution against the new snapshot.)
+      cache_.clear();
+      lru_.clear();
+    }
+    // next == nullptr (no index yet / stale / indexing off) drops the
+    // snapshot; the next reader full-builds, coalesced by build_mutex_.
+    index_ = next;
+  }
+  if (ShouldCompact(next)) {
+    if (options_.background_compaction) {
+      ScheduleCompaction();
+    } else {
+      // Synchronous fold under the exclusive lock already held: the
+      // writer pays the O(V+E) rebuild, deterministically.
+      GraphIndexPtr built = GraphIndex::Build(graph_);
+      std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+      index_ = built;
+    }
+  }
+  return *summary;
+}
+
+void Database::CompactIndexNow() { CompactIfOverThreshold(/*force=*/true); }
+
+void Database::CompactIfOverThreshold(bool force) {
+  auto read_lock = ReadLock();
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    if (!IndexFresh(index_) || !index_->has_delta()) return;
+    if (!force && !ShouldCompact(index_)) return;  // raced a newer fold
+  }
+  // Fold outside cache_mutex_ (readers keep hitting the plan cache) but
+  // inside the shared graph guard (the graph is stable; writers queue
+  // behind the fold — the same profile a reader-side full rebuild had).
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    if (!IndexFresh(index_) || !index_->has_delta()) return;
+  }
+  GraphIndexPtr built = GraphIndex::Build(graph_);
+  index_full_builds_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  index_ = built;  // distinct GraphIndexPtr: result-cache entries for the
+                   // delta snapshot miss from here on (correct, rare)
+}
+
+void Database::ScheduleCompaction() {
+  std::lock_guard<std::mutex> lock(compact_mutex_);
+  if (compact_stop_) return;
+  if (!compact_thread_.joinable()) {
+    compact_thread_ = std::thread([this] { CompactLoop(); });
+  }
+  compact_pending_ = true;
+  compact_cv_.notify_one();
+}
+
+void Database::CompactLoop() {
+  std::unique_lock<std::mutex> lock(compact_mutex_);
+  for (;;) {
+    compact_cv_.wait(lock, [&] { return compact_pending_ || compact_stop_; });
+    if (compact_stop_) return;
+    compact_pending_ = false;
+    lock.unlock();
+    CompactIfOverThreshold(/*force=*/false);
+    lock.lock();
+  }
+}
 
 Result<PreparedQuery> Database::Prepare(const std::string& text) {
   {

@@ -38,6 +38,9 @@
 #ifndef ECRPQ_API_DATABASE_H_
 #define ECRPQ_API_DATABASE_H_
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -45,8 +48,10 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "api/prepared_query.h"
 #include "core/evaluator.h"
@@ -65,6 +70,61 @@ struct DatabaseOptions {
   /// Maximum number of compiled plans kept in the LRU cache (0 disables
   /// caching).
   size_t plan_cache_capacity = 64;
+
+  // ---- delta-snapshot compaction policy (see ApplyDelta) ----
+
+  /// Fold delta segments into a fresh base once the overlay holds more
+  /// than this fraction of the base's edges. Keeps the touched-node
+  /// directory (one extra binary search per row lookup on delta
+  /// snapshots) small relative to the data.
+  double compact_delta_fraction = 0.10;
+  /// ... or once this many segments have stacked up, whatever the edge
+  /// volume (each batch adds one segment; a long chain of tiny batches
+  /// should still fold eventually).
+  size_t compact_max_segments = 32;
+  /// Compact on a background thread (spawned lazily on first trigger).
+  /// When false, a triggering ApplyDelta folds synchronously before
+  /// returning — deterministic, used by tests and single-threaded tools.
+  bool background_compaction = true;
+};
+
+/// One edge of a GraphMutation, endpoints and label by name. Unknown
+/// node names are created; an unknown label is interned on add (but
+/// never on remove — removing a never-seen label is a no-op skip).
+struct EdgeSpec {
+  std::string from;
+  std::string label;
+  std::string to;
+};
+
+/// A batched write: nodes to create plus edges to add/remove, applied
+/// atomically under the writer lock by Database::ApplyDelta.
+struct GraphMutation {
+  /// Node names to create up front (empty string = anonymous node).
+  /// Names that already exist are left as-is.
+  std::vector<std::string> add_nodes;
+  std::vector<EdgeSpec> add_edges;
+  /// Each spec removes ONE instance of a matching edge (multiset
+  /// semantics); specs matching nothing are counted, not errors.
+  std::vector<EdgeSpec> remove_edges;
+};
+
+/// What a Database::ApplyDelta batch did.
+struct MutationSummary {
+  int added_edges = 0;
+  int removed_edges = 0;
+  /// remove_edges entries that matched no existing edge (unknown node,
+  /// unknown label, or edge not present).
+  int skipped_removes = 0;
+  int new_nodes = 0;
+  // Post-batch graph totals.
+  int num_nodes = 0;
+  int num_edges = 0;
+  uint64_t version = 0;
+  /// True when the index advanced via the O(delta) overlay path; false
+  /// when there was no index to advance (first use, indexing disabled,
+  /// or a stale snapshot) and the next reader full-builds lazily.
+  bool delta_applied = false;
 };
 
 class Database {
@@ -79,6 +139,8 @@ class Database {
   // iterators, so copying or moving would dangle both.
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  ~Database();
 
   const GraphDb& graph() const { return graph_; }
 
@@ -99,11 +161,45 @@ class Database {
   /// snapshot. Executions that pinned the old snapshot before the write
   /// finish against it; later executions see the new graph and a fresh
   /// snapshot.
+  /// NOTE: this is the heavyweight escape hatch — `fn` can do anything to
+  /// the graph, so the index snapshot is dropped wholesale and the next
+  /// reader pays a full O(V+E) rebuild (coalesced: see
+  /// graph_index_locked). Batched edge/node writes should use ApplyDelta,
+  /// which advances the snapshot in O(batch) instead.
   void MutateGraph(const std::function<void(GraphDb&)>& fn) {
     std::unique_lock<std::shared_mutex> lock(graph_mutex_);
     fn(graph_);
     ClearPlanCache();  // before readers resume (lock order: graph → cache)
   }
+
+  /// The O(delta) write path. Applies the batch to the graph under the
+  /// exclusive writer lock (concurrent executions drain first), then
+  /// advances the index by layering a delta segment onto the current
+  /// snapshot (GraphIndex::ApplyDelta) instead of discarding it — cost
+  /// O(|batch| + Σ degree(touched)), independent of graph size.
+  /// Executions that pinned the old snapshot finish against it; the
+  /// serving layer's snapshot-keyed result cache misses naturally (each
+  /// delta snapshot is a distinct GraphIndexPtr). Cached plans survive
+  /// unless the batch grew the alphabet (compiled automata are sized by
+  /// it); constants re-resolve per execution, and plans re-cost against
+  /// the new snapshot. When the overlay outgrows
+  /// DatabaseOptions::compact_delta_fraction of the base (or
+  /// compact_max_segments), segments are folded into a fresh base via the
+  /// parallel Build — on a background thread by default.
+  MutationSummary ApplyDelta(const GraphMutation& mutation);
+
+  /// Id-level overload: labels already interned, node ids in range
+  /// (callers doing bulk ingest with ids they minted via MutateGraph /
+  /// mutable_graph). `remove` entries matching no edge are skipped and
+  /// counted, same as the name-level path.
+  MutationSummary ApplyDelta(const std::vector<Edge>& add,
+                             const std::vector<Edge>& remove);
+
+  /// Synchronously folds the current snapshot's delta segments into a
+  /// fresh base (no-op when there is no delta). Takes the shared graph
+  /// guard — safe alongside executions; writers wait. Exposed for tests
+  /// and tools; normal operation relies on the threshold policy.
+  void CompactIndexNow();
 
   /// The session's CSR label index of the graph (see graph/index.h):
   /// built lazily on first use, shared by every PreparedQuery execution,
@@ -163,6 +259,13 @@ class Database {
 
   // ---- plan cache introspection ----
 
+  /// Number of full O(V+E) GraphIndex::Build runs this session performed
+  /// on the lazy read path (graph_index). With single-flight coalescing,
+  /// N readers racing one invalidation contribute exactly 1.
+  uint64_t index_full_builds() const {
+    return index_full_builds_.load(std::memory_order_relaxed);
+  }
+
   uint64_t plan_cache_hits() const {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     return hits_;
@@ -193,31 +296,71 @@ class Database {
     return std::shared_lock<std::shared_mutex>(graph_mutex_);
   }
 
-  /// True when `index` is a current snapshot of graph_ (GraphDb is
-  /// append-only, so the counters detect every mutation). Caller holds
-  /// ReadLock.
+  /// True when `index` is a current snapshot of graph_. Every GraphDb
+  /// mutation — including add+remove sequences that leave the node/edge
+  /// counts unchanged — bumps the graph's monotone version counter, and
+  /// snapshots record the version they were built at, so a single compare
+  /// is sound even against mutation through a retained mutable_graph()
+  /// reference. Caller holds ReadLock.
   bool IndexFresh(const GraphIndexPtr& index) const {
-    return index != nullptr && index->num_nodes() == graph_.num_nodes() &&
-           index->num_edges() == graph_.num_edges() &&
-           index->num_labels() == graph_.alphabet().size();
+    return index != nullptr && index->version() == graph_.version();
   }
 
   /// graph_index() body; the caller must hold ReadLock (shared or
-  /// exclusive) so the staleness counters and the rebuild read a stable
-  /// graph. The O(V+E) build runs OUTSIDE cache_mutex_ — concurrent
-  /// plan-cache hits never wait on an index rebuild; racing builders
-  /// tolerate a double build and converge on one snapshot.
+  /// exclusive) so the staleness check and the rebuild read a stable
+  /// graph. Single-flight: racing readers that all miss serialize on
+  /// build_mutex_, the first one runs the O(V+E) build, and the rest find
+  /// the fresh snapshot on their post-acquire recheck — N racing readers
+  /// after one invalidation cost exactly one build. The build runs
+  /// OUTSIDE cache_mutex_, so concurrent plan-cache hits never wait on
+  /// it. Lock order: graph_mutex_ → build_mutex_ → cache_mutex_.
   GraphIndexPtr graph_index_locked() const {
     if (!options_.eval.use_graph_index) return nullptr;
     {
       std::lock_guard<std::mutex> lock(cache_mutex_);
       if (IndexFresh(index_)) return index_;
     }
+    std::lock_guard<std::mutex> build_lock(build_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (IndexFresh(index_)) return index_;  // a coalesced builder won
+    }
     GraphIndexPtr built = GraphIndex::Build(graph_);
+    index_full_builds_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (!IndexFresh(index_)) index_ = built;
+    index_ = built;  // fresh by construction: graph stable under ReadLock
     return index_;
   }
+
+  /// Shared tail of the ApplyDelta overloads: stamps the post-batch
+  /// totals, advances (or drops) the index snapshot, clears plans iff the
+  /// alphabet grew, and triggers compaction. Caller holds the exclusive
+  /// graph lock; `prev`/`prev_fresh` were captured BEFORE the batch
+  /// touched graph_.
+  MutationSummary FinishDeltaLocked(GraphIndexPtr prev, bool prev_fresh,
+                                    uint64_t pre_version, int old_num_labels,
+                                    int old_num_nodes,
+                                    GraphIndex::Delta* delta,
+                                    MutationSummary* summary);
+
+  bool ShouldCompact(const GraphIndexPtr& index) const {
+    return index != nullptr && index->has_delta() &&
+           (static_cast<double>(index->delta_edges()) >=
+                options_.compact_delta_fraction *
+                    std::max(index->base_edges(), 1) ||
+            index->num_delta_segments() > options_.compact_max_segments);
+  }
+
+  /// Folds the current snapshot into a fresh base if (still) over
+  /// threshold — the background thread's work item. Takes the shared
+  /// graph guard for the whole fold: readers keep executing, writers
+  /// wait (same contention profile a reader-side rebuild had).
+  void CompactIfOverThreshold(bool force);
+  void CompactLoop();
+  /// Wakes (lazily spawning) the background compactor. Only touches
+  /// compact_* state — callable with any graph/cache lock held
+  /// (compact_mutex_ is a leaf in the lock order).
+  void ScheduleCompaction();
 
   GraphDb graph_;
   DatabaseOptions options_;
@@ -227,9 +370,24 @@ class Database {
   /// MutateGraph / RegisterRelation.
   mutable std::shared_mutex graph_mutex_;
 
+  /// Serializes full index builds on the lazy read path (single-flight).
+  /// Writers never take it: ApplyDelta/MutateGraph swap under the
+  /// exclusive graph lock, which excludes every reader-side builder.
+  mutable std::mutex build_mutex_;
+  mutable std::atomic<uint64_t> index_full_builds_{0};
+
   /// Guards index_, lru_, cache_, hits_, misses_.
   mutable std::mutex cache_mutex_;
   mutable GraphIndexPtr index_;  // lazy CSR snapshot of graph_
+
+  // Background compaction: lazily spawned on the first over-threshold
+  // delta, woken by ScheduleCompaction, joined by the destructor.
+  // compact_mutex_ is a leaf: never held while acquiring another lock.
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  std::thread compact_thread_;
+  bool compact_pending_ = false;
+  bool compact_stop_ = false;
 
   // LRU plan cache keyed by query text; lru_ front = most recent.
   using LruList =

@@ -1,5 +1,7 @@
 #include "graph/graph.h"
 
+#include <algorithm>
+
 namespace ecrpq {
 
 GraphDb::GraphDb(AlphabetPtr alphabet) : alphabet_(std::move(alphabet)) {
@@ -9,6 +11,7 @@ GraphDb::GraphDb(AlphabetPtr alphabet) : alphabet_(std::move(alphabet)) {
 GraphDb::GraphDb() : alphabet_(std::make_shared<Alphabet>()) {}
 
 NodeId GraphDb::AddNode() {
+  ++version_;
   out_.emplace_back();
   in_.emplace_back();
   names_.emplace_back();
@@ -17,6 +20,7 @@ NodeId GraphDb::AddNode() {
 
 NodeId GraphDb::AddNodes(int count) {
   ECRPQ_DCHECK(count >= 0);
+  ++version_;
   const NodeId first = static_cast<NodeId>(out_.size());
   out_.resize(out_.size() + count);
   in_.resize(in_.size() + count);
@@ -56,6 +60,23 @@ void GraphDb::AddEdge(NodeId from, Symbol label, NodeId to) {
   out_[from].emplace_back(label, to);
   in_[to].emplace_back(label, from);
   ++num_edges_;
+  ++version_;
+}
+
+bool GraphDb::RemoveEdge(NodeId from, Symbol label, NodeId to) {
+  ECRPQ_DCHECK(from >= 0 && from < num_nodes());
+  ECRPQ_DCHECK(to >= 0 && to < num_nodes());
+  auto& out = out_[from];
+  auto out_it = std::find(out.begin(), out.end(), std::pair(label, to));
+  if (out_it == out.end()) return false;
+  auto& in = in_[to];
+  auto in_it = std::find(in.begin(), in.end(), std::pair(label, from));
+  ECRPQ_DCHECK(in_it != in.end());
+  out.erase(out_it);
+  in.erase(in_it);
+  --num_edges_;
+  ++version_;
+  return true;
 }
 
 void GraphDb::AddEdge(NodeId from, std::string_view label, NodeId to) {
@@ -81,6 +102,7 @@ void GraphDb::AddEdges(const std::vector<Edge>& edges) {
     in_[e.to].emplace_back(e.label, e.from);
   }
   num_edges_ += static_cast<int>(edges.size());
+  ++version_;
 }
 
 GraphDb GraphDb::FromEdges(AlphabetPtr alphabet, int num_nodes,

@@ -67,6 +67,12 @@ class GraphDb {
   /// Adds an edge, interning `label` into the alphabet if needed.
   void AddEdge(NodeId from, std::string_view label, NodeId to);
 
+  /// Removes ONE instance of the edge (from, label, to) — edges form a
+  /// multiset, so a duplicate edge survives a single removal. Returns
+  /// false (and changes nothing) when no such edge exists. Per-node
+  /// adjacency order of the remaining edges is preserved.
+  bool RemoveEdge(NodeId from, Symbol label, NodeId to);
+
   /// Bulk-adds `edges` (already-interned labels, existing node ids) with
   /// size-then-fill adjacency construction: one degree-counting pass, one
   /// exact reservation per touched node, one fill pass — no per-edge
@@ -84,6 +90,13 @@ class GraphDb {
 
   int num_nodes() const { return static_cast<int>(out_.size()); }
   int num_edges() const { return num_edges_; }
+
+  /// Monotone mutation counter: bumped by every node/edge addition and
+  /// every removal. Snapshots (GraphIndex) record the version they were
+  /// built at, which makes staleness checks sound even for mutation
+  /// sequences that leave the node/edge counts unchanged (e.g. one add
+  /// plus one remove).
+  uint64_t version() const { return version_; }
 
   const Alphabet& alphabet() const { return *alphabet_; }
   const AlphabetPtr& alphabet_ptr() const { return alphabet_; }
@@ -116,6 +129,7 @@ class GraphDb {
   std::vector<std::string> names_;  // empty string = anonymous
   std::unordered_map<std::string, NodeId> name_index_;
   int num_edges_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace ecrpq

@@ -16,6 +16,11 @@ constexpr int kParallelBuildMinEdges = 1 << 19;
 // Contiguous node range each fill morsel claims.
 constexpr int kBuildGrain = 4096;
 
+uint64_t PackKey(Symbol label, NodeId other) {
+  return static_cast<uint64_t>(static_cast<uint32_t>(label)) << 32 |
+         static_cast<uint32_t>(other);
+}
+
 // Size-then-fill CSR construction. The offsets pass sizes every array
 // exactly; the fill pass sorts each node's adjacency as packed
 // (label << 32 | target) uint64 keys — one flat scratch buffer reused
@@ -44,9 +49,7 @@ void BuildCsr(const GraphDb& graph, bool out_side, int num_threads,
       const auto& adj = out_side ? graph.Out(v) : graph.In(v);
       keys.clear();
       for (const auto& [label, other] : adj) {
-        keys.push_back(static_cast<uint64_t>(static_cast<uint32_t>(label))
-                           << 32 |
-                       static_cast<uint32_t>(other));
+        keys.push_back(PackKey(label, other));
       }
       std::sort(keys.begin(), keys.end());
       const int32_t base = (*offsets)[v];
@@ -81,12 +84,11 @@ void BuildCsr(const GraphDb& graph, bool out_side, int num_threads,
 
 }  // namespace
 
-std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph) {
+GraphIndexPtr GraphIndex::Build(const GraphDb& graph) {
   return Build(graph, /*num_threads=*/0);
 }
 
-std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph,
-                                                    int num_threads) {
+GraphIndexPtr GraphIndex::Build(const GraphDb& graph, int num_threads) {
   if (num_threads <= 0) {
     num_threads = graph.num_edges() >= kParallelBuildMinEdges
                       ? ThreadPool::DefaultParallelism()
@@ -96,36 +98,40 @@ std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph,
   index->num_nodes_ = graph.num_nodes();
   index->num_edges_ = graph.num_edges();
   index->num_labels_ = graph.alphabet().size();
+  index->version_ = graph.version();
 
-  BuildCsr(graph, /*out_side=*/true, num_threads, &index->out_offsets_,
-           &index->out_labels_, &index->out_targets_,
-           &index->out_label_mask_);
-  BuildCsr(graph, /*out_side=*/false, num_threads, &index->in_offsets_,
-           &index->in_labels_, &index->in_targets_, &index->in_label_mask_);
+  auto base = std::make_shared<Base>();
+  base->num_nodes = graph.num_nodes();
+  BuildCsr(graph, /*out_side=*/true, num_threads, &base->out.offsets,
+           &base->out.labels, &base->out.targets, &base->out.masks);
+  BuildCsr(graph, /*out_side=*/false, num_threads, &base->in.offsets,
+           &base->in.labels, &base->in.targets, &base->in.masks);
+  index->base_ = base;
+  index->bout_ = &base->out;
+  index->bin_ = &base->in;
+  index->base_num_nodes_ = graph.num_nodes();
+  index->base_num_edges_ = graph.num_edges();
 
   index->label_counts_.assign(std::max(index->num_labels_, 1), 0);
-  for (Symbol label : index->out_labels_) ++index->label_counts_[label];
+  for (Symbol label : base->out.labels) ++index->label_counts_[label];
 
   // Distinct-source/target counts per label: CSR rows are sorted by
   // label, so each node contributes one increment per distinct label run.
-  auto distinct_endpoint_counts = [&](const std::vector<int32_t>& offsets,
-                                      const std::vector<Symbol>& labels,
+  auto distinct_endpoint_counts = [&](const Side& side,
                                       std::vector<int64_t>* counts) {
     counts->assign(std::max(index->num_labels_, 1), 0);
     for (NodeId v = 0; v < index->num_nodes_; ++v) {
       Symbol prev = -1;
-      for (int32_t i = offsets[v]; i < offsets[v + 1]; ++i) {
-        if (labels[i] != prev) {
-          prev = labels[i];
+      for (int32_t i = side.offsets[v]; i < side.offsets[v + 1]; ++i) {
+        if (side.labels[i] != prev) {
+          prev = side.labels[i];
           ++(*counts)[prev];
         }
       }
     }
   };
-  distinct_endpoint_counts(index->out_offsets_, index->out_labels_,
-                           &index->label_source_counts_);
-  distinct_endpoint_counts(index->in_offsets_, index->in_labels_,
-                           &index->label_target_counts_);
+  distinct_endpoint_counts(base->out, &index->label_source_counts_);
+  distinct_endpoint_counts(base->in, &index->label_target_counts_);
 
   index->by_degree_.resize(index->num_nodes_);
   std::iota(index->by_degree_.begin(), index->by_degree_.end(), 0);
@@ -140,18 +146,289 @@ std::shared_ptr<const GraphIndex> GraphIndex::Build(const GraphDb& graph,
                    [&](NodeId a, NodeId b) {
                      return index->in_degree(a) > index->in_degree(b);
                    });
+  index->orders_ready_.store(true, std::memory_order_release);
   return index;
 }
 
-std::span<const NodeId> GraphIndex::Slice(const std::vector<int32_t>& offsets,
-                                          const std::vector<Symbol>& labels,
-                                          const std::vector<NodeId>& targets,
-                                          NodeId node, Symbol label) {
-  auto first = labels.begin() + offsets[node];
-  auto last = labels.begin() + offsets[node + 1];
-  auto [lo, hi] = std::equal_range(first, last, label);
-  return {targets.data() + (lo - labels.begin()),
-          targets.data() + (hi - labels.begin())};
+// Builds one direction of the new snapshot's segment: for every node the
+// batch touches on this side, the node's full logical row is re-merged
+// (previous view ⊎ adds ∖ removes, multiset semantics, (label, target)
+// order) into seg_side, and the overlay directory of `next` is spliced to
+// resolve those nodes into the new segment. Also maintains the side's
+// distinct-endpoint label statistics on `next`.
+void GraphIndex::ApplySide(const GraphIndex& prev, bool out_side,
+                           const Delta& delta, GraphIndex* next,
+                           SegSide* seg_side, std::vector<NodeId>* touched) {
+  // (node, packed (label, other)) pairs of the batch, sorted.
+  auto collect = [&](const std::vector<Edge>& edges) {
+    std::vector<std::pair<NodeId, uint64_t>> items;
+    items.reserve(edges.size());
+    for (const Edge& e : edges) {
+      items.emplace_back(out_side ? e.from : e.to,
+                         PackKey(e.label, out_side ? e.to : e.from));
+    }
+    std::sort(items.begin(), items.end());
+    return items;
+  };
+  const auto adds = collect(delta.added);
+  const auto removes = collect(delta.removed);
+
+  touched->clear();
+  for (const auto& [node, key] : adds) touched->push_back(node);
+  for (const auto& [node, key] : removes) touched->push_back(node);
+  std::sort(touched->begin(), touched->end());
+  touched->erase(std::unique(touched->begin(), touched->end()),
+                 touched->end());
+  if (touched->empty()) return;
+
+  std::vector<uint64_t> row_masks;
+  row_masks.reserve(touched->size());
+  std::vector<uint64_t> merged;  // scratch: one row's packed keys
+  auto add_it = adds.begin();
+  auto rem_it = removes.begin();
+  std::vector<int64_t>& endpoint_counts =
+      out_side ? next->label_source_counts_ : next->label_target_counts_;
+
+  for (NodeId v : *touched) {
+    // Previous logical row of v, already (label, target)-sorted. Nodes
+    // the batch freshly created (>= prev.num_nodes_) have no previous
+    // row — and are out of range for prev's accessors.
+    std::span<const Symbol> old_labels;
+    std::span<const NodeId> old_targets;
+    if (v < prev.num_nodes_) {
+      old_labels = out_side ? prev.OutLabels(v) : prev.InLabels(v);
+      old_targets = out_side ? prev.OutTargets(v) : prev.InSources(v);
+    }
+
+    merged.clear();
+    // Merge old row with this node's adds (both sorted by packed key).
+    size_t oi = 0;
+    while (add_it != adds.end() && add_it->first == v &&
+           oi < old_labels.size()) {
+      const uint64_t old_key = PackKey(old_labels[oi], old_targets[oi]);
+      if (old_key <= add_it->second) {
+        merged.push_back(old_key);
+        ++oi;
+      } else {
+        merged.push_back(add_it->second);
+        ++add_it;
+      }
+    }
+    for (; oi < old_labels.size(); ++oi) {
+      merged.push_back(PackKey(old_labels[oi], old_targets[oi]));
+    }
+    for (; add_it != adds.end() && add_it->first == v; ++add_it) {
+      merged.push_back(add_it->second);
+    }
+    // Multiset-subtract this node's removes: each remove entry deletes
+    // one instance of its key (Database validated existence, so every
+    // remove key is present in the merged row).
+    if (rem_it != removes.end() && rem_it->first == v) {
+      size_t w = 0;
+      for (size_t r = 0; r < merged.size(); ++r) {
+        if (rem_it != removes.end() && rem_it->first == v &&
+            rem_it->second == merged[r]) {
+          ++rem_it;
+          continue;
+        }
+        merged[w++] = merged[r];
+      }
+      merged.resize(w);
+      while (rem_it != removes.end() && rem_it->first == v) ++rem_it;
+    }
+
+    // Write the merged row into the segment and diff the distinct label
+    // sets against the old row (planner endpoint statistics).
+    uint64_t mask = 0;
+    Symbol prev_label = -1;
+    for (uint64_t key : merged) {
+      const Symbol label = static_cast<Symbol>(key >> 32);
+      seg_side->labels.push_back(label);
+      seg_side->targets.push_back(static_cast<NodeId>(
+          static_cast<uint32_t>(key)));
+      mask |= 1ULL << std::min<Symbol>(label, 63);
+      if (label != prev_label) {
+        prev_label = label;
+        ++endpoint_counts[label];
+      }
+    }
+    prev_label = -1;
+    for (Symbol label : old_labels) {
+      if (label != prev_label) {
+        prev_label = label;
+        --endpoint_counts[label];
+      }
+    }
+    seg_side->offsets.push_back(
+        static_cast<int32_t>(seg_side->labels.size()));
+    row_masks.push_back(mask);
+  }
+
+  // Splice the touched rows into the overlay directory: one merge of the
+  // previous directory (superseded entries dropped) with the new rows.
+  // Raw pointers into older segments stay valid — the snapshot retains
+  // every segment shared_ptr.
+  const Overlay& old_overlay =
+      out_side ? prev.out_overlay_ : prev.in_overlay_;
+  Overlay& overlay = out_side ? next->out_overlay_ : next->in_overlay_;
+  overlay.nodes.reserve(old_overlay.nodes.size() + touched->size());
+  overlay.rows.reserve(old_overlay.rows.size() + touched->size());
+  size_t a = 0, b = 0;
+  auto push_new = [&](size_t i) {
+    overlay.nodes.push_back((*touched)[i]);
+    overlay.rows.push_back(
+        RowRef{seg_side->labels.data() + seg_side->offsets[i],
+               seg_side->targets.data() + seg_side->offsets[i],
+               seg_side->offsets[i + 1] - seg_side->offsets[i],
+               row_masks[i]});
+  };
+  while (a < old_overlay.nodes.size() && b < touched->size()) {
+    if (old_overlay.nodes[a] < (*touched)[b]) {
+      overlay.nodes.push_back(old_overlay.nodes[a]);
+      overlay.rows.push_back(old_overlay.rows[a]);
+      ++a;
+    } else {
+      if (old_overlay.nodes[a] == (*touched)[b]) ++a;  // superseded
+      push_new(b++);
+    }
+  }
+  for (; a < old_overlay.nodes.size(); ++a) {
+    overlay.nodes.push_back(old_overlay.nodes[a]);
+    overlay.rows.push_back(old_overlay.rows[a]);
+  }
+  for (; b < touched->size(); ++b) push_new(b);
+}
+
+// Re-establishes the exact fresh-build permutation order after a batch:
+// both orders are sorted by (-key, id) with unique ids, so dropping the
+// dirty nodes from the previous order (their keys may have changed) and
+// merging them back in sorted by their NEW keys reproduces the
+// stable_sort result of a from-scratch Build. O(V + |dirty| log |dirty|)
+// with trivial constants — no full sort.
+void GraphIndex::RepairDegreeOrder(const GraphIndex& prev,
+                                   const std::vector<NodeId>& dirty,
+                                   bool in_only) const {
+  auto key = [&](NodeId v) {
+    return in_only ? in_degree(v) : out_degree(v) + in_degree(v);
+  };
+  auto before = [&](NodeId a, int ka, NodeId b, int kb) {
+    return ka > kb || (ka == kb && a < b);
+  };
+
+  std::vector<NodeId> dirty_by_id = dirty;  // sorted by id (membership)
+  std::vector<std::pair<int, NodeId>> dirty_by_key;
+  dirty_by_key.reserve(dirty.size());
+  for (NodeId v : dirty) dirty_by_key.emplace_back(key(v), v);
+  std::sort(dirty_by_key.begin(), dirty_by_key.end(),
+            [&](const auto& x, const auto& y) {
+              return before(x.second, x.first, y.second, y.first);
+            });
+
+  const std::vector<NodeId>& old_order =
+      in_only ? prev.by_in_degree_ : prev.by_degree_;
+  std::vector<NodeId>& order = in_only ? by_in_degree_ : by_degree_;
+  order.clear();
+  order.reserve(num_nodes_);
+  size_t d = 0;
+  for (NodeId v : old_order) {
+    if (std::binary_search(dirty_by_id.begin(), dirty_by_id.end(), v)) {
+      continue;  // re-inserted from dirty_by_key at its new position
+    }
+    const int kv = key(v);
+    while (d < dirty_by_key.size() &&
+           before(dirty_by_key[d].second, dirty_by_key[d].first, v, kv)) {
+      order.push_back(dirty_by_key[d++].second);
+    }
+    order.push_back(v);
+  }
+  while (d < dirty_by_key.size()) order.push_back(dirty_by_key[d++].second);
+}
+
+// Materializes a delta snapshot's degree permutations on first use.
+// ApplyDelta defers the O(V) merge repair so the write path stays
+// O(delta); the first reader asking for a seeding order pays it once per
+// snapshot, first materializing any unread ancestors (the recursion
+// bottoms out at the eager base build). Double-checked: once materialized
+// the accessor cost is a single acquire load.
+void GraphIndex::EnsureDegreeOrders() const {
+  if (orders_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(orders_mutex_);
+  if (orders_ready_.load(std::memory_order_relaxed)) return;
+  const GraphIndexPtr parent = repair_parent_;
+  parent->EnsureDegreeOrders();
+  RepairDegreeOrder(*parent, repair_dirty_, /*in_only=*/false);
+  RepairDegreeOrder(*parent, repair_dirty_, /*in_only=*/true);
+  repair_parent_.reset();  // stop pinning the ancestor chain
+  repair_dirty_ = {};
+  orders_ready_.store(true, std::memory_order_release);
+}
+
+GraphIndexPtr GraphIndex::ApplyDelta(const Delta& delta) const {
+  auto next = std::shared_ptr<GraphIndex>(new GraphIndex());
+  next->num_nodes_ = std::max(delta.new_num_nodes, num_nodes_);
+  next->num_edges_ = num_edges_ + static_cast<int>(delta.added.size()) -
+                     static_cast<int>(delta.removed.size());
+  next->num_labels_ = std::max(delta.new_num_labels, num_labels_);
+  next->version_ = delta.new_version;
+  next->base_ = base_;
+  next->bout_ = bout_;
+  next->bin_ = bin_;
+  next->base_num_nodes_ = base_num_nodes_;
+  next->base_num_edges_ = base_num_edges_;
+  next->segments_ = segments_;
+  next->overlay_path_ = true;
+
+  const int stats_size = std::max(next->num_labels_, 1);
+  auto copy_resized = [&](const std::vector<int64_t>& from,
+                          std::vector<int64_t>* to) {
+    *to = from;
+    to->resize(stats_size, 0);
+  };
+  copy_resized(label_counts_, &next->label_counts_);
+  copy_resized(label_source_counts_, &next->label_source_counts_);
+  copy_resized(label_target_counts_, &next->label_target_counts_);
+  for (const Edge& e : delta.added) ++next->label_counts_[e.label];
+  for (const Edge& e : delta.removed) --next->label_counts_[e.label];
+
+  auto seg = std::make_shared<DeltaSegment>();
+  std::vector<NodeId> touched_out, touched_in;
+  ApplySide(*this, /*out_side=*/true, delta, next.get(), &seg->out,
+            &touched_out);
+  ApplySide(*this, /*out_side=*/false, delta, next.get(), &seg->in,
+            &touched_in);
+  if (!touched_out.empty() || !touched_in.empty()) {
+    next->segments_.push_back(std::move(seg));
+  } else {
+    // Node-only batch: no rows changed, but the directories must still
+    // resolve (they were never spliced — inherit the previous ones).
+    next->out_overlay_ = out_overlay_;
+    next->in_overlay_ = in_overlay_;
+  }
+  next->delta_edges_ = 0;
+  for (const RowRef& row : next->out_overlay_.rows) {
+    next->delta_edges_ += row.len;
+  }
+
+  // Nodes whose degree (either side) may have changed, plus the batch's
+  // fresh nodes — even edge-less new nodes appear in a fresh build's
+  // permutations. The O(V) permutation repair itself is deferred to the
+  // first NodesBy*Degree() call (EnsureDegreeOrders): the write path
+  // only records the parent and the dirty set, keeping it O(delta).
+  std::vector<NodeId> dirty;
+  dirty.reserve(touched_out.size() + touched_in.size() +
+                (next->num_nodes_ - num_nodes_));
+  std::merge(touched_out.begin(), touched_out.end(), touched_in.begin(),
+             touched_in.end(), std::back_inserter(dirty));
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  for (NodeId v = num_nodes_; v < next->num_nodes_; ++v) {
+    if (!std::binary_search(dirty.begin(), dirty.end(), v)) {
+      dirty.push_back(v);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  next->repair_parent_ = shared_from_this();
+  next->repair_dirty_ = std::move(dirty);
+  return next;
 }
 
 }  // namespace ecrpq

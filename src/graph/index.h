@@ -1,4 +1,4 @@
-// Sealed CSR label index over a GraphDb — the evaluation hot-path view.
+// Segmented CSR label index over a GraphDb — the evaluation hot-path view.
 //
 // Theorem 6.1's NLOGSPACE data-complexity argument works on-the-fly: a
 // product configuration holds one graph node per path variable plus one
@@ -21,16 +21,49 @@
 //     enumeration visits high-degree nodes first, which reaches accepting
 //     configurations sooner under early termination (LIMIT / EXISTS).
 //
-// An index is an immutable snapshot: it is built from a GraphDb once and
-// never mutated. Database (src/api) caches one per graph version and
-// drops it on mutation; engines fall back to GraphDb scans when no index
-// is supplied (EvalOptions::use_graph_index = false).
+// Snapshots and deltas
+// --------------------
+// An index is an immutable snapshot; engines never see it change. Two
+// ways a snapshot comes to exist:
+//
+//   * Build(graph): a sealed BASE — the full parallel size-then-fill CSR
+//     construction, O(V + E).
+//   * snapshot->ApplyDelta(batch): a DELTA snapshot layered on the same
+//     base. The batch's touched nodes get fully *merged* logical rows
+//     (previous view of the row ⊎ adds ∖ removes, kept (label, target)-
+//     sorted) written into one new shared_ptr-held delta segment; every
+//     untouched row keeps resolving into the shared base (or an older
+//     segment) untouched. Removing every edge of a row leaves an empty
+//     row in the segment — the tombstone that shadows the base row.
+//     Cost is O(|batch| + Σ degree(touched) + |overlay|), independent of
+//     V and E — the O(delta) write path Database::ApplyDelta rides.
+//
+// A delta snapshot presents the exact logical view a from-scratch Build
+// of the mutated graph would: identical slices, masks, degrees, label
+// statistics, and degree-ordered permutations (property-tested in
+// tests/index_delta_test.cc), so engines and planner cost models are
+// byte-for-byte oblivious to which kind of snapshot they run on. Each
+// row lookup costs one branch when the overlay is empty and one binary
+// search over the touched-node directory otherwise; Database folds
+// segments back into a fresh base (threshold/background compaction) so
+// the directory stays small.
+//
+// Database (src/api) owns the snapshot-swap protocol: executions pin a
+// snapshot shared_ptr for their whole run and finish against it even as
+// writers chain new delta snapshots; the serving layer's result cache
+// keys on the snapshot pointer, so every ApplyDelta (and every
+// compaction) is a distinct cache generation. Engines fall back to
+// GraphDb scans when no index is supplied (EvalOptions::use_graph_index
+// = false).
 
 #ifndef ECRPQ_GRAPH_INDEX_H_
 #define ECRPQ_GRAPH_INDEX_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -38,68 +71,135 @@
 
 namespace ecrpq {
 
-class GraphIndex {
+class GraphIndex;
+using GraphIndexPtr = std::shared_ptr<const GraphIndex>;
+
+class GraphIndex : public std::enable_shared_from_this<GraphIndex> {
  public:
-  /// Builds the sealed index (CSR arrays, masks, counts, permutation)
+  /// One MutateGraph batch in index terms: already-interned labels,
+  /// resolved node ids, and the post-batch totals of the graph the batch
+  /// was applied to. `removed` must list only edges that were actually
+  /// present (Database::ApplyDelta filters through GraphDb::RemoveEdge),
+  /// each entry deleting one instance under multiset semantics.
+  struct Delta {
+    std::vector<Edge> added;
+    std::vector<Edge> removed;
+    /// Totals of the mutated graph (>= the snapshot's; node ids in
+    /// [num_nodes(), new_num_nodes) are the batch's fresh nodes).
+    int new_num_nodes = 0;
+    int new_num_labels = 0;
+    /// GraphDb::version() after the batch (staleness checks).
+    uint64_t new_version = 0;
+  };
+
+  /// Builds a sealed base index (CSR arrays, masks, counts, permutation)
   /// from the current state of `graph`. Size-then-fill construction: one
   /// degree pass sizes the CSR arrays exactly, then each node's slice is
   /// filled by sorting packed (label << 32 | target) keys — no per-edge
   /// reallocation and no per-node permutation buffers. Auto-parallelizes
   /// the fill above ~512k edges (see the overload).
-  static std::shared_ptr<const GraphIndex> Build(const GraphDb& graph);
+  static GraphIndexPtr Build(const GraphDb& graph);
 
   /// As Build, with the CSR fill explicitly split over contiguous node
   /// ranges on `num_threads` pool lanes (0 = auto). Each node owns a
   /// disjoint output slice, so the built index is byte-identical at any
   /// lane count.
-  static std::shared_ptr<const GraphIndex> Build(const GraphDb& graph,
-                                                 int num_threads);
+  static GraphIndexPtr Build(const GraphDb& graph, int num_threads);
+
+  /// A new snapshot presenting this snapshot's view plus `delta`. Shares
+  /// the base CSR and all prior segments; adds one segment holding the
+  /// merged rows of the touched nodes. O(delta), never O(V + E) — see
+  /// the header comment. This snapshot is unchanged.
+  GraphIndexPtr ApplyDelta(const Delta& delta) const;
 
   int num_nodes() const { return num_nodes_; }
   int num_edges() const { return num_edges_; }
-  /// Alphabet size at build time (the snapshot's label universe).
+  /// Alphabet size at snapshot time (the snapshot's label universe).
   int num_labels() const { return num_labels_; }
+
+  /// GraphDb::version() of the graph state this snapshot reflects.
+  uint64_t version() const { return version_; }
+
+  // ---- delta-chain introspection (compaction policy, stats) ----
+
+  bool has_delta() const { return !segments_.empty(); }
+  size_t num_delta_segments() const { return segments_.size(); }
+  /// Nodes whose rows live in the overlay rather than the base.
+  size_t delta_nodes() const { return out_overlay_.nodes.size(); }
+  /// Edges resident in overlay rows (out side): the overlay's footprint,
+  /// compared against base_edges() by the compaction threshold.
+  int64_t delta_edges() const { return delta_edges_; }
+  /// Edge count of the shared base the segments shadow.
+  int base_edges() const { return base_num_edges_; }
 
   /// Targets of `node`'s out-edges labeled `label` (a contiguous,
   /// ascending slice; empty when the node has no such edge).
   std::span<const NodeId> Out(NodeId node, Symbol label) const {
-    return Slice(out_offsets_, out_labels_, out_targets_, node, label);
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(out_overlay_, node)) {
+        return SliceRow(*r, label);
+      }
+      if (node >= base_num_nodes_) return {};
+    }
+    return SliceBase(*bout_, node, label);
   }
   /// Sources of `node`'s in-edges labeled `label`.
   std::span<const NodeId> In(NodeId node, Symbol label) const {
-    return Slice(in_offsets_, in_labels_, in_targets_, node, label);
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(in_overlay_, node)) {
+        return SliceRow(*r, label);
+      }
+      if (node >= base_num_nodes_) return {};
+    }
+    return SliceBase(*bin_, node, label);
   }
 
   /// All out-edge labels/targets of `node`, sorted by label (parallel
   /// spans of equal length).
   std::span<const Symbol> OutLabels(NodeId node) const {
-    return {out_labels_.data() + out_offsets_[node],
-            out_labels_.data() + out_offsets_[node + 1]};
+    return RowLabels(out_overlay_, *bout_, node);
   }
   std::span<const NodeId> OutTargets(NodeId node) const {
-    return {out_targets_.data() + out_offsets_[node],
-            out_targets_.data() + out_offsets_[node + 1]};
+    return RowTargets(out_overlay_, *bout_, node);
   }
   std::span<const Symbol> InLabels(NodeId node) const {
-    return {in_labels_.data() + in_offsets_[node],
-            in_labels_.data() + in_offsets_[node + 1]};
+    return RowLabels(in_overlay_, *bin_, node);
   }
   std::span<const NodeId> InSources(NodeId node) const {
-    return {in_targets_.data() + in_offsets_[node],
-            in_targets_.data() + in_offsets_[node + 1]};
+    return RowTargets(in_overlay_, *bin_, node);
   }
 
   /// Bit `l` set iff `node` has an out-edge labeled `l` (labels >= 63
   /// collapse into bit 63; exact when num_labels() <= 63, which covers
   /// every workload here — callers must treat bit 63 as "maybe").
-  uint64_t OutLabelMask(NodeId node) const { return out_label_mask_[node]; }
-  uint64_t InLabelMask(NodeId node) const { return in_label_mask_[node]; }
+  uint64_t OutLabelMask(NodeId node) const {
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(out_overlay_, node)) return r->mask;
+      if (node >= base_num_nodes_) return 0;
+    }
+    return bout_->masks[node];
+  }
+  uint64_t InLabelMask(NodeId node) const {
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(in_overlay_, node)) return r->mask;
+      if (node >= base_num_nodes_) return 0;
+    }
+    return bin_->masks[node];
+  }
 
   int out_degree(NodeId node) const {
-    return out_offsets_[node + 1] - out_offsets_[node];
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(out_overlay_, node)) return r->len;
+      if (node >= base_num_nodes_) return 0;
+    }
+    return bout_->offsets[node + 1] - bout_->offsets[node];
   }
   int in_degree(NodeId node) const {
-    return in_offsets_[node + 1] - in_offsets_[node];
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(in_overlay_, node)) return r->len;
+      if (node >= base_num_nodes_) return 0;
+    }
+    return bin_->offsets[node + 1] - bin_->offsets[node];
   }
 
   /// Total number of edges carrying `label`.
@@ -117,40 +217,157 @@ class GraphIndex {
   }
 
   /// Every node exactly once, by descending (out + in) degree; ties by
-  /// ascending id. Frontier seeding order.
-  const std::vector<NodeId>& NodesByDegree() const { return by_degree_; }
+  /// ascending id. Frontier seeding order. On a delta snapshot the first
+  /// call materializes the repaired permutation (see EnsureDegreeOrders);
+  /// every later call is a plain reference return.
+  const std::vector<NodeId>& NodesByDegree() const {
+    EnsureDegreeOrders();
+    return by_degree_;
+  }
 
   /// Every node exactly once, by descending in-degree; ties by ascending
   /// id. Seeding order for backward / bidirectional searches: end-anchor
   /// enumeration visits the nodes with the densest backward frontiers
   /// first, reaching accepting configurations sooner under early
   /// termination (the in-side mirror of NodesByDegree).
-  const std::vector<NodeId>& NodesByInDegree() const { return by_in_degree_; }
+  const std::vector<NodeId>& NodesByInDegree() const {
+    EnsureDegreeOrders();
+    return by_in_degree_;
+  }
 
  private:
   GraphIndex() = default;
 
-  static std::span<const NodeId> Slice(const std::vector<int32_t>& offsets,
-                                       const std::vector<Symbol>& labels,
-                                       const std::vector<NodeId>& targets,
-                                       NodeId node, Symbol label);
+  /// One CSR direction of the sealed base: offsets (num_nodes + 1),
+  /// labels/targets (num_edges) sorted by (node, label, target), per-node
+  /// label-presence masks.
+  struct Side {
+    std::vector<int32_t> offsets;
+    std::vector<Symbol> labels;
+    std::vector<NodeId> targets;
+    std::vector<uint64_t> masks;
+  };
+  /// The immutable arrays every snapshot of one build generation shares.
+  struct Base {
+    int num_nodes = 0;
+    Side out, in;
+  };
+  /// One direction of one delta batch: the concatenated merged rows of
+  /// the nodes the batch touched (row i spans
+  /// [offsets[i], offsets[i+1]) of labels/targets).
+  struct SegSide {
+    std::vector<int32_t> offsets{0};
+    std::vector<Symbol> labels;
+    std::vector<NodeId> targets;
+  };
+  struct DeltaSegment {
+    SegSide out, in;
+  };
+
+  /// A resolved overlay row: raw pointers into whichever segment holds
+  /// the node's newest merged row (kept alive by segments_).
+  struct RowRef {
+    const Symbol* labels;
+    const NodeId* targets;
+    int32_t len;
+    uint64_t mask;
+  };
+  /// Per-side directory of overlay rows, sorted by node id. One binary
+  /// search resolves a touched node regardless of chain depth.
+  struct Overlay {
+    std::vector<NodeId> nodes;
+    std::vector<RowRef> rows;
+  };
+
+  static const RowRef* FindOverlay(const Overlay& overlay, NodeId node) {
+    auto it = std::lower_bound(overlay.nodes.begin(), overlay.nodes.end(),
+                               node);
+    if (it == overlay.nodes.end() || *it != node) return nullptr;
+    return &overlay.rows[it - overlay.nodes.begin()];
+  }
+  static std::span<const NodeId> SliceRow(const RowRef& row, Symbol label) {
+    auto [lo, hi] = std::equal_range(row.labels, row.labels + row.len, label);
+    return {row.targets + (lo - row.labels), row.targets + (hi - row.labels)};
+  }
+  static std::span<const NodeId> SliceBase(const Side& side, NodeId node,
+                                           Symbol label) {
+    const Symbol* first = side.labels.data() + side.offsets[node];
+    const Symbol* last = side.labels.data() + side.offsets[node + 1];
+    auto [lo, hi] = std::equal_range(first, last, label);
+    return {side.targets.data() + (lo - side.labels.data()),
+            side.targets.data() + (hi - side.labels.data())};
+  }
+  std::span<const Symbol> RowLabels(const Overlay& overlay, const Side& side,
+                                    NodeId node) const {
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(overlay, node)) {
+        return {r->labels, r->labels + r->len};
+      }
+      if (node >= base_num_nodes_) return {};
+    }
+    return {side.labels.data() + side.offsets[node],
+            side.labels.data() + side.offsets[node + 1]};
+  }
+  std::span<const NodeId> RowTargets(const Overlay& overlay, const Side& side,
+                                     NodeId node) const {
+    if (overlay_path_) [[unlikely]] {
+      if (const RowRef* r = FindOverlay(overlay, node)) {
+        return {r->targets, r->targets + r->len};
+      }
+      if (node >= base_num_nodes_) return {};
+    }
+    return {side.targets.data() + side.offsets[node],
+            side.targets.data() + side.offsets[node + 1]};
+  }
+
+  /// ApplyDelta helper: merges one side's batch into a new SegSide and
+  /// splices the touched rows into `next`'s overlay (see index.cc).
+  static void ApplySide(const GraphIndex& prev, bool out_side,
+                        const Delta& delta, GraphIndex* next,
+                        SegSide* seg_side, std::vector<NodeId>* touched);
+  void RepairDegreeOrder(const GraphIndex& prev,
+                         const std::vector<NodeId>& dirty,
+                         bool in_only) const;
+  void EnsureDegreeOrders() const;
 
   int num_nodes_ = 0;
   int num_edges_ = 0;
   int num_labels_ = 0;
-  // CSR triples: offsets (num_nodes + 1), labels/targets (num_edges),
-  // sorted by (node, label, target).
-  std::vector<int32_t> out_offsets_, in_offsets_;
-  std::vector<Symbol> out_labels_, in_labels_;
-  std::vector<NodeId> out_targets_, in_targets_;
-  std::vector<uint64_t> out_label_mask_, in_label_mask_;
+  uint64_t version_ = 0;
+
+  // Shared immutable arrays: the base build plus the delta segments
+  // shadowing parts of it (empty for a sealed base snapshot).
+  std::shared_ptr<const Base> base_;
+  std::vector<std::shared_ptr<const DeltaSegment>> segments_;
+  // Raw views of *base_ (accessor hot path skips the shared_ptr hop).
+  const Side* bout_ = nullptr;
+  const Side* bin_ = nullptr;
+  int base_num_nodes_ = 0;
+  int base_num_edges_ = 0;
+  Overlay out_overlay_, in_overlay_;
+  int64_t delta_edges_ = 0;
+  // True for every delta snapshot (even a node-only one with an empty
+  // overlay): accessors must bounds-guard nodes the base doesn't cover.
+  bool overlay_path_ = false;
+
+  // Snapshot-local statistics (exact for the logical view).
   std::vector<int64_t> label_counts_;
   std::vector<int64_t> label_source_counts_, label_target_counts_;
-  std::vector<NodeId> by_degree_;
-  std::vector<NodeId> by_in_degree_;
-};
 
-using GraphIndexPtr = std::shared_ptr<const GraphIndex>;
+  // Degree permutations, materialized lazily on delta snapshots: the
+  // write path only records the parent snapshot and the batch's dirty
+  // nodes, and the first NodesBy*Degree() call runs the O(V) merge
+  // repair (EnsureDegreeOrders), then drops the parent reference. Until
+  // then the snapshot pins its unrepaired ancestors — bounded by the
+  // compaction segment cap, and released as soon as any reader (or any
+  // descendant's reader, recursively) asks for a seeding order.
+  mutable std::vector<NodeId> by_degree_;
+  mutable std::vector<NodeId> by_in_degree_;
+  mutable std::mutex orders_mutex_;
+  mutable std::atomic<bool> orders_ready_{false};
+  mutable GraphIndexPtr repair_parent_;
+  mutable std::vector<NodeId> repair_dirty_;
+};
 
 }  // namespace ecrpq
 

@@ -464,21 +464,21 @@ Frame Session::HandleMutate(const Frame& frame) {
     return ErrorFrame(frame.request_id, decoded);
   }
   stats_->mutations.fetch_add(1, std::memory_order_relaxed);
+  // The O(delta) write path: in-flight executions drain, the batch is
+  // applied, and the index snapshot advances via a delta segment instead
+  // of being discarded — the writer no longer stalls the next reader
+  // behind a full O(V+E) rebuild. The new snapshot is a distinct
+  // GraphIndexPtr, so result-cache entries keyed on the old one miss
+  // naturally; cached plans survive unless the batch grew the alphabet.
+  GraphMutation mutation;
+  mutation.add_edges.reserve(req.edges.size());
+  for (const auto& edge : req.edges) {
+    mutation.add_edges.push_back(EdgeSpec{edge[0], edge[1], edge[2]});
+  }
+  const MutationSummary summary = db_->ApplyDelta(mutation);
   MutateReply reply;
-  // Exclusive writer section: in-flight executions drain first, the plan
-  // cache and index snapshot are invalidated before readers resume — and
-  // with them, implicitly, every result-cache entry (snapshot-keyed).
-  db_->MutateGraph([&](GraphDb& graph) {
-    for (const auto& edge : req.edges) {
-      auto from = graph.FindNode(edge[0]);
-      NodeId from_id = from.has_value() ? *from : graph.AddNode(edge[0]);
-      auto to = graph.FindNode(edge[2]);
-      NodeId to_id = to.has_value() ? *to : graph.AddNode(edge[2]);
-      graph.AddEdge(from_id, edge[1], to_id);
-    }
-    reply.num_nodes = static_cast<uint64_t>(graph.num_nodes());
-    reply.num_edges = static_cast<uint64_t>(graph.num_edges());
-  });
+  reply.num_nodes = static_cast<uint64_t>(summary.num_nodes);
+  reply.num_edges = static_cast<uint64_t>(summary.num_edges);
   return MakeFrame(MsgType::kMutateOk, frame.request_id, reply);
 }
 

@@ -8,6 +8,10 @@
 //   stats            print the server's key=value counters
 //   mutate F L T [F L T ...]
 //       append edges (from label to; unknown node names are created)
+//   mutate --edgelist FILE [--batch N]
+//       bulk ingest: parse FILE in the ecrpq-edgelist format (graph/io.h)
+//       client-side and stream its edges as mutate batches of N edges
+//       (default 50000). Node id i lands on the server as node "n<i>"
 //   cancel-test "<text>"
 //       pipeline an execute, cancel it out-of-band, and report whether
 //       the server answered Cancelled (exit 0) or completed first
@@ -19,10 +23,13 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "graph/io.h"
 #include "server/client.h"
 
 using namespace ecrpq;
@@ -102,7 +109,66 @@ int RunStats(Client& client) {
   return 0;
 }
 
+// Streams an ecrpq-edgelist file as mutate batches. The file's anonymous
+// node ids become server node names "n<i>" (the server creates unknown
+// names), so ingest into a fresh server reproduces the file's topology;
+// labels travel by name and are interned server-side. Batching keeps
+// each frame far under kMaxFrameBody and bounds the writer's exclusive
+// section per batch.
+int RunMutateEdgeList(Client& client, const std::string& file,
+                      size_t batch_size) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = ParseEdgeListText(buffer.str());
+  if (!parsed.ok()) return Fail(parsed.status());
+  const GraphDb& graph = parsed.value();
+
+  auto name = [](NodeId id) { return "n" + std::to_string(id); };
+  std::vector<std::array<std::string, 3>> edges;
+  edges.reserve(batch_size);
+  uint64_t nodes = 0, count = 0, sent = 0, batches = 0;
+  auto flush = [&]() -> Status {
+    if (edges.empty()) return Status::OK();
+    Status status = client.Mutate(edges, &nodes, &count);
+    sent += edges.size();
+    ++batches;
+    edges.clear();
+    return status;
+  };
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [label, to] : graph.Out(v)) {
+      edges.push_back({name(v), graph.alphabet().Label(label), name(to)});
+      if (edges.size() >= batch_size) {
+        Status status = flush();
+        if (!status.ok()) return Fail(status);
+      }
+    }
+  }
+  Status status = flush();
+  if (!status.ok()) return Fail(status);
+  std::cerr << "sent " << sent << " edge(s) in " << batches
+            << " batch(es)\n";
+  std::cout << "graph now " << nodes << " nodes / " << count << " edges\n";
+  return 0;
+}
+
 int RunMutate(Client& client, const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "--edgelist") {
+    if (args.size() < 2) return Usage();
+    size_t batch_size = 50000;
+    if (args.size() >= 4 && args[2] == "--batch") {
+      batch_size = static_cast<size_t>(std::atoll(args[3].c_str()));
+      if (batch_size == 0) return Usage();
+    } else if (args.size() != 2) {
+      return Usage();
+    }
+    return RunMutateEdgeList(client, args[1], batch_size);
+  }
   if (args.empty() || args.size() % 3 != 0) return Usage();
   std::vector<std::array<std::string, 3>> edges;
   for (size_t i = 0; i < args.size(); i += 3) {

@@ -48,7 +48,10 @@ int Usage(const char* argv0) {
       << "usage: " << argv0 << " [options]\n"
       << "  --port N           TCP port (default 7687; 0 = ephemeral)\n"
       << "  --bind ADDR        bind address (default 127.0.0.1)\n"
-      << "  --graph FILE       graph in text format (default: demo graph)\n"
+      << "  --graph FILE       graph file (default: demo graph)\n"
+      << "  --format FMT       graph file format: text (directive format)\n"
+      << "                     or edgelist (ecrpq-edgelist bulk format,\n"
+      << "                     for multi-million-edge loads)\n"
       << "  --executors N      executor threads (0 = hardware default)\n"
       << "  --max-in-flight N  concurrent executes before queueing\n"
       << "  --max-queue N      queued executes before OVERLOADED\n"
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   ServingOptions options;
   options.port = 7687;
   std::string graph_file;
+  std::string graph_format = "text";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -82,6 +86,11 @@ int main(int argc, char** argv) {
       options.bind_address = argv[++i];
     } else if (arg == "--graph" && i + 1 < argc) {
       graph_file = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      graph_format = argv[++i];
+      if (graph_format != "text" && graph_format != "edgelist") {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--executors" && next_int(&value)) {
       options.executor_threads = value;
     } else if (arg == "--max-in-flight" && next_int(&value)) {
@@ -112,7 +121,9 @@ int main(int argc, char** argv) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    auto parsed = ParseGraphText(buffer.str());
+    auto parsed = graph_format == "edgelist"
+                      ? ParseEdgeListText(buffer.str())
+                      : ParseGraphText(buffer.str());
     if (!parsed.ok()) {
       std::cerr << parsed.status().ToString() << "\n";
       return 1;
