@@ -154,4 +154,84 @@ BENCHMARK_CAPTURE(ScanPipeline, monolithic, Mode::kMonolithic)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
+// ---- worker-lane tiers ----------------------------------------------------
+//
+// The planned pipeline at num_threads ∈ {1, 2, 4, 8}. threads/1 is the
+// exact serial path — CI diffs its fresh median against the committed
+// baseline as the serial-regression guard — and the [parallel-1toN]
+// twin-speedup lines printed at exit feed the hardware-aware scaling
+// gate.
+
+void RunPlannedThreads(benchmark::State& state, const std::string& case_name,
+                       const GraphDb& g, const std::string& query_text) {
+  const int threads = static_cast<int>(state.range(0));
+  Query query = MustParse(g, query_text);
+  EvalOptions options;
+  options.engine = Engine::kProduct;
+  options.build_path_answers = false;
+  options.max_configs = 500000000;
+  options.num_threads = threads;
+  Evaluator evaluator(&g, options);
+  size_t answers = 0;
+  MedianTimer timer;
+  for (auto _ : state) {
+    timer.Begin();
+    auto result = evaluator.Evaluate(query);
+    timer.End();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    answers = result.value().tuples().size();
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  RecordBenchCase(case_name + "/threads/" + std::to_string(threads), timer,
+                  {{"nodes", static_cast<double>(g.num_nodes())},
+                   {"edges", static_cast<double>(g.num_edges())},
+                   {"threads", static_cast<double>(threads)},
+                   {"answers", static_cast<double>(answers)}});
+}
+
+// cross/ — the 36-node cross-component workload: far below the
+// partitioned-join row threshold, so every join stays inline-serial by
+// the planner's estimate rule; the tier guards the small-plan path
+// against lane overhead (its 1→N "speedup" should hover near 1x).
+void CrossThreads(benchmark::State& state) {
+  GraphDb g = CrossComponentGraph(36, /*rare=*/3);
+  RunPlannedThreads(state, "cross/Planned", g, kCrossQuery);
+}
+BENCHMARK(CrossThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// large/JoinPipeline — two single-letter scan components over the
+// preferential-attachment graph of bench_parallel_scaling (2^17 nodes,
+// ~1.3M edges), both binding (x, y). Each component materializes a
+// ~10^5-row table (one label class of the edge set); sideways seeding is
+// declined (the seed projection overflows the seed-row cap), the
+// SemiJoinFilter fixpoint reduces both tables with the partitioned
+// build / morsel-probe path, and the fold joins them through the
+// radix-partitioned HashJoin — the morsel-parallel join pipeline end to
+// end, on tables large enough that every stage runs partitioned.
+void LargeJoinPipeline(benchmark::State& state) {
+  static const GraphDb& g = *[] {
+    auto alphabet = Alphabet::FromLabels({"a", "b", "c", "d"});
+    Rng rng(42);
+    return new GraphDb(
+        PowerLawGraph(alphabet, 1 << 17, 10 * (1 << 17), &rng));
+  }();
+  RunPlannedThreads(state, "large/JoinPipeline", g,
+                    "Ans(x, y) <- (x, p, y), (x, q, y), a(p), b(q)");
+}
+BENCHMARK(LargeJoinPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -15,7 +15,10 @@ baseline, then a per-bench summary table (one line per bench binary:
 summed baseline/fresh medians and the geometric mean of the per-case
 ratios — the single number to scan for "did this binary move"). Cases present only in the fresh run print as NEW and are
 counted in the summary but never warn or fail — a PR that adds a bench
-tier diffs clean, and the next PR's committed baseline picks them up. The warn threshold is, in order of precedence: --threshold,
+tier diffs clean, and the next PR's committed baseline picks them up.
+Symmetrically, committed cases the fresh run did not produce print as
+REMOVED and are counted in the summary — a renamed case or a bench that
+crashed mid-run is visible instead of silently dropped. The warn threshold is, in order of precedence: --threshold,
 the positional third argument, the BENCH_DIFF_THRESHOLD environment
 variable, then the 1.3 default.
 
@@ -86,6 +89,7 @@ def main(argv):
     failures = 0
     compared = 0
     new_cases = 0
+    removed_cases = 0
     per_bench = []  # (bench, n_cases, old_ms, new_ms, geomean_ratio)
     for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
         fresh_path = fresh_dir / baseline_path.name
@@ -102,6 +106,16 @@ def main(argv):
             print(
                 f"NEW  [bench-diff] {name}: {fresh[name] / 1e6:.3f} ms "
                 "(no committed baseline)"
+            )
+        # The symmetric direction: committed cases the fresh run did not
+        # produce. Never silently dropped — a renamed or deleted case (or
+        # a bench binary that crashed mid-run) must be visible — but not
+        # a timing regression either, so they count in the summary only.
+        for name in sorted(set(baseline) - set(fresh)):
+            removed_cases += 1
+            print(
+                f"REMOVED [bench-diff] {name}: baseline "
+                f"{baseline[name] / 1e6:.3f} ms has no fresh counterpart"
             )
         old_ms = new_ms = log_ratio_sum = 0.0
         paired = 0
@@ -146,6 +160,8 @@ def main(argv):
     )
     if new_cases:
         summary += f", {new_cases} new (no baseline)"
+    if removed_cases:
+        summary += f", {removed_cases} removed (baseline only)"
     if fail_over is not None:
         summary += f", {failures} above the {fail_over:.2f}x fail-over bar"
     print(summary)

@@ -339,9 +339,17 @@ struct JoinAtom {
   }
 };
 
+// Pair count below which the semi-join filter stays inline-serial — the
+// same stay-inline rule as the binding-table join pipeline
+// (kParallelJoinRows in core/ops.cc).
+constexpr size_t kParallelSemiJoinPairs = 4096;
+
 // Semi-join: keep pairs of `a` whose shared-variable value appears in `b`'s
-// corresponding column. Returns true if `a` shrank.
-bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
+// corresponding column. Returns true if `a` shrank. With num_threads > 1
+// and enough pairs the filter runs morsel-parallel in two passes (per-pair
+// keep flags, then a compaction preserving pair order), so the surviving
+// pair sequence is identical to the serial filter's at any lane count.
+bool SemiJoin(JoinAtom* a, const JoinAtom& b, int num_threads = 1) {
   // Determine shared variables between the two atoms' terms.
   auto var_of = [](const ResolvedTerm& t) { return t.is_const ? -1 : t.var; };
   int a_from = var_of(a->from), a_to = var_of(a->to);
@@ -364,8 +372,6 @@ bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
     return values;
   };
 
-  std::vector<std::pair<NodeId, NodeId>> kept;
-  kept.reserve(a->pairs.size());
   // For each shared var position combination, filter.
   std::unordered_set<NodeId> bf, bt;
   bool need_bf = (b_from >= 0 && (b_from == a_from || b_from == a_to));
@@ -374,17 +380,62 @@ bool SemiJoin(JoinAtom* a, const JoinAtom& b) {
   if (need_bt) bt = b_to_values();
   if (!need_bf && !need_bt) return false;
 
-  for (const auto& [u, v] : a->pairs) {
-    bool ok = true;
+  auto keeps = [&](const std::pair<NodeId, NodeId>& pair) {
+    const auto& [u, v] = pair;
     if (b_from >= 0) {
-      if (b_from == a_from && bf.find(u) == bf.end()) ok = false;
-      if (b_from == a_to && bf.find(v) == bf.end()) ok = false;
+      if (b_from == a_from && bf.find(u) == bf.end()) return false;
+      if (b_from == a_to && bf.find(v) == bf.end()) return false;
     }
-    if (ok && b_to >= 0) {
-      if (b_to == a_from && bt.find(u) == bt.end()) ok = false;
-      if (b_to == a_to && bt.find(v) == bt.end()) ok = false;
+    if (b_to >= 0) {
+      if (b_to == a_from && bt.find(u) == bt.end()) return false;
+      if (b_to == a_to && bt.find(v) == bt.end()) return false;
     }
-    if (ok) kept.emplace_back(u, v);
+    return true;
+  };
+
+  const size_t n = a->pairs.size();
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  if (num_threads > 1 && n >= kParallelSemiJoinPairs) {
+    // Pass 1: morsel-parallel keep flags plus per-morsel survivor counts
+    // (morsel boundaries depend only on n, never the lane count).
+    constexpr size_t kGrain = 1024;
+    const size_t num_morsels = (n + kGrain - 1) / kGrain;
+    std::vector<uint8_t> keep(n, 0);
+    std::vector<size_t> morsel_kept(num_morsels, 0);
+    ParallelMorsels(num_threads, n, kGrain,
+                    [&](size_t begin, size_t end, int /*lane*/) {
+                      size_t count = 0;
+                      for (size_t i = begin; i < end; ++i) {
+                        if (keeps(a->pairs[i])) {
+                          keep[i] = 1;
+                          ++count;
+                        }
+                      }
+                      morsel_kept[begin / kGrain] += count;
+                    });
+    // Pass 2: exclusive scan sizes one exact reservation; lanes compact
+    // their morsels into disjoint slices, preserving pair order.
+    std::vector<size_t> out_off(num_morsels + 1, 0);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      out_off[m + 1] = out_off[m] + morsel_kept[m];
+    }
+    kept.resize(out_off[num_morsels]);
+    ParallelMorsels(num_threads, num_morsels, 1,
+                    [&](size_t mb, size_t me, int /*lane*/) {
+                      for (size_t m = mb; m < me; ++m) {
+                        const size_t lo = m * kGrain;
+                        const size_t hi = std::min(lo + kGrain, n);
+                        size_t o = out_off[m];
+                        for (size_t i = lo; i < hi; ++i) {
+                          if (keep[i]) kept[o++] = a->pairs[i];
+                        }
+                      }
+                    });
+  } else {
+    kept.reserve(n);
+    for (const auto& pair : a->pairs) {
+      if (keeps(pair)) kept.push_back(pair);
+    }
   }
   bool shrank = kept.size() < a->pairs.size();
   a->pairs = std::move(kept);
@@ -525,7 +576,7 @@ Status EvaluateCrpq(const GraphDb& graph, const Query& query,
       for (size_t i = 0; i < atoms.size() && !emptied; ++i) {
         for (size_t j = 0; j < atoms.size(); ++j) {
           if (i == j) continue;
-          if (SemiJoin(&atoms[i], atoms[j])) changed = true;
+          if (SemiJoin(&atoms[i], atoms[j], num_threads)) changed = true;
           if (atoms[i].pairs.empty()) {
             emptied = true;
             break;

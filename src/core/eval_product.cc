@@ -328,6 +328,14 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
   // dropping them shrinks the streamed join's search space (Yannakakis'
   // first phase, at component granularity).
   if (tables.size() > 1) {
+    // A costed plan demotes the reduction to inline-serial when the total
+    // estimated table volume is too small to amortize lanes; the decision
+    // lives in the plan (not the thread count), so the executed pipeline
+    // is identical at any session parallelism.
+    const int semijoin_threads =
+        (options.use_planner && plan->costed && !plan->semijoin_parallel_ok)
+            ? 1
+            : num_threads;
     bool changed = true;
     int rounds = 0;
     while (changed && rounds < static_cast<int>(tables.size()) + 2) {
@@ -336,7 +344,8 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
       for (size_t i = 0; i < tables.size(); ++i) {
         for (size_t j = 0; j < tables.size(); ++j) {
           if (i == j) continue;
-          if (SemiJoinFilterOp(&tables[i], tables[j], stats, num_threads)) {
+          if (SemiJoinFilterOp(&tables[i], tables[j], stats,
+                               semijoin_threads)) {
             changed = true;
           }
           if (tables[i].rows.empty()) return Status::OK();  // empty answer
@@ -345,11 +354,62 @@ Status EvaluateProduct(const GraphDb& graph, const Query& query,
     }
   }
 
-  // Join the component tables on shared node variables, streaming each
-  // new head projection into the sink as soon as it is found — early
-  // termination (limit / exists) stops the join itself, and path answers
-  // (when requested) are built per emitted tuple only. One HashJoin
-  // operator entry profiles the streamed join.
+  // Large-estimate plans fold the component tables pairwise through the
+  // (radix-partitioned) HashJoinOp in plan order and emit head projections
+  // from the folded table. The pairwise fold produces rows in exactly the
+  // streamed recursion's nested left-row-major order (each probe preserves
+  // its left input's row order and lists right matches by ascending row
+  // id), so the emitted tuple sequence — and any limit cut point — is the
+  // same as the streamed path's. Whether to fold depends only on the
+  // plan's cardinality estimates, never the thread count.
+  bool fold_join = false;
+  if (options.use_planner && plan->costed && tables.size() > 1 &&
+      plan->components.size() == tables.size()) {
+    for (const PlannedComponent& pc : plan->components) {
+      if (pc.join_parallel_ok) fold_join = true;
+    }
+  }
+  if (fold_join) {
+    CancellationToken* cancel = options.cancellation.get();
+    BindingTable joined = std::move(tables[0]);
+    for (size_t i = 1; i < tables.size(); ++i) {
+      const int join_threads =
+          plan->components[i].join_parallel_ok ? num_threads : 1;
+      joined = HashJoinOp(joined, tables[i], stats, join_threads);
+      if (cancel != nullptr && cancel->cancelled()) {
+        return Status::Cancelled("query execution cancelled");
+      }
+      if (joined.rows.empty()) return Status::OK();  // empty answer
+    }
+    HeadTupleEmitter emitter(rq, options, sink);
+    std::vector<int> head_cols;
+    for (const NodeTerm& term : query.head_nodes()) {
+      ECRPQ_DCHECK(!term.is_constant);
+      head_cols.push_back(joined.ColumnOf(query.NodeVarIndex(term.name)));
+    }
+    std::vector<NodeId> head(head_cols.size());
+    for (const std::vector<NodeId>& row : joined.rows) {
+      if (cancel != nullptr && cancel->cancelled() &&
+          !emitter.stopped_by_sink()) {
+        return Status::Cancelled("query execution cancelled");
+      }
+      for (size_t k = 0; k < head_cols.size(); ++k) {
+        head[k] = row[head_cols[k]];
+      }
+      if (!emitter.Emit(head)) break;
+    }
+    if (emitter.status().ok() && cancel != nullptr && cancel->cancelled() &&
+        !emitter.stopped_by_sink()) {
+      return Status::Cancelled("query execution cancelled");
+    }
+    return emitter.status();
+  }
+
+  // Small-estimate (and uncosted / planner-off) plans stream the
+  // multi-way join instead: each new head projection goes to the sink as
+  // soon as it is found — early termination (limit / exists) stops the
+  // join itself, and path answers (when requested) are built per emitted
+  // tuple only. One HashJoin operator entry profiles the streamed join.
   HeadTupleEmitter emitter(rq, options, sink);
   OperatorStats join_op;
   join_op.op = "HashJoin";

@@ -1727,10 +1727,43 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
       op.visited_configs = search.visited_configs();
       op.frontier_expansions = search.frontier_expansions();
     } else if (seeded && seeds->rows.size() >= 2) {
-      op.threads = lanes;
-      status = MorselSeedRowsExpand(rq, comp, options, dir, lanes, fixed,
-                                    *seeds, &configs_budget, cancel, stats,
-                                    op, results);
+      // Batched sideways seeding. With fewer seed rows than lanes, the
+      // per-row morsel partition leaves most lanes idle while each
+      // claimed row's (possibly huge) search runs serially on one lane.
+      // When every anchor variable of the direction is bound per row
+      // (fixed vars plus seed columns), run the rows sequentially
+      // instead and expand each row's single anchored search
+      // cooperatively on ALL lanes through the shared frontier — the
+      // per-row twin of the single-overlay cooperative path below. Each
+      // row's results and counters are identical between the two
+      // routings, so the lane-count-dependent choice cannot change what
+      // the operator reports.
+      const std::vector<int>& anchor_vars =
+          backward ? comp.end_vars : comp.start_vars;
+      if (dir != SearchDirection::kBidirectional &&
+          seeds->rows.size() < static_cast<size_t>(lanes) &&
+          VarsBound(anchor_vars, fixed, seeds)) {
+        op.threads = lanes;
+        std::vector<NodeId> overlay;
+        for (size_t r = 0; r < seeds->rows.size() && status.ok(); ++r) {
+          overlay = fixed;
+          if (!OverlaySeedRow(*seeds, r, &overlay)) continue;
+          std::vector<NodeId> anchor_nodes;
+          const bool derived =
+              backward ? DeriveEndNodes(rq, comp, overlay, &anchor_nodes)
+                       : DeriveStartNodes(rq, comp, overlay, &anchor_nodes);
+          if (!derived) continue;
+          status = SharedFrontierExpand(rq, comp, options, dir, lanes,
+                                        anchor_nodes, overlay,
+                                        &configs_budget, cancel, stats, op,
+                                        results);
+        }
+      } else {
+        op.threads = lanes;
+        status = MorselSeedRowsExpand(rq, comp, options, dir, lanes, fixed,
+                                      *seeds, &configs_budget, cancel,
+                                      stats, op, results);
+      }
     } else {
       // Single overlay: `fixed`, or `fixed` plus the lone seed row.
       std::vector<NodeId> overlay = fixed;
@@ -1816,9 +1849,132 @@ uint64_t HashKey(const std::vector<NodeId>& key) {
   return h;
 }
 
+// FNV-1a over selected columns of a row — the parallel paths hash keys
+// in place instead of materializing a key vector per row.
+uint64_t HashRowKey(const std::vector<NodeId>& row,
+                    const std::vector<int>& cols) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int c : cols) {
+    h ^= static_cast<uint32_t>(row[c]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool KeysEqual(const std::vector<NodeId>& a, const std::vector<int>& a_cols,
+               const std::vector<NodeId>& b,
+               const std::vector<int>& b_cols) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    if (a[a_cols[k]] != b[b_cols[k]]) return false;
+  }
+  return true;
+}
+
 // Rows below this skip the parallel join paths (partitioning overhead
 // would dominate).
 constexpr size_t kParallelJoinRows = 4096;
+
+// Morsel sizes of the radix passes. Fixed constants — never derived from
+// the lane count — because morsel boundaries define the canonical
+// concatenation order of per-morsel results, which must be identical at
+// any thread count.
+constexpr size_t kJoinBuildGrain = 2048;
+constexpr size_t kJoinProbeGrain = 1024;
+
+// Radix partition count for a build side of `n` rows: enough partitions
+// to keep per-partition tables cache-resident and every lane busy, as a
+// pure function of the input size so partition boundaries (and with
+// them the build layout) are thread-count independent.
+size_t JoinPartitionCount(size_t n) {
+  return std::bit_ceil(
+      std::clamp<size_t>(n / kJoinBuildGrain, size_t{16}, size_t{256}));
+}
+
+// A radix-partitioned build side: per-morsel partition counters size one
+// exact reservation, lanes scatter row ids into per-partition slices
+// (morsel order within a partition, row order within a morsel — so ids
+// ascend within every partition), and each partition's hash table is
+// built independently. Buckets map the mixed key hash to the build row
+// ids carrying it, ascending — the same per-key probe order as the
+// serial ordered-map build.
+struct PartitionedBuild {
+  size_t P = 0;
+  std::vector<uint64_t> row_hash;    // mixed key hash per build row
+  std::vector<uint32_t> part_begin;  // P + 1 partition bounds
+  std::vector<uint32_t> part_rows;   // row ids, partition-major
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables;
+
+  // Build row ids whose mixed key hash is `h`, or nullptr.
+  const std::vector<uint32_t>* Find(uint64_t h) const {
+    const auto& table = tables[h & (P - 1)];
+    auto it = table.find(h);
+    return it == table.end() ? nullptr : &it->second;
+  }
+};
+
+PartitionedBuild BuildPartitioned(
+    const std::vector<std::vector<NodeId>>& rows,
+    const std::vector<int>& key_cols, int lanes,
+    std::vector<uint64_t>* lane_rows) {
+  PartitionedBuild b;
+  const size_t n = rows.size();
+  const size_t P = b.P = JoinPartitionCount(n);
+  const size_t grain = kJoinBuildGrain;
+  const size_t n_morsels = (n + grain - 1) / grain;
+  b.row_hash.resize(n);
+  std::vector<uint32_t> counts(n_morsels * P, 0);
+  ParallelMorsels(lanes, n, grain,
+                  [&](size_t begin, size_t end, int lane_id) {
+                    uint32_t* c = counts.data() + (begin / grain) * P;
+                    for (size_t r = begin; r < end; ++r) {
+                      const uint64_t h =
+                          MixHash64(HashRowKey(rows[r], key_cols));
+                      b.row_hash[r] = h;
+                      ++c[h & (P - 1)];
+                    }
+                    (*lane_rows)[lane_id] += end - begin;
+                  });
+  // Exclusive scans: partition base offsets, then per-(morsel, partition)
+  // write cursors.
+  b.part_begin.assign(P + 1, 0);
+  for (size_t m = 0; m < n_morsels; ++m) {
+    for (size_t p = 0; p < P; ++p) b.part_begin[p + 1] += counts[m * P + p];
+  }
+  for (size_t p = 0; p < P; ++p) b.part_begin[p + 1] += b.part_begin[p];
+  std::vector<uint32_t> offsets(n_morsels * P);
+  for (size_t p = 0; p < P; ++p) {
+    uint32_t cur = b.part_begin[p];
+    for (size_t m = 0; m < n_morsels; ++m) {
+      offsets[m * P + p] = cur;
+      cur += counts[m * P + p];
+    }
+  }
+  b.part_rows.resize(n);
+  ParallelMorsels(lanes, n, grain,
+                  [&](size_t begin, size_t end, int lane_id) {
+                    (void)lane_id;
+                    // Each morsel's cursor cells are touched by exactly
+                    // one lane, so the in-place bump is race-free.
+                    uint32_t* off = offsets.data() + (begin / grain) * P;
+                    for (size_t r = begin; r < end; ++r) {
+                      b.part_rows[off[b.row_hash[r] & (P - 1)]++] =
+                          static_cast<uint32_t>(r);
+                    }
+                  });
+  b.tables.resize(P);
+  ParallelMorsels(lanes, P, 1, [&](size_t begin, size_t end, int lane_id) {
+    (void)lane_id;
+    for (size_t p = begin; p < end; ++p) {
+      auto& table = b.tables[p];
+      table.reserve(b.part_begin[p + 1] - b.part_begin[p]);
+      for (uint32_t i = b.part_begin[p]; i < b.part_begin[p + 1]; ++i) {
+        const uint32_t r = b.part_rows[i];
+        table[b.row_hash[r]].push_back(r);
+      }
+    }
+  });
+  return b;
+}
 
 }  // namespace
 
@@ -1879,72 +2035,69 @@ BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
   const int lanes = std::max(num_threads, 1);
   if (lanes > 1 && left.rows.size() + right.rows.size() >= kParallelJoinRows) {
     op.threads = lanes;
-    // Partitioned build: lanes claim morsels of the right rows and bucket
-    // (row id) pairs per key-hash partition; a second morsel pass builds
-    // each partition's hash table independently. Row ids are sorted per
-    // partition so per-key probe order matches the serial build.
-    const size_t P = std::bit_ceil(static_cast<size_t>(lanes) * 4);
-    std::vector<std::vector<std::vector<int>>> lane_buckets(
-        lanes, std::vector<std::vector<int>>(P));
-    ParallelMorsels(lanes, right.rows.size(), 2048,
-                    [&](size_t begin, size_t end, int lane_id) {
-                      auto& buckets = lane_buckets[lane_id];
-                      for (size_t r = begin; r < end; ++r) {
-                        const uint64_t h =
-                            MixHash64(HashKey(right_key(r)));
-                        buckets[h & (P - 1)].push_back(
-                            static_cast<int>(r));
-                      }
-                    });
-    std::vector<std::unordered_map<uint64_t, std::vector<int>>> partitions(
-        P);
-    ParallelMorsels(lanes, P, 1, [&](size_t begin, size_t end, int lane_id) {
-      (void)lane_id;
-      for (size_t p = begin; p < end; ++p) {
-        std::vector<int> ids;
-        for (int l = 0; l < lanes; ++l) {
-          ids.insert(ids.end(), lane_buckets[l][p].begin(),
-                     lane_buckets[l][p].end());
-        }
-        std::sort(ids.begin(), ids.end());
-        for (int r : ids) {
-          partitions[p][MixHash64(HashKey(right_key(r)))].push_back(r);
-        }
-      }
-    });
+    std::vector<int> left_cols, right_cols;  // key columns per side
+    for (const auto& [lc, rc] : shared) {
+      left_cols.push_back(lc);
+      right_cols.push_back(rc);
+    }
+    // Radix-partitioned build of the right side (count -> exact
+    // reservation -> scatter -> per-partition tables).
+    std::vector<uint64_t> lane_build(lanes, 0), lane_probe(lanes, 0);
+    PartitionedBuild build =
+        BuildPartitioned(right.rows, right_cols, lanes, &lane_build);
 
-    // Morsel-wise probe into per-morsel output slots, concatenated in
-    // morsel order — identical row order to the serial probe. Hash
-    // collisions across distinct keys are resolved by re-checking the
-    // key columns.
-    const size_t grain = 1024;
+    // Two-pass morsel probe. Pass 1 records the matching (probe row,
+    // build row) id pairs per morsel — hash collisions across distinct
+    // keys are resolved by re-checking the key columns. Pass 2 sizes the
+    // output with ONE exact reservation and materializes each morsel's
+    // matches into its disjoint slice, concatenating in morsel order —
+    // the serial probe's left-row order, at any thread count.
+    const size_t grain = kJoinProbeGrain;
     const size_t num_morsels = (left.rows.size() + grain - 1) / grain;
-    std::vector<std::vector<std::vector<NodeId>>> slots(num_morsels);
-    std::atomic<uint64_t> join_tuples{0};
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> matches(
+        num_morsels);
     ParallelMorsels(
         lanes, left.rows.size(), grain,
         [&](size_t begin, size_t end, int lane_id) {
-          (void)lane_id;
-          std::vector<std::vector<NodeId>>& slot = slots[begin / grain];
+          std::vector<std::pair<uint32_t, uint32_t>>& found =
+              matches[begin / grain];
           for (size_t i = begin; i < end; ++i) {
             const std::vector<NodeId>& lrow = left.rows[i];
-            std::vector<NodeId> key = left_key(lrow);
-            const uint64_t h = MixHash64(HashKey(key));
-            auto it = partitions[h & (P - 1)].find(h);
-            if (it == partitions[h & (P - 1)].end()) continue;
-            for (int r : it->second) {
-              if (right_key(r) != key) continue;
-              join_tuples.fetch_add(1, std::memory_order_relaxed);
-              emit_row(lrow, r, &slot);
+            const uint64_t h = MixHash64(HashRowKey(lrow, left_cols));
+            const std::vector<uint32_t>* ids = build.Find(h);
+            if (ids == nullptr) continue;
+            for (uint32_t r : *ids) {
+              if (!KeysEqual(lrow, left_cols, right.rows[r], right_cols)) {
+                continue;
+              }
+              found.emplace_back(static_cast<uint32_t>(i), r);
+            }
+          }
+          lane_probe[lane_id] += end - begin;
+        });
+    std::vector<size_t> out_off(num_morsels + 1, 0);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      out_off[m + 1] = out_off[m] + matches[m].size();
+    }
+    out.AppendRowSlots(out_off[num_morsels]);
+    ParallelMorsels(
+        lanes, num_morsels, 1, [&](size_t begin, size_t end, int lane_id) {
+          (void)lane_id;
+          for (size_t m = begin; m < end; ++m) {
+            size_t o = out_off[m];
+            for (const auto& [i, r] : matches[m]) {
+              std::vector<NodeId>& row = out.rows[o++];
+              row.reserve(left.vars.size() + right_extra.size());
+              row.assign(left.rows[i].begin(), left.rows[i].end());
+              for (int rc : right_extra) row.push_back(right.rows[r][rc]);
             }
           }
         });
-    for (std::vector<std::vector<NodeId>>& slot : slots) {
-      for (std::vector<NodeId>& row : slot) {
-        out.rows.push_back(std::move(row));
-      }
+    stats.join_tuples += out.rows.size();
+    for (int l = 0; l < lanes; ++l) {
+      op.build_rows += lane_build[l];
+      op.probe_rows += lane_probe[l];
     }
-    stats.join_tuples += join_tuples.load(std::memory_order_relaxed);
   } else {
     // Build on the right, keyed by the shared columns; probe with the
     // left.
@@ -1964,6 +2117,8 @@ BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
         emit_row(lrow, r, &out.rows);
       }
     }
+    op.build_rows = right.rows.size();
+    op.probe_rows = left.rows.size();
   }
 
   op.rows_out = out.rows.size();
@@ -2014,50 +2169,67 @@ bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
   if (lanes > 1 &&
       target->rows.size() + filter.rows.size() >= kParallelJoinRows) {
     op.threads = lanes;
-    // Partitioned build of the filter-key set, then a morsel-wise probe
-    // into per-morsel slots concatenated in order (the kept rows keep
-    // their original relative order, as in the serial pass).
-    const size_t P = std::bit_ceil(static_cast<size_t>(lanes) * 4);
-    std::vector<std::vector<std::vector<std::vector<NodeId>>>> lane_buckets(
-        lanes,
-        std::vector<std::vector<std::vector<NodeId>>>(P));
-    ParallelMorsels(lanes, filter.rows.size(), 2048,
-                    [&](size_t begin, size_t end, int lane_id) {
-                      auto& buckets = lane_buckets[lane_id];
-                      for (size_t r = begin; r < end; ++r) {
-                        std::vector<NodeId> key = filter_key(filter.rows[r]);
-                        const size_t p = MixHash64(HashKey(key)) & (P - 1);
-                        buckets[p].push_back(std::move(key));
-                      }
-                    });
-    std::vector<std::set<std::vector<NodeId>>> partitions(P);
-    ParallelMorsels(lanes, P, 1, [&](size_t begin, size_t end, int lane_id) {
-      (void)lane_id;
-      for (size_t p = begin; p < end; ++p) {
-        for (int l = 0; l < lanes; ++l) {
-          for (std::vector<NodeId>& key : lane_buckets[l][p]) {
-            partitions[p].insert(std::move(key));
+    std::vector<int> target_cols, filter_cols;
+    for (const auto& [tc, fc] : shared) {
+      target_cols.push_back(tc);
+      filter_cols.push_back(fc);
+    }
+    // Radix-partitioned build of the filter keys, then a two-pass morsel
+    // probe: pass 1 flags the surviving target rows and counts them per
+    // morsel, pass 2 moves survivors into ONE exactly-reserved output in
+    // morsel order — the kept rows keep their original relative order,
+    // as in the serial pass, at any thread count.
+    std::vector<uint64_t> lane_build(lanes, 0), lane_probe(lanes, 0);
+    PartitionedBuild build =
+        BuildPartitioned(filter.rows, filter_cols, lanes, &lane_build);
+    const size_t grain = kJoinProbeGrain;
+    const size_t n = target->rows.size();
+    const size_t num_morsels = (n + grain - 1) / grain;
+    std::vector<uint8_t> keep(n, 0);
+    std::vector<size_t> kept_counts(num_morsels, 0);
+    ParallelMorsels(
+        lanes, n, grain, [&](size_t begin, size_t end, int lane_id) {
+          size_t kc = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const std::vector<NodeId>& trow = target->rows[i];
+            const uint64_t h = MixHash64(HashRowKey(trow, target_cols));
+            const std::vector<uint32_t>* ids = build.Find(h);
+            bool hit = false;
+            if (ids != nullptr) {
+              for (uint32_t r : *ids) {
+                if (KeysEqual(trow, target_cols, filter.rows[r],
+                              filter_cols)) {
+                  hit = true;
+                  break;
+                }
+              }
+            }
+            keep[i] = hit;
+            kc += hit;
           }
-        }
-      }
-    });
-    const size_t grain = 1024;
-    const size_t num_morsels = (target->rows.size() + grain - 1) / grain;
-    std::vector<std::vector<std::vector<NodeId>>> slots(num_morsels);
-    ParallelMorsels(lanes, target->rows.size(), grain,
-                    [&](size_t begin, size_t end, int lane_id) {
-                      (void)lane_id;
-                      auto& slot = slots[begin / grain];
-                      for (size_t i = begin; i < end; ++i) {
-                        std::vector<NodeId> key = target_key(target->rows[i]);
-                        if (partitions[MixHash64(HashKey(key)) & (P - 1)]
-                                .count(key)) {
-                          slot.push_back(std::move(target->rows[i]));
-                        }
-                      }
-                    });
-    for (std::vector<std::vector<NodeId>>& slot : slots) {
-      for (std::vector<NodeId>& row : slot) kept.push_back(std::move(row));
+          kept_counts[begin / grain] = kc;
+          lane_probe[lane_id] += end - begin;
+        });
+    std::vector<size_t> out_off(num_morsels + 1, 0);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      out_off[m + 1] = out_off[m] + kept_counts[m];
+    }
+    kept.resize(out_off[num_morsels]);
+    ParallelMorsels(
+        lanes, num_morsels, 1, [&](size_t begin, size_t end, int lane_id) {
+          (void)lane_id;
+          for (size_t m = begin; m < end; ++m) {
+            size_t o = out_off[m];
+            const size_t lo = m * grain;
+            const size_t hi = std::min(lo + grain, n);
+            for (size_t i = lo; i < hi; ++i) {
+              if (keep[i]) kept[o++] = std::move(target->rows[i]);
+            }
+          }
+        });
+    for (int l = 0; l < lanes; ++l) {
+      op.build_rows += lane_build[l];
+      op.probe_rows += lane_probe[l];
     }
   } else {
     std::set<std::vector<NodeId>> keys;
@@ -2067,6 +2239,8 @@ bool SemiJoinFilterOp(BindingTable* target, const BindingTable& filter,
     for (std::vector<NodeId>& trow : target->rows) {
       if (keys.count(target_key(trow))) kept.push_back(std::move(trow));
     }
+    op.build_rows = filter.rows.size();
+    op.probe_rows = target->rows.size();
   }
   bool shrank = kept.size() < target->rows.size();
   target->rows = std::move(kept);

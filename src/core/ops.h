@@ -79,6 +79,16 @@ struct BindingTable {
     t.rows.push_back({});
     return t;
   }
+
+  /// Size-then-fill bulk append (the GraphDb::FromEdges idiom): grows the
+  /// table by `n` empty row slots in one exact reservation and returns
+  /// the index of the first, so parallel writers can fill disjoint
+  /// slices without reallocation races or per-row push_back churn.
+  size_t AppendRowSlots(size_t n) {
+    const size_t first = rows.size();
+    rows.resize(first + n);
+    return first;
+  }
 };
 
 /// Distinct projection of `table` onto `vars` (each must be a column).
@@ -155,12 +165,19 @@ Status ExecuteComponentOp(const ResolvedQuery& rq, const ComponentSpec& comp,
 
 /// Natural hash join on shared variables, materialized; output columns
 /// are left.vars followed by right's non-shared vars. Rows stay distinct.
-/// Appends a HashJoin OperatorStats entry. (The product engine streams
-/// its final multi-way join for limit/exists pushdown and uses
-/// SemiJoinFilterOp to reduce the tables first; this materialized form
-/// composes intermediate tables.) With num_threads > 1 and enough rows
-/// the build side is partitioned by key hash in parallel and the probe
-/// runs morsel-wise; the output row order is identical to the serial one.
+/// Appends a HashJoin OperatorStats entry (with build/probe row counts
+/// merged from the per-lane counters). (The product engine streams its
+/// final multi-way join for limit/exists pushdown on small plans and
+/// folds large-estimate plans through this operator pairwise; see
+/// eval_product.cc.) With num_threads > 1 and enough rows the join runs
+/// radix-partitioned: per-morsel partition counters size one exact
+/// reservation, lanes scatter build rows into per-partition slices and
+/// build each partition's hash table independently, and the probe runs
+/// morsel-wise in two passes (match, then size-then-fill into the
+/// reserved output). The partition count depends only on the input
+/// sizes — never the lane count — and probe matches concatenate in
+/// canonical partition/morsel order, so the output rows (and their
+/// order, identical to the serial probe's) are thread-count independent.
 BindingTable HashJoinOp(const BindingTable& left, const BindingTable& right,
                         EvalStats& stats, int num_threads = 1);
 

@@ -318,7 +318,15 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
       }
     }
   }
-  if (plan.engine != Engine::kProduct) return plan;
+  if (plan.engine != Engine::kProduct) {
+    if (plan.engine == Engine::kCrpq && plan.components.size() > 1) {
+      // The crpq executor's semi-join fixpoint filters morsel-parallel
+      // above a runtime pair threshold; annotate the session lane count
+      // so Explain reports the parallelism the fixpoint will run at.
+      plan.semijoin_threads = plan.num_threads;
+    }
+    return plan;
+  }
 
   // Cheapest-first ordering (stable: analysis order breaks ties), only
   // when statistics are available and the planner is enabled; the legacy
@@ -417,6 +425,38 @@ PhysicalPlan PlanQuery(const Query& query, const CompiledQuery& compiled,
       for (int v : pc.vars) bound.insert(v);
     }
   }
+
+  // Per-operator parallelism of the cross-component join pipeline: a
+  // merge join (or the semijoin reduction) whose estimated input is
+  // below the partitioned-join threshold stays inline-serial on the
+  // calling thread — the pipeline mirror of AdaptiveGrain keeping tiny
+  // item counts inline. Eligibility is a pure function of the
+  // cardinality estimates (never the thread count), so the executor's
+  // pipeline shape — and with it every reported counter — is identical
+  // at any session parallelism.
+  if (plan.costed && options.use_planner && plan.components.size() > 1) {
+    constexpr double kJoinInlineRowsEstimate = 4096.0;  // kParallelJoinRows
+    double acc = std::max(plan.components[0].est_rows, 0.0);
+    double total = acc;
+    for (size_t i = 1; i < plan.components.size(); ++i) {
+      PlannedComponent& pc = plan.components[i];
+      const double est = std::max(pc.est_rows, 0.0);
+      pc.join_parallel_ok = acc + est >= kJoinInlineRowsEstimate;
+      pc.join_threads = pc.join_parallel_ok && plan.num_threads > 1
+                            ? plan.num_threads
+                            : 1;
+      // The accumulated join output is bounded above by the input
+      // product; the overestimate can only promote a later merge to the
+      // partitioned path, where the runtime row-count guard still
+      // applies.
+      acc = std::min(acc * std::max(est, 1.0), 1e18);
+      total += est;
+    }
+    plan.semijoin_parallel_ok = total >= kJoinInlineRowsEstimate;
+    plan.semijoin_threads = plan.semijoin_parallel_ok && plan.num_threads > 1
+                                ? plan.num_threads
+                                : 1;
+  }
   return plan;
 }
 
@@ -448,7 +488,11 @@ std::string PhysicalPlan::Describe(const Query& query) const {
   for (size_t i = 0; i < components.size(); ++i) {
     const PlannedComponent& pc = components[i];
     if (i > 0) {
-      out += "  HashJoin on " + var_names(pc.shared_vars) + "\n";
+      out += "  HashJoin on " + var_names(pc.shared_vars);
+      if (pc.join_threads > 0) {
+        out += " parallelism=" + std::to_string(pc.join_threads);
+      }
+      out += "\n";
     }
     out += "  [" + std::to_string(i) + "] ";
     out += OpKindName(pc.leaf);
@@ -471,9 +515,20 @@ std::string PhysicalPlan::Describe(const Query& query) const {
     }
     out += "\n";
   }
+  if (engine == Engine::kProduct && components.size() > 1) {
+    out += "  SemiJoinFilter to fixpoint";
+    if (semijoin_threads > 0) {
+      out += " parallelism=" + std::to_string(semijoin_threads);
+    }
+    out += "\n";
+  }
   if (engine == Engine::kCrpq) {
+    out += "  SemiJoinFilter to fixpoint";
+    if (semijoin_threads > 0) {
+      out += " parallelism=" + std::to_string(semijoin_threads);
+    }
     out +=
-        "  SemiJoinFilter to fixpoint, then backtracking HashJoin\n"
+        ", then backtracking HashJoin\n"
         "  (leaves listed in atom order; the join picks the most-bound "
         "atom dynamically)\n";
   }

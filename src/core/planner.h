@@ -84,6 +84,22 @@ struct PlannedComponent {
   /// Backward mirror of est_cost (end-side enumeration × reversed-tape
   /// expansion work); -1 without statistics.
   double est_cost_bwd = -1.0;
+  /// Worker lanes for the HashJoin that merges this component's table
+  /// into the accumulated join pipeline (Explain: the `parallelism=` of
+  /// the HashJoin line above this leaf). 0 = no merge join (the first
+  /// component in plan order, or an unplanned/uncosted plan); 1 =
+  /// inline-serial, the estimated join input is below the partitioned
+  /// threshold (mirroring AdaptiveGrain's stay-inline rule for small
+  /// item counts); >= 2 = the radix-partitioned parallel join. Like
+  /// `threads`, the executor re-resolves the lane count at run time —
+  /// the decision that survives num_threads overrides is
+  /// join_parallel_ok.
+  int join_threads = 0;
+  /// Estimate-based eligibility behind join_threads. Independent of the
+  /// session's thread count, so the executor's streamed-vs-partitioned
+  /// pipeline choice (and with it every reported counter) stays
+  /// thread-count independent.
+  bool join_parallel_ok = false;
 };
 
 struct PhysicalPlan {
@@ -101,6 +117,15 @@ struct PhysicalPlan {
   /// (ECRPQ_THREADS / hardware concurrency); per-leaf choices are in
   /// PlannedComponent::threads and rendered by Describe/Explain.
   int num_threads = 1;
+  /// Worker lanes for the cross-component SemiJoinFilter fixpoint
+  /// (Explain: `parallelism=` on the SemiJoinFilter line). 0 = not
+  /// applicable (fewer than two components, or an uncosted plan); 1 =
+  /// inline-serial (total estimated table volume below the partitioned
+  /// threshold); >= 2 = partitioned parallel reduction. The eligibility
+  /// that survives num_threads overrides is semijoin_parallel_ok.
+  int semijoin_threads = 0;
+  /// Estimate-based eligibility behind semijoin_threads.
+  bool semijoin_parallel_ok = false;
 
   /// Multi-line operator-tree rendering (Explain output).
   std::string Describe(const Query& query) const;

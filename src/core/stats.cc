@@ -16,6 +16,8 @@ std::string OperatorStats::Describe() const {
   if (meet_checks > 0) {
     out += " meet_checks=" + std::to_string(meet_checks);
   }
+  if (build_rows > 0) out += " build=" + std::to_string(build_rows);
+  if (probe_rows > 0) out += " probe=" + std::to_string(probe_rows);
   if (!direction.empty()) out += " direction=" + direction;
   if (est_rows >= 0.0) {
     out += " est_rows=" + std::to_string(static_cast<long long>(est_rows));

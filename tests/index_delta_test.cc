@@ -327,7 +327,14 @@ GraphDb NamedDemo() {
 }
 
 TEST(DatabaseDelta, ReadersPinPreDeltaSnapshot) {
-  Database db(NamedDemo());
+  // NamedDemo has 3 edges, so the default compact_delta_fraction (0.10)
+  // would schedule a background fold for even a 1-edge batch — and the
+  // fold racing db.graph_index() below would erase the delta this test
+  // observes. Raise the threshold so the batch deterministically stays
+  // a delta snapshot.
+  DatabaseOptions opts;
+  opts.compact_delta_fraction = 10.0;
+  Database db(NamedDemo(), opts);
   GraphIndexPtr before = db.graph_index();
   ASSERT_NE(before, nullptr);
   const int edges_before = before->num_edges();
@@ -429,7 +436,11 @@ TEST(DatabaseDelta, SynchronousThresholdCompactionFolds) {
 }
 
 TEST(DatabaseDelta, CompactIndexNowFoldsOnDemand) {
-  Database db(NamedDemo());  // default thresholds: small batch stays delta
+  DatabaseOptions opts;
+  opts.compact_delta_fraction = 10.0;  // small batch stays delta (the
+                                       // default 0.10 would background-fold
+                                       // a 1-edge batch on this 3-edge demo)
+  Database db(NamedDemo(), opts);
   (void)db.graph_index();
   GraphMutation m;
   m.add_edges.push_back({"eva", "advisor", "leo"});

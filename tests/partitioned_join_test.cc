@@ -1,0 +1,160 @@
+// Skew robustness of the radix-partitioned join pipeline (core/ops.h).
+//
+// Power-law key distributions concentrate a large fraction of rows on a
+// handful of hot keys, so a few partitions carry most of the build and a
+// few probe buckets dominate the match volume. The partitioned HashJoinOp
+// and SemiJoinFilterOp must still produce byte-identical tables — rows AND
+// row order — to the serial implementations at every lane count, and the
+// per-lane build/probe counters must merge to the same totals. This file
+// runs under the CI ThreadSanitizer job (full ctest), so the partition
+// scatter and the two-pass probe are also raced deliberately here.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/ops.h"
+#include "util/random.h"
+
+namespace ecrpq {
+namespace {
+
+// A key sampler with a power-law-ish profile: ~30% of draws hit one hot
+// key, ~20% spread over a warm band of 8, the rest over a cold range.
+NodeId SkewedKey(Rng* rng, int cold_range) {
+  const uint64_t roll = rng->Below(100);
+  if (roll < 30) return 0;                                 // hot key
+  if (roll < 50) return static_cast<NodeId>(1 + rng->Below(8));  // warm
+  return static_cast<NodeId>(9 + rng->Below(cold_range));        // cold
+}
+
+// Distinct rows (the BindingTable contract), preserving first-seen order.
+void Dedup(BindingTable* t) {
+  std::set<std::vector<NodeId>> seen;
+  std::vector<std::vector<NodeId>> rows;
+  for (auto& row : t->rows) {
+    if (seen.insert(row).second) rows.push_back(std::move(row));
+  }
+  t->rows = std::move(rows);
+}
+
+// left(v0, v1) and right(v1, v2) joined on the skewed column v1. The
+// right side's keys stop short of the left's cold range, so the semi-join
+// genuinely removes rows.
+void BuildSkewedTables(BindingTable* left, BindingTable* right) {
+  Rng rng(97);
+  left->vars = {0, 1};
+  right->vars = {1, 2};
+  for (int i = 0; i < 9000; ++i) {
+    left->rows.push_back({static_cast<NodeId>(rng.Below(4000)),
+                          SkewedKey(&rng, /*cold_range=*/400)});
+    right->rows.push_back({SkewedKey(&rng, /*cold_range=*/200),
+                           static_cast<NodeId>(rng.Below(4000))});
+  }
+  Dedup(left);
+  Dedup(right);
+}
+
+const OperatorStats& LastOp(const EvalStats& stats) {
+  EXPECT_FALSE(stats.operators.empty());
+  return stats.operators.back();
+}
+
+TEST(PartitionedJoin, SkewedHashJoinMatchesSerialAtEveryLaneCount) {
+  BindingTable left, right;
+  BuildSkewedTables(&left, &right);
+  // Both sides comfortably above the stay-inline row threshold.
+  ASSERT_GE(left.rows.size(), 4096u);
+  ASSERT_GE(right.rows.size(), 4096u);
+
+  EvalStats serial_stats;
+  const BindingTable serial = HashJoinOp(left, right, serial_stats, 1);
+  ASSERT_FALSE(serial.rows.empty());
+  const OperatorStats& serial_op = LastOp(serial_stats);
+  EXPECT_EQ(serial_op.op, "HashJoin");
+  EXPECT_EQ(serial_op.build_rows, right.rows.size());
+  EXPECT_EQ(serial_op.probe_rows, left.rows.size());
+
+  for (int threads : {2, 4, 8}) {
+    EvalStats stats;
+    const BindingTable parallel = HashJoinOp(left, right, stats, threads);
+    EXPECT_EQ(parallel.vars, serial.vars) << "threads=" << threads;
+    EXPECT_EQ(parallel.rows, serial.rows)  // content AND order
+        << "threads=" << threads;
+    EXPECT_EQ(stats.join_tuples, serial_stats.join_tuples)
+        << "threads=" << threads;
+    // The per-lane build/probe counters must merge to the serial totals
+    // regardless of how the morsels were distributed over lanes.
+    const OperatorStats& op = LastOp(stats);
+    EXPECT_EQ(op.op, "HashJoin");
+    EXPECT_EQ(op.threads, threads);
+    EXPECT_EQ(op.build_rows, serial_op.build_rows) << "threads=" << threads;
+    EXPECT_EQ(op.probe_rows, serial_op.probe_rows) << "threads=" << threads;
+    EXPECT_EQ(op.rows_in, serial_op.rows_in);
+    EXPECT_EQ(op.rows_out, serial_op.rows_out);
+  }
+}
+
+TEST(PartitionedJoin, SkewedSemiJoinFilterMatchesSerialAtEveryLaneCount) {
+  BindingTable left, right;
+  BuildSkewedTables(&left, &right);
+
+  EvalStats serial_stats;
+  BindingTable serial_target = left;
+  const bool serial_shrank =
+      SemiJoinFilterOp(&serial_target, right, serial_stats, 1);
+  // Cold left keys in [209, 409) have no right partner, so rows must
+  // actually have been removed (the operator only records stats then).
+  ASSERT_TRUE(serial_shrank);
+  ASSERT_LT(serial_target.rows.size(), left.rows.size());
+  const OperatorStats& serial_op = LastOp(serial_stats);
+  EXPECT_EQ(serial_op.op, "SemiJoinFilter");
+  EXPECT_EQ(serial_op.build_rows, right.rows.size());
+  EXPECT_EQ(serial_op.probe_rows, left.rows.size());
+
+  for (int threads : {2, 4, 8}) {
+    EvalStats stats;
+    BindingTable target = left;
+    const bool shrank = SemiJoinFilterOp(&target, right, stats, threads);
+    EXPECT_EQ(shrank, serial_shrank) << "threads=" << threads;
+    EXPECT_EQ(target.vars, serial_target.vars);
+    EXPECT_EQ(target.rows, serial_target.rows)  // content AND order
+        << "threads=" << threads;
+    const OperatorStats& op = LastOp(stats);
+    EXPECT_EQ(op.op, "SemiJoinFilter");
+    EXPECT_EQ(op.threads, threads);
+    EXPECT_EQ(op.build_rows, serial_op.build_rows) << "threads=" << threads;
+    EXPECT_EQ(op.probe_rows, serial_op.probe_rows) << "threads=" << threads;
+    EXPECT_EQ(op.rows_in, serial_op.rows_in);
+    EXPECT_EQ(op.rows_out, serial_op.rows_out);
+  }
+}
+
+// Hash-collision safety net: many distinct keys land in few partitions
+// when the key space is tiny, and every probe hit must re-check the real
+// key columns, not just the 64-bit hash.
+TEST(PartitionedJoin, TinyKeySpaceCrossCheck) {
+  Rng rng(7);
+  BindingTable left, right;
+  left.vars = {0, 1};
+  right.vars = {1, 2};
+  for (int i = 0; i < 6000; ++i) {
+    left.rows.push_back({static_cast<NodeId>(rng.Below(3000)),
+                         static_cast<NodeId>(rng.Below(3))});
+    right.rows.push_back({static_cast<NodeId>(rng.Below(3)),
+                          static_cast<NodeId>(rng.Below(3000))});
+  }
+  Dedup(&left);
+  Dedup(&right);
+
+  EvalStats serial_stats, parallel_stats;
+  const BindingTable serial = HashJoinOp(left, right, serial_stats, 1);
+  const BindingTable parallel = HashJoinOp(left, right, parallel_stats, 8);
+  EXPECT_EQ(serial.rows, parallel.rows);
+  EXPECT_EQ(serial_stats.join_tuples, parallel_stats.join_tuples);
+}
+
+}  // namespace
+}  // namespace ecrpq

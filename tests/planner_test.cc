@@ -153,6 +153,50 @@ TEST(PlannerProperty, RandomQueriesMatchBruteForceUnderAnyJoinOrder) {
     ASSERT_TRUE(planned.ok()) << planned.status().ToString();
     EXPECT_EQ(brute.value().tuples(), planned.value().tuples());
 
+    // The join-pipeline determinism contract: tuples AND merged engine
+    // counters are byte-identical at every worker-lane count, because
+    // every pipeline choice (streamed vs folded join, partition counts,
+    // morsel boundaries) is a pure function of the plan and input sizes —
+    // never the lane count. The explicit serial run is the reference;
+    // OperatorStats::threads legitimately reports the lane count and is
+    // the only field allowed to differ.
+    EvalOptions serial_opts = options;
+    serial_opts.num_threads = 1;
+    auto serial = EvaluateProduct(g, query.value(), serial_opts);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(brute.value().tuples(), serial.value().tuples());
+    const EvalStats& ref = serial.value().stats();
+    for (int threads : {2, 4, 8}) {
+      EvalOptions thread_opts = options;
+      thread_opts.num_threads = threads;
+      auto run = EvaluateProduct(g, query.value(), thread_opts);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(serial.value().tuples(), run.value().tuples())
+          << "threads=" << threads;
+      const EvalStats& s = run.value().stats();
+      EXPECT_EQ(s.configs_explored, ref.configs_explored)
+          << "threads=" << threads;
+      EXPECT_EQ(s.arcs_explored, ref.arcs_explored)
+          << "threads=" << threads;
+      EXPECT_EQ(s.start_assignments, ref.start_assignments)
+          << "threads=" << threads;
+      EXPECT_EQ(s.join_tuples, ref.join_tuples) << "threads=" << threads;
+      ASSERT_EQ(s.operators.size(), ref.operators.size())
+          << "threads=" << threads;
+      for (size_t k = 0; k < s.operators.size(); ++k) {
+        const OperatorStats& a = s.operators[k];
+        const OperatorStats& b = ref.operators[k];
+        SCOPED_TRACE("operator " + std::to_string(k) + " (" + b.op +
+                     ") threads=" + std::to_string(threads));
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.detail, b.detail);
+        EXPECT_EQ(a.rows_in, b.rows_in);
+        EXPECT_EQ(a.rows_out, b.rows_out);
+        EXPECT_EQ(a.build_rows, b.build_rows);
+        EXPECT_EQ(a.probe_rows, b.probe_rows);
+      }
+    }
+
     // Randomly permuted join order with randomized seeding decisions.
     auto compiled = CompileQuery(query.value(), g.alphabet().size());
     ASSERT_TRUE(compiled.ok());
