@@ -23,6 +23,10 @@
 //       end-to-end through Database: ApplyDelta (snapshot-swap protocol,
 //       single-flight, plan-cache bookkeeping) against MutateGraph +
 //       lazy full rebuild on first graph_index().
+//   DurableWriteToRead/{always,interval,never}/batch/1000
+//       the same 1000-edge CommitDelta through the write-ahead log at
+//       each fsync policy — the durability tax over DbWriteToRead/delta
+//       (fsync=interval must stay within 2x of the non-durable path).
 //   ReadThroughput/{fresh,compacted,chain/32}
 //       200k row probes against a fresh-built index, a compacted one,
 //       and a 32-segment delta chain (the overlay-directory tax).
@@ -30,6 +34,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -39,6 +44,8 @@
 #include "bench_util.h"
 #include "graph/generators.h"
 #include "graph/index.h"
+#include "wal/durable.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -235,6 +242,72 @@ void DbRebuildWriteToRead(benchmark::State& state) {
                   timer, GraphProps(db.graph(), batch));
 }
 BENCHMARK(DbRebuildWriteToRead)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// ---- DurableWriteToRead: the WAL tax per fsync policy ----------------------
+
+// Same batch stream and first-read probe as DbWriteToRead/delta, but
+// every batch goes through CommitDelta on a durable Database: WAL
+// append (+ fsync per policy) ahead of the in-memory apply. The
+// one-time OpenDurable cost (initial 3M-edge checkpoint) stays outside
+// the timer.
+void DurableWriteToRead(benchmark::State& state, FsyncPolicy policy,
+                        const char* policy_name) {
+  const int batch = static_cast<int>(state.range(0));
+  char tmpl[] = "/tmp/ecrpq-bench-wal-XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  DurabilityOptions durability;
+  durability.fsync = policy;
+  auto opened =
+      Database::OpenDurable(dir, durability, BenchDbOptions(), BaseGraph());
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  Database& db = *opened.value();
+  (void)db.graph_index();
+  uint64_t seed = 1000;  // same stream as the non-durable twin
+  MedianTimer timer;
+  for (auto _ : state) {
+    Batch b = MakeBatch(db.graph(), batch, seed++);
+    timer.Begin();
+    auto summary = db.CommitDelta(b.add, b.remove);
+    GraphIndexPtr snap = db.graph_index();
+    size_t sum = ProbeBatch(*snap, b);
+    timer.End();
+    benchmark::DoNotOptimize(sum);
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      break;
+    }
+  }
+  RecordBenchCase("DurableWriteToRead/" + std::string(policy_name) +
+                      "/batch/" + std::to_string(batch),
+                  timer, GraphProps(db.graph(), batch));
+  opened.value().reset();  // release the flock before the dir goes away
+  std::string cmd = "rm -rf '" + std::string(dir) + "'";
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+}
+
+void DurableAlwaysWriteToRead(benchmark::State& state) {
+  DurableWriteToRead(state, FsyncPolicy::kAlways, "always");
+}
+BENCHMARK(DurableAlwaysWriteToRead)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void DurableIntervalWriteToRead(benchmark::State& state) {
+  DurableWriteToRead(state, FsyncPolicy::kInterval, "interval");
+}
+BENCHMARK(DurableIntervalWriteToRead)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void DurableNeverWriteToRead(benchmark::State& state) {
+  DurableWriteToRead(state, FsyncPolicy::kNever, "never");
+}
+BENCHMARK(DurableNeverWriteToRead)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 // ---- ReadThroughput: overlay tax and compaction ---------------------------
 

@@ -107,6 +107,15 @@ class BenchResultLog {
     PrintTwinSpeedups("/delta", "/rebuild", "delta-vs-rebuild");
     PrintTwinSpeedups("/compacted", "/fresh", "compacted-vs-fresh");
     PrintTwinSpeedups("/chain/32", "/fresh", "chain32-vs-fresh");
+    // bench_mutation durability tiers: the WAL tax per fsync policy
+    // over the non-durable delta write path. fsync=interval is the
+    // acceptance gate — within 2x of non-durable, i.e. speedup >= 0.5.
+    PrintTwinSpeedups("DurableWriteToRead/always/batch",
+                      "DbWriteToRead/delta/batch", "durable-always-vs-delta");
+    PrintTwinSpeedups("DurableWriteToRead/interval/batch",
+                      "DbWriteToRead/delta/batch", "durable-interval-vs-delta");
+    PrintTwinSpeedups("DurableWriteToRead/never/batch",
+                      "DbWriteToRead/delta/batch", "durable-never-vs-delta");
   }
 
  private:
@@ -177,6 +186,8 @@ class BenchResultLog {
   // that path segment (e.g. ".../indexed/4" against ".../scan/4").
   void PrintTwinSpeedups(const std::string& fast, const std::string& slow,
                          const char* tag) const {
+    const char* fast_label = fast.c_str() + (fast[0] == '/' ? 1 : 0);
+    const char* slow_label = slow.c_str() + (slow[0] == '/' ? 1 : 0);
     for (const Entry& e : entries_) {
       size_t pos = e.name.find(fast);
       if (pos == std::string::npos) continue;
@@ -186,8 +197,8 @@ class BenchResultLog {
         if (s.name != twin || e.median_ns <= 0.0) continue;
         std::fprintf(stderr,
                      "[%s] %s: %s %.3f ms, %s %.3f ms, speedup %.2fx\n",
-                     tag, e.name.c_str(), fast.c_str() + 1,
-                     e.median_ns / 1e6, slow.c_str() + 1, s.median_ns / 1e6,
+                     tag, e.name.c_str(), fast_label,
+                     e.median_ns / 1e6, slow_label, s.median_ns / 1e6,
                      s.median_ns / e.median_ns);
       }
     }

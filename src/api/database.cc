@@ -2,8 +2,15 @@
 
 #include "query/optimizer.h"
 #include "util/status.h"
+#include "wal/durable.h"
+#include "wal/wal_format.h"
 
 namespace ecrpq {
+
+Database::Database(GraphDb graph, DatabaseOptions options)
+    : graph_(std::move(graph)),
+      options_(options),
+      registry_(RelationRegistry::Default()) {}
 
 Database::~Database() {
   {
@@ -14,8 +21,135 @@ Database::~Database() {
   if (compact_thread_.joinable()) compact_thread_.join();
 }
 
-MutationSummary Database::ApplyDelta(const GraphMutation& mutation) {
+void Database::MutateGraph(const std::function<void(GraphDb&)>& fn) {
   std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+  fn(graph_);
+  ClearPlanCache();  // before readers resume (lock order: graph → cache)
+  if (wal_ != nullptr) {
+    // fn is unloggable (arbitrary code), so the checkpoint IS its
+    // durability record; failure blocks further durable writes.
+    WriteCheckpointLocked(/*required=*/true);
+  }
+}
+
+Status Database::LogBatchLocked(const GraphMutation* mutation,
+                                const std::vector<Edge>* add,
+                                const std::vector<Edge>* remove,
+                                uint64_t* lsn) {
+  if (wal_ == nullptr) return Status::OK();
+  if (checkpoint_pending_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(
+        "DEGRADED: checkpoint pending after MutateGraph publish failure");
+  }
+  Status st = mutation != nullptr ? wal_->AppendMutation(*mutation, lsn)
+                                  : wal_->AppendEdgeDelta(*add, *remove, lsn);
+  if (st.ok()) applied_lsn_.store(*lsn, std::memory_order_relaxed);
+  return st;
+}
+
+Status Database::WriteCheckpointLocked(bool required) {
+  Status st = wal_->WriteCheckpoint(
+      EncodeCheckpoint(graph_), applied_lsn_.load(std::memory_order_relaxed));
+  if (st.ok()) {
+    checkpoint_pending_.store(false, std::memory_order_relaxed);
+  } else if (required) {
+    checkpoint_pending_.store(true, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+bool Database::write_degraded() const {
+  return wal_ != nullptr &&
+         (wal_->degraded() ||
+          checkpoint_pending_.load(std::memory_order_relaxed));
+}
+
+Status Database::FlushDurable() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Flush();
+}
+
+bool Database::ProbeDurability() {
+  if (wal_ == nullptr) return true;
+  if (wal_->degraded() && !wal_->Probe()) return false;
+  if (checkpoint_pending_.load(std::memory_order_relaxed)) {
+    // Shared guard: the graph is stable (writers need it exclusive)
+    // while the snapshot is reserialized and republished.
+    auto read_lock = ReadLock();
+    if (!WriteCheckpointLocked(/*required=*/true).ok()) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<Database>> Database::OpenDurable(
+    const std::string& dir, const DurabilityOptions& durability,
+    DatabaseOptions options, GraphDb seed, WalRecoveryInfo* recovery) {
+  std::unique_ptr<Database> db(new Database(GraphDb(), options));
+  bool loaded_checkpoint = false;
+  auto load = [&](const std::string& text) -> Status {
+    auto parsed = DecodeCheckpoint(text);
+    if (!parsed.ok()) return parsed.status();
+    db->graph_ = std::move(parsed).value();
+    loaded_checkpoint = true;
+    return Status::OK();
+  };
+  // Replay re-runs recovered batches through the normal (non-durable —
+  // wal_ is not attached yet) ApplyDelta machinery: name resolution
+  // and id assignment are deterministic, so the replayed graph matches
+  // the one the records were logged against.
+  auto replay_mutation = [&](GraphMutation&& mutation) -> Status {
+    db->ApplyDelta(mutation);
+    return Status::OK();
+  };
+  auto replay_edges = [&](std::vector<Edge>&& add,
+                          std::vector<Edge>&& remove) -> Status {
+    const NodeId n = db->graph_.num_nodes();
+    const Symbol l = db->graph_.alphabet().size();
+    for (const Edge& e : add) {
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n || e.label < 0 ||
+          e.label >= l) {
+        return Status::Internal(
+            "wal edge-delta references ids beyond the recovered graph "
+            "(checkpoint/log mismatch)");
+      }
+    }
+    db->ApplyDelta(add, remove);
+    return Status::OK();
+  };
+  WalRecoveryInfo info;
+  auto log = DurableLog::Open(dir, durability, load, replay_mutation,
+                              replay_edges, &info);
+  if (!log.ok()) return log.status();
+  db->wal_ = std::move(log).value();
+  db->applied_lsn_.store(info.last_lsn, std::memory_order_relaxed);
+
+  if (!loaded_checkpoint) {
+    if (info.last_lsn > 0) {
+      // Records without the checkpoint they were logged against: the
+      // replay above ran from an empty graph, which is only right if
+      // that is what the log started from — and every durable dir
+      // publishes its initial checkpoint before the first append.
+      return Status::Internal("wal segments present in " + dir +
+                              " but no checkpoint — refusing to guess the "
+                              "base state");
+    }
+    db->graph_ = std::move(seed);
+    // The initial checkpoint pins node/symbol ids for id-level records;
+    // a durable dir must never exist without one.
+    std::unique_lock<std::shared_mutex> lock(db->graph_mutex_);
+    ECRPQ_RETURN_IF_ERROR(db->WriteCheckpointLocked(/*required=*/true));
+  }
+  if (recovery != nullptr) *recovery = info;
+  return db;
+}
+
+Result<MutationSummary> Database::CommitDelta(const GraphMutation& mutation) {
+  std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+  // Write-ahead: the record reaches the log (and, with fsync=always,
+  // the disk) before graph_ changes. A rejected append leaves the
+  // graph exactly as it was — memory never runs ahead of recovery.
+  uint64_t lsn = 0;
+  ECRPQ_RETURN_IF_ERROR(LogBatchLocked(&mutation, nullptr, nullptr, &lsn));
   GraphIndexPtr prev;
   {
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
@@ -56,13 +190,30 @@ MutationSummary Database::ApplyDelta(const GraphMutation& mutation) {
       ++summary.skipped_removes;
     }
   }
+  summary.lsn = lsn;
   return FinishDeltaLocked(std::move(prev), prev_fresh, pre_version,
                            old_num_labels, old_num_nodes, &delta, &summary);
 }
 
-MutationSummary Database::ApplyDelta(const std::vector<Edge>& add,
-                                     const std::vector<Edge>& remove) {
+Result<MutationSummary> Database::CommitDelta(const std::vector<Edge>& add,
+                                              const std::vector<Edge>& remove) {
   std::unique_lock<std::shared_mutex> lock(graph_mutex_);
+  // Validate BEFORE logging: a record, once appended, will be replayed.
+  {
+    const NodeId n = graph_.num_nodes();
+    const Symbol l = graph_.alphabet().size();
+    for (const Edge& e : add) {
+      if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n || e.label < 0 ||
+          e.label >= l) {
+        return Status::InvalidArgument(
+            "CommitDelta: edge (" + std::to_string(e.from) + "," +
+            std::to_string(e.label) + "," + std::to_string(e.to) +
+            ") out of range");
+      }
+    }
+  }
+  uint64_t lsn = 0;
+  ECRPQ_RETURN_IF_ERROR(LogBatchLocked(nullptr, &add, &remove, &lsn));
   GraphIndexPtr prev;
   {
     std::lock_guard<std::mutex> cache_lock(cache_mutex_);
@@ -91,8 +242,26 @@ MutationSummary Database::ApplyDelta(const std::vector<Edge>& add,
       ++summary.skipped_removes;
     }
   }
+  summary.lsn = lsn;
   return FinishDeltaLocked(std::move(prev), prev_fresh, pre_version,
                            old_num_labels, old_num_nodes, &delta, &summary);
+}
+
+MutationSummary Database::ApplyDelta(const GraphMutation& mutation) {
+  auto result = CommitDelta(mutation);
+  if (result.ok()) return std::move(result).value();
+  MutationSummary rejected;
+  rejected.rejected = true;
+  return rejected;
+}
+
+MutationSummary Database::ApplyDelta(const std::vector<Edge>& add,
+                                     const std::vector<Edge>& remove) {
+  auto result = CommitDelta(add, remove);
+  if (result.ok()) return std::move(result).value();
+  MutationSummary rejected;
+  rejected.rejected = true;
+  return rejected;
 }
 
 MutationSummary Database::FinishDeltaLocked(
@@ -139,8 +308,15 @@ MutationSummary Database::FinishDeltaLocked(
       // Synchronous fold under the exclusive lock already held: the
       // writer pays the O(V+E) rebuild, deterministically.
       GraphIndexPtr built = GraphIndex::Build(graph_);
-      std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-      index_ = built;
+      {
+        std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+        index_ = built;
+      }
+      // Compaction is the checkpoint cadence: the fold already paid
+      // O(V+E), the snapshot rides along and lets the log prune.
+      // Publish failure is benign here — the WAL still holds every
+      // record, recovery just replays more.
+      if (wal_ != nullptr) WriteCheckpointLocked(/*required=*/false);
     }
   }
   return *summary;
@@ -165,9 +341,15 @@ void Database::CompactIfOverThreshold(bool force) {
   }
   GraphIndexPtr built = GraphIndex::Build(graph_);
   index_full_builds_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-  index_ = built;  // distinct GraphIndexPtr: result-cache entries for the
-                   // delta snapshot miss from here on (correct, rare)
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    index_ = built;  // distinct GraphIndexPtr: result-cache entries for the
+                     // delta snapshot miss from here on (correct, rare)
+  }
+  // Checkpoint at compaction time (still under the shared graph guard,
+  // so graph_ and applied_lsn_ are a consistent pair — writers need
+  // the exclusive lock). Failure is benign: the log keeps its records.
+  if (wal_ != nullptr) WriteCheckpointLocked(/*required=*/false);
 }
 
 void Database::ScheduleCompaction() {

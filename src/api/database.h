@@ -62,6 +62,10 @@
 
 namespace ecrpq {
 
+class DurableLog;
+struct DurabilityOptions;
+struct WalRecoveryInfo;
+
 struct DatabaseOptions {
   /// Session-default evaluation options (engine choice, budgets,
   /// num_threads, ...).
@@ -88,26 +92,9 @@ struct DatabaseOptions {
   bool background_compaction = true;
 };
 
-/// One edge of a GraphMutation, endpoints and label by name. Unknown
-/// node names are created; an unknown label is interned on add (but
-/// never on remove — removing a never-seen label is a no-op skip).
-struct EdgeSpec {
-  std::string from;
-  std::string label;
-  std::string to;
-};
-
-/// A batched write: nodes to create plus edges to add/remove, applied
-/// atomically under the writer lock by Database::ApplyDelta.
-struct GraphMutation {
-  /// Node names to create up front (empty string = anonymous node).
-  /// Names that already exist are left as-is.
-  std::vector<std::string> add_nodes;
-  std::vector<EdgeSpec> add_edges;
-  /// Each spec removes ONE instance of a matching edge (multiset
-  /// semantics); specs matching nothing are counted, not errors.
-  std::vector<EdgeSpec> remove_edges;
-};
+// EdgeSpec and GraphMutation — the batched-write value types — moved to
+// graph/graph.h so the WAL layer can serialize them without depending
+// on this facade; they remain visible here through that include.
 
 /// What a Database::ApplyDelta batch did.
 struct MutationSummary {
@@ -125,14 +112,21 @@ struct MutationSummary {
   /// when there was no index to advance (first use, indexing disabled,
   /// or a stale snapshot) and the next reader full-builds lazily.
   bool delta_applied = false;
+  /// True when a durable Database rejected the batch (degraded WAL):
+  /// nothing was applied. Only the legacy ApplyDelta wrappers report
+  /// this way — durable writers should call CommitDelta and get a
+  /// typed Status instead.
+  bool rejected = false;
+  /// LSN the batch committed at (0 on a non-durable Database).
+  uint64_t lsn = 0;
 };
 
 class Database {
  public:
-  explicit Database(GraphDb graph, DatabaseOptions options = {})
-      : graph_(std::move(graph)),
-        options_(options),
-        registry_(RelationRegistry::Default()) {}
+  // Out of line: member construction/destruction needs the complete
+  // DurableLog type (database.cc sees wal/durable.h; this header only
+  // forward-declares it).
+  explicit Database(GraphDb graph, DatabaseOptions options = {});
 
   // A session is an identity: outstanding PreparedQuery/ResultCursor
   // handles point back into it, and the LRU cache holds self-referential
@@ -141,6 +135,58 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   ~Database();
+
+  // ---- durability (src/wal/) ----
+
+  /// Opens a crash-safe Database backed by the write-ahead log in
+  /// `dir`: flocks the dir, loads the newest checkpoint snapshot,
+  /// replays the WAL tail through the ApplyDelta machinery (truncating
+  /// at the first torn/corrupt record), and arranges for every
+  /// subsequent CommitDelta to append to the log BEFORE touching the
+  /// graph. On a fresh dir the graph starts as `seed` and an initial
+  /// checkpoint is published (it pins node/symbol ids for id-level log
+  /// records — OpenDurable fails rather than run without one). When
+  /// the dir already holds data, `seed` is ignored: the recovered
+  /// state wins. `recovery` (optional) receives what recovery found.
+  static Result<std::unique_ptr<Database>> OpenDurable(
+      const std::string& dir, const DurabilityOptions& durability,
+      DatabaseOptions options = {}, GraphDb seed = GraphDb(),
+      WalRecoveryInfo* recovery = nullptr);
+
+  /// The durable write path: appends the batch to the WAL (fsyncing
+  /// per the configured policy), then applies it exactly like
+  /// ApplyDelta. The ack (an ok Result) implies the configured
+  /// durability point. Fails with kUnavailable ("DEGRADED: ...") when
+  /// the log can't accept writes — nothing is applied in that case, so
+  /// memory never runs ahead of what recovery can reproduce. On a
+  /// non-durable Database this is plain ApplyDelta in a Result.
+  Result<MutationSummary> CommitDelta(const GraphMutation& mutation);
+  /// Id-level overload; ids are validated (not DCHECKed) so a bad
+  /// batch is rejected before it reaches the log.
+  Result<MutationSummary> CommitDelta(const std::vector<Edge>& add,
+                                      const std::vector<Edge>& remove);
+
+  /// fsyncs outstanding WAL records now regardless of policy (SIGTERM
+  /// drain). Ok on a non-durable Database.
+  Status FlushDurable();
+
+  /// When degraded, attempts recovery: repairs the WAL tail, probes the
+  /// disk, and retries a pending MutateGraph checkpoint. Returns true
+  /// when the write path is healthy after the call. Cheap when healthy;
+  /// serving loops call it periodically.
+  bool ProbeDurability();
+
+  bool durable() const { return wal_ != nullptr; }
+  /// True when durable writes are currently rejected (sick disk or a
+  /// failed MutateGraph checkpoint pending retry).
+  bool write_degraded() const;
+  /// The underlying log, for stats introspection (null when
+  /// non-durable).
+  const DurableLog* durable_log() const { return wal_.get(); }
+  /// LSN of the last batch applied to the graph (0 when non-durable).
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_relaxed);
+  }
 
   const GraphDb& graph() const { return graph_; }
 
@@ -166,11 +212,11 @@ class Database {
   /// reader pays a full O(V+E) rebuild (coalesced: see
   /// graph_index_locked). Batched edge/node writes should use ApplyDelta,
   /// which advances the snapshot in O(batch) instead.
-  void MutateGraph(const std::function<void(GraphDb&)>& fn) {
-    std::unique_lock<std::shared_mutex> lock(graph_mutex_);
-    fn(graph_);
-    ClearPlanCache();  // before readers resume (lock order: graph → cache)
-  }
+  /// On a durable Database the arbitrary `fn` cannot be logged as a
+  /// WAL record, so durability comes from a synchronous checkpoint
+  /// published before this returns; if that publish fails the write
+  /// path degrades (CommitDelta rejects, ProbeDurability retries).
+  void MutateGraph(const std::function<void(GraphDb&)>& fn);
 
   /// The O(delta) write path. Applies the batch to the graph under the
   /// exclusive writer lock (concurrent executions drain first), then
@@ -186,6 +232,9 @@ class Database {
   /// DatabaseOptions::compact_delta_fraction of the base (or
   /// compact_max_segments), segments are folded into a fresh base via the
   /// parallel Build — on a background thread by default.
+  /// On a durable Database this forwards through CommitDelta; a WAL
+  /// rejection surfaces as MutationSummary::rejected (durable callers
+  /// should prefer CommitDelta for the typed error).
   MutationSummary ApplyDelta(const GraphMutation& mutation);
 
   /// Id-level overload: labels already interned, node ids in range
@@ -343,6 +392,20 @@ class Database {
                                     GraphIndex::Delta* delta,
                                     MutationSummary* summary);
 
+  /// Appends the batch to the WAL before anything touches graph_
+  /// (write-ahead). No-op Ok when non-durable. Caller holds the
+  /// exclusive graph lock. On success `*lsn` is the record's LSN.
+  Status LogBatchLocked(const GraphMutation* mutation,
+                        const std::vector<Edge>* add,
+                        const std::vector<Edge>* remove, uint64_t* lsn);
+
+  /// Serializes graph_ and publishes a checkpoint at applied_lsn_.
+  /// `required` marks a checkpoint the log cannot live without (the
+  /// MutateGraph path: its mutation has no WAL record) — failure then
+  /// degrades the write path until ProbeDurability republishes. The
+  /// caller holds the graph lock (shared or exclusive).
+  Status WriteCheckpointLocked(bool required);
+
   bool ShouldCompact(const GraphIndexPtr& index) const {
     return index != nullptr && index->has_delta() &&
            (static_cast<double>(index->delta_edges()) >=
@@ -365,6 +428,17 @@ class Database {
   GraphDb graph_;
   DatabaseOptions options_;
   RelationRegistry registry_;
+
+  // Durability (null/0 on an in-memory Database). wal_ is attached by
+  // OpenDurable after recovery; every write-path use checks for null.
+  // Lock order: graph_mutex_ (and possibly build_mutex_) before the
+  // log's internal mutex; the log never takes Database locks.
+  std::unique_ptr<DurableLog> wal_;
+  std::atomic<uint64_t> applied_lsn_{0};
+  /// A MutateGraph checkpoint failed: the in-memory state is ahead of
+  /// anything recovery could reproduce, so durable writes are rejected
+  /// until ProbeDurability republishes the checkpoint.
+  std::atomic<bool> checkpoint_pending_{false};
 
   /// Readers = executions (and snapshot/prepare graph reads); writer =
   /// MutateGraph / RegisterRelation.

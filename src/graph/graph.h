@@ -34,6 +34,32 @@ struct Edge {
   bool operator==(const Edge& other) const = default;
 };
 
+/// One edge of a GraphMutation, endpoints and label by name. Unknown
+/// node names are created; an unknown label is interned on add (but
+/// never on remove — removing a never-seen label is a no-op skip).
+struct EdgeSpec {
+  std::string from;
+  std::string label;
+  std::string to;
+};
+
+/// A batched write: nodes to create plus edges to add/remove, applied
+/// atomically under the writer lock by Database::ApplyDelta. Lives at
+/// the graph layer (not api/) so the write-ahead log (src/wal/) can
+/// serialize and replay batches without depending on the session
+/// facade. Name-level resolution is deterministic — replaying the same
+/// mutation sequence against the same starting graph assigns identical
+/// node ids and symbols — which is what makes a logical WAL sound.
+struct GraphMutation {
+  /// Node names to create up front (empty string = anonymous node).
+  /// Names that already exist are left as-is.
+  std::vector<std::string> add_nodes;
+  std::vector<EdgeSpec> add_edges;
+  /// Each spec removes ONE instance of a matching edge (multiset
+  /// semantics); specs matching nothing are counted, not errors.
+  std::vector<EdgeSpec> remove_edges;
+};
+
 /// A finite Σ-labeled directed graph database.
 class GraphDb {
  public:

@@ -7,9 +7,31 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace ecrpq {
+
+bool Client::IsOverloaded(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().rfind("OVERLOADED", 0) == 0;
+}
+
+void Client::BackoffSleep(int attempt) {
+  int64_t delay = retry_policy_.base_backoff_ms;
+  for (int i = 0; i < attempt && delay < retry_policy_.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > retry_policy_.max_backoff_ms) delay = retry_policy_.max_backoff_ms;
+  // Deterministic jitter in [0, delay/2]: a plain LCG so clients with
+  // different seeds decorrelate without touching a global RNG.
+  jitter_state_ = jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  int64_t jitter = delay > 1 ? static_cast<int64_t>(jitter_state_ >> 33) %
+                                   (delay / 2 + 1)
+                             : 0;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay + jitter));
+}
 
 Client::~Client() { Close(); }
 
@@ -33,7 +55,11 @@ Status Client::ConnectRaw(const std::string& host, int port) {
     return Status::InvalidArgument("bad host address " + host);
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Internal("connect: " + std::string(strerror(errno)));
+    // Unavailable, not Internal: the server simply isn't there (yet),
+    // which is the retryable case — e.g. a client racing serverd
+    // startup or restart-after-crash.
+    Status status =
+        Status::Unavailable("connect: " + std::string(strerror(errno)));
     Close();
     return status;
   }
@@ -43,7 +69,16 @@ Status Client::ConnectRaw(const std::string& host, int port) {
 }
 
 Status Client::Connect(const std::string& host, int port) {
-  ECRPQ_RETURN_IF_ERROR(ConnectRaw(host, port));
+  Status status;
+  for (int attempt = 0;; ++attempt) {
+    status = ConnectRaw(host, port);
+    if (status.ok()) break;
+    if (status.code() != StatusCode::kUnavailable ||
+        attempt >= retry_policy_.retries) {
+      return status;
+    }
+    BackoffSleep(attempt);
+  }
   uint32_t id = NextRequestId();
   ECRPQ_RETURN_IF_ERROR(
       SendFrame(MakeFrame(MsgType::kHello, id, HelloRequest{})));
@@ -188,9 +223,17 @@ Status Client::AwaitRows(uint32_t request_id, RowsPage* page) {
 
 Status Client::Execute(uint32_t stmt_id, const ExecuteSpec& spec,
                        RowsPage* page) {
-  uint32_t id = 0;
-  ECRPQ_RETURN_IF_ERROR(SendExecute(stmt_id, spec, &id));
-  return AwaitRows(id, page);
+  // OVERLOADED is shed by admission control before any execution
+  // starts, so resending is always safe; other errors are terminal.
+  for (int attempt = 0;; ++attempt) {
+    uint32_t id = 0;
+    ECRPQ_RETURN_IF_ERROR(SendExecute(stmt_id, spec, &id));
+    Status status = AwaitRows(id, page);
+    if (!IsOverloaded(status) || attempt >= retry_policy_.retries) {
+      return status;
+    }
+    BackoffSleep(attempt);
+  }
 }
 
 Status Client::Fetch(uint64_t cursor_id, uint32_t max_rows, RowsPage* page) {
@@ -217,18 +260,29 @@ Status Client::Cancel(uint32_t target_request_id) {
 
 Status Client::Mutate(const std::vector<std::array<std::string, 3>>& edges,
                       uint64_t* num_nodes, uint64_t* num_edges) {
-  uint32_t id = NextRequestId();
-  MutateRequest req;
-  req.edges = edges;
-  ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kMutate, id, req)));
-  Frame reply;
-  ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
-  ECRPQ_RETURN_IF_ERROR(ExpectType(reply, MsgType::kMutateOk));
-  MutateReply ok;
-  ECRPQ_RETURN_IF_ERROR(Decode(reply.payload, &ok));
-  if (num_nodes != nullptr) *num_nodes = ok.num_nodes;
-  if (num_edges != nullptr) *num_edges = ok.num_edges;
-  return Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    uint32_t id = NextRequestId();
+    MutateRequest req;
+    req.edges = edges;
+    ECRPQ_RETURN_IF_ERROR(SendFrame(MakeFrame(MsgType::kMutate, id, req)));
+    Frame reply;
+    ECRPQ_RETURN_IF_ERROR(WaitReply(id, &reply));
+    Status status = ExpectType(reply, MsgType::kMutateOk);
+    if (status.ok()) {
+      MutateReply ok;
+      ECRPQ_RETURN_IF_ERROR(Decode(reply.payload, &ok));
+      if (num_nodes != nullptr) *num_nodes = ok.num_nodes;
+      if (num_edges != nullptr) *num_edges = ok.num_edges;
+      return Status::OK();
+    }
+    // Only OVERLOADED sheds are retried: they are rejected before the
+    // commit path runs. A DEGRADED (Unavailable) reply is NOT resent —
+    // the WAL is down and hammering it is pointless.
+    if (!IsOverloaded(status) || attempt >= retry_policy_.retries) {
+      return status;
+    }
+    BackoffSleep(attempt);
+  }
 }
 
 Status Client::Stats(std::string* text) {

@@ -41,7 +41,27 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects and performs the HELLO handshake.
+  /// Retry behaviour for Connect() and for requests shed with
+  /// OVERLOADED. Default: no retries, preserving the fail-fast
+  /// behaviour protocol tests depend on. Only *pre-execution*
+  /// rejections are retried (connect refused, admission shed) — those
+  /// are guaranteed to have had no effect on the server, so a resend
+  /// can never double-apply.
+  struct RetryPolicy {
+    int retries = 0;           ///< extra attempts after the first
+    int base_backoff_ms = 50;  ///< first retry delay
+    int max_backoff_ms = 2000; ///< cap for the exponential growth
+    uint64_t jitter_seed = 1;  ///< deterministic jitter stream
+  };
+
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    jitter_state_ = policy.jitter_seed;
+  }
+
+  /// Connects and performs the HELLO handshake. With a retry policy,
+  /// connect-refused (Unavailable) is retried with capped exponential
+  /// backoff + jitter.
   Status Connect(const std::string& host, int port);
 
   /// TCP connect only, no handshake — for protocol tests that probe the
@@ -109,6 +129,14 @@ class Client {
  private:
   uint32_t NextRequestId() { return next_request_id_++; }
 
+  /// True when `status` is a pre-execution shed (OVERLOADED reply) the
+  /// policy allows retrying.
+  static bool IsOverloaded(const Status& status);
+
+  /// Sleeps for the capped-exponential backoff of `attempt` (0-based)
+  /// plus deterministic jitter.
+  void BackoffSleep(int attempt);
+
   /// Reads frames until one carries `request_id`, buffering the rest.
   Status WaitReply(uint32_t request_id, Frame* frame);
 
@@ -120,6 +148,8 @@ class Client {
 
   int fd_ = -1;
   uint32_t next_request_id_ = 1;
+  RetryPolicy retry_policy_;
+  uint64_t jitter_state_ = 1;
   std::vector<uint8_t> in_;
   size_t in_offset_ = 0;
   /// Replies read while waiting for a different request_id.

@@ -65,6 +65,7 @@ struct ServerStats {
   std::atomic<uint64_t> executes_overloaded{0};  ///< shed by admission
   std::atomic<uint64_t> fetches{0};
   std::atomic<uint64_t> mutations{0};
+  std::atomic<uint64_t> mutations_rejected{0};  ///< durable write path down
   std::atomic<uint64_t> cancels{0};
   std::atomic<uint64_t> rows_returned{0};
 

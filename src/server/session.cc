@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "wal/durable.h"
+
 namespace ecrpq {
 
 namespace {
@@ -475,7 +477,17 @@ Frame Session::HandleMutate(const Frame& frame) {
   for (const auto& edge : req.edges) {
     mutation.add_edges.push_back(EdgeSpec{edge[0], edge[1], edge[2]});
   }
-  const MutationSummary summary = db_->ApplyDelta(mutation);
+  auto committed = db_->CommitDelta(mutation);
+  if (!committed.ok()) {
+    // Durable write path rejected the batch — typically "DEGRADED:
+    // ..." with kUnavailable when the WAL can't accept appends. The
+    // graph is untouched; reads keep serving. The throttled probe
+    // inside the log (plus the server's periodic ProbeDurability)
+    // clears the state once the disk recovers.
+    stats_->mutations_rejected.fetch_add(1, std::memory_order_relaxed);
+    return ErrorFrame(frame.request_id, committed.status());
+  }
+  const MutationSummary& summary = committed.value();
   MutateReply reply;
   reply.num_nodes = static_cast<uint64_t>(summary.num_nodes);
   reply.num_edges = static_cast<uint64_t>(summary.num_edges);
@@ -526,6 +538,25 @@ Frame Session::HandleStats(const Frame& frame) {
     auto guard = db_->SharedReadGuard();
     add("db.nodes", static_cast<uint64_t>(db_->graph().num_nodes()));
     add("db.edges", static_cast<uint64_t>(db_->graph().num_edges()));
+  }
+  add("server.mutations_rejected", s.mutations_rejected.load());
+  if (const DurableLog* log = db_->durable_log()) {
+    const WalStats wal = log->stats();
+    add("wal.enabled", 1);
+    add("wal.degraded", db_->write_degraded() ? 1 : 0);
+    add("wal.last_lsn", wal.last_lsn);
+    add("wal.durable_lsn", wal.durable_lsn);
+    add("wal.checkpoint_lsn", wal.checkpoint_lsn);
+    add("wal.appends", wal.appends);
+    add("wal.append_failures", wal.append_failures);
+    add("wal.syncs", wal.syncs);
+    add("wal.sync_failures", wal.sync_failures);
+    add("wal.checkpoints", wal.checkpoints);
+    add("wal.checkpoint_failures", wal.checkpoint_failures);
+    add("wal.probes", wal.probes);
+    add("wal.appended_bytes", wal.appended_bytes);
+  } else {
+    add("wal.enabled", 0);
   }
   return MakeFrame(MsgType::kStatsOk, frame.request_id, reply);
 }

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnimplemented,     ///< feature outside the decidable/implemented fragment
   kInternal,          ///< invariant violation escaped a release build
   kCancelled,         ///< execution stopped via a CancellationToken
+  kUnavailable,       ///< transient infrastructure failure (I/O error,
+                      ///< degraded durability, connect refused) — retryable
 };
 
 /// A cheap, value-semantic success-or-error carrier.
@@ -56,6 +58,9 @@ class Status {
   }
   static Status Cancelled(std::string m) {
     return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,177 @@
+// Write-ahead log segments: record framing, the appender, and the
+// recovery scan.
+//
+// On-disk layout (one data dir, managed by DurableLog in durable.h):
+//
+//   wal-<first-lsn, 20 digits>.log    log segments, oldest first
+//   checkpoint-<lsn, 20 digits>.ckpt  graph snapshot covering lsn <= L
+//   LOCK                              flock'd by the owning process
+//
+// Record framing inside a segment (little-endian):
+//
+//   u32 len | u32 crc32c (masked) | u64 lsn | u8 type | payload
+//
+// `len` counts lsn + type + payload (so len >= 9); the CRC covers those
+// same `len` bytes. LSNs are assigned contiguously starting at 1: record
+// n+1 always has lsn(n)+1, and a segment's first record's lsn equals the
+// number in its filename. Recovery scans segments in order and stops at
+// the first record that is torn (fewer bytes than `len` promises),
+// corrupt (CRC mismatch), oversized, or out of LSN sequence — everything
+// before that point is the recovered log, everything after is discarded
+// by physical truncation.
+//
+// WalWriter appends records, rotating to a new segment once the current
+// one crosses `segment_bytes`. It does NOT fsync on its own — the
+// fsync policy (always / interval / never) lives in DurableLog, which
+// calls Sync() at the configured durability points. After a failed
+// append the on-disk tail may be torn; RepairTail() truncates back to
+// the last fully-appended record so the log can continue.
+
+#ifndef ECRPQ_WAL_WAL_H_
+#define ECRPQ_WAL_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/io.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+/// When a MUTATE ack implies "on disk".
+enum class FsyncPolicy {
+  kAlways,    ///< fsync before every ack (group commit per batch)
+  kInterval,  ///< a flusher thread fsyncs every fsync_interval_ms
+  kNever,     ///< leave durability to the OS page cache
+};
+
+/// Parses "always" / "interval" / "never".
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view text);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+enum class WalRecordType : uint8_t {
+  kMutation = 1,   ///< name-level GraphMutation batch (wal_format.h)
+  kEdgeDelta = 2,  ///< id-level add/remove edge batch (wal_format.h)
+  kNoop = 3,       ///< empty probe record (degraded-mode recovery)
+};
+
+/// len + crc.
+inline constexpr size_t kWalFrameHeader = 8;
+/// lsn + type, the checksummed prefix of every record body.
+inline constexpr size_t kWalRecordHeader = 9;
+/// Upper bound on `len` — anything larger is corruption, not data.
+inline constexpr uint32_t kMaxWalRecordLen = 64u << 20;
+
+/// "wal-<first_lsn>.log" (20-digit zero-padded, lexicographically
+/// sortable).
+std::string WalSegmentName(uint64_t first_lsn);
+/// "checkpoint-<lsn>.ckpt".
+std::string CheckpointName(uint64_t lsn);
+
+/// Parses a segment/checkpoint filename; returns false for foreign
+/// files.
+bool ParseWalSegmentName(const std::string& name, uint64_t* first_lsn);
+bool ParseCheckpointName(const std::string& name, uint64_t* lsn);
+
+struct WalSegmentInfo {
+  std::string name;
+  uint64_t first_lsn = 0;
+};
+
+/// Log segments in `dir`, sorted by first LSN.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(FileSystem* fs,
+                                                    const std::string& dir);
+
+/// How a ScanWal ended.
+struct WalScanStats {
+  uint64_t last_lsn = 0;   ///< highest valid LSN seen (0 = empty log)
+  uint64_t records = 0;    ///< valid records (including skipped ones)
+  uint64_t delivered = 0;  ///< records handed to the callback
+  uint64_t segments = 0;   ///< segments scanned
+  uint64_t bytes = 0;      ///< valid record bytes
+
+  /// True when the scan stopped before the physical end of the log —
+  /// the tail from (truncate_segment, truncate_offset) on is garbage
+  /// and must be chopped before appending resumes.
+  bool truncated = false;
+  std::string truncate_segment;
+  uint64_t truncate_offset = 0;
+  std::string truncate_reason;  ///< "torn-record" | "bad-crc" | "lsn-gap"
+  /// Segments after the truncation point (unreachable; to be deleted).
+  std::vector<std::string> orphan_segments;
+};
+
+using WalRecordFn =
+    std::function<Status(uint64_t lsn, WalRecordType type,
+                         std::string_view payload)>;
+
+/// Scans the log in `dir`, validating every record and delivering those
+/// with lsn > min_lsn to `fn` in order. Stops (and reports a
+/// truncation point) at the first invalid record. Segments whose whole
+/// range is covered by a later segment's start or by min_lsn are
+/// skipped wholesale — stale leftovers from an interrupted prune.
+Result<WalScanStats> ScanWal(FileSystem* fs, const std::string& dir,
+                             uint64_t min_lsn, const WalRecordFn& fn);
+
+/// The appender. Not thread-safe; DurableLog serializes access.
+class WalWriter {
+ public:
+  /// Resumes appending at `next_lsn`. When `tail_segment` names an
+  /// existing segment (the scan's last valid one), appends continue in
+  /// it at `tail_bytes`; otherwise the first append creates
+  /// wal-<next_lsn>.log.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      FileSystem* fs, std::string dir, uint64_t segment_bytes,
+      uint64_t next_lsn, const std::string& tail_segment,
+      uint64_t tail_bytes);
+
+  /// Appends one record, assigning it the next LSN (returned via
+  /// `lsn`). Rotates first when the current segment is over budget. On
+  /// failure the tail may be torn: no further appends succeed until
+  /// RepairTail().
+  Status Append(WalRecordType type, std::string_view payload, uint64_t* lsn);
+
+  /// fsyncs the current segment (and the directory, if a segment was
+  /// created since the last sync).
+  Status Sync();
+
+  /// Truncates the current segment back to the last fully-appended
+  /// record and reopens it, clearing the needs-repair state. Safe to
+  /// call when healthy (no-op).
+  Status RepairTail();
+
+  bool needs_repair() const { return needs_repair_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// LSN of the last successfully appended record (0 = none).
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const std::string& segment_name() const { return segment_name_; }
+  uint64_t segment_bytes_written() const { return segment_offset_; }
+
+ private:
+  WalWriter(FileSystem* fs, std::string dir, uint64_t segment_bytes)
+      : fs_(fs), dir_(std::move(dir)), segment_limit_(segment_bytes) {}
+
+  Status EnsureSegment(size_t incoming);
+  std::string SegmentPath(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+  FileSystem* fs_;
+  std::string dir_;
+  uint64_t segment_limit_;
+
+  std::unique_ptr<WritableFile> file_;  // null until the first append
+  std::string segment_name_;
+  uint64_t segment_offset_ = 0;  // bytes fully appended to the segment
+  uint64_t next_lsn_ = 1;
+  bool needs_repair_ = false;
+  bool dir_dirty_ = false;  // a segment was created since the last Sync
+};
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_WAL_WAL_H_

@@ -1,0 +1,313 @@
+#include "wal/wal_format.h"
+
+#include <charconv>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+namespace ecrpq {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked little-endian reader over a payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool U32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return ok_ = false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) {
+      r |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool Str(std::string* s) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (data_.size() - pos_ < n) return ok_ = false;
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// Reads an element count whose elements occupy at least
+  /// `min_element_bytes` each. Rejecting counts the remaining bytes
+  /// cannot possibly hold keeps a corrupt count from driving a huge
+  /// allocation before the per-element reads fail.
+  bool Count(size_t min_element_bytes, uint32_t* n) {
+    if (!U32(n)) return false;
+    if (*n > remaining() / min_element_bytes) return ok_ = false;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Status DecodeError(const char* what) {
+  return Status::InvalidArgument(std::string("wal payload decode: ") + what);
+}
+
+void PutEdges(std::string* out, const std::vector<Edge>& edges) {
+  PutU32(out, static_cast<uint32_t>(edges.size()));
+  for (const Edge& e : edges) {
+    PutU32(out, static_cast<uint32_t>(e.from));
+    PutU32(out, static_cast<uint32_t>(e.label));
+    PutU32(out, static_cast<uint32_t>(e.to));
+  }
+}
+
+bool GetEdges(PayloadReader* reader, std::vector<Edge>* edges) {
+  uint32_t n;
+  if (!reader->Count(12, &n)) return false;  // 3 x u32 per edge
+  edges->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t from, label, to;
+    if (!reader->U32(&from) || !reader->U32(&label) || !reader->U32(&to)) {
+      return false;
+    }
+    edges->push_back({static_cast<NodeId>(from), static_cast<Symbol>(label),
+                      static_cast<NodeId>(to)});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeMutationPayload(const GraphMutation& mutation) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(mutation.add_nodes.size()));
+  for (const std::string& name : mutation.add_nodes) PutStr(&out, name);
+  PutU32(&out, static_cast<uint32_t>(mutation.add_edges.size()));
+  for (const EdgeSpec& spec : mutation.add_edges) {
+    PutStr(&out, spec.from);
+    PutStr(&out, spec.label);
+    PutStr(&out, spec.to);
+  }
+  PutU32(&out, static_cast<uint32_t>(mutation.remove_edges.size()));
+  for (const EdgeSpec& spec : mutation.remove_edges) {
+    PutStr(&out, spec.from);
+    PutStr(&out, spec.label);
+    PutStr(&out, spec.to);
+  }
+  return out;
+}
+
+Status DecodeMutationPayload(std::string_view payload, GraphMutation* out) {
+  PayloadReader reader(payload);
+  uint32_t n;
+  // Counts are cross-checked against the remaining bytes (4-byte
+  // length prefix per string, 3 strings per edge spec) before any
+  // allocation sized by them.
+  if (!reader.Count(4, &n)) return DecodeError("bad add_nodes count");
+  out->add_nodes.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!reader.Str(&out->add_nodes[i])) return DecodeError("bad add_node");
+  }
+  if (!reader.Count(12, &n)) return DecodeError("bad add_edges count");
+  out->add_edges.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EdgeSpec& spec = out->add_edges[i];
+    if (!reader.Str(&spec.from) || !reader.Str(&spec.label) ||
+        !reader.Str(&spec.to)) {
+      return DecodeError("bad add_edge");
+    }
+  }
+  if (!reader.Count(12, &n)) return DecodeError("bad remove_edges count");
+  out->remove_edges.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    EdgeSpec& spec = out->remove_edges[i];
+    if (!reader.Str(&spec.from) || !reader.Str(&spec.label) ||
+        !reader.Str(&spec.to)) {
+      return DecodeError("bad remove_edge");
+    }
+  }
+  if (!reader.done()) return DecodeError("trailing bytes");
+  return Status::OK();
+}
+
+std::string EncodeEdgeDeltaPayload(const std::vector<Edge>& add,
+                                   const std::vector<Edge>& remove) {
+  std::string out;
+  PutEdges(&out, add);
+  PutEdges(&out, remove);
+  return out;
+}
+
+Status DecodeEdgeDeltaPayload(std::string_view payload, std::vector<Edge>* add,
+                              std::vector<Edge>* remove) {
+  PayloadReader reader(payload);
+  if (!GetEdges(&reader, add)) return DecodeError("bad edge-delta adds");
+  if (!GetEdges(&reader, remove)) return DecodeError("bad edge-delta removes");
+  if (!reader.done()) return DecodeError("trailing bytes");
+  return Status::OK();
+}
+
+// ---- checkpoint codec ----
+
+std::string EncodeCheckpoint(const GraphDb& graph) {
+  std::string out = "ecrpq-checkpoint 1\n";
+  out += "counts " + std::to_string(graph.num_nodes()) + " " +
+         std::to_string(graph.num_edges()) + " " +
+         std::to_string(graph.alphabet().size()) + "\n";
+  for (Symbol s = 0; s < graph.alphabet().size(); ++s) {
+    out += "l " + graph.alphabet().Label(s) + "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    // NodeName falls back to "n<id>" for anonymous nodes; FindNode
+    // distinguishes a real name from the fallback.
+    std::string name = graph.NodeName(v);
+    auto found = graph.FindNode(name);
+    if (found.has_value() && *found == v) {
+      out += "n " + std::to_string(v) + " " + name + "\n";
+    }
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const auto& [label, to] : graph.Out(v)) {
+      out += "e " + std::to_string(v) + " " + std::to_string(label) + " " +
+             std::to_string(to) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status CheckpointError(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt checkpoint: ") + what);
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                   *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+// Splits off the next whitespace-delimited token of `line`.
+std::string_view NextToken(std::string_view* line) {
+  size_t start = line->find_first_not_of(' ');
+  if (start == std::string_view::npos) {
+    *line = {};
+    return {};
+  }
+  size_t end = line->find(' ', start);
+  std::string_view token = line->substr(start, end - start);
+  *line = end == std::string_view::npos ? std::string_view{}
+                                        : line->substr(end + 1);
+  return token;
+}
+
+}  // namespace
+
+Result<GraphDb> DecodeCheckpoint(std::string_view text) {
+  size_t pos = 0;
+  auto next_line = [&](std::string_view* line) {
+    if (pos >= text.size()) return false;
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    *line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(&line) || line != "ecrpq-checkpoint 1") {
+    return CheckpointError("bad header");
+  }
+  if (!next_line(&line)) return CheckpointError("missing counts");
+  if (NextToken(&line) != "counts") return CheckpointError("missing counts");
+  int64_t num_nodes, num_edges, num_labels;
+  if (!ParseInt(NextToken(&line), &num_nodes) ||
+      !ParseInt(NextToken(&line), &num_edges) ||
+      !ParseInt(NextToken(&line), &num_labels) || num_nodes < 0 ||
+      num_edges < 0 || num_labels < 0) {
+    return CheckpointError("bad counts");
+  }
+  // Corrupt counts must not drive allocations: ids are NodeId-ranged,
+  // and every edge ("e 0 0 0") and label ("l x") costs a line of text.
+  if (num_nodes > std::numeric_limits<NodeId>::max() ||
+      num_edges > static_cast<int64_t>(text.size() / 8) ||
+      num_labels > static_cast<int64_t>(text.size() / 4)) {
+    return CheckpointError("bad counts");
+  }
+
+  auto alphabet = std::make_shared<Alphabet>();
+  for (int64_t i = 0; i < num_labels; ++i) {
+    if (!next_line(&line)) return CheckpointError("missing label line");
+    if (line.size() < 2 || line[0] != 'l' || line[1] != ' ') {
+      return CheckpointError("bad label line");
+    }
+    alphabet->Intern(line.substr(2));
+  }
+
+  // Named nodes, then fill the id space in order (anonymous between).
+  std::unordered_map<int64_t, std::string> names;
+  while (pos < text.size() && pos + 1 < text.size() && text[pos] == 'n' &&
+         text[pos + 1] == ' ') {
+    next_line(&line);
+    std::string_view rest = line.substr(2);
+    int64_t id;
+    std::string_view id_token = NextToken(&rest);
+    if (!ParseInt(id_token, &id) || id < 0 || id >= num_nodes ||
+        rest.empty()) {
+      return CheckpointError("bad name line");
+    }
+    names[id] = std::string(rest);
+  }
+
+  GraphDb graph(alphabet);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    auto it = names.find(v);
+    NodeId assigned =
+        it == names.end() ? graph.AddNode() : graph.AddNode(it->second);
+    if (assigned != static_cast<NodeId>(v)) {
+      return CheckpointError("duplicate node name");
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges));
+  for (int64_t i = 0; i < num_edges; ++i) {
+    if (!next_line(&line)) return CheckpointError("missing edge line");
+    if (line.size() < 2 || line[0] != 'e' || line[1] != ' ') {
+      return CheckpointError("bad edge line");
+    }
+    std::string_view rest = line.substr(2);
+    int64_t from, label, to;
+    if (!ParseInt(NextToken(&rest), &from) ||
+        !ParseInt(NextToken(&rest), &label) ||
+        !ParseInt(NextToken(&rest), &to) || from < 0 || from >= num_nodes ||
+        to < 0 || to >= num_nodes || label < 0 || label >= num_labels) {
+      return CheckpointError("bad edge line");
+    }
+    edges.push_back({static_cast<NodeId>(from), static_cast<Symbol>(label),
+                     static_cast<NodeId>(to)});
+  }
+  if (pos < text.size()) return CheckpointError("trailing lines");
+  graph.AddEdges(edges);
+  return graph;
+}
+
+}  // namespace ecrpq

@@ -1,0 +1,59 @@
+// Serialization of WAL record payloads and checkpoint snapshots.
+//
+// Two record payloads (see wal.h for the framing):
+//
+//   kMutation  — a name-level GraphMutation. Replaying it through
+//                Database::ApplyDelta re-resolves names against the
+//                recovered graph; name resolution is deterministic, so
+//                the replayed graph is identical to the original.
+//   kEdgeDelta — an id-level add/remove batch (u32 triples). Valid to
+//                log because the checkpoint codec below round-trips
+//                node ids and symbol ids exactly.
+//
+// The checkpoint is a line-oriented text snapshot of a GraphDb that —
+// unlike graph/io.h's GraphToText — preserves *anonymity*: an
+// anonymous node is written as an id, not materialized as a name, so
+// replaying a post-checkpoint mutation that mentions "n5" resolves
+// exactly as it did originally (creating a node, not aliasing node 5).
+// Node ids, symbol ids, names, and the per-node edge order all
+// round-trip.
+
+#ifndef ECRPQ_WAL_WAL_FORMAT_H_
+#define ECRPQ_WAL_WAL_FORMAT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace ecrpq {
+
+std::string EncodeMutationPayload(const GraphMutation& mutation);
+Status DecodeMutationPayload(std::string_view payload, GraphMutation* out);
+
+std::string EncodeEdgeDeltaPayload(const std::vector<Edge>& add,
+                                   const std::vector<Edge>& remove);
+Status DecodeEdgeDeltaPayload(std::string_view payload,
+                              std::vector<Edge>* add,
+                              std::vector<Edge>* remove);
+
+/// Checkpoint snapshot text:
+///
+///   ecrpq-checkpoint 1
+///   counts <num_nodes> <num_edges> <num_labels>
+///   l <label>              (num_labels lines, symbol-id order)
+///   n <id> <name>          (named nodes only, id order)
+///   e <from> <label> <to>  (num_edges lines, per-node out order)
+///
+/// Label and name fields run to end-of-line (spaces survive; newlines
+/// cannot appear — GraphDb names/labels are single-line tokens in
+/// every ingest path, and Decode treats the line structure as
+/// authoritative).
+std::string EncodeCheckpoint(const GraphDb& graph);
+Result<GraphDb> DecodeCheckpoint(std::string_view text);
+
+}  // namespace ecrpq
+
+#endif  // ECRPQ_WAL_WAL_FORMAT_H_

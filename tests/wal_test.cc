@@ -1,0 +1,374 @@
+// Unit tests for the WAL building blocks: CRC32C, record framing and
+// the recovery scan, payload/checkpoint codecs, segment rotation,
+// corruption/torn-tail detection, fault injection, and dir locking.
+// End-to-end crash/recovery behaviour lives in durability_test.cc.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/crc32c.h"
+#include "util/io.h"
+#include "wal/wal.h"
+#include "wal/wal_format.h"
+
+namespace ecrpq {
+namespace {
+
+// Creates (and on destruction removes) a scratch directory.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/ecrpq-wal-test-XXXXXX";
+    char* made = mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made;
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- crc32c -----------------------------------------------------------------
+
+TEST(Crc32c, StandardVectors) {
+  // The canonical CRC32C check value.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+  // 32 zero bytes (iSCSI test vector).
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+  unsigned char ones[32];
+  for (auto& b : ones) b = 0xff;
+  EXPECT_EQ(crc32c::Value(ones, sizeof(ones)), 0x62a8ab43u);
+  EXPECT_EQ(crc32c::Value("", 0), 0u);
+}
+
+TEST(Crc32c, ExtendMatchesWholeBuffer) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = crc32c::Value(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = crc32c::Extend(
+        crc32c::Value(data.data(), split), data.data() + split,
+        data.size() - split);
+    EXPECT_EQ(partial, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, MaskRoundTripsAndChangesValue) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+// ---- payload codecs ---------------------------------------------------------
+
+TEST(WalFormat, MutationPayloadRoundTrip) {
+  GraphMutation m;
+  m.add_nodes = {"ann", "", "bob with space"};
+  m.add_edges = {{"ann", "advisor", "bob with space"}, {"x", "l", "y"}};
+  m.remove_edges = {{"bob with space", "advisor", "ann"}};
+  GraphMutation out;
+  ASSERT_TRUE(DecodeMutationPayload(EncodeMutationPayload(m), &out).ok());
+  EXPECT_EQ(out.add_nodes, m.add_nodes);
+  ASSERT_EQ(out.add_edges.size(), m.add_edges.size());
+  for (size_t i = 0; i < m.add_edges.size(); ++i) {
+    EXPECT_EQ(out.add_edges[i].from, m.add_edges[i].from);
+    EXPECT_EQ(out.add_edges[i].label, m.add_edges[i].label);
+    EXPECT_EQ(out.add_edges[i].to, m.add_edges[i].to);
+  }
+  ASSERT_EQ(out.remove_edges.size(), 1u);
+  EXPECT_EQ(out.remove_edges[0].from, "bob with space");
+}
+
+TEST(WalFormat, EdgeDeltaPayloadRoundTrip) {
+  std::vector<Edge> add = {{0, 1, 2}, {3, 0, 1}};
+  std::vector<Edge> remove = {{2, 1, 0}};
+  std::vector<Edge> add_out, remove_out;
+  ASSERT_TRUE(DecodeEdgeDeltaPayload(EncodeEdgeDeltaPayload(add, remove),
+                                     &add_out, &remove_out)
+                  .ok());
+  ASSERT_EQ(add_out.size(), 2u);
+  EXPECT_EQ(add_out[1].from, 3);
+  ASSERT_EQ(remove_out.size(), 1u);
+  EXPECT_EQ(remove_out[0].label, Symbol{1});
+}
+
+TEST(WalFormat, DecodeRejectsGarbage) {
+  GraphMutation m;
+  EXPECT_FALSE(DecodeMutationPayload("not a payload", &m).ok());
+  std::vector<Edge> a, r;
+  EXPECT_FALSE(DecodeEdgeDeltaPayload("xyz", &a, &r).ok());
+}
+
+// ---- checkpoint codec -------------------------------------------------------
+
+TEST(WalFormat, CheckpointRoundTripPreservesAnonymity) {
+  GraphDb g;
+  NodeId ann = g.AddNode("ann");
+  NodeId anon = g.AddNode();  // anonymous — must NOT come back named
+  NodeId bob = g.AddNode("bob");
+  g.AddEdge(ann, "advisor", anon);
+  g.AddEdge(anon, "likes a lot", bob);  // label with spaces survives
+  g.AddEdge(bob, "advisor", ann);
+
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(g));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const GraphDb& d = decoded.value();
+  EXPECT_EQ(d.num_nodes(), g.num_nodes());
+  EXPECT_EQ(d.num_edges(), g.num_edges());
+  EXPECT_EQ(d.FindNode("ann"), std::optional<NodeId>(ann));
+  EXPECT_EQ(d.FindNode("bob"), std::optional<NodeId>(bob));
+  // The anonymous node's synthetic display name must not resolve: a
+  // replayed mutation mentioning "n1" must create a NEW node, exactly
+  // as it did pre-crash.
+  EXPECT_EQ(d.NodeName(anon), g.NodeName(anon));
+  EXPECT_FALSE(d.FindNode(d.NodeName(anon)).has_value());
+  // Byte-identical re-encode: the codec is canonical.
+  EXPECT_EQ(EncodeCheckpoint(d), EncodeCheckpoint(g));
+}
+
+TEST(WalFormat, CheckpointRejectsCorruptText) {
+  GraphDb g;
+  g.AddEdge(g.AddNode("a"), "l", g.AddNode("b"));
+  std::string text = EncodeCheckpoint(g);
+  EXPECT_FALSE(DecodeCheckpoint("bogus header\n").ok());
+  EXPECT_FALSE(DecodeCheckpoint(text + "trailing junk\n").ok());
+  EXPECT_FALSE(DecodeCheckpoint(text.substr(0, text.size() / 2)).ok());
+}
+
+// ---- segment naming ---------------------------------------------------------
+
+TEST(WalNames, RoundTripAndRejectForeign) {
+  uint64_t lsn = 0;
+  EXPECT_TRUE(ParseWalSegmentName(WalSegmentName(1), &lsn));
+  EXPECT_EQ(lsn, 1u);
+  EXPECT_TRUE(ParseWalSegmentName(WalSegmentName(123456789), &lsn));
+  EXPECT_EQ(lsn, 123456789u);
+  EXPECT_TRUE(ParseCheckpointName(CheckpointName(42), &lsn));
+  EXPECT_EQ(lsn, 42u);
+  EXPECT_FALSE(ParseWalSegmentName("LOCK", &lsn));
+  EXPECT_FALSE(ParseWalSegmentName("checkpoint-00000000000000000001.ckpt",
+                                   &lsn));
+  EXPECT_FALSE(ParseCheckpointName("wal-00000000000000000001.log", &lsn));
+  EXPECT_FALSE(ParseWalSegmentName("wal-abc.log", &lsn));
+}
+
+// ---- writer + scan ----------------------------------------------------------
+
+std::string Pad(char c, size_t n) { return std::string(n, c); }
+
+WalRecordFn NopRecordFn() {
+  return [](uint64_t, WalRecordType, std::string_view) {
+    return Status::OK();
+  };
+}
+
+TEST(WalWriter, AppendScanRoundTrip) {
+  TempDir dir;
+  FileSystem* fs = PosixFileSystem();
+  auto writer = WalWriter::Open(fs, dir.path(), 64 << 20, 1, "", 0);
+  ASSERT_TRUE(writer.ok());
+  uint64_t lsn = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.value()
+                    ->Append(WalRecordType::kNoop,
+                             "payload-" + std::to_string(i), &lsn)
+                    .ok());
+    EXPECT_EQ(lsn, static_cast<uint64_t>(i + 1));
+  }
+  ASSERT_TRUE(writer.value()->Sync().ok());
+
+  std::vector<std::pair<uint64_t, std::string>> seen;
+  auto stats = ScanWal(fs, dir.path(), 0,
+                       [&](uint64_t l, WalRecordType, std::string_view p) {
+                         seen.emplace_back(l, std::string(p));
+                         return Status::OK();
+                       });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().last_lsn, 10u);
+  EXPECT_EQ(stats.value().delivered, 10u);
+  EXPECT_FALSE(stats.value().truncated);
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen[3].second, "payload-3");
+
+  // min_lsn skips the prefix.
+  auto tail = ScanWal(fs, dir.path(), 7,
+                      [&](uint64_t l, WalRecordType, std::string_view) {
+                        EXPECT_GT(l, 7u);
+                        return Status::OK();
+                      });
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().delivered, 3u);
+}
+
+TEST(WalWriter, RotatesSegmentsAndResumesTail) {
+  TempDir dir;
+  FileSystem* fs = PosixFileSystem();
+  uint64_t last = 0;
+  {
+    // Tiny segment budget: every ~100-byte record rotates.
+    auto writer = WalWriter::Open(fs, dir.path(), 128, 1, "", 0);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(
+          writer.value()->Append(WalRecordType::kNoop, Pad('x', 100), &last)
+              .ok());
+    }
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  auto segments = ListWalSegments(fs, dir.path());
+  ASSERT_TRUE(segments.ok());
+  EXPECT_GT(segments.value().size(), 1u);
+  for (const auto& seg : segments.value()) {
+    EXPECT_EQ(seg.name, WalSegmentName(seg.first_lsn));
+  }
+
+  // Reopen at the scanned position and keep appending; the log stays
+  // one contiguous LSN sequence.
+  auto scan = ScanWal(fs, dir.path(), 0, NopRecordFn());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_FALSE(scan.value().truncated);
+  auto relisted = ListWalSegments(fs, dir.path());
+  ASSERT_TRUE(relisted.ok());
+  const auto& tail_seg = relisted.value().back();
+  auto tail_size = fs->FileSize(dir.path() + "/" + tail_seg.name);
+  ASSERT_TRUE(tail_size.ok());
+  auto writer2 = WalWriter::Open(fs, dir.path(), 128, scan.value().last_lsn + 1,
+                                 tail_seg.name, tail_size.value());
+  ASSERT_TRUE(writer2.ok());
+  ASSERT_TRUE(
+      writer2.value()->Append(WalRecordType::kNoop, "after", &last).ok());
+  EXPECT_EQ(last, 7u);
+  ASSERT_TRUE(writer2.value()->Sync().ok());
+  auto rescan = ScanWal(fs, dir.path(), 0, NopRecordFn());
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan.value().last_lsn, 7u);
+  EXPECT_FALSE(rescan.value().truncated);
+}
+
+// Flips one byte in the middle of the file at `path`.
+void CorruptByteAt(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(offset);
+  f.write(&b, 1);
+}
+
+TEST(WalScan, StopsAtCorruptRecordAndReportsTruncation) {
+  TempDir dir;
+  FileSystem* fs = PosixFileSystem();
+  auto writer = WalWriter::Open(fs, dir.path(), 64 << 20, 1, "", 0);
+  ASSERT_TRUE(writer.ok());
+  uint64_t lsn = 0;
+  std::vector<uint64_t> offsets;  // record start offsets
+  uint64_t offset = 0;
+  for (int i = 0; i < 5; ++i) {
+    offsets.push_back(offset);
+    std::string payload = "record-" + std::to_string(i);
+    ASSERT_TRUE(
+        writer.value()->Append(WalRecordType::kNoop, payload, &lsn).ok());
+    offset += kWalFrameHeader + kWalRecordHeader + payload.size();
+  }
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  std::string segment = writer.value()->segment_name();
+  writer.value().reset();
+
+  // Corrupt a payload byte of record 4 (lsn 4): records 1-3 survive,
+  // the scan truncates at record 4's start.
+  CorruptByteAt(dir.path() + "/" + segment,
+                static_cast<long>(offsets[3] + kWalFrameHeader +
+                                  kWalRecordHeader + 2));
+  auto stats = ScanWal(fs, dir.path(), 0, NopRecordFn());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().last_lsn, 3u);
+  EXPECT_TRUE(stats.value().truncated);
+  EXPECT_EQ(stats.value().truncate_reason, "bad-crc");
+  EXPECT_EQ(stats.value().truncate_segment, segment);
+  EXPECT_EQ(stats.value().truncate_offset, offsets[3]);
+}
+
+TEST(WalScan, TornTailDetected) {
+  TempDir dir;
+  FileSystem* fs = PosixFileSystem();
+  auto writer = WalWriter::Open(fs, dir.path(), 64 << 20, 1, "", 0);
+  ASSERT_TRUE(writer.ok());
+  uint64_t lsn = 0;
+  ASSERT_TRUE(writer.value()->Append(WalRecordType::kNoop, "aaaa", &lsn).ok());
+  ASSERT_TRUE(writer.value()->Append(WalRecordType::kNoop, "bbbb", &lsn).ok());
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  std::string path = dir.path() + "/" + writer.value()->segment_name();
+  writer.value().reset();
+
+  // Chop 2 bytes off the second record: torn write.
+  auto size = fs->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(fs->Truncate(path, size.value() - 2).ok());
+  auto stats = ScanWal(fs, dir.path(), 0, NopRecordFn());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().last_lsn, 1u);
+  EXPECT_TRUE(stats.value().truncated);
+  EXPECT_EQ(stats.value().truncate_reason, "torn-record");
+}
+
+TEST(WalWriter, InjectedAppendFaultThenRepairTail) {
+  TempDir dir;
+  auto plan = std::make_shared<FaultPlan>();
+  FaultInjectingFileSystem fs(PosixFileSystem(), plan);
+  auto writer = WalWriter::Open(&fs, dir.path(), 64 << 20, 1, "", 0);
+  ASSERT_TRUE(writer.ok());
+  uint64_t lsn = 0;
+  ASSERT_TRUE(writer.value()->Append(WalRecordType::kNoop, "good", &lsn).ok());
+  {
+    std::lock_guard<std::mutex> lock(plan->mutex);
+    plan->fail_append_after = 1;
+    plan->torn_bytes = 5;  // half the frame header lands on disk
+  }
+  EXPECT_FALSE(
+      writer.value()->Append(WalRecordType::kNoop, "torn", &lsn).ok());
+  EXPECT_TRUE(writer.value()->needs_repair());
+  // Sticky: still failing.
+  EXPECT_FALSE(
+      writer.value()->Append(WalRecordType::kNoop, "still", &lsn).ok());
+  plan->Reset();
+  ASSERT_TRUE(writer.value()->RepairTail().ok());
+  ASSERT_TRUE(writer.value()->Append(WalRecordType::kNoop, "after", &lsn).ok());
+  EXPECT_EQ(lsn, 2u);
+  ASSERT_TRUE(writer.value()->Sync().ok());
+
+  auto stats = ScanWal(PosixFileSystem(), dir.path(), 0, NopRecordFn());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().last_lsn, 2u);
+  EXPECT_FALSE(stats.value().truncated);
+}
+
+TEST(WalIo, DirLockIsExclusive) {
+  TempDir dir;
+  FileSystem* fs = PosixFileSystem();
+  auto first = fs->LockFile(dir.path() + "/LOCK");
+  ASSERT_TRUE(first.ok());
+  auto second = fs->LockFile(dir.path() + "/LOCK");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  fs->ReleaseLock(first.value());
+  auto third = fs->LockFile(dir.path() + "/LOCK");
+  ASSERT_TRUE(third.ok());
+  fs->ReleaseLock(third.value());
+}
+
+}  // namespace
+}  // namespace ecrpq

@@ -1,6 +1,12 @@
 // ecrpq_client: command-line driver for ecrpq-serverd.
 //
-//   ecrpq_client [--host H] [--port P] <command> [args]
+//   ecrpq_client [--host H] [--port P] [--retries N] <command> [args]
+//
+//   --retries N  retry connect-refused and OVERLOADED sheds up to N
+//                times with capped exponential backoff + jitter
+//                (default 0: fail fast). Terminal ERROR replies —
+//                including DEGRADED write rejections — always exit
+//                nonzero, never retry.
 //
 //   query "<text>" [--param name=value]... [--deadline MS] [--limit N]
 //                  [--page N] [--nocache]
@@ -21,6 +27,8 @@
 //
 // Exit codes: 0 success, 1 server/protocol error, 2 usage.
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -37,7 +45,7 @@ using namespace ecrpq;
 namespace {
 
 int Usage() {
-  std::cerr << "usage: ecrpq_client [--host H] [--port P] "
+  std::cerr << "usage: ecrpq_client [--host H] [--port P] [--retries N] "
                "query|stats|mutate|cancel-test|malformed ...\n";
   return 2;
 }
@@ -237,6 +245,7 @@ int RunMalformed(Client& client) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7687;
+  int retries = 0;
   int i = 1;
   for (; i < argc; ++i) {
     std::string arg = argv[i];
@@ -244,6 +253,9 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+      if (retries < 0) return Usage();
     } else {
       break;
     }
@@ -253,6 +265,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + i, argv + argc);
 
   Client client;
+  if (retries > 0) {
+    Client::RetryPolicy policy;
+    policy.retries = retries;
+    // Seed jitter per process so parallel clients (the CI mutate storm)
+    // don't retry in lockstep.
+    policy.jitter_seed = static_cast<uint64_t>(getpid());
+    client.set_retry_policy(policy);
+  }
   Status status = client.Connect(host, port);
   if (!status.ok()) return Fail(status);
 

@@ -1,6 +1,7 @@
 // ecrpq-serverd: stand-alone serving daemon for ECRPQ graph queries.
 //
 //   $ ecrpq_serverd --port 7687 --graph data.txt --stats-interval 10
+//   $ ecrpq_serverd --data-dir /var/lib/ecrpq --fsync interval
 //
 // Loads a graph (text format of graph/io.h; a small demo graph without
 // --graph), binds the serving subsystem of src/server/, and runs until
@@ -8,6 +9,14 @@
 // their tokens and every thread is joined before exit. The bound port is
 // printed on stdout as "LISTENING <port>" so harnesses using --port 0
 // (ephemeral) can discover it.
+//
+// With --data-dir the server runs on the durable write path (src/wal/):
+// the directory is flock'd against double-serving, crash recovery runs
+// before the listener binds (checkpoint + WAL-tail replay), MUTATE acks
+// imply the --fsync durability point, and the SIGTERM drain flushes and
+// fsyncs the log before exit. If the log degrades at runtime (sick
+// disk), writes are rejected with a typed DEGRADED error while reads
+// keep serving; the main loop probes for recovery each tick.
 
 #include <csignal>
 #include <cstdlib>
@@ -21,6 +30,8 @@
 #include "api/api.h"
 #include "graph/io.h"
 #include "server/server.h"
+#include "wal/durable.h"
+#include "wal/wal.h"
 
 using namespace ecrpq;
 
@@ -60,7 +71,14 @@ int Usage(const char* argv0) {
       << "  --max-result-rows N rows materialized per execute before the\n"
       << "                     result is truncated+flagged (0 = unlimited)\n"
       << "  --query-threads N  worker lanes per query (default 1)\n"
-      << "  --stats-interval N periodic serving log line every N seconds\n";
+      << "  --stats-interval N periodic serving log line every N seconds\n"
+      << "  --data-dir DIR     durable mode: WAL + checkpoints in DIR\n"
+      << "                     (recovers on start; --graph seeds only a\n"
+      << "                     fresh DIR)\n"
+      << "  --fsync POLICY     always|interval|never (default always):\n"
+      << "                     when a MUTATE ack implies data on disk\n"
+      << "  --fsync-interval-ms N  flusher period for --fsync interval\n"
+      << "  --wal-segment-bytes N  WAL segment rotation size\n";
   return 2;
 }
 
@@ -71,6 +89,8 @@ int main(int argc, char** argv) {
   options.port = 7687;
   std::string graph_file;
   std::string graph_format = "text";
+  std::string data_dir;
+  DurabilityOptions durability;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -107,6 +127,19 @@ int main(int argc, char** argv) {
       options.query_threads = value;
     } else if (arg == "--stats-interval" && next_int(&value)) {
       options.stats_interval_sec = value;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      auto policy = ParseFsyncPolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::cerr << policy.status().ToString() << "\n";
+        return Usage(argv[0]);
+      }
+      durability.fsync = policy.value();
+    } else if (arg == "--fsync-interval-ms" && next_int(&value)) {
+      durability.fsync_interval_ms = value;
+    } else if (arg == "--wal-segment-bytes" && next_int(&value)) {
+      durability.segment_bytes = static_cast<uint64_t>(value);
     } else {
       return Usage(argv[0]);
     }
@@ -131,7 +164,33 @@ int main(int argc, char** argv) {
     graph = std::move(parsed).value();
   }
 
-  Database db(std::move(graph));
+  std::unique_ptr<Database> durable_db;
+  Database* db_ptr = nullptr;
+  if (!data_dir.empty()) {
+    WalRecoveryInfo recovery;
+    auto opened = Database::OpenDurable(data_dir, durability, {},
+                                        std::move(graph), &recovery);
+    if (!opened.ok()) {
+      std::cerr << "durable open failed: " << opened.status().ToString()
+                << "\n";
+      return 1;
+    }
+    durable_db = std::move(opened).value();
+    db_ptr = durable_db.get();
+    std::cerr << "ecrpq-serverd durable data-dir " << data_dir << " (fsync="
+              << FsyncPolicyName(durability.fsync) << "): checkpoint lsn "
+              << recovery.checkpoint_lsn << ", replayed " << recovery.replayed
+              << " record(s) to lsn " << recovery.last_lsn
+              << (recovery.tail_truncated
+                      ? ", truncated torn tail (" + recovery.truncate_reason +
+                            ")"
+                      : "")
+              << "\n";
+  } else {
+    durable_db = std::make_unique<Database>(std::move(graph));
+    db_ptr = durable_db.get();
+  }
+  Database& db = *db_ptr;
   Server server(&db, options);
   Status status = server.Start();
   if (!status.ok()) {
@@ -148,11 +207,37 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  bool was_degraded = false;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (db.durable()) {
+      // Cheap when healthy; when degraded this retries tail repair and
+      // any pending checkpoint so the write path heals without a
+      // restart.
+      bool healthy = db.ProbeDurability();
+      if (!healthy && !was_degraded) {
+        std::cerr << "ecrpq-serverd WAL degraded: rejecting writes, "
+                     "probing for recovery\n";
+      } else if (healthy && was_degraded) {
+        std::cerr << "ecrpq-serverd WAL recovered: accepting writes\n";
+      }
+      was_degraded = !healthy;
+    }
   }
   std::cerr << "ecrpq-serverd draining...\n";
   server.Stop();
+  if (db.durable()) {
+    // Drain the log: anything acked under fsync=interval/never becomes
+    // durable before the process exits.
+    Status flushed = db.FlushDurable();
+    if (flushed.ok()) {
+      std::cerr << "ecrpq-serverd WAL flushed to lsn " << db.applied_lsn()
+                << "\n";
+    } else {
+      std::cerr << "ecrpq-serverd WAL flush failed: " << flushed.ToString()
+                << "\n";
+    }
+  }
   std::cerr << "ecrpq-serverd stopped cleanly\n";
   return 0;
 }
